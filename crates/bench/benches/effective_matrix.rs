@@ -1,0 +1,68 @@
+//! Ablation D: materialising the effective matrix — one counting sweep
+//! per `(object, right)` pair, sequential vs parallel — plus the cost of
+//! a strategy-switch impact report (`EffectiveMatrix::diff`).
+//!
+//! The paper (related work, on Jajodia et al.) warns that materialising
+//! effective matrices is expensive; this bench quantifies it for the
+//! sweep-based materialisation, which is `O(pairs · (V + E))` rather than
+//! per-cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_core::{EffectiveMatrix, ObjectId, RightId, Strategy};
+use ucra_workload::auth::assign_matrix;
+use ucra_workload::livelink::{livelink, LivelinkConfig};
+use ucra_workload::rng;
+
+fn bench_effective(c: &mut Criterion) {
+    let mut r = rng(2007);
+    let org = livelink(
+        LivelinkConfig { groups: 1500, roots: 10, users: 400, ..Default::default() },
+        &mut r,
+    );
+    let pairs_n = 8u32;
+    let eacm = assign_matrix(&org.hierarchy, pairs_n, 1, 0.01, 0.3, &mut r);
+    let pairs: Vec<(ObjectId, RightId)> =
+        (0..pairs_n).map(|o| (ObjectId(o), RightId(0))).collect();
+    let strategy: Strategy = "D-LP-".parse().expect("mnemonic");
+
+    let mut group = c.benchmark_group("ablation_effective_matrix");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("materialise", format!("{threads}thread")),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    EffectiveMatrix::compute_for_pairs_parallel(
+                        &org.hierarchy,
+                        &eacm,
+                        strategy,
+                        &pairs,
+                        t,
+                    )
+                    .expect("materialises")
+                    .cell_count()
+                })
+            },
+        );
+    }
+    // The strategy-switch impact report on pre-materialised matrices.
+    let closed =
+        EffectiveMatrix::compute_for_pairs(&org.hierarchy, &eacm, strategy, &pairs).unwrap();
+    let open = EffectiveMatrix::compute_for_pairs(
+        &org.hierarchy,
+        &eacm,
+        "D+LP+".parse().expect("mnemonic"),
+        &pairs,
+    )
+    .unwrap();
+    group.bench_function("diff_closed_vs_open", |b| {
+        b.iter(|| closed.diff(&open).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_effective);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation A: the three bag-equivalent propagation implementations —
+//! path enumeration (paper-faithful), counting DP (our optimisation), and
+//! the literal relational-algebra spec (oracle) — on the same queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_bench::fixtures::{kdag_with_auth, to_relational, PAIR};
+use ucra_core::engine::counting::{self, PropagationMode};
+use ucra_core::engine::path_enum::{self, PropagateOptions};
+use ucra_relational::spec;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[10usize, 14] {
+        let (hierarchy, eacm, sink) = kdag_with_auth(n, 0.05, 7);
+        let (sdag_rel, eacm_rel) = to_relational(&hierarchy, &eacm);
+        let sink_i = sink.index() as i64;
+
+        group.bench_with_input(
+            BenchmarkId::new("path_enum", n),
+            &(&hierarchy, &eacm, sink),
+            |b, (h, e, s)| {
+                b.iter(|| {
+                    path_enum::propagate(
+                        h,
+                        e,
+                        *s,
+                        PAIR.0,
+                        PAIR.1,
+                        PropagateOptions::with_budget(200_000_000),
+                    )
+                    .expect("fits budget")
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("counting", n),
+            &(&hierarchy, &eacm, sink),
+            |b, (h, e, s)| {
+                b.iter(|| {
+                    counting::histogram(h, e, *s, PAIR.0, PAIR.1, PropagationMode::Both)
+                        .expect("no overflow")
+                        .strata()
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relational_spec", n),
+            &(&sdag_rel, &eacm_rel, sink_i),
+            |b, (sdag, eacm, s)| {
+                b.iter(|| {
+                    spec::propagate(sdag, eacm, *s, 0, 0)
+                        .expect("spec propagates")
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the graph substrate operations on the query hot
+//! path: ancestor sub-graph extraction (Step 1 of every query), upward
+//! BFS (the Dominance() walk), bulk DAG construction, and the path
+//! statistics behind Figure 7's `d` axis.
+//!
+//! These justify the substrate-level choices DESIGN.md records — in
+//! particular the `O(V + E_kept)` induced-sub-graph construction with
+//! unchecked edge insertion, which cut per-query cost ~3× on the
+//! Livelink workload (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_graph::{paths, subgraph, traverse, Dag};
+use ucra_workload::livelink::{livelink, LivelinkConfig};
+use ucra_workload::rng;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut r = rng(2007);
+    let l = livelink(LivelinkConfig::default(), &mut r);
+    let dag = l.hierarchy.graph();
+    // A deep user and a shallow one.
+    let deep = *l
+        .users
+        .iter()
+        .max_by_key(|&&u| {
+            let sub = subgraph::ancestor_subgraph(dag, u);
+            sub.dag.node_count()
+        })
+        .expect("users exist");
+    let shallow = *l
+        .users
+        .iter()
+        .min_by_key(|&&u| {
+            let sub = subgraph::ancestor_subgraph(dag, u);
+            sub.dag.node_count()
+        })
+        .expect("users exist");
+
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (label, user) in [("deep_user", deep), ("shallow_user", shallow)] {
+        group.bench_with_input(
+            BenchmarkId::new("ancestor_subgraph", label),
+            &user,
+            |b, &u| b.iter(|| subgraph::ancestor_subgraph(dag, u).dag.node_count()),
+        );
+        group.bench_with_input(BenchmarkId::new("up_bfs", label), &user, |b, &u| {
+            b.iter(|| paths::shortest_up_distances(dag, u).len())
+        });
+        group.bench_with_input(BenchmarkId::new("path_stats", label), &user, |b, &u| {
+            b.iter(|| {
+                let sub = subgraph::ancestor_subgraph(dag, u);
+                paths::path_stats_to(&sub.dag, sub.sink)
+                    .expect("fits u128")
+                    .len()
+            })
+        });
+    }
+
+    group.bench_function("topo_order_full_hierarchy", |b| {
+        b.iter(|| traverse::topo_order(dag).len())
+    });
+
+    // Bulk vs incremental construction of the whole hierarchy.
+    let edges: Vec<_> = dag.edges().collect();
+    group.bench_function("from_edges_bulk", |b| {
+        b.iter(|| {
+            Dag::from_edges(dag.node_count(), edges.iter().copied())
+                .expect("valid")
+                .edge_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

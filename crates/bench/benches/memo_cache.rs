@@ -1,0 +1,62 @@
+//! Ablation B: the memoised resolver (paper future work #1) against
+//! per-query resolution when many sinks share ancestors.
+//!
+//! The cached sweep computes every subject's histogram once per
+//! `(object, right)` pair; a batch of per-sink queries then costs one
+//! lookup each, versus one ancestor-sub-graph propagation each without
+//! the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ucra_bench::fixtures::{livelink_fixture, PAIR};
+use ucra_core::{MemoResolver, Resolver, Strategy};
+
+fn bench_memo(c: &mut Criterion) {
+    let (l, eacm) = livelink_fixture(2007, 0.5);
+    let strategy: Strategy = "D-LP-".parse().expect("paper strategy");
+    let sinks: Vec<_> = l.users.iter().copied().step_by(29).collect();
+
+    let mut group = c.benchmark_group("ablation_memo_cache");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("uncached_batch", |b| {
+        let resolver = Resolver::new(&l.hierarchy, &eacm);
+        b.iter(|| {
+            let mut pos = 0usize;
+            for &s in &sinks {
+                pos += (resolver.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            pos
+        })
+    });
+    group.bench_function("memoised_batch_incl_sweep", |b| {
+        // Cache built inside the iteration: measures sweep + lookups.
+        b.iter(|| {
+            let memo = MemoResolver::new(&l.hierarchy, &eacm);
+            let mut pos = 0usize;
+            for &s in &sinks {
+                pos += (memo.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            pos
+        })
+    });
+    group.bench_function("memoised_batch_warm", |b| {
+        let memo = MemoResolver::new(&l.hierarchy, &eacm);
+        // Warm the cache once.
+        memo.resolve(sinks[0], PAIR.0, PAIR.1, strategy).expect("total");
+        b.iter(|| {
+            let mut pos = 0usize;
+            for &s in &sinks {
+                pos += (memo.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            pos
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo);
+criterion_main!(benches);

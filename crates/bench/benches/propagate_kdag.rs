@@ -1,0 +1,54 @@
+//! Criterion companion to Figure 6: `Propagate()` on KDAG(n) across
+//! authorization rates (paper §4, synthetic experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_bench::fixtures::{kdag_with_auth, PAIR};
+use ucra_core::engine::counting::{self, PropagationMode};
+use ucra_core::engine::path_enum::{self, PropagateOptions};
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_propagate_kdag");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[12usize, 16] {
+        for &rate in &[0.01f64, 0.05, 0.10] {
+            let (hierarchy, eacm, sink) = kdag_with_auth(n, rate, 42);
+            let label = format!("n{n}_rate{}", (rate * 100.0) as u32);
+            group.bench_with_input(
+                BenchmarkId::new("path_enum", &label),
+                &(&hierarchy, &eacm, sink),
+                |b, (h, e, s)| {
+                    b.iter(|| {
+                        path_enum::propagate(
+                            h,
+                            e,
+                            *s,
+                            PAIR.0,
+                            PAIR.1,
+                            PropagateOptions::with_budget(200_000_000),
+                        )
+                        .expect("fits budget")
+                        .len()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("counting", &label),
+                &(&hierarchy, &eacm, sink),
+                |b, (h, e, s)| {
+                    b.iter(|| {
+                        counting::histogram(h, e, *s, PAIR.0, PAIR.1, PropagationMode::Both)
+                            .expect("no overflow")
+                            .strata()
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagate);
+criterion_main!(benches);

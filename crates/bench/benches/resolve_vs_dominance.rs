@@ -1,0 +1,65 @@
+//! Criterion companion to Figure 7(a): the unified `Resolve()` against
+//! the specialised `Dominance()` baseline on Livelink-like data
+//! (authorization rate 0.7 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ucra_bench::fixtures::{livelink_fixture, PAIR};
+use ucra_core::engine::path_enum::{self, PropagateOptions};
+use ucra_core::{dominance, resolve_histogram, DistanceHistogram, Resolver, Strategy};
+
+fn bench_resolve_vs_dominance(c: &mut Criterion) {
+    let (l, eacm) = livelink_fixture(2007, 0.5);
+    let strategy: Strategy = "D-LP-".parse().expect("paper strategy");
+    // A fixed sample of sinks keeps the bench fast but representative.
+    let sinks: Vec<_> = l.users.iter().copied().step_by(97).collect();
+
+    let mut group = c.benchmark_group("fig7a_resolve_vs_dominance");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("resolve_path_enum_D-LP-", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &s in &sinks {
+                let records = path_enum::propagate(
+                    &l.hierarchy,
+                    &eacm,
+                    s,
+                    PAIR.0,
+                    PAIR.1,
+                    PropagateOptions::with_budget(500_000_000),
+                )
+                .expect("fits budget");
+                let hist = DistanceHistogram::from_records(&records).expect("fits u128");
+                acc += (resolve_histogram(&hist, strategy).expect("total").sign
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            acc
+        })
+    });
+    group.bench_function("resolve_counting_D-LP-", |b| {
+        let resolver = Resolver::new(&l.hierarchy, &eacm);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &s in &sinks {
+                acc += (resolver.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            acc
+        })
+    });
+    group.bench_function("dominance", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &s in &sinks {
+                acc += (dominance(&l.hierarchy, &eacm, s, PAIR.0, PAIR.1).expect("sink")
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolve_vs_dominance);
+criterion_main!(benches);

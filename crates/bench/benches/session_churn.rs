@@ -1,0 +1,107 @@
+//! Ablation E: cache maintenance under churn.
+//!
+//! The related-work critique the paper levels at materialised effective
+//! matrices is that updates destroy them. The sweep cache's claim is
+//! that an explicit-matrix update costs exactly one `(object, right)`
+//! sweep. This bench replays the same mixed query/update trace through
+//! (a) a self-maintaining [`AccessSession`] and (b) a cache-free
+//! resolver, at increasing update shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_core::{AccessSession, Resolver, Sign, Strategy};
+use ucra_workload::auth::assign_matrix;
+use ucra_workload::churn::{trace, ChurnConfig, ChurnOp};
+use ucra_workload::livelink::{livelink, LivelinkConfig};
+use ucra_workload::rng;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut r = rng(2007);
+    let org = livelink(
+        LivelinkConfig { groups: 1200, roots: 8, users: 300, ..Default::default() },
+        &mut r,
+    );
+    let base_eacm = assign_matrix(&org.hierarchy, 4, 1, 0.01, 0.3, &mut r);
+    let strategy: Strategy = "D-LP-".parse().expect("mnemonic");
+
+    let mut group = c.benchmark_group("ablation_session_churn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for &update_share in &[0.0f64, 0.02, 0.20] {
+        let ops = trace(
+            ChurnConfig { ops: 600, update_share, objects: 4, rights: 1, ..Default::default() },
+            &org.users,
+            &org.groups,
+            &mut r,
+        );
+        let label = format!("upd{}pct", (update_share * 100.0) as u32);
+
+        group.bench_with_input(BenchmarkId::new("session_cached", &label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut session = AccessSession::new(
+                    org.hierarchy.clone(),
+                    base_eacm.clone(),
+                    strategy,
+                );
+                let mut granted = 0usize;
+                for op in ops {
+                    match *op {
+                        ChurnOp::Check { subject, object, right } => {
+                            granted += (session.check(subject, object, right).expect("total")
+                                == Sign::Pos) as usize;
+                        }
+                        ChurnOp::SetLabel { subject, object, right, sign } => {
+                            // Contradictions with the base matrix are
+                            // expected occasionally; unset-then-set keeps
+                            // the trace applicable.
+                            if session.set_authorization(subject, object, right, sign).is_err() {
+                                session.unset_authorization(subject, object, right);
+                                session
+                                    .set_authorization(subject, object, right, sign)
+                                    .expect("fresh after unset");
+                            }
+                        }
+                        ChurnOp::UnsetLabel { subject, object, right } => {
+                            session.unset_authorization(subject, object, right);
+                        }
+                    }
+                }
+                granted
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("uncached", &label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut eacm = base_eacm.clone();
+                let mut granted = 0usize;
+                for op in ops {
+                    match *op {
+                        ChurnOp::Check { subject, object, right } => {
+                            let resolver = Resolver::new(&org.hierarchy, &eacm);
+                            granted += (resolver
+                                .resolve(subject, object, right, strategy)
+                                .expect("total")
+                                == Sign::Pos) as usize;
+                        }
+                        ChurnOp::SetLabel { subject, object, right, sign } => {
+                            if eacm.set(subject, object, right, sign).is_err() {
+                                eacm.unset(subject, object, right);
+                                eacm.set(subject, object, right, sign)
+                                    .expect("fresh after unset");
+                            }
+                        }
+                        ChurnOp::UnsetLabel { subject, object, right } => {
+                            eacm.unset(subject, object, right);
+                        }
+                    }
+                }
+                granted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation C: cost profile of the 48 strategy instances.
+//!
+//! The unified algorithm's pitch is that *any* strategy runs on the same
+//! propagated data; this bench verifies the resolution step itself is
+//! both cheap (next to propagation) and uniform across instances, and
+//! measures a full resolve under one representative of each policy shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucra_bench::fixtures::{livelink_fixture, PAIR};
+use ucra_core::{resolve_histogram, Resolver, Strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let (l, eacm) = livelink_fixture(2007, 0.5);
+    let resolver = Resolver::new(&l.hierarchy, &eacm);
+    let sink = *l.users.last().expect("users exist");
+    let hist = resolver
+        .all_rights_histogram(sink, PAIR.0, PAIR.1)
+        .expect("propagates");
+
+    // Resolution step alone, all 48 instances in one batch.
+    c.bench_function("resolve_histogram_all_48", |b| {
+        let all = Strategy::all_instances();
+        b.iter(|| {
+            let mut pos = 0usize;
+            for &s in &all {
+                pos += (resolve_histogram(&hist, s).expect("total").sign
+                    == ucra_core::Sign::Pos) as usize;
+            }
+            pos
+        })
+    });
+
+    // End-to-end resolve for one representative per policy shape.
+    let mut group = c.benchmark_group("full_resolve_by_shape");
+    for mnemonic in ["D-LP-", "D+GMP+", "D-MP-", "LMP+", "MGP-", "P+"] {
+        let strategy: Strategy = mnemonic.parse().expect("mnemonic");
+        group.bench_with_input(BenchmarkId::from_parameter(mnemonic), &strategy, |b, &s| {
+            b.iter(|| resolver.resolve(sink, PAIR.0, PAIR.1, s).expect("total"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Regenerates the paper's **Figure 7(a)** (Resolve() vs Dominance() on
+//! Livelink data, against `d`) and **Figure 7(b)** (`d` vs the number of
+//! nodes in the sub-graph).
+//!
+//! Paper protocol (§4): the Livelink hierarchy (>8000 nodes, 22,000
+//! edges, 1582 sinks — here the calibrated synthetic stand-in, see
+//! DESIGN.md §2.6); authorization rate 0.7 % of edges; measure per-sink
+//! query time. `Dominance()` is averaged over three negative-share
+//! placements (1 %, 50 %, 100 %) because its early exit depends on where
+//! the negatives sit; `Resolve()` does not. Headline number: the unified
+//! algorithm's flexibility cost — the paper reports Resolve() ≈ 27 %
+//! slower than the specialised Dominance().
+//!
+//! We measure **two** Dominance implementations:
+//!
+//! * `dominance_specialized` — the same-substrate variant (the identical
+//!   per-path propagation machinery, with only D⁻LP⁻'s legal early
+//!   exits). This is the fair flexibility-overhead analogue of the
+//!   paper's comparison, where both algorithms ran on the same engine.
+//! * `dominance` — the graph-native upward BFS a production Rust system
+//!   would ship; it is asymptotically cheaper (`O(V+E)` vs `O(n+d)`) and
+//!   reported for context.
+//!
+//! ```text
+//! cargo run --release -p ucra-bench --bin repro_fig7 [--quick]
+//! ```
+//!
+//! Writes `results/fig7a.csv` (per-sink timings) and `results/fig7b.csv`
+//! (d vs sub-graph size).
+
+use ucra_bench::fixtures::{livelink_fixture, PAIR};
+use ucra_bench::output::{render_table, write_csv};
+use ucra_bench::timing::{fmt_ns, mean_ns};
+use ucra_core::engine::path_enum::{self, PropagateOptions};
+use ucra_core::{
+    dominance, dominance_specialized, dominance_with_stats, resolve_histogram,
+    DistanceHistogram, Strategy,
+};
+use ucra_workload::stats::query_stats;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let strategy: Strategy = "D-LP-".parse().expect("paper strategy");
+
+    // Resolve() is placement-independent; measure it on the 50 % split.
+    // Dominance() is averaged over the three placements of §4.
+    let shares = [0.01, 0.50, 1.00];
+    let fixtures: Vec<_> = shares.iter().map(|&s| livelink_fixture(2007, s)).collect();
+    let (l_mid, eacm_mid) = &fixtures[1];
+
+    let stride = if quick { 50 } else { 1 };
+    let sinks: Vec<_> = l_mid.users.iter().copied().step_by(stride).collect();
+    println!(
+        "Figure 7: {} sinks on a Livelink-like hierarchy ({} nodes, {} edges, rate 0.7%)\n",
+        sinks.len(),
+        l_mid.hierarchy.subject_count(),
+        l_mid.hierarchy.membership_count()
+    );
+
+    let mut rows_a = Vec::with_capacity(sinks.len());
+    let mut rows_b = Vec::with_capacity(sinks.len());
+    let mut resolve_samples = Vec::with_capacity(sinks.len());
+    let mut dom_spec_samples = Vec::with_capacity(sinks.len());
+    let mut dom_bfs_samples = Vec::with_capacity(sinks.len());
+
+    for &sink in &sinks {
+        let stats = query_stats(&l_mid.hierarchy, eacm_mid, sink, PAIR.0, PAIR.1);
+
+        // Resolve(): the paper-faithful engine — Propagate() dominates,
+        // so its cost tracks d.
+        let start = std::time::Instant::now();
+        let records = path_enum::propagate(
+            &l_mid.hierarchy,
+            eacm_mid,
+            sink,
+            PAIR.0,
+            PAIR.1,
+            PropagateOptions::with_budget(500_000_000),
+        )
+        .expect("Livelink-scale queries fit the budget");
+        let hist = DistanceHistogram::from_records(&records).expect("counts fit u128");
+        let sign = resolve_histogram(&hist, strategy).expect("resolution is total").sign;
+        let resolve_ns = start.elapsed().as_nanos();
+        std::hint::black_box(sign);
+
+        // Dominance, both variants, averaged over the three placements.
+        let mut spec = Vec::with_capacity(3);
+        let mut bfs = Vec::with_capacity(3);
+        for (l, eacm) in &fixtures {
+            let start = std::time::Instant::now();
+            let s1 = dominance_specialized(&l.hierarchy, eacm, sink, PAIR.0, PAIR.1)
+                .expect("sink exists");
+            spec.push(start.elapsed().as_nanos());
+            let start = std::time::Instant::now();
+            let s2 = dominance(&l.hierarchy, eacm, sink, PAIR.0, PAIR.1).expect("sink exists");
+            bfs.push(start.elapsed().as_nanos());
+            std::hint::black_box((s1, s2));
+        }
+        let dom_spec_ns = mean_ns(&spec);
+        let dom_bfs_ns = mean_ns(&bfs);
+
+        resolve_samples.push(resolve_ns);
+        dom_spec_samples.push(dom_spec_ns);
+        dom_bfs_samples.push(dom_bfs_ns);
+        rows_a.push(format!(
+            "{},{},{},{},{},{}",
+            sink.index(),
+            stats.d,
+            stats.subgraph_nodes,
+            resolve_ns,
+            dom_spec_ns,
+            dom_bfs_ns
+        ));
+        rows_b.push(format!("{},{},{}", sink.index(), stats.subgraph_nodes, stats.d));
+    }
+
+    let resolve_avg = mean_ns(&resolve_samples);
+    let dom_spec_avg = mean_ns(&dom_spec_samples);
+    let dom_bfs_avg = mean_ns(&dom_bfs_samples);
+    let overhead = |base: u128| {
+        if base > 0 {
+            100.0 * (resolve_avg as f64 - base as f64) / base as f64
+        } else {
+            f64::NAN
+        }
+    };
+
+    println!("average Resolve()  (D-LP-, path-enum)        : {}", fmt_ns(resolve_avg));
+    println!("average Dominance() same-substrate           : {}", fmt_ns(dom_spec_avg));
+    println!("average Dominance() graph-native BFS         : {}", fmt_ns(dom_bfs_avg));
+    println!(
+        "flexibility overhead vs same-substrate       : {:.0}%",
+        overhead(dom_spec_avg)
+    );
+    println!(
+        "flexibility overhead vs graph-native         : {:.0}%",
+        overhead(dom_bfs_avg)
+    );
+    println!(
+        "paper reference: Resolve 1260 ms vs Dominance 920 ms ⇒ 27% (2007 testbed;\n\
+         absolute numbers differ, the *ratio and shape* are the reproduction target)\n"
+    );
+
+    match write_csv(
+        "fig7a",
+        "sink,d,subgraph_nodes,resolve_ns,dominance_specialized_avg_ns,dominance_bfs_avg_ns",
+        &rows_a,
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    match write_csv("fig7b", "sink,subgraph_nodes,d", &rows_b) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    // The paper's placement-dependence claim: "the Dominance() algorithm
+    // is dependent on the placement of negative authorizations whereas
+    // the Resolve() algorithm is not". Show it directly: ancestors
+    // visited and early-exit rate per negative share.
+    let mut rows = Vec::new();
+    for (share, (l, eacm)) in shares.iter().zip(&fixtures) {
+        let mut visited_total = 0usize;
+        let mut exits = 0usize;
+        for &sink in &sinks {
+            let (_, st) =
+                dominance_with_stats(&l.hierarchy, eacm, sink, PAIR.0, PAIR.1).expect("sink");
+            visited_total += st.visited;
+            exits += st.early_exit as usize;
+        }
+        rows.push(vec![
+            format!("{:.0}%", share * 100.0),
+            format!("{:.1}", visited_total as f64 / sinks.len() as f64),
+            format!("{:.0}%", 100.0 * exits as f64 / sinks.len() as f64),
+        ]);
+    }
+    println!("\nDominance() placement dependence (BFS variant):");
+    println!(
+        "{}",
+        render_table(&["negative share", "avg ancestors visited", "early-exit rate"], &rows)
+    );
+    println!(
+        "\nexpected shapes (paper): 7(a) Resolve() grows with d; Dominance() scatters\n\
+         below it with occasional spikes. 7(b) d is not determined by node count —\n\
+         large sub-graphs can have small total path length."
+    );
+}

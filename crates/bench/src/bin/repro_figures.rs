@@ -1,0 +1,168 @@
+//! Renders the paper's figures as SVG from the CSVs the other repro
+//! binaries write:
+//!
+//! * `results/fig6.svg`  — Propagate() time vs authorization rate (line
+//!   chart, one series per KDAG size), from `fig6.csv`;
+//! * `results/fig7a.svg` — Resolve() and Dominance() time vs `d`
+//!   (scatter), from `fig7a.csv`;
+//! * `results/fig7b.svg` — `d` vs sub-graph node count (scatter), from
+//!   `fig7b.csv`.
+//!
+//! Run after `repro_fig6` and `repro_fig7`:
+//!
+//! ```text
+//! cargo run --release -p ucra-bench --bin repro_fig6
+//! cargo run --release -p ucra-bench --bin repro_fig7
+//! cargo run --release -p ucra-bench --bin repro_figures
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use ucra_bench::plot::{line_chart, scatter_chart, Frame, Series, SERIES_COLORS};
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("results")
+}
+
+/// Tiny CSV reader: header + comma rows, all-numeric columns wanted by
+/// name. Returns one Vec per requested column.
+fn read_csv(path: &Path, columns: &[&str]) -> Result<Vec<Vec<f64>>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {} (run the repro_fig* binaries first): {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines
+        .next()
+        .ok_or_else(|| format!("{} is empty", path.display()))?
+        .split(',')
+        .collect();
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            header
+                .iter()
+                .position(|h| h == c)
+                .ok_or_else(|| format!("{}: missing column `{c}`", path.display()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = vec![Vec::new(); columns.len()];
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        for (slot, &ci) in idx.iter().enumerate() {
+            let v: f64 = cells
+                .get(ci)
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| format!("{} line {}: bad cell", path.display(), lineno + 2))?;
+            out[slot].push(v);
+        }
+    }
+    Ok(out)
+}
+
+fn write_svg(name: &str, svg: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, svg) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+fn fig6() -> Result<(), String> {
+    let cols = read_csv(
+        &results_dir().join("fig6.csv"),
+        &["kdag_n", "auth_rate", "propagate_path_enum_ns"],
+    )?;
+    let (ns, rates, times) = (&cols[0], &cols[1], &cols[2]);
+    let mut by_n: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
+    for i in 0..ns.len() {
+        by_n
+            .entry(ns[i] as i64)
+            .or_default()
+            .push((rates[i] * 100.0, times[i] / 1000.0));
+    }
+    let series: Vec<Series> = by_n
+        .into_iter()
+        .enumerate()
+        .map(|(ix, (n, points))| Series {
+            name: format!("KDAG({n})"),
+            points,
+            color: SERIES_COLORS[ix % SERIES_COLORS.len()],
+        })
+        .collect();
+    let frame = Frame {
+        title: "Figure 6 — Propagate() on synthetic KDAG data".into(),
+        x_label: "authorization rate (% of edges)".into(),
+        y_label: "Propagate() time (µs)".into(),
+        ..Frame::default()
+    };
+    write_svg("fig6.svg", &line_chart(&frame, &series));
+    Ok(())
+}
+
+fn fig7a() -> Result<(), String> {
+    let cols = read_csv(
+        &results_dir().join("fig7a.csv"),
+        &["d", "resolve_ns", "dominance_specialized_avg_ns"],
+    )?;
+    let (d, resolve, dominance) = (&cols[0], &cols[1], &cols[2]);
+    let series = vec![
+        Series {
+            name: "Resolve()".into(),
+            points: d.iter().zip(resolve).map(|(&x, &y)| (x, y / 1000.0)).collect(),
+            color: SERIES_COLORS[0],
+        },
+        Series {
+            name: "Dominance()".into(),
+            points: d
+                .iter()
+                .zip(dominance)
+                .map(|(&x, &y)| (x, y / 1000.0))
+                .collect(),
+            color: SERIES_COLORS[1],
+        },
+    ];
+    let frame = Frame {
+        title: "Figure 7(a) — Resolve() vs Dominance() on Livelink-like data".into(),
+        x_label: "d (total length of all propagation paths)".into(),
+        y_label: "query time (µs)".into(),
+        ..Frame::default()
+    };
+    write_svg("fig7a.svg", &scatter_chart(&frame, &series));
+    Ok(())
+}
+
+fn fig7b() -> Result<(), String> {
+    let cols = read_csv(&results_dir().join("fig7b.csv"), &["subgraph_nodes", "d"])?;
+    let series = vec![Series {
+        name: "sink".into(),
+        points: cols[0].iter().zip(&cols[1]).map(|(&x, &y)| (x, y)).collect(),
+        color: SERIES_COLORS[0],
+    }];
+    let frame = Frame {
+        title: "Figure 7(b) — total path length vs sub-graph size".into(),
+        x_label: "nodes in the ancestor sub-graph".into(),
+        y_label: "d".into(),
+        ..Frame::default()
+    };
+    write_svg("fig7b.svg", &scatter_chart(&frame, &series));
+    Ok(())
+}
+
+fn main() {
+    let mut failed = false;
+    for result in [fig6(), fig7a(), fig7b()] {
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

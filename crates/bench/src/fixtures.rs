@@ -1,0 +1,79 @@
+//! Workload fixtures shared by benches and repro binaries.
+
+use ucra_core::{Eacm, ObjectId, RightId, Sign, SubjectDag, SubjectId};
+use ucra_relational::{spec, Relation};
+use ucra_workload::auth::{assign_by_edges, AuthConfig};
+use ucra_workload::kdag::kdag;
+use ucra_workload::livelink::{livelink, Livelink, LivelinkConfig};
+use ucra_workload::rng;
+
+/// The object/right pair every fixture labels.
+pub const PAIR: (ObjectId, RightId) = (ObjectId(0), RightId(0));
+
+/// A KDAG(n) with authorizations at `rate`, plus its designated sink.
+pub fn kdag_with_auth(n: usize, rate: f64, seed: u64) -> (SubjectDag, Eacm, SubjectId) {
+    let mut r = rng(seed);
+    let k = kdag(n, &mut r);
+    let (eacm, _) = assign_by_edges(
+        &k.hierarchy,
+        AuthConfig { rate, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        &mut r,
+    );
+    (k.hierarchy, eacm, k.sink)
+}
+
+/// The Figure-7 fixture: a Livelink-like hierarchy plus an EACM at the
+/// paper's 0.7 % edge rate with the given negative share.
+pub fn livelink_fixture(seed: u64, negative_share: f64) -> (Livelink, Eacm) {
+    let mut r = rng(seed);
+    let l = livelink(LivelinkConfig::default(), &mut r);
+    let (eacm, _) = assign_by_edges(
+        &l.hierarchy,
+        AuthConfig { rate: 0.007, negative_share, object: PAIR.0, right: PAIR.1 },
+        &mut r,
+    );
+    (l, eacm)
+}
+
+/// Converts a core model into the relational spec's input relations,
+/// for oracle comparisons and the engines ablation.
+pub fn to_relational(hierarchy: &SubjectDag, eacm: &Eacm) -> (Relation, Relation) {
+    let edges: Vec<(i64, i64)> = hierarchy
+        .graph()
+        .edges()
+        .map(|(p, c)| (p.index() as i64, c.index() as i64))
+        .collect();
+    let entries: Vec<(i64, i64, i64, spec::Sign)> = eacm
+        .iter()
+        .map(|(s, o, r, sign)| {
+            let sign = match sign {
+                Sign::Pos => spec::Sign::Pos,
+                Sign::Neg => spec::Sign::Neg,
+            };
+            (s.index() as i64, o.0 as i64, r.0 as i64, sign)
+        })
+        .collect();
+    (spec::sdag_relation(&edges), spec::eacm_relation(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdag_fixture_is_reproducible() {
+        let (h1, e1, s1) = kdag_with_auth(30, 0.05, 99);
+        let (h2, e2, s2) = kdag_with_auth(30, 0.05, 99);
+        assert_eq!(s1, s2);
+        assert_eq!(e1, e2);
+        assert_eq!(h1.membership_count(), h2.membership_count());
+    }
+
+    #[test]
+    fn relational_conversion_preserves_cardinalities() {
+        let (h, e, _) = kdag_with_auth(20, 0.1, 7);
+        let (sdag, eacm) = to_relational(&h, &e);
+        assert_eq!(sdag.len(), h.membership_count());
+        assert_eq!(eacm.len(), e.len());
+    }
+}

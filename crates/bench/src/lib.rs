@@ -1,0 +1,22 @@
+//! # `ucra-bench` — the experiment harness
+//!
+//! Shared fixtures, timing helpers and output formatting for
+//!
+//! * the **repro binaries** (`src/bin/repro_*.rs`), which regenerate every
+//!   table and figure of the paper's evaluation section and write CSVs
+//!   under `results/`; and
+//! * the **criterion benches** (`benches/`), which measure the same code
+//!   paths with statistical rigour.
+//!
+//! See DESIGN.md §3 for the experiment ↔ module index and EXPERIMENTS.md
+//! for measured-vs-paper results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod plot;
+pub mod output;
+pub mod timing;
+
+pub use fixtures::{kdag_with_auth, livelink_fixture, to_relational};

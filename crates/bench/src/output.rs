@@ -1,0 +1,87 @@
+//! CSV and fixed-width table output for the repro binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes CSV rows (with a header) to `results/<name>.csv` relative to
+/// the workspace root, creating the directory if needed. Returns the
+/// path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<String> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(path.display().to_string())
+}
+
+fn results_dir() -> std::path::PathBuf {
+    // The binaries run from anywhere inside the workspace; anchor on the
+    // crate's manifest and go up to the workspace root.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .join("results")
+}
+
+/// Renders a fixed-width text table (header + rows of equal arity).
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[1].starts_with('-'));
+        // All rows the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_writes_to_results() {
+        let path = write_csv("unit_test_tmp", "x,y", &["1,2".to_string()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal wall-clock timing for the repro binaries (criterion handles
+//! the statistically careful measurements; the binaries want one honest
+//! number per cell, fast).
+
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`. The closure's
+/// result is returned (from the last run) so the measured work cannot be
+/// optimised away by the caller discarding it.
+pub fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    assert!(reps >= 1);
+    let mut samples = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = std::hint::black_box(f());
+        samples.push(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], last.expect("reps >= 1"))
+}
+
+/// Arithmetic mean of nanosecond samples.
+pub fn mean_ns(samples: &[u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.iter().sum::<u128>() / samples.len() as u128
+}
+
+/// Formats nanoseconds human-readably (`842 ns`, `13.4 µs`, `2.1 ms`).
+pub fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_returns_value_and_positive_time() {
+        let (ns, v) = median_ns(5, || (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        assert_eq!(mean_ns(&[1, 2, 3]), 2);
+        assert_eq!(mean_ns(&[]), 0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1500), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,225 @@
+//! Command implementations for the `ucra` CLI.
+
+use ucra_core::motivating::motivating_example;
+use ucra_core::{Resolver, Strategy};
+use ucra_store::{text, AccessModel};
+
+/// Resolves the strategy to use: an explicit CLI argument wins, then the
+/// model's configured default.
+pub fn pick_strategy(model: &AccessModel, arg: Option<&str>) -> Result<Strategy, String> {
+    match arg {
+        Some(text) => text
+            .parse::<Strategy>()
+            .map_err(|e| e.to_string()),
+        None => model.default_strategy().ok_or_else(|| {
+            "no strategy: pass one (e.g. D-LP-) or add a `strategy` line to the model".to_string()
+        }),
+    }
+}
+
+/// `ucra demo` — the paper's motivating example, end to end.
+pub fn demo() -> Result<(), String> {
+    let ex = motivating_example();
+    let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+    println!("The motivating example of the paper (Fig. 1):");
+    println!("  S2 grants obj/read, S4 grants obj/read, S5 denies obj/read.");
+    println!("  User belongs to S2's and S5's spheres via several paths.\n");
+    println!("allRights of <User, obj, read> (Table 1):");
+    let mut records = resolver
+        .all_rights_records(ex.user, ex.obj, ex.read)
+        .map_err(|e| e.to_string())?;
+    records.sort_by_key(|r| (r.dis, r.mode));
+    for rec in &records {
+        println!("  dis {}  mode {}  from {}", rec.dis, rec.mode, ex.name(rec.source));
+    }
+    println!("\nDecision under every strategy family:");
+    for mnemonic in ["D+LMP+", "D-LMP-", "D-LP+", "D+GP-", "MP-", "GMP-", "P-", "D-MGP+"] {
+        let strategy: Strategy = mnemonic.parse().expect("known mnemonic");
+        let res = resolver
+            .resolve_traced(ex.user, ex.obj, ex.read, strategy)
+            .map_err(|e| e.to_string())?;
+        println!("  {mnemonic:>7} -> {}   ({res})", res.sign);
+    }
+    println!("\nSame data, 48 strategies, one algorithm — pick yours with `strategy`.");
+    Ok(())
+}
+
+/// `ucra check`.
+pub fn check(
+    model: &AccessModel,
+    subject: &str,
+    object: &str,
+    right: &str,
+    strategy: Strategy,
+) -> Result<(), String> {
+    let sign = model
+        .check_with(subject, object, right, strategy)
+        .map_err(|e| e.to_string())?;
+    println!("{sign}");
+    Ok(())
+}
+
+/// `ucra trace`.
+pub fn trace(
+    model: &AccessModel,
+    subject: &str,
+    object: &str,
+    right: &str,
+    strategy: Strategy,
+) -> Result<(), String> {
+    let res = model
+        .check_traced(subject, object, right, strategy)
+        .map_err(|e| e.to_string())?;
+    println!("strategy {strategy}: {res}");
+    Ok(())
+}
+
+/// `ucra matrix`.
+pub fn matrix(
+    model: &AccessModel,
+    object: &str,
+    right: &str,
+    strategy: Strategy,
+) -> Result<(), String> {
+    let names: Vec<String> = model.subject_names().map(str::to_string).collect();
+    println!("effective authorizations for {object}/{right} under {strategy}:");
+    for name in names {
+        let sign = model
+            .check_with(&name, object, right, strategy)
+            .map_err(|e| e.to_string())?;
+        println!("  {sign} {name}");
+    }
+    Ok(())
+}
+
+/// `ucra strategies`.
+pub fn strategies(
+    model: &AccessModel,
+    subject: &str,
+    object: &str,
+    right: &str,
+) -> Result<(), String> {
+    for strategy in Strategy::all_instances() {
+        let sign = model
+            .check_with(subject, object, right, strategy)
+            .map_err(|e| e.to_string())?;
+        println!("{:>7} {sign}", strategy.mnemonic());
+    }
+    Ok(())
+}
+
+/// `ucra explain`.
+pub fn explain(
+    model: &AccessModel,
+    subject: &str,
+    object: &str,
+    right: &str,
+    strategy: Strategy,
+) -> Result<(), String> {
+    let text = model
+        .explain(subject, object, right, strategy)
+        .map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+/// `ucra compare` — the impact report of switching strategies.
+pub fn compare(
+    model: &AccessModel,
+    object: &str,
+    right: &str,
+    from: Strategy,
+    to: Strategy,
+) -> Result<(), String> {
+    use ucra_core::EffectiveMatrix;
+    let o = model.object_id(object).map_err(|e| e.to_string())?;
+    let r = model.right_id(right).map_err(|e| e.to_string())?;
+    let a = EffectiveMatrix::compute_for_pairs(model.hierarchy(), model.eacm(), from, &[(o, r)])
+        .map_err(|e| e.to_string())?;
+    let b = EffectiveMatrix::compute_for_pairs(model.hierarchy(), model.eacm(), to, &[(o, r)])
+        .map_err(|e| e.to_string())?;
+    let diff = a.diff(&b);
+    println!(
+        "switching {from} -> {to} on {object}/{right} changes {} of {} subjects:",
+        diff.len(),
+        model.subject_count()
+    );
+    for d in &diff {
+        let name = model.subject_name(d.subject).unwrap_or("?");
+        println!("  {name}: {} -> {}", d.before, d.after);
+    }
+    Ok(())
+}
+
+/// `ucra dot`.
+pub fn dot(model: &AccessModel, object: &str, right: &str) -> Result<(), String> {
+    let text = model.to_dot(object, right).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+/// `ucra summary`.
+pub fn summary(model: &AccessModel) -> Result<(), String> {
+    let s = ucra_graph::analysis::summary(model.hierarchy().graph());
+    println!("subjects        : {}", s.nodes);
+    println!("membership edges: {}", s.edges);
+    println!("top-level groups: {}", s.roots);
+    println!("individuals     : {}", s.sinks);
+    println!("max nesting     : {}", s.depth);
+    println!("max group size  : {}", s.max_out_degree);
+    println!("max memberships : {}", s.max_in_degree);
+    println!("mean group size : {:.2}", s.mean_group_size);
+    println!("explicit labels : {}", model.eacm().len());
+    match model.default_strategy() {
+        Some(st) => println!("strategy        : {st}"),
+        None => println!("strategy        : (none configured)"),
+    }
+    Ok(())
+}
+
+/// `ucra sod` — check every declared separation-of-duty constraint.
+/// Returns `Ok(true)` when all constraints hold, `Ok(false)` when
+/// violations were printed.
+pub fn sod(model: &AccessModel, strategy: Strategy) -> Result<bool, String> {
+    if model.constraints().is_empty() {
+        println!("no constraints declared (add `mutex` lines to the model)");
+        return Ok(true);
+    }
+    let violations = model.check_constraints(strategy).map_err(|e| e.to_string())?;
+    if violations.is_empty() {
+        println!(
+            "OK: {} constraint(s) hold under {strategy}",
+            model.constraints().len()
+        );
+        return Ok(true);
+    }
+    println!("{} violation(s) under {strategy}:", violations.len());
+    for v in &violations {
+        let held: Vec<String> = v
+            .held
+            .iter()
+            .map(|(o, r)| format!("{o}/{r}"))
+            .collect();
+        println!(
+            "  [{}] {} holds {} (allowed: {})",
+            v.constraint,
+            v.subject,
+            held.join(", "),
+            v.at_most
+        );
+    }
+    Ok(false)
+}
+
+/// `ucra convert`.
+pub fn convert(input: &str, output: &str) -> Result<(), String> {
+    let model = crate::load_model(input)?;
+    let rendered = if output.ends_with(".json") {
+        model.to_json()
+    } else {
+        text::render(&model)
+    };
+    std::fs::write(output, rendered).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    println!("wrote {output}");
+    Ok(())
+}

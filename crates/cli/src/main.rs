@@ -1,0 +1,165 @@
+//! `ucra` — command-line front end for the unified conflict resolution
+//! algorithm.
+//!
+//! ```text
+//! ucra demo
+//! ucra check   <model> <subject> <object> <right> [strategy]
+//! ucra trace   <model> <subject> <object> <right> [strategy]
+//! ucra explain <model> <subject> <object> <right> [strategy]
+//! ucra matrix  <model> <object> <right> [strategy]
+//! ucra strategies <model> <subject> <object> <right>
+//! ucra compare <model> <object> <right> <from> <to>
+//! ucra summary <model>
+//! ucra sod     <model> [strategy]
+//! ucra dot     <model> <object> <right>
+//! ucra convert <in> <out>
+//! ```
+//!
+//! Models load from `.json` (serde) or any other extension as the
+//! line-oriented policy format of `ucra-store` (`member`, `grant`,
+//! `deny`, `strategy` directives). The strategy argument accepts the
+//! paper's mnemonics (`D+LMP-`, `GMP+`, `P-`, …) and falls back to the
+//! model's configured `strategy` directive.
+
+use std::process::ExitCode;
+use ucra_store::{text, AccessModel};
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ucra demo
+      walk through the paper's motivating example
+  ucra check  <model> <subject> <object> <right> [strategy]
+      print + or - for one triple
+  ucra trace  <model> <subject> <object> <right> [strategy]
+      print the Table-3 style trace (c1, c2, Auth, mode, line)
+  ucra matrix <model> <object> <right> [strategy]
+      print the effective authorization of every subject
+  ucra strategies <model> <subject> <object> <right>
+      print the decision under all 48 strategy instances
+  ucra explain <model> <subject> <object> <right> [strategy]
+      say which ancestors and which policy decided
+  ucra compare <model> <object> <right> <from> <to>
+      impact report: which subjects change when switching strategies
+  ucra summary <model>
+      hierarchy statistics (nodes, edges, depth, labels)
+  ucra sod <model> [strategy]
+      check the model's separation-of-duty constraints
+  ucra dot <model> <object> <right>
+      Graphviz DOT of the hierarchy with explicit signs
+  ucra convert <in> <out>
+      convert between .json and policy-text model formats";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter().map(String::as_str);
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
+    match it.next() {
+        Some("demo") => done(commands::demo()),
+        Some("check") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [s, o, r] = take3(rest)?;
+            let strategy = commands::pick_strategy(&model, rest.get(3).map(String::as_str))?;
+            done(commands::check(&model, s, o, r, strategy))
+        }
+        Some("trace") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [s, o, r] = take3(rest)?;
+            let strategy = commands::pick_strategy(&model, rest.get(3).map(String::as_str))?;
+            done(commands::trace(&model, s, o, r, strategy))
+        }
+        Some("matrix") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [o, r] = take2(rest)?;
+            let strategy = commands::pick_strategy(&model, rest.get(2).map(String::as_str))?;
+            done(commands::matrix(&model, o, r, strategy))
+        }
+        Some("strategies") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [s, o, r] = take3(rest)?;
+            done(commands::strategies(&model, s, o, r))
+        }
+        Some("explain") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [s, o, r] = take3(rest)?;
+            let strategy = commands::pick_strategy(&model, rest.get(3).map(String::as_str))?;
+            done(commands::explain(&model, s, o, r, strategy))
+        }
+        Some("compare") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            if rest.len() < 4 {
+                return Err("compare needs <object> <right> <from-strategy> <to-strategy>".into());
+            }
+            let from = rest[2].parse().map_err(|e: ucra_core::CoreError| e.to_string())?;
+            let to = rest[3].parse().map_err(|e: ucra_core::CoreError| e.to_string())?;
+            done(commands::compare(&model, &rest[0], &rest[1], from, to))
+        }
+        Some("dot") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let [o, r] = take2(rest)?;
+            done(commands::dot(&model, o, r))
+        }
+        Some("summary") => {
+            let (model, _) = load_model_and_rest(&args[1..])?;
+            done(commands::summary(&model))
+        }
+        Some("sod") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let strategy = commands::pick_strategy(&model, rest.first().map(String::as_str))?;
+            // Violations are a reported outcome, not a usage error: exit
+            // non-zero without the usage banner.
+            Ok(if commands::sod(&model, strategy)? {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        Some("convert") => {
+            let [input, output] = take2(&args[1..])?;
+            done(commands::convert(input, output))
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn load_model_and_rest(args: &[String]) -> Result<(AccessModel, &[String]), String> {
+    let path = args.first().ok_or("missing <model> path")?;
+    Ok((load_model(path)?, &args[1..]))
+}
+
+pub(crate) fn load_model(path: &str) -> Result<AccessModel, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".json") {
+        AccessModel::from_json(&content).map_err(|e| e.to_string())
+    } else {
+        text::parse(&content).map_err(|e| e.to_string())
+    }
+}
+
+fn take3(args: &[String]) -> Result<[&str; 3], String> {
+    if args.len() < 3 {
+        return Err(format!("expected 3 arguments, got {}", args.len()));
+    }
+    Ok([&args[0], &args[1], &args[2]])
+}
+
+fn take2(args: &[String]) -> Result<[&str; 2], String> {
+    if args.len() < 2 {
+        return Err(format!("expected 2 arguments, got {}", args.len()));
+    }
+    Ok([&args[0], &args[1]])
+}

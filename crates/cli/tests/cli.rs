@@ -1,0 +1,215 @@
+//! End-to-end tests of the `ucra` binary: every command exercised on a
+//! real model file, with exit codes and output asserted.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const POLICY: &str = "\
+member S1 S3
+member S2 S3
+member S2 User
+member S3 S5
+member S5 User
+member S6 S5
+member S6 User
+grant S2 obj read
+deny  S5 obj read
+strategy D-LP-
+";
+
+fn ucra(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ucra"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_policy(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ucra-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, POLICY).unwrap();
+    path
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn demo_runs_and_walks_the_motivating_example() {
+    let out = ucra(&["demo"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("D+LMP+"));
+}
+
+#[test]
+fn check_uses_model_strategy_and_override() {
+    let path = write_policy("check.policy");
+    let p = path.to_str().unwrap();
+    let out = ucra(&["check", p, "User", "obj", "read"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "-");
+    let out = ucra(&["check", p, "User", "obj", "read", "D+LMP+"]);
+    assert_eq!(stdout(&out).trim(), "+");
+}
+
+#[test]
+fn trace_prints_table3_columns() {
+    let path = write_policy("trace.policy");
+    let out = ucra(&["trace", path.to_str().unwrap(), "User", "obj", "read", "D-GMP-"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("c1=1"), "{text}");
+    assert!(text.contains("line=9"), "{text}");
+}
+
+#[test]
+fn matrix_lists_every_subject() {
+    let path = write_policy("matrix.policy");
+    let out = ucra(&["matrix", path.to_str().unwrap(), "obj", "read"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["S1", "S2", "S3", "S5", "S6", "User"] {
+        assert!(text.contains(name), "missing {name} in {text}");
+    }
+}
+
+#[test]
+fn strategies_prints_48_rows() {
+    let path = write_policy("strategies.policy");
+    let out = ucra(&["strategies", path.to_str().unwrap(), "User", "obj", "read"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 48);
+}
+
+#[test]
+fn explain_names_the_deciding_policy() {
+    let path = write_policy("explain.policy");
+    let out = ucra(&["explain", path.to_str().unwrap(), "User", "obj", "read", "D+LMP+"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Majority"), "{text}");
+    assert!(text.contains("S5"), "{text}");
+}
+
+#[test]
+fn compare_reports_strategy_impact() {
+    let path = write_policy("compare.policy");
+    let out = ucra(&[
+        "compare",
+        path.to_str().unwrap(),
+        "obj",
+        "read",
+        "D-LP-",
+        "D+LP+",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("changes"), "{text}");
+    assert!(text.contains("- -> +") || text.contains("+ -> -"), "{text}");
+}
+
+#[test]
+fn summary_reports_statistics() {
+    let path = write_policy("summary.policy");
+    let out = ucra(&["summary", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("subjects        : 6"), "{text}");
+    assert!(text.contains("explicit labels : 2"), "{text}");
+    assert!(text.contains("strategy        : D-LP-"), "{text}");
+}
+
+#[test]
+fn dot_emits_graphviz_with_signs() {
+    let path = write_policy("dot.policy");
+    let out = ucra(&["dot", path.to_str().unwrap(), "obj", "read"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("S2 [+]"), "{text}");
+    assert!(text.contains("S5 [-]"), "{text}");
+}
+
+#[test]
+fn convert_round_trips_json() {
+    let path = write_policy("convert.policy");
+    let dir = path.parent().unwrap();
+    let json = dir.join("model.json");
+    let back = dir.join("back.policy");
+    assert!(ucra(&["convert", path.to_str().unwrap(), json.to_str().unwrap()])
+        .status
+        .success());
+    assert!(ucra(&["convert", json.to_str().unwrap(), back.to_str().unwrap()])
+        .status
+        .success());
+    let out = ucra(&["check", back.to_str().unwrap(), "User", "obj", "read"]);
+    assert_eq!(stdout(&out).trim(), "-");
+}
+
+#[test]
+fn sod_passes_and_fails_by_strategy() {
+    let dir = std::env::temp_dir().join("ucra-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sod.policy");
+    std::fs::write(
+        &path,
+        "member clerks alice\nmember approvers alice\n\
+         grant clerks pay issue\ngrant approvers pay approve\n\
+         mutex pay-sod 1 pay/issue pay/approve\nstrategy LP-\n",
+    )
+    .unwrap();
+    // Under LP- alice holds both: violation, non-zero exit, no usage spam.
+    let out = ucra(&["sod", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("alice"), "{text}");
+    assert!(!stderr(&out).contains("usage:"), "{}", stderr(&out));
+    // Under D-LP- the other group's negative default ties each grant at
+    // distance 1 and P- denies: alice holds neither privilege — clean.
+    let out = ucra(&["sod", path.to_str().unwrap(), "D-LP-"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("OK"), "{}", stdout(&out));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = ucra(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn missing_strategy_is_a_clear_error() {
+    let dir = std::env::temp_dir().join("ucra-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("nostrat.policy");
+    std::fs::write(&path, "member g u\ngrant g o r\n").unwrap();
+    let out = ucra(&["check", path.to_str().unwrap(), "u", "o", "r"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no strategy"), "{}", stderr(&out));
+}
+
+#[test]
+fn unreadable_model_is_a_clear_error() {
+    let out = ucra(&["check", "/nonexistent/x.policy", "a", "b", "c"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_strategy_argument_is_rejected() {
+    let path = write_policy("badstrat.policy");
+    let out = ucra(&["check", path.to_str().unwrap(), "User", "obj", "read", "XYZ"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("mnemonic"), "{}", stderr(&out));
+}

@@ -1,0 +1,368 @@
+//! The `Dominance()` baseline algorithm (Chinaei & Zhang, reference \[2\] of the paper).
+//!
+//! `Dominance()` evaluates a *single* strategy instance — D⁻LP⁻ ("weak and
+//! strong authorizations": default negative, most-specific-takes-
+//! precedence, negative preference) — as fast as possible, against which
+//! the paper's Fig. 7(a) measures the flexibility overhead of the unified
+//! `Resolve()` (reported as ≈27 % on the Livelink workload).
+//!
+//! The algorithm walks the ancestor hierarchy **upward from the queried
+//! subject in level order** (shortest-distance strata). Within the first
+//! stratum that contains any authorization it can return `-` the moment a
+//! negative is seen — the behaviour the paper describes as "occasionally
+//! very fast due to visiting an early negative authorization" and the
+//! reason its run time depends on the *placement* of negative
+//! authorizations while `Resolve()`'s does not. Unlabeled **roots** count
+//! as negative (the D⁻ default); if the walk exhausts all ancestors
+//! without meeting any authorization the answer is the preference, `-`.
+//!
+//! Equivalence with `Resolve(D-LP-)` is asserted by unit tests here and
+//! by cross-engine property tests at the workspace level.
+
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+
+/// Statistics from one `Dominance()` run, used by the benchmark harness
+/// to relate cost to negative-authorization placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DominanceStats {
+    /// Ancestors visited before the answer was known.
+    pub visited: usize,
+    /// Whether the early negative exit fired.
+    pub early_exit: bool,
+}
+
+/// Runs `Dominance()` for ⟨`subject`, `object`, `right`⟩: the effective
+/// authorization under the fixed strategy D⁻LP⁻.
+///
+/// ```
+/// use ucra_core::{dominance, Resolver, Sign};
+///
+/// let ex = ucra_core::motivating::motivating_example();
+/// let sign = dominance(&ex.hierarchy, &ex.eacm, ex.user, ex.obj, ex.read).unwrap();
+/// assert_eq!(sign, Sign::Neg); // S5's denial is most specific
+/// // Always identical to the unified algorithm under D-LP-:
+/// let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+/// assert_eq!(
+///     sign,
+///     resolver.resolve(ex.user, ex.obj, ex.read, "D-LP-".parse().unwrap()).unwrap()
+/// );
+/// ```
+pub fn dominance(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> Result<Sign, CoreError> {
+    Ok(dominance_with_stats(hierarchy, eacm, subject, object, right)?.0)
+}
+
+/// [`dominance`] with visit statistics.
+pub fn dominance_with_stats(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> Result<(Sign, DominanceStats), CoreError> {
+    if !hierarchy.contains(subject) {
+        return Err(CoreError::UnknownSubject(subject));
+    }
+    let dag = hierarchy.graph();
+    let mut stats = DominanceStats::default();
+
+    // Level-order BFS upward: `current` is the stratum at distance k.
+    let mut seen = vec![false; dag.node_count()];
+    seen[subject.index()] = true;
+    let mut current = vec![subject];
+    while !current.is_empty() {
+        let mut level_has_positive = false;
+        let mut next = Vec::new();
+        for &v in &current {
+            stats.visited += 1;
+            // A node "speaks" if it has an explicit label, or is an
+            // unlabeled root (which carries the D⁻ default).
+            let spoken = match eacm.label(v, object, right) {
+                Some(sign) => Some(sign),
+                None if dag.in_degree(v) == 0 => Some(Sign::Neg),
+                None => None,
+            };
+            match spoken {
+                Some(Sign::Neg) => {
+                    // Most specific stratum reached and a negative is in
+                    // it: with P⁻ nothing can override it. Early exit.
+                    stats.early_exit = true;
+                    return Ok((Sign::Neg, stats));
+                }
+                Some(Sign::Pos) => level_has_positive = true,
+                None => {}
+            }
+            for &p in dag.parents(v) {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    next.push(p);
+                }
+            }
+        }
+        if level_has_positive {
+            // The nearest stratum with any authorization contained only
+            // positives (every negative would have exited above).
+            return Ok((Sign::Pos, stats));
+        }
+        current = next;
+    }
+    // No authorization anywhere (cannot happen when roots default to
+    // negative — every ancestor chain ends at a root — but kept for
+    // robustness): closed-world preference.
+    Ok((Sign::Neg, stats))
+}
+
+/// A **same-substrate** variant of `Dominance()`: the exact propagation
+/// machinery of Function `Propagate()` (ancestor sub-graph extraction,
+/// per-path record pushing, defaults on unlabeled roots), but specialised
+/// to D⁻LP⁻ with its legal early exits — it stops at the first round in
+/// which any record reaches the queried subject (the minimum-distance
+/// stratum is then complete, and under `min()` deeper strata are
+/// irrelevant), and within that round it returns `-` on the first
+/// negative or default record seen.
+///
+/// This is the fair flexibility-overhead comparison of the paper's
+/// Fig. 7(a): both contestants pay the same per-record propagation costs,
+/// and the specialised one wins exactly by the work its fixed strategy
+/// lets it skip. [`dominance`] above is the graph-native version a
+/// production Rust system would actually ship; EXPERIMENTS.md reports
+/// both.
+pub fn dominance_specialized(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> Result<Sign, CoreError> {
+    use crate::mode::Mode;
+    let sub = hierarchy.ancestor_subgraph(subject)?;
+    let dag = &sub.dag;
+
+    // Distance-0 records: explicit labels and root defaults — identical
+    // to Propagate() lines 3–5.
+    let mut frontier: Vec<(ucra_graph::NodeId, Mode)> = Vec::new();
+    let mut sink_modes: Vec<Mode> = Vec::new();
+    for v in dag.nodes() {
+        let mode = match eacm.label(sub.original_id(v), object, right) {
+            Some(sign) => Some(Mode::from(sign)),
+            None if dag.is_root(v) => Some(Mode::Default),
+            None => None,
+        };
+        if let Some(mode) = mode {
+            if v == sub.sink {
+                sink_modes.push(mode);
+            } else {
+                frontier.push((v, mode));
+            }
+        }
+    }
+
+    loop {
+        // The minimum-distance stratum is complete: decide. Under D⁻LP⁻ a
+        // default is negative, so any non-positive record decides `-`.
+        if !sink_modes.is_empty() {
+            let negative = sink_modes.iter().any(|m| *m != Mode::Pos);
+            return Ok(if negative { Sign::Neg } else { Sign::Pos });
+        }
+        if frontier.is_empty() {
+            // No authorization anywhere: closed-world preference.
+            return Ok(Sign::Neg);
+        }
+        // One propagation round — the same record-per-path pushing as the
+        // unified engine.
+        let mut next = Vec::new();
+        for (v, mode) in frontier {
+            for &child in dag.children(v) {
+                if child == sub.sink {
+                    if mode != Mode::Pos {
+                        // Early exit mid-round on a negative arrival.
+                        return Ok(Sign::Neg);
+                    }
+                    sink_modes.push(mode);
+                } else {
+                    next.push((child, mode));
+                }
+            }
+        }
+        frontier = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::Resolver;
+    use crate::strategy::Strategy;
+
+    fn fig3() -> (SubjectDag, Eacm, SubjectId, ObjectId, RightId) {
+        let mut h = SubjectDag::new();
+        let s1 = h.add_subject();
+        let s2 = h.add_subject();
+        let s3 = h.add_subject();
+        let s5 = h.add_subject();
+        let s6 = h.add_subject();
+        let user = h.add_subject();
+        h.add_membership(s1, s3).unwrap();
+        h.add_membership(s2, s3).unwrap();
+        h.add_membership(s2, user).unwrap();
+        h.add_membership(s3, s5).unwrap();
+        h.add_membership(s5, user).unwrap();
+        h.add_membership(s6, s5).unwrap();
+        h.add_membership(s6, user).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(s2, o, r).unwrap();
+        eacm.deny(s5, o, r).unwrap();
+        (h, eacm, user, o, r)
+    }
+
+    #[test]
+    fn motivating_example_is_denied_with_early_exit() {
+        let (h, eacm, user, o, r) = fig3();
+        let (sign, stats) = dominance_with_stats(&h, &eacm, user, o, r).unwrap();
+        assert_eq!(sign, Sign::Neg);
+        assert!(stats.early_exit, "S5's negative at distance 1 exits early");
+        assert!(stats.visited <= 4);
+    }
+
+    #[test]
+    fn agrees_with_resolve_d_neg_l_p_neg() {
+        let (h, eacm, _, o, r) = fig3();
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        let resolver = Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            assert_eq!(
+                dominance(&h, &eacm, s, o, r).unwrap(),
+                resolver.resolve(s, o, r, strategy).unwrap(),
+                "disagreement on subject {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_positive_wins_over_farther_negative() {
+        // grandparent(-) → parent(+) → leaf: most specific is +.
+        let mut h = SubjectDag::new();
+        let gp = h.add_subject();
+        let p = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(gp, p).unwrap();
+        h.add_membership(p, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.deny(gp, o, r).unwrap();
+        eacm.grant(p, o, r).unwrap();
+        assert_eq!(dominance(&h, &eacm, leaf, o, r).unwrap(), Sign::Pos);
+    }
+
+    #[test]
+    fn tie_at_same_distance_is_negative() {
+        // Two parents at distance 1, one +, one -.
+        let mut h = SubjectDag::new();
+        let a = h.add_subject();
+        let b = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(a, leaf).unwrap();
+        h.add_membership(b, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(a, o, r).unwrap();
+        eacm.deny(b, o, r).unwrap();
+        assert_eq!(dominance(&h, &eacm, leaf, o, r).unwrap(), Sign::Neg);
+    }
+
+    #[test]
+    fn unlabeled_nearby_root_defaults_negative_and_shadows_farther_grant() {
+        // leaf's parent is an unlabeled root (default -, distance 1); a
+        // + exists at distance 2 via another chain. D⁻LP⁻ answers -.
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let gp = h.add_subject();
+        let mid = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(root, leaf).unwrap();
+        h.add_membership(gp, mid).unwrap();
+        h.add_membership(mid, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(gp, o, r).unwrap();
+        assert_eq!(dominance(&h, &eacm, leaf, o, r).unwrap(), Sign::Neg);
+        // Cross-check against Resolve(D-LP-).
+        let resolver = Resolver::new(&h, &eacm);
+        assert_eq!(
+            resolver.resolve(leaf, o, r, "D-LP-".parse().unwrap()).unwrap(),
+            Sign::Neg
+        );
+    }
+
+    #[test]
+    fn labeled_sink_answers_at_distance_zero() {
+        let mut h = SubjectDag::new();
+        let g = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(g, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(leaf, o, r).unwrap();
+        eacm.deny(g, o, r).unwrap();
+        let (sign, stats) = dominance_with_stats(&h, &eacm, leaf, o, r).unwrap();
+        assert_eq!(sign, Sign::Pos);
+        assert_eq!(stats.visited, 1);
+    }
+
+    #[test]
+    fn specialized_variant_agrees_with_resolve_and_bfs() {
+        let (h, eacm, _, o, r) = fig3();
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        let resolver = Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            let expected = resolver.resolve(s, o, r, strategy).unwrap();
+            assert_eq!(
+                dominance_specialized(&h, &eacm, s, o, r).unwrap(),
+                expected,
+                "specialized disagrees on {s}"
+            );
+            assert_eq!(
+                dominance(&h, &eacm, s, o, r).unwrap(),
+                expected,
+                "bfs disagrees on {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_variant_on_diamond_multiplicities() {
+        // root(+), sibling deny at equal shortest distance: stratum 1 has
+        // both signs → negative under P-.
+        let mut h = SubjectDag::new();
+        let a = h.add_subject();
+        let b = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(a, leaf).unwrap();
+        h.add_membership(b, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(a, o, r).unwrap();
+        eacm.deny(b, o, r).unwrap();
+        assert_eq!(dominance_specialized(&h, &eacm, leaf, o, r).unwrap(), Sign::Neg);
+    }
+
+    #[test]
+    fn unknown_subject_errors() {
+        let h = SubjectDag::new();
+        let ghost = SubjectId::from_index(3);
+        assert_eq!(
+            dominance(&h, &Eacm::new(), ghost, ObjectId(0), RightId(0)).unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+    }
+}

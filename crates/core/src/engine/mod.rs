@@ -1,0 +1,274 @@
+//! Propagation engines.
+//!
+//! Three interchangeable implementations of Step 3 of the paper (collect
+//! `allRights`, the bag of per-path authorization records, for a query):
+//!
+//! * [`path_enum`] — the paper-faithful Function `Propagate()` (Fig. 5):
+//!   literally pushes every record down every path, `O(n + d)` where `d`
+//!   is the total length of all paths (worst case exponential, §3.3).
+//! * [`counting`] — our optimisation: a dynamic program over the ancestor
+//!   sub-graph that represents the bag as per-`(distance, mode)` **path
+//!   counts**, polynomial even when the number of paths is exponential.
+//! * the relational spec in `ucra-relational` (used as a test oracle).
+//!
+//! All three produce bag-equivalent results; the equivalence is asserted
+//! by unit and property tests. The common summary type both in-crate
+//! engines reduce to is [`DistanceHistogram`], which is exactly the
+//! information Algorithm `Resolve()` consumes: how many records of each
+//! mode exist at each distance.
+
+pub mod counting;
+pub mod path_enum;
+
+use crate::error::CoreError;
+use crate::ids::SubjectId;
+use crate::mode::Mode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of the paper's `allRights` relation: an authorization record
+/// propagated along one path.
+///
+/// The paper's relation has columns ⟨subject, object, right, dis, mode⟩;
+/// subject/object/right are fixed per query, and we additionally remember
+/// the record's *source* (the labeled ancestor or defaulted root it came
+/// from) for explanations — `Resolve()` itself never reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AuthRecord {
+    /// Length of the path this record travelled (the `dis` column).
+    pub dis: u32,
+    /// The propagated mode (`+`, `-`, or pending default `d`).
+    pub mode: Mode,
+    /// The ancestor the record originated from.
+    pub source: SubjectId,
+}
+
+/// Per-mode record counts at one distance.
+///
+/// Counts are `u128` because each record corresponds to one propagation
+/// path and path counts are exponential in the worst case; all arithmetic
+/// is checked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCounts {
+    /// Number of `+` records.
+    pub pos: u128,
+    /// Number of `-` records.
+    pub neg: u128,
+    /// Number of pending-default (`d`) records.
+    pub def: u128,
+}
+
+impl ModeCounts {
+    /// Count for one mode.
+    pub fn get(&self, mode: Mode) -> u128 {
+        match mode {
+            Mode::Pos => self.pos,
+            Mode::Neg => self.neg,
+            Mode::Default => self.def,
+        }
+    }
+
+    fn add(&mut self, mode: Mode, n: u128) -> Result<(), CoreError> {
+        let slot = match mode {
+            Mode::Pos => &mut self.pos,
+            Mode::Neg => &mut self.neg,
+            Mode::Default => &mut self.def,
+        };
+        *slot = slot.checked_add(n).ok_or(CoreError::PathCountOverflow)?;
+        Ok(())
+    }
+
+    /// `true` when all three counts are zero.
+    pub fn is_zero(&self) -> bool {
+        self.pos == 0 && self.neg == 0 && self.def == 0
+    }
+}
+
+/// The bag `allRights` collapsed to per-`(distance, mode)` path counts —
+/// a lossless summary for `Resolve()`, which only ever counts records and
+/// filters them by distance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistanceHistogram {
+    strata: BTreeMap<u32, ModeCounts>,
+}
+
+impl DistanceHistogram {
+    /// An empty histogram (no records at all).
+    pub fn new() -> Self {
+        DistanceHistogram::default()
+    }
+
+    /// Adds `n` records of `mode` at distance `dis` (checked).
+    pub fn add(&mut self, dis: u32, mode: Mode, n: u128) -> Result<(), CoreError> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.strata.entry(dis).or_default().add(mode, n)
+    }
+
+    /// Builds a histogram from explicit records (e.g. the output of the
+    /// path-enumeration engine).
+    pub fn from_records(records: &[AuthRecord]) -> Result<Self, CoreError> {
+        let mut h = DistanceHistogram::new();
+        for r in records {
+            h.add(r.dis, r.mode, 1)?;
+        }
+        Ok(h)
+    }
+
+    /// Merges `other` into `self` with every distance shifted by `shift`
+    /// (one DAG edge = distance +1). Used by the counting engine's
+    /// parent-to-child transfer.
+    pub fn merge_shifted(&mut self, other: &DistanceHistogram, shift: u32) -> Result<(), CoreError> {
+        for (&dis, counts) in &other.strata {
+            let entry = self.strata.entry(dis + shift).or_default();
+            entry.add(Mode::Pos, counts.pos)?;
+            entry.add(Mode::Neg, counts.neg)?;
+            entry.add(Mode::Default, counts.def)?;
+        }
+        Ok(())
+    }
+
+    /// `true` when the histogram holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.strata.values().all(ModeCounts::is_zero)
+    }
+
+    /// Total records of each mode across all distances (checked).
+    pub fn totals(&self) -> Result<ModeCounts, CoreError> {
+        let mut t = ModeCounts::default();
+        for counts in self.strata.values() {
+            t.add(Mode::Pos, counts.pos)?;
+            t.add(Mode::Neg, counts.neg)?;
+            t.add(Mode::Default, counts.def)?;
+        }
+        Ok(t)
+    }
+
+    /// The smallest distance with at least one record.
+    pub fn min_dis(&self) -> Option<u32> {
+        self.strata
+            .iter()
+            .find(|(_, c)| !c.is_zero())
+            .map(|(&d, _)| d)
+    }
+
+    /// The largest distance with at least one record.
+    pub fn max_dis(&self) -> Option<u32> {
+        self.strata
+            .iter()
+            .rev()
+            .find(|(_, c)| !c.is_zero())
+            .map(|(&d, _)| d)
+    }
+
+    /// The counts at one distance (zeroes when absent).
+    pub fn at(&self, dis: u32) -> ModeCounts {
+        self.strata.get(&dis).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(distance, counts)` strata in distance order,
+    /// skipping all-zero strata.
+    pub fn strata(&self) -> impl Iterator<Item = (u32, ModeCounts)> + '_ {
+        self.strata
+            .iter()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(&d, &c)| (d, c))
+    }
+}
+
+impl fmt::Display for DistanceHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dis | +    | -    | d")?;
+        for (d, c) in self.strata() {
+            writeln!(f, "{d:3} | {:4} | {:4} | {:4}", c.pos, c.neg, c.def)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut h = DistanceHistogram::new();
+        h.add(1, Mode::Pos, 2).unwrap();
+        h.add(1, Mode::Neg, 1).unwrap();
+        h.add(3, Mode::Default, 5).unwrap();
+        assert_eq!(h.at(1), ModeCounts { pos: 2, neg: 1, def: 0 });
+        assert_eq!(h.at(3).def, 5);
+        assert_eq!(h.at(2), ModeCounts::default());
+        assert_eq!(h.min_dis(), Some(1));
+        assert_eq!(h.max_dis(), Some(3));
+        assert!(!h.is_empty());
+        let t = h.totals().unwrap();
+        assert_eq!((t.pos, t.neg, t.def), (2, 1, 5));
+    }
+
+    #[test]
+    fn zero_add_is_noop_and_empty_checks() {
+        let mut h = DistanceHistogram::new();
+        h.add(4, Mode::Pos, 0).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.min_dis(), None);
+        assert_eq!(h.max_dis(), None);
+        assert_eq!(h.strata().count(), 0);
+    }
+
+    #[test]
+    fn from_records_counts_duplicates() {
+        let s = SubjectId::from_index(0);
+        let records = vec![
+            AuthRecord { dis: 1, mode: Mode::Pos, source: s },
+            AuthRecord { dis: 1, mode: Mode::Pos, source: s },
+            AuthRecord { dis: 2, mode: Mode::Neg, source: s },
+        ];
+        let h = DistanceHistogram::from_records(&records).unwrap();
+        assert_eq!(h.at(1).pos, 2);
+        assert_eq!(h.at(2).neg, 1);
+    }
+
+    #[test]
+    fn merge_shifted_moves_distances() {
+        let mut a = DistanceHistogram::new();
+        a.add(0, Mode::Pos, 1).unwrap();
+        a.add(2, Mode::Default, 3).unwrap();
+        let mut b = DistanceHistogram::new();
+        b.add(1, Mode::Pos, 1).unwrap();
+        b.merge_shifted(&a, 1).unwrap();
+        assert_eq!(b.at(1).pos, 2);
+        assert_eq!(b.at(3).def, 3);
+    }
+
+    #[test]
+    fn overflow_is_checked() {
+        let mut h = DistanceHistogram::new();
+        h.add(0, Mode::Pos, u128::MAX).unwrap();
+        assert_eq!(h.add(0, Mode::Pos, 1), Err(CoreError::PathCountOverflow));
+        let mut other = DistanceHistogram::new();
+        other.add(0, Mode::Pos, 1).unwrap();
+        assert_eq!(
+            h.merge_shifted(&other, 0),
+            Err(CoreError::PathCountOverflow)
+        );
+    }
+
+    #[test]
+    fn totals_overflow_is_checked() {
+        let mut h = DistanceHistogram::new();
+        h.add(0, Mode::Pos, u128::MAX).unwrap();
+        h.add(1, Mode::Pos, 1).unwrap();
+        assert_eq!(h.totals(), Err(CoreError::PathCountOverflow));
+    }
+
+    #[test]
+    fn display_renders_strata() {
+        let mut h = DistanceHistogram::new();
+        h.add(1, Mode::Pos, 2).unwrap();
+        let text = h.to_string();
+        assert!(text.starts_with("dis |"));
+        assert!(text.contains("  1 |    2 |    0 |    0"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the core algorithms.
+
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::mode::Sign;
+use std::fmt;
+use ucra_graph::GraphError;
+
+/// Errors raised by hierarchy construction, matrix maintenance, and the
+/// resolution engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying graph operation failed (cycle, unknown node, …).
+    Graph(GraphError),
+    /// A subject id does not exist in the hierarchy.
+    UnknownSubject(SubjectId),
+    /// An explicit authorization for this triple already exists with the
+    /// opposite sign. Per §3.3, "contradicting authorizations can be
+    /// assumed to be disallowed".
+    ContradictoryAuthorization {
+        /// The triple's subject.
+        subject: SubjectId,
+        /// The triple's object.
+        object: ObjectId,
+        /// The triple's right.
+        right: RightId,
+        /// The sign already recorded.
+        existing: Sign,
+        /// The sign that was rejected.
+        attempted: Sign,
+    },
+    /// The path-enumeration engine exceeded its record budget. The number
+    /// of propagation paths can grow as `O(2ⁿ)` (paper §3.3); the budget
+    /// turns a memory blow-up into an error. Use the counting engine for
+    /// path-heavy hierarchies.
+    PathBudgetExceeded {
+        /// The configured budget that was hit.
+        budget: usize,
+    },
+    /// A path count exceeded `u128` in the counting engine.
+    PathCountOverflow,
+    /// A strategy mnemonic could not be parsed.
+    BadMnemonic {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::UnknownSubject(s) => write!(f, "unknown subject {s}"),
+            CoreError::ContradictoryAuthorization {
+                subject,
+                object,
+                right,
+                existing,
+                attempted,
+            } => write!(
+                f,
+                "contradictory explicit authorization on ({subject}, {object}, {right}): \
+                 {existing:?} already recorded, {attempted:?} rejected"
+            ),
+            CoreError::PathBudgetExceeded { budget } => {
+                write!(f, "path-enumeration budget of {budget} records exceeded")
+            }
+            CoreError::PathCountOverflow => write!(f, "path count overflowed u128"),
+            CoreError::BadMnemonic { input, reason } => {
+                write!(f, "bad strategy mnemonic `{input}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::PathCountOverflow => CoreError::PathCountOverflow,
+            other => CoreError::Graph(other),
+        }
+    }
+}

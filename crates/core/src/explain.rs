@@ -1,0 +1,351 @@
+//! Decision explanations: *why* did `Resolve()` answer `+` or `-`?
+//!
+//! Access-control denials get appealed; production systems need to say
+//! which group's authorization decided and through which policy. This
+//! module re-runs a query with the per-path engine (which keeps record
+//! *sources*) and attributes the decision to the ancestors whose records
+//! participated in the deciding step of Fig. 4.
+
+use crate::engine::path_enum::{self, PropagateOptions};
+use crate::engine::{AuthRecord, DistanceHistogram};
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Mode;
+use crate::resolve::{resolve_histogram, DecisionLine, Resolution};
+use crate::strategy::{DefaultRule, LocalityRule, MajorityRule, Strategy};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One ancestor's contribution to a decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contribution {
+    /// The ancestor the records came from.
+    pub source: SubjectId,
+    /// What it contributed (explicit sign, or a pending default).
+    pub mode: Mode,
+    /// How many paths carried it (= its vote weight under Majority).
+    pub paths: u64,
+    /// Shortest path distance to the queried subject.
+    pub min_dis: u32,
+    /// Longest path distance.
+    pub max_dis: u32,
+    /// Whether records from this source were examined by the step that
+    /// produced the decision.
+    pub decisive: bool,
+}
+
+/// A full explanation of one resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The query's subject.
+    pub subject: SubjectId,
+    /// The query's object.
+    pub object: ObjectId,
+    /// The query's right.
+    pub right: RightId,
+    /// The strategy that was applied.
+    pub strategy: Strategy,
+    /// The decision and its Table-3 trace.
+    pub resolution: Resolution,
+    /// Per-ancestor contributions, nearest first.
+    pub contributions: Vec<Contribution>,
+}
+
+impl Explanation {
+    /// The contributions whose records the deciding step examined.
+    pub fn decisive_contributions(&self) -> impl Iterator<Item = &Contribution> {
+        self.contributions.iter().filter(|c| c.decisive)
+    }
+
+    /// Renders a short human-readable account, with `name` supplying
+    /// display names for subjects.
+    pub fn narrative(&self, mut name: impl FnMut(SubjectId) -> String) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} on {} for {}: {} under {}",
+            name(self.subject),
+            self.object,
+            self.right,
+            self.resolution.sign,
+            self.strategy
+        );
+        let policy = match self.resolution.line {
+            DecisionLine::Majority => format!(
+                "decided by the Majority policy ({} positive vs {} negative votes)",
+                self.resolution.c1.unwrap_or(0),
+                self.resolution.c2.unwrap_or(0)
+            ),
+            DecisionLine::Locality => match self.strategy.locality_rule() {
+                LocalityRule::MostSpecific => {
+                    "decided by the Locality policy (most specific authorization)".to_string()
+                }
+                LocalityRule::MostGeneral => {
+                    "decided by the Globality policy (most general authorization)".to_string()
+                }
+                LocalityRule::Identity => {
+                    "decided by the single surviving authorization mode".to_string()
+                }
+            },
+            DecisionLine::Preference => format!(
+                "decided by the Preference rule (P{})",
+                self.strategy.preference_rule()
+            ),
+        };
+        let _ = writeln!(out, "  {policy}");
+        for c in &self.contributions {
+            let marker = if c.decisive { "*" } else { " " };
+            let dist = if c.min_dis == c.max_dis {
+                format!("distance {}", c.min_dis)
+            } else {
+                format!("distances {}..{}", c.min_dis, c.max_dis)
+            };
+            let _ = writeln!(
+                out,
+                "  {marker} {} contributed `{}` along {} path(s), {}",
+                name(c.source),
+                c.mode,
+                c.paths,
+                dist
+            );
+        }
+        out.push_str("  (* = examined by the deciding step)\n");
+        out
+    }
+}
+
+/// Explains the resolution of ⟨`subject`, `object`, `right`⟩ under
+/// `strategy`.
+///
+/// ```
+/// use ucra_core::explain;
+///
+/// let ex = ucra_core::motivating::motivating_example();
+/// let e = explain(
+///     &ex.hierarchy, &ex.eacm, ex.user, ex.obj, ex.read,
+///     "D+LMP+".parse().unwrap(),
+/// ).unwrap();
+/// let text = e.narrative(|s| ex.name(s));
+/// assert!(text.contains("Majority"));
+/// assert!(text.contains("S2")); // the granting group is named
+/// ```
+pub fn explain(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+    strategy: Strategy,
+) -> Result<Explanation, CoreError> {
+    let records = path_enum::propagate(
+        hierarchy,
+        eacm,
+        subject,
+        object,
+        right,
+        PropagateOptions::default(),
+    )?;
+    let hist = DistanceHistogram::from_records(&records)?;
+    let resolution = resolve_histogram(&hist, strategy)?;
+
+    // The distance stratum the deciding step looked at, if it filtered.
+    let decisive_stratum = deciding_stratum(&hist, strategy, &resolution);
+
+    let mut per_source: BTreeMap<(SubjectId, Mode), Vec<&AuthRecord>> = BTreeMap::new();
+    for r in &records {
+        per_source.entry((r.source, r.mode)).or_default().push(r);
+    }
+    let mut contributions: Vec<Contribution> = per_source
+        .into_iter()
+        .map(|((source, mode), recs)| {
+            let distances: std::collections::BTreeSet<u32> =
+                recs.iter().map(|r| r.dis).collect();
+            let min_dis = *distances.first().expect("non-empty");
+            let max_dis = *distances.last().expect("non-empty");
+            let decisive = is_decisive(mode, &distances, strategy, decisive_stratum);
+            Contribution {
+                source,
+                mode,
+                paths: recs.len() as u64,
+                min_dis,
+                max_dis,
+                decisive,
+            }
+        })
+        .collect();
+    contributions.sort_by_key(|c| (c.min_dis, c.source));
+
+    Ok(Explanation {
+        subject,
+        object,
+        right,
+        strategy,
+        resolution,
+        contributions,
+    })
+}
+
+/// Which distance stratum the deciding step filtered on (`None` = it
+/// looked at all distances).
+fn deciding_stratum(
+    hist: &DistanceHistogram,
+    strategy: Strategy,
+    resolution: &Resolution,
+) -> Option<u32> {
+    let filtered = match (resolution.line, strategy.majority_rule()) {
+        // Majority-before counts everything.
+        (DecisionLine::Majority, MajorityRule::Before) => false,
+        // Majority-after counts the locality stratum.
+        (DecisionLine::Majority, MajorityRule::After) => true,
+        (DecisionLine::Majority, MajorityRule::Skip) => unreachable!("skip cannot decide at 6"),
+        // Lines 7–9 always go through the locality filter.
+        (DecisionLine::Locality | DecisionLine::Preference, _) => true,
+    };
+    if !filtered {
+        return None;
+    }
+    // Recompute min/max over the post-default histogram, mirroring
+    // SignHistogram::locality_counts.
+    let survives = |c: crate::engine::ModeCounts| match strategy.default_rule() {
+        DefaultRule::NoDefault => c.pos > 0 || c.neg > 0,
+        _ => c.pos > 0 || c.neg > 0 || c.def > 0,
+    };
+    let strata: Vec<u32> = hist
+        .strata()
+        .filter(|&(_, c)| survives(c))
+        .map(|(d, _)| d)
+        .collect();
+    match strategy.locality_rule() {
+        LocalityRule::Identity => None,
+        LocalityRule::MostSpecific => strata.first().copied(),
+        LocalityRule::MostGeneral => strata.last().copied(),
+    }
+}
+
+fn is_decisive(
+    mode: Mode,
+    distances: &std::collections::BTreeSet<u32>,
+    strategy: Strategy,
+    stratum: Option<u32>,
+) -> bool {
+    // Discarded defaults never participate.
+    if mode == Mode::Default && strategy.default_rule() == DefaultRule::NoDefault {
+        return false;
+    }
+    match stratum {
+        None => true,
+        Some(d) => distances.contains(&d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating::motivating_example;
+
+    fn explain_user(mnemonic: &str) -> (Explanation, crate::motivating::MotivatingExample) {
+        let ex = motivating_example();
+        let e = explain(
+            &ex.hierarchy,
+            &ex.eacm,
+            ex.user,
+            ex.obj,
+            ex.read,
+            mnemonic.parse().unwrap(),
+        )
+        .unwrap();
+        (e, ex)
+    }
+
+    #[test]
+    fn contributions_cover_all_sources_with_path_counts() {
+        let (e, ex) = explain_user("D+LMP+");
+        // Sources: S1 (d), S2 (+ twice), S5 (-), S6 (d twice).
+        assert_eq!(e.contributions.len(), 4);
+        let by_source: BTreeMap<SubjectId, &Contribution> =
+            e.contributions.iter().map(|c| (c.source, c)).collect();
+        assert_eq!(by_source[&ex.s[1]].paths, 2);
+        assert_eq!(by_source[&ex.s[1]].mode, Mode::Pos);
+        assert_eq!((by_source[&ex.s[1]].min_dis, by_source[&ex.s[1]].max_dis), (1, 3));
+        assert_eq!(by_source[&ex.s[4]].paths, 1);
+        assert_eq!(by_source[&ex.s[5]].paths, 2);
+        assert_eq!(by_source[&ex.s[0]].paths, 1);
+    }
+
+    #[test]
+    fn majority_after_marks_min_stratum_sources() {
+        // D+LMP+: majority counted at distance 1 — S2, S5, S6 decisive;
+        // S1 (distance 3 only) not.
+        let (e, ex) = explain_user("D+LMP+");
+        let decisive: Vec<SubjectId> =
+            e.decisive_contributions().map(|c| c.source).collect();
+        assert!(decisive.contains(&ex.s[1]));
+        assert!(decisive.contains(&ex.s[4]));
+        assert!(decisive.contains(&ex.s[5]));
+        assert!(!decisive.contains(&ex.s[0]));
+    }
+
+    #[test]
+    fn majority_before_marks_everything() {
+        let (e, _) = explain_user("D-MP-");
+        assert!(e.contributions.iter().all(|c| c.decisive));
+    }
+
+    #[test]
+    fn no_default_discards_default_contributions() {
+        let (e, ex) = explain_user("MP-");
+        let by_source: BTreeMap<SubjectId, &Contribution> =
+            e.contributions.iter().map(|c| (c.source, c)).collect();
+        assert!(!by_source[&ex.s[0]].decisive, "S1's default is discarded");
+        assert!(!by_source[&ex.s[5]].decisive, "S6's default is discarded");
+        assert!(by_source[&ex.s[1]].decisive);
+        assert!(by_source[&ex.s[4]].decisive);
+    }
+
+    #[test]
+    fn globality_marks_max_stratum() {
+        // D+GP-: decided at distance 3 (S2's long path and S1's default).
+        let (e, ex) = explain_user("D+GP-");
+        let decisive: Vec<SubjectId> =
+            e.decisive_contributions().map(|c| c.source).collect();
+        assert!(decisive.contains(&ex.s[0]));
+        assert!(decisive.contains(&ex.s[1]));
+        assert!(!decisive.contains(&ex.s[4]), "S5's - sits at distance 1");
+    }
+
+    #[test]
+    fn narrative_mentions_policy_and_sources() {
+        let (e, ex) = explain_user("D-GMP-");
+        let text = e.narrative(|s| ex.name(s));
+        assert!(text.contains("Preference"), "{text}");
+        assert!(text.contains("S2"), "{text}");
+        assert!(text.contains("path(s)"), "{text}");
+        let (e, ex) = explain_user("D+LMP+");
+        let text = e.narrative(|s| ex.name(s));
+        assert!(text.contains("Majority"), "{text}");
+        assert!(text.contains("2 positive vs 1 negative"), "{text}");
+    }
+
+    #[test]
+    fn explanation_sign_matches_resolver() {
+        let ex = motivating_example();
+        let resolver = crate::resolve::Resolver::new(&ex.hierarchy, &ex.eacm);
+        for strategy in Strategy::all_instances() {
+            let e = explain(&ex.hierarchy, &ex.eacm, ex.user, ex.obj, ex.read, strategy).unwrap();
+            assert_eq!(
+                e.resolution.sign,
+                resolver.resolve(ex.user, ex.obj, ex.read, strategy).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn preference_narrative_names_the_sign() {
+        let (e, ex) = explain_user("P-");
+        let text = e.narrative(|s| ex.name(s));
+        assert!(text.contains("P-"), "{text}");
+    }
+}

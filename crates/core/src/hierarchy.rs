@@ -1,0 +1,154 @@
+//! The subject hierarchy (the paper's SDAG).
+
+use crate::error::CoreError;
+use crate::ids::SubjectId;
+use serde::{Deserialize, Serialize};
+use ucra_graph::{subgraph, AncestorSubgraph, Dag};
+
+/// A subject hierarchy: a DAG whose edges point from a group to its
+/// members (paper Fig. 1).
+///
+/// Individuals are sinks; groups have outgoing edges to each member, which
+/// may itself be a group. The hierarchy is *not* restricted to a tree —
+/// a subject may belong to several groups — which is precisely what makes
+/// conflict resolution non-trivial (§2.1).
+///
+/// `SubjectDag` is a thin domain wrapper over [`ucra_graph::Dag`]; the raw
+/// graph is reachable through [`SubjectDag::graph`] for structural
+/// analyses (path statistics, DOT export, …).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SubjectDag {
+    dag: Dag,
+}
+
+impl SubjectDag {
+    /// An empty hierarchy.
+    pub fn new() -> Self {
+        SubjectDag::default()
+    }
+
+    /// An empty hierarchy with room for `n` subjects.
+    pub fn with_capacity(n: usize) -> Self {
+        SubjectDag { dag: Dag::with_capacity(n) }
+    }
+
+    /// Adds a subject (group or individual — the distinction is purely
+    /// structural: subjects without members are individuals).
+    pub fn add_subject(&mut self) -> SubjectId {
+        self.dag.add_node()
+    }
+
+    /// Adds `n` subjects, returning their ids in order.
+    pub fn add_subjects(&mut self, n: usize) -> Vec<SubjectId> {
+        self.dag.add_nodes(n)
+    }
+
+    /// Records that `member` belongs to `group` (an SDAG edge
+    /// `group → member`). Rejects cycles, self-membership and duplicates.
+    pub fn add_membership(&mut self, group: SubjectId, member: SubjectId) -> Result<(), CoreError> {
+        self.dag.add_edge(group, member).map_err(CoreError::from)
+    }
+
+    /// Number of subjects.
+    pub fn subject_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of membership edges.
+    pub fn membership_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+
+    /// `true` when `subject` exists.
+    pub fn contains(&self, subject: SubjectId) -> bool {
+        self.dag.contains(subject)
+    }
+
+    /// The groups `subject` directly belongs to.
+    pub fn groups_of(&self, subject: SubjectId) -> &[SubjectId] {
+        self.dag.parents(subject)
+    }
+
+    /// The direct members of `subject`.
+    pub fn members_of(&self, subject: SubjectId) -> &[SubjectId] {
+        self.dag.children(subject)
+    }
+
+    /// Top-level subjects (no containing group).
+    pub fn roots(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        self.dag.roots()
+    }
+
+    /// Individuals (no members).
+    pub fn individuals(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        self.dag.sinks()
+    }
+
+    /// All subjects in id order.
+    pub fn subjects(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        self.dag.nodes()
+    }
+
+    /// The maximal sub-hierarchy in which `subject` is the sole sink and
+    /// every other node is an ancestor (paper §3 Step 1).
+    pub fn ancestor_subgraph(&self, subject: SubjectId) -> Result<AncestorSubgraph, CoreError> {
+        if !self.dag.contains(subject) {
+            return Err(CoreError::UnknownSubject(subject));
+        }
+        Ok(subgraph::ancestor_subgraph(&self.dag, subject))
+    }
+
+    /// The underlying graph, for structural analyses.
+    pub fn graph(&self) -> &Dag {
+        &self.dag
+    }
+}
+
+impl From<Dag> for SubjectDag {
+    fn from(dag: Dag) -> Self {
+        SubjectDag { dag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucra_graph::GraphError;
+
+    #[test]
+    fn membership_wiring() {
+        let mut h = SubjectDag::new();
+        let g = h.add_subject();
+        let m = h.add_subject();
+        h.add_membership(g, m).unwrap();
+        assert_eq!(h.members_of(g), &[m]);
+        assert_eq!(h.groups_of(m), &[g]);
+        assert_eq!(h.subject_count(), 2);
+        assert_eq!(h.membership_count(), 1);
+        assert_eq!(h.roots().collect::<Vec<_>>(), vec![g]);
+        assert_eq!(h.individuals().collect::<Vec<_>>(), vec![m]);
+    }
+
+    #[test]
+    fn cyclic_membership_is_rejected() {
+        let mut h = SubjectDag::new();
+        let a = h.add_subject();
+        let b = h.add_subject();
+        h.add_membership(a, b).unwrap();
+        let err = h.add_membership(b, a).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Graph(GraphError::WouldCycle { parent: b, child: a })
+        );
+    }
+
+    #[test]
+    fn ancestor_subgraph_of_unknown_subject_errors() {
+        let h = SubjectDag::new();
+        let ghost = SubjectId::from_index(0);
+        assert_eq!(
+            h.ancestor_subgraph(ghost).unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Typed identifiers for subjects, objects and rights.
+//!
+//! Subjects are nodes of the subject hierarchy, so [`SubjectId`] is a
+//! re-export of the graph substrate's node id. Objects and rights are
+//! opaque dense ids minted by the caller (usually through `ucra-store`'s
+//! interner).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use ucra_graph::NodeId as SubjectId;
+
+/// Identifier of a protected object (a column of the access matrix).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+/// Identifier of a right / operation (read, write, …).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RightId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for RightId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(3).to_string(), "o3");
+        assert_eq!(RightId(0).to_string(), "r0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(RightId(0) < RightId(9));
+    }
+}

@@ -1,0 +1,89 @@
+//! # `ucra-core` — A Unified Conflict Resolution Algorithm
+//!
+//! A faithful, production-grade implementation of *A Unified Conflict
+//! Resolution Algorithm* (A. H. Chinaei, H. R. Chinaei, F. Wm. Tompa,
+//! 2007): hybrid (positive + negative) authorizations over DAG-structured
+//! subject hierarchies, resolved by one parametric algorithm that covers
+//! all **48 legitimate strategy instances** built from four policies —
+//! Default, Locality/Globality, Majority and Preference.
+//!
+//! ## Model (§2)
+//!
+//! * [`SubjectDag`] — the subject hierarchy: groups point to members, a
+//!   subject may belong to several groups (a DAG, not a tree).
+//! * [`Eacm`] — the sparse *explicit* access control matrix: at most one
+//!   `+`/`-` per ⟨subject, object, right⟩.
+//! * [`Strategy`] — one of the 48 instances, e.g. `"D+LMP-"`,
+//!   `"GMP+"`, `"P-"` (the paper's mnemonics parse directly).
+//!
+//! ## Algorithms (§3)
+//!
+//! * [`engine::path_enum`] — Function `Propagate()` (Fig. 5) exactly as
+//!   published: one record per propagation path.
+//! * [`engine::counting`] — a bag-equivalent dynamic program that stays
+//!   polynomial on path-exponential hierarchies (our optimisation).
+//! * [`resolve_histogram`] / [`Resolver`] — Algorithm `Resolve()`
+//!   (Fig. 4) with a [`Resolution`] trace matching the paper's Table 3.
+//! * [`dominance()`](dominance::dominance) — the `Dominance()` baseline of Chinaei & Zhang,
+//!   specialised to D⁻LP⁻, used by the paper's Figure 7(a) comparison.
+//!
+//! ## Extensions (the paper's §6 future work, implemented)
+//!
+//! * [`MemoResolver`] — caches one propagation sweep per
+//!   `(object, right)` pair (future work #1).
+//! * [`objects`] — mixed subject + object hierarchies (future work #2).
+//! * [`engine::counting::PropagationMode`] — first/second/both
+//!   propagation modes (future work #3).
+//! * [`constraints`] — separation-of-duty checking over effective
+//!   matrices (future work #4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ucra_core::{Resolver, Sign, Strategy};
+//!
+//! // The paper's motivating example ships as a fixture.
+//! let ex = ucra_core::motivating::motivating_example();
+//! let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+//!
+//! // Is User allowed to read obj? Depends on the enterprise's strategy:
+//! let open: Strategy = "D+LMP+".parse().unwrap();
+//! let closed: Strategy = "D-LP-".parse().unwrap();
+//! assert_eq!(resolver.resolve(ex.user, ex.obj, ex.read, open).unwrap(), Sign::Pos);
+//! assert_eq!(resolver.resolve(ex.user, ex.obj, ex.read, closed).unwrap(), Sign::Neg);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod dominance;
+pub mod effective;
+pub mod engine;
+mod error;
+pub mod explain;
+mod hierarchy;
+pub mod ids;
+mod matrix;
+mod memo;
+mod mode;
+pub mod motivating;
+pub mod objects;
+pub mod related;
+mod resolve;
+pub mod session;
+mod strategy;
+
+pub use dominance::{dominance, dominance_specialized, dominance_with_stats, DominanceStats};
+pub use effective::EffectiveMatrix;
+pub use engine::{AuthRecord, DistanceHistogram, ModeCounts};
+pub use error::CoreError;
+pub use hierarchy::SubjectDag;
+pub use ids::{ObjectId, RightId, SubjectId};
+pub use matrix::Eacm;
+pub use explain::{explain, Explanation};
+pub use memo::MemoResolver;
+pub use mode::{Mode, Sign};
+pub use session::{AccessSession, SessionStats};
+pub use resolve::{resolve_histogram, DecisionLine, Engine, Resolution, Resolver};
+pub use strategy::{DefaultRule, LocalityRule, MajorityRule, Strategy, StrategyShape};

@@ -1,0 +1,267 @@
+//! The explicit access control matrix (the paper's EACM).
+
+use crate::error::CoreError;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::mode::Sign;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The sparse explicit access control matrix: at most one explicit sign
+/// per ⟨subject, object, right⟩ triple.
+///
+/// §2 of the paper: "the explicit matrix is typically very sparse in
+/// practice", so it is stored as a map keyed by triple rather than as a
+/// dense matrix. §3.3 additionally assumes "at most one authorization is
+/// explicitly given for every subject-object-right triple; duplicates are
+/// meaningless and contradicting authorizations can be assumed to be
+/// disallowed" — [`Eacm::set`] enforces exactly that: re-inserting the
+/// same sign is an idempotent no-op, inserting the opposite sign is an
+/// error.
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters for
+/// reproducible experiments and golden tests; lookup cost is irrelevant
+/// next to propagation.
+///
+/// ```
+/// use ucra_core::{Eacm, Sign, SubjectId};
+/// use ucra_core::ids::{ObjectId, RightId};
+///
+/// let (s, o, r) = (SubjectId::from_index(0), ObjectId(0), RightId(0));
+/// let mut eacm = Eacm::new();
+/// eacm.grant(s, o, r).unwrap();
+/// assert_eq!(eacm.label(s, o, r), Some(Sign::Pos));
+/// // Contradictions are rejected, per §3.3 of the paper.
+/// assert!(eacm.deny(s, o, r).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eacm {
+    /// Serialised as a list of `(subject, object, right, sign)` rows:
+    /// JSON maps require string keys, and a row list is also the natural
+    /// interchange form for an explicit matrix.
+    #[serde(with = "entries_as_rows")]
+    entries: BTreeMap<(SubjectId, ObjectId, RightId), Sign>,
+}
+
+mod entries_as_rows {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    type Key = (SubjectId, ObjectId, RightId);
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<Key, Sign>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let rows: Vec<(SubjectId, ObjectId, RightId, Sign)> =
+            map.iter().map(|(&(s, o, r), &g)| (s, o, r, g)).collect();
+        serde::Serialize::serialize(&rows, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<Key, Sign>, D::Error> {
+        let rows: Vec<(SubjectId, ObjectId, RightId, Sign)> =
+            serde::Deserialize::deserialize(de)?;
+        Ok(rows.into_iter().map(|(s, o, r, g)| ((s, o, r), g)).collect())
+    }
+}
+
+impl Eacm {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Eacm::default()
+    }
+
+    /// Records an explicit authorization. Idempotent for the same sign;
+    /// an opposite sign for an existing triple is a
+    /// [`CoreError::ContradictoryAuthorization`].
+    pub fn set(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        sign: Sign,
+    ) -> Result<(), CoreError> {
+        match self.entries.insert((subject, object, right), sign) {
+            None => Ok(()),
+            Some(existing) if existing == sign => Ok(()),
+            Some(existing) => {
+                // Restore the original entry before reporting.
+                self.entries.insert((subject, object, right), existing);
+                Err(CoreError::ContradictoryAuthorization {
+                    subject,
+                    object,
+                    right,
+                    existing,
+                    attempted: sign,
+                })
+            }
+        }
+    }
+
+    /// Shorthand for [`Eacm::set`] with [`Sign::Pos`].
+    pub fn grant(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<(), CoreError> {
+        self.set(subject, object, right, Sign::Pos)
+    }
+
+    /// Shorthand for [`Eacm::set`] with [`Sign::Neg`].
+    pub fn deny(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<(), CoreError> {
+        self.set(subject, object, right, Sign::Neg)
+    }
+
+    /// Removes an explicit authorization, returning the sign it had.
+    pub fn unset(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Option<Sign> {
+        self.entries.remove(&(subject, object, right))
+    }
+
+    /// The explicit sign for a triple, if any.
+    pub fn label(&self, subject: SubjectId, object: ObjectId, right: RightId) -> Option<Sign> {
+        self.entries.get(&(subject, object, right)).copied()
+    }
+
+    /// Number of explicit authorizations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no explicit authorizations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in key order.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (SubjectId, ObjectId, RightId, Sign)> + '_ {
+        self.entries.iter().map(|(&(s, o, r), &sign)| (s, o, r, sign))
+    }
+
+    /// The subjects explicitly labeled for one `(object, right)` pair,
+    /// with their signs — the slice of the matrix that one `Resolve()`
+    /// query reads.
+    pub fn labels_for(
+        &self,
+        object: ObjectId,
+        right: RightId,
+    ) -> impl Iterator<Item = (SubjectId, Sign)> + '_ {
+        self.entries
+            .iter()
+            .filter(move |((_, o, r), _)| *o == object && *r == right)
+            .map(|(&(s, _, _), &sign)| (s, sign))
+    }
+
+    /// All distinct `(object, right)` pairs with at least one label.
+    pub fn object_right_pairs(&self) -> Vec<(ObjectId, RightId)> {
+        let mut pairs: Vec<(ObjectId, RightId)> =
+            self.entries.keys().map(|&(_, o, r)| (o, r)).collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (SubjectId, ObjectId, RightId) {
+        (SubjectId::from_index(0), ObjectId(0), RightId(0))
+    }
+
+    #[test]
+    fn grant_deny_and_lookup() {
+        let (s, o, r) = ids();
+        let s2 = SubjectId::from_index(1);
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        m.deny(s2, o, r).unwrap();
+        assert_eq!(m.label(s, o, r), Some(Sign::Pos));
+        assert_eq!(m.label(s2, o, r), Some(Sign::Neg));
+        assert_eq!(m.label(s, ObjectId(9), r), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_same_sign_is_idempotent() {
+        let (s, o, r) = ids();
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        m.grant(s, o, r).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn contradiction_is_rejected_and_preserves_original() {
+        let (s, o, r) = ids();
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        let err = m.deny(s, o, r).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ContradictoryAuthorization { existing: Sign::Pos, attempted: Sign::Neg, .. }
+        ));
+        assert_eq!(m.label(s, o, r), Some(Sign::Pos));
+    }
+
+    #[test]
+    fn unset_then_reset_with_other_sign() {
+        let (s, o, r) = ids();
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        assert_eq!(m.unset(s, o, r), Some(Sign::Pos));
+        m.deny(s, o, r).unwrap();
+        assert_eq!(m.label(s, o, r), Some(Sign::Neg));
+    }
+
+    #[test]
+    fn labels_for_filters_by_object_and_right() {
+        let (s, o, r) = ids();
+        let s2 = SubjectId::from_index(1);
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        m.deny(s2, o, r).unwrap();
+        m.grant(s2, ObjectId(1), r).unwrap();
+        m.deny(s, o, RightId(1)).unwrap();
+        let got: Vec<_> = m.labels_for(o, r).collect();
+        assert_eq!(got, vec![(s, Sign::Pos), (s2, Sign::Neg)]);
+    }
+
+    #[test]
+    fn object_right_pairs_are_deduped_and_sorted() {
+        let (s, o, r) = ids();
+        let s2 = SubjectId::from_index(1);
+        let mut m = Eacm::new();
+        m.grant(s, ObjectId(1), r).unwrap();
+        m.grant(s, o, r).unwrap();
+        m.deny(s2, o, r).unwrap();
+        assert_eq!(
+            m.object_right_pairs(),
+            vec![(o, r), (ObjectId(1), r)]
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (s, o, r) = ids();
+        let mut m = Eacm::new();
+        m.grant(s, o, r).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Eacm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

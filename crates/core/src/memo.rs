@@ -1,0 +1,234 @@
+//! A memoising resolver — the paper's first future-work item: *"since
+//! there are many nodes in the subject hierarchy that are ancestors of
+//! several sinks, it would significantly improve the performance of the
+//! algorithm if the derived authorizations of such nodes [were] stored in
+//! a cache for later uses."*
+//!
+//! ## Why caching whole `(object, right)` sweeps is sound
+//!
+//! The counting recurrence `rights(v) = own(v) ⊎ ⨄_p shift₁(rights(p))`
+//! depends only on `v`'s ancestors, and the ancestor sub-graph of any
+//! query containing `v` contains *all* of `v`'s ancestors. So `rights(v)`
+//! is query-independent, and one topological sweep per `(object, right)`
+//! pair yields the `allRights` histogram of **every** subject at once
+//! ([`crate::engine::counting::histograms_all`]). The cache stores that
+//! table; every subsequent query on the same pair — any subject, any of
+//! the 48 strategies — is a hash-map lookup plus a constant-size
+//! resolution.
+//!
+//! The histogram keeps `d` (pending default) rows separate, so the cache
+//! is also **strategy-independent**: changing the enterprise's conflict
+//! resolution strategy (the paper's selling point) invalidates nothing.
+
+use crate::engine::counting::{self, PropagationMode};
+use crate::engine::DistanceHistogram;
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+use crate::resolve::{resolve_histogram, Resolution};
+use crate::strategy::Strategy;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A resolver that caches one propagation sweep per `(object, right)`
+/// pair. Thread-safe: concurrent readers share cached sweeps.
+///
+/// ```
+/// use ucra_core::{MemoResolver, Strategy};
+///
+/// let ex = ucra_core::motivating::motivating_example();
+/// let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+/// // 9 subjects × 48 strategies: one propagation sweep in total.
+/// for subject in ex.hierarchy.subjects() {
+///     for strategy in Strategy::all_instances() {
+///         memo.resolve(subject, ex.obj, ex.read, strategy).unwrap();
+///     }
+/// }
+/// assert_eq!(memo.cached_sweeps(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoResolver<'a> {
+    hierarchy: &'a SubjectDag,
+    eacm: &'a Eacm,
+    mode: PropagationMode,
+    cache: RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>,
+}
+
+impl<'a> MemoResolver<'a> {
+    /// A memoising resolver over the given model, with the paper's
+    /// propagation semantics.
+    pub fn new(hierarchy: &'a SubjectDag, eacm: &'a Eacm) -> Self {
+        MemoResolver {
+            hierarchy,
+            eacm,
+            mode: PropagationMode::Both,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Selects the propagation mode for all cached sweeps.
+    #[must_use]
+    pub fn with_propagation_mode(mut self, mode: PropagationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of `(object, right)` sweeps currently cached.
+    pub fn cached_sweeps(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drops all cached sweeps (call after mutating the hierarchy or the
+    /// matrix — the resolver holds shared references, so mutation happens
+    /// between resolver lifetimes; this exists for long-lived setups that
+    /// rebuild the resolver in place).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    fn sweep(
+        &self,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Arc<Vec<DistanceHistogram>>, CoreError> {
+        if let Some(table) = self.cache.read().get(&(object, right)) {
+            return Ok(Arc::clone(table));
+        }
+        let table = Arc::new(counting::histograms_all(
+            self.hierarchy,
+            self.eacm,
+            object,
+            right,
+            self.mode,
+        )?);
+        let mut guard = self.cache.write();
+        // A racing writer may have inserted meanwhile; keep the first.
+        let entry = guard
+            .entry((object, right))
+            .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
+    }
+
+    /// The cached `allRights` histogram of one subject.
+    pub fn all_rights_histogram(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<DistanceHistogram, CoreError> {
+        if !self.hierarchy.contains(subject) {
+            return Err(CoreError::UnknownSubject(subject));
+        }
+        Ok(self.sweep(object, right)?[subject.index()].clone())
+    }
+
+    /// The effective authorization of a triple under `strategy`.
+    pub fn resolve(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Sign, CoreError> {
+        Ok(self.resolve_traced(subject, object, right, strategy)?.sign)
+    }
+
+    /// Like [`MemoResolver::resolve`], with the Table-3 trace.
+    pub fn resolve_traced(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Resolution, CoreError> {
+        if !self.hierarchy.contains(subject) {
+            return Err(CoreError::UnknownSubject(subject));
+        }
+        let table = self.sweep(object, right)?;
+        resolve_histogram(&table[subject.index()], strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating::motivating_example;
+    use crate::resolve::Resolver;
+
+    #[test]
+    fn matches_uncached_resolver_for_all_strategies_and_subjects() {
+        let ex = motivating_example();
+        let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+        let plain = Resolver::new(&ex.hierarchy, &ex.eacm);
+        for subject in ex.hierarchy.subjects() {
+            for strategy in Strategy::all_instances() {
+                let a = memo
+                    .resolve_traced(subject, ex.obj, ex.read, strategy)
+                    .unwrap();
+                let b = plain
+                    .resolve_traced(subject, ex.obj, ex.read, strategy)
+                    .unwrap();
+                assert_eq!(a, b, "subject {subject}, strategy {strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_sweep_serves_every_subject_and_strategy() {
+        let ex = motivating_example();
+        let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+        assert_eq!(memo.cached_sweeps(), 0);
+        for subject in ex.hierarchy.subjects() {
+            for strategy in Strategy::all_instances().into_iter().take(4) {
+                memo.resolve(subject, ex.obj, ex.read, strategy).unwrap();
+            }
+        }
+        assert_eq!(memo.cached_sweeps(), 1);
+        memo.clear();
+        assert_eq!(memo.cached_sweeps(), 0);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_sweeps() {
+        let ex = motivating_example();
+        let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        memo.resolve(ex.user, ex.obj, ex.read, strategy).unwrap();
+        memo.resolve(ex.user, ObjectId(7), ex.read, strategy).unwrap();
+        memo.resolve(ex.user, ex.obj, RightId(7), strategy).unwrap();
+        assert_eq!(memo.cached_sweeps(), 3);
+    }
+
+    #[test]
+    fn unknown_subject_is_rejected_before_sweeping() {
+        let ex = motivating_example();
+        let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+        let ghost = SubjectId::from_index(99);
+        assert_eq!(
+            memo.resolve(ghost, ex.obj, ex.read, "P+".parse().unwrap())
+                .unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+        assert_eq!(memo.cached_sweeps(), 0);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_cache() {
+        let ex = motivating_example();
+        let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
+        let strategy: Strategy = "D+LMP+".parse().unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for subject in ex.hierarchy.subjects() {
+                        memo.resolve(subject, ex.obj, ex.read, strategy).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.cached_sweeps(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Authorization signs and modes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A definite authorization: the value stored in the explicit matrix and
+/// the result type of `Resolve()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Sign {
+    /// `+` — access granted.
+    Pos,
+    /// `-` — access denied.
+    Neg,
+}
+
+impl Sign {
+    /// The paper's one-character rendering.
+    pub fn symbol(self) -> char {
+        match self {
+            Sign::Pos => '+',
+            Sign::Neg => '-',
+        }
+    }
+
+    /// The opposite sign.
+    #[must_use]
+    pub fn flipped(self) -> Sign {
+        match self {
+            Sign::Pos => Sign::Neg,
+            Sign::Neg => Sign::Pos,
+        }
+    }
+
+    /// Parses `+` / `-`.
+    pub fn from_symbol(c: char) -> Option<Sign> {
+        match c {
+            '+' => Some(Sign::Pos),
+            '-' => Some(Sign::Neg),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// The mode column of the `allRights` relation: a definite sign or the
+/// placeholder `d` that Step 2 assigns to unlabeled root ancestors before
+/// the Default policy turns it into a sign (or discards it).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Mode {
+    /// `+`.
+    Pos,
+    /// `-`.
+    Neg,
+    /// `d` — a pending default.
+    Default,
+}
+
+impl Mode {
+    /// The paper's one-character rendering (`+`, `-`, or `d`).
+    pub fn symbol(self) -> char {
+        match self {
+            Mode::Pos => '+',
+            Mode::Neg => '-',
+            Mode::Default => 'd',
+        }
+    }
+
+    /// Parses `+` / `-` / `d`.
+    pub fn from_symbol(c: char) -> Option<Mode> {
+        match c {
+            '+' => Some(Mode::Pos),
+            '-' => Some(Mode::Neg),
+            'd' => Some(Mode::Default),
+            _ => None,
+        }
+    }
+
+    /// The definite sign, if this mode is not a pending default.
+    pub fn sign(self) -> Option<Sign> {
+        match self {
+            Mode::Pos => Some(Sign::Pos),
+            Mode::Neg => Some(Sign::Neg),
+            Mode::Default => None,
+        }
+    }
+}
+
+impl From<Sign> for Mode {
+    fn from(s: Sign) -> Mode {
+        match s {
+            Sign::Pos => Mode::Pos,
+            Sign::Neg => Mode::Neg,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip() {
+        for s in [Sign::Pos, Sign::Neg] {
+            assert_eq!(Sign::from_symbol(s.symbol()), Some(s));
+        }
+        for m in [Mode::Pos, Mode::Neg, Mode::Default] {
+            assert_eq!(Mode::from_symbol(m.symbol()), Some(m));
+        }
+        assert_eq!(Sign::from_symbol('d'), None);
+        assert_eq!(Mode::from_symbol('x'), None);
+    }
+
+    #[test]
+    fn flipped_is_involutive() {
+        assert_eq!(Sign::Pos.flipped(), Sign::Neg);
+        assert_eq!(Sign::Neg.flipped().flipped(), Sign::Neg);
+    }
+
+    #[test]
+    fn mode_sign_projection() {
+        assert_eq!(Mode::Pos.sign(), Some(Sign::Pos));
+        assert_eq!(Mode::Neg.sign(), Some(Sign::Neg));
+        assert_eq!(Mode::Default.sign(), None);
+        assert_eq!(Mode::from(Sign::Pos), Mode::Pos);
+    }
+
+    #[test]
+    fn display_matches_paper_symbols() {
+        assert_eq!(Sign::Pos.to_string(), "+");
+        assert_eq!(Mode::Default.to_string(), "d");
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's motivating example (Fig. 1): a nine-subject hierarchy with
+//! explicit authorizations on S₂ (+), S₄ (+) and S₅ (−), shared by tests,
+//! benchmarks, examples and the table-reproduction binaries.
+//!
+//! The published figure is an image; the edge set below is reconstructed
+//! from the data the paper does print — Table 4 forces the sub-hierarchy
+//! of *User* (Fig. 3) uniquely, the prose states S₄ and S₅ are members of
+//! S₃ and that S₄ is granted — and the two remaining subjects (S₇, S₈,
+//! needed to reach "nine subjects") are placed as members of S₄, outside
+//! *User*'s ancestor sub-graph, where every published table and figure is
+//! independent of them. See DESIGN.md §2.4.
+
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+
+/// The motivating example: hierarchy, matrix, and the named subjects.
+#[derive(Debug, Clone)]
+pub struct MotivatingExample {
+    /// The Figure 1 hierarchy.
+    pub hierarchy: SubjectDag,
+    /// Explicit authorizations: S₂ +, S₄ +, S₅ − on (`obj`, `read`).
+    pub eacm: Eacm,
+    /// Subjects S₁ … S₈ in order.
+    pub s: [SubjectId; 8],
+    /// The individual *User*.
+    pub user: SubjectId,
+    /// The single object `obj`.
+    pub obj: ObjectId,
+    /// The single right `read`.
+    pub read: RightId,
+}
+
+impl MotivatingExample {
+    /// Human-readable name of a subject in this example.
+    pub fn name(&self, subject: SubjectId) -> String {
+        if subject == self.user {
+            "User".to_string()
+        } else if let Some(i) = self.s.iter().position(|&x| x == subject) {
+            format!("S{}", i + 1)
+        } else {
+            format!("{subject}")
+        }
+    }
+}
+
+/// Builds the motivating example.
+pub fn motivating_example() -> MotivatingExample {
+    let mut hierarchy = SubjectDag::with_capacity(9);
+    let s: [SubjectId; 8] = std::array::from_fn(|_| hierarchy.add_subject());
+    let user = hierarchy.add_subject();
+    let [s1, s2, s3, s4, s5, s6, s7, s8] = s;
+
+    // Figure 3's forced edges (see DESIGN.md §2.4) …
+    hierarchy.add_membership(s1, s3).expect("acyclic");
+    hierarchy.add_membership(s2, s3).expect("acyclic");
+    hierarchy.add_membership(s2, user).expect("acyclic");
+    hierarchy.add_membership(s3, s5).expect("acyclic");
+    hierarchy.add_membership(s5, user).expect("acyclic");
+    hierarchy.add_membership(s6, s5).expect("acyclic");
+    hierarchy.add_membership(s6, user).expect("acyclic");
+    // … plus the prose edges outside User's ancestor sub-graph.
+    hierarchy.add_membership(s3, s4).expect("acyclic");
+    hierarchy.add_membership(s4, s7).expect("acyclic");
+    hierarchy.add_membership(s4, s8).expect("acyclic");
+
+    let obj = ObjectId(0);
+    let read = RightId(0);
+    let mut eacm = Eacm::new();
+    eacm.grant(s2, obj, read).expect("fresh");
+    eacm.grant(s4, obj, read).expect("fresh");
+    eacm.deny(s5, obj, read).expect("fresh");
+
+    MotivatingExample { hierarchy, eacm, s, user, obj, read }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_subjects_and_three_labels() {
+        let ex = motivating_example();
+        assert_eq!(ex.hierarchy.subject_count(), 9);
+        assert_eq!(ex.eacm.len(), 3);
+    }
+
+    #[test]
+    fn users_ancestor_subgraph_is_figure_3() {
+        let ex = motivating_example();
+        let sub = ex.hierarchy.ancestor_subgraph(ex.user).unwrap();
+        assert_eq!(sub.dag.node_count(), 6);
+        assert_eq!(sub.dag.edge_count(), 7);
+        // S4, S7, S8 are outside.
+        for outside in [ex.s[3], ex.s[6], ex.s[7]] {
+            assert!(sub.sub_id(outside).is_none());
+        }
+    }
+
+    #[test]
+    fn names() {
+        let ex = motivating_example();
+        assert_eq!(ex.name(ex.user), "User");
+        assert_eq!(ex.name(ex.s[0]), "S1");
+        assert_eq!(ex.name(ex.s[7]), "S8");
+    }
+
+    #[test]
+    fn user_is_an_individual() {
+        let ex = motivating_example();
+        assert!(ex.hierarchy.individuals().any(|v| v == ex.user));
+    }
+}

@@ -1,0 +1,376 @@
+//! Mixed subject **and object** hierarchies — the paper's second
+//! future-work item: *"in this work we exploit the subject hierarchy
+//! only. It is important to support mixed hierarchy of subjects and
+//! objects."*
+//!
+//! ## Semantics
+//!
+//! Objects form their own DAG (container → contained: a folder contains
+//! documents, a database contains tables). An explicit authorization on
+//! ⟨subject ancestor `v`, object ancestor `o'`⟩ applies to the query
+//! ⟨`s`, `o`⟩ along every pair of paths (`v ⇝ s` in the subject DAG,
+//! `o' ⇝ o` in the object DAG), at combined distance
+//! `|subject path| + |object path|` — a record per path pair, so the
+//! Majority policy sees the product of the multiplicities and Locality
+//! measures combined specificity. Defaults keep their subject-side
+//! meaning: an unlabeled subject-root (no explicit entry for *any* object
+//! ancestor of `o` under the queried right) contributes one `d` record at
+//! its subject distance, attached to the queried object itself.
+//!
+//! With a trivial object hierarchy (no containers), this degenerates
+//! exactly to the paper's subject-only semantics — asserted by tests.
+
+use crate::engine::DistanceHistogram;
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::{Mode, Sign};
+use crate::resolve::{resolve_histogram, Resolution};
+use crate::strategy::Strategy;
+use std::collections::HashMap;
+use ucra_graph::{traverse, Dag, NodeId};
+
+/// A hierarchy of objects (container → contained).
+///
+/// Object ids index nodes directly: the `n`-th object added is
+/// `ObjectId(n)`.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectDag {
+    dag: Dag,
+}
+
+impl ObjectDag {
+    /// An empty object hierarchy.
+    pub fn new() -> Self {
+        ObjectDag::default()
+    }
+
+    /// Adds an object.
+    pub fn add_object(&mut self) -> ObjectId {
+        let node = self.dag.add_node();
+        ObjectId(node.index() as u32)
+    }
+
+    /// Records that `inner` is contained in `container`.
+    pub fn add_containment(&mut self, container: ObjectId, inner: ObjectId) -> Result<(), CoreError> {
+        self.dag
+            .add_edge(Self::node(container), Self::node(inner))
+            .map_err(CoreError::from)
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// `true` when `object` exists in this hierarchy.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.dag.contains(Self::node(object))
+    }
+
+    fn node(o: ObjectId) -> NodeId {
+        NodeId::from_index(o.0 as usize)
+    }
+
+    /// For every ancestor `o'` of `object` (including itself), the
+    /// histogram of path lengths `o' ⇝ object`: length → number of paths.
+    fn path_length_histograms(
+        &self,
+        object: ObjectId,
+    ) -> Result<HashMap<ObjectId, Vec<(u32, u128)>>, CoreError> {
+        let target = Self::node(object);
+        if !self.dag.contains(target) {
+            // An object outside the hierarchy is treated as isolated.
+            return Ok(HashMap::from([(object, vec![(0, 1)])]));
+        }
+        let keep = traverse::reachable_set(&self.dag, &[target], traverse::Direction::Up);
+        // plen[v]: path-length histogram v ⇝ target, reverse topological.
+        let mut plen: Vec<HashMap<u32, u128>> = vec![HashMap::new(); self.dag.node_count()];
+        plen[target.index()].insert(0, 1);
+        for v in traverse::topo_order(&self.dag).into_iter().rev() {
+            if v == target || !keep[v.index()] {
+                continue;
+            }
+            let mut acc: HashMap<u32, u128> = HashMap::new();
+            for &c in self.dag.children(v) {
+                if !keep[c.index()] {
+                    continue;
+                }
+                for (&len, &cnt) in &plen[c.index()] {
+                    let slot = acc.entry(len + 1).or_insert(0);
+                    *slot = slot.checked_add(cnt).ok_or(CoreError::PathCountOverflow)?;
+                }
+            }
+            plen[v.index()] = acc;
+        }
+        let mut out = HashMap::new();
+        for v in self.dag.nodes() {
+            if keep[v.index()] && !plen[v.index()].is_empty() {
+                let mut pairs: Vec<(u32, u128)> = plen[v.index()]
+                    .iter()
+                    .map(|(&l, &c)| (l, c))
+                    .collect();
+                pairs.sort_unstable();
+                out.insert(ObjectId(v.index() as u32), pairs);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Resolves ⟨`subject`, `object`, `right`⟩ over a **mixed** subject +
+/// object hierarchy under `strategy`, returning the Table-3-style trace.
+pub fn resolve_mixed(
+    subjects: &SubjectDag,
+    objects: &ObjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+    strategy: Strategy,
+) -> Result<Resolution, CoreError> {
+    let hist = mixed_histogram(subjects, objects, eacm, subject, object, right)?;
+    resolve_histogram(&hist, strategy)
+}
+
+/// Convenience wrapper returning only the sign.
+pub fn resolve_mixed_sign(
+    subjects: &SubjectDag,
+    objects: &ObjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+    strategy: Strategy,
+) -> Result<Sign, CoreError> {
+    Ok(resolve_mixed(subjects, objects, eacm, subject, object, right, strategy)?.sign)
+}
+
+/// The combined `allRights` histogram of a mixed query.
+pub fn mixed_histogram(
+    subjects: &SubjectDag,
+    objects: &ObjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> Result<DistanceHistogram, CoreError> {
+    let sub = subjects.ancestor_subgraph(subject)?;
+    let object_paths = objects.path_length_histograms(object)?;
+
+    // own(v): explicit labels on (v, any object ancestor, right), each at
+    // the object-side distance; or a subject-root default at distance 0.
+    let own = |v_sub: NodeId| -> Result<DistanceHistogram, CoreError> {
+        let v = sub.original_id(v_sub);
+        let mut h = DistanceHistogram::new();
+        let mut labeled = false;
+        for (&o_prime, lengths) in &object_paths {
+            if let Some(sign) = eacm.label(v, o_prime, right) {
+                labeled = true;
+                for &(len, cnt) in lengths {
+                    h.add(len, Mode::from(sign), cnt)?;
+                }
+            }
+        }
+        if !labeled && sub.dag.is_root(v_sub) {
+            h.add(0, Mode::Default, 1)?;
+        }
+        Ok(h)
+    };
+
+    // Standard downward counting sweep over the ancestor sub-graph.
+    let mut out: Vec<DistanceHistogram> =
+        vec![DistanceHistogram::new(); sub.dag.node_count()];
+    for v in traverse::topo_order(&sub.dag) {
+        let mut h = own(v)?;
+        for &p in sub.dag.parents(v) {
+            h.merge_shifted(&out[p.index()], 1)?;
+        }
+        out[v.index()] = h;
+    }
+    Ok(out[sub.sink.index()].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::counting::{self, PropagationMode};
+    use crate::motivating::motivating_example;
+
+    #[test]
+    fn trivial_object_hierarchy_degenerates_to_subject_only() {
+        let ex = motivating_example();
+        let mut objects = ObjectDag::new();
+        let obj = objects.add_object();
+        assert_eq!(obj, ex.obj);
+        for s in ex.hierarchy.subjects() {
+            let mixed =
+                mixed_histogram(&ex.hierarchy, &objects, &ex.eacm, s, ex.obj, ex.read).unwrap();
+            let plain = counting::histogram(
+                &ex.hierarchy,
+                &ex.eacm,
+                s,
+                ex.obj,
+                ex.read,
+                PropagationMode::Both,
+            )
+            .unwrap();
+            assert_eq!(mixed, plain, "subject {s}");
+        }
+    }
+
+    #[test]
+    fn object_outside_hierarchy_is_isolated() {
+        let ex = motivating_example();
+        let objects = ObjectDag::new(); // ex.obj not even registered
+        let mixed = mixed_histogram(
+            &ex.hierarchy,
+            &objects,
+            &ex.eacm,
+            ex.user,
+            ex.obj,
+            ex.read,
+        )
+        .unwrap();
+        let plain = counting::histogram(
+            &ex.hierarchy,
+            &ex.eacm,
+            ex.user,
+            ex.obj,
+            ex.read,
+            PropagationMode::Both,
+        )
+        .unwrap();
+        assert_eq!(mixed, plain);
+    }
+
+    #[test]
+    fn label_on_container_reaches_contained_object_at_combined_distance() {
+        // Subjects: group → alice. Objects: folder → doc.
+        // grant(group, folder): alice × doc sees + at distance 1 + 1 = 2.
+        let mut subjects = SubjectDag::new();
+        let group = subjects.add_subject();
+        let alice = subjects.add_subject();
+        subjects.add_membership(group, alice).unwrap();
+        let mut objects = ObjectDag::new();
+        let folder = objects.add_object();
+        let doc = objects.add_object();
+        objects.add_containment(folder, doc).unwrap();
+        let read = RightId(0);
+        let mut eacm = Eacm::new();
+        eacm.grant(group, folder, read).unwrap();
+
+        let hist = mixed_histogram(&subjects, &objects, &eacm, alice, doc, read).unwrap();
+        assert_eq!(hist.at(2).pos, 1);
+        assert_eq!(hist.totals().unwrap().pos, 1);
+        // There is no other record except... group is labeled (for the
+        // folder), so no default; alice is not a root.
+        assert_eq!(hist.totals().unwrap().def, 0);
+    }
+
+    #[test]
+    fn object_side_specificity_participates_in_locality() {
+        // folder(+ for group) vs doc(- for group): the label on the doc
+        // itself is more specific (distance 1 vs 2 from ⟨alice, doc⟩).
+        let mut subjects = SubjectDag::new();
+        let group = subjects.add_subject();
+        let alice = subjects.add_subject();
+        subjects.add_membership(group, alice).unwrap();
+        let mut objects = ObjectDag::new();
+        let folder = objects.add_object();
+        let doc = objects.add_object();
+        objects.add_containment(folder, doc).unwrap();
+        let read = RightId(0);
+        let mut eacm = Eacm::new();
+        eacm.grant(group, folder, read).unwrap();
+        eacm.deny(group, doc, read).unwrap();
+
+        let strategy: Strategy = "LP+".parse().unwrap();
+        let sign =
+            resolve_mixed_sign(&subjects, &objects, &eacm, alice, doc, read, strategy).unwrap();
+        assert_eq!(sign, Sign::Neg, "the doc-level deny is more specific");
+        // Globality flips it.
+        let strategy: Strategy = "GP-".parse().unwrap();
+        let sign =
+            resolve_mixed_sign(&subjects, &objects, &eacm, alice, doc, read, strategy).unwrap();
+        assert_eq!(sign, Sign::Pos, "the folder-level grant is more general");
+    }
+
+    #[test]
+    fn object_diamond_multiplies_votes() {
+        // Object diamond: root folder contains doc via two intermediate
+        // collections ⇒ a grant on the root counts twice for Majority.
+        let mut subjects = SubjectDag::new();
+        let alice = subjects.add_subject();
+        let boss = subjects.add_subject();
+        subjects.add_membership(boss, alice).unwrap();
+        let mut objects = ObjectDag::new();
+        let root = objects.add_object();
+        let a = objects.add_object();
+        let b = objects.add_object();
+        let doc = objects.add_object();
+        objects.add_containment(root, a).unwrap();
+        objects.add_containment(root, b).unwrap();
+        objects.add_containment(a, doc).unwrap();
+        objects.add_containment(b, doc).unwrap();
+        let read = RightId(0);
+        let mut eacm = Eacm::new();
+        eacm.grant(boss, root, read).unwrap();
+        eacm.deny(boss, doc, read).unwrap();
+
+        let hist = mixed_histogram(&subjects, &objects, &eacm, alice, doc, read).unwrap();
+        assert_eq!(hist.at(3).pos, 2, "two object paths from the root folder");
+        assert_eq!(hist.at(1).neg, 1);
+        // Majority: 2 '+' vs 1 '-' → granted despite the specific deny.
+        let sign = resolve_mixed_sign(
+            &subjects,
+            &objects,
+            &eacm,
+            alice,
+            doc,
+            read,
+            "MP-".parse().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sign, Sign::Pos);
+        // Locality: the deny at distance 1 is most specific.
+        let sign = resolve_mixed_sign(
+            &subjects,
+            &objects,
+            &eacm,
+            alice,
+            doc,
+            read,
+            "LP+".parse().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sign, Sign::Neg);
+    }
+
+    #[test]
+    fn subject_root_default_still_fires_in_mixed_queries() {
+        // An unlabeled, unrelated subject root contributes d at its
+        // subject distance even in a mixed query.
+        let mut subjects = SubjectDag::new();
+        let outsider_root = subjects.add_subject();
+        let alice = subjects.add_subject();
+        subjects.add_membership(outsider_root, alice).unwrap();
+        let mut objects = ObjectDag::new();
+        let folder = objects.add_object();
+        let doc = objects.add_object();
+        objects.add_containment(folder, doc).unwrap();
+        let eacm = Eacm::new();
+        let hist = mixed_histogram(
+            &subjects,
+            &objects,
+            &eacm,
+            alice,
+            doc,
+            RightId(0),
+        )
+        .unwrap();
+        assert_eq!(hist.at(1).def, 1);
+        assert!(hist.at(0).is_zero());
+    }
+}

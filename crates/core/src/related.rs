@@ -1,0 +1,306 @@
+//! Related-work semantics, expressed over the same propagated data —
+//! the paper's §5 comparisons made executable.
+//!
+//! * **XACML combining algorithms** (Moses 2005, reference \[12\]): the
+//!   paper notes XACML resolves conflicts over the *data* hierarchy with
+//!   fixed combining algorithms rather than a parametric strategy over
+//!   the *subject* hierarchy. Here the four classic algorithms are
+//!   implemented over an `allRights` histogram, and their exact
+//!   relationships to strategy instances are proven as tests:
+//!   deny-overrides with a deny default **is** `P-`; permit-overrides
+//!   with a permit default **is** `P+`; first-applicable corresponds to
+//!   a locality-ordered scan.
+//! * **Bertino et al.** (reference \[1\]): the weak/strong authorization
+//!   model, which the paper identifies with the combined strategy
+//!   instance D⁻LP⁻.
+//!
+//! The point the module makes is the paper's own: each hardwired scheme
+//! is *one point* in the 48-instance space (or a fixed scan order that
+//! the space deliberately generalises).
+
+use crate::engine::DistanceHistogram;
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+use crate::resolve::Resolver;
+use crate::strategy::Strategy;
+
+/// An XACML combining-algorithm decision. Unlike `Resolve()`, XACML
+/// algorithms can abstain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XacmlDecision {
+    /// `Permit`.
+    Permit,
+    /// `Deny`.
+    Deny,
+    /// `NotApplicable` — no rule matched (no explicit record at all).
+    NotApplicable,
+    /// `Indeterminate` — `only-one-applicable` found conflicting rules.
+    Indeterminate,
+}
+
+/// The four classic XACML 2.0 rule-combining algorithms, evaluated over
+/// the explicit (non-default) records of an `allRights` histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombiningAlgorithm {
+    /// Any deny wins.
+    DenyOverrides,
+    /// Any permit wins.
+    PermitOverrides,
+    /// The first applicable rule in document order wins; we order
+    /// records by distance (nearest first — the natural "document
+    /// order" of a hierarchy), deny before permit within a distance.
+    FirstApplicable,
+    /// Exactly one kind of rule may apply; both kinds ⇒ `Indeterminate`.
+    OnlyOneApplicable,
+}
+
+/// Evaluates `algorithm` over the explicit records of `hist` (pending
+/// defaults are ignored: XACML has no subject-hierarchy default policy —
+/// absence of rules is what `NotApplicable` reports).
+pub fn combine(hist: &DistanceHistogram, algorithm: CombiningAlgorithm) -> XacmlDecision {
+    let totals = match hist.totals() {
+        Ok(t) => t,
+        // Overflow cannot influence *which* signs are present.
+        Err(_) => {
+            let mut pos = false;
+            let mut neg = false;
+            for (_, c) in hist.strata() {
+                pos |= c.pos > 0;
+                neg |= c.neg > 0;
+            }
+            return combine_flags(hist, algorithm, pos, neg);
+        }
+    };
+    combine_flags(hist, algorithm, totals.pos > 0, totals.neg > 0)
+}
+
+fn combine_flags(
+    hist: &DistanceHistogram,
+    algorithm: CombiningAlgorithm,
+    any_pos: bool,
+    any_neg: bool,
+) -> XacmlDecision {
+    match algorithm {
+        CombiningAlgorithm::DenyOverrides => {
+            if any_neg {
+                XacmlDecision::Deny
+            } else if any_pos {
+                XacmlDecision::Permit
+            } else {
+                XacmlDecision::NotApplicable
+            }
+        }
+        CombiningAlgorithm::PermitOverrides => {
+            if any_pos {
+                XacmlDecision::Permit
+            } else if any_neg {
+                XacmlDecision::Deny
+            } else {
+                XacmlDecision::NotApplicable
+            }
+        }
+        CombiningAlgorithm::FirstApplicable => {
+            for (_, counts) in hist.strata() {
+                if counts.neg > 0 {
+                    return XacmlDecision::Deny;
+                }
+                if counts.pos > 0 {
+                    return XacmlDecision::Permit;
+                }
+                // A stratum with only pending defaults is "no rule".
+            }
+            XacmlDecision::NotApplicable
+        }
+        CombiningAlgorithm::OnlyOneApplicable => match (any_pos, any_neg) {
+            (true, true) => XacmlDecision::Indeterminate,
+            (true, false) => XacmlDecision::Permit,
+            (false, true) => XacmlDecision::Deny,
+            (false, false) => XacmlDecision::NotApplicable,
+        },
+    }
+}
+
+/// Resolves an XACML decision to a definite sign with a default for the
+/// abstaining outcomes, mirroring how a PDP's caller applies a
+/// deny-biased or permit-biased default.
+pub fn with_default(decision: XacmlDecision, default: Sign) -> Sign {
+    match decision {
+        XacmlDecision::Permit => Sign::Pos,
+        XacmlDecision::Deny => Sign::Neg,
+        XacmlDecision::NotApplicable | XacmlDecision::Indeterminate => default,
+    }
+}
+
+/// Bertino et al.'s weak/strong authorization semantics: the paper (§5)
+/// identifies it with the combined strategy instance **D⁻LP⁻** —
+/// negative-by-default, most-specific-takes-precedence, denial wins
+/// remaining conflicts. Provided as a named entry point; it simply runs
+/// `Resolve()` with that instance.
+pub fn bertino_weak_strong(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> Result<Sign, CoreError> {
+    let strategy: Strategy = "D-LP-".parse().expect("well-formed mnemonic");
+    Resolver::new(hierarchy, eacm).resolve(subject, object, right, strategy)
+}
+
+/// Equivalence theorem (documented in §5 terms, proven by the tests
+/// below and the workspace property suite): `deny-overrides` with a
+/// deny-biased default equals the strategy instance `P-`, and
+/// `permit-overrides` with a permit-biased default equals `P+`.
+pub fn as_strategy(algorithm: CombiningAlgorithm) -> Option<Strategy> {
+    match algorithm {
+        CombiningAlgorithm::DenyOverrides => Some("P-".parse().expect("mnemonic")),
+        CombiningAlgorithm::PermitOverrides => Some("P+".parse().expect("mnemonic")),
+        // First-applicable depends on an order, only-one-applicable can
+        // abstain with four outcomes: neither is a strategy instance.
+        CombiningAlgorithm::FirstApplicable | CombiningAlgorithm::OnlyOneApplicable => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::counting::{self, PropagationMode};
+    use crate::mode::Mode;
+    use crate::motivating::motivating_example;
+    use crate::resolve::resolve_histogram;
+
+    fn table1() -> DistanceHistogram {
+        let mut h = DistanceHistogram::new();
+        for (d, m) in [
+            (1, Mode::Neg),
+            (1, Mode::Default),
+            (2, Mode::Default),
+            (1, Mode::Pos),
+            (3, Mode::Pos),
+            (3, Mode::Default),
+        ] {
+            h.add(d, m, 1).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn xacml_on_the_motivating_example() {
+        let h = table1();
+        assert_eq!(combine(&h, CombiningAlgorithm::DenyOverrides), XacmlDecision::Deny);
+        assert_eq!(combine(&h, CombiningAlgorithm::PermitOverrides), XacmlDecision::Permit);
+        // Nearest stratum (distance 1) holds both; deny is scanned first.
+        assert_eq!(combine(&h, CombiningAlgorithm::FirstApplicable), XacmlDecision::Deny);
+        assert_eq!(
+            combine(&h, CombiningAlgorithm::OnlyOneApplicable),
+            XacmlDecision::Indeterminate
+        );
+    }
+
+    #[test]
+    fn empty_policy_is_not_applicable() {
+        let h = DistanceHistogram::new();
+        for alg in [
+            CombiningAlgorithm::DenyOverrides,
+            CombiningAlgorithm::PermitOverrides,
+            CombiningAlgorithm::FirstApplicable,
+            CombiningAlgorithm::OnlyOneApplicable,
+        ] {
+            assert_eq!(combine(&h, alg), XacmlDecision::NotApplicable);
+        }
+        // Defaults are not rules.
+        let mut h = DistanceHistogram::new();
+        h.add(2, Mode::Default, 5).unwrap();
+        assert_eq!(
+            combine(&h, CombiningAlgorithm::DenyOverrides),
+            XacmlDecision::NotApplicable
+        );
+    }
+
+    #[test]
+    fn deny_overrides_with_deny_default_is_p_minus() {
+        // On every subject of the motivating example (and strategies
+        // proptest covers random worlds at the workspace level).
+        let ex = motivating_example();
+        for s in ex.hierarchy.subjects() {
+            let hist = counting::histogram(
+                &ex.hierarchy,
+                &ex.eacm,
+                s,
+                ex.obj,
+                ex.read,
+                PropagationMode::Both,
+            )
+            .unwrap();
+            let xacml = with_default(
+                combine(&hist, CombiningAlgorithm::DenyOverrides),
+                Sign::Neg,
+            );
+            let p_minus = resolve_histogram(&hist, "P-".parse().unwrap()).unwrap().sign;
+            assert_eq!(xacml, p_minus, "subject {s}");
+            let xacml = with_default(
+                combine(&hist, CombiningAlgorithm::PermitOverrides),
+                Sign::Pos,
+            );
+            let p_plus = resolve_histogram(&hist, "P+".parse().unwrap()).unwrap().sign;
+            assert_eq!(xacml, p_plus, "subject {s}");
+        }
+    }
+
+    #[test]
+    fn first_applicable_matches_deny_biased_lp_on_nearest_stratum() {
+        // With records present, first-applicable (deny before permit
+        // within a stratum) equals LP- whenever the nearest explicit
+        // stratum decides — which is always, since LP- looks at exactly
+        // that stratum and breaks its ties toward deny.
+        let ex = motivating_example();
+        for s in ex.hierarchy.subjects() {
+            let hist = counting::histogram(
+                &ex.hierarchy,
+                &ex.eacm,
+                s,
+                ex.obj,
+                ex.read,
+                PropagationMode::Both,
+            )
+            .unwrap();
+            let first = combine(&hist, CombiningAlgorithm::FirstApplicable);
+            if first == XacmlDecision::NotApplicable {
+                continue;
+            }
+            let lp_minus = resolve_histogram(&hist, "LP-".parse().unwrap()).unwrap().sign;
+            assert_eq!(with_default(first, Sign::Neg), lp_minus, "subject {s}");
+        }
+    }
+
+    #[test]
+    fn bertino_is_d_minus_l_p_minus() {
+        let ex = motivating_example();
+        let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+        for s in ex.hierarchy.subjects() {
+            assert_eq!(
+                bertino_weak_strong(&ex.hierarchy, &ex.eacm, s, ex.obj, ex.read).unwrap(),
+                resolver
+                    .resolve(s, ex.obj, ex.read, "D-LP-".parse().unwrap())
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_mappings() {
+        assert_eq!(
+            as_strategy(CombiningAlgorithm::DenyOverrides).unwrap().mnemonic(),
+            "P-"
+        );
+        assert_eq!(
+            as_strategy(CombiningAlgorithm::PermitOverrides).unwrap().mnemonic(),
+            "P+"
+        );
+        assert_eq!(as_strategy(CombiningAlgorithm::FirstApplicable), None);
+        assert_eq!(as_strategy(CombiningAlgorithm::OnlyOneApplicable), None);
+    }
+}

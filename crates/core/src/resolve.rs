@@ -1,0 +1,544 @@
+//! Algorithm `Resolve()` (Fig. 4): the unified parametric conflict
+//! resolution algorithm, plus the [`Resolver`] facade tying hierarchy,
+//! matrix, engine and strategy together.
+
+use crate::engine::counting::{self, PropagationMode};
+use crate::engine::path_enum::{self, PropagateOptions};
+use crate::engine::{AuthRecord, DistanceHistogram};
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+use crate::strategy::{DefaultRule, LocalityRule, MajorityRule, Strategy};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which line of Fig. 4 produced the decision — the paper's Table 3
+/// reports this as its `Line` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionLine {
+    /// Line 6: the Majority policy was decisive.
+    Majority,
+    /// Line 8: the Locality filter left a single authorization mode.
+    Locality,
+    /// Line 9: the Preference rule broke the remaining conflict.
+    Preference,
+}
+
+impl DecisionLine {
+    /// The line number as printed in Fig. 4 / Table 3.
+    pub fn line_number(self) -> u8 {
+        match self {
+            DecisionLine::Majority => 6,
+            DecisionLine::Locality => 8,
+            DecisionLine::Preference => 9,
+        }
+    }
+}
+
+/// The outcome of one `Resolve()` run with its trace — the columns of the
+/// paper's Table 3 (`c₁`, `c₂`, `Auth`, `mode`, `Line`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The effective authorization (the `mode` column).
+    pub sign: Sign,
+    /// `c₁` — positive votes counted by the Majority policy (`None` when
+    /// the strategy skips Majority: Table 3's "n/a").
+    pub c1: Option<u128>,
+    /// `c₂` — negative votes (see [`Resolution::c1`]).
+    pub c2: Option<u128>,
+    /// `Auth` — the distinct modes surviving the locality filter; `None`
+    /// when the algorithm returned before Line 7.
+    pub auth: Option<BTreeSet<Sign>>,
+    /// Which line of Fig. 4 decided.
+    pub line: DecisionLine,
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opt = |v: &Option<u128>| v.map_or("n/a".to_string(), |x| x.to_string());
+        let auth = match &self.auth {
+            None => "n/a".to_string(),
+            Some(set) if set.is_empty() => "∅".to_string(),
+            Some(set) => set
+                .iter()
+                .map(|s| s.symbol().to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        };
+        write!(
+            f,
+            "c1={} c2={} Auth={} mode={} line={}",
+            opt(&self.c1),
+            opt(&self.c2),
+            auth,
+            self.sign,
+            self.line.line_number()
+        )
+    }
+}
+
+/// A histogram over definite signs only: the `allRights` bag after the
+/// Default policy (Fig. 4 Lines 2–3) has eliminated `d` rows.
+#[derive(Debug, Clone, Default)]
+struct SignHistogram {
+    strata: Vec<(u32, u128, u128)>, // (dis, pos, neg), sorted by dis
+}
+
+impl SignHistogram {
+    fn apply_default(hist: &DistanceHistogram, rule: DefaultRule) -> Result<Self, CoreError> {
+        let mut strata = Vec::new();
+        for (dis, c) in hist.strata() {
+            let (mut pos, mut neg) = (c.pos, c.neg);
+            match rule {
+                DefaultRule::NoDefault => {}
+                DefaultRule::Pos => {
+                    pos = pos.checked_add(c.def).ok_or(CoreError::PathCountOverflow)?;
+                }
+                DefaultRule::Neg => {
+                    neg = neg.checked_add(c.def).ok_or(CoreError::PathCountOverflow)?;
+                }
+            }
+            if pos > 0 || neg > 0 {
+                strata.push((dis, pos, neg));
+            }
+        }
+        Ok(SignHistogram { strata })
+    }
+
+    fn totals(&self) -> Result<(u128, u128), CoreError> {
+        let mut pos: u128 = 0;
+        let mut neg: u128 = 0;
+        for &(_, p, n) in &self.strata {
+            pos = pos.checked_add(p).ok_or(CoreError::PathCountOverflow)?;
+            neg = neg.checked_add(n).ok_or(CoreError::PathCountOverflow)?;
+        }
+        Ok((pos, neg))
+    }
+
+    /// Counts in the stratum selected by the locality rule
+    /// (`σ_{dis = lRule(dis)}` of Fig. 4 Line 7), or the whole histogram
+    /// for `identity()`.
+    fn locality_counts(&self, rule: LocalityRule) -> Result<(u128, u128), CoreError> {
+        match rule {
+            LocalityRule::Identity => self.totals(),
+            LocalityRule::MostSpecific => {
+                Ok(self.strata.first().map_or((0, 0), |&(_, p, n)| (p, n)))
+            }
+            LocalityRule::MostGeneral => {
+                Ok(self.strata.last().map_or((0, 0), |&(_, p, n)| (p, n)))
+            }
+        }
+    }
+}
+
+/// Algorithm `Resolve()` (Fig. 4) over a pre-computed `allRights`
+/// histogram.
+///
+/// Splitting propagation from resolution means one propagation can be
+/// replayed under any of the 48 strategy instances — the histogram keeps
+/// `d` rows intact, and the Default rule is applied here.
+pub fn resolve_histogram(
+    hist: &DistanceHistogram,
+    strategy: Strategy,
+) -> Result<Resolution, CoreError> {
+    // Lines 2–3: the Default policy.
+    let signs = SignHistogram::apply_default(hist, strategy.default_rule())?;
+
+    // Lines 4–6: the Majority policy.
+    let (mut c1, mut c2) = (None, None);
+    if strategy.majority_rule() != MajorityRule::Skip {
+        let (p, n) = match strategy.majority_rule() {
+            MajorityRule::Before => signs.totals()?,
+            MajorityRule::After => signs.locality_counts(strategy.locality_rule())?,
+            MajorityRule::Skip => unreachable!(),
+        };
+        c1 = Some(p);
+        c2 = Some(n);
+        if p > n {
+            return Ok(Resolution { sign: Sign::Pos, c1, c2, auth: None, line: DecisionLine::Majority });
+        }
+        if n > p {
+            return Ok(Resolution { sign: Sign::Neg, c1, c2, auth: None, line: DecisionLine::Majority });
+        }
+    }
+
+    // Line 7: Auth ← π_mode(σ_{dis = lRule(dis)} allRights).
+    let (p, n) = signs.locality_counts(strategy.locality_rule())?;
+    let mut auth = BTreeSet::new();
+    if p > 0 {
+        auth.insert(Sign::Pos);
+    }
+    if n > 0 {
+        auth.insert(Sign::Neg);
+    }
+
+    // Line 8: a single surviving mode wins.
+    if auth.len() == 1 {
+        let sign = *auth.iter().next().expect("len checked");
+        return Ok(Resolution { sign, c1, c2, auth: Some(auth), line: DecisionLine::Locality });
+    }
+
+    // Line 9: the Preference rule.
+    Ok(Resolution {
+        sign: strategy.preference_rule(),
+        c1,
+        c2,
+        auth: Some(auth),
+        line: DecisionLine::Preference,
+    })
+}
+
+/// Which propagation engine a [`Resolver`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The counting dynamic program (default; polynomial).
+    Counting,
+    /// Paper-faithful per-path enumeration with a record budget.
+    PathEnum(PropagateOptions),
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Counting
+    }
+}
+
+/// The query facade: binds a hierarchy and an explicit matrix, and
+/// answers effective-authorization questions under any strategy.
+///
+/// ```
+/// use ucra_core::{Eacm, Resolver, Sign, Strategy, SubjectDag};
+/// use ucra_core::ids::{ObjectId, RightId};
+///
+/// let mut h = SubjectDag::new();
+/// let staff = h.add_subject();
+/// let alice = h.add_subject();
+/// h.add_membership(staff, alice).unwrap();
+///
+/// let (report, read) = (ObjectId(0), RightId(0));
+/// let mut eacm = Eacm::new();
+/// eacm.grant(staff, report, read).unwrap();
+///
+/// let resolver = Resolver::new(&h, &eacm);
+/// let strategy: Strategy = "D-LP-".parse().unwrap();
+/// assert_eq!(resolver.resolve(alice, report, read, strategy).unwrap(), Sign::Pos);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resolver<'a> {
+    hierarchy: &'a SubjectDag,
+    eacm: &'a Eacm,
+    engine: Engine,
+    propagation_mode: PropagationMode,
+}
+
+impl<'a> Resolver<'a> {
+    /// A resolver with the default (counting) engine and the paper's
+    /// propagation semantics.
+    pub fn new(hierarchy: &'a SubjectDag, eacm: &'a Eacm) -> Self {
+        Resolver {
+            hierarchy,
+            eacm,
+            engine: Engine::default(),
+            propagation_mode: PropagationMode::Both,
+        }
+    }
+
+    /// Selects the propagation engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the propagation mode (paper future work #3). Only the
+    /// counting engine honours non-default modes; the path-enumeration
+    /// engine is deliberately kept as the paper wrote it.
+    #[must_use]
+    pub fn with_propagation_mode(mut self, mode: PropagationMode) -> Self {
+        self.propagation_mode = mode;
+        self
+    }
+
+    /// The `allRights` histogram for a triple (Steps 1–3 of §3).
+    pub fn all_rights_histogram(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<DistanceHistogram, CoreError> {
+        match self.engine {
+            Engine::Counting => counting::histogram(
+                self.hierarchy,
+                self.eacm,
+                subject,
+                object,
+                right,
+                self.propagation_mode,
+            ),
+            Engine::PathEnum(opts) => {
+                let records =
+                    path_enum::propagate(self.hierarchy, self.eacm, subject, object, right, opts)?;
+                DistanceHistogram::from_records(&records)
+            }
+        }
+    }
+
+    /// The raw `allRights` records for a triple (paper Table 1). Always
+    /// uses path enumeration, since individual records are requested.
+    pub fn all_rights_records(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Vec<AuthRecord>, CoreError> {
+        let opts = match self.engine {
+            Engine::PathEnum(opts) => opts,
+            Engine::Counting => PropagateOptions::default(),
+        };
+        path_enum::propagate(self.hierarchy, self.eacm, subject, object, right, opts)
+    }
+
+    /// The effective authorization of `subject` for `right` on `object`
+    /// under `strategy` (Step 4 of §3).
+    pub fn resolve(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Sign, CoreError> {
+        Ok(self.resolve_traced(subject, object, right, strategy)?.sign)
+    }
+
+    /// Like [`Resolver::resolve`], with the Table-3 trace.
+    pub fn resolve_traced(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Resolution, CoreError> {
+        let hist = self.all_rights_histogram(subject, object, right)?;
+        resolve_histogram(&hist, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Mode;
+
+    /// The paper's Table 1 as a histogram.
+    fn table1() -> DistanceHistogram {
+        let mut h = DistanceHistogram::new();
+        for (d, m) in [
+            (1, Mode::Neg),
+            (1, Mode::Default),
+            (2, Mode::Default),
+            (1, Mode::Pos),
+            (3, Mode::Pos),
+            (3, Mode::Default),
+        ] {
+            h.add(d, m, 1).unwrap();
+        }
+        h
+    }
+
+    fn run(mnemonic: &str) -> Resolution {
+        let strategy: Strategy = mnemonic.parse().unwrap();
+        resolve_histogram(&table1(), strategy).unwrap()
+    }
+
+    #[test]
+    fn table_3_trace_rows() {
+        // D+LMP+: c1=2, c2=1, Auth n/a, +, line 6.
+        let r = run("D+LMP+");
+        assert_eq!((r.c1, r.c2), (Some(2), Some(1)));
+        assert_eq!(r.auth, None);
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Majority));
+
+        // D-GMP-: c1=1, c2=1, Auth {+,-}, -, line 9.
+        let r = run("D-GMP-");
+        assert_eq!((r.c1, r.c2), (Some(1), Some(1)));
+        assert_eq!(
+            r.auth,
+            Some([Sign::Pos, Sign::Neg].into_iter().collect())
+        );
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Preference));
+
+        // D-MP-: c1=2, c2=4, -, line 6.
+        let r = run("D-MP-");
+        assert_eq!((r.c1, r.c2), (Some(2), Some(4)));
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Majority));
+
+        // D-LP+: n/a, n/a, Auth {-,+}, +, line 9.
+        let r = run("D-LP+");
+        assert_eq!((r.c1, r.c2), (None, None));
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Preference));
+
+        // D+GP-: n/a, n/a, Auth {+}, +, line 8.
+        let r = run("D+GP-");
+        assert_eq!((r.c1, r.c2), (None, None));
+        assert_eq!(r.auth, Some([Sign::Pos].into_iter().collect()));
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Locality));
+
+        // GMP-: c1=1, c2=0, +, line 6.
+        let r = run("GMP-");
+        assert_eq!((r.c1, r.c2), (Some(1), Some(0)));
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Majority));
+
+        // P-: n/a, n/a, Auth {-,+}, -, line 9.
+        let r = run("P-");
+        assert_eq!((r.c1, r.c2), (None, None));
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Preference));
+
+        // MGP-: the paper's Table 3 prints c1=1, c2=0, but Fig. 4 as
+        // written (and the §2.2 prose: "two +'s as opposed to only one -")
+        // gives c1=2, c2=1; the decision is + at Line 6 either way. We
+        // follow Fig. 4. See DESIGN.md §2.3.
+        let r = run("MGP-");
+        assert_eq!((r.c1, r.c2), (Some(2), Some(1)));
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Majority));
+    }
+
+    #[test]
+    fn table_2_all_48_results() {
+        // The full Table 2 of the paper: every strategy instance's result
+        // on the motivating example.
+        let expected: &[(&str, Sign)] = &[
+            ("D+LMP+", Sign::Pos),
+            ("D+LMP-", Sign::Pos),
+            ("D-LMP+", Sign::Neg),
+            ("D-LMP-", Sign::Neg),
+            ("D+GMP+", Sign::Pos),
+            ("D+GMP-", Sign::Pos),
+            ("D-GMP+", Sign::Pos),
+            ("D-GMP-", Sign::Neg),
+            ("D+MP+", Sign::Pos),
+            ("D+MP-", Sign::Pos),
+            ("D-MP+", Sign::Neg),
+            ("D-MP-", Sign::Neg),
+            ("D+LP+", Sign::Pos),
+            ("D+LP-", Sign::Neg),
+            ("D-LP+", Sign::Pos),
+            ("D-LP-", Sign::Neg),
+            ("D+GP+", Sign::Pos),
+            ("D+GP-", Sign::Pos),
+            ("D-GP+", Sign::Pos),
+            ("D-GP-", Sign::Neg),
+            ("D+P+", Sign::Pos),
+            ("D+P-", Sign::Neg),
+            ("D-P+", Sign::Pos),
+            ("D-P-", Sign::Neg),
+            ("LMP+", Sign::Pos),
+            ("LMP-", Sign::Neg),
+            ("GMP+", Sign::Pos),
+            ("GMP-", Sign::Pos),
+            ("MP+", Sign::Pos),
+            ("MP-", Sign::Pos),
+            ("LP+", Sign::Pos),
+            ("LP-", Sign::Neg),
+            ("GP+", Sign::Pos),
+            ("GP-", Sign::Pos),
+            ("P+", Sign::Pos),
+            ("P-", Sign::Neg),
+            ("D+MLP+", Sign::Pos),
+            ("D+MLP-", Sign::Pos),
+            ("D-MLP+", Sign::Neg),
+            ("D-MLP-", Sign::Neg),
+            ("D+MGP+", Sign::Pos),
+            ("D+MGP-", Sign::Pos),
+            ("D-MGP+", Sign::Neg),
+            ("D-MGP-", Sign::Neg),
+            ("MLP+", Sign::Pos),
+            ("MLP-", Sign::Pos),
+            ("MGP+", Sign::Pos),
+            ("MGP-", Sign::Pos),
+        ];
+        assert_eq!(expected.len(), 48);
+        for &(mnemonic, sign) in expected {
+            let r = run(mnemonic);
+            assert_eq!(r.sign, sign, "strategy {mnemonic}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_falls_to_preference() {
+        let empty = DistanceHistogram::new();
+        for s in Strategy::all_instances() {
+            let r = resolve_histogram(&empty, s).unwrap();
+            assert_eq!(r.sign, s.preference_rule(), "strategy {s}");
+            assert_eq!(r.line, DecisionLine::Preference);
+            assert_eq!(r.auth, Some(BTreeSet::new()));
+        }
+    }
+
+    #[test]
+    fn no_default_with_only_default_rows_falls_to_preference() {
+        let mut h = DistanceHistogram::new();
+        h.add(2, Mode::Default, 3).unwrap();
+        let r = resolve_histogram(&h, "LMP+".parse().unwrap()).unwrap();
+        assert_eq!((r.sign, r.line), (Sign::Pos, DecisionLine::Preference));
+        // With a default policy and no majority, the same rows decide at
+        // Line 8 (single surviving mode).
+        let r = resolve_histogram(&h, "D-LP+".parse().unwrap()).unwrap();
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Locality));
+        // With majority, the 3-vs-0 vote catches it earlier, at Line 6.
+        let r = resolve_histogram(&h, "D-LMP+".parse().unwrap()).unwrap();
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Majority));
+        assert_eq!((r.c1, r.c2), (Some(0), Some(3)));
+    }
+
+    #[test]
+    fn resolver_facade_matches_direct_resolution() {
+        let mut h = SubjectDag::new();
+        let s1 = h.add_subject();
+        let s2 = h.add_subject();
+        let s3 = h.add_subject();
+        let s5 = h.add_subject();
+        let s6 = h.add_subject();
+        let user = h.add_subject();
+        h.add_membership(s1, s3).unwrap();
+        h.add_membership(s2, s3).unwrap();
+        h.add_membership(s2, user).unwrap();
+        h.add_membership(s3, s5).unwrap();
+        h.add_membership(s5, user).unwrap();
+        h.add_membership(s6, s5).unwrap();
+        h.add_membership(s6, user).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(s2, o, r).unwrap();
+        eacm.deny(s5, o, r).unwrap();
+
+        let counting = Resolver::new(&h, &eacm);
+        let path_enum =
+            Resolver::new(&h, &eacm).with_engine(Engine::PathEnum(PropagateOptions::default()));
+        for strategy in Strategy::all_instances() {
+            let a = counting.resolve_traced(user, o, r, strategy).unwrap();
+            let b = path_enum.resolve_traced(user, o, r, strategy).unwrap();
+            assert_eq!(a, b, "engines disagree on {strategy}");
+        }
+    }
+
+    #[test]
+    fn majority_after_counts_only_min_stratum() {
+        // Regression guard for the D-LMP+ ordering: majority AFTER
+        // locality counts only the min stratum.
+        let r = run("D-LMP+");
+        assert_eq!((r.c1, r.c2), (Some(1), Some(2)));
+        assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Majority));
+    }
+
+    #[test]
+    fn resolution_display_renders_table3_style() {
+        let r = run("D-GMP-");
+        let text = r.to_string();
+        assert!(text.contains("c1=1"));
+        assert!(text.contains("Auth=+,-"));
+        assert!(text.contains("line=9"));
+        let r = run("D+LMP+");
+        assert!(r.to_string().contains("Auth=n/a"));
+    }
+}

@@ -1,0 +1,386 @@
+//! A long-lived, mutable access-control session with precise cache
+//! maintenance.
+//!
+//! The paper's related-work section criticises materialised effective
+//! matrices because they are "not self-maintainable with respect to
+//! updating the explicit authorizations, and even a slight update …
+//! could trigger a drastic modification". The sweep cache avoids that
+//! trap: what we materialise per `(object, right)` pair is the
+//! *histogram table*, which is
+//!
+//! * **strategy-independent** — switching the enterprise's conflict
+//!   resolution strategy (the paper's headline use case) invalidates
+//!   nothing;
+//! * **pair-local** — an explicit-matrix update touches exactly one
+//!   `(object, right)` sweep;
+//! * only hierarchy edits (group membership changes) invalidate
+//!   everything, and those are rare in practice.
+//!
+//! [`AccessSession`] owns the model, tracks these dependencies, and
+//! exposes hit/invalidation counters so operators can see the cache
+//! behave.
+
+use crate::engine::counting::{self, PropagationMode};
+use crate::engine::DistanceHistogram;
+use crate::error::CoreError;
+use crate::explain::{explain, Explanation};
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+use crate::resolve::{resolve_histogram, Resolution};
+use crate::strategy::Strategy;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache behaviour counters (monotonic, observational).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries served from a cached sweep.
+    pub cache_hits: u64,
+    /// Sweeps computed.
+    pub sweeps: u64,
+    /// Sweeps dropped by explicit-matrix updates.
+    pub pair_invalidations: u64,
+    /// Full cache flushes caused by hierarchy edits.
+    pub full_invalidations: u64,
+}
+
+/// An owned access-control installation: hierarchy + explicit matrix +
+/// configured strategy + self-maintaining sweep cache.
+///
+/// ```
+/// use ucra_core::{AccessSession, Sign};
+/// use ucra_core::ids::{ObjectId, RightId};
+///
+/// let mut session = AccessSession::empty("D-LP-".parse().unwrap());
+/// let admins = session.add_subject();
+/// let alice = session.add_subject();
+/// session.add_membership(admins, alice).unwrap();
+/// session.set_authorization(admins, ObjectId(0), RightId(0), Sign::Pos).unwrap();
+///
+/// assert_eq!(session.check(alice, ObjectId(0), RightId(0)).unwrap(), Sign::Pos);
+/// // Switching strategy costs nothing: the cached sweep is reused.
+/// session.set_strategy("D+GP+".parse().unwrap());
+/// session.check(alice, ObjectId(0), RightId(0)).unwrap();
+/// assert_eq!(session.stats().sweeps, 1);
+/// ```
+#[derive(Debug)]
+pub struct AccessSession {
+    hierarchy: SubjectDag,
+    eacm: Eacm,
+    strategy: Strategy,
+    cache: RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    sweeps: AtomicU64,
+    pair_invalidations: AtomicU64,
+    full_invalidations: AtomicU64,
+}
+
+impl AccessSession {
+    /// A new session around an existing model.
+    pub fn new(hierarchy: SubjectDag, eacm: Eacm, strategy: Strategy) -> Self {
+        AccessSession {
+            hierarchy,
+            eacm,
+            strategy,
+            cache: RwLock::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            pair_invalidations: AtomicU64::new(0),
+            full_invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty session under the given strategy.
+    pub fn empty(strategy: Strategy) -> Self {
+        AccessSession::new(SubjectDag::new(), Eacm::new(), strategy)
+    }
+
+    /// The current strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Switches the conflict-resolution strategy. **No cache
+    /// invalidation** — the cached sweeps keep `d` rows separate, so all
+    /// 48 strategies read the same tables. This is the paper's
+    /// reconfigure-without-reinstall story, made literal.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Read access to the hierarchy.
+    pub fn hierarchy(&self) -> &SubjectDag {
+        &self.hierarchy
+    }
+
+    /// Read access to the explicit matrix.
+    pub fn eacm(&self) -> &Eacm {
+        &self.eacm
+    }
+
+    /// Adds a subject. Does not invalidate (an isolated new subject
+    /// cannot appear in any existing ancestor cone)… except that cached
+    /// sweep tables are indexed by subject, so they are extended lazily:
+    /// we must still flush. Cheap correctness beats clever staleness.
+    pub fn add_subject(&mut self) -> SubjectId {
+        self.flush_all();
+        self.hierarchy.add_subject()
+    }
+
+    /// Adds a membership edge; flushes the whole cache (hierarchy edits
+    /// can reroute every ancestor cone).
+    pub fn add_membership(&mut self, group: SubjectId, member: SubjectId) -> Result<(), CoreError> {
+        self.hierarchy.add_membership(group, member)?;
+        self.flush_all();
+        Ok(())
+    }
+
+    /// Records an explicit authorization; drops only the affected
+    /// `(object, right)` sweep.
+    pub fn set_authorization(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        sign: Sign,
+    ) -> Result<(), CoreError> {
+        self.eacm.set(subject, object, right, sign)?;
+        self.flush_pair(object, right);
+        Ok(())
+    }
+
+    /// Removes an explicit authorization; drops only the affected sweep.
+    pub fn unset_authorization(
+        &mut self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Option<Sign> {
+        let removed = self.eacm.unset(subject, object, right);
+        if removed.is_some() {
+            self.flush_pair(object, right);
+        }
+        removed
+    }
+
+    /// The effective authorization under the session strategy.
+    pub fn check(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Sign, CoreError> {
+        Ok(self.check_traced(subject, object, right)?.sign)
+    }
+
+    /// Like [`AccessSession::check`], with the Table-3 trace.
+    pub fn check_traced(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Resolution, CoreError> {
+        self.check_traced_with(subject, object, right, self.strategy)
+    }
+
+    /// Checks under an explicit strategy (still served by the same
+    /// cache).
+    pub fn check_traced_with(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Resolution, CoreError> {
+        if !self.hierarchy.contains(subject) {
+            return Err(CoreError::UnknownSubject(subject));
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let table = self.sweep(object, right)?;
+        resolve_histogram(&table[subject.index()], strategy)
+    }
+
+    /// Explains a decision under the session strategy (uncached: the
+    /// explanation needs per-path sources).
+    pub fn explain(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Explanation, CoreError> {
+        explain(&self.hierarchy, &self.eacm, subject, object, right, self.strategy)
+    }
+
+    /// Cache/maintenance counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            pair_invalidations: self.pair_invalidations.load(Ordering::Relaxed),
+            full_invalidations: self.full_invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn sweep(
+        &self,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Arc<Vec<DistanceHistogram>>, CoreError> {
+        if let Some(t) = self.cache.read().get(&(object, right)) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(t));
+        }
+        let table = Arc::new(counting::histograms_all(
+            &self.hierarchy,
+            &self.eacm,
+            object,
+            right,
+            PropagationMode::Both,
+        )?);
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.cache.write();
+        let entry = guard
+            .entry((object, right))
+            .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
+    }
+
+    fn flush_pair(&self, object: ObjectId, right: RightId) {
+        if self.cache.write().remove(&(object, right)).is_some() {
+            self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush_all(&self) {
+        let mut guard = self.cache.write();
+        if !guard.is_empty() {
+            self.full_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        guard.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating::motivating_example;
+
+    fn session() -> (AccessSession, crate::motivating::MotivatingExample) {
+        let ex = motivating_example();
+        let s = AccessSession::new(
+            ex.hierarchy.clone(),
+            ex.eacm.clone(),
+            "D-LP-".parse().unwrap(),
+        );
+        (s, ex)
+    }
+
+    #[test]
+    fn check_matches_resolver_and_counts_hits() {
+        let (s, ex) = session();
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
+        let stats = s.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn strategy_switch_preserves_cache() {
+        let (mut s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        s.set_strategy("D+LMP+".parse().unwrap());
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
+        let stats = s.stats();
+        assert_eq!(stats.sweeps, 1, "strategy change must not re-sweep");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.pair_invalidations + stats.full_invalidations, 0);
+    }
+
+    #[test]
+    fn matrix_update_invalidates_only_its_pair() {
+        let (mut s, ex) = session();
+        let other = ObjectId(9);
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        s.check(ex.user, other, ex.read).unwrap();
+        assert_eq!(s.stats().sweeps, 2);
+        // Update obj's matrix: only that sweep drops.
+        s.set_authorization(ex.s[0], ex.obj, ex.read, Sign::Neg).unwrap();
+        s.check(ex.user, other, ex.read).unwrap(); // still cached
+        assert_eq!(s.stats().sweeps, 2);
+        let before = s.check(ex.user, ex.obj, ex.read).unwrap(); // re-swept
+        assert_eq!(s.stats().sweeps, 3);
+        assert_eq!(s.stats().pair_invalidations, 1);
+        // And the answer reflects the update: S1 now denies explicitly,
+        // but S5's - at distance 1 already decided D-LP- — assert via a
+        // strategy the update actually flips.
+        let _ = before;
+    }
+
+    #[test]
+    fn update_changes_answers() {
+        let (mut s, ex) = session();
+        // Under D+LP+ the defaults are positive and User gets + (Table 2).
+        s.set_strategy("D+LP+".parse().unwrap());
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
+        // Deny at User itself: distance 0 beats everything.
+        s.set_authorization(ex.user, ex.obj, ex.read, Sign::Neg).unwrap();
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
+        // Remove it again: back to +.
+        assert_eq!(s.unset_authorization(ex.user, ex.obj, ex.read), Some(Sign::Neg));
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
+        assert_eq!(s.stats().pair_invalidations, 2);
+    }
+
+    #[test]
+    fn hierarchy_edit_flushes_everything() {
+        let (mut s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let newbie = s.add_subject();
+        s.add_membership(ex.s[1], newbie).unwrap(); // member of S2
+        assert_eq!(s.check(newbie, ex.obj, ex.read).unwrap(), Sign::Pos);
+        let stats = s.stats();
+        assert!(stats.full_invalidations >= 1);
+        assert_eq!(stats.sweeps, 2);
+    }
+
+    #[test]
+    fn contradictory_update_leaves_cache_intact() {
+        let (mut s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let err = s
+            .set_authorization(ex.s[1], ex.obj, ex.read, Sign::Neg)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ContradictoryAuthorization { .. }));
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        assert_eq!(s.stats().sweeps, 1, "failed update must not invalidate");
+    }
+
+    #[test]
+    fn explain_uses_session_strategy() {
+        let (s, ex) = session();
+        let e = s.explain(ex.user, ex.obj, ex.read).unwrap();
+        assert_eq!(e.strategy, s.strategy());
+        assert_eq!(e.resolution.sign, Sign::Neg);
+    }
+
+    #[test]
+    fn unknown_subject_rejected() {
+        let (s, ex) = session();
+        let ghost = SubjectId::from_index(77);
+        assert_eq!(
+            s.check(ghost, ex.obj, ex.read).unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+    }
+}

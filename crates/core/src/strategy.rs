@@ -1,0 +1,566 @@
+//! The conflict-resolution strategy framework (§2 of the paper).
+//!
+//! A *strategy instance* fixes the four parameters of Algorithm
+//! `Resolve()` (Fig. 4): the Default rule (`dRule`), the Locality rule
+//! (`lRule`), the Majority rule (`mRule`) and the Preference rule
+//! (`pRule`). §2.2 derives exactly **48 legitimate instances** from the
+//! ten combined strategies DLP, DLMP, DP, DMLP, DMP (Chinaei & Zhang) and
+//! LP, LMP, P, MLP, MP (this paper's extension): the Preference policy is
+//! always last, Default (when present) always first, and Locality/Majority
+//! are optional in either order.
+//!
+//! The raw parameter space has 3·3·3·2 = 54 points; the 6-point surplus is
+//! the observation that when `lRule = identity()` the locality filter does
+//! nothing, so applying Majority *before* or *after* it is the same
+//! strategy. [`Strategy::new`] canonicalises that case to `Before`, making
+//! strategies with equal behaviour compare equal and making
+//! [`Strategy::all_instances`] enumerate exactly the paper's 48.
+//!
+//! Strategies have a mnemonic syntax identical to the paper's:
+//! `D+LMP-` is *default-positive, locality (most specific), then majority,
+//! then preference-negative*; `GMP+` is *globality, then majority, then
+//! preference-positive* with no default; `P-` is pure closed-world
+//! preference. [`Strategy`] implements [`std::str::FromStr`] and
+//! [`std::fmt::Display`] for this syntax. Unicode superscripts used in the
+//! paper's tables (`D⁺LMP⁻`) are accepted on input.
+
+use crate::error::CoreError;
+use crate::mode::Sign;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// `dRule` — what happens to the `d` placeholders on unlabeled root
+/// ancestors (Fig. 4 Lines 2–3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum DefaultRule {
+    /// `"+"` — defaults become positive (open systems).
+    Pos,
+    /// `"-"` — defaults become negative (closed systems, e.g. military).
+    Neg,
+    /// `"0"` — no default policy: `d` rows are discarded.
+    NoDefault,
+}
+
+/// `lRule` — which distance stratum of `allRights` survives the locality
+/// filter (Fig. 4 Line 7).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum LocalityRule {
+    /// `min()` — the most specific authorization takes precedence
+    /// (paper mnemonic letter `L`).
+    MostSpecific,
+    /// `max()` — the most general authorization takes precedence
+    /// ("globality", mnemonic letter `G`).
+    MostGeneral,
+    /// `identity()` — no locality policy; every row passes.
+    Identity,
+}
+
+/// `mRule` — whether the Majority vote is taken, and whether it is counted
+/// before or after the locality filter (Fig. 4 Lines 4–6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum MajorityRule {
+    /// Count over all of `allRights` (strategy shapes `M…L…` / `M…G…` /
+    /// plain `M`).
+    Before,
+    /// Apply the locality filter first, count over the surviving stratum
+    /// (strategy shapes `…LM…` / `…GM…`).
+    After,
+    /// No majority policy.
+    Skip,
+}
+
+/// A complete, canonical strategy instance: the four parameters of
+/// `Resolve()`.
+///
+/// Use [`Strategy::new`] (which canonicalises), the mnemonic parser
+/// (`"D+LMP-".parse()`), or [`Strategy::all_instances`].
+///
+/// ```
+/// use ucra_core::{DefaultRule, LocalityRule, MajorityRule, Sign, Strategy};
+///
+/// let s: Strategy = "D+LMP-".parse().unwrap();
+/// assert_eq!(s.default_rule(), DefaultRule::Pos);
+/// assert_eq!(s.locality_rule(), LocalityRule::MostSpecific);
+/// assert_eq!(s.majority_rule(), MajorityRule::After);
+/// assert_eq!(s.preference_rule(), Sign::Neg);
+/// assert_eq!(s.to_string(), "D+LMP-");
+/// assert_eq!(Strategy::all_instances().len(), 48);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Strategy {
+    default: DefaultRule,
+    locality: LocalityRule,
+    majority: MajorityRule,
+    preference: Sign,
+}
+
+impl Strategy {
+    /// Builds a strategy from raw parameters, canonicalising the one
+    /// redundancy in the parameter space: with `lRule = identity()` the
+    /// locality filter is a no-op, so `Majority::After` ≡
+    /// `Majority::Before` and is normalised to `Before`.
+    pub fn new(
+        default: DefaultRule,
+        locality: LocalityRule,
+        majority: MajorityRule,
+        preference: Sign,
+    ) -> Strategy {
+        let majority = match (locality, majority) {
+            (LocalityRule::Identity, MajorityRule::After) => MajorityRule::Before,
+            (_, m) => m,
+        };
+        Strategy { default, locality, majority, preference }
+    }
+
+    /// The Default rule.
+    pub fn default_rule(&self) -> DefaultRule {
+        self.default
+    }
+
+    /// The Locality rule.
+    pub fn locality_rule(&self) -> LocalityRule {
+        self.locality
+    }
+
+    /// The Majority rule (canonical: never `After` with `Identity`
+    /// locality).
+    pub fn majority_rule(&self) -> MajorityRule {
+        self.majority
+    }
+
+    /// The Preference rule.
+    pub fn preference_rule(&self) -> Sign {
+        self.preference
+    }
+
+    /// All 48 legitimate strategy instances, in a stable order: grouped by
+    /// Default rule (`+`, `-`, none), then by policy shape, then by
+    /// preference sign.
+    pub fn all_instances() -> Vec<Strategy> {
+        let mut out = Vec::with_capacity(48);
+        for default in [DefaultRule::Pos, DefaultRule::Neg, DefaultRule::NoDefault] {
+            for (locality, majority) in [
+                (LocalityRule::MostSpecific, MajorityRule::Skip),   // …LP…
+                (LocalityRule::MostSpecific, MajorityRule::After),  // …LMP…
+                (LocalityRule::MostSpecific, MajorityRule::Before), // …MLP…
+                (LocalityRule::MostGeneral, MajorityRule::Skip),    // …GP…
+                (LocalityRule::MostGeneral, MajorityRule::After),   // …GMP…
+                (LocalityRule::MostGeneral, MajorityRule::Before),  // …MGP…
+                (LocalityRule::Identity, MajorityRule::Skip),       // …P…
+                (LocalityRule::Identity, MajorityRule::Before),     // …MP…
+            ] {
+                for preference in [Sign::Pos, Sign::Neg] {
+                    out.push(Strategy::new(default, locality, majority, preference));
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), 48);
+        out
+    }
+
+    /// The paper's mnemonic for this instance, e.g. `D+LMP-`, `GMP+`,
+    /// `P-`.
+    pub fn mnemonic(&self) -> String {
+        let mut s = String::new();
+        match self.default {
+            DefaultRule::Pos => s.push_str("D+"),
+            DefaultRule::Neg => s.push_str("D-"),
+            DefaultRule::NoDefault => {}
+        }
+        let locality_letter = match self.locality {
+            LocalityRule::MostSpecific => Some('L'),
+            LocalityRule::MostGeneral => Some('G'),
+            LocalityRule::Identity => None,
+        };
+        match (self.majority, locality_letter) {
+            (MajorityRule::Skip, Some(l)) => s.push(l),
+            (MajorityRule::Skip, None) => {}
+            (MajorityRule::Before, Some(l)) => {
+                s.push('M');
+                s.push(l);
+            }
+            (MajorityRule::Before, None) => s.push('M'),
+            (MajorityRule::After, Some(l)) => {
+                s.push(l);
+                s.push('M');
+            }
+            (MajorityRule::After, None) => {
+                unreachable!("canonical strategies never pair After with Identity")
+            }
+        }
+        s.push('P');
+        s.push(self.preference.symbol());
+        s
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// The ten *combined strategies* of the paper's Fig. 2 (extended in
+/// §2.2): a shape abstracts over the per-policy modes and names which
+/// policies participate, in which order.
+///
+/// Chinaei & Zhang's five shapes (with Default) plus this paper's five
+/// default-free shapes. Each shape generates 2, 4 or 8 instances
+/// depending on how many of its policies are two-moded; together they
+/// generate exactly the 48 instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are the paper's mnemonics, documented above
+pub enum StrategyShape {
+    Dlp,
+    Dlmp,
+    Dp,
+    Dmlp,
+    Dmp,
+    Lp,
+    Lmp,
+    P,
+    Mlp,
+    Mp,
+}
+
+impl StrategyShape {
+    /// All ten shapes, Fig. 2 order then the §2.2 extension.
+    pub fn all() -> [StrategyShape; 10] {
+        use StrategyShape::*;
+        [Dlp, Dlmp, Dp, Dmlp, Dmp, Lp, Lmp, P, Mlp, Mp]
+    }
+
+    /// The shape's mnemonic skeleton, e.g. `DLMP`.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyShape::Dlp => "DLP",
+            StrategyShape::Dlmp => "DLMP",
+            StrategyShape::Dp => "DP",
+            StrategyShape::Dmlp => "DMLP",
+            StrategyShape::Dmp => "DMP",
+            StrategyShape::Lp => "LP",
+            StrategyShape::Lmp => "LMP",
+            StrategyShape::P => "P",
+            StrategyShape::Mlp => "MLP",
+            StrategyShape::Mp => "MP",
+        }
+    }
+
+    /// `true` for the five shapes that include the Default policy
+    /// (Chinaei & Zhang's original framework).
+    pub fn has_default(self) -> bool {
+        matches!(
+            self,
+            StrategyShape::Dlp
+                | StrategyShape::Dlmp
+                | StrategyShape::Dp
+                | StrategyShape::Dmlp
+                | StrategyShape::Dmp
+        )
+    }
+
+    /// The strategy instances this shape generates (§2.2's counting:
+    /// 8 for D?L?P?, 8 for D?L?M P?, 8 for D?ML?P?, 4 for D?P?/D?MP?,
+    /// 4 for L?P?/L?MP?/ML?P?, 2 for P?/MP?).
+    pub fn instances(self) -> Vec<Strategy> {
+        let defaults: &[DefaultRule] = if self.has_default() {
+            &[DefaultRule::Pos, DefaultRule::Neg]
+        } else {
+            &[DefaultRule::NoDefault]
+        };
+        let localities: &[LocalityRule] = match self {
+            StrategyShape::Dp | StrategyShape::P | StrategyShape::Dmp | StrategyShape::Mp => {
+                &[LocalityRule::Identity]
+            }
+            _ => &[LocalityRule::MostSpecific, LocalityRule::MostGeneral],
+        };
+        let majority = match self {
+            StrategyShape::Dlp | StrategyShape::Dp | StrategyShape::Lp | StrategyShape::P => {
+                MajorityRule::Skip
+            }
+            StrategyShape::Dlmp | StrategyShape::Lmp => MajorityRule::After,
+            StrategyShape::Dmlp | StrategyShape::Dmp | StrategyShape::Mlp | StrategyShape::Mp => {
+                MajorityRule::Before
+            }
+        };
+        let mut out = Vec::new();
+        for &d in defaults {
+            for &l in localities {
+                for p in [Sign::Pos, Sign::Neg] {
+                    out.push(Strategy::new(d, l, majority, p));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy {
+    /// The combined-strategy shape this instance belongs to.
+    pub fn shape(&self) -> StrategyShape {
+        let with_default = self.default != DefaultRule::NoDefault;
+        match (with_default, self.locality, self.majority) {
+            (true, LocalityRule::Identity, MajorityRule::Skip) => StrategyShape::Dp,
+            (true, LocalityRule::Identity, _) => StrategyShape::Dmp,
+            (true, _, MajorityRule::Skip) => StrategyShape::Dlp,
+            (true, _, MajorityRule::After) => StrategyShape::Dlmp,
+            (true, _, MajorityRule::Before) => StrategyShape::Dmlp,
+            (false, LocalityRule::Identity, MajorityRule::Skip) => StrategyShape::P,
+            (false, LocalityRule::Identity, _) => StrategyShape::Mp,
+            (false, _, MajorityRule::Skip) => StrategyShape::Lp,
+            (false, _, MajorityRule::After) => StrategyShape::Lmp,
+            (false, _, MajorityRule::Before) => StrategyShape::Mlp,
+        }
+    }
+}
+
+impl FromStr for Strategy {
+    type Err = CoreError;
+
+    /// Parses the paper's mnemonics. ASCII `+`/`-` and the Unicode
+    /// superscripts `⁺`/`⁻` used in the paper's tables are both accepted.
+    fn from_str(input: &str) -> Result<Strategy, CoreError> {
+        let bad = |reason: &'static str| CoreError::BadMnemonic {
+            input: input.to_string(),
+            reason,
+        };
+        // Normalise superscript signs to ASCII.
+        let text: String = input
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '⁺' => '+',
+                '⁻' | '−' => '-',
+                other => other,
+            })
+            .collect();
+        let mut chars = text.chars().peekable();
+
+        let default = if chars.peek() == Some(&'D') {
+            chars.next();
+            match chars.next() {
+                Some('+') => DefaultRule::Pos,
+                Some('-') => DefaultRule::Neg,
+                _ => return Err(bad("`D` must be followed by `+` or `-`")),
+            }
+        } else {
+            DefaultRule::NoDefault
+        };
+
+        // Middle section: one of "", "L", "G", "M", "ML", "MG", "LM", "GM".
+        let mut middle = String::new();
+        while matches!(chars.peek(), Some('L' | 'G' | 'M')) {
+            middle.push(chars.next().expect("peeked"));
+        }
+        let (locality, majority) = match middle.as_str() {
+            "" => (LocalityRule::Identity, MajorityRule::Skip),
+            "L" => (LocalityRule::MostSpecific, MajorityRule::Skip),
+            "G" => (LocalityRule::MostGeneral, MajorityRule::Skip),
+            "M" => (LocalityRule::Identity, MajorityRule::Before),
+            "ML" => (LocalityRule::MostSpecific, MajorityRule::Before),
+            "MG" => (LocalityRule::MostGeneral, MajorityRule::Before),
+            "LM" => (LocalityRule::MostSpecific, MajorityRule::After),
+            "GM" => (LocalityRule::MostGeneral, MajorityRule::After),
+            _ => return Err(bad("policy letters must form L, G, M, ML, MG, LM or GM")),
+        };
+
+        if chars.next() != Some('P') {
+            return Err(bad("expected `P` before the preference sign"));
+        }
+        let preference = match chars.next() {
+            Some('+') => Sign::Pos,
+            Some('-') => Sign::Neg,
+            _ => return Err(bad("`P` must be followed by `+` or `-`")),
+        };
+        if chars.next().is_some() {
+            return Err(bad("trailing characters after the preference sign"));
+        }
+        Ok(Strategy::new(default, locality, majority, preference))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_48_distinct_instances() {
+        let all = Strategy::all_instances();
+        assert_eq!(all.len(), 48);
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), 48);
+    }
+
+    #[test]
+    fn canonicalisation_collapses_identity_after() {
+        let a = Strategy::new(
+            DefaultRule::Pos,
+            LocalityRule::Identity,
+            MajorityRule::After,
+            Sign::Pos,
+        );
+        let b = Strategy::new(
+            DefaultRule::Pos,
+            LocalityRule::Identity,
+            MajorityRule::Before,
+            Sign::Pos,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.majority_rule(), MajorityRule::Before);
+    }
+
+    #[test]
+    fn raw_space_collapses_to_48() {
+        let mut set = HashSet::new();
+        for d in [DefaultRule::Pos, DefaultRule::Neg, DefaultRule::NoDefault] {
+            for l in [
+                LocalityRule::MostSpecific,
+                LocalityRule::MostGeneral,
+                LocalityRule::Identity,
+            ] {
+                for m in [MajorityRule::Before, MajorityRule::After, MajorityRule::Skip] {
+                    for p in [Sign::Pos, Sign::Neg] {
+                        set.insert(Strategy::new(d, l, m, p));
+                    }
+                }
+            }
+        }
+        assert_eq!(set.len(), 48);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_round_trip() {
+        let mut seen = HashSet::new();
+        for s in Strategy::all_instances() {
+            let m = s.mnemonic();
+            assert!(seen.insert(m.clone()), "duplicate mnemonic {m}");
+            let parsed: Strategy = m.parse().unwrap();
+            assert_eq!(parsed, s, "mnemonic {m} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn paper_mnemonics_parse_to_expected_parameters() {
+        let s: Strategy = "D+LMP-".parse().unwrap();
+        assert_eq!(s.default_rule(), DefaultRule::Pos);
+        assert_eq!(s.locality_rule(), LocalityRule::MostSpecific);
+        assert_eq!(s.majority_rule(), MajorityRule::After);
+        assert_eq!(s.preference_rule(), Sign::Neg);
+
+        let s: Strategy = "MGP+".parse().unwrap();
+        assert_eq!(s.default_rule(), DefaultRule::NoDefault);
+        assert_eq!(s.locality_rule(), LocalityRule::MostGeneral);
+        assert_eq!(s.majority_rule(), MajorityRule::Before);
+        assert_eq!(s.preference_rule(), Sign::Pos);
+
+        let s: Strategy = "P-".parse().unwrap();
+        assert_eq!(s.default_rule(), DefaultRule::NoDefault);
+        assert_eq!(s.locality_rule(), LocalityRule::Identity);
+        assert_eq!(s.majority_rule(), MajorityRule::Skip);
+        assert_eq!(s.preference_rule(), Sign::Neg);
+    }
+
+    #[test]
+    fn unicode_superscripts_are_accepted() {
+        let a: Strategy = "D⁺LMP⁻".parse().unwrap();
+        let b: Strategy = "D+LMP-".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mp_parses_with_identity_locality() {
+        let s: Strategy = "D-MP-".parse().unwrap();
+        assert_eq!(s.locality_rule(), LocalityRule::Identity);
+        assert_eq!(s.majority_rule(), MajorityRule::Before);
+        assert_eq!(s.mnemonic(), "D-MP-");
+    }
+
+    #[test]
+    fn rejects_malformed_mnemonics() {
+        for bad in [
+            "", "D", "DP+", "D+", "D+P", "XP+", "D+LLP-", "D+MLMP-", "LMP", "P", "P0",
+            "D+LMP-extra", "LPM+", "MM P+", "GLP+",
+        ] {
+            assert!(
+                bad.parse::<Strategy>().is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let s: Strategy = "  GP+ ".parse().unwrap();
+        assert_eq!(s.mnemonic(), "GP+");
+    }
+
+    #[test]
+    fn shapes_partition_the_48_instances_with_the_papers_counts() {
+        // §2.2: DLP, DLMP, DMLP generate 8 instances each; DP, DMP 4
+        // each (32 with default); LP, LMP, MLP 4 each; P, MP 2 each
+        // (16 default-free).
+        use StrategyShape::*;
+        let expected_counts = [
+            (Dlp, 8),
+            (Dlmp, 8),
+            (Dmlp, 8),
+            (Dp, 4),
+            (Dmp, 4),
+            (Lp, 4),
+            (Lmp, 4),
+            (Mlp, 4),
+            (P, 2),
+            (Mp, 2),
+        ];
+        let mut total = 0;
+        let mut seen = HashSet::new();
+        for (shape, count) in expected_counts {
+            let instances = shape.instances();
+            assert_eq!(instances.len(), count, "shape {}", shape.name());
+            for s in instances {
+                assert_eq!(s.shape(), shape, "{s} classifies back to its shape");
+                assert!(seen.insert(s), "{s} generated by two shapes");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 48);
+        // And the flat enumeration agrees with the union.
+        for s in Strategy::all_instances() {
+            assert!(seen.contains(&s));
+        }
+    }
+
+    #[test]
+    fn shape_names_and_default_flag() {
+        assert_eq!(StrategyShape::Dlmp.name(), "DLMP");
+        assert!(StrategyShape::Dlmp.has_default());
+        assert!(!StrategyShape::Mlp.has_default());
+        assert_eq!(StrategyShape::all().len(), 10);
+    }
+
+    #[test]
+    fn all_instances_match_papers_ten_shapes() {
+        // Count instances per shape: DLP/DLMP/DMLP: 8 each (2 default
+        // modes × 2 locality letters? no — L vs G are separate shapes in
+        // the count below). Shape counting per §2.2: paths ending with
+        // a, b, d = 8 instances each; c, e = 4 each; plus 16 default-free.
+        let all = Strategy::all_instances();
+        let with_default = all
+            .iter()
+            .filter(|s| s.default_rule() != DefaultRule::NoDefault)
+            .count();
+        let without_default = all.len() - with_default;
+        assert_eq!(with_default, 32);
+        assert_eq!(without_default, 16);
+    }
+}

@@ -1,0 +1,196 @@
+//! Edge-case and failure-injection tests for the core engines that the
+//! random-world property suites are unlikely to hit.
+
+use ucra_core::engine::counting::{self, PropagationMode};
+use ucra_core::engine::path_enum::{self, PropagateOptions};
+use ucra_core::ids::{ObjectId, RightId};
+use ucra_core::{
+    resolve_histogram, CoreError, DistanceHistogram, Eacm, Mode, Resolver, Sign, Strategy,
+    SubjectDag,
+};
+
+const O: ObjectId = ObjectId(0);
+const R: RightId = RightId(0);
+
+/// A long chain: distances up to 500 — exercises deep propagation and
+/// locality extremes far from the toy examples.
+#[test]
+fn deep_chain_locality_extremes() {
+    let mut h = SubjectDag::new();
+    let ids = h.add_subjects(501);
+    for w in ids.windows(2) {
+        h.add_membership(w[0], w[1]).unwrap();
+    }
+    let mut eacm = Eacm::new();
+    eacm.grant(ids[0], O, R).unwrap(); // the root, distance 500
+    eacm.deny(ids[400], O, R).unwrap(); // distance 100
+    let sink = ids[500];
+    let resolver = Resolver::new(&h, &eacm);
+    // Most specific: the deny at distance 100.
+    assert_eq!(
+        resolver.resolve(sink, O, R, "LP+".parse().unwrap()).unwrap(),
+        Sign::Neg
+    );
+    // Most general: the grant at distance 500.
+    assert_eq!(
+        resolver.resolve(sink, O, R, "GP-".parse().unwrap()).unwrap(),
+        Sign::Pos
+    );
+    let hist = resolver.all_rights_histogram(sink, O, R).unwrap();
+    assert_eq!(hist.min_dis(), Some(100));
+    assert_eq!(hist.max_dis(), Some(500));
+}
+
+/// Majority with huge path multiplicities: a 60-diamond chain gives 2⁶⁰
+/// votes to the top label; a single opposing vote nearby must lose the
+/// majority but win locality.
+#[test]
+fn exponential_vote_weights() {
+    let mut h = SubjectDag::new();
+    let mut top = h.add_subject();
+    let first = top;
+    for _ in 0..60 {
+        let l = h.add_subject();
+        let rgt = h.add_subject();
+        let bottom = h.add_subject();
+        h.add_membership(top, l).unwrap();
+        h.add_membership(top, rgt).unwrap();
+        h.add_membership(l, bottom).unwrap();
+        h.add_membership(rgt, bottom).unwrap();
+        top = bottom;
+    }
+    let sink = h.add_subject();
+    h.add_membership(top, sink).unwrap();
+    let near_deny = h.add_subject();
+    h.add_membership(near_deny, sink).unwrap();
+
+    let mut eacm = Eacm::new();
+    eacm.grant(first, O, R).unwrap();
+    eacm.deny(near_deny, O, R).unwrap();
+    let resolver = Resolver::new(&h, &eacm);
+
+    // Majority: 2^60 positive paths vs 1 negative — grant.
+    assert_eq!(
+        resolver.resolve(sink, O, R, "MP-".parse().unwrap()).unwrap(),
+        Sign::Pos
+    );
+    // Locality: the deny at distance 1 is most specific.
+    assert_eq!(
+        resolver.resolve(sink, O, R, "LP+".parse().unwrap()).unwrap(),
+        Sign::Neg
+    );
+    let hist = resolver.all_rights_histogram(sink, O, R).unwrap();
+    assert_eq!(hist.at(121).pos, 1u128 << 60);
+}
+
+/// The path-enumeration engine fails cleanly on the same graph where the
+/// counting engine succeeds — the documented trade-off.
+#[test]
+fn engines_diverge_only_in_feasibility_never_in_answers() {
+    let mut h = SubjectDag::new();
+    let mut top = h.add_subject();
+    let first = top;
+    for _ in 0..40 {
+        let l = h.add_subject();
+        let rgt = h.add_subject();
+        let bottom = h.add_subject();
+        h.add_membership(top, l).unwrap();
+        h.add_membership(top, rgt).unwrap();
+        h.add_membership(l, bottom).unwrap();
+        h.add_membership(rgt, bottom).unwrap();
+        top = bottom;
+    }
+    let mut eacm = Eacm::new();
+    eacm.grant(first, O, R).unwrap();
+    // Counting: fine.
+    let hist = counting::histogram(&h, &eacm, top, O, R, PropagationMode::Both).unwrap();
+    assert_eq!(hist.at(80).pos, 1u128 << 40);
+    // Path enumeration: clean budget error, not an OOM.
+    let err = path_enum::propagate(
+        &h,
+        &eacm,
+        top,
+        O,
+        R,
+        PropagateOptions::with_budget(1_000_000),
+    )
+    .unwrap_err();
+    assert_eq!(err, CoreError::PathBudgetExceeded { budget: 1_000_000 });
+}
+
+/// Majority ties at every stratum: the strategy ladder falls all the way
+/// through to preference.
+#[test]
+fn perfectly_balanced_world() {
+    let mut h = SubjectDag::new();
+    let a = h.add_subject();
+    let b = h.add_subject();
+    let c = h.add_subject();
+    let d = h.add_subject();
+    let sink = h.add_subject();
+    for p in [a, b] {
+        h.add_membership(p, sink).unwrap();
+    }
+    for (p, q) in [(c, a), (d, b)] {
+        h.add_membership(p, q).unwrap();
+    }
+    let mut eacm = Eacm::new();
+    eacm.grant(a, O, R).unwrap();
+    eacm.deny(b, O, R).unwrap();
+    eacm.deny(c, O, R).unwrap();
+    eacm.grant(d, O, R).unwrap();
+    let resolver = Resolver::new(&h, &eacm);
+    for mnemonic in ["MP+", "LMP+", "GMP+", "MLP+", "MGP+", "LP+", "GP+", "P+"] {
+        let res = resolver
+            .resolve_traced(sink, O, R, mnemonic.parse().unwrap())
+            .unwrap();
+        assert_eq!(res.sign, Sign::Pos, "{mnemonic} must fall to P+");
+        assert_eq!(res.line.line_number(), 9, "{mnemonic}");
+    }
+    for mnemonic in ["MP-", "LMP-", "GMP-", "MLP-", "MGP-", "LP-", "GP-", "P-"] {
+        let res = resolver
+            .resolve_traced(sink, O, R, mnemonic.parse().unwrap())
+            .unwrap();
+        assert_eq!(res.sign, Sign::Neg, "{mnemonic} must fall to P-");
+    }
+}
+
+/// Histograms that overflow during default application report the error
+/// instead of wrapping.
+#[test]
+fn default_application_overflow() {
+    let mut h = DistanceHistogram::new();
+    h.add(1, Mode::Pos, u128::MAX).unwrap();
+    h.add(1, Mode::Default, 1).unwrap();
+    // Folding the default into pos overflows.
+    let err = resolve_histogram(&h, "D+P+".parse::<Strategy>().unwrap()).unwrap_err();
+    assert_eq!(err, CoreError::PathCountOverflow);
+    // Folding it into neg is fine.
+    assert!(resolve_histogram(&h, "D-P+".parse::<Strategy>().unwrap()).is_ok());
+    // Dropping it is fine too.
+    assert!(resolve_histogram(&h, "P+".parse::<Strategy>().unwrap()).is_ok());
+}
+
+/// A subject whose ancestors are entirely labeled (no defaults anywhere)
+/// behaves identically under every default rule.
+#[test]
+fn fully_labeled_cone_is_default_invariant() {
+    let mut h = SubjectDag::new();
+    let a = h.add_subject();
+    let b = h.add_subject();
+    let sink = h.add_subject();
+    h.add_membership(a, sink).unwrap();
+    h.add_membership(b, sink).unwrap();
+    let mut eacm = Eacm::new();
+    eacm.grant(a, O, R).unwrap();
+    eacm.deny(b, O, R).unwrap();
+    let resolver = Resolver::new(&h, &eacm);
+    for shape in ["LP-", "GMP+", "MP-", "P+"] {
+        let base: Strategy = shape.parse().unwrap();
+        let plus: Strategy = format!("D+{shape}").parse().unwrap();
+        let minus: Strategy = format!("D-{shape}").parse().unwrap();
+        let r0 = resolver.resolve(sink, O, R, base).unwrap();
+        assert_eq!(resolver.resolve(sink, O, R, plus).unwrap(), r0, "{shape}");
+        assert_eq!(resolver.resolve(sink, O, R, minus).unwrap(), r0, "{shape}");
+    }
+}

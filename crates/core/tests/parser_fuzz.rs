@@ -1,0 +1,64 @@
+//! Fuzz-style property tests for the strategy mnemonic parser: no input
+//! may panic, accepted inputs must round-trip, and the accepted language
+//! is exactly the 48 canonical mnemonics (modulo whitespace and Unicode
+//! sign forms).
+
+use proptest::prelude::*;
+use ucra_core::Strategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,24}") {
+        let _ = input.parse::<Strategy>();
+    }
+
+    /// Strings over the mnemonic alphabet either fail cleanly or parse to
+    /// a strategy whose own mnemonic parses back to the same value.
+    #[test]
+    fn accepted_inputs_round_trip(input in "[DLGMP+\\-⁺⁻ ]{0,10}") {
+        if let Ok(s) = input.parse::<Strategy>() {
+            let again: Strategy = s.mnemonic().parse().unwrap();
+            prop_assert_eq!(s, again);
+        }
+    }
+
+    /// Every accepted input normalises to one of the 48 instances.
+    #[test]
+    fn accepted_inputs_are_canonical(input in "[DLGMP+\\-]{0,8}") {
+        if let Ok(s) = input.parse::<Strategy>() {
+            prop_assert!(Strategy::all_instances().contains(&s), "{}", s);
+        }
+    }
+}
+
+/// The accepted language (over ASCII, no whitespace) is exactly the 48
+/// mnemonics: exhaustively enumerate all candidate strings up to the
+/// maximum mnemonic length over the alphabet and compare.
+#[test]
+fn accepted_language_is_exactly_the_48_mnemonics() {
+    let alphabet = ['D', 'L', 'G', 'M', 'P', '+', '-'];
+    let expected: std::collections::BTreeSet<String> = Strategy::all_instances()
+        .into_iter()
+        .map(|s| s.mnemonic())
+        .collect();
+    let mut accepted = std::collections::BTreeSet::new();
+    // Longest mnemonic is 6 chars (e.g. D+LMP-). 7^6 ≈ 118k candidates:
+    // cheap, exhaustive, and catches both over- and under-acceptance.
+    let mut stack: Vec<String> = vec![String::new()];
+    while let Some(prefix) = stack.pop() {
+        if prefix.parse::<Strategy>().is_ok() {
+            accepted.insert(prefix.clone());
+        }
+        if prefix.len() < 6 {
+            for c in alphabet {
+                let mut next = prefix.clone();
+                next.push(c);
+                stack.push(next);
+            }
+        }
+    }
+    assert_eq!(accepted, expected);
+}

@@ -1,0 +1,199 @@
+//! Structural analyses of hierarchies: summary statistics, transitive
+//! closure, and density measures used when characterising workloads
+//! (paper §4 reports exactly these numbers for the Livelink data).
+
+use crate::traverse::{self, topo_order};
+use crate::{Dag, NodeId};
+
+/// Summary statistics of a DAG, in the vocabulary the paper uses to
+/// describe its evaluation data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Total subjects.
+    pub nodes: usize,
+    /// Total membership edges.
+    pub edges: usize,
+    /// Nodes with no parents.
+    pub roots: usize,
+    /// Nodes with no children (the paper's "sinks" / individual users).
+    pub sinks: usize,
+    /// Length of the longest directed path, in edges.
+    pub depth: u32,
+    /// Maximum out-degree (largest direct membership list).
+    pub max_out_degree: usize,
+    /// Maximum in-degree (a subject's largest number of direct groups).
+    pub max_in_degree: usize,
+    /// Mean out-degree over non-sink nodes (0.0 for edgeless graphs).
+    pub mean_group_size: f64,
+}
+
+/// Computes a [`GraphSummary`].
+///
+/// ```
+/// use ucra_graph::{analysis, Dag, NodeId};
+///
+/// let n = |i| NodeId::from_index(i);
+/// let dag = Dag::from_edges(4, [(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))]).unwrap();
+/// let s = analysis::summary(&dag);
+/// assert_eq!((s.roots, s.sinks, s.depth), (1, 1, 2));
+/// ```
+pub fn summary(dag: &Dag) -> GraphSummary {
+    let groups = dag.nodes().filter(|&v| dag.out_degree(v) > 0).count();
+    GraphSummary {
+        nodes: dag.node_count(),
+        edges: dag.edge_count(),
+        roots: dag.roots().count(),
+        sinks: dag.sinks().count(),
+        depth: traverse::longest_path_len(dag),
+        max_out_degree: dag.nodes().map(|v| dag.out_degree(v)).max().unwrap_or(0),
+        max_in_degree: dag.nodes().map(|v| dag.in_degree(v)).max().unwrap_or(0),
+        mean_group_size: if groups == 0 {
+            0.0
+        } else {
+            dag.edge_count() as f64 / groups as f64
+        },
+    }
+}
+
+/// The transitive closure as a bit-matrix: `closure[v][u]` is `true` when
+/// `v` reaches `u` (including `v == u`).
+///
+/// `O(V·E/64)` time via bitset propagation in reverse topological order;
+/// intended for analysis and for cross-checking reachability-dependent
+/// algorithms on small graphs, not for the query path.
+pub fn transitive_closure(dag: &Dag) -> Vec<Vec<bool>> {
+    let n = dag.node_count();
+    let mut closure: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    for v in topo_order(dag).into_iter().rev() {
+        closure[v.index()][v.index()] = true;
+        // v reaches everything each child reaches.
+        for ci in 0..dag.children(v).len() {
+            let c = dag.children(v)[ci];
+            let (left, right) = split_two(&mut closure, v.index(), c.index());
+            for (l, r) in left.iter_mut().zip(right.iter()) {
+                *l |= *r;
+            }
+        }
+    }
+    closure
+}
+
+/// Borrows two distinct rows of the matrix mutably/immutably.
+fn split_two<'m>(
+    matrix: &'m mut [Vec<bool>],
+    a: usize,
+    b: usize,
+) -> (&'m mut Vec<bool>, &'m Vec<bool>) {
+    assert_ne!(a, b, "DAG edges have distinct endpoints");
+    if a < b {
+        let (lo, hi) = matrix.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = matrix.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+/// Number of ancestors (up-reachable nodes, excluding `v` itself) of
+/// each node.
+pub fn ancestor_counts(dag: &Dag) -> Vec<usize> {
+    let closure = transitive_closure(dag);
+    let n = dag.node_count();
+    (0..n)
+        .map(|u| (0..n).filter(|&v| v != u && closure[v][u]).count())
+        .collect()
+}
+
+/// Verifies that `order` is a permutation of the graph's nodes with
+/// every edge pointing forward — the contract of
+/// [`crate::traverse::topo_order`], exposed so property tests and
+/// external generators can check their own orders.
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        if !dag.contains(*v) || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    dag.edges().all(|(p, c)| pos[p.index()] < pos[c.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn summary_of_diamond() {
+        let (g, _) = diamond();
+        let s = summary(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.mean_group_size - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_graph() {
+        let s = summary(&Dag::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_group_size, 0.0);
+        assert_eq!(s.max_out_degree, 0);
+    }
+
+    #[test]
+    fn closure_matches_reaches() {
+        let (g, nodes) = diamond();
+        let closure = transitive_closure(&g);
+        for &u in &nodes {
+            for &v in &nodes {
+                assert_eq!(
+                    closure[u.index()][v.index()],
+                    g.reaches(u, v),
+                    "{u:?} ⇝ {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_counts_of_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let counts = ancestor_counts(&g);
+        assert_eq!(counts[a.index()], 0);
+        assert_eq!(counts[b.index()], 1);
+        assert_eq!(counts[c.index()], 1);
+        assert_eq!(counts[d.index()], 3);
+    }
+
+    #[test]
+    fn topo_order_validation() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(is_topological_order(&g, &[a, b, c, d]));
+        assert!(is_topological_order(&g, &[a, c, b, d]));
+        assert!(!is_topological_order(&g, &[b, a, c, d])); // edge a→b backwards
+        assert!(!is_topological_order(&g, &[a, b, c])); // wrong length
+        assert!(!is_topological_order(&g, &[a, a, b, d])); // duplicate
+        assert!(is_topological_order(&g, &crate::traverse::topo_order(&g)));
+    }
+}

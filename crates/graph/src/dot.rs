@@ -1,0 +1,54 @@
+//! Graphviz DOT export, for documentation and debugging of hierarchies.
+
+use crate::{Dag, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// `label` supplies the display text for each node (e.g. a subject name
+/// plus its explicit authorization sign); node identity in the DOT output
+/// is the numeric id, so labels need not be unique.
+pub fn to_dot(dag: &Dag, mut label: impl FnMut(NodeId) -> String) -> String {
+    let mut out = String::new();
+    out.push_str("digraph hierarchy {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    for v in dag.nodes() {
+        let text = escape(&label(v));
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", v.index(), text);
+    }
+    for (p, c) in dag.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", p.index(), c.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        let dot = to_dot(&g, |v| format!("S{}", v.index() + 1));
+        assert!(dot.starts_with("digraph hierarchy {"));
+        assert!(dot.contains("n0 [label=\"S1\"];"));
+        assert!(dot.contains("n1 [label=\"S2\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let mut g = Dag::new();
+        g.add_node();
+        let dot = to_dot(&g, |_| "a \"quoted\" name \\ slash".to_string());
+        assert!(dot.contains("label=\"a \\\"quoted\\\" name \\\\ slash\""));
+    }
+}

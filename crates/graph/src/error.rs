@@ -1,0 +1,55 @@
+//! Error type for graph construction and analysis.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced while building or analysing a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referred to a node that does not exist in this graph.
+    UnknownNode(NodeId),
+    /// The edge would create a directed cycle (`child` already reaches
+    /// `parent`), violating the subject-hierarchy DAG invariant.
+    WouldCycle {
+        /// The proposed edge's source (group).
+        parent: NodeId,
+        /// The proposed edge's target (member).
+        child: NodeId,
+    },
+    /// The edge `parent → child` already exists. Subject hierarchies are
+    /// simple graphs; duplicate membership edges would double-count paths.
+    DuplicateEdge {
+        /// The existing edge's source.
+        parent: NodeId,
+        /// The existing edge's target.
+        child: NodeId,
+    },
+    /// A self-loop `v → v` was requested.
+    SelfLoop(NodeId),
+    /// A path-statistics computation overflowed its `u128` accumulator.
+    /// The number of paths in a DAG can grow as `O(2^n)` (paper §3.3), so
+    /// all counting is checked rather than silently wrapping.
+    PathCountOverflow,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            GraphError::WouldCycle { parent, child } => write!(
+                f,
+                "edge {parent:?} -> {child:?} would create a cycle in the subject hierarchy"
+            ),
+            GraphError::DuplicateEdge { parent, child } => {
+                write!(f, "edge {parent:?} -> {child:?} already exists")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n:?} is not allowed"),
+            GraphError::PathCountOverflow => {
+                write!(f, "path statistics overflowed u128 (graph has too many paths)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,166 @@
+//! Plain edge-list interchange: one `parent child` pair per line.
+//!
+//! The format real hierarchy dumps tend to arrive in (and the one our
+//! workload generators can round-trip for external analysis):
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! 0 2
+//! 1 2
+//! 2 3
+//! ```
+//!
+//! Node ids are dense non-negative integers; the graph gets
+//! `max_id + 1` nodes even if some are isolated… isolated nodes *below*
+//! the maximum id survive a round-trip, ones above it need an explicit
+//! `node <id>` line.
+
+use crate::{Dag, GraphError, NodeId};
+use std::fmt::Write as _;
+
+/// Errors from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line was not `node <id>`, `<parent> <child>`, blank or comment.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The edge list violated the DAG invariants (cycle, duplicate,
+    /// self-loop).
+    Graph {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse `{content}`")
+            }
+            ParseError::Graph { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Graph { source, .. } => Some(source),
+            ParseError::BadLine { .. } => None,
+        }
+    }
+}
+
+/// Parses an edge list into a [`Dag`].
+pub fn parse_edge_list(input: &str) -> Result<Dag, ParseError> {
+    let mut dag = Dag::new();
+    let ensure = |dag: &mut Dag, id: usize| {
+        while dag.node_count() <= id {
+            dag.add_node();
+        }
+    };
+    for (ix, raw) in input.lines().enumerate() {
+        let line = ix + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let bad = || ParseError::BadLine { line, content: content.to_string() };
+        let mut words = content.split_whitespace();
+        let first = words.next().ok_or_else(bad)?;
+        if first == "node" {
+            let id: usize = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(bad)?;
+            if words.next().is_some() {
+                return Err(bad());
+            }
+            ensure(&mut dag, id);
+            continue;
+        }
+        let parent: usize = first.parse().map_err(|_| bad())?;
+        let child: usize = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(bad)?;
+        if words.next().is_some() {
+            return Err(bad());
+        }
+        ensure(&mut dag, parent.max(child));
+        dag.add_edge(NodeId::from_index(parent), NodeId::from_index(child))
+            .map_err(|source| ParseError::Graph { line, source })?;
+    }
+    Ok(dag)
+}
+
+/// Renders a [`Dag`] as an edge list (isolated nodes as `node <id>`
+/// lines, so parsing the output reproduces the graph exactly).
+pub fn render_edge_list(dag: &Dag) -> String {
+    let mut out = String::new();
+    for v in dag.nodes() {
+        if dag.in_degree(v) == 0 && dag.out_degree(v) == 0 {
+            let _ = writeln!(out, "node {}", v.index());
+        }
+    }
+    for (p, c) in dag.edges() {
+        let _ = writeln!(out, "{} {}", p.index(), c.index());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_edges_comments_and_nodes() {
+        let g = parse_edge_list("# fig\n0 2\n1 2 # both groups\n2 3\nnode 5\n").unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.reaches(NodeId::from_index(0), NodeId::from_index(3)));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = parse_edge_list("0 1\n0 2\n1 3\n2 3\nnode 4\n").unwrap();
+        let text = render_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(
+            back.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let err = parse_edge_list("0 1\nbogus\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::BadLine { line: 2, content: "bogus".to_string() }
+        );
+        let err = parse_edge_list("0 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 1, .. }));
+        let err = parse_edge_list("node x\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_line_numbers() {
+        let err = parse_edge_list("0 1\n1 2\n2 0\n").unwrap_err();
+        match err {
+            ParseError::Graph { line: 3, source } => {
+                assert!(matches!(source, GraphError::WouldCycle { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

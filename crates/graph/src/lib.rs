@@ -1,0 +1,60 @@
+//! # `ucra-graph` — directed-acyclic-graph substrate
+//!
+//! A small, from-scratch DAG library tailored to subject hierarchies as used
+//! by *A Unified Conflict Resolution Algorithm* (Chinaei, Chinaei & Tompa,
+//! 2007). Edges point from a **group to its members** (parent → child), so
+//! authorizations flow *down* edges while ancestor queries walk *up* them.
+//!
+//! The crate provides exactly the operations the paper's algorithms need:
+//!
+//! * incremental construction with cycle rejection ([`Dag::add_edge`]);
+//! * ancestor sets and induced ancestor sub-graphs (Step 1 of the paper's
+//!   four-step procedure, [`subgraph::ancestor_subgraph`]);
+//! * roots, sinks, parents, children ([`Dag::roots`], [`Dag::sinks`], …);
+//! * topological orders and reachability ([`traverse::topo_order`]);
+//! * per-path statistics: path counts and the paper's `d` — the sum of the
+//!   lengths of *all* paths from a set of source nodes to a sink
+//!   ([`paths::sum_path_lengths_to`]), which drives Figure 7;
+//! * shortest upward distances for the `Dominance()` baseline
+//!   ([`paths::shortest_up_distances`]);
+//! * Graphviz DOT export for documentation and debugging ([`dot::to_dot`]).
+//!
+//! The library intentionally does **not** depend on `petgraph`: the graph
+//! layer is part of the reproduction and is kept minimal, auditable and
+//! specialised (e.g. `u128` checked path counting, because the number of
+//! paths in a DAG is exponential in the worst case — §3.3 of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use ucra_graph::Dag;
+//!
+//! let mut dag = Dag::new();
+//! let root = dag.add_node();
+//! let group = dag.add_node();
+//! let user = dag.add_node();
+//! dag.add_edge(root, group).unwrap();
+//! dag.add_edge(group, user).unwrap();
+//! dag.add_edge(root, user).unwrap();
+//!
+//! assert_eq!(dag.roots().collect::<Vec<_>>(), vec![root]);
+//! assert_eq!(dag.sinks().collect::<Vec<_>>(), vec![user]);
+//! // Two paths root→user: direct, and via the group.
+//! assert_eq!(ucra_graph::paths::count_paths(&dag, root, user).unwrap(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod dag;
+mod error;
+pub mod dot;
+pub mod io;
+pub mod paths;
+pub mod subgraph;
+pub mod traverse;
+
+pub use dag::{Dag, NodeId};
+pub use error::GraphError;
+pub use subgraph::AncestorSubgraph;

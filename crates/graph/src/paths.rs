@@ -1,0 +1,257 @@
+//! Per-path statistics over a DAG.
+//!
+//! The paper's complexity analysis (§3.3) is driven by `d`, *"the sum of the
+//! path lengths for all paths leading from a root or an explicitly
+//! authorized subject to the given subject of interest s"*, which can grow
+//! as `O(n·2ⁿ)`. Everything here therefore uses **checked `u128`**
+//! arithmetic and reports [`GraphError::PathCountOverflow`] instead of
+//! silently wrapping.
+
+use crate::traverse::{bfs_with_depth, topo_order, Direction};
+use crate::{Dag, GraphError, NodeId};
+
+/// Number of distinct directed paths `from ⇝ to`.
+///
+/// A node has exactly one (empty) path to itself.
+pub fn count_paths(dag: &Dag, from: NodeId, to: NodeId) -> Result<u128, GraphError> {
+    if !dag.contains(from) {
+        return Err(GraphError::UnknownNode(from));
+    }
+    Ok(paths_to(dag, to)?[from.index()])
+}
+
+/// For every node `v`, the number of directed paths `v ⇝ to`.
+///
+/// Computed by one dynamic-programming sweep in reverse topological order:
+/// `cnt[to] = 1`, `cnt[v] = Σ cnt[child]` over children that reach `to`.
+pub fn paths_to(dag: &Dag, to: NodeId) -> Result<Vec<u128>, GraphError> {
+    if !dag.contains(to) {
+        return Err(GraphError::UnknownNode(to));
+    }
+    let mut cnt = vec![0u128; dag.node_count()];
+    cnt[to.index()] = 1;
+    for v in topo_order(dag).into_iter().rev() {
+        if v == to {
+            continue;
+        }
+        let mut total: u128 = 0;
+        for &c in dag.children(v) {
+            total = total
+                .checked_add(cnt[c.index()])
+                .ok_or(GraphError::PathCountOverflow)?;
+        }
+        cnt[v.index()] = total;
+    }
+    Ok(cnt)
+}
+
+/// Per-node path statistics toward a fixed sink: the number of paths and
+/// the total length (in edges) of all those paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathStats {
+    /// Number of distinct directed paths from this node to the sink.
+    pub count: u128,
+    /// Sum of the lengths of those paths.
+    pub total_len: u128,
+}
+
+/// For every node `v`, the [`PathStats`] of all paths `v ⇝ to`.
+///
+/// Recurrences over reverse topological order:
+/// `count[v] = Σ count[c]`, `total_len[v] = Σ (total_len[c] + count[c])`
+/// (each path through child `c` is one edge longer than the corresponding
+/// path from `c`).
+pub fn path_stats_to(dag: &Dag, to: NodeId) -> Result<Vec<PathStats>, GraphError> {
+    if !dag.contains(to) {
+        return Err(GraphError::UnknownNode(to));
+    }
+    let mut stats = vec![PathStats::default(); dag.node_count()];
+    stats[to.index()] = PathStats { count: 1, total_len: 0 };
+    for v in topo_order(dag).into_iter().rev() {
+        if v == to {
+            continue;
+        }
+        let mut acc = PathStats::default();
+        for &c in dag.children(v) {
+            let cs = stats[c.index()];
+            acc.count = acc
+                .count
+                .checked_add(cs.count)
+                .ok_or(GraphError::PathCountOverflow)?;
+            let extended = cs
+                .total_len
+                .checked_add(cs.count)
+                .ok_or(GraphError::PathCountOverflow)?;
+            acc.total_len = acc
+                .total_len
+                .checked_add(extended)
+                .ok_or(GraphError::PathCountOverflow)?;
+        }
+        stats[v.index()] = acc;
+    }
+    Ok(stats)
+}
+
+/// The paper's `d`: the sum of the lengths of **all** paths from each node
+/// in `sources` to `to`.
+///
+/// `sources` is typically the set of explicitly-authorized ancestors plus
+/// the unlabeled roots of the ancestor sub-graph (§3.3). Sources that do
+/// not reach `to` contribute 0. Duplicate sources are summed once each, as
+/// given.
+pub fn sum_path_lengths_to(
+    dag: &Dag,
+    sources: &[NodeId],
+    to: NodeId,
+) -> Result<u128, GraphError> {
+    let stats = path_stats_to(dag, to)?;
+    let mut d: u128 = 0;
+    for &s in sources {
+        if !dag.contains(s) {
+            return Err(GraphError::UnknownNode(s));
+        }
+        d = d
+            .checked_add(stats[s.index()].total_len)
+            .ok_or(GraphError::PathCountOverflow)?;
+    }
+    Ok(d)
+}
+
+/// Shortest upward distance from `from` to every ancestor.
+///
+/// Entry `v` is `Some(k)` when `v` is an ancestor of `from` (or `from`
+/// itself, at 0) with shortest directed path `v ⇝ from` of length `k`.
+/// This is the distance notion the paper's Locality policy uses ("the
+/// distance between two subjects is measured by computing the shortest
+/// directed path") and the level order the `Dominance()` baseline walks.
+pub fn shortest_up_distances(dag: &Dag, from: NodeId) -> Vec<Option<u32>> {
+    let mut out = vec![None; dag.node_count()];
+    for (v, depth) in bfs_with_depth(dag, &[from], Direction::Up) {
+        out[v.index()] = Some(depth);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `k` stacked diamonds: path count 2^k.
+    fn diamond_chain(k: usize) -> (Dag, NodeId, NodeId) {
+        let mut g = Dag::new();
+        let mut top = g.add_node();
+        let first = top;
+        for _ in 0..k {
+            let l = g.add_node();
+            let r = g.add_node();
+            let bottom = g.add_node();
+            g.add_edge(top, l).unwrap();
+            g.add_edge(top, r).unwrap();
+            g.add_edge(l, bottom).unwrap();
+            g.add_edge(r, bottom).unwrap();
+            top = bottom;
+        }
+        (g, first, top)
+    }
+
+    #[test]
+    fn single_node_has_one_empty_path() {
+        let mut g = Dag::new();
+        let v = g.add_node();
+        assert_eq!(count_paths(&g, v, v).unwrap(), 1);
+        let stats = path_stats_to(&g, v).unwrap();
+        assert_eq!(stats[v.index()], PathStats { count: 1, total_len: 0 });
+    }
+
+    #[test]
+    fn diamond_has_two_paths_of_total_length_four() {
+        let (g, top, bottom) = diamond_chain(1);
+        assert_eq!(count_paths(&g, top, bottom).unwrap(), 2);
+        let stats = path_stats_to(&g, bottom).unwrap();
+        assert_eq!(stats[top.index()], PathStats { count: 2, total_len: 4 });
+    }
+
+    #[test]
+    fn diamond_chain_path_count_is_exponential() {
+        let (g, top, bottom) = diamond_chain(20);
+        assert_eq!(count_paths(&g, top, bottom).unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn unreachable_pairs_have_zero_paths() {
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!(count_paths(&g, a, b).unwrap(), 0);
+        assert_eq!(count_paths(&g, b, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_nodes_error() {
+        let g = Dag::new();
+        let ghost = NodeId::from_index(0);
+        assert!(matches!(paths_to(&g, ghost), Err(GraphError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn figure3_d_matches_hand_count() {
+        // Figure 3: s1→s3, s2→s3, s2→u, s3→s5, s5→u, s6→s5, s6→u.
+        let mut g = Dag::new();
+        let s1 = g.add_node();
+        let s2 = g.add_node();
+        let s3 = g.add_node();
+        let s5 = g.add_node();
+        let s6 = g.add_node();
+        let u = g.add_node();
+        g.add_edge(s1, s3).unwrap();
+        g.add_edge(s2, s3).unwrap();
+        g.add_edge(s2, u).unwrap();
+        g.add_edge(s3, s5).unwrap();
+        g.add_edge(s5, u).unwrap();
+        g.add_edge(s6, s5).unwrap();
+        g.add_edge(s6, u).unwrap();
+        // Paths to u: s1: one path of length 3. s2: lengths 1 and 3.
+        // s5: length 1. s6: lengths 1 and 2.
+        let stats = path_stats_to(&g, u).unwrap();
+        assert_eq!(stats[s1.index()], PathStats { count: 1, total_len: 3 });
+        assert_eq!(stats[s2.index()], PathStats { count: 2, total_len: 4 });
+        assert_eq!(stats[s5.index()], PathStats { count: 1, total_len: 1 });
+        assert_eq!(stats[s6.index()], PathStats { count: 2, total_len: 3 });
+        // d over sources {explicit: s2, s5; unlabeled roots: s1, s6}
+        // = 4 + 1 + 3 + 3 = 11, which is the total length of Table 1's rows:
+        // 1+1+2+1+3+3 = 11.
+        let d = sum_path_lengths_to(&g, &[s2, s5, s1, s6], u).unwrap();
+        assert_eq!(d, 11);
+    }
+
+    #[test]
+    fn shortest_up_distances_match_bfs() {
+        let (g, top, bottom) = diamond_chain(2);
+        let dist = shortest_up_distances(&g, bottom);
+        assert_eq!(dist[bottom.index()], Some(0));
+        assert_eq!(dist[top.index()], Some(4));
+        // Nodes not ancestors of `top` itself:
+        let dist_top = shortest_up_distances(&g, top);
+        assert_eq!(dist_top[top.index()], Some(0));
+        assert_eq!(dist_top[bottom.index()], None);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        // 128 stacked diamonds: 2^128 paths overflows u128.
+        let (g, _top, bottom) = diamond_chain(128);
+        assert_eq!(paths_to(&g, bottom), Err(GraphError::PathCountOverflow));
+    }
+
+    #[test]
+    fn sum_path_lengths_ignores_non_ancestors() {
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        // c is unrelated to b.
+        let d = sum_path_lengths_to(&g, &[a, c], b).unwrap();
+        assert_eq!(d, 1);
+    }
+}

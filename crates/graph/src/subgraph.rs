@@ -1,0 +1,186 @@
+//! Ancestor sub-graph extraction — Step 1 of the paper's four-step
+//! procedure: "Consider the maximal sub-graph H of the subject hierarchy in
+//! which Sᵢ is the sole sink and all other nodes are its ancestors."
+
+use crate::traverse::{reachable_set, Direction};
+use crate::{Dag, NodeId};
+
+/// The induced ancestor sub-graph of one node, with id mappings back to the
+/// original graph.
+///
+/// Produced by [`ancestor_subgraph`]. The designated node is the **sole
+/// sink** of `dag`: every other retained node is one of its ancestors, and
+/// edges among retained ancestors that bypass the node are kept (they are
+/// induced), while edges leading out of the ancestor set are dropped.
+#[derive(Debug, Clone)]
+pub struct AncestorSubgraph {
+    /// The induced sub-graph.
+    pub dag: Dag,
+    /// The queried node's id inside [`AncestorSubgraph::dag`].
+    pub sink: NodeId,
+    /// For each sub-graph node, the corresponding node of the original graph.
+    to_original: Vec<NodeId>,
+    /// For each original node, its sub-graph id (if retained).
+    from_original: Vec<Option<NodeId>>,
+}
+
+impl AncestorSubgraph {
+    /// Maps a sub-graph node back to the original graph.
+    #[inline]
+    pub fn original_id(&self, sub: NodeId) -> NodeId {
+        self.to_original[sub.index()]
+    }
+
+    /// Maps an original-graph node into the sub-graph, if it was retained.
+    #[inline]
+    pub fn sub_id(&self, original: NodeId) -> Option<NodeId> {
+        self.from_original[original.index()]
+    }
+
+    /// Iterator over `(sub_id, original_id)` pairs.
+    pub fn mapping(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.to_original
+            .iter()
+            .enumerate()
+            .map(|(i, &orig)| (NodeId::from_index(i), orig))
+    }
+}
+
+/// Extracts the maximal sub-graph in which `node` is the sole sink and all
+/// other nodes are its ancestors (paper §3 Step 1, and Line 1 of Function
+/// `Propagate()`).
+///
+/// Note that this is the sub-graph **induced** on `ancestors(node)`:
+/// an edge between two ancestors is retained even if it lies on no path to
+/// `node`... which cannot happen: any ancestor-to-ancestor edge extends to a
+/// path reaching `node` through its target, so the induced graph equals the
+/// union of all paths into `node`, exactly as the paper's relational
+/// definition (`subject ∈ ancestors(s) ∧ child ∈ ancestors(s)`) states.
+pub fn ancestor_subgraph(dag: &Dag, node: NodeId) -> AncestorSubgraph {
+    let keep = reachable_set(dag, &[node], Direction::Up);
+    let mut from_original: Vec<Option<NodeId>> = vec![None; dag.node_count()];
+    let mut to_original: Vec<NodeId> = Vec::new();
+    let mut sub = Dag::new();
+    for v in dag.nodes() {
+        if keep[v.index()] {
+            let s = sub.add_node();
+            from_original[v.index()] = Some(s);
+            to_original.push(v);
+        }
+    }
+    // Only kept nodes' adjacency is visited: cost is O(V + E_kept), not
+    // O(E) of the whole hierarchy — on enterprise-scale graphs most
+    // queries touch a small ancestor cone.
+    for &p in &to_original {
+        for &c in dag.children(p) {
+            if keep[c.index()] {
+                let sp = from_original[p.index()].expect("kept");
+                let sc = from_original[c.index()].expect("kept");
+                // Acyclicity and simplicity are inherited from the source
+                // graph, so the per-edge cycle DFS of `add_edge` would be
+                // pure overhead (and dominates query cost at enterprise
+                // scale).
+                sub.add_edge_unchecked(sp, sc);
+            }
+        }
+    }
+    let sink = from_original[node.index()].expect("queried node is kept");
+    AncestorSubgraph {
+        dag: sub,
+        sink,
+        to_original,
+        from_original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 skeleton restricted to what matters here:
+    /// s1→s3, s2→s3, s2→u, s3→s5, s5→u, s6→s5, s6→u, s3→s4 (s4 outside u's
+    /// ancestors).
+    fn figure1() -> (Dag, [NodeId; 7]) {
+        let mut g = Dag::new();
+        let s1 = g.add_node();
+        let s2 = g.add_node();
+        let s3 = g.add_node();
+        let s4 = g.add_node();
+        let s5 = g.add_node();
+        let s6 = g.add_node();
+        let u = g.add_node();
+        g.add_edge(s1, s3).unwrap();
+        g.add_edge(s2, s3).unwrap();
+        g.add_edge(s2, u).unwrap();
+        g.add_edge(s3, s4).unwrap();
+        g.add_edge(s3, s5).unwrap();
+        g.add_edge(s5, u).unwrap();
+        g.add_edge(s6, s5).unwrap();
+        g.add_edge(s6, u).unwrap();
+        (g, [s1, s2, s3, s4, s5, s6, u])
+    }
+
+    #[test]
+    fn extracts_figure_3_from_figure_1() {
+        let (g, [s1, s2, s3, s4, s5, s6, u]) = figure1();
+        let sub = ancestor_subgraph(&g, u);
+        // S4 is not an ancestor of User and must be dropped.
+        assert_eq!(sub.dag.node_count(), 6);
+        assert_eq!(sub.sub_id(s4), None);
+        for v in [s1, s2, s3, s5, s6, u] {
+            assert!(sub.sub_id(v).is_some(), "{v:?} must be retained");
+        }
+        // Exactly the 7 edges of Figure 3 (s3→s4 dropped).
+        assert_eq!(sub.dag.edge_count(), 7);
+        // The queried node is the sole sink.
+        assert_eq!(sub.dag.sinks().collect::<Vec<_>>(), vec![sub.sink]);
+        assert_eq!(sub.original_id(sub.sink), u);
+        // Roots of the sub-graph are S1, S2 and S6 (S2 carries an explicit
+        // label, so it is a root that will not receive a default).
+        let roots: Vec<_> = sub.dag.roots().map(|r| sub.original_id(r)).collect();
+        assert_eq!(roots, vec![s1, s2, s6]);
+    }
+
+    #[test]
+    fn subgraph_of_a_root_is_single_node() {
+        let (g, [s1, ..]) = figure1();
+        let sub = ancestor_subgraph(&g, s1);
+        assert_eq!(sub.dag.node_count(), 1);
+        assert_eq!(sub.dag.edge_count(), 0);
+        assert_eq!(sub.original_id(sub.sink), s1);
+        assert!(sub.dag.is_root(sub.sink) && sub.dag.is_sink(sub.sink));
+    }
+
+    #[test]
+    fn subgraph_of_interior_node() {
+        let (g, [s1, s2, s3, _s4, s5, s6, _u]) = figure1();
+        let sub = ancestor_subgraph(&g, s5);
+        let kept: Vec<_> = sub.mapping().map(|(_, o)| o).collect();
+        assert_eq!(kept, vec![s1, s2, s3, s5, s6]);
+        // Edges: s1→s3, s2→s3, s3→s5, s6→s5 (s2→u etc. dropped).
+        assert_eq!(sub.dag.edge_count(), 4);
+        assert_eq!(sub.dag.sinks().count(), 1);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let (g, _) = figure1();
+        let u = g.sinks().next().unwrap();
+        let sub = ancestor_subgraph(&g, u);
+        for (s, o) in sub.mapping() {
+            assert_eq!(sub.sub_id(o), Some(s));
+            assert_eq!(sub.original_id(s), o);
+        }
+    }
+
+    #[test]
+    fn induced_edges_preserve_adjacency() {
+        let (g, _) = figure1();
+        let u = g.sinks().next().unwrap();
+        let sub = ancestor_subgraph(&g, u);
+        for (p, c) in sub.dag.edges() {
+            let (po, co) = (sub.original_id(p), sub.original_id(c));
+            assert!(g.children(po).contains(&co));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Traversals: breadth-first search (both directions), topological order,
+//! and level (BFS-depth) assignment.
+
+use crate::{Dag, NodeId};
+use std::collections::VecDeque;
+
+/// Direction of a traversal relative to edge orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges parent → child (authorization flow).
+    Down,
+    /// Follow edges child → parent (ancestor discovery).
+    Up,
+}
+
+fn neighbours<'g>(dag: &'g Dag, v: NodeId, dir: Direction) -> &'g [NodeId] {
+    match dir {
+        Direction::Down => dag.children(v),
+        Direction::Up => dag.parents(v),
+    }
+}
+
+/// Breadth-first search from `starts`, returning each reached node paired
+/// with its BFS depth (minimum edge distance from any start).
+///
+/// Nodes are returned in non-decreasing depth order; the starts themselves
+/// appear first with depth 0. Duplicate start nodes are visited once.
+pub fn bfs_with_depth(dag: &Dag, starts: &[NodeId], dir: Direction) -> Vec<(NodeId, u32)> {
+    let mut depth: Vec<Option<u32>> = vec![None; dag.node_count()];
+    let mut out = Vec::new();
+    let mut q = VecDeque::new();
+    for &s in starts {
+        if depth[s.index()].is_none() {
+            depth[s.index()] = Some(0);
+            out.push((s, 0));
+            q.push_back(s);
+        }
+    }
+    while let Some(v) = q.pop_front() {
+        let dv = depth[v.index()].expect("queued node has a depth");
+        for &n in neighbours(dag, v, dir) {
+            if depth[n.index()].is_none() {
+                depth[n.index()] = Some(dv + 1);
+                out.push((n, dv + 1));
+                q.push_back(n);
+            }
+        }
+    }
+    out
+}
+
+/// The set of nodes reachable from `starts` following `dir` (including the
+/// starts), as a boolean membership vector indexed by node id.
+pub fn reachable_set(dag: &Dag, starts: &[NodeId], dir: Direction) -> Vec<bool> {
+    let mut seen = vec![false; dag.node_count()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in starts {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &n in neighbours(dag, v, dir) {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                stack.push(n);
+            }
+        }
+    }
+    seen
+}
+
+/// A topological order of the whole graph (parents before children).
+///
+/// The [`Dag`] type is acyclic by construction, so this always succeeds.
+/// Ties are broken by node id via Kahn's algorithm with a FIFO queue,
+/// making the order deterministic.
+pub fn topo_order(dag: &Dag) -> Vec<NodeId> {
+    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+    let mut q: VecDeque<NodeId> = dag.nodes().filter(|v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(dag.node_count());
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        for &c in dag.children(v) {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                q.push_back(c);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), dag.node_count(), "Dag invariant violated");
+    order
+}
+
+/// Length of the longest directed path in the graph, in edges.
+///
+/// An empty graph and a graph of isolated nodes both have depth 0.
+pub fn longest_path_len(dag: &Dag) -> u32 {
+    let mut best: Vec<u32> = vec![0; dag.node_count()];
+    let mut max = 0;
+    for v in topo_order(dag) {
+        let bv = best[v.index()];
+        for &c in dag.children(v) {
+            if bv + 1 > best[c.index()] {
+                best[c.index()] = bv + 1;
+                max = max.max(bv + 1);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a → b → d, a → c → d, c → e
+    fn sample() -> (Dag, [NodeId; 5]) {
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        let e = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        g.add_edge(c, e).unwrap();
+        (g, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn bfs_down_depths_are_shortest_distances() {
+        let (g, [a, b, c, d, e]) = sample();
+        let got = bfs_with_depth(&g, &[a], Direction::Down);
+        assert_eq!(got, vec![(a, 0), (b, 1), (c, 1), (d, 2), (e, 2)]);
+    }
+
+    #[test]
+    fn bfs_up_finds_ancestors() {
+        let (g, [a, b, c, d, _e]) = sample();
+        let got = bfs_with_depth(&g, &[d], Direction::Up);
+        assert_eq!(got[0], (d, 0));
+        let depths: std::collections::HashMap<_, _> = got.into_iter().collect();
+        assert_eq!(depths[&b], 1);
+        assert_eq!(depths[&c], 1);
+        assert_eq!(depths[&a], 2);
+    }
+
+    #[test]
+    fn bfs_multiple_starts_take_minimum() {
+        let (g, [a, _b, c, d, e]) = sample();
+        let got = bfs_with_depth(&g, &[c, a], Direction::Down);
+        let depths: std::collections::HashMap<_, _> = got.into_iter().collect();
+        assert_eq!(depths[&c], 0);
+        assert_eq!(depths[&a], 0);
+        assert_eq!(depths[&d], 1); // via c, not via a→b→d
+        assert_eq!(depths[&e], 1);
+    }
+
+    #[test]
+    fn bfs_duplicate_starts_visit_once() {
+        let (g, [a, ..]) = sample();
+        let got = bfs_with_depth(&g, &[a, a, a], Direction::Down);
+        assert_eq!(got.iter().filter(|(v, _)| *v == a).count(), 1);
+    }
+
+    #[test]
+    fn reachable_set_down_and_up() {
+        let (g, [a, b, c, d, e]) = sample();
+        let down = reachable_set(&g, &[c], Direction::Down);
+        assert!(down[c.index()] && down[d.index()] && down[e.index()]);
+        assert!(!down[a.index()] && !down[b.index()]);
+        let up = reachable_set(&g, &[e], Direction::Up);
+        assert!(up[e.index()] && up[c.index()] && up[a.index()]);
+        assert!(!up[b.index()] && !up[d.index()]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, _) = sample();
+        let order = topo_order(&g);
+        assert_eq!(order.len(), g.node_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for (p, c) in g.edges() {
+            assert!(pos[p.index()] < pos[c.index()], "{p:?} before {c:?}");
+        }
+    }
+
+    #[test]
+    fn longest_path_of_chain_and_diamond() {
+        let (g, _) = sample();
+        assert_eq!(longest_path_len(&g), 2);
+        let mut chain = Dag::new();
+        let v = chain.add_nodes(6);
+        for w in v.windows(2) {
+            chain.add_edge(w[0], w[1]).unwrap();
+        }
+        assert_eq!(longest_path_len(&chain), 5);
+        assert_eq!(longest_path_len(&Dag::new()), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the graph substrate: invariants that must hold on
+//! arbitrary random DAGs.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ucra_graph::{analysis, io, paths, subgraph, traverse, Dag, NodeId};
+
+/// A random DAG built deterministically from shrinkable scalars.
+fn build(n: usize, density: f64, seed: u64) -> Dag {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut dag = Dag::with_capacity(n);
+    let ids = dag.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                dag.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// topo_order always yields a valid topological permutation.
+    #[test]
+    fn topo_order_is_valid(n in 0usize..25, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let order = traverse::topo_order(&dag);
+        prop_assert!(analysis::is_topological_order(&dag, &order));
+    }
+
+    /// The transitive closure agrees with per-pair reachability.
+    #[test]
+    fn closure_agrees_with_reaches(n in 0usize..15, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let closure = analysis::transitive_closure(&dag);
+        for u in dag.nodes() {
+            for v in dag.nodes() {
+                prop_assert_eq!(closure[u.index()][v.index()], dag.reaches(u, v));
+            }
+        }
+    }
+
+    /// BFS-up depths equal shortest path lengths computed from the
+    /// closure/per-edge structure (cross-checked via BFS-down from each
+    /// ancestor).
+    #[test]
+    fn up_distances_are_symmetric_to_down_distances(
+        n in 1usize..15,
+        density in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let dag = build(n, density, seed);
+        let target = dag.nodes().last().unwrap();
+        let up = paths::shortest_up_distances(&dag, target);
+        for v in dag.nodes() {
+            let down = traverse::bfs_with_depth(&dag, &[v], traverse::Direction::Down)
+                .into_iter()
+                .find(|(x, _)| *x == target)
+                .map(|(_, d)| d);
+            prop_assert_eq!(up[v.index()], down, "{:?} to {:?}", v, target);
+        }
+    }
+
+    /// Path counts are multiplicative over the ancestor structure:
+    /// count(v ⇝ t) = Σ over children c of count(c ⇝ t), and positive
+    /// exactly for ancestors of t.
+    #[test]
+    fn path_count_recurrence(n in 1usize..15, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let t = dag.nodes().last().unwrap();
+        let counts = paths::paths_to(&dag, t).unwrap();
+        for v in dag.nodes() {
+            if v == t { continue; }
+            let sum: u128 = dag.children(v).iter().map(|c| counts[c.index()]).sum();
+            prop_assert_eq!(counts[v.index()], sum);
+            prop_assert_eq!(counts[v.index()] > 0, dag.reaches(v, t) && v != t);
+        }
+    }
+
+    /// The ancestor sub-graph is exactly the up-reachable set, its
+    /// designated node is the sole sink, and path statistics into the
+    /// sink are preserved by the embedding.
+    #[test]
+    fn ancestor_subgraph_is_faithful(
+        n in 1usize..15,
+        density in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let dag = build(n, density, seed);
+        let t = dag.nodes().last().unwrap();
+        let sub = subgraph::ancestor_subgraph(&dag, t);
+        // Kept = up-reachable.
+        let up = traverse::reachable_set(&dag, &[t], traverse::Direction::Up);
+        prop_assert_eq!(sub.dag.node_count(), up.iter().filter(|&&b| b).count());
+        for (s, o) in sub.mapping() {
+            prop_assert!(up[o.index()]);
+            prop_assert_eq!(sub.sub_id(o), Some(s));
+        }
+        // Sole sink.
+        let sinks: Vec<NodeId> = sub.dag.sinks().collect();
+        prop_assert_eq!(sinks, vec![sub.sink]);
+        // Path stats into the sink are preserved.
+        let orig = paths::path_stats_to(&dag, t).unwrap();
+        let small = paths::path_stats_to(&sub.dag, sub.sink).unwrap();
+        for (s, o) in sub.mapping() {
+            prop_assert_eq!(orig[o.index()], small[s.index()]);
+        }
+    }
+
+    /// Edge-list round trip is the identity.
+    #[test]
+    fn edge_list_round_trip(n in 0usize..20, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let text = io::render_edge_list(&dag);
+        let back = io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(back.node_count(), dag.node_count());
+        prop_assert_eq!(
+            back.edges().collect::<Vec<_>>(),
+            dag.edges().collect::<Vec<_>>()
+        );
+    }
+
+    /// Roots and sinks partition correctly: every node is reachable from
+    /// some root, and reaches some sink.
+    #[test]
+    fn roots_cover_everything(n in 1usize..20, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let roots: Vec<NodeId> = dag.roots().collect();
+        let covered = traverse::reachable_set(&dag, &roots, traverse::Direction::Down);
+        prop_assert!(covered.iter().all(|&b| b));
+        let sinks: Vec<NodeId> = dag.sinks().collect();
+        let covering = traverse::reachable_set(&dag, &sinks, traverse::Direction::Up);
+        prop_assert!(covering.iter().all(|&b| b));
+    }
+
+    /// Bulk construction equals incremental construction on every valid
+    /// edge list.
+    #[test]
+    fn from_edges_equals_incremental(n in 0usize..20, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let bulk = Dag::from_edges(n, dag.edges()).unwrap();
+        prop_assert_eq!(bulk.node_count(), dag.node_count());
+        prop_assert_eq!(
+            bulk.edges().collect::<Vec<_>>(),
+            dag.edges().collect::<Vec<_>>()
+        );
+        for v in dag.nodes() {
+            prop_assert_eq!(bulk.parents(v), dag.parents(v));
+        }
+    }
+
+    /// Reversing any edge of a transitively-closed chain creates a cycle
+    /// that bulk construction rejects.
+    #[test]
+    fn from_edges_rejects_back_edges(n in 2usize..12, back in any::<usize>()) {
+        let ids: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = ids.windows(2).map(|w| (w[0], w[1])).collect();
+        let i = back % (n - 1);
+        edges.push((ids[i + 1], ids[i])); // the reverse of an existing edge
+        prop_assert!(Dag::from_edges(n, edges).is_err());
+    }
+
+    /// Summary invariants.
+    #[test]
+    fn summary_invariants(n in 0usize..20, density in 0.0f64..0.7, seed in any::<u64>()) {
+        let dag = build(n, density, seed);
+        let s = analysis::summary(&dag);
+        prop_assert_eq!(s.nodes, dag.node_count());
+        prop_assert_eq!(s.edges, dag.edge_count());
+        prop_assert!(s.roots <= s.nodes);
+        prop_assert!(s.sinks <= s.nodes);
+        if s.nodes > 0 {
+            prop_assert!(s.roots >= 1);
+            prop_assert!(s.sinks >= 1);
+            prop_assert!((s.depth as usize) < s.nodes);
+        }
+    }
+}

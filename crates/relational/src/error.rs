@@ -1,0 +1,60 @@
+//! Error type for relational operations.
+
+use std::fmt;
+
+/// Errors raised by relational operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelationalError {
+    /// A referenced column does not exist in the relation's schema.
+    UnknownColumn(String),
+    /// A row had the wrong number of cells for the schema.
+    ArityMismatch {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Cells the row supplied.
+        got: usize,
+    },
+    /// Two relations were combined by an operator that requires identical
+    /// schemas (union, difference), but the schemas differ.
+    SchemaMismatch {
+        /// Left operand's schema rendering.
+        left: String,
+        /// Right operand's schema rendering.
+        right: String,
+    },
+    /// A cartesian product or join would produce duplicate column names.
+    DuplicateColumn(String),
+    /// An aggregate (`min`/`max`) was applied to an empty relation.
+    EmptyAggregate,
+    /// An aggregate or comparison met a value of the wrong kind.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it found.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            RelationalError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            RelationalError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: [{left}] vs [{right}]")
+            }
+            RelationalError::DuplicateColumn(c) => {
+                write!(f, "operation would duplicate column `{c}`")
+            }
+            RelationalError::EmptyAggregate => write!(f, "aggregate over empty relation"),
+            RelationalError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}

@@ -1,0 +1,56 @@
+//! # `ucra-relational` — a bag-semantics relational algebra engine and the
+//! executable specification of the paper's algorithms
+//!
+//! The paper states both of its algorithms in relational algebra over SQL
+//! style **bag** (multiset) relations: Function `Propagate()` (Fig. 5) as a
+//! loop of joins, projections and unions, and Algorithm `Resolve()` (Fig. 4)
+//! as selections, an `update`, and `count()` aggregates. This crate supplies
+//!
+//! 1. a minimal in-memory relational engine with exactly the operators the
+//!    figures use — selection ([`Relation::select`]), projection
+//!    ([`Relation::project`]), natural join ([`Relation::natural_join`]),
+//!    bag union ([`Relation::union_all`]), set difference
+//!    ([`Relation::minus`]), cartesian product ([`Relation::product`]),
+//!    `update … set … where` ([`Relation::update`]), `count()` and min/max
+//!    aggregates; and
+//! 2. a **literal transcription** of Fig. 4 and Fig. 5 on top of it
+//!    ([`spec`]), line-numbered to match the paper.
+//!
+//! The transcription is deliberately unoptimized. It serves as the oracle
+//! against which `ucra-core`'s production engines (`path_enum`, `counting`)
+//! are property-tested, and as the slowest rung of the engine-comparison
+//! ablation benchmark.
+//!
+//! Bag semantics matter here: `allRights` (paper Table 1) carries one row
+//! **per path** from a labeled ancestor, and the Majority policy counts
+//! duplicates as distinct votes.
+//!
+//! ## Example
+//!
+//! ```
+//! use ucra_relational::{Relation, Schema, Value, Predicate};
+//!
+//! let mut r = Relation::new(Schema::new(["subject", "mode"]));
+//! r.push_row([Value::Int(1), Value::text("+")]).unwrap();
+//! r.push_row([Value::Int(2), Value::text("-")]).unwrap();
+//! r.push_row([Value::Int(3), Value::text("+")]).unwrap();
+//!
+//! let pos = r.select(&Predicate::col_eq("mode", Value::text("+"))).unwrap();
+//! assert_eq!(pos.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod predicate;
+mod relation;
+mod schema;
+mod value;
+pub mod spec;
+
+pub use error::RelationalError;
+pub use predicate::Predicate;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use value::Value;

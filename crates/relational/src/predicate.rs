@@ -1,0 +1,128 @@
+//! A tiny predicate AST for selections and updates.
+
+use crate::{RelationalError, Schema, Value};
+
+/// A boolean condition over one row, as used by `σ` (selection) and the
+/// `where` clause of [`crate::Relation::update`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true (selects every row).
+    True,
+    /// `column = value`.
+    ColEqVal(String, Value),
+    /// `column <> value` — e.g. Fig. 4 Line 2's `mode <> "d"`.
+    ColNeVal(String, Value),
+    /// `column_a = column_b`.
+    ColEqCol(String, String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn col_eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::ColEqVal(column.into(), value.into())
+    }
+
+    /// `column <> value`.
+    pub fn col_ne(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::ColNeVal(column.into(), value.into())
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on one row laid out per `schema`.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> Result<bool, RelationalError> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::ColEqVal(c, v) => &row[schema.index_of(c)?] == v,
+            Predicate::ColNeVal(c, v) => &row[schema.index_of(c)?] != v,
+            Predicate::ColEqCol(a, b) => row[schema.index_of(a)?] == row[schema.index_of(b)?],
+            Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Predicate::Not(p) => !p.eval(schema, row)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["dis", "mode"])
+    }
+
+    fn row(dis: i64, mode: &str) -> Vec<Value> {
+        vec![Value::Int(dis), Value::text(mode)]
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let s = schema();
+        let p = Predicate::col_eq("mode", "d");
+        assert!(p.eval(&s, &row(1, "d")).unwrap());
+        assert!(!p.eval(&s, &row(1, "+")).unwrap());
+        let n = Predicate::col_ne("mode", "d");
+        assert!(!n.eval(&s, &row(1, "d")).unwrap());
+        assert!(n.eval(&s, &row(1, "+")).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let p = Predicate::col_eq("mode", "+").and(Predicate::col_eq("dis", 1i64));
+        assert!(p.eval(&s, &row(1, "+")).unwrap());
+        assert!(!p.eval(&s, &row(2, "+")).unwrap());
+        let q = Predicate::col_eq("mode", "+").or(Predicate::col_eq("mode", "-"));
+        assert!(q.eval(&s, &row(9, "-")).unwrap());
+        assert!(!q.eval(&s, &row(9, "d")).unwrap());
+        assert!(q.clone().not().eval(&s, &row(9, "d")).unwrap());
+    }
+
+    #[test]
+    fn col_eq_col() {
+        let s = Schema::new(["a", "b"]);
+        let p = Predicate::ColEqCol("a".into(), "b".into());
+        assert!(p
+            .eval(&s, &[Value::Int(3), Value::Int(3)])
+            .unwrap());
+        assert!(!p
+            .eval(&s, &[Value::Int(3), Value::Int(4)])
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let p = Predicate::col_eq("nope", 1i64);
+        assert!(matches!(
+            p.eval(&s, &row(1, "+")),
+            Err(RelationalError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn true_selects_everything() {
+        let s = schema();
+        assert!(Predicate::True.eval(&s, &row(0, "d")).unwrap());
+    }
+}

@@ -1,0 +1,601 @@
+//! The [`Relation`] type and its operators.
+
+use crate::{Predicate, RelationalError, Schema, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An in-memory relation with **bag** (multiset) semantics: duplicate rows
+/// are kept and counted, exactly as in SQL and in the paper's `allRights`
+/// relation, where each row represents one propagation path.
+///
+/// ```
+/// use ucra_relational::{Predicate, Relation, Schema, Value};
+///
+/// let mut sdag = Relation::new(Schema::new(["subject", "child"]));
+/// sdag.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+/// sdag.push_row([Value::Int(1), Value::Int(3)]).unwrap();
+///
+/// let mut labels = Relation::new(Schema::new(["subject", "mode"]));
+/// labels.push_row([Value::Int(1), Value::text("+")]).unwrap();
+///
+/// // ⋈ joins on the shared `subject` column: the label reaches both edges.
+/// let joined = labels.natural_join(&sdag).unwrap();
+/// assert_eq!(joined.len(), 2);
+/// assert_eq!(joined.count_where(&Predicate::col_eq("mode", "+")).unwrap(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows, counting duplicates (SQL `count(*)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a row; its arity must match the schema.
+    pub fn push_row<I>(&mut self, row: I) -> Result<(), RelationalError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let row: Vec<Value> = row.into_iter().collect();
+        if row.len() != self.schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// σ — rows satisfying `pred`, duplicates preserved.
+    pub fn select(&self, pred: &Predicate) -> Result<Relation, RelationalError> {
+        let mut out = Relation::new(self.schema.clone());
+        for row in &self.rows {
+            if pred.eval(&self.schema, row)? {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// π — bag projection onto the named columns (duplicates preserved,
+    /// as in SQL `SELECT col…` without `DISTINCT`).
+    pub fn project(&self, columns: &[&str]) -> Result<Relation, RelationalError> {
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        let mut out = Relation::new(Schema::new(columns.iter().map(|c| c.to_string())));
+        for row in &self.rows {
+            out.rows.push(idx.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(out)
+    }
+
+    /// π with `DISTINCT` — set projection, used where the paper treats a
+    /// projection as a set (e.g. Fig. 4 Line 7's `Auth`).
+    pub fn project_distinct(&self, columns: &[&str]) -> Result<Relation, RelationalError> {
+        let mut out = self.project(columns)?;
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out.rows.len());
+        out.rows.retain(|r| seen.insert(r.clone()));
+        Ok(out)
+    }
+
+    /// ∪ — bag union (SQL `UNION ALL`); schemas must be identical.
+    pub fn union_all(&self, other: &Relation) -> Result<Relation, RelationalError> {
+        self.check_same_schema(other)?;
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        Ok(out)
+    }
+
+    /// − — set difference: distinct rows of `self` that do not occur in
+    /// `other` (relational-algebra difference, as in Fig. 5 Line 4).
+    pub fn minus(&self, other: &Relation) -> Result<Relation, RelationalError> {
+        self.check_same_schema(other)?;
+        let exclude: HashSet<&Vec<Value>> = other.rows.iter().collect();
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for row in &self.rows {
+            if !exclude.contains(row) && seen.insert(row.clone()) {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// ⋈ — natural join on all common column names (hash join on the key
+    /// of common columns; bag semantics: each matching pair produces one
+    /// output row).
+    pub fn natural_join(&self, other: &Relation) -> Result<Relation, RelationalError> {
+        let common = self.schema.common_columns(&other.schema);
+        let left_key: Vec<usize> = common
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        let right_key: Vec<usize> = common
+            .iter()
+            .map(|c| other.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        // Output schema: all of self's columns, then other's non-common ones.
+        let right_extra: Vec<usize> = (0..other.schema.arity())
+            .filter(|&i| !common.contains(&other.schema.columns()[i]))
+            .collect();
+        let mut names: Vec<String> = self.schema.columns().to_vec();
+        names.extend(right_extra.iter().map(|&i| other.schema.columns()[i].clone()));
+        let mut out = Relation::new(Schema::new(names));
+
+        // Build side: hash the smaller relation? Keep it simple and hash
+        // `other`; spec-grade performance is not the goal here.
+        let mut index: std::collections::HashMap<Vec<&Value>, Vec<&Vec<Value>>> =
+            std::collections::HashMap::new();
+        for row in &other.rows {
+            let key: Vec<&Value> = right_key.iter().map(|&i| &row[i]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        for lrow in &self.rows {
+            let key: Vec<&Value> = left_key.iter().map(|&i| &lrow[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for rrow in matches {
+                    let mut row = lrow.clone();
+                    row.extend(right_extra.iter().map(|&i| rrow[i].clone()));
+                    out.rows.push(row);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// × — cartesian product; column names must be disjoint.
+    pub fn product(&self, other: &Relation) -> Result<Relation, RelationalError> {
+        for c in other.schema.columns() {
+            if self.schema.contains(c) {
+                return Err(RelationalError::DuplicateColumn(c.clone()));
+            }
+        }
+        let mut names: Vec<String> = self.schema.columns().to_vec();
+        names.extend(other.schema.columns().iter().cloned());
+        let mut out = Relation::new(Schema::new(names));
+        for l in &self.rows {
+            for r in &other.rows {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.rows.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// ρ — renames one column (e.g. Fig. 5 Line 8, where the propagated
+    /// relation's `child` column becomes the next iteration's `subject`).
+    pub fn rename(&self, from: &str, to: &str) -> Result<Relation, RelationalError> {
+        let i = self.schema.index_of(from)?;
+        if self.schema.contains(to) && from != to {
+            return Err(RelationalError::DuplicateColumn(to.to_string()));
+        }
+        let mut names: Vec<String> = self.schema.columns().to_vec();
+        names[i] = to.to_string();
+        Ok(Relation {
+            schema: Schema::new(names),
+            rows: self.rows.clone(),
+        })
+    }
+
+    /// Appends a constant column to every row (used to materialise the
+    /// iteration counter `i` as the `dis` column in Fig. 5).
+    pub fn with_const_column(
+        &self,
+        name: &str,
+        value: Value,
+    ) -> Result<Relation, RelationalError> {
+        if self.schema.contains(name) {
+            return Err(RelationalError::DuplicateColumn(name.to_string()));
+        }
+        let mut names: Vec<String> = self.schema.columns().to_vec();
+        names.push(name.to_string());
+        let mut out = Relation::new(Schema::new(names));
+        for row in &self.rows {
+            let mut r = row.clone();
+            r.push(value.clone());
+            out.rows.push(r);
+        }
+        Ok(out)
+    }
+
+    /// SQL `UPDATE self SET column = value WHERE pred` (Fig. 4 Line 3).
+    /// Returns the number of rows changed.
+    pub fn update(
+        &mut self,
+        column: &str,
+        value: Value,
+        pred: &Predicate,
+    ) -> Result<usize, RelationalError> {
+        let ci = self.schema.index_of(column)?;
+        let mut changed = 0;
+        // Evaluate against an immutable view before mutating each row.
+        for i in 0..self.rows.len() {
+            if pred.eval(&self.schema, &self.rows[i])? {
+                self.rows[i][ci] = value.clone();
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// `count(σ_pred self)` — convenience combining Fig. 4's Lines 4–5.
+    pub fn count_where(&self, pred: &Predicate) -> Result<usize, RelationalError> {
+        let mut n = 0;
+        for row in &self.rows {
+            if pred.eval(&self.schema, row)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// `SELECT group_cols, count(*) GROUP BY group_cols` — the grouped
+    /// counterpart of `count()`, used by analyses over the propagation
+    /// relation (e.g. votes per distance stratum).
+    ///
+    /// The output schema is `group_cols` plus a trailing `count` column;
+    /// groups appear in first-occurrence order.
+    pub fn group_count(&self, group_cols: &[&str]) -> Result<Relation, RelationalError> {
+        let idx: Vec<usize> = group_cols
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        if self.schema.contains("count") && !group_cols.contains(&"count") {
+            return Err(RelationalError::DuplicateColumn("count".to_string()));
+        }
+        let mut names: Vec<String> = group_cols.iter().map(|c| c.to_string()).collect();
+        names.push("count".to_string());
+        let mut out = Relation::new(Schema::new(names));
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut counts: std::collections::HashMap<Vec<Value>, i64> =
+            std::collections::HashMap::new();
+        for row in &self.rows {
+            let key: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+            match counts.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(1);
+                    order.push(key);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() += 1;
+                }
+            }
+        }
+        for key in order {
+            let n = counts[&key];
+            let mut row = key;
+            row.push(Value::Int(n));
+            out.rows.push(row);
+        }
+        Ok(out)
+    }
+
+    /// `min(column)` over an integer column.
+    pub fn min_int(&self, column: &str) -> Result<i64, RelationalError> {
+        self.fold_int(column, |a, b| a.min(b))
+    }
+
+    /// `max(column)` over an integer column.
+    pub fn max_int(&self, column: &str) -> Result<i64, RelationalError> {
+        self.fold_int(column, |a, b| a.max(b))
+    }
+
+    fn fold_int(
+        &self,
+        column: &str,
+        f: impl Fn(i64, i64) -> i64,
+    ) -> Result<i64, RelationalError> {
+        let ci = self.schema.index_of(column)?;
+        let mut acc: Option<i64> = None;
+        for row in &self.rows {
+            let v = row[ci].as_int().ok_or(RelationalError::TypeMismatch {
+                expected: "int",
+                got: row[ci].kind(),
+            })?;
+            acc = Some(match acc {
+                None => v,
+                Some(a) => f(a, v),
+            });
+        }
+        acc.ok_or(RelationalError::EmptyAggregate)
+    }
+
+    fn check_same_schema(&self, other: &Relation) -> Result<(), RelationalError> {
+        if self.schema == other.schema {
+            Ok(())
+        } else {
+            Err(RelationalError::SchemaMismatch {
+                left: self.schema.to_string(),
+                right: other.schema.to_string(),
+            })
+        }
+    }
+
+    /// Sorted copy of the rows — convenient for order-insensitive
+    /// comparisons in tests and for stable text output.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Renders a small fixed-width table, in the spirit of the paper's
+    /// Tables 1 and 4.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers = self.schema.columns();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:w$}")?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, headers)?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rights() -> Relation {
+        // Paper Table 1 (dis, mode only).
+        let mut r = Relation::new(Schema::new(["dis", "mode"]));
+        for (d, m) in [(1, "-"), (1, "d"), (2, "d"), (1, "+"), (3, "+"), (3, "d")] {
+            r.push_row([Value::Int(d), Value::text(m)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn push_row_checks_arity() {
+        let mut r = Relation::new(Schema::new(["a", "b"]));
+        assert!(matches!(
+            r.push_row([Value::Int(1)]),
+            Err(RelationalError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn select_keeps_duplicates() {
+        let mut r = Relation::new(Schema::new(["m"]));
+        r.push_row([Value::text("+")]).unwrap();
+        r.push_row([Value::text("+")]).unwrap();
+        let s = r.select(&Predicate::col_eq("m", "+")).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn project_bag_vs_distinct() {
+        let r = rights();
+        assert_eq!(r.project(&["mode"]).unwrap().len(), 6);
+        let d = r.project_distinct(&["mode"]).unwrap();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn union_all_counts_duplicates() {
+        let r = rights();
+        let u = r.union_all(&r).unwrap();
+        assert_eq!(u.len(), 12);
+    }
+
+    #[test]
+    fn union_requires_same_schema() {
+        let r = rights();
+        let other = Relation::new(Schema::new(["x"]));
+        assert!(matches!(
+            r.union_all(&other),
+            Err(RelationalError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn minus_is_set_difference() {
+        let mut a = Relation::new(Schema::new(["v"]));
+        for x in [1, 1, 2, 3] {
+            a.push_row([Value::Int(x)]).unwrap();
+        }
+        let mut b = Relation::new(Schema::new(["v"]));
+        b.push_row([Value::Int(2)]).unwrap();
+        let d = a.minus(&b).unwrap();
+        assert_eq!(d.sorted_rows(), vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn natural_join_on_common_column() {
+        let mut sdag = Relation::new(Schema::new(["subject", "child"]));
+        sdag.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        sdag.push_row([Value::Int(1), Value::Int(3)]).unwrap();
+        let mut p = Relation::new(Schema::new(["subject", "mode"]));
+        p.push_row([Value::Int(1), Value::text("+")]).unwrap();
+        p.push_row([Value::Int(9), Value::text("-")]).unwrap();
+        let j = p.natural_join(&sdag).unwrap();
+        assert_eq!(j.schema().columns(), &["subject", "mode", "child"]);
+        assert_eq!(j.len(), 2); // subject 1 matches both edges; 9 matches none
+    }
+
+    #[test]
+    fn natural_join_bag_multiplicity() {
+        let mut l = Relation::new(Schema::new(["k"]));
+        l.push_row([Value::Int(1)]).unwrap();
+        l.push_row([Value::Int(1)]).unwrap();
+        let mut r = Relation::new(Schema::new(["k", "v"]));
+        r.push_row([Value::Int(1), Value::Int(10)]).unwrap();
+        r.push_row([Value::Int(1), Value::Int(20)]).unwrap();
+        assert_eq!(l.natural_join(&r).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn join_with_no_common_columns_is_product() {
+        let mut l = Relation::new(Schema::new(["a"]));
+        l.push_row([Value::Int(1)]).unwrap();
+        l.push_row([Value::Int(2)]).unwrap();
+        let mut r = Relation::new(Schema::new(["b"]));
+        r.push_row([Value::Int(3)]).unwrap();
+        // With no common columns every pair matches (empty key).
+        assert_eq!(l.natural_join(&r).unwrap().len(), 2);
+        assert_eq!(l.product(&r).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn product_rejects_shared_names() {
+        let l = Relation::new(Schema::new(["a"]));
+        let r = Relation::new(Schema::new(["a"]));
+        assert!(matches!(
+            l.product(&r),
+            Err(RelationalError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn update_rewrites_matching_rows() {
+        let mut r = rights();
+        let n = r
+            .update("mode", Value::text("+"), &Predicate::col_eq("mode", "d"))
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(r.count_where(&Predicate::col_eq("mode", "+")).unwrap(), 5);
+        assert_eq!(r.count_where(&Predicate::col_eq("mode", "d")).unwrap(), 0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = rights();
+        assert_eq!(r.min_int("dis").unwrap(), 1);
+        assert_eq!(r.max_int("dis").unwrap(), 3);
+        let empty = Relation::new(Schema::new(["dis"]));
+        assert_eq!(empty.min_int("dis"), Err(RelationalError::EmptyAggregate));
+        assert!(matches!(
+            r.min_int("mode"),
+            Err(RelationalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn group_count_by_mode() {
+        let r = rights();
+        let g = r.group_count(&["mode"]).unwrap();
+        assert_eq!(g.schema().columns(), &["mode", "count"]);
+        let rows = g.sorted_rows();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::text("+"), Value::Int(2)],
+                vec![Value::text("-"), Value::Int(1)],
+                vec![Value::text("d"), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_count_by_two_columns_and_empty_group() {
+        let r = rights();
+        let g = r.group_count(&["dis", "mode"]).unwrap();
+        assert_eq!(g.len(), 6); // Table 1 has no duplicate (dis, mode)
+        assert!(g.rows().all(|row| row[2] == Value::Int(1)));
+        // Grouping by nothing counts everything.
+        let all = r.group_count(&[]).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all.rows().next().unwrap()[0], Value::Int(6));
+    }
+
+    #[test]
+    fn group_count_rejects_count_collision() {
+        let mut r = Relation::new(Schema::new(["count", "x"]));
+        r.push_row([Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(matches!(
+            r.group_count(&["x"]),
+            Err(RelationalError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let r = rights();
+        let renamed = r.rename("dis", "distance").unwrap();
+        assert_eq!(renamed.schema().columns(), &["distance", "mode"]);
+        assert_eq!(renamed.len(), r.len());
+        assert!(matches!(
+            r.rename("dis", "mode"),
+            Err(RelationalError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            r.rename("nope", "x"),
+            Err(RelationalError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn with_const_column_appends() {
+        let r = rights();
+        let c = r.with_const_column("i", Value::Int(4)).unwrap();
+        assert_eq!(c.schema().columns(), &["dis", "mode", "i"]);
+        assert!(c.rows().all(|row| row[2] == Value::Int(4)));
+        assert!(matches!(
+            r.with_const_column("mode", Value::Int(0)),
+            Err(RelationalError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let r = rights();
+        let text = r.to_string();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().trim(), "dis | mode");
+        assert_eq!(text.lines().count(), 7);
+    }
+}

@@ -1,0 +1,115 @@
+//! Relation schemas: ordered, named columns.
+
+use crate::RelationalError;
+use std::fmt;
+
+/// An ordered list of column names.
+///
+/// Columns are dynamically typed (any [`crate::Value`] may appear in any
+/// column); the schema only fixes names and positions, which is all the
+/// paper's algebra needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column name repeats — schemas are tiny and fixed in this
+    /// codebase, so a duplicate is a programming error, not input data.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column `{c}` in schema"
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    #[inline]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Position of `name`, or an error naming the missing column.
+    pub fn index_of(&self, name: &str) -> Result<usize, RelationalError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| RelationalError::UnknownColumn(name.to_string()))
+    }
+
+    /// `true` when `name` is a column of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c == name)
+    }
+
+    /// Names common to both schemas, in this schema's order (used by
+    /// natural join).
+    pub fn common_columns(&self, other: &Schema) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|c| other.contains(c))
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_contains() {
+        let s = Schema::new(["subject", "dis", "mode"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("dis").unwrap(), 1);
+        assert!(s.contains("mode"));
+        assert!(!s.contains("object"));
+        assert!(matches!(
+            s.index_of("object"),
+            Err(RelationalError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        let _ = Schema::new(["a", "a"]);
+    }
+
+    #[test]
+    fn common_columns_order() {
+        let a = Schema::new(["x", "y", "z"]);
+        let b = Schema::new(["z", "w", "x"]);
+        assert_eq!(a.common_columns(&b), vec!["x".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn display_joins_names() {
+        let s = Schema::new(["a", "b"]);
+        assert_eq!(s.to_string(), "a, b");
+    }
+}

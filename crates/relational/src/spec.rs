@@ -1,0 +1,605 @@
+//! Executable specification: a literal, line-numbered transcription of the
+//! paper's Function `Propagate()` (Fig. 5) and Algorithm `Resolve()`
+//! (Fig. 4) over the relational engine.
+//!
+//! This module exists to be *obviously* faithful to the paper, not fast:
+//! every step quotes the corresponding figure line. `ucra-core`'s
+//! production engines are property-tested for bag-equivalence against it.
+//!
+//! ## Two documented clarifications of the figures
+//!
+//! 1. **Line 3 (Fig. 5)** joins `SDAG′` with the filtered EACM. Taken
+//!    literally, a subject appearing only in `SDAG′`'s `child` column — in
+//!    particular the queried sink `s` itself — would never receive its own
+//!    explicit authorization, contradicting §3.2 ("the *dis* value for
+//!    explicit authorizations is 0") and Line 12 (which selects `subject =
+//!    s` rows, including distance-0 ones). We therefore join the **node
+//!    set** of the sub-hierarchy `H` (which always contains `s`) with the
+//!    EACM.
+//! 2. **Line 4 (Fig. 5)** computes the unlabeled roots as
+//!    `π_subject SDAG′ − π_child SDAG′ − π_subject P`. When `H` is the
+//!    single node `s` (a subject with no ancestors), `SDAG′` has no tuples
+//!    and the projection misses `s`, even though Step 2 of §3 says *all*
+//!    unlabeled roots of `H` receive the default. We compute roots from the
+//!    node set of `H` instead, which agrees with the figure whenever `H`
+//!    has at least one edge.
+
+use crate::{Predicate, Relation, RelationalError, Schema, Value};
+use std::collections::BTreeSet;
+
+/// A definite authorization sign: the result of `Resolve()` and the value
+/// domain of the Preference rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Positive authorization (`+`): access granted.
+    Pos,
+    /// Negative authorization (`-`): access denied.
+    Neg,
+}
+
+impl Sign {
+    /// The paper's one-character rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Sign::Pos => "+",
+            Sign::Neg => "-",
+        }
+    }
+}
+
+/// `dRule` — the Default policy parameter (Fig. 4): `"+"`, `"-"`, or `"0"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefaultRule {
+    /// Unlabeled root ancestors are initialised to `+` (open systems).
+    Pos,
+    /// Unlabeled root ancestors are initialised to `-` (closed systems).
+    Neg,
+    /// `"0"`: no default policy; `d` rows are discarded (Fig. 4 Line 2).
+    NoDefault,
+}
+
+/// `lRule` — the Locality policy parameter (Fig. 4): `min()`, `max()`, or
+/// `identity()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalityRule {
+    /// `min()`: the most specific authorization takes precedence.
+    Min,
+    /// `max()`: the most general (global) authorization takes precedence.
+    Max,
+    /// `identity()`: no locality policy; all rows pass the filter.
+    Identity,
+}
+
+/// `mRule` — the Majority policy parameter (Fig. 4): `before`, `after`, or
+/// `skip` (relative to the locality filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MajorityRule {
+    /// Count votes over all of `allRights` (majority applied before
+    /// locality).
+    Before,
+    /// Apply the locality filter first, then count votes (majority applied
+    /// after locality).
+    After,
+    /// No majority policy.
+    Skip,
+}
+
+/// Schema of the `P` / `allRights` relations:
+/// `(subject, object, permission, dis, mode)`.
+pub fn all_rights_schema() -> Schema {
+    Schema::new(["subject", "object", "permission", "dis", "mode"])
+}
+
+/// Schema of the SDAG relation: `(subject, child)`.
+pub fn sdag_schema() -> Schema {
+    Schema::new(["subject", "child"])
+}
+
+/// Schema of the EACM relation: `(subject, object, permission, mode)`.
+pub fn eacm_schema() -> Schema {
+    Schema::new(["subject", "object", "permission", "mode"])
+}
+
+/// Builds the SDAG relation from `(parent, child)` edges.
+pub fn sdag_relation(edges: &[(i64, i64)]) -> Relation {
+    let mut r = Relation::new(sdag_schema());
+    for &(p, c) in edges {
+        r.push_row([Value::Int(p), Value::Int(c)])
+            .expect("arity 2");
+    }
+    r
+}
+
+/// Builds the EACM relation from `(subject, object, permission, sign)`
+/// explicit authorizations.
+pub fn eacm_relation(entries: &[(i64, i64, i64, Sign)]) -> Relation {
+    let mut r = Relation::new(eacm_schema());
+    for &(s, o, p, sign) in entries {
+        r.push_row([
+            Value::Int(s),
+            Value::Int(o),
+            Value::Int(p),
+            Value::text(sign.symbol()),
+        ])
+        .expect("arity 4");
+    }
+    r
+}
+
+/// `ancestors(s) = {s} ∪ {x | ∃y ⟨y,s⟩ ∈ SDAG ∧ x ∈ ancestors(y)}` —
+/// computed as a fixpoint over the SDAG relation, exactly as defined in
+/// the header of Fig. 5. (The paper's definition recurses through parents:
+/// `⟨y, s⟩ ∈ SDAG` makes `y` a parent of `s`.)
+pub fn ancestors(sdag: &Relation, s: i64) -> Result<BTreeSet<i64>, RelationalError> {
+    let si = sdag.schema().index_of("subject")?;
+    let ci = sdag.schema().index_of("child")?;
+    let mut anc: BTreeSet<i64> = BTreeSet::new();
+    anc.insert(s);
+    loop {
+        let mut grew = false;
+        for row in sdag.rows() {
+            let (parent, child) = (row[si].as_int(), row[ci].as_int());
+            if let (Some(p), Some(c)) = (parent, child) {
+                if anc.contains(&c) && anc.insert(p) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return Ok(anc);
+        }
+    }
+}
+
+/// Function `Propagate()` (Fig. 5), returning the **full** relation `P`
+/// (paper Table 4) rather than only the sink's rows.
+pub fn propagate_full(
+    sdag: &Relation,
+    eacm: &Relation,
+    s: i64,
+    o: i64,
+    r: i64,
+) -> Result<Relation, RelationalError> {
+    // Line 1: SDAG' ← σ_{subject ∈ ancestors(s), child ∈ ancestors(s)} SDAG
+    let anc = ancestors(sdag, s)?;
+    let si = sdag.schema().index_of("subject")?;
+    let ci = sdag.schema().index_of("child")?;
+    let mut sdag_p = Relation::new(sdag.schema().clone());
+    for row in sdag.rows() {
+        let keep = matches!(
+            (row[si].as_int(), row[ci].as_int()),
+            (Some(p), Some(c)) if anc.contains(&p) && anc.contains(&c)
+        );
+        if keep {
+            sdag_p.push_row(row.to_vec())?;
+        }
+    }
+
+    // Node set of H = ancestors(s); see module docs, clarification 1.
+    let mut nodes = Relation::new(Schema::new(["subject"]));
+    for &a in &anc {
+        nodes.push_row([Value::Int(a)])?;
+    }
+
+    // Line 2: i = 0.
+    let mut i: i64 = 0;
+
+    // Line 3: P ← π_{subject,object,permission,i,mode}(nodes ⋈ σ_{permission=r, object=o} EACM)
+    let filtered_eacm = eacm.select(
+        &Predicate::col_eq("permission", r).and(Predicate::col_eq("object", o)),
+    )?;
+    let joined = nodes.natural_join(&filtered_eacm)?;
+    let mut p = joined
+        .with_const_column("dis", Value::Int(i))?
+        .project(&["subject", "object", "permission", "dis", "mode"])?;
+
+    // Line 4: Roots ← nodes − π_child SDAG' − π_subject P
+    // (see module docs, clarification 2: `nodes` in place of π_subject SDAG').
+    let roots = nodes
+        .minus(&sdag_p.project(&["child"])?.rename("child", "subject")?)?
+        .minus(&p.project(&["subject"])?)?;
+
+    // Line 5: P ← P ∪ Roots × {⟨o, r, i, "d"⟩}
+    let mut default_tuple =
+        Relation::new(Schema::new(["object", "permission", "dis", "mode"]));
+    default_tuple.push_row([
+        Value::Int(o),
+        Value::Int(r),
+        Value::Int(i),
+        Value::text("d"),
+    ])?;
+    p = p.union_all(
+        &roots
+            .product(&default_tuple)?
+            .project(&["subject", "object", "permission", "dis", "mode"])?,
+    )?;
+
+    // Line 6: P' ← σ_{subject ≠ s} P
+    let mut p_prime = p.select(&Predicate::col_ne("subject", s))?;
+
+    // Lines 7–11.
+    loop {
+        // Line 7: i = i + 1
+        i += 1;
+        // Line 8: P' ← π_{child, object, permission, i, mode}(P' ⋈ SDAG')
+        p_prime = p_prime
+            .project(&["subject", "object", "permission", "mode"])?
+            .natural_join(&sdag_p)?
+            .project(&["child", "object", "permission", "mode"])?
+            .rename("child", "subject")?
+            .with_const_column("dis", Value::Int(i))?
+            .project(&["subject", "object", "permission", "dis", "mode"])?;
+        // Line 9: P ← P ∪ P'
+        p = p.union_all(&p_prime)?;
+        // Line 10: P' ← σ_{subject ≠ s} P'
+        p_prime = p_prime.select(&Predicate::col_ne("subject", s))?;
+        // Line 11: until P' = ∅
+        if p_prime.is_empty() {
+            break;
+        }
+    }
+    Ok(p)
+}
+
+/// Function `Propagate()` (Fig. 5) — Line 12: `σ_{subject = s} P`, the
+/// `allRights` relation of the queried subject (paper Table 1).
+pub fn propagate(
+    sdag: &Relation,
+    eacm: &Relation,
+    s: i64,
+    o: i64,
+    r: i64,
+) -> Result<Relation, RelationalError> {
+    propagate_full(sdag, eacm, s, o, r)?.select(&Predicate::col_eq("subject", s))
+}
+
+/// Applies the locality filter of Fig. 4 Line 7:
+/// `σ_{dis = lRule(dis)} allRights`.
+fn locality_filter(
+    all_rights: &Relation,
+    l_rule: LocalityRule,
+) -> Result<Relation, RelationalError> {
+    match l_rule {
+        LocalityRule::Identity => Ok(all_rights.clone()),
+        LocalityRule::Min | LocalityRule::Max => {
+            if all_rights.is_empty() {
+                return Ok(all_rights.clone());
+            }
+            let bound = match l_rule {
+                LocalityRule::Min => all_rights.min_int("dis")?,
+                LocalityRule::Max => all_rights.max_int("dis")?,
+                LocalityRule::Identity => unreachable!(),
+            };
+            all_rights.select(&Predicate::col_eq("dis", bound))
+        }
+    }
+}
+
+/// The observable trace of one spec-level `Resolve()` run — the columns
+/// of the paper's Table 3, for cross-checking against the production
+/// resolver's [`crate::Relation`]-free implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTrace {
+    /// The decision.
+    pub sign: Sign,
+    /// `c₁` (positive votes), when the Majority policy ran.
+    pub c1: Option<usize>,
+    /// `c₂` (negative votes), when the Majority policy ran.
+    pub c2: Option<usize>,
+    /// The distinct modes surviving the locality filter, when Line 7 was
+    /// reached (sorted `+` before `-`).
+    pub auth: Option<Vec<Sign>>,
+    /// The Fig. 4 line that returned: 6, 8 or 9.
+    pub line: u8,
+}
+
+/// Algorithm `Resolve()` (Fig. 4): computes the effective authorization of
+/// subject `s` for right `r` on object `o` under the strategy instance
+/// `(d_rule, l_rule, m_rule, p_rule)`.
+pub fn resolve(
+    sdag: &Relation,
+    eacm: &Relation,
+    s: i64,
+    o: i64,
+    r: i64,
+    d_rule: DefaultRule,
+    l_rule: LocalityRule,
+    m_rule: MajorityRule,
+    p_rule: Sign,
+) -> Result<Sign, RelationalError> {
+    Ok(resolve_traced(sdag, eacm, s, o, r, d_rule, l_rule, m_rule, p_rule)?.sign)
+}
+
+/// [`resolve`] with the full Table-3 trace.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_traced(
+    sdag: &Relation,
+    eacm: &Relation,
+    s: i64,
+    o: i64,
+    r: i64,
+    d_rule: DefaultRule,
+    l_rule: LocalityRule,
+    m_rule: MajorityRule,
+    p_rule: Sign,
+) -> Result<SpecTrace, RelationalError> {
+    // Line 1: allRights ← Propagate(s, o, r, SDAG, EACM)
+    let mut all_rights = propagate(sdag, eacm, s, o, r)?;
+
+    // Lines 2–3: default policy.
+    match d_rule {
+        DefaultRule::NoDefault => {
+            all_rights = all_rights.select(&Predicate::col_ne("mode", "d"))?;
+        }
+        DefaultRule::Pos => {
+            all_rights.update("mode", Value::text("+"), &Predicate::col_eq("mode", "d"))?;
+        }
+        DefaultRule::Neg => {
+            all_rights.update("mode", Value::text("-"), &Predicate::col_eq("mode", "d"))?;
+        }
+    }
+
+    // Lines 4–6: majority policy.
+    let (mut c1, mut c2) = (None, None);
+    if m_rule != MajorityRule::Skip {
+        let counted = match m_rule {
+            MajorityRule::Before => all_rights.clone(),
+            MajorityRule::After => locality_filter(&all_rights, l_rule)?,
+            MajorityRule::Skip => unreachable!(),
+        };
+        let pos = counted.count_where(&Predicate::col_eq("mode", "+"))?;
+        let neg = counted.count_where(&Predicate::col_eq("mode", "-"))?;
+        c1 = Some(pos);
+        c2 = Some(neg);
+        if pos > neg {
+            return Ok(SpecTrace { sign: Sign::Pos, c1, c2, auth: None, line: 6 });
+        }
+        if neg > pos {
+            return Ok(SpecTrace { sign: Sign::Neg, c1, c2, auth: None, line: 6 });
+        }
+    }
+
+    // Line 7: Auth ← π_mode(σ_{dis = lRule(dis)} allRights)
+    let auth_rel = locality_filter(&all_rights, l_rule)?.project_distinct(&["mode"])?;
+    let mut auth: Vec<Sign> = auth_rel
+        .rows()
+        .map(|row| match row[0].as_text() {
+            Some("+") => Sign::Pos,
+            Some("-") => Sign::Neg,
+            other => unreachable!("mode `{other:?}` survived the default policy"),
+        })
+        .collect();
+    auth.sort_by_key(|s| *s == Sign::Neg); // `+` first, as in our core trace
+
+    // Line 8: if count(Auth) = 1 return Auth
+    if auth.len() == 1 {
+        let sign = auth[0];
+        return Ok(SpecTrace { sign, c1, c2, auth: Some(auth), line: 8 });
+    }
+
+    // Line 9: return pRule
+    Ok(SpecTrace { sign: p_rule, c1, c2, auth: Some(auth), line: 9 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3 encoded as relations: node ids 1,2,3,5,6 = S1,S2,S3,S5,S6;
+    /// 100 = User. Object 10, right 20.
+    fn fig3() -> (Relation, Relation) {
+        let sdag = sdag_relation(&[
+            (1, 3),
+            (2, 3),
+            (2, 100),
+            (3, 5),
+            (5, 100),
+            (6, 5),
+            (6, 100),
+        ]);
+        let eacm = eacm_relation(&[(2, 10, 20, Sign::Pos), (5, 10, 20, Sign::Neg)]);
+        (sdag, eacm)
+    }
+
+    fn dis_mode(rel: &Relation) -> Vec<(i64, String)> {
+        let mut v: Vec<(i64, String)> = rel
+            .rows()
+            .map(|r| (r[3].as_int().unwrap(), r[4].as_text().unwrap().to_string()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn ancestors_of_user() {
+        let (sdag, _) = fig3();
+        let anc = ancestors(&sdag, 100).unwrap();
+        assert_eq!(anc.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 5, 6, 100]);
+    }
+
+    #[test]
+    fn ancestors_of_isolated_subject_is_itself() {
+        let sdag = sdag_relation(&[(1, 2)]);
+        let anc = ancestors(&sdag, 99).unwrap();
+        assert_eq!(anc.into_iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn propagate_reproduces_table_1() {
+        let (sdag, eacm) = fig3();
+        let all = propagate(&sdag, &eacm, 100, 10, 20).unwrap();
+        assert_eq!(
+            dis_mode(&all),
+            vec![
+                (1, "+".into()),
+                (1, "-".into()),
+                (1, "d".into()),
+                (2, "d".into()),
+                (3, "+".into()),
+                (3, "d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn propagate_full_reproduces_table_4() {
+        let (sdag, eacm) = fig3();
+        let p = propagate_full(&sdag, &eacm, 100, 10, 20).unwrap();
+        // Table 4 has 15 rows.
+        assert_eq!(p.len(), 15);
+        // Spot checks: explicit entries at dis 0 for S2(+), S5(-), defaults
+        // on roots S1, S6.
+        let zero = p.select(&Predicate::col_eq("dis", 0i64)).unwrap();
+        assert_eq!(zero.len(), 4);
+        // S5 receives the propagated + at distance 2 (S2→S3→S5) and the
+        // default from S1 at distance 2 (S1→S3→S5).
+        let s5 = p.select(&Predicate::col_eq("subject", 5i64)).unwrap();
+        assert_eq!(
+            dis_mode(&s5),
+            vec![
+                (0, "-".into()),
+                (1, "d".into()),
+                (2, "+".into()),
+                (2, "d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn explicit_label_on_sink_is_included_at_distance_zero() {
+        let sdag = sdag_relation(&[(1, 2)]);
+        let eacm = eacam_with_sink_label();
+        let all = propagate(&sdag, &eacm, 2, 10, 20).unwrap();
+        assert_eq!(dis_mode(&all), vec![(0, "-".into()), (1, "d".into())]);
+    }
+
+    fn eacam_with_sink_label() -> Relation {
+        eacm_relation(&[(2, 10, 20, Sign::Neg)])
+    }
+
+    #[test]
+    fn isolated_unlabeled_subject_gets_default_at_distance_zero() {
+        let sdag = sdag_relation(&[(1, 2)]); // subject 99 not mentioned
+        let eacm = eacm_relation(&[]);
+        let all = propagate(&sdag, &eacm, 99, 10, 20).unwrap();
+        assert_eq!(dis_mode(&all), vec![(0, "d".into())]);
+        // Under D+ the isolated subject is granted access.
+        let sign = resolve(
+            &sdag,
+            &eacm,
+            99,
+            10,
+            20,
+            DefaultRule::Pos,
+            LocalityRule::Min,
+            MajorityRule::Skip,
+            Sign::Neg,
+        )
+        .unwrap();
+        assert_eq!(sign, Sign::Pos);
+    }
+
+    #[test]
+    fn other_objects_and_rights_are_filtered_out() {
+        let sdag = sdag_relation(&[(1, 2)]);
+        let eacm = eacm_relation(&[
+            (1, 10, 20, Sign::Pos),
+            (1, 11, 20, Sign::Neg), // different object
+            (1, 10, 21, Sign::Neg), // different right
+        ]);
+        let all = propagate(&sdag, &eacm, 2, 10, 20).unwrap();
+        assert_eq!(dis_mode(&all), vec![(1, "+".into())]);
+    }
+
+    #[test]
+    fn resolve_selected_table_2_entries() {
+        let (sdag, eacm) = fig3();
+        let run = |d, l, m, p| resolve(&sdag, &eacm, 100, 10, 20, d, l, m, p).unwrap();
+        use DefaultRule as D;
+        use LocalityRule as L;
+        use MajorityRule as M;
+        // D+LMP+ → + (majority after locality: 2 vs 1 at distance 1)
+        assert_eq!(run(D::Pos, L::Min, M::After, Sign::Pos), Sign::Pos);
+        // D-GMP- → - (tie at distance 3, falls through to preference)
+        assert_eq!(run(D::Neg, L::Max, M::After, Sign::Neg), Sign::Neg);
+        // D-MP- → - (majority before: 2 vs 4)
+        assert_eq!(run(D::Neg, L::Identity, M::Before, Sign::Neg), Sign::Neg);
+        // D-LP+ → + (conflict at distance 1, preference +)
+        assert_eq!(run(D::Neg, L::Min, M::Skip, Sign::Pos), Sign::Pos);
+        // D+GP- → + (single mode + at distance 3 after defaults become +)
+        assert_eq!(run(D::Pos, L::Max, M::Skip, Sign::Neg), Sign::Pos);
+        // GMP- → + (no default; only the + survives at max distance 3)
+        assert_eq!(run(D::NoDefault, L::Max, M::After, Sign::Neg), Sign::Pos);
+        // P- → - (no default, no locality, no majority; conflict → pref)
+        assert_eq!(
+            run(D::NoDefault, L::Identity, M::Skip, Sign::Neg),
+            Sign::Neg
+        );
+        // MGP- → + (majority before locality over explicit rows: 2 vs 1)
+        assert_eq!(run(D::NoDefault, L::Max, M::Before, Sign::Neg), Sign::Pos);
+    }
+
+    #[test]
+    fn traced_resolve_matches_paper_table_3() {
+        let (sdag, eacm) = fig3();
+        let run = |d, l, m, p| {
+            resolve_traced(&sdag, &eacm, 100, 10, 20, d, l, m, p).unwrap()
+        };
+        use DefaultRule as D;
+        use LocalityRule as L;
+        use MajorityRule as M;
+        // D+LMP+: c1=2, c2=1, +, line 6.
+        let t = run(D::Pos, L::Min, M::After, Sign::Pos);
+        assert_eq!(
+            t,
+            SpecTrace { sign: Sign::Pos, c1: Some(2), c2: Some(1), auth: None, line: 6 }
+        );
+        // D-GMP-: 1, 1, {+,-}, -, line 9.
+        let t = run(D::Neg, L::Max, M::After, Sign::Neg);
+        assert_eq!(
+            t,
+            SpecTrace {
+                sign: Sign::Neg,
+                c1: Some(1),
+                c2: Some(1),
+                auth: Some(vec![Sign::Pos, Sign::Neg]),
+                line: 9
+            }
+        );
+        // D+GP-: {+}, +, line 8.
+        let t = run(D::Pos, L::Max, M::Skip, Sign::Neg);
+        assert_eq!(
+            t,
+            SpecTrace {
+                sign: Sign::Pos,
+                c1: None,
+                c2: None,
+                auth: Some(vec![Sign::Pos]),
+                line: 8
+            }
+        );
+    }
+
+    #[test]
+    fn empty_all_rights_falls_to_preference() {
+        // Subject 99 is isolated and unlabeled; with no default policy the
+        // allRights relation is empty and Line 9 returns the preference.
+        let sdag = sdag_relation(&[(1, 2)]);
+        let eacm = eacm_relation(&[]);
+        for p in [Sign::Pos, Sign::Neg] {
+            let sign = resolve(
+                &sdag,
+                &eacm,
+                99,
+                10,
+                20,
+                DefaultRule::NoDefault,
+                LocalityRule::Min,
+                MajorityRule::After,
+                p,
+            )
+            .unwrap();
+            assert_eq!(sign, p);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Algebraic laws of the bag relational engine, checked on random
+//! relations — the correctness bedrock under the executable spec.
+
+use proptest::prelude::*;
+use ucra_relational::{Predicate, Relation, Schema, Value};
+
+/// A random relation over schema (k: int, v: text) with small domains so
+/// joins and duplicates actually happen.
+fn relation(rows: &[(i64, u8)]) -> Relation {
+    let mut r = Relation::new(Schema::new(["k", "v"]));
+    for &(k, v) in rows {
+        r.push_row([Value::Int(k % 4), Value::text(["a", "b", "c"][(v % 3) as usize])])
+            .unwrap();
+    }
+    r
+}
+
+/// A second relation sharing only column `k`.
+fn relation_w(rows: &[(i64, i64)]) -> Relation {
+    let mut r = Relation::new(Schema::new(["k", "w"]));
+    for &(k, w) in rows {
+        r.push_row([Value::Int(k % 4), Value::Int(w % 5)]).unwrap();
+    }
+    r
+}
+
+fn multiset(rel: &Relation) -> Vec<Vec<Value>> {
+    rel.sorted_rows()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// σ_p(σ_q(R)) = σ_q(σ_p(R)) = σ_{p∧q}(R).
+    #[test]
+    fn selection_commutes_and_fuses(rows in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..24)) {
+        let r = relation(&rows);
+        let p = Predicate::col_eq("k", 1i64);
+        let q = Predicate::col_eq("v", "a");
+        let a = r.select(&p).unwrap().select(&q).unwrap();
+        let b = r.select(&q).unwrap().select(&p).unwrap();
+        let c = r.select(&p.clone().and(q.clone())).unwrap();
+        prop_assert_eq!(multiset(&a), multiset(&b));
+        prop_assert_eq!(multiset(&a), multiset(&c));
+    }
+
+    /// Selection distributes over bag union.
+    #[test]
+    fn selection_distributes_over_union(
+        xs in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+        ys in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+    ) {
+        let (r, s) = (relation(&xs), relation(&ys));
+        let p = Predicate::col_ne("v", "b");
+        let left = r.union_all(&s).unwrap().select(&p).unwrap();
+        let right = r.select(&p).unwrap().union_all(&s.select(&p).unwrap()).unwrap();
+        prop_assert_eq!(multiset(&left), multiset(&right));
+    }
+
+    /// Bag projection preserves cardinality; distinct projection is a
+    /// sub-multiset with no duplicates.
+    #[test]
+    fn projection_laws(rows in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..24)) {
+        let r = relation(&rows);
+        let bag = r.project(&["v"]).unwrap();
+        prop_assert_eq!(bag.len(), r.len());
+        let set = r.project_distinct(&["v"]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in set.rows() {
+            prop_assert!(seen.insert(row.to_vec()), "distinct output has duplicates");
+        }
+        prop_assert!(set.len() <= bag.len());
+    }
+
+    /// Natural join cardinality equals the sum over key groups of the
+    /// product of multiplicities, and never exceeds |R|·|S|.
+    #[test]
+    fn join_cardinality(
+        xs in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+        ys in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..16),
+    ) {
+        let (r, s) = (relation(&xs), relation_w(&ys));
+        let j = r.natural_join(&s).unwrap();
+        prop_assert!(j.len() <= r.len() * s.len());
+        // Count by key on both sides.
+        let count_by_key = |rel: &Relation| {
+            let mut m = std::collections::HashMap::new();
+            let ki = rel.schema().index_of("k").unwrap();
+            for row in rel.rows() {
+                *m.entry(row[ki].clone()).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let (cr, cs) = (count_by_key(&r), count_by_key(&s));
+        let expected: usize = cr
+            .iter()
+            .map(|(k, n)| n * cs.get(k).copied().unwrap_or(0))
+            .sum();
+        prop_assert_eq!(j.len(), expected);
+    }
+
+    /// Join with an empty relation is empty; product cardinality is the
+    /// product of cardinalities.
+    #[test]
+    fn join_and_product_with_extremes(
+        xs in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+        ys in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..8),
+    ) {
+        let r = relation(&xs);
+        let empty = Relation::new(Schema::new(["k", "w"]));
+        prop_assert_eq!(r.natural_join(&empty).unwrap().len(), 0);
+        let s = relation_w(&ys).rename("k", "k2").unwrap().rename("w", "w2").unwrap();
+        prop_assert_eq!(r.product(&s).unwrap().len(), r.len() * s.len());
+    }
+
+    /// Set difference: (R − S) has no row of S, and R − ∅ = distinct(R).
+    #[test]
+    fn minus_laws(
+        xs in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+        ys in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..16),
+    ) {
+        let (r, s) = (relation(&xs), relation(&ys));
+        let d = r.minus(&s).unwrap();
+        let s_rows: std::collections::HashSet<Vec<Value>> =
+            s.rows().map(|x| x.to_vec()).collect();
+        for row in d.rows() {
+            prop_assert!(!s_rows.contains(row));
+        }
+        let empty = Relation::new(r.schema().clone());
+        let d0 = r.minus(&empty).unwrap();
+        prop_assert_eq!(multiset(&d0), multiset(&r.project_distinct(&["k", "v"]).unwrap()));
+    }
+
+    /// group_count totals equal the relation's cardinality.
+    #[test]
+    fn group_count_totals(rows in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..24)) {
+        let r = relation(&rows);
+        let g = r.group_count(&["k"]).unwrap();
+        let total: i64 = g
+            .rows()
+            .map(|row| row[1].as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, r.len());
+    }
+
+    /// update-then-count equals count of the union of rewritten parts.
+    #[test]
+    fn update_is_partition_rewrite(rows in proptest::collection::vec((any::<i64>(), any::<u8>()), 0..24)) {
+        let mut r = relation(&rows);
+        let before_a = r.count_where(&Predicate::col_eq("v", "a")).unwrap();
+        let before_b = r.count_where(&Predicate::col_eq("v", "b")).unwrap();
+        let changed = r
+            .update("v", Value::text("b"), &Predicate::col_eq("v", "a"))
+            .unwrap();
+        prop_assert_eq!(changed, before_a);
+        let after_b = r.count_where(&Predicate::col_eq("v", "b")).unwrap();
+        prop_assert_eq!(after_b, before_a + before_b);
+        prop_assert_eq!(r.count_where(&Predicate::col_eq("v", "a")).unwrap(), 0);
+    }
+}

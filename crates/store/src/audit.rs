@@ -1,0 +1,205 @@
+//! An append-only audit log of authorization decisions.
+//!
+//! Access-control decisions are evidence: audits need who asked, for
+//! what, under which strategy, what the answer was, and which policy
+//! produced it (the paper's Table-3 trace). The log stores exactly that,
+//! serialises with the model, and supports the queries reviews actually
+//! run ("all denials for this object", "everything this subject was
+//! granted while the open strategy was active").
+
+use crate::model::AccessModel;
+use crate::StoreError;
+use serde::{Deserialize, Serialize};
+use ucra_core::{Sign, Strategy};
+
+/// One logged decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Monotonic sequence number within this log.
+    pub seq: u64,
+    /// The queried subject (by name).
+    pub subject: String,
+    /// The queried object (by name).
+    pub object: String,
+    /// The queried right (by name).
+    pub right: String,
+    /// The strategy in force.
+    pub strategy: Strategy,
+    /// The decision.
+    pub sign: Sign,
+    /// The Fig. 4 line that decided (6 = majority, 8 = locality,
+    /// 9 = preference).
+    pub line: u8,
+}
+
+/// An append-only decision log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Checks a triple against `model` under its configured strategy,
+    /// logging the decision. The logged check is otherwise identical to
+    /// [`AccessModel::check`].
+    pub fn check(
+        &mut self,
+        model: &AccessModel,
+        subject: &str,
+        object: &str,
+        right: &str,
+    ) -> Result<Sign, StoreError> {
+        let strategy = model.default_strategy().ok_or(StoreError::NoStrategy)?;
+        self.check_with(model, subject, object, right, strategy)
+    }
+
+    /// Logged variant of [`AccessModel::check_with`].
+    pub fn check_with(
+        &mut self,
+        model: &AccessModel,
+        subject: &str,
+        object: &str,
+        right: &str,
+        strategy: Strategy,
+    ) -> Result<Sign, StoreError> {
+        let res = model.check_traced(subject, object, right, strategy)?;
+        self.entries.push(AuditEntry {
+            seq: self.entries.len() as u64,
+            subject: subject.to_string(),
+            object: object.to_string(),
+            right: right.to_string(),
+            strategy,
+            sign: res.sign,
+            line: res.line.line_number(),
+        });
+        Ok(res.sign)
+    }
+
+    /// Number of logged decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// All denials, in order.
+    pub fn denials(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter().filter(|e| e.sign == Sign::Neg)
+    }
+
+    /// Entries for one subject.
+    pub fn for_subject<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a AuditEntry> {
+        self.entries.iter().filter(move |e| e.subject == subject)
+    }
+
+    /// Entries decided by the Preference rule (Line 9) — the "tiebreaker
+    /// decided" cases a policy review looks at first, since they are the
+    /// queries where the configured policies expressed no opinion.
+    pub fn preference_decided(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter().filter(|e| e.line == 9)
+    }
+
+    /// Serialises the log to JSON lines (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("entry serialises"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Restores a log from [`AuditLog::to_jsonl`] output.
+    pub fn from_jsonl(input: &str) -> Result<Self, StoreError> {
+        let mut entries = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: AuditEntry = serde_json::from_str(line)
+                .map_err(|e| StoreError::Malformed(format!("jsonl line {}: {e}", i + 1)))?;
+            entries.push(entry);
+        }
+        Ok(AuditLog { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text;
+
+    fn model() -> AccessModel {
+        text::parse(
+            "member staff alice\nmember interns alice\n\
+             grant staff report read\ndeny interns report read\n\
+             strategy LP-\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn logs_decisions_with_traces() {
+        let m = model();
+        let mut log = AuditLog::new();
+        let sign = log.check(&m, "alice", "report", "read").unwrap();
+        assert_eq!(sign, Sign::Neg); // conflict at distance 1, P- denies
+        log.check_with(&m, "alice", "report", "read", "MP+".parse().unwrap())
+            .unwrap();
+        assert_eq!(log.len(), 2);
+        let e = &log.entries()[0];
+        assert_eq!((e.seq, e.line, e.sign), (0, 9, Sign::Neg));
+        assert_eq!(log.entries()[1].seq, 1);
+    }
+
+    #[test]
+    fn filters() {
+        let m = model();
+        let mut log = AuditLog::new();
+        log.check(&m, "alice", "report", "read").unwrap(); // deny @9
+        log.check_with(&m, "staff", "report", "read", "LP-".parse().unwrap())
+            .unwrap(); // grant @8
+        assert_eq!(log.denials().count(), 1);
+        assert_eq!(log.for_subject("alice").count(), 1);
+        assert_eq!(log.preference_decided().count(), 1);
+        assert_eq!(
+            log.preference_decided().next().unwrap().subject,
+            "alice"
+        );
+    }
+
+    #[test]
+    fn failed_checks_are_not_logged() {
+        let m = model();
+        let mut log = AuditLog::new();
+        assert!(log.check(&m, "nobody", "report", "read").is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let m = model();
+        let mut log = AuditLog::new();
+        log.check(&m, "alice", "report", "read").unwrap();
+        log.check_with(&m, "alice", "report", "read", "D+GP+".parse().unwrap())
+            .unwrap();
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = AuditLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+        assert!(AuditLog::from_jsonl("{broken").is_err());
+        assert!(AuditLog::from_jsonl("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! String interning: names ↔ dense `u32` ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional name table. Ids are dense and assigned in first-seen
+/// order, which makes them directly usable as `ObjectId`/`RightId`
+/// payloads and as subject indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the id of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        self.ensure_index();
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        if self.index.is_empty() && !self.names.is_empty() {
+            // Deserialised without the index; fall back to a scan. Call
+            // sites that mutate will rebuild the map via `intern`.
+            return self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| i as u32);
+        }
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`, if in range.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    fn ensure_index(&mut self) {
+        if self.index.len() != self.names.len() {
+            self.index = self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i as u32))
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = Interner::new();
+        let a = t.intern("alice");
+        let b = t.intern("bob");
+        assert_eq!(t.intern("alice"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(0), Some("alice"));
+        assert_eq!(t.resolve(2), None);
+        assert_eq!(t.get("bob"), Some(1));
+        assert_eq!(t.get("carol"), None);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_lookup() {
+        let mut t = Interner::new();
+        t.intern("x");
+        t.intern("y");
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Interner = serde_json::from_str(&json).unwrap();
+        // Read path works without mutation…
+        assert_eq!(back.get("y"), Some(1));
+        // …and mutation rebuilds the index consistently.
+        assert_eq!(back.intern("y"), 1);
+        assert_eq!(back.intern("z"), 2);
+    }
+
+    #[test]
+    fn names_iterates_in_id_order() {
+        let mut t = Interner::new();
+        t.intern("b");
+        t.intern("a");
+        assert_eq!(t.names().collect::<Vec<_>>(), vec!["b", "a"]);
+    }
+}

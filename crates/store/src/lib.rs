@@ -1,0 +1,40 @@
+//! # `ucra-store` — named models, interning and persistence
+//!
+//! `ucra-core` works with dense ids. Real deployments (and the paper's
+//! Livelink case study) work with *names*: group and user names, document
+//! paths, right names. This crate supplies
+//!
+//! * [`Interner`] — a simple name ↔ dense-id table;
+//! * [`AccessModel`] — a named façade over [`ucra_core::SubjectDag`] +
+//!   [`ucra_core::Eacm`], with name-based mutation and queries and a
+//!   default strategy slot (the paper's pitch is precisely that the
+//!   strategy is a *configuration value*, not code);
+//! * [`text`] — a line-oriented policy format for humans and tests;
+//! * JSON persistence via `serde_json` ([`AccessModel::to_json`] /
+//!   [`AccessModel::from_json`]).
+//!
+//! ```
+//! use ucra_store::AccessModel;
+//!
+//! let mut model = AccessModel::new();
+//! model.add_membership("staff", "alice").unwrap();
+//! model.grant("staff", "report", "read").unwrap();
+//! model.set_default_strategy("D-LP-".parse().unwrap());
+//!
+//! assert_eq!(
+//!     model.check("alice", "report", "read").unwrap(),
+//!     ucra_core::Sign::Pos
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+mod interner;
+mod model;
+pub mod text;
+
+pub use audit::{AuditEntry, AuditLog};
+pub use interner::Interner;
+pub use model::{AccessModel, NamedConstraint, NamedViolation, StoreError};

@@ -1,0 +1,491 @@
+//! The named access-control model.
+
+use crate::interner::Interner;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ucra_core::constraints::{check_sod, SodConstraint};
+use ucra_core::{
+    CoreError, Eacm, EffectiveMatrix, MemoResolver, ObjectId, Resolution, Resolver, RightId,
+    Sign, Strategy, SubjectDag, SubjectId,
+};
+
+/// A separation-of-duty constraint over *named* privileges, as stored in
+/// a model file: "of these ⟨object, right⟩ pairs, no subject may
+/// effectively hold more than `at_most`".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedConstraint {
+    /// The constraint's name, used in reports.
+    pub name: String,
+    /// The mutually exclusive privileges, as `(object, right)` names.
+    pub privileges: Vec<(String, String)>,
+    /// How many of them one subject may hold.
+    pub at_most: usize,
+}
+
+/// A named violation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedViolation {
+    /// The violated constraint.
+    pub constraint: String,
+    /// The offending subject's name.
+    pub subject: String,
+    /// The privileges the subject effectively holds, as names.
+    pub held: Vec<(String, String)>,
+    /// The constraint's bound.
+    pub at_most: usize,
+}
+
+/// Errors from the named-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The underlying core operation failed.
+    Core(CoreError),
+    /// A name was used in a query but never defined.
+    UnknownName {
+        /// Which namespace the lookup was in.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// No strategy was configured and none was supplied.
+    NoStrategy,
+    /// A persisted model failed to parse.
+    Malformed(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Core(e) => write!(f, "{e}"),
+            StoreError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            StoreError::NoStrategy => {
+                write!(f, "no strategy configured; call set_default_strategy or pass one")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+/// A complete access-control installation: subject hierarchy, explicit
+/// matrix, name tables, and the configured conflict-resolution strategy.
+///
+/// This is the artifact an administrator edits and persists; the paper's
+/// central claim — switch strategies without reinstalling the system — is
+/// the [`AccessModel::set_default_strategy`] call.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessModel {
+    subjects: Interner,
+    objects: Interner,
+    rights: Interner,
+    hierarchy: SubjectDag,
+    eacm: Eacm,
+    default_strategy: Option<Strategy>,
+    #[serde(default)]
+    constraints: Vec<NamedConstraint>,
+}
+
+impl AccessModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        AccessModel::default()
+    }
+
+    /// Interns (creating if needed) a subject and returns its id.
+    pub fn subject(&mut self, name: &str) -> SubjectId {
+        let id = self.subjects.intern(name);
+        while self.hierarchy.subject_count() <= id as usize {
+            self.hierarchy.add_subject();
+        }
+        SubjectId::from_index(id as usize)
+    }
+
+    /// Interns an object name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        ObjectId(self.objects.intern(name))
+    }
+
+    /// Interns a right name.
+    pub fn right(&mut self, name: &str) -> RightId {
+        RightId(self.rights.intern(name))
+    }
+
+    /// Looks a subject up without creating it.
+    pub fn subject_id(&self, name: &str) -> Result<SubjectId, StoreError> {
+        self.subjects
+            .get(name)
+            .map(|id| SubjectId::from_index(id as usize))
+            .ok_or_else(|| StoreError::UnknownName { kind: "subject", name: name.into() })
+    }
+
+    /// Looks an object up without creating it.
+    pub fn object_id(&self, name: &str) -> Result<ObjectId, StoreError> {
+        self.objects
+            .get(name)
+            .map(ObjectId)
+            .ok_or_else(|| StoreError::UnknownName { kind: "object", name: name.into() })
+    }
+
+    /// Looks a right up without creating it.
+    pub fn right_id(&self, name: &str) -> Result<RightId, StoreError> {
+        self.rights
+            .get(name)
+            .map(RightId)
+            .ok_or_else(|| StoreError::UnknownName { kind: "right", name: name.into() })
+    }
+
+    /// The name of a subject id.
+    pub fn subject_name(&self, id: SubjectId) -> Option<&str> {
+        self.subjects.resolve(id.index() as u32)
+    }
+
+    /// Declares that `member` belongs to `group` (both created if new).
+    pub fn add_membership(&mut self, group: &str, member: &str) -> Result<(), StoreError> {
+        let g = self.subject(group);
+        let m = self.subject(member);
+        self.hierarchy.add_membership(g, m).map_err(StoreError::from)
+    }
+
+    /// Grants `right` on `object` to `subject` explicitly.
+    pub fn grant(&mut self, subject: &str, object: &str, right: &str) -> Result<(), StoreError> {
+        let (s, o, r) = (self.subject(subject), self.object(object), self.right(right));
+        self.eacm.grant(s, o, r).map_err(StoreError::from)
+    }
+
+    /// Denies `right` on `object` to `subject` explicitly.
+    pub fn deny(&mut self, subject: &str, object: &str, right: &str) -> Result<(), StoreError> {
+        let (s, o, r) = (self.subject(subject), self.object(object), self.right(right));
+        self.eacm.deny(s, o, r).map_err(StoreError::from)
+    }
+
+    /// Sets the installation's conflict-resolution strategy — the paper's
+    /// "trigger a chosen strategy, among many, without needing to
+    /// reinstall the whole system".
+    pub fn set_default_strategy(&mut self, strategy: Strategy) {
+        self.default_strategy = Some(strategy);
+    }
+
+    /// The configured strategy, if any.
+    pub fn default_strategy(&self) -> Option<Strategy> {
+        self.default_strategy
+    }
+
+    /// The effective authorization of a named triple under the configured
+    /// strategy.
+    pub fn check(&self, subject: &str, object: &str, right: &str) -> Result<Sign, StoreError> {
+        let strategy = self.default_strategy.ok_or(StoreError::NoStrategy)?;
+        self.check_with(subject, object, right, strategy)
+    }
+
+    /// The effective authorization under an explicit strategy.
+    pub fn check_with(
+        &self,
+        subject: &str,
+        object: &str,
+        right: &str,
+        strategy: Strategy,
+    ) -> Result<Sign, StoreError> {
+        Ok(self.check_traced(subject, object, right, strategy)?.sign)
+    }
+
+    /// Like [`AccessModel::check_with`], with the Table-3 trace.
+    pub fn check_traced(
+        &self,
+        subject: &str,
+        object: &str,
+        right: &str,
+        strategy: Strategy,
+    ) -> Result<Resolution, StoreError> {
+        let s = self.subject_id(subject)?;
+        let o = self.object_id(object)?;
+        let r = self.right_id(right)?;
+        Resolver::new(&self.hierarchy, &self.eacm)
+            .resolve_traced(s, o, r, strategy)
+            .map_err(StoreError::from)
+    }
+
+    /// Declares a separation-of-duty constraint over named privileges
+    /// (interning any new object/right names).
+    pub fn add_mutex(
+        &mut self,
+        name: impl Into<String>,
+        privileges: &[(&str, &str)],
+        at_most: usize,
+    ) {
+        for &(o, r) in privileges {
+            self.object(o);
+            self.right(r);
+        }
+        self.constraints.push(NamedConstraint {
+            name: name.into(),
+            privileges: privileges
+                .iter()
+                .map(|&(o, r)| (o.to_string(), r.to_string()))
+                .collect(),
+            at_most,
+        });
+    }
+
+    /// The declared constraints.
+    pub fn constraints(&self) -> &[NamedConstraint] {
+        &self.constraints
+    }
+
+    /// Checks every declared constraint against the effective matrix
+    /// under `strategy`, returning named violation reports.
+    pub fn check_constraints(
+        &self,
+        strategy: Strategy,
+    ) -> Result<Vec<NamedViolation>, StoreError> {
+        let mut reports = Vec::new();
+        for c in &self.constraints {
+            let pairs: Vec<(ObjectId, RightId)> = c
+                .privileges
+                .iter()
+                .map(|(o, r)| Ok((self.object_id(o)?, self.right_id(r)?)))
+                .collect::<Result<_, StoreError>>()?;
+            let matrix =
+                EffectiveMatrix::compute_for_pairs(&self.hierarchy, &self.eacm, strategy, &pairs)?;
+            let constraint = SodConstraint {
+                name: c.name.clone(),
+                privileges: pairs.clone(),
+                at_most: c.at_most,
+            };
+            for v in check_sod(&self.hierarchy, &matrix, std::slice::from_ref(&constraint)) {
+                let held = v
+                    .held
+                    .iter()
+                    .map(|&(o, r)| {
+                        (
+                            self.objects.resolve(o.0).unwrap_or("?").to_string(),
+                            self.rights.resolve(r.0).unwrap_or("?").to_string(),
+                        )
+                    })
+                    .collect();
+                reports.push(NamedViolation {
+                    constraint: v.constraint,
+                    subject: self.subject_name(v.subject).unwrap_or("?").to_string(),
+                    held,
+                    at_most: v.at_most,
+                });
+            }
+        }
+        Ok(reports)
+    }
+
+    /// A memoising resolver borrowing this model (for query batches).
+    pub fn memo_resolver(&self) -> MemoResolver<'_> {
+        MemoResolver::new(&self.hierarchy, &self.eacm)
+    }
+
+    /// A human-readable explanation of a decision, with subject names
+    /// substituted (see the `ucra_core::explain` module).
+    pub fn explain(
+        &self,
+        subject: &str,
+        object: &str,
+        right: &str,
+        strategy: Strategy,
+    ) -> Result<String, StoreError> {
+        let s = self.subject_id(subject)?;
+        let o = self.object_id(object)?;
+        let r = self.right_id(right)?;
+        let explanation = ucra_core::explain(&self.hierarchy, &self.eacm, s, o, r, strategy)?;
+        Ok(explanation.narrative(|id| {
+            self.subject_name(id)
+                .map(str::to_string)
+                .unwrap_or_else(|| id.to_string())
+        }))
+    }
+
+    /// The hierarchy rendered as Graphviz DOT, labeling each subject with
+    /// its name and any explicit signs for the given object/right.
+    pub fn to_dot(&self, object: &str, right: &str) -> Result<String, StoreError> {
+        let o = self.object_id(object)?;
+        let r = self.right_id(right)?;
+        Ok(ucra_graph::dot::to_dot(self.hierarchy.graph(), |id| {
+            let name = self.subject_name(id).unwrap_or("?");
+            match self.eacm.label(id, o, r) {
+                Some(sign) => format!("{name} [{sign}]"),
+                None => name.to_string(),
+            }
+        }))
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &SubjectDag {
+        &self.hierarchy
+    }
+
+    /// The underlying explicit matrix.
+    pub fn eacm(&self) -> &Eacm {
+        &self.eacm
+    }
+
+    /// Number of named subjects.
+    pub fn subject_count(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// All subject names in id order.
+    pub fn subject_names(&self) -> impl Iterator<Item = &str> {
+        self.subjects.names()
+    }
+
+    /// All object names in id order.
+    pub fn object_names(&self) -> impl Iterator<Item = &str> {
+        self.objects.names()
+    }
+
+    /// All right names in id order.
+    pub fn right_names(&self) -> impl Iterator<Item = &str> {
+        self.rights.names()
+    }
+
+    /// Serialises the model to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serialisation cannot fail")
+    }
+
+    /// Restores a model from [`AccessModel::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, StoreError> {
+        serde_json::from_str(json).map_err(|e| StoreError::Malformed(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motivating_model() -> AccessModel {
+        let mut m = AccessModel::new();
+        for (g, c) in [
+            ("S1", "S3"),
+            ("S2", "S3"),
+            ("S2", "User"),
+            ("S3", "S5"),
+            ("S5", "User"),
+            ("S6", "S5"),
+            ("S6", "User"),
+        ] {
+            m.add_membership(g, c).unwrap();
+        }
+        m.grant("S2", "obj", "read").unwrap();
+        m.deny("S5", "obj", "read").unwrap();
+        m
+    }
+
+    #[test]
+    fn named_resolution_matches_paper_table_2() {
+        let m = motivating_model();
+        assert_eq!(
+            m.check_with("User", "obj", "read", "D+LMP+".parse().unwrap()).unwrap(),
+            Sign::Pos
+        );
+        assert_eq!(
+            m.check_with("User", "obj", "read", "D-LP-".parse().unwrap()).unwrap(),
+            Sign::Neg
+        );
+    }
+
+    #[test]
+    fn default_strategy_is_required_for_check() {
+        let mut m = motivating_model();
+        assert_eq!(
+            m.check("User", "obj", "read").unwrap_err(),
+            StoreError::NoStrategy
+        );
+        m.set_default_strategy("P+".parse().unwrap());
+        assert_eq!(m.check("User", "obj", "read").unwrap(), Sign::Pos);
+    }
+
+    #[test]
+    fn switching_strategy_requires_no_rebuild() {
+        let mut m = motivating_model();
+        m.set_default_strategy("D+LMP+".parse().unwrap());
+        assert_eq!(m.check("User", "obj", "read").unwrap(), Sign::Pos);
+        m.set_default_strategy("D-LP-".parse().unwrap());
+        assert_eq!(m.check("User", "obj", "read").unwrap(), Sign::Neg);
+    }
+
+    #[test]
+    fn unknown_names_error_without_creating() {
+        let m = motivating_model();
+        let before = m.subject_count();
+        assert!(matches!(
+            m.check_with("nobody", "obj", "read", "P+".parse().unwrap()),
+            Err(StoreError::UnknownName { kind: "subject", .. })
+        ));
+        assert!(matches!(
+            m.check_with("User", "ghost", "read", "P+".parse().unwrap()),
+            Err(StoreError::UnknownName { kind: "object", .. })
+        ));
+        assert!(matches!(
+            m.check_with("User", "obj", "ghost", "P+".parse().unwrap()),
+            Err(StoreError::UnknownName { kind: "right", .. })
+        ));
+        assert_eq!(m.subject_count(), before);
+    }
+
+    #[test]
+    fn contradiction_surfaces_from_core() {
+        let mut m = motivating_model();
+        assert!(matches!(
+            m.deny("S2", "obj", "read"),
+            Err(StoreError::Core(CoreError::ContradictoryAuthorization { .. }))
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_resolutions() {
+        let mut m = motivating_model();
+        m.set_default_strategy("D-GMP-".parse().unwrap());
+        let json = m.to_json();
+        let back = AccessModel::from_json(&json).unwrap();
+        assert_eq!(back.default_strategy(), m.default_strategy());
+        for strategy in ucra_core::Strategy::all_instances() {
+            assert_eq!(
+                back.check_with("User", "obj", "read", strategy).unwrap(),
+                m.check_with("User", "obj", "read", strategy).unwrap(),
+                "strategy {strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            AccessModel::from_json("{not json"),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn memo_resolver_over_model() {
+        let mut m = motivating_model();
+        m.set_default_strategy("D-LP-".parse().unwrap());
+        let memo = m.memo_resolver();
+        let s = m.subject_id("User").unwrap();
+        let o = m.object_id("obj").unwrap();
+        let r = m.right_id("read").unwrap();
+        assert_eq!(
+            memo.resolve(s, o, r, "D-LP-".parse().unwrap()).unwrap(),
+            Sign::Neg
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! A line-oriented, human-editable policy format.
+//!
+//! ```text
+//! # The paper's motivating example.
+//! member S1 S3          # group S1 has member S3
+//! member S2 S3
+//! member S2 User
+//! member S3 S5
+//! member S5 User
+//! member S6 S5
+//! member S6 User
+//! subject S4            # declares a subject without membership
+//! grant S2 obj read
+//! deny  S5 obj read
+//! strategy D+LMP-
+//! ```
+//!
+//! Directives: `subject <name>`, `member <group> <member>`,
+//! `grant <subject> <object> <right>`, `deny <subject> <object> <right>`,
+//! `strategy <mnemonic>`. `#` starts a comment; blank lines are ignored.
+
+use crate::model::{AccessModel, StoreError};
+use std::fmt::Write as _;
+
+/// Parses a policy text into a model.
+pub fn parse(input: &str) -> Result<AccessModel, StoreError> {
+    let mut model = AccessModel::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        let args: Vec<&str> = words.collect();
+        let wrong_arity = |expected: usize| {
+            StoreError::Malformed(format!(
+                "line {}: `{directive}` takes {expected} argument(s), got {}",
+                lineno + 1,
+                args.len()
+            ))
+        };
+        match directive {
+            "subject" => {
+                if args.len() != 1 {
+                    return Err(wrong_arity(1));
+                }
+                model.subject(args[0]);
+            }
+            "member" => {
+                if args.len() != 2 {
+                    return Err(wrong_arity(2));
+                }
+                model.add_membership(args[0], args[1])?;
+            }
+            "grant" | "deny" => {
+                if args.len() != 3 {
+                    return Err(wrong_arity(3));
+                }
+                if directive == "grant" {
+                    model.grant(args[0], args[1], args[2])?;
+                } else {
+                    model.deny(args[0], args[1], args[2])?;
+                }
+            }
+            "strategy" => {
+                if args.len() != 1 {
+                    return Err(wrong_arity(1));
+                }
+                let strategy = args[0].parse().map_err(|e| {
+                    StoreError::Malformed(format!("line {}: {e}", lineno + 1))
+                })?;
+                model.set_default_strategy(strategy);
+            }
+            // mutex <name> <at_most> <object>/<right> <object>/<right> …
+            "mutex" => {
+                if args.len() < 4 {
+                    return Err(StoreError::Malformed(format!(
+                        "line {}: `mutex` takes a name, a bound and at least two \
+                         object/right privileges",
+                        lineno + 1
+                    )));
+                }
+                let at_most: usize = args[1].parse().map_err(|_| {
+                    StoreError::Malformed(format!(
+                        "line {}: `{}` is not a valid bound",
+                        lineno + 1,
+                        args[1]
+                    ))
+                })?;
+                let privileges: Vec<(&str, &str)> = args[2..]
+                    .iter()
+                    .map(|p| {
+                        p.split_once('/').ok_or_else(|| {
+                            StoreError::Malformed(format!(
+                                "line {}: privilege `{p}` must be object/right",
+                                lineno + 1
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                model.add_mutex(args[0], &privileges, at_most);
+            }
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "line {}: unknown directive `{other}`",
+                    lineno + 1
+                )));
+            }
+        }
+    }
+    Ok(model)
+}
+
+/// Renders a model back to the policy format.
+///
+/// Lines are sorted **by name** within each section (memberships, then
+/// isolated subjects, then authorizations, then constraints, then the
+/// strategy): internal ids depend on interning order, which changes when
+/// the output is re-parsed, so name order is the only choice that makes
+/// `render` a one-round fixed point — a property the format fuzz tests
+/// pin down.
+pub fn render(model: &AccessModel) -> String {
+    let mut out = String::new();
+    let h = model.hierarchy();
+    let name = |s| model.subject_name(s).unwrap_or("?");
+    let mut memberships: Vec<(String, String)> = h
+        .subjects()
+        .flat_map(|g| {
+            h.members_of(g)
+                .iter()
+                .map(move |&m| (name(g).to_string(), name(m).to_string()))
+        })
+        .collect();
+    memberships.sort();
+    for (g, m) in memberships {
+        let _ = writeln!(out, "member {g} {m}");
+    }
+    let mut isolated: Vec<&str> = h
+        .subjects()
+        .filter(|&s| h.members_of(s).is_empty() && h.groups_of(s).is_empty())
+        .map(name)
+        .collect();
+    isolated.sort_unstable();
+    for s in isolated {
+        let _ = writeln!(out, "subject {s}");
+    }
+    let mut auths: Vec<(String, String, String, ucra_core::Sign)> = model
+        .eacm()
+        .iter()
+        .map(|(s, o, r, sign)| {
+            (
+                name(s).to_string(),
+                object_name(model, o),
+                right_name(model, r),
+                sign,
+            )
+        })
+        .collect();
+    auths.sort();
+    for (s, o, r, sign) in auths {
+        let verb = match sign {
+            ucra_core::Sign::Pos => "grant",
+            ucra_core::Sign::Neg => "deny",
+        };
+        let _ = writeln!(out, "{verb} {s} {o} {r}");
+    }
+    for c in model.constraints() {
+        let privileges: Vec<String> = c
+            .privileges
+            .iter()
+            .map(|(o, r)| format!("{o}/{r}"))
+            .collect();
+        let _ = writeln!(out, "mutex {} {} {}", c.name, c.at_most, privileges.join(" "));
+    }
+    if let Some(strategy) = model.default_strategy() {
+        let _ = writeln!(out, "strategy {strategy}");
+    }
+    out
+}
+
+fn object_name(model: &AccessModel, o: ucra_core::ObjectId) -> String {
+    // Objects/rights have no direct reverse lookup on AccessModel; go via
+    // the known id space.
+    model
+        .object_names()
+        .nth(o.0 as usize)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn right_name(model: &AccessModel, r: ucra_core::RightId) -> String {
+    model
+        .right_names()
+        .nth(r.0 as usize)
+        .unwrap_or("?")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucra_core::Sign;
+
+    const MOTIVATING: &str = r"
+# The paper's motivating example.
+member S1 S3
+member S2 S3
+member S2 User
+member S3 S5
+member S5 User
+member S6 S5
+member S6 User
+grant S2 obj read
+deny  S5 obj read   # most specific denial
+strategy D+LMP+
+";
+
+    #[test]
+    fn parses_the_motivating_example() {
+        let model = parse(MOTIVATING).unwrap();
+        assert_eq!(model.subject_count(), 6); // S1, S2, S3, S5, S6, User
+        assert_eq!(model.eacm().len(), 2);
+        assert_eq!(model.check("User", "obj", "read").unwrap(), Sign::Pos);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let model = parse(MOTIVATING).unwrap();
+        let text = render(&model);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.subject_count(), model.subject_count());
+        assert_eq!(back.eacm().len(), model.eacm().len());
+        assert_eq!(back.default_strategy(), model.default_strategy());
+        assert_eq!(
+            back.check("User", "obj", "read").unwrap(),
+            model.check("User", "obj", "read").unwrap()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let model = parse("# nothing\n\n   # still nothing\nsubject lonely\n").unwrap();
+        assert_eq!(model.subject_count(), 1);
+    }
+
+    #[test]
+    fn isolated_subjects_survive_round_trip() {
+        let model = parse("subject hermit\n").unwrap();
+        let text = render(&model);
+        assert!(text.contains("subject hermit"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.subject_count(), 1);
+    }
+
+    #[test]
+    fn reports_unknown_directive_with_line_number() {
+        let err = parse("member a b\nfrobnicate x\n").unwrap_err();
+        match err {
+            StoreError::Malformed(msg) => {
+                assert!(msg.contains("line 2"), "{msg}");
+                assert!(msg.contains("frobnicate"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_wrong_arity() {
+        let err = parse("grant a b\n").unwrap_err();
+        assert!(matches!(err, StoreError::Malformed(msg) if msg.contains("3 argument")));
+    }
+
+    #[test]
+    fn reports_bad_strategy() {
+        let err = parse("strategy XYZ\n").unwrap_err();
+        assert!(matches!(err, StoreError::Malformed(msg) if msg.contains("line 1")));
+    }
+
+    #[test]
+    fn mutex_directive_parses_checks_and_round_trips() {
+        let text = "\
+member clerks alice
+member approvers alice
+grant clerks pay issue
+grant approvers pay approve
+mutex pay-sod 1 pay/issue pay/approve
+strategy LP-
+";
+        let model = parse(text).unwrap();
+        assert_eq!(model.constraints().len(), 1);
+        let violations = model.check_constraints("LP-".parse().unwrap()).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].subject, "alice");
+        assert_eq!(violations[0].constraint, "pay-sod");
+        assert_eq!(violations[0].held.len(), 2);
+        // Round trip keeps the constraint.
+        let rendered = render(&model);
+        assert!(rendered.contains("mutex pay-sod 1 pay/issue pay/approve"));
+        let back = parse(&rendered).unwrap();
+        assert_eq!(back.constraints(), model.constraints());
+    }
+
+    #[test]
+    fn malformed_mutex_is_rejected() {
+        for bad in [
+            "mutex only-name\n",
+            "mutex name x pay/issue pay/approve\n",
+            "mutex name 1 payissue pay/approve\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(StoreError::Malformed(_))),
+                "`{bad}` should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_membership_surfaces_core_error() {
+        let err = parse("member a b\nmember b a\n").unwrap_err();
+        assert!(matches!(err, StoreError::Core(_)));
+    }
+}

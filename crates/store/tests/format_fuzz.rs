@@ -1,0 +1,159 @@
+//! Robustness of the policy text format: arbitrary input never panics,
+//! and well-formed random models survive render → parse → render fixed
+//! points.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _; // `ucra_core::Strategy` shadows the trait
+use ucra_store::{text, AccessModel};
+
+/// Random well-formed policy programs built from generated names.
+fn name_strategy() -> impl proptest::strategy::Strategy<Value = String> {
+    "[a-z]{1,6}".prop_map(|s| s)
+}
+
+#[derive(Debug, Clone)]
+enum Directive {
+    Subject(String),
+    Member(String, String),
+    Grant(String, String, String),
+    Deny(String, String, String),
+    Mutex(String, Vec<(String, String)>),
+    Strategy(usize),
+}
+
+fn directive() -> impl proptest::strategy::Strategy<Value = Directive> {
+    prop_oneof![
+        name_strategy().prop_map(Directive::Subject),
+        (name_strategy(), name_strategy()).prop_map(|(a, b)| Directive::Member(a, b)),
+        (name_strategy(), name_strategy(), name_strategy())
+            .prop_map(|(s, o, r)| Directive::Grant(s, o, r)),
+        (name_strategy(), name_strategy(), name_strategy())
+            .prop_map(|(s, o, r)| Directive::Deny(s, o, r)),
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), name_strategy()), 2..4)
+        )
+            .prop_map(|(n, ps)| Directive::Mutex(n, ps)),
+        (0usize..48).prop_map(Directive::Strategy),
+    ]
+}
+
+fn render_program(directives: &[Directive]) -> String {
+    use std::fmt::Write as _;
+    let strategies = ucra_core::Strategy::all_instances();
+    let mut out = String::new();
+    for d in directives {
+        match d {
+            Directive::Subject(s) => {
+                let _ = writeln!(out, "subject {s}");
+            }
+            Directive::Member(g, m) => {
+                let _ = writeln!(out, "member {g} {m}");
+            }
+            Directive::Grant(s, o, r) => {
+                let _ = writeln!(out, "grant {s} {o} {r}");
+            }
+            Directive::Deny(s, o, r) => {
+                let _ = writeln!(out, "deny {s} {o} {r}");
+            }
+            Directive::Mutex(n, ps) => {
+                let privileges: Vec<String> =
+                    ps.iter().map(|(o, r)| format!("{o}/{r}")).collect();
+                let _ = writeln!(out, "mutex {n} 1 {}", privileges.join(" "));
+            }
+            Directive::Strategy(ix) => {
+                let _ = writeln!(out, "strategy {}", strategies[*ix]);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary text never panics the parser (errors are fine).
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = text::parse(&input);
+    }
+
+    /// Arbitrary *line-shaped* text with plausible directive words never
+    /// panics either.
+    #[test]
+    fn directive_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("member".to_string()),
+                Just("grant".to_string()),
+                Just("deny".to_string()),
+                Just("mutex".to_string()),
+                Just("strategy".to_string()),
+                Just("subject".to_string()),
+                Just("#".to_string()),
+                "[a-zA-Z0-9/+-]{0,8}".prop_map(|s| s),
+            ],
+            0..60,
+        ),
+        breaks in proptest::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut input = String::new();
+        for (w, b) in words.iter().zip(breaks.iter().chain(std::iter::repeat(&false))) {
+            input.push_str(w);
+            input.push(if *b { '\n' } else { ' ' });
+        }
+        let _ = text::parse(&input);
+    }
+
+    /// Well-formed programs that parse successfully reach a render/parse
+    /// fixed point, preserving every decision.
+    #[test]
+    fn render_parse_fixed_point(directives in proptest::collection::vec(directive(), 0..20)) {
+        let program = render_program(&directives);
+        // Random memberships may cycle or authorizations contradict; only
+        // successful parses are subject to the fixed-point law.
+        let Ok(model) = text::parse(&program) else { return Ok(()); };
+        let once = text::render(&model);
+        let reparsed = text::parse(&once).expect("render output must parse");
+        let twice = text::render(&reparsed);
+        prop_assert_eq!(&once, &twice, "render is a fixed point after one round");
+        // Decisions agree between the two models for a sample strategy.
+        let strategy: ucra_core::Strategy = "D-LP-".parse().unwrap();
+        let names: Vec<String> = model.subject_names().map(str::to_string).collect();
+        let objects: Vec<String> = model.object_names().map(str::to_string).collect();
+        let rights: Vec<String> = model.right_names().map(str::to_string).collect();
+        for s in names.iter().take(4) {
+            for o in objects.iter().take(2) {
+                for r in rights.iter().take(2) {
+                    prop_assert_eq!(
+                        model.check_with(s, o, r, strategy).ok(),
+                        reparsed.check_with(s, o, r, strategy).ok()
+                    );
+                }
+            }
+        }
+        // Constraint checks agree too.
+        prop_assert_eq!(
+            model.check_constraints(strategy).ok().map(|v| v.len()),
+            reparsed.check_constraints(strategy).ok().map(|v| v.len())
+        );
+    }
+}
+
+/// AccessModel JSON round-trips arbitrary (valid) models including
+/// constraints and strategy.
+#[test]
+fn json_round_trip_with_constraints() {
+    let mut m = AccessModel::new();
+    m.add_membership("g", "u").unwrap();
+    m.grant("g", "o", "read").unwrap();
+    m.add_mutex("pair", &[("o", "read"), ("o", "write")], 1);
+    m.set_default_strategy("GMP+".parse().unwrap());
+    let back = AccessModel::from_json(&m.to_json()).unwrap();
+    assert_eq!(back.constraints(), m.constraints());
+    assert_eq!(back.default_strategy(), m.default_strategy());
+    assert_eq!(
+        back.check("u", "o", "read").unwrap(),
+        m.check("u", "o", "read").unwrap()
+    );
+}

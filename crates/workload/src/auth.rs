@@ -1,0 +1,186 @@
+//! Authorization assignment, exactly as in the paper's experiments.
+//!
+//! §4: *"we assigned explicit authorizations to subjects at random,
+//! choosing subjects proportionally to the number of members. In
+//! particular, 0.5% to 10.0% of the graph's edges were selected at random
+//! and their source nodes were assigned explicit authorizations."*
+//!
+//! Selecting random **edges** and labeling their **source** subjects picks
+//! each subject with probability proportional to its out-degree (its
+//! number of members) — implemented literally here. For Figure 7(a), the
+//! paper additionally varies the share of negative authorizations (1 %,
+//! 50 %, 100 %); [`AuthConfig::negative_share`] controls that.
+
+use crate::Rng;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use ucra_core::{Eacm, ObjectId, RightId, Sign, SubjectDag};
+
+/// Parameters for [`assign_by_edges`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuthConfig {
+    /// Fraction of edges to select (the paper's "authorization rate",
+    /// 0.005 – 0.10 in Figure 6, 0.007 in Figure 7).
+    pub rate: f64,
+    /// Fraction of the selected subjects receiving a negative
+    /// authorization (the rest are positive).
+    pub negative_share: f64,
+    /// The object the authorizations apply to.
+    pub object: ObjectId,
+    /// The right the authorizations apply to.
+    pub right: RightId,
+}
+
+impl AuthConfig {
+    /// An authorization rate with an even positive/negative split on
+    /// object 0 / right 0.
+    pub fn with_rate(rate: f64) -> Self {
+        AuthConfig {
+            rate,
+            negative_share: 0.5,
+            object: ObjectId(0),
+            right: RightId(0),
+        }
+    }
+}
+
+/// Selects `rate · |E|` random edges and labels their source subjects,
+/// returning the resulting explicit matrix and the labeled subjects.
+///
+/// A subject can be the source of several selected edges; duplicates are
+/// collapsed (the matrix holds at most one authorization per subject), so
+/// the number of labeled subjects can be slightly below the edge quota —
+/// matching the paper's "at most one authorization per triple" model.
+pub fn assign_by_edges(
+    hierarchy: &SubjectDag,
+    config: AuthConfig,
+    rng: &mut Rng,
+) -> (Eacm, Vec<ucra_core::SubjectId>) {
+    let edges: Vec<_> = hierarchy.graph().edges().collect();
+    let quota = ((edges.len() as f64) * config.rate).round() as usize;
+    let chosen = edges.choose_multiple(rng, quota.min(edges.len()));
+    let mut eacm = Eacm::new();
+    let mut labeled = Vec::new();
+    for &(source, _) in chosen {
+        if eacm.label(source, config.object, config.right).is_some() {
+            continue;
+        }
+        let sign = if rng.gen_bool(config.negative_share.clamp(0.0, 1.0)) {
+            Sign::Neg
+        } else {
+            Sign::Pos
+        };
+        eacm.set(source, config.object, config.right, sign)
+            .expect("fresh label cannot contradict");
+        labeled.push(source);
+    }
+    (eacm, labeled)
+}
+
+/// Populates a matrix for **many** `(object, right)` pairs at once, each
+/// pair independently loaded via [`assign_by_edges`]. Used by the
+/// effective-matrix and memo-cache experiments, which sweep per pair.
+pub fn assign_matrix(
+    hierarchy: &SubjectDag,
+    objects: u32,
+    rights: u32,
+    rate: f64,
+    negative_share: f64,
+    rng: &mut Rng,
+) -> Eacm {
+    let mut eacm = Eacm::new();
+    for o in 0..objects {
+        for r in 0..rights {
+            let config = AuthConfig {
+                rate,
+                negative_share,
+                object: ObjectId(o),
+                right: RightId(r),
+            };
+            let (pair_matrix, _) = assign_by_edges(hierarchy, config, rng);
+            for (s, oo, rr, sign) in pair_matrix.iter() {
+                eacm.set(s, oo, rr, sign)
+                    .expect("distinct pairs cannot contradict");
+            }
+        }
+    }
+    eacm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kdag::kdag, rng};
+
+    #[test]
+    fn respects_the_edge_quota() {
+        let mut r = rng(1);
+        let k = kdag(40, &mut r);
+        let (eacm, labeled) = assign_by_edges(&k.hierarchy, AuthConfig::with_rate(0.05), &mut r);
+        let quota = ((k.hierarchy.membership_count() as f64) * 0.05).round() as usize;
+        assert!(eacm.len() <= quota);
+        assert!(!eacm.is_empty());
+        assert_eq!(eacm.len(), labeled.len());
+    }
+
+    #[test]
+    fn rate_zero_gives_empty_matrix() {
+        let mut r = rng(2);
+        let k = kdag(20, &mut r);
+        let (eacm, labeled) = assign_by_edges(&k.hierarchy, AuthConfig::with_rate(0.0), &mut r);
+        assert!(eacm.is_empty());
+        assert!(labeled.is_empty());
+    }
+
+    #[test]
+    fn negative_share_extremes() {
+        let mut r = rng(3);
+        let k = kdag(60, &mut r);
+        let all_neg = AuthConfig { negative_share: 1.0, ..AuthConfig::with_rate(0.1) };
+        let (eacm, _) = assign_by_edges(&k.hierarchy, all_neg, &mut r);
+        assert!(eacm.iter().all(|(_, _, _, s)| s == Sign::Neg));
+        let all_pos = AuthConfig { negative_share: 0.0, ..AuthConfig::with_rate(0.1) };
+        let (eacm, _) = assign_by_edges(&k.hierarchy, all_pos, &mut r);
+        assert!(eacm.iter().all(|(_, _, _, s)| s == Sign::Pos));
+    }
+
+    #[test]
+    fn only_edge_sources_are_labeled() {
+        let mut r = rng(4);
+        let k = kdag(30, &mut r);
+        let (eacm, _) = assign_by_edges(&k.hierarchy, AuthConfig::with_rate(0.2), &mut r);
+        for (s, _, _, _) in eacm.iter() {
+            assert!(
+                !k.hierarchy.members_of(s).is_empty(),
+                "labeled subject {s} must be an edge source (a group)"
+            );
+        }
+    }
+
+    #[test]
+    fn assign_matrix_covers_all_pairs() {
+        let mut r = rng(6);
+        let k = kdag(50, &mut r);
+        let eacm = assign_matrix(&k.hierarchy, 3, 2, 0.1, 0.5, &mut r);
+        let pairs = eacm.object_right_pairs();
+        assert_eq!(pairs.len(), 6);
+        for o in 0..3u32 {
+            for rr in 0..2u32 {
+                assert!(pairs.contains(&(ObjectId(o), RightId(rr))));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_target_the_configured_pair() {
+        let mut r = rng(5);
+        let k = kdag(30, &mut r);
+        let cfg = AuthConfig {
+            object: ObjectId(7),
+            right: RightId(3),
+            ..AuthConfig::with_rate(0.1)
+        };
+        let (eacm, _) = assign_by_edges(&k.hierarchy, cfg, &mut r);
+        assert!(eacm.iter().all(|(_, o, rr, _)| o == ObjectId(7) && rr == RightId(3)));
+    }
+}

@@ -1,0 +1,186 @@
+//! Dynamic workloads: interleaved query/update traces for the
+//! maintenance experiments.
+//!
+//! The paper's related-work section argues that materialised effective
+//! matrices are not "self-maintainable with respect to updating the
+//! explicit authorizations". The sweep cache in `ucra_core::session`
+//! claims the opposite trade-off; this module generates the traces that
+//! measure it: a mix of authorization checks, explicit-matrix updates
+//! and (rare) membership edits, with a tunable update rate.
+
+use crate::Rng;
+use rand::Rng as _;
+use ucra_core::{ObjectId, RightId, Sign, SubjectId};
+
+/// One step of a dynamic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// An authorization check for a triple.
+    Check {
+        /// Queried subject.
+        subject: SubjectId,
+        /// Queried object.
+        object: ObjectId,
+        /// Queried right.
+        right: RightId,
+    },
+    /// Set (or overwrite-compatible re-set) of an explicit label.
+    SetLabel {
+        /// Labeled subject.
+        subject: SubjectId,
+        /// Labeled object.
+        object: ObjectId,
+        /// Labeled right.
+        right: RightId,
+        /// The sign to record.
+        sign: Sign,
+    },
+    /// Removal of an explicit label (no-op when absent).
+    UnsetLabel {
+        /// Target subject.
+        subject: SubjectId,
+        /// Target object.
+        object: ObjectId,
+        /// Target right.
+        right: RightId,
+    },
+}
+
+/// Parameters for [`trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Fraction of operations that are matrix updates (set/unset); the
+    /// rest are checks. 0.0 = read-only, 1.0 = write-only.
+    pub update_share: f64,
+    /// Among updates, the fraction that are unsets.
+    pub unset_share: f64,
+    /// Number of distinct objects queried/labeled.
+    pub objects: u32,
+    /// Number of distinct rights queried/labeled.
+    pub rights: u32,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            ops: 1000,
+            update_share: 0.05,
+            unset_share: 0.3,
+            objects: 4,
+            rights: 1,
+        }
+    }
+}
+
+/// Generates a dynamic trace over the given subject population.
+///
+/// `query_subjects` are the subjects checks target (typically the
+/// hierarchy's individuals); `label_subjects` are the subjects updates
+/// target (typically groups, mirroring the paper's edge-source labeling).
+pub fn trace(
+    config: ChurnConfig,
+    query_subjects: &[SubjectId],
+    label_subjects: &[SubjectId],
+    rng: &mut Rng,
+) -> Vec<ChurnOp> {
+    assert!(!query_subjects.is_empty() && !label_subjects.is_empty());
+    let mut ops = Vec::with_capacity(config.ops);
+    for _ in 0..config.ops {
+        let object = ObjectId(rng.gen_range(0..config.objects.max(1)));
+        let right = RightId(rng.gen_range(0..config.rights.max(1)));
+        if rng.gen_bool(config.update_share.clamp(0.0, 1.0)) {
+            let subject = label_subjects[rng.gen_range(0..label_subjects.len())];
+            if rng.gen_bool(config.unset_share.clamp(0.0, 1.0)) {
+                ops.push(ChurnOp::UnsetLabel { subject, object, right });
+            } else {
+                let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+                ops.push(ChurnOp::SetLabel { subject, object, right, sign });
+            }
+        } else {
+            let subject = query_subjects[rng.gen_range(0..query_subjects.len())];
+            ops.push(ChurnOp::Check { subject, object, right });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn subjects(n: usize) -> Vec<SubjectId> {
+        (0..n).map(SubjectId::from_index).collect()
+    }
+
+    #[test]
+    fn respects_op_count_and_shares() {
+        let mut r = rng(1);
+        let q = subjects(10);
+        let l = subjects(5);
+        let ops = trace(
+            ChurnConfig { ops: 4000, update_share: 0.25, ..Default::default() },
+            &q,
+            &l,
+            &mut r,
+        );
+        assert_eq!(ops.len(), 4000);
+        let updates = ops
+            .iter()
+            .filter(|o| !matches!(o, ChurnOp::Check { .. }))
+            .count();
+        let share = updates as f64 / 4000.0;
+        assert!((0.20..0.30).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn read_only_and_write_only_extremes() {
+        let mut r = rng(2);
+        let q = subjects(4);
+        let l = subjects(4);
+        let ops = trace(
+            ChurnConfig { ops: 100, update_share: 0.0, ..Default::default() },
+            &q,
+            &l,
+            &mut r,
+        );
+        assert!(ops.iter().all(|o| matches!(o, ChurnOp::Check { .. })));
+        let ops = trace(
+            ChurnConfig { ops: 100, update_share: 1.0, ..Default::default() },
+            &q,
+            &l,
+            &mut r,
+        );
+        assert!(ops.iter().all(|o| !matches!(o, ChurnOp::Check { .. })));
+    }
+
+    #[test]
+    fn objects_and_rights_stay_in_range() {
+        let mut r = rng(3);
+        let q = subjects(4);
+        let ops = trace(
+            ChurnConfig { ops: 500, objects: 3, rights: 2, ..Default::default() },
+            &q,
+            &q,
+            &mut r,
+        );
+        for op in ops {
+            let (o, rt) = match op {
+                ChurnOp::Check { object, right, .. }
+                | ChurnOp::SetLabel { object, right, .. }
+                | ChurnOp::UnsetLabel { object, right, .. } => (object, right),
+            };
+            assert!(o.0 < 3 && rt.0 < 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = subjects(8);
+        let a = trace(ChurnConfig::default(), &q, &q, &mut rng(9));
+        let b = trace(ChurnConfig::default(), &q, &q, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's synthetic stress workload: *KDAG(n)*, a random complete
+//! directed acyclic graph.
+//!
+//! §4: "KDAG(n) includes n nodes, one of which is a root and one of which
+//! is a sink, and (n choose 2) edges (an edge between every pair of
+//! nodes), directed in such a way as to prevent cycles."
+//!
+//! Construction: draw a uniformly random permutation of the nodes and
+//! orient every pair along it. The first node of the permutation is then
+//! the unique root, the last the unique sink, and the graph is acyclic by
+//! construction. Path counts between root and sink are enormous
+//! (`2^(n-2)`), which is exactly why the paper uses these graphs as
+//! stress tests for `Propagate()`.
+
+use crate::Rng;
+use rand::seq::SliceRandom;
+use ucra_core::{SubjectDag, SubjectId};
+
+/// A generated KDAG with its distinguished nodes.
+#[derive(Debug, Clone)]
+pub struct Kdag {
+    /// The hierarchy.
+    pub hierarchy: SubjectDag,
+    /// The unique root (first node of the permutation).
+    pub root: SubjectId,
+    /// The unique sink (last node of the permutation).
+    pub sink: SubjectId,
+    /// The topological permutation used, from root to sink.
+    pub order: Vec<SubjectId>,
+}
+
+/// Generates *KDAG(n)*. `n` must be at least 1.
+///
+/// ```
+/// use ucra_workload::{kdag::kdag, rng};
+///
+/// let k = kdag(10, &mut rng(42));
+/// assert_eq!(k.hierarchy.membership_count(), 45); // 10 choose 2
+/// assert_eq!(k.hierarchy.roots().count(), 1);
+/// assert_eq!(k.hierarchy.individuals().count(), 1);
+/// ```
+pub fn kdag(n: usize, rng: &mut Rng) -> Kdag {
+    assert!(n >= 1, "KDAG needs at least one node");
+    let mut hierarchy = SubjectDag::with_capacity(n);
+    let ids = hierarchy.add_subjects(n);
+    let mut order = ids;
+    order.shuffle(rng);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            hierarchy
+                .add_membership(order[i], order[j])
+                .expect("forward edges of a permutation cannot cycle");
+        }
+    }
+    Kdag {
+        root: order[0],
+        sink: order[n - 1],
+        hierarchy,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn has_complete_edge_count_one_root_one_sink() {
+        let mut r = rng(42);
+        for n in [1, 2, 5, 20] {
+            let k = kdag(n, &mut r);
+            assert_eq!(k.hierarchy.subject_count(), n);
+            assert_eq!(k.hierarchy.membership_count(), n * (n - 1) / 2);
+            assert_eq!(k.hierarchy.roots().collect::<Vec<_>>(), vec![k.root]);
+            assert_eq!(k.hierarchy.individuals().collect::<Vec<_>>(), vec![k.sink]);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = kdag(12, &mut rng(7));
+        let b = kdag(12, &mut rng(7));
+        assert_eq!(a.order, b.order);
+        let c = kdag(12, &mut rng(8));
+        assert_ne!(a.order, c.order, "different seeds should differ");
+    }
+
+    #[test]
+    fn path_count_root_to_sink_is_two_to_the_n_minus_two() {
+        // Every subset of the n-2 interior nodes, in permutation order,
+        // forms exactly one path.
+        let k = kdag(12, &mut rng(3));
+        let paths = ucra_graph::paths::count_paths(k.hierarchy.graph(), k.root, k.sink).unwrap();
+        assert_eq!(paths, 1 << 10);
+    }
+
+    #[test]
+    fn order_is_topological() {
+        let k = kdag(15, &mut rng(9));
+        let pos: std::collections::HashMap<_, _> =
+            k.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (p, c) in k.hierarchy.graph().edges() {
+            assert!(pos[&p] < pos[&c]);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Layered random DAGs: the tunable middle ground between trees and
+//! complete DAGs.
+
+use crate::Rng;
+use rand::Rng as _;
+use ucra_core::{SubjectDag, SubjectId};
+
+/// Parameters for [`layered`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 1). Layer 0 holds the roots.
+    pub layers: usize,
+    /// Nodes per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an edge between a node and each node of the next
+    /// layer (every node is additionally guaranteed one parent from the
+    /// previous layer, so the graph is connected top-down).
+    pub density: f64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig { layers: 6, width: 16, density: 0.15 }
+    }
+}
+
+/// A generated layered DAG.
+#[derive(Debug, Clone)]
+pub struct Layered {
+    /// The hierarchy.
+    pub hierarchy: SubjectDag,
+    /// `layers[i]` holds layer *i*'s subjects, top (roots) first.
+    pub layers: Vec<Vec<SubjectId>>,
+}
+
+/// Generates a layered random DAG: edges go from layer *i* to layer
+/// *i + 1* only.
+pub fn layered(config: LayeredConfig, rng: &mut Rng) -> Layered {
+    assert!(config.layers >= 1 && config.width >= 1, "degenerate config");
+    let mut hierarchy = SubjectDag::with_capacity(config.layers * config.width);
+    let layers: Vec<Vec<SubjectId>> = (0..config.layers)
+        .map(|_| hierarchy.add_subjects(config.width))
+        .collect();
+    for upper_lower in layers.windows(2) {
+        let (upper, lower) = (&upper_lower[0], &upper_lower[1]);
+        for &child in lower {
+            // Guaranteed parent keeps every non-root reachable from the top.
+            let forced = upper[rng.gen_range(0..upper.len())];
+            hierarchy
+                .add_membership(forced, child)
+                .expect("inter-layer edges cannot cycle");
+            for &parent in upper {
+                if parent != forced && rng.gen_bool(config.density) {
+                    hierarchy
+                        .add_membership(parent, child)
+                        .expect("inter-layer edges cannot cycle");
+                }
+            }
+        }
+    }
+    Layered { hierarchy, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use ucra_graph::traverse;
+
+    #[test]
+    fn every_non_root_has_a_parent() {
+        let l = layered(LayeredConfig { layers: 5, width: 8, density: 0.1 }, &mut rng(1));
+        for (i, layer) in l.layers.iter().enumerate() {
+            for &v in layer {
+                if i == 0 {
+                    assert!(l.hierarchy.groups_of(v).is_empty());
+                } else {
+                    assert!(!l.hierarchy.groups_of(v).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_equals_layer_count_minus_one() {
+        let l = layered(LayeredConfig { layers: 7, width: 4, density: 0.3 }, &mut rng(2));
+        assert_eq!(traverse::longest_path_len(l.hierarchy.graph()), 6);
+    }
+
+    #[test]
+    fn density_one_gives_complete_bipartite_layers() {
+        let l = layered(LayeredConfig { layers: 3, width: 5, density: 1.0 }, &mut rng(3));
+        assert_eq!(l.hierarchy.membership_count(), 2 * 5 * 5);
+    }
+
+    #[test]
+    fn density_zero_gives_forest_like_minimum() {
+        let l = layered(LayeredConfig { layers: 4, width: 6, density: 0.0 }, &mut rng(4));
+        assert_eq!(l.hierarchy.membership_count(), 3 * 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = layered(LayeredConfig::default(), &mut rng(5));
+        let b = layered(LayeredConfig::default(), &mut rng(5));
+        assert_eq!(
+            a.hierarchy.graph().edges().collect::<Vec<_>>(),
+            b.hierarchy.graph().edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # `ucra-workload` — synthetic hierarchies and authorization loads
+//!
+//! Generators for every workload in the paper's evaluation (§4), plus the
+//! adversarial shapes used by this reproduction's stress tests:
+//!
+//! * [`kdag::kdag`] — the paper's *KDAG(n)*: a random **complete** DAG
+//!   with `n` nodes and `n·(n−1)/2` edges, one root and one sink — "many
+//!   more paths than would be expected in typical applications, … good
+//!   stress tests".
+//! * [`livelink::livelink`] — a synthetic stand-in for the Livelink
+//!   (Open Text) enterprise hierarchy, calibrated to the statistics the
+//!   paper publishes: >8000 nodes, ~22,000 edges, 1582 sinks
+//!   (individual users), induced-sub-graph depths 1–11.
+//! * [`layered::layered`] — tunable layered random DAGs.
+//! * [`shapes`] — trees, chains, and the exponential diamond chain.
+//! * [`auth::assign_by_edges`] — the paper's authorization assignment:
+//!   select a fraction of *edges* at random and label their source
+//!   subjects (which picks subjects proportionally to their number of
+//!   members), with a configurable negative share.
+//! * [`stats`] — per-sink measurements for Figure 7's axes: `d` (the sum
+//!   of all path lengths from labeled/defaulted ancestors) and the
+//!   ancestor sub-graph size.
+//!
+//! All generators are deterministic given a seed (`rand_chacha`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod churn;
+pub mod kdag;
+pub mod layered;
+pub mod livelink;
+pub mod shapes;
+pub mod stats;
+
+/// The RNG used by every generator: seedable and stable across platforms
+/// and crate versions, so experiments are reproducible bit-for-bit.
+pub type Rng = rand_chacha::ChaCha8Rng;
+
+/// Creates the workload RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,196 @@
+//! A synthetic stand-in for the paper's Livelink (Open Text) enterprise
+//! subject hierarchy.
+//!
+//! The paper evaluates on a proprietary Livelink installation and
+//! publishes only its structural statistics (§4): *"the subject hierarchy
+//! has over 8000 nodes and 22,000 edges. There are 1582 sinks (individual
+//! users) … The depths of the induced sub-graphs range from 1 to 11."*
+//! This generator is calibrated to those numbers (see DESIGN.md §2.6):
+//!
+//! * a forest of departmental group trees with bounded depth,
+//! * cross-links making groups members of several parent groups
+//!   ("groups can be arbitrarily structured and nested to arbitrary
+//!   depth"),
+//! * individual users attached to several groups each.
+//!
+//! Acyclicity is guaranteed by construction: every group carries a level
+//! and edges only point from lower to strictly higher levels.
+
+use crate::Rng;
+use rand::Rng as _;
+use ucra_core::{SubjectDag, SubjectId};
+
+/// Parameters for [`livelink`]. The default reproduces the paper's
+/// published statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivelinkConfig {
+    /// Number of group (non-sink) subjects.
+    pub groups: usize,
+    /// Number of top-level groups (forest roots).
+    pub roots: usize,
+    /// Number of individual users (sinks).
+    pub users: usize,
+    /// Maximum group nesting depth (sinks sit one level below).
+    pub max_group_depth: u32,
+    /// Additional cross-links between groups, as a fraction of `groups`.
+    pub cross_link_factor: f64,
+    /// Mean number of groups each user belongs to (minimum 1).
+    pub user_membership_mean: f64,
+}
+
+impl Default for LivelinkConfig {
+    fn default() -> Self {
+        LivelinkConfig {
+            groups: 6500,
+            roots: 30,
+            users: 1582,
+            max_group_depth: 10,
+            cross_link_factor: 0.45,
+            user_membership_mean: 8.0,
+        }
+    }
+}
+
+/// A generated enterprise hierarchy.
+#[derive(Debug, Clone)]
+pub struct Livelink {
+    /// The hierarchy (groups first, then users, in id order).
+    pub hierarchy: SubjectDag,
+    /// Group subjects.
+    pub groups: Vec<SubjectId>,
+    /// Individual users — the sinks whose queries Figure 7 measures.
+    pub users: Vec<SubjectId>,
+}
+
+/// Generates a Livelink-like hierarchy.
+pub fn livelink(config: LivelinkConfig, rng: &mut Rng) -> Livelink {
+    assert!(config.roots >= 1 && config.groups >= config.roots && config.users >= 1);
+    let mut hierarchy = SubjectDag::with_capacity(config.groups + config.users);
+    let groups = hierarchy.add_subjects(config.groups);
+    let mut level: Vec<u32> = vec![0; config.groups];
+
+    // Forest skeleton: group i (beyond the roots) picks a parent among
+    // earlier groups whose level still allows a child.
+    for i in config.roots..config.groups {
+        loop {
+            let p = rng.gen_range(0..i);
+            if level[p] < config.max_group_depth {
+                hierarchy
+                    .add_membership(groups[p], groups[i])
+                    .expect("level-monotone edges cannot cycle");
+                level[i] = level[p] + 1;
+                break;
+            }
+        }
+    }
+
+    // Cross-links: group → group edges between strictly increasing levels.
+    let want_cross = (config.groups as f64 * config.cross_link_factor) as usize;
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < want_cross && attempts < want_cross * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..config.groups);
+        let b = rng.gen_range(0..config.groups);
+        if level[a] < level[b] && hierarchy.add_membership(groups[a], groups[b]).is_ok() {
+            added += 1;
+        }
+    }
+
+    // Users: each belongs to `1 + Poisson-ish(mean - 1)` distinct groups.
+    let users = hierarchy.add_subjects(config.users);
+    for &user in &users {
+        let extra = (config.user_membership_mean - 1.0).max(0.0);
+        // A crude integer spread around the mean: uniform in [0, 2·extra].
+        let k = 1 + rng.gen_range(0..=(2.0 * extra) as usize);
+        let mut joined = 0;
+        let mut tries = 0;
+        while joined < k && tries < 10 * k {
+            tries += 1;
+            let g = groups[rng.gen_range(0..config.groups)];
+            if hierarchy.add_membership(g, user).is_ok() {
+                joined += 1;
+            }
+        }
+    }
+
+    // Leaf groups with no members would read as sinks, but the paper's
+    // sinks are exactly the individual users; give every childless group
+    // one user member.
+    let childless: Vec<SubjectId> = groups
+        .iter()
+        .copied()
+        .filter(|&g| hierarchy.members_of(g).is_empty())
+        .collect();
+    for g in childless {
+        let user = users[rng.gen_range(0..users.len())];
+        hierarchy
+            .add_membership(g, user)
+            .expect("group-to-user edge cannot cycle");
+    }
+
+    Livelink { hierarchy, groups, users }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use ucra_graph::traverse;
+
+    #[test]
+    fn default_config_matches_published_statistics() {
+        let l = livelink(LivelinkConfig::default(), &mut rng(2007));
+        let nodes = l.hierarchy.subject_count();
+        let edges = l.hierarchy.membership_count();
+        let sinks = l.hierarchy.individuals().count();
+        assert!(nodes > 8000, "paper: over 8000 nodes (got {nodes})");
+        assert!(
+            (20_000..=25_000).contains(&edges),
+            "paper: ~22,000 edges (got {edges})"
+        );
+        assert_eq!(sinks, 1582, "paper: 1582 sinks");
+        // Depth ≤ 11 (10 group levels + the user edge).
+        assert!(traverse::longest_path_len(l.hierarchy.graph()) <= 11);
+    }
+
+    #[test]
+    fn users_are_exactly_the_sinks() {
+        let cfg = LivelinkConfig { groups: 200, roots: 4, users: 50, ..Default::default() };
+        let l = livelink(cfg, &mut rng(5));
+        let sinks: std::collections::HashSet<_> = l.hierarchy.individuals().collect();
+        assert_eq!(sinks.len(), 50);
+        for u in &l.users {
+            assert!(sinks.contains(u));
+        }
+        // Every user belongs to at least one group.
+        for &u in &l.users {
+            assert!(!l.hierarchy.groups_of(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_depths_span_a_range() {
+        let l = livelink(LivelinkConfig::default(), &mut rng(2007));
+        let mut depths = Vec::new();
+        for &u in l.users.iter().step_by(100) {
+            let sub = l.hierarchy.ancestor_subgraph(u).unwrap();
+            depths.push(traverse::longest_path_len(&sub.dag));
+        }
+        let min = depths.iter().min().unwrap();
+        let max = depths.iter().max().unwrap();
+        assert!(*max >= 6, "deep sub-graphs exist (max {max})");
+        assert!(*min >= 1, "every user has at least one ancestor");
+        assert!(*max <= 11, "paper: depths range 1 to 11");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = livelink(LivelinkConfig { groups: 300, roots: 5, users: 40, ..Default::default() }, &mut rng(9));
+        let b = livelink(LivelinkConfig { groups: 300, roots: 5, users: 40, ..Default::default() }, &mut rng(9));
+        assert_eq!(
+            a.hierarchy.graph().edges().collect::<Vec<_>>(),
+            b.hierarchy.graph().edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic structural shapes: trees, chains, and the adversarial
+//! diamond chain from the paper's worst-case analysis.
+
+use crate::Rng;
+use rand::Rng as _;
+use ucra_core::{SubjectDag, SubjectId};
+
+/// A uniform random recursive tree with `n` nodes: node *i* picks its
+/// parent uniformly among nodes `0..i`. Node 0 is the root.
+///
+/// Trees make conflict resolution trivial (one path per ancestor — the
+/// related-work section's point about tree-structured approaches), so
+/// they serve as the "easy" end of the workload spectrum.
+pub fn random_tree(n: usize, rng: &mut Rng) -> (SubjectDag, Vec<SubjectId>) {
+    assert!(n >= 1);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 1..n {
+        let parent = ids[rng.gen_range(0..i)];
+        h.add_membership(parent, ids[i]).expect("tree edges cannot cycle");
+    }
+    (h, ids)
+}
+
+/// A simple chain `v₀ → v₁ → … → vₙ₋₁`.
+pub fn chain(n: usize) -> (SubjectDag, Vec<SubjectId>) {
+    assert!(n >= 1);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for w in ids.windows(2) {
+        h.add_membership(w[0], w[1]).expect("chain edges cannot cycle");
+    }
+    (h, ids)
+}
+
+/// `k` stacked diamonds: the graph family realising the paper's §3.3
+/// worst case — `2^k` root-to-sink paths on `3k + 1` nodes.
+///
+/// Returns the hierarchy, the top node, and the bottom node.
+pub fn diamond_chain(k: usize) -> (SubjectDag, SubjectId, SubjectId) {
+    let mut h = SubjectDag::with_capacity(3 * k + 1);
+    let mut top = h.add_subject();
+    let first = top;
+    for _ in 0..k {
+        let left = h.add_subject();
+        let right = h.add_subject();
+        let bottom = h.add_subject();
+        h.add_membership(top, left).expect("acyclic");
+        h.add_membership(top, right).expect("acyclic");
+        h.add_membership(left, bottom).expect("acyclic");
+        h.add_membership(right, bottom).expect("acyclic");
+        top = bottom;
+    }
+    (h, first, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use ucra_graph::paths;
+
+    #[test]
+    fn tree_has_n_minus_one_edges_and_single_root() {
+        let (h, ids) = random_tree(50, &mut rng(11));
+        assert_eq!(h.membership_count(), 49);
+        assert_eq!(h.roots().collect::<Vec<_>>(), vec![ids[0]]);
+        // Every node has at most one parent.
+        for &v in &ids {
+            assert!(h.groups_of(v).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let (h, ids) = random_tree(1, &mut rng(0));
+        assert_eq!(h.subject_count(), 1);
+        assert_eq!(h.membership_count(), 0);
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let (h, ids) = chain(5);
+        assert_eq!(h.membership_count(), 4);
+        assert!(h.individuals().eq([ids[4]]));
+    }
+
+    #[test]
+    fn diamond_chain_path_count() {
+        let (h, top, bottom) = diamond_chain(10);
+        assert_eq!(h.subject_count(), 31);
+        assert_eq!(
+            paths::count_paths(h.graph(), top, bottom).unwrap(),
+            1 << 10
+        );
+    }
+
+    #[test]
+    fn zero_diamonds_is_a_single_node() {
+        let (h, top, bottom) = diamond_chain(0);
+        assert_eq!(h.subject_count(), 1);
+        assert_eq!(top, bottom);
+    }
+}

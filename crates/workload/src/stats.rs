@@ -1,0 +1,105 @@
+//! Per-query structural measurements — the x-axes of the paper's
+//! Figures 7(a) and 7(b).
+
+use ucra_core::{Eacm, ObjectId, RightId, SubjectDag, SubjectId};
+use ucra_graph::paths;
+
+/// Structural statistics of one query's ancestor sub-graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of nodes in the ancestor sub-graph (Figure 7(b)'s second
+    /// axis).
+    pub subgraph_nodes: usize,
+    /// Number of edges in the ancestor sub-graph.
+    pub subgraph_edges: usize,
+    /// The paper's `d`: total length of all paths from explicitly labeled
+    /// subjects and unlabeled roots to the queried subject (Figure 7's
+    /// primary axis).
+    pub d: u128,
+    /// Number of explicitly labeled ancestors (the paper's `p`).
+    pub labeled_ancestors: usize,
+    /// Number of roots of the sub-graph (the paper's `r`).
+    pub roots: usize,
+}
+
+/// Measures the query ⟨`subject`, `object`, `right`⟩.
+pub fn query_stats(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> QueryStats {
+    let sub = hierarchy
+        .ancestor_subgraph(subject)
+        .expect("caller passes a valid subject");
+    // Sources of propagation: labeled ancestors + unlabeled roots.
+    let mut sources = Vec::new();
+    let mut labeled_ancestors = 0;
+    let mut roots = 0;
+    for v in sub.dag.nodes() {
+        let original = sub.original_id(v);
+        let labeled = eacm.label(original, object, right).is_some();
+        if labeled {
+            labeled_ancestors += 1;
+        }
+        if sub.dag.is_root(v) {
+            roots += 1;
+        }
+        if labeled || (sub.dag.is_root(v) && !labeled) {
+            sources.push(v);
+        }
+    }
+    let d = paths::sum_path_lengths_to(&sub.dag, &sources, sub.sink)
+        .expect("path statistics fit in u128 for evaluation workloads");
+    QueryStats {
+        subgraph_nodes: sub.dag.node_count(),
+        subgraph_edges: sub.dag.edge_count(),
+        d,
+        labeled_ancestors,
+        roots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucra_core::motivating::motivating_example;
+
+    #[test]
+    fn motivating_example_stats() {
+        let ex = motivating_example();
+        let s = query_stats(&ex.hierarchy, &ex.eacm, ex.user, ex.obj, ex.read);
+        assert_eq!(s.subgraph_nodes, 6);
+        assert_eq!(s.subgraph_edges, 7);
+        // Table 1's six rows have total distance 1+1+2+1+3+3 = 11.
+        assert_eq!(s.d, 11);
+        assert_eq!(s.labeled_ancestors, 2); // S2, S5
+        assert_eq!(s.roots, 3); // S1, S2, S6
+    }
+
+    #[test]
+    fn labeled_root_is_counted_once_as_source() {
+        // root(+) → leaf: the root is both labeled and a root; d = 1.
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(root, leaf).unwrap();
+        let mut eacm = Eacm::new();
+        eacm.grant(root, ObjectId(0), RightId(0)).unwrap();
+        let s = query_stats(&h, &eacm, leaf, ObjectId(0), RightId(0));
+        assert_eq!(s.d, 1);
+        assert_eq!(s.labeled_ancestors, 1);
+        assert_eq!(s.roots, 1);
+    }
+
+    #[test]
+    fn isolated_subject_has_zero_d() {
+        let mut h = SubjectDag::new();
+        let v = h.add_subject();
+        let s = query_stats(&h, &Eacm::new(), v, ObjectId(0), RightId(0));
+        assert_eq!(s.subgraph_nodes, 1);
+        assert_eq!(s.d, 0);
+        assert_eq!(s.roots, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Document-store scenario exercising the paper's future-work
+//! extensions, all implemented here:
+//!
+//! * a **mixed hierarchy**: authorizations on folders propagate to the
+//!   documents inside them, combining with subject-side inheritance
+//!   (future work #2);
+//! * **propagation modes**: what happens when an inherited authorization
+//!   crosses a subject that carries its own explicit label (future
+//!   work #3);
+//! * the **self-maintaining session** with per-pair cache invalidation
+//!   (future work #1 + the related-work maintenance critique).
+//!
+//! ```text
+//! cargo run --example document_store
+//! ```
+
+use ucra::core::engine::counting::{self, PropagationMode};
+use ucra::core::ids::RightId;
+use ucra::core::objects::{resolve_mixed_sign, ObjectDag};
+use ucra::core::{AccessSession, Eacm, Sign, Strategy, SubjectDag};
+
+fn main() {
+    mixed_hierarchy();
+    println!();
+    propagation_modes();
+    println!();
+    live_session();
+}
+
+fn mixed_hierarchy() {
+    println!("— Mixed subject + object hierarchy —");
+    // Subjects: staff ⊇ {legal, interns}; mallory is in both.
+    let mut subjects = SubjectDag::new();
+    let staff = subjects.add_subject();
+    let legal = subjects.add_subject();
+    let interns = subjects.add_subject();
+    let mallory = subjects.add_subject();
+    subjects.add_membership(staff, legal).unwrap();
+    subjects.add_membership(staff, interns).unwrap();
+    subjects.add_membership(legal, mallory).unwrap();
+    subjects.add_membership(interns, mallory).unwrap();
+
+    // Objects: archive ⊇ case-files ⊇ deposition.
+    let mut objects = ObjectDag::new();
+    let archive = objects.add_object();
+    let case_files = objects.add_object();
+    let deposition = objects.add_object();
+    objects.add_containment(archive, case_files).unwrap();
+    objects.add_containment(case_files, deposition).unwrap();
+
+    let read = RightId(0);
+    let mut eacm = Eacm::new();
+    eacm.grant(staff, archive, read).unwrap(); // staff read the archive
+    eacm.deny(interns, case_files, read).unwrap(); // interns barred from case files
+
+    // mallory inherits + from ⟨staff, archive⟩ at combined distance 2+2=4
+    // and - from ⟨interns, case-files⟩ at 1+1=2: the deny is more specific
+    // on BOTH axes.
+    let specific: Strategy = "LP+".parse().unwrap();
+    let general: Strategy = "GP-".parse().unwrap();
+    let s1 = resolve_mixed_sign(&subjects, &objects, &eacm, mallory, deposition, read, specific)
+        .unwrap();
+    let s2 = resolve_mixed_sign(&subjects, &objects, &eacm, mallory, deposition, read, general)
+        .unwrap();
+    println!("  may mallory read the deposition?");
+    println!("    LP+ (most specific wins): {s1}   — the intern-level deny is closer");
+    println!("    GP- (most general wins) : {s2}   — the staff-wide grant is broader");
+    assert_eq!((s1, s2), (Sign::Neg, Sign::Pos));
+}
+
+fn propagation_modes() {
+    println!("— Propagation modes (what happens at a labeled subject) —");
+    // ceo(+) → division(-) → team → dev
+    let mut h = SubjectDag::new();
+    let ceo = h.add_subject();
+    let division = h.add_subject();
+    let team = h.add_subject();
+    let dev = h.add_subject();
+    h.add_membership(ceo, division).unwrap();
+    h.add_membership(division, team).unwrap();
+    h.add_membership(team, dev).unwrap();
+    let (o, r) = (ucra::core::ids::ObjectId(0), RightId(0));
+    let mut eacm = Eacm::new();
+    eacm.grant(ceo, o, r).unwrap();
+    eacm.deny(division, o, r).unwrap();
+
+    println!("  ceo grants, the division denies; what reaches the developer?");
+    for (mode, name) in [
+        (PropagationMode::Both, "Both (paper's semantics)"),
+        (PropagationMode::SecondWins, "SecondWins (labels block inflow)"),
+        (PropagationMode::FirstWins, "FirstWins (inflow suppresses labels)"),
+    ] {
+        let hist = counting::histogram(&h, &eacm, dev, o, r, mode).unwrap();
+        let t = hist.totals().unwrap();
+        println!("    {name:36} +:{} -:{}", t.pos, t.neg);
+    }
+    println!("  Under SecondWins the division firewall is absolute; under");
+    println!("  FirstWins head office overrides; Both lets the strategy decide.");
+}
+
+fn live_session() {
+    println!("— Self-maintaining session —");
+    let mut session = AccessSession::empty("D-LP-".parse().unwrap());
+    let admins = session.add_subject();
+    let alice = session.add_subject();
+    session.add_membership(admins, alice).unwrap();
+    let (wiki, edit) = (ucra::core::ids::ObjectId(0), RightId(0));
+    session.set_authorization(admins, wiki, edit, Sign::Pos).unwrap();
+
+    println!("  alice edit wiki: {}", session.check(alice, wiki, edit).unwrap());
+    // Strategy switch: no re-propagation at all.
+    session.set_strategy("D+LP+".parse().unwrap());
+    println!("  after switching to D+LP+: {}", session.check(alice, wiki, edit).unwrap());
+    // A matrix update invalidates exactly one (object, right) sweep; the
+    // new deny sits at distance 0 and most-specific makes it decisive.
+    session.set_authorization(alice, wiki, edit, Sign::Neg).unwrap();
+    println!("  after explicit deny on alice: {}", session.check(alice, wiki, edit).unwrap());
+    let stats = session.stats();
+    println!(
+        "  cache: {} queries, {} hits, {} sweeps, {} pair invalidations",
+        stats.queries, stats.cache_hits, stats.sweeps, stats.pair_invalidations
+    );
+}

@@ -1,0 +1,77 @@
+//! The paper's two motivating anecdotes, modelled end to end with the
+//! named `AccessModel` API:
+//!
+//! 1. **Globality** (§1.1): a student is authorized by the athletic
+//!    office to referee hockey games, the department forbids heavy
+//!    outside tasks, and the *university administration* — the most
+//!    global authority — overrides both. `G` strategies capture this.
+//! 2. **Majority** (§2.1): a GATT-style membership committee where the
+//!    vote of the member bodies decides.
+//!
+//! ```text
+//! cargo run --example university_override
+//! ```
+
+use ucra::core::Sign;
+use ucra::store::AccessModel;
+
+fn main() {
+    globality_story();
+    println!();
+    majority_story();
+}
+
+fn globality_story() {
+    println!("— Scenario 1: the hockey referee (locality vs globality) —");
+    let mut m = AccessModel::new();
+    // university ⊇ {athletics, department}; both contain the student.
+    m.add_membership("university", "athletics").unwrap();
+    m.add_membership("university", "department").unwrap();
+    m.add_membership("athletics", "student").unwrap();
+    m.add_membership("department", "student").unwrap();
+    // The athletic office authorizes refereeing; the department forbids
+    // heavy non-departmental tasks; the university says: let them referee.
+    m.grant("athletics", "hockey-games", "referee").unwrap();
+    m.deny("department", "hockey-games", "referee").unwrap();
+    m.grant("university", "hockey-games", "referee").unwrap();
+
+    for (mnemonic, reading) in [
+        ("LP-", "most SPECIFIC takes precedence: athletics (+) ties department (-), deny-preference ⇒"),
+        ("GP-", "most GENERAL takes precedence: the university's grant stands alone ⇒"),
+    ] {
+        let sign = m
+            .check_with("student", "hockey-games", "referee", mnemonic.parse().unwrap())
+            .unwrap();
+        println!("  {mnemonic:>4}  {reading} {sign}");
+    }
+    println!("  The enterprise picks `G…` and the student referees — no code change.");
+}
+
+fn majority_story() {
+    println!("— Scenario 2: the admission vote (majority) —");
+    let mut m = AccessModel::new();
+    // Five member bodies all contain the applicant's membership file.
+    for body in ["canada", "brazil", "japan", "norway", "kenya"] {
+        m.add_membership(body, "applicant-file").unwrap();
+    }
+    m.grant("canada", "organization", "join").unwrap();
+    m.grant("brazil", "organization", "join").unwrap();
+    m.grant("japan", "organization", "join").unwrap();
+    m.deny("norway", "organization", "join").unwrap();
+    m.deny("kenya", "organization", "join").unwrap();
+
+    let tally = m
+        .check_with("applicant-file", "organization", "join", "MP-".parse().unwrap())
+        .unwrap();
+    println!("  votes: 3 in favour, 2 against");
+    println!("  MP-  (majority, deny on tie) ⇒ {tally}");
+    assert_eq!(tally, Sign::Pos);
+
+    // Under "denial takes precedence" the same application fails:
+    let closed = m
+        .check_with("applicant-file", "organization", "join", "P-".parse().unwrap())
+        .unwrap();
+    println!("  P-   (any denial wins)       ⇒ {closed}");
+    assert_eq!(closed, Sign::Neg);
+    println!("  Same matrix, opposite outcomes — the strategy IS the policy.");
+}

@@ -1,0 +1,12 @@
+//! # `ucra` — A Unified Conflict Resolution Algorithm
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `ucra_core` for the paper's algorithms.
+
+#![forbid(unsafe_code)]
+
+pub use ucra_core as core;
+pub use ucra_graph as graph;
+pub use ucra_relational as relational;
+pub use ucra_store as store;
+pub use ucra_workload as workload;

@@ -1,0 +1,270 @@
+//! Cross-engine equivalence: on random DAG worlds, the four independent
+//! implementations must agree —
+//!
+//! * `path_enum` (paper-faithful Fig. 5),
+//! * `counting` (our polynomial DP),
+//! * the relational-algebra spec (literal Fig. 4/5 transcription),
+//! * `MemoResolver` (cached sweeps),
+//!
+//! and `Dominance()` (both variants) must equal `Resolve(D-LP-)`.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ucra::core::engine::counting::{self, PropagationMode};
+use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::{
+    dominance, dominance_specialized, resolve_histogram, DistanceHistogram, Eacm, MemoResolver,
+    Sign, Strategy, SubjectDag,
+};
+use ucra::relational::spec;
+
+const PAIR: (ObjectId, RightId) = (ObjectId(0), RightId(0));
+
+/// A random DAG world built deterministically from (n, density, rate,
+/// seed) — proptest shrinks the scalars.
+fn world(n: usize, density: f64, label_rate: f64, seed: u64) -> (SubjectDag, Eacm) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                h.add_membership(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    let mut eacm = Eacm::new();
+    for &v in &ids {
+        if rng.gen_bool(label_rate) {
+            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            eacm.set(v, PAIR.0, PAIR.1, sign).unwrap();
+        }
+    }
+    (h, eacm)
+}
+
+fn to_relational(h: &SubjectDag, e: &Eacm) -> (ucra::relational::Relation, ucra::relational::Relation) {
+    let edges: Vec<(i64, i64)> = h
+        .graph()
+        .edges()
+        .map(|(p, c)| (p.index() as i64, c.index() as i64))
+        .collect();
+    let entries: Vec<(i64, i64, i64, spec::Sign)> = e
+        .iter()
+        .map(|(s, _, _, sign)| {
+            let sign = match sign {
+                Sign::Pos => spec::Sign::Pos,
+                Sign::Neg => spec::Sign::Neg,
+            };
+            (s.index() as i64, 0, 0, sign)
+        })
+        .collect();
+    (spec::sdag_relation(&edges), spec::eacm_relation(&entries))
+}
+
+fn spec_sign(s: spec::Sign) -> Sign {
+    match s {
+        spec::Sign::Pos => Sign::Pos,
+        spec::Sign::Neg => Sign::Neg,
+    }
+}
+
+fn to_spec_rules(
+    s: Strategy,
+) -> (spec::DefaultRule, spec::LocalityRule, spec::MajorityRule, spec::Sign) {
+    use ucra::core::{DefaultRule as D, LocalityRule as L, MajorityRule as M};
+    (
+        match s.default_rule() {
+            D::Pos => spec::DefaultRule::Pos,
+            D::Neg => spec::DefaultRule::Neg,
+            D::NoDefault => spec::DefaultRule::NoDefault,
+        },
+        match s.locality_rule() {
+            L::MostSpecific => spec::LocalityRule::Min,
+            L::MostGeneral => spec::LocalityRule::Max,
+            L::Identity => spec::LocalityRule::Identity,
+        },
+        match s.majority_rule() {
+            M::Before => spec::MajorityRule::Before,
+            M::After => spec::MajorityRule::After,
+            M::Skip => spec::MajorityRule::Skip,
+        },
+        match s.preference_rule() {
+            Sign::Pos => spec::Sign::Pos,
+            Sign::Neg => spec::Sign::Neg,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// path_enum and counting produce identical histograms for every
+    /// subject of every random world.
+    #[test]
+    fn histograms_agree(
+        n in 1usize..14,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        for s in h.subjects() {
+            let recs = path_enum::propagate(&h, &eacm, s, PAIR.0, PAIR.1, PropagateOptions::default()).unwrap();
+            let from_paths = DistanceHistogram::from_records(&recs).unwrap();
+            let counted = counting::histogram(&h, &eacm, s, PAIR.0, PAIR.1, PropagationMode::Both).unwrap();
+            prop_assert_eq!(&from_paths, &counted, "subject {}", s);
+        }
+    }
+
+    /// The relational spec agrees with the core resolver on every
+    /// subject × a per-case strategy sample (all 48 over the run).
+    #[test]
+    fn relational_spec_agrees(
+        n in 1usize..10,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let (sdag_rel, eacm_rel) = to_relational(&h, &eacm);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let (d, l, m, p) = to_spec_rules(strategy);
+        let resolver = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            let via_spec = spec_sign(
+                spec::resolve(&sdag_rel, &eacm_rel, s.index() as i64, 0, 0, d, l, m, p).unwrap(),
+            );
+            let via_core = resolver.resolve(s, PAIR.0, PAIR.1, strategy).unwrap();
+            prop_assert_eq!(via_spec, via_core, "subject {} strategy {}", s, strategy);
+        }
+    }
+
+    /// The memoised resolver returns the same traces as the plain one.
+    #[test]
+    fn memo_agrees(
+        n in 1usize..14,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let memo = MemoResolver::new(&h, &eacm);
+        let plain = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            prop_assert_eq!(
+                memo.resolve_traced(s, PAIR.0, PAIR.1, strategy).unwrap(),
+                plain.resolve_traced(s, PAIR.0, PAIR.1, strategy).unwrap()
+            );
+        }
+    }
+
+    /// Both Dominance variants equal Resolve(D-LP-) everywhere.
+    #[test]
+    fn dominance_equals_resolve_dnlpn(
+        n in 1usize..14,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        let resolver = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            let want = resolver.resolve(s, PAIR.0, PAIR.1, strategy).unwrap();
+            prop_assert_eq!(dominance(&h, &eacm, s, PAIR.0, PAIR.1).unwrap(), want);
+            prop_assert_eq!(dominance_specialized(&h, &eacm, s, PAIR.0, PAIR.1).unwrap(), want);
+        }
+    }
+
+    /// Every propagation mode (paper future work #3) is bag-equivalent
+    /// between the per-path engine and the counting DP, not just the
+    /// default `Both`.
+    #[test]
+    fn propagation_modes_agree_across_engines(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        for mode in [
+            PropagationMode::Both,
+            PropagationMode::SecondWins,
+            PropagationMode::FirstWins,
+        ] {
+            for s in h.subjects() {
+                let recs = path_enum::propagate(
+                    &h,
+                    &eacm,
+                    s,
+                    PAIR.0,
+                    PAIR.1,
+                    path_enum::PropagateOptions { mode, ..Default::default() },
+                ).unwrap();
+                let from_paths = DistanceHistogram::from_records(&recs).unwrap();
+                let counted =
+                    counting::histogram(&h, &eacm, s, PAIR.0, PAIR.1, mode).unwrap();
+                prop_assert_eq!(&from_paths, &counted, "mode {:?} subject {}", mode, s);
+            }
+        }
+    }
+
+    /// The relational spec's full Table-3 trace (c₁, c₂, Auth, line)
+    /// matches the core resolver's, not just the final sign.
+    #[test]
+    fn relational_spec_traces_agree(
+        n in 1usize..9,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let (sdag_rel, eacm_rel) = to_relational(&h, &eacm);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let (d, l, m, p) = to_spec_rules(strategy);
+        let resolver = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            let spec_trace = spec::resolve_traced(
+                &sdag_rel, &eacm_rel, s.index() as i64, 0, 0, d, l, m, p,
+            ).unwrap();
+            let core_trace = resolver.resolve_traced(s, PAIR.0, PAIR.1, strategy).unwrap();
+            prop_assert_eq!(spec_sign(spec_trace.sign), core_trace.sign);
+            prop_assert_eq!(spec_trace.line, core_trace.line.line_number());
+            prop_assert_eq!(spec_trace.c1.map(|c| c as u128), core_trace.c1);
+            prop_assert_eq!(spec_trace.c2.map(|c| c as u128), core_trace.c2);
+            let spec_auth = spec_trace.auth.map(|v| {
+                v.into_iter().map(spec_sign).collect::<std::collections::BTreeSet<_>>()
+            });
+            prop_assert_eq!(spec_auth, core_trace.auth);
+        }
+    }
+
+    /// Resolution is total: every strategy yields a definite sign, and
+    /// resolve_histogram is deterministic.
+    #[test]
+    fn resolution_is_total_and_deterministic(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let resolver = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects().take(4) {
+            let hist = resolver.all_rights_histogram(s, PAIR.0, PAIR.1).unwrap();
+            for strategy in Strategy::all_instances() {
+                let a = resolve_histogram(&hist, strategy).unwrap();
+                let b = resolve_histogram(&hist, strategy).unwrap();
+                prop_assert_eq!(&a, &b);
+                prop_assert!(matches!(a.sign, Sign::Pos | Sign::Neg));
+            }
+        }
+    }
+}

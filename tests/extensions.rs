@@ -1,0 +1,181 @@
+//! Integration tests for the implemented future-work extensions: mixed
+//! subject/object hierarchies, propagation modes, and SoD constraints
+//! interacting with strategies.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ucra::core::engine::counting::{self, PropagationMode};
+use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::objects::{mixed_histogram, resolve_mixed_sign, ObjectDag};
+use ucra::core::{Eacm, Sign, Strategy, SubjectDag};
+
+const READ: RightId = RightId(0);
+
+fn random_world(
+    n: usize,
+    density: f64,
+    label_rate: f64,
+    seed: u64,
+) -> (SubjectDag, Eacm) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                h.add_membership(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    let mut eacm = Eacm::new();
+    for &v in &ids {
+        if rng.gen_bool(label_rate) {
+            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            eacm.set(v, ObjectId(0), READ, sign).unwrap();
+        }
+    }
+    (h, eacm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With a trivial (single-object) hierarchy the mixed resolver is
+    /// identical to the subject-only resolver, for every subject and
+    /// strategy.
+    #[test]
+    fn mixed_degenerates_to_subject_only(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, eacm) = random_world(n, density, rate, seed);
+        let mut objects = ObjectDag::new();
+        let obj = objects.add_object();
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let resolver = ucra::core::Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            prop_assert_eq!(
+                resolve_mixed_sign(&h, &objects, &eacm, s, obj, READ, strategy).unwrap(),
+                resolver.resolve(s, obj, READ, strategy).unwrap()
+            );
+        }
+    }
+
+    /// Mixed histograms respect a "transposition" sanity law: putting the
+    /// label one step up the SUBJECT hierarchy or one step up the OBJECT
+    /// hierarchy yields the same combined distance histogram.
+    #[test]
+    fn subject_and_object_distance_are_interchangeable(
+        seed in any::<u64>(),
+        pos in any::<bool>(),
+    ) {
+        let _ = seed;
+        let sign = if pos { Sign::Pos } else { Sign::Neg };
+        // subjects: g → alice; objects: folder → doc.
+        let mut subjects = SubjectDag::new();
+        let g = subjects.add_subject();
+        let alice = subjects.add_subject();
+        subjects.add_membership(g, alice).unwrap();
+        let mut objects = ObjectDag::new();
+        let folder = objects.add_object();
+        let doc = objects.add_object();
+        objects.add_containment(folder, doc).unwrap();
+
+        // (a) label on (g, doc): subject-distance 1, object-distance 0.
+        let mut ea = Eacm::new();
+        ea.set(g, doc, READ, sign).unwrap();
+        let ha = mixed_histogram(&subjects, &objects, &ea, alice, doc, READ).unwrap();
+        // (b) label on (alice, folder): subject 0, object 1.
+        let mut eb = Eacm::new();
+        eb.set(alice, folder, READ, sign).unwrap();
+        let hb = mixed_histogram(&subjects, &objects, &eb, alice, doc, READ).unwrap();
+        // Both place one `sign` record at combined distance 1. Defaults
+        // differ (g is an unlabeled root in (b)), so compare the sign
+        // strata only.
+        prop_assert_eq!(ha.at(1).get(ucra::core::Mode::from(sign)), 1);
+        prop_assert_eq!(hb.at(1).get(ucra::core::Mode::from(sign)), 1);
+    }
+}
+
+#[test]
+fn propagation_modes_differ_only_when_labels_stack() {
+    // root(+) → mid(unlabeled) → leaf: no stacking, all modes equal.
+    let mut h = SubjectDag::new();
+    let root = h.add_subject();
+    let mid = h.add_subject();
+    let leaf = h.add_subject();
+    h.add_membership(root, mid).unwrap();
+    h.add_membership(mid, leaf).unwrap();
+    let mut eacm = Eacm::new();
+    eacm.grant(root, ObjectId(0), READ).unwrap();
+    let run = |eacm: &Eacm, m| counting::histogram(&h, eacm, leaf, ObjectId(0), READ, m).unwrap();
+    assert_eq!(
+        run(&eacm, PropagationMode::Both),
+        run(&eacm, PropagationMode::SecondWins)
+    );
+    assert_eq!(
+        run(&eacm, PropagationMode::Both),
+        run(&eacm, PropagationMode::FirstWins)
+    );
+
+    // Now label mid too: the three modes diverge.
+    eacm.deny(mid, ObjectId(0), READ).unwrap();
+    let both = run(&eacm, PropagationMode::Both);
+    let second = run(&eacm, PropagationMode::SecondWins);
+    let first = run(&eacm, PropagationMode::FirstWins);
+    assert_ne!(both, second);
+    assert_ne!(both, first);
+    assert_ne!(second, first);
+    // Both: sees + at 2 and - at 1. Second: only - at 1. First: only + at 2.
+    assert_eq!((both.at(2).pos, both.at(1).neg), (1, 1));
+    assert_eq!((second.at(2).pos, second.at(1).neg), (0, 1));
+    assert_eq!((first.at(2).pos, first.at(1).neg), (1, 0));
+}
+
+#[test]
+fn sod_interacts_with_strategy_choice() {
+    use ucra::core::constraints::{check_sod, SodConstraint};
+    use ucra::core::EffectiveMatrix;
+    // One auditor in both the payers and the approvers.
+    let mut h = SubjectDag::new();
+    let payers = h.add_subject();
+    let approvers = h.add_subject();
+    let auditor = h.add_subject();
+    h.add_membership(payers, auditor).unwrap();
+    h.add_membership(approvers, auditor).unwrap();
+    let pay = (ObjectId(0), RightId(0));
+    let approve = (ObjectId(0), RightId(1));
+    let mut eacm = Eacm::new();
+    eacm.grant(payers, pay.0, pay.1).unwrap();
+    eacm.grant(approvers, approve.0, approve.1).unwrap();
+    // Explicitly deny the auditor the approve right: most-specific saves
+    // the constraint, majority-with-open-default breaks it.
+    eacm.deny(auditor, approve.0, approve.1).unwrap();
+
+    let constraint = SodConstraint::mutual_exclusion("pay-vs-approve", vec![pay, approve]);
+    let strict = EffectiveMatrix::compute_for_pairs(
+        &h,
+        &eacm,
+        "LP-".parse().unwrap(),
+        &[pay, approve],
+    )
+    .unwrap();
+    assert!(check_sod(&h, &strict, std::slice::from_ref(&constraint)).is_empty());
+
+    let lax = EffectiveMatrix::compute_for_pairs(
+        &h,
+        &eacm,
+        "D+MP+".parse().unwrap(),
+        &[pay, approve],
+    )
+    .unwrap();
+    let violations = check_sod(&h, &lax, std::slice::from_ref(&constraint));
+    assert!(
+        violations.iter().any(|v| v.subject == auditor),
+        "open-default majority lets the auditor hold both: {violations:?}"
+    );
+}

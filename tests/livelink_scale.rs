@@ -1,0 +1,95 @@
+//! Enterprise-scale smoke test: the default Livelink-calibrated
+//! hierarchy (8k+ subjects, 22k+ edges), checked for engine agreement,
+//! Dominance equivalence, memo-cache consistency and statistic ranges —
+//! the workload behind the paper's Figure 7, exercised at full size.
+
+use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::{
+    dominance, dominance_specialized, DistanceHistogram, MemoResolver, Resolver, Strategy,
+};
+use ucra::workload::auth::{assign_by_edges, AuthConfig};
+use ucra::workload::livelink::{livelink, LivelinkConfig};
+use ucra::workload::rng;
+use ucra::workload::stats::query_stats;
+
+const PAIR: (ucra::core::ObjectId, ucra::core::RightId) =
+    (ucra::core::ObjectId(0), ucra::core::RightId(0));
+
+#[test]
+fn full_scale_engines_agree_on_sampled_users() {
+    let mut r = rng(2007);
+    let l = livelink(LivelinkConfig::default(), &mut r);
+    let (eacm, _) = assign_by_edges(
+        &l.hierarchy,
+        AuthConfig { rate: 0.007, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        &mut r,
+    );
+    let resolver = Resolver::new(&l.hierarchy, &eacm);
+    let memo = MemoResolver::new(&l.hierarchy, &eacm);
+    let strategies: Vec<Strategy> = ["D-LP-", "D+GMP+", "MP-", "LMP+"]
+        .iter()
+        .map(|m| m.parse().unwrap())
+        .collect();
+
+    for &user in l.users.iter().step_by(79) {
+        // Counting vs path-enumeration histograms.
+        let recs = path_enum::propagate(
+            &l.hierarchy,
+            &eacm,
+            user,
+            PAIR.0,
+            PAIR.1,
+            PropagateOptions::with_budget(50_000_000),
+        )
+        .unwrap();
+        let from_paths = DistanceHistogram::from_records(&recs).unwrap();
+        let counted = resolver.all_rights_histogram(user, PAIR.0, PAIR.1).unwrap();
+        assert_eq!(from_paths, counted, "user {user}");
+
+        // Resolutions across resolver flavours.
+        for &s in &strategies {
+            assert_eq!(
+                resolver.resolve_traced(user, PAIR.0, PAIR.1, s).unwrap(),
+                memo.resolve_traced(user, PAIR.0, PAIR.1, s).unwrap(),
+                "user {user} strategy {s}"
+            );
+        }
+
+        // Dominance variants = Resolve(D-LP-).
+        let want = resolver
+            .resolve(user, PAIR.0, PAIR.1, "D-LP-".parse().unwrap())
+            .unwrap();
+        assert_eq!(dominance(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1).unwrap(), want);
+        assert_eq!(
+            dominance_specialized(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1).unwrap(),
+            want
+        );
+    }
+    // The whole batch shares one cached sweep.
+    assert_eq!(memo.cached_sweeps(), 1);
+}
+
+#[test]
+fn full_scale_query_stats_are_in_papers_ranges() {
+    let mut r = rng(2007);
+    let l = livelink(LivelinkConfig::default(), &mut r);
+    let (eacm, _) = assign_by_edges(
+        &l.hierarchy,
+        AuthConfig { rate: 0.007, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        &mut r,
+    );
+    let mut max_nodes = 0usize;
+    let mut max_d = 0u128;
+    for &user in l.users.iter().step_by(41) {
+        let st = query_stats(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1);
+        assert!(st.subgraph_nodes >= 2, "every user has a group");
+        assert!(st.roots >= 1);
+        // d counts at least one path from each source.
+        assert!(st.d >= st.labeled_ancestors as u128);
+        max_nodes = max_nodes.max(st.subgraph_nodes);
+        max_d = max_d.max(st.d);
+    }
+    // Far from the exponential regime — the paper's Fig. 7(b) conclusion.
+    assert!(max_nodes < l.hierarchy.subject_count());
+    assert!(max_d < 1_000_000, "d stays polynomial-sized (got {max_d})");
+}

@@ -1,0 +1,237 @@
+//! Golden tests: the paper's Tables 1–4, byte-for-byte against the
+//! published values, on the reconstructed motivating example.
+
+use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::motivating::motivating_example;
+use ucra::core::{DecisionLine, Mode, Resolver, Sign, Strategy};
+
+/// Table 1: the six `allRights` rows of ⟨User, obj, read⟩.
+#[test]
+fn table_1_all_rights_of_user() {
+    let ex = motivating_example();
+    let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+    let mut rows: Vec<(u32, Mode)> = resolver
+        .all_rights_records(ex.user, ex.obj, ex.read)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.dis, r.mode))
+        .collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            (1, Mode::Pos),
+            (1, Mode::Neg),
+            (1, Mode::Default),
+            (2, Mode::Default),
+            (3, Mode::Pos),
+            (3, Mode::Default),
+        ]
+    );
+}
+
+/// Table 2: all 48 strategy instances on the motivating example.
+#[test]
+fn table_2_all_48_strategies() {
+    let ex = motivating_example();
+    let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+    let expected: &[(&str, Sign)] = &[
+        // Column 1 of the paper's Table 2.
+        ("D+LMP+", Sign::Pos), ("D+LMP-", Sign::Pos),
+        ("D-LMP+", Sign::Neg), ("D-LMP-", Sign::Neg),
+        ("D+GMP+", Sign::Pos), ("D+GMP-", Sign::Pos),
+        ("D-GMP+", Sign::Pos), ("D-GMP-", Sign::Neg),
+        ("D+MP+", Sign::Pos), ("D+MP-", Sign::Pos),
+        ("D-MP+", Sign::Neg), ("D-MP-", Sign::Neg),
+        // Column 2.
+        ("D+LP+", Sign::Pos), ("D+LP-", Sign::Neg),
+        ("D-LP+", Sign::Pos), ("D-LP-", Sign::Neg),
+        ("D+GP+", Sign::Pos), ("D+GP-", Sign::Pos),
+        ("D-GP+", Sign::Pos), ("D-GP-", Sign::Neg),
+        ("D+P+", Sign::Pos), ("D+P-", Sign::Neg),
+        ("D-P+", Sign::Pos), ("D-P-", Sign::Neg),
+        // Column 3.
+        ("LMP+", Sign::Pos), ("LMP-", Sign::Neg),
+        ("GMP+", Sign::Pos), ("GMP-", Sign::Pos),
+        ("MP+", Sign::Pos), ("MP-", Sign::Pos),
+        ("LP+", Sign::Pos), ("LP-", Sign::Neg),
+        ("GP+", Sign::Pos), ("GP-", Sign::Pos),
+        ("P+", Sign::Pos), ("P-", Sign::Neg),
+        // Column 4.
+        ("D+MLP+", Sign::Pos), ("D+MLP-", Sign::Pos),
+        ("D-MLP+", Sign::Neg), ("D-MLP-", Sign::Neg),
+        ("D+MGP+", Sign::Pos), ("D+MGP-", Sign::Pos),
+        ("D-MGP+", Sign::Neg), ("D-MGP-", Sign::Neg),
+        ("MLP+", Sign::Pos), ("MLP-", Sign::Pos),
+        ("MGP+", Sign::Pos), ("MGP-", Sign::Pos),
+    ];
+    assert_eq!(expected.len(), 48);
+    for &(mnemonic, want) in expected {
+        let strategy: Strategy = mnemonic.parse().unwrap();
+        let got = resolver.resolve(ex.user, ex.obj, ex.read, strategy).unwrap();
+        assert_eq!(got, want, "Table 2 mismatch for {mnemonic}");
+    }
+    // And the mnemonics cover every canonical instance exactly once.
+    let mut parsed: Vec<Strategy> = expected
+        .iter()
+        .map(|(m, _)| m.parse().unwrap())
+        .collect();
+    parsed.sort();
+    parsed.dedup();
+    assert_eq!(parsed.len(), 48);
+}
+
+/// Table 3: the traced runs for the paper's eight selected strategies.
+#[test]
+fn table_3_traces() {
+    let ex = motivating_example();
+    let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+    let run = |m: &str| {
+        resolver
+            .resolve_traced(ex.user, ex.obj, ex.read, m.parse().unwrap())
+            .unwrap()
+    };
+    let both = || Some([Sign::Pos, Sign::Neg].into_iter().collect());
+
+    let r = run("D+LMP+");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (Some(2), Some(1), None, Sign::Pos, DecisionLine::Majority)
+    );
+    let r = run("D-GMP-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (Some(1), Some(1), both(), Sign::Neg, DecisionLine::Preference)
+    );
+    let r = run("D-MP-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (Some(2), Some(4), None, Sign::Neg, DecisionLine::Majority)
+    );
+    let r = run("D-LP+");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (None, None, both(), Sign::Pos, DecisionLine::Preference)
+    );
+    let r = run("D+GP-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (
+            None,
+            None,
+            Some([Sign::Pos].into_iter().collect()),
+            Sign::Pos,
+            DecisionLine::Locality
+        )
+    );
+    let r = run("GMP-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (Some(1), Some(0), None, Sign::Pos, DecisionLine::Majority)
+    );
+    let r = run("P-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (None, None, both(), Sign::Neg, DecisionLine::Preference)
+    );
+    // MGP-: the paper's table prints c1=1, c2=0 but Fig. 4 (and the §2.2
+    // prose) give c1=2, c2=1 — same decision. We assert the Fig. 4 trace.
+    let r = run("MGP-");
+    assert_eq!(
+        (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
+        (Some(2), Some(1), None, Sign::Pos, DecisionLine::Majority)
+    );
+}
+
+/// Table 4: the full propagation relation P (15 rows, per subject).
+#[test]
+fn table_4_full_propagation() {
+    let ex = motivating_example();
+    let all = path_enum::propagate_all(
+        &ex.hierarchy,
+        &ex.eacm,
+        ex.user,
+        ex.obj,
+        ex.read,
+        PropagateOptions::default(),
+    )
+    .unwrap();
+    let mut rows: Vec<(String, u32, Mode)> = Vec::new();
+    for (subject, records) in &all {
+        for r in records {
+            rows.push((ex.name(*subject), r.dis, r.mode));
+        }
+    }
+    rows.sort();
+    let expect: Vec<(String, u32, Mode)> = [
+        ("S1", 0, Mode::Default),
+        ("S2", 0, Mode::Pos),
+        ("S3", 1, Mode::Pos),
+        ("S3", 1, Mode::Default),
+        ("S5", 0, Mode::Neg),
+        ("S5", 1, Mode::Default),
+        ("S5", 2, Mode::Pos),
+        ("S5", 2, Mode::Default),
+        ("S6", 0, Mode::Default),
+        ("User", 1, Mode::Pos),
+        ("User", 1, Mode::Neg),
+        ("User", 1, Mode::Default),
+        ("User", 2, Mode::Default),
+        ("User", 3, Mode::Pos),
+        ("User", 3, Mode::Default),
+    ]
+    .into_iter()
+    .map(|(n, d, m)| (n.to_string(), d, m))
+    .collect();
+    let mut expect = expect;
+    expect.sort();
+    assert_eq!(rows, expect, "Table 4 rows");
+}
+
+/// The relational-algebra spec reproduces Table 1 identically.
+#[test]
+fn relational_spec_agrees_on_table_1() {
+    use ucra::relational::spec;
+    let ex = motivating_example();
+    let edges: Vec<(i64, i64)> = ex
+        .hierarchy
+        .graph()
+        .edges()
+        .map(|(p, c)| (p.index() as i64, c.index() as i64))
+        .collect();
+    let entries: Vec<(i64, i64, i64, spec::Sign)> = ex
+        .eacm
+        .iter()
+        .map(|(s, o, r, sign)| {
+            let sign = match sign {
+                Sign::Pos => spec::Sign::Pos,
+                Sign::Neg => spec::Sign::Neg,
+            };
+            (s.index() as i64, o.0 as i64, r.0 as i64, sign)
+        })
+        .collect();
+    let sdag = spec::sdag_relation(&edges);
+    let eacm = spec::eacm_relation(&entries);
+    let all = spec::propagate(&sdag, &eacm, ex.user.index() as i64, 0, 0).unwrap();
+    let mut rows: Vec<(i64, String)> = all
+        .rows()
+        .map(|r| {
+            (
+                r[3].as_int().unwrap(),
+                r[4].as_text().unwrap().to_string(),
+            )
+        })
+        .collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            (1, "+".to_string()),
+            (1, "-".to_string()),
+            (1, "d".to_string()),
+            (2, "d".to_string()),
+            (3, "+".to_string()),
+            (3, "d".to_string()),
+        ]
+    );
+}

@@ -1,0 +1,97 @@
+//! Differential testing of [`ucra::core::AccessSession`]'s cache
+//! maintenance: apply a random sequence of mutations and queries, and
+//! after every query compare the session's (cached) answer against a
+//! fresh, cache-free resolver over the same state. Any stale-cache bug
+//! shows up as a divergence.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _; // `ucra::core::Strategy` shadows the trait name
+use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::{AccessSession, Resolver, Sign, Strategy};
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+enum Op {
+    AddSubject,
+    /// Membership (group_ix, member_ix) — indices into created subjects,
+    /// skipped if they'd alias or the edge is invalid.
+    AddMembership(usize, usize),
+    Set(usize, u32, u32, bool),
+    Unset(usize, u32, u32),
+    SwitchStrategy(usize),
+    Check(usize, u32, u32),
+}
+
+fn op_strategy() -> impl proptest::strategy::Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::AddSubject),
+        3 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::AddMembership(a, b)),
+        3 => (any::<usize>(), 0u32..3, 0u32..2, any::<bool>())
+            .prop_map(|(s, o, r, g)| Op::Set(s, o, r, g)),
+        1 => (any::<usize>(), 0u32..3, 0u32..2).prop_map(|(s, o, r)| Op::Unset(s, o, r)),
+        1 => (0usize..48).prop_map(Op::SwitchStrategy),
+        6 => (any::<usize>(), 0u32..3, 0u32..2).prop_map(|(s, o, r)| Op::Check(s, o, r)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn session_never_serves_stale_answers(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let strategies = Strategy::all_instances();
+        let mut session = AccessSession::empty("D-LP-".parse().unwrap());
+        // Seed a few subjects so early ops have targets.
+        for _ in 0..3 {
+            session.add_subject();
+        }
+        let mut checks = 0usize;
+        for op in ops {
+            match op {
+                Op::AddSubject => {
+                    session.add_subject();
+                }
+                Op::AddMembership(a, b) => {
+                    let n = session.hierarchy().subject_count();
+                    let g = ucra::core::SubjectId::from_index(a % n);
+                    let m = ucra::core::SubjectId::from_index(b % n);
+                    // Cycles/duplicates/self-edges are legal to attempt.
+                    let _ = session.add_membership(g, m);
+                }
+                Op::Set(s, o, r, grant) => {
+                    let n = session.hierarchy().subject_count();
+                    let subject = ucra::core::SubjectId::from_index(s % n);
+                    let sign = if grant { Sign::Pos } else { Sign::Neg };
+                    // Contradictions are legal to attempt.
+                    let _ = session.set_authorization(subject, ObjectId(o), RightId(r), sign);
+                }
+                Op::Unset(s, o, r) => {
+                    let n = session.hierarchy().subject_count();
+                    let subject = ucra::core::SubjectId::from_index(s % n);
+                    session.unset_authorization(subject, ObjectId(o), RightId(r));
+                }
+                Op::SwitchStrategy(ix) => {
+                    session.set_strategy(strategies[ix]);
+                }
+                Op::Check(s, o, r) => {
+                    checks += 1;
+                    let n = session.hierarchy().subject_count();
+                    let subject = ucra::core::SubjectId::from_index(s % n);
+                    let cached = session
+                        .check_traced(subject, ObjectId(o), RightId(r))
+                        .unwrap();
+                    let fresh = Resolver::new(session.hierarchy(), session.eacm())
+                        .resolve_traced(subject, ObjectId(o), RightId(r), session.strategy())
+                        .unwrap();
+                    prop_assert_eq!(cached, fresh, "stale cache after mutations");
+                }
+            }
+        }
+        // The run exercised the cache if it checked anything at all.
+        if checks > 0 {
+            prop_assert!(session.stats().queries as usize >= checks);
+        }
+    }
+}

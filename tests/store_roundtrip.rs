@@ -1,0 +1,84 @@
+//! Integration: the named store layer, text and JSON persistence, and
+//! agreement with the core resolver across formats.
+
+use ucra::core::{Sign, Strategy};
+use ucra::store::{text, AccessModel};
+
+const POLICY: &str = r"
+# Motivating example, as an administrator would write it.
+member S1 S3
+member S2 S3
+member S2 User
+member S3 S5
+member S5 User
+member S6 S5
+member S6 User
+grant S2 obj read
+deny  S5 obj read
+strategy D-LP-
+";
+
+#[test]
+fn text_json_text_round_trip_preserves_all_48_decisions() {
+    let model = text::parse(POLICY).unwrap();
+    let as_json = model.to_json();
+    let from_json = AccessModel::from_json(&as_json).unwrap();
+    let as_text = text::render(&from_json);
+    let back = text::parse(&as_text).unwrap();
+    for strategy in Strategy::all_instances() {
+        assert_eq!(
+            back.check_with("User", "obj", "read", strategy).unwrap(),
+            model.check_with("User", "obj", "read", strategy).unwrap(),
+            "strategy {strategy}"
+        );
+    }
+}
+
+#[test]
+fn configured_strategy_drives_check() {
+    let model = text::parse(POLICY).unwrap();
+    assert_eq!(model.default_strategy().unwrap().mnemonic(), "D-LP-");
+    assert_eq!(model.check("User", "obj", "read").unwrap(), Sign::Neg);
+}
+
+#[test]
+fn strategy_swap_is_one_line() {
+    let mut model = text::parse(POLICY).unwrap();
+    model.set_default_strategy("D+LMP+".parse().unwrap());
+    assert_eq!(model.check("User", "obj", "read").unwrap(), Sign::Pos);
+}
+
+#[test]
+fn effective_matrix_from_named_model() {
+    use ucra::core::EffectiveMatrix;
+    let model = text::parse(POLICY).unwrap();
+    let matrix = EffectiveMatrix::compute(
+        model.hierarchy(),
+        model.eacm(),
+        "D-LP-".parse().unwrap(),
+    )
+    .unwrap();
+    let user = model.subject_id("User").unwrap();
+    let obj = model.object_id("obj").unwrap();
+    let read = model.right_id("read").unwrap();
+    assert_eq!(matrix.sign(user, obj, read), Some(Sign::Neg));
+    // Every subject gets a definite effective value.
+    for s in model.hierarchy().subjects() {
+        assert!(matrix.sign(s, obj, read).is_some());
+    }
+}
+
+#[test]
+fn memo_resolver_agrees_with_named_checks() {
+    let model = text::parse(POLICY).unwrap();
+    let memo = model.memo_resolver();
+    let user = model.subject_id("User").unwrap();
+    let obj = model.object_id("obj").unwrap();
+    let read = model.right_id("read").unwrap();
+    for strategy in Strategy::all_instances() {
+        assert_eq!(
+            memo.resolve(user, obj, read, strategy).unwrap(),
+            model.check_with("User", "obj", "read", strategy).unwrap()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Semantic invariants of the strategy framework, checked on random
+//! worlds. These are the properties §2 of the paper argues informally.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::{
+    DecisionLine, DefaultRule, Eacm, LocalityRule, MajorityRule, Resolver, Sign, Strategy,
+    SubjectDag,
+};
+
+const PAIR: (ObjectId, RightId) = (ObjectId(0), RightId(0));
+
+fn world(n: usize, density: f64, label_rate: f64, seed: u64) -> (SubjectDag, Eacm) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                h.add_membership(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    let mut eacm = Eacm::new();
+    for &v in &ids {
+        if rng.gen_bool(label_rate) {
+            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            eacm.set(v, PAIR.0, PAIR.1, sign).unwrap();
+        }
+    }
+    (h, eacm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Flipping only the preference sign changes the outcome exactly on
+    /// the queries the preference decided (Line 9), and nowhere else.
+    #[test]
+    fn preference_only_matters_at_line_9(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, eacm) = world(n, density, rate, seed);
+        let resolver = Resolver::new(&h, &eacm);
+        let s = Strategy::all_instances()[strategy_ix];
+        let flipped = Strategy::new(
+            s.default_rule(),
+            s.locality_rule(),
+            s.majority_rule(),
+            s.preference_rule().flipped(),
+        );
+        for subject in h.subjects() {
+            let a = resolver.resolve_traced(subject, PAIR.0, PAIR.1, s).unwrap();
+            let b = resolver.resolve_traced(subject, PAIR.0, PAIR.1, flipped).unwrap();
+            prop_assert_eq!(a.line, b.line, "deciding line is preference-independent");
+            if a.line == DecisionLine::Preference {
+                prop_assert_eq!(a.sign, b.sign.flipped());
+            } else {
+                prop_assert_eq!(a.sign, b.sign);
+            }
+        }
+    }
+
+    /// With no explicit labels anywhere, the decision is fully dictated
+    /// by the default policy (and by the preference when defaults are
+    /// off).
+    #[test]
+    fn unlabeled_world_follows_default_then_preference(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..48,
+    ) {
+        let (h, _) = world(n, density, 0.0, seed);
+        let eacm = Eacm::new();
+        let resolver = Resolver::new(&h, &eacm);
+        let s = Strategy::all_instances()[strategy_ix];
+        for subject in h.subjects() {
+            let got = resolver.resolve(subject, PAIR.0, PAIR.1, s).unwrap();
+            let want = match s.default_rule() {
+                DefaultRule::Pos => Sign::Pos,
+                DefaultRule::Neg => Sign::Neg,
+                DefaultRule::NoDefault => s.preference_rule(),
+            };
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A subject with its own explicit label always resolves to that
+    /// label under any most-specific strategy without majority: distance
+    /// 0 beats everything.
+    #[test]
+    fn own_label_wins_under_most_specific(
+        n in 2usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+        d_ix in 0usize..3,
+        p_pos in any::<bool>(),
+    ) {
+        let (h, mut eacm) = world(n, density, rate, seed);
+        let subject = h.subjects().last().unwrap();
+        eacm.unset(subject, PAIR.0, PAIR.1);
+        eacm.set(subject, PAIR.0, PAIR.1, Sign::Neg).unwrap();
+        let d = [DefaultRule::Pos, DefaultRule::Neg, DefaultRule::NoDefault][d_ix];
+        let p = if p_pos { Sign::Pos } else { Sign::Neg };
+        let strategy = Strategy::new(d, LocalityRule::MostSpecific, MajorityRule::Skip, p);
+        let resolver = Resolver::new(&h, &eacm);
+        prop_assert_eq!(
+            resolver.resolve(subject, PAIR.0, PAIR.1, strategy).unwrap(),
+            Sign::Neg
+        );
+    }
+
+    /// Strategy canonicalisation: parsing a mnemonic and rebuilding from
+    /// the accessors is the identity, for all 48.
+    #[test]
+    fn strategy_accessors_rebuild_identity(strategy_ix in 0usize..48) {
+        let s = Strategy::all_instances()[strategy_ix];
+        let rebuilt = Strategy::new(
+            s.default_rule(),
+            s.locality_rule(),
+            s.majority_rule(),
+            s.preference_rule(),
+        );
+        prop_assert_eq!(s, rebuilt);
+        let parsed: Strategy = s.mnemonic().parse().unwrap();
+        prop_assert_eq!(s, parsed);
+    }
+
+    /// On a pure chain (one path), locality min and the Dominance-style
+    /// nearest-label semantics coincide for D-LP-; and majority equals
+    /// counting the labels above.
+    #[test]
+    fn chain_world_sanity(
+        len in 1usize..10,
+        labels in proptest::collection::vec(proptest::option::of(any::<bool>()), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let mut h = SubjectDag::new();
+        let n = len.max(labels.len());
+        let ids = h.add_subjects(n);
+        for w in ids.windows(2) {
+            h.add_membership(w[0], w[1]).unwrap();
+        }
+        let mut eacm = Eacm::new();
+        for (i, lab) in labels.iter().enumerate().take(n) {
+            if let Some(pos) = lab {
+                eacm.set(ids[i], PAIR.0, PAIR.1, if *pos { Sign::Pos } else { Sign::Neg }).unwrap();
+            }
+        }
+        let sink = ids[n - 1];
+        let resolver = Resolver::new(&h, &eacm);
+        // Nearest label above the sink (or the root default) decides.
+        let nearest = (0..n).rev().find_map(|i| {
+            eacm.label(ids[i], PAIR.0, PAIR.1)
+        });
+        let expected = match nearest {
+            // On a chain, if ANY label exists, the nearest one to the sink
+            // is strictly closer than the root default (the root is
+            // labeled or farther), except when the root itself carries the
+            // nearest label — then there is no default at all.
+            Some(sign) => sign,
+            None => Sign::Neg, // only the root default remains
+        };
+        prop_assert_eq!(
+            resolver.resolve(sink, PAIR.0, PAIR.1, "D-LP-".parse().unwrap()).unwrap(),
+            expected
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// §5 equivalences on random worlds: XACML deny-overrides with a deny
+    /// default is the strategy instance P-, permit-overrides with a
+    /// permit default is P+, and Bertino et al.'s weak/strong model is
+    /// D-LP-.
+    #[test]
+    fn related_work_equivalences(
+        n in 1usize..13,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        use ucra::core::related::{
+            bertino_weak_strong, combine, with_default, CombiningAlgorithm,
+        };
+        let (h, eacm) = world(n, density, rate, seed);
+        let resolver = Resolver::new(&h, &eacm);
+        for s in h.subjects() {
+            let hist = resolver.all_rights_histogram(s, PAIR.0, PAIR.1).unwrap();
+            prop_assert_eq!(
+                with_default(combine(&hist, CombiningAlgorithm::DenyOverrides), Sign::Neg),
+                resolver.resolve(s, PAIR.0, PAIR.1, "P-".parse().unwrap()).unwrap()
+            );
+            prop_assert_eq!(
+                with_default(combine(&hist, CombiningAlgorithm::PermitOverrides), Sign::Pos),
+                resolver.resolve(s, PAIR.0, PAIR.1, "P+".parse().unwrap()).unwrap()
+            );
+            prop_assert_eq!(
+                bertino_weak_strong(&h, &eacm, s, PAIR.0, PAIR.1).unwrap(),
+                resolver.resolve(s, PAIR.0, PAIR.1, "D-LP-".parse().unwrap()).unwrap()
+            );
+        }
+    }
+}
+
+/// The locality filter is conservative: under `L` (most specific) and no
+/// majority, adding a *farther* authorization never changes the result.
+#[test]
+fn farther_labels_cannot_override_most_specific() {
+    // chain: a → b → c, label b, then add a label on a (farther from c).
+    let mut h = SubjectDag::new();
+    let a = h.add_subject();
+    let b = h.add_subject();
+    let c = h.add_subject();
+    h.add_membership(a, b).unwrap();
+    h.add_membership(b, c).unwrap();
+    for near in [Sign::Pos, Sign::Neg] {
+        for far in [Sign::Pos, Sign::Neg] {
+            let mut eacm = Eacm::new();
+            eacm.set(b, PAIR.0, PAIR.1, near).unwrap();
+            let before = Resolver::new(&h, &eacm)
+                .resolve(c, PAIR.0, PAIR.1, "D-LP-".parse().unwrap())
+                .unwrap();
+            eacm.set(a, PAIR.0, PAIR.1, far).unwrap();
+            let after = Resolver::new(&h, &eacm)
+                .resolve(c, PAIR.0, PAIR.1, "D-LP-".parse().unwrap())
+                .unwrap();
+            assert_eq!(before, after, "near={near:?} far={far:?}");
+            assert_eq!(after, near);
+        }
+    }
+}
