@@ -16,13 +16,17 @@ use ucra_workload::rng;
 fn bench_effective(c: &mut Criterion) {
     let mut r = rng(2007);
     let org = livelink(
-        LivelinkConfig { groups: 1500, roots: 10, users: 400, ..Default::default() },
+        LivelinkConfig {
+            groups: 1500,
+            roots: 10,
+            users: 400,
+            ..Default::default()
+        },
         &mut r,
     );
     let pairs_n = 8u32;
     let eacm = assign_matrix(&org.hierarchy, pairs_n, 1, 0.01, 0.3, &mut r);
-    let pairs: Vec<(ObjectId, RightId)> =
-        (0..pairs_n).map(|o| (ObjectId(o), RightId(0))).collect();
+    let pairs: Vec<(ObjectId, RightId)> = (0..pairs_n).map(|o| (ObjectId(o), RightId(0))).collect();
     let strategy: Strategy = "D-LP-".parse().expect("mnemonic");
 
     let mut group = c.benchmark_group("ablation_effective_matrix");
@@ -59,7 +63,7 @@ fn bench_effective(c: &mut Criterion) {
     )
     .unwrap();
     group.bench_function("diff_closed_vs_open", |b| {
-        b.iter(|| closed.diff(&open).len())
+        b.iter(|| closed.diff(&open).changed.len())
     });
     group.finish();
 }

@@ -24,7 +24,9 @@ fn bench_memo(c: &mut Criterion) {
         b.iter(|| {
             let mut pos = 0usize;
             for &s in &sinks {
-                pos += (resolver.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                pos += (resolver
+                    .resolve(s, PAIR.0, PAIR.1, strategy)
+                    .expect("total")
                     == ucra_core::Sign::Pos) as usize;
             }
             pos
@@ -45,7 +47,8 @@ fn bench_memo(c: &mut Criterion) {
     group.bench_function("memoised_batch_warm", |b| {
         let memo = MemoResolver::new(&l.hierarchy, &eacm);
         // Warm the cache once.
-        memo.resolve(sinks[0], PAIR.0, PAIR.1, strategy).expect("total");
+        memo.resolve(sinks[0], PAIR.0, PAIR.1, strategy)
+            .expect("total");
         b.iter(|| {
             let mut pos = 0usize;
             for &s in &sinks {

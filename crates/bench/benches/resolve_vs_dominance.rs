@@ -42,7 +42,9 @@ fn bench_resolve_vs_dominance(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0usize;
             for &s in &sinks {
-                acc += (resolver.resolve(s, PAIR.0, PAIR.1, strategy).expect("total")
+                acc += (resolver
+                    .resolve(s, PAIR.0, PAIR.1, strategy)
+                    .expect("total")
                     == ucra_core::Sign::Pos) as usize;
             }
             acc

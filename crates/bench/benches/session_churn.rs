@@ -17,7 +17,12 @@ use ucra_workload::rng;
 fn bench_churn(c: &mut Criterion) {
     let mut r = rng(2007);
     let org = livelink(
-        LivelinkConfig { groups: 1200, roots: 8, users: 300, ..Default::default() },
+        LivelinkConfig {
+            groups: 1200,
+            roots: 8,
+            users: 300,
+            ..Default::default()
+        },
         &mut r,
     );
     let base_eacm = assign_matrix(&org.hierarchy, 4, 1, 0.01, 0.3, &mut r);
@@ -30,69 +35,115 @@ fn bench_churn(c: &mut Criterion) {
 
     for &update_share in &[0.0f64, 0.02, 0.20] {
         let ops = trace(
-            ChurnConfig { ops: 600, update_share, objects: 4, rights: 1, ..Default::default() },
+            ChurnConfig {
+                ops: 600,
+                update_share,
+                objects: 4,
+                rights: 1,
+                ..Default::default()
+            },
             &org.users,
             &org.groups,
             &mut r,
         );
         let label = format!("upd{}pct", (update_share * 100.0) as u32);
 
-        group.bench_with_input(BenchmarkId::new("session_cached", &label), &ops, |b, ops| {
-            b.iter(|| {
-                let mut session = AccessSession::new(
-                    org.hierarchy.clone(),
-                    base_eacm.clone(),
-                    strategy,
-                );
-                let mut granted = 0usize;
-                for op in ops {
-                    match *op {
-                        ChurnOp::Check { subject, object, right } => {
-                            granted += (session.check(subject, object, right).expect("total")
-                                == Sign::Pos) as usize;
-                        }
-                        ChurnOp::SetLabel { subject, object, right, sign } => {
-                            // Contradictions with the base matrix are
-                            // expected occasionally; unset-then-set keeps
-                            // the trace applicable.
-                            if session.set_authorization(subject, object, right, sign).is_err() {
-                                session.unset_authorization(subject, object, right);
-                                session
+        group.bench_with_input(
+            BenchmarkId::new("session_cached", &label),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let mut session =
+                        AccessSession::new(org.hierarchy.clone(), base_eacm.clone(), strategy);
+                    let mut granted = 0usize;
+                    for op in ops {
+                        match *op {
+                            ChurnOp::Check {
+                                subject,
+                                object,
+                                right,
+                            } => {
+                                granted += (session.check(subject, object, right).expect("total")
+                                    == Sign::Pos)
+                                    as usize;
+                            }
+                            ChurnOp::SetLabel {
+                                subject,
+                                object,
+                                right,
+                                sign,
+                            } => {
+                                // Contradictions with the base matrix are
+                                // expected occasionally; unset-then-set keeps
+                                // the trace applicable.
+                                if session
                                     .set_authorization(subject, object, right, sign)
-                                    .expect("fresh after unset");
+                                    .is_err()
+                                {
+                                    session.unset_authorization(subject, object, right);
+                                    session
+                                        .set_authorization(subject, object, right, sign)
+                                        .expect("fresh after unset");
+                                }
+                            }
+                            ChurnOp::UnsetLabel {
+                                subject,
+                                object,
+                                right,
+                            } => {
+                                session.unset_authorization(subject, object, right);
+                            }
+                            ChurnOp::AddMembership { group, member } => {
+                                // Duplicate edges are expected occasionally;
+                                // both arms skip them identically.
+                                let _ = session.add_membership(group, member);
                             }
                         }
-                        ChurnOp::UnsetLabel { subject, object, right } => {
-                            session.unset_authorization(subject, object, right);
-                        }
                     }
-                }
-                granted
-            })
-        });
+                    granted
+                })
+            },
+        );
 
         group.bench_with_input(BenchmarkId::new("uncached", &label), &ops, |b, ops| {
             b.iter(|| {
+                let mut hierarchy = org.hierarchy.clone();
                 let mut eacm = base_eacm.clone();
                 let mut granted = 0usize;
                 for op in ops {
                     match *op {
-                        ChurnOp::Check { subject, object, right } => {
-                            let resolver = Resolver::new(&org.hierarchy, &eacm);
+                        ChurnOp::Check {
+                            subject,
+                            object,
+                            right,
+                        } => {
+                            let resolver = Resolver::new(&hierarchy, &eacm);
                             granted += (resolver
                                 .resolve(subject, object, right, strategy)
                                 .expect("total")
                                 == Sign::Pos) as usize;
                         }
-                        ChurnOp::SetLabel { subject, object, right, sign } => {
+                        ChurnOp::SetLabel {
+                            subject,
+                            object,
+                            right,
+                            sign,
+                        } => {
                             if eacm.set(subject, object, right, sign).is_err() {
                                 eacm.unset(subject, object, right);
                                 eacm.set(subject, object, right, sign)
                                     .expect("fresh after unset");
                             }
                         }
-                        ChurnOp::UnsetLabel { subject, object, right } => {
+                        ChurnOp::UnsetLabel {
+                            subject,
+                            object,
+                            right,
+                        } => {
                             eacm.unset(subject, object, right);
+                        }
+                        ChurnOp::AddMembership { group, member } => {
+                            let _ = hierarchy.add_membership(group, member);
                         }
                     }
                 }
@@ -100,6 +151,86 @@ fn bench_churn(c: &mut Criterion) {
             })
         });
     }
+
+    // Edit-heavy variant: every second update is a membership edge. The
+    // incremental repair path must keep the cache alive — zero full
+    // invalidations, and far fewer repaired rows than rebuilding every
+    // cached table would cost.
+    let ops = trace(
+        ChurnConfig {
+            ops: 600,
+            update_share: 0.20,
+            membership_share: 0.5,
+            objects: 4,
+            rights: 1,
+            ..Default::default()
+        },
+        &org.users,
+        &org.groups,
+        &mut r,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("session_cached", "membership_heavy"),
+        &ops,
+        |b, ops| {
+            b.iter(|| {
+                let mut session =
+                    AccessSession::new(org.hierarchy.clone(), base_eacm.clone(), strategy);
+                let mut granted = 0usize;
+                for op in ops {
+                    match *op {
+                        ChurnOp::Check {
+                            subject,
+                            object,
+                            right,
+                        } => {
+                            granted += (session.check(subject, object, right).expect("total")
+                                == Sign::Pos) as usize;
+                        }
+                        ChurnOp::SetLabel {
+                            subject,
+                            object,
+                            right,
+                            sign,
+                        } => {
+                            if session
+                                .set_authorization(subject, object, right, sign)
+                                .is_err()
+                            {
+                                session.unset_authorization(subject, object, right);
+                                session
+                                    .set_authorization(subject, object, right, sign)
+                                    .expect("fresh after unset");
+                            }
+                        }
+                        ChurnOp::UnsetLabel {
+                            subject,
+                            object,
+                            right,
+                        } => {
+                            session.unset_authorization(subject, object, right);
+                        }
+                        ChurnOp::AddMembership { group, member } => {
+                            let _ = session.add_membership(group, member);
+                        }
+                    }
+                }
+                let stats = session.stats();
+                assert_eq!(
+                    stats.full_invalidations, 0,
+                    "membership edits must never flush the cache"
+                );
+                if stats.partial_repairs > 0 {
+                    assert!(
+                        stats.rows_repaired
+                            < stats.partial_repairs * org.hierarchy.subject_count() as u64,
+                        "repair must touch fewer rows than a full rebuild"
+                    );
+                }
+                granted
+            })
+        },
+    );
     group.finish();
 }
 

@@ -23,8 +23,8 @@ fn bench_strategies(c: &mut Criterion) {
         b.iter(|| {
             let mut pos = 0usize;
             for &s in &all {
-                pos += (resolve_histogram(&hist, s).expect("total").sign
-                    == ucra_core::Sign::Pos) as usize;
+                pos += (resolve_histogram(&hist, s).expect("total").sign == ucra_core::Sign::Pos)
+                    as usize;
             }
             pos
         })

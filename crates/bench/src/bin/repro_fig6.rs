@@ -31,7 +31,9 @@ fn main() {
     let rates: &[f64] = if quick {
         &[0.01, 0.05, 0.10]
     } else {
-        &[0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]
+        &[
+            0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10,
+        ]
     };
     let reps = if quick { 5 } else { 20 };
 
@@ -51,7 +53,12 @@ fn main() {
                 let k = kdag(n, &mut r);
                 let (eacm, labeled) = assign_by_edges(
                     &k.hierarchy,
-                    AuthConfig { rate, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+                    AuthConfig {
+                        rate,
+                        negative_share: 0.5,
+                        object: PAIR.0,
+                        right: PAIR.1,
+                    },
                     &mut r,
                 );
                 labeled_total += labeled.len();
@@ -92,15 +99,19 @@ fn main() {
                 fmt_ns(path_ns),
                 fmt_ns(count_ns),
             ]);
-            csv_rows.push(format!(
-                "{n},{rate},{avg_labeled:.2},{path_ns},{count_ns}"
-            ));
+            csv_rows.push(format!("{n},{rate},{avg_labeled:.2},{path_ns},{count_ns}"));
         }
     }
     println!(
         "{}",
         render_table(
-            &["n", "auth rate", "avg labeled", "Propagate() path-enum", "counting engine"],
+            &[
+                "n",
+                "auth rate",
+                "avg labeled",
+                "Propagate() path-enum",
+                "counting engine"
+            ],
             &table_rows
         )
     );

@@ -33,8 +33,8 @@ use ucra_bench::output::{render_table, write_csv};
 use ucra_bench::timing::{fmt_ns, mean_ns};
 use ucra_core::engine::path_enum::{self, PropagateOptions};
 use ucra_core::{
-    dominance, dominance_specialized, dominance_with_stats, resolve_histogram,
-    DistanceHistogram, Strategy,
+    dominance, dominance_specialized, dominance_with_stats, resolve_histogram, DistanceHistogram,
+    Strategy,
 };
 use ucra_workload::stats::query_stats;
 
@@ -79,7 +79,9 @@ fn main() {
         )
         .expect("Livelink-scale queries fit the budget");
         let hist = DistanceHistogram::from_records(&records).expect("counts fit u128");
-        let sign = resolve_histogram(&hist, strategy).expect("resolution is total").sign;
+        let sign = resolve_histogram(&hist, strategy)
+            .expect("resolution is total")
+            .sign;
         let resolve_ns = start.elapsed().as_nanos();
         std::hint::black_box(sign);
 
@@ -111,7 +113,12 @@ fn main() {
             dom_spec_ns,
             dom_bfs_ns
         ));
-        rows_b.push(format!("{},{},{}", sink.index(), stats.subgraph_nodes, stats.d));
+        rows_b.push(format!(
+            "{},{},{}",
+            sink.index(),
+            stats.subgraph_nodes,
+            stats.d
+        ));
     }
 
     let resolve_avg = mean_ns(&resolve_samples);
@@ -125,9 +132,18 @@ fn main() {
         }
     };
 
-    println!("average Resolve()  (D-LP-, path-enum)        : {}", fmt_ns(resolve_avg));
-    println!("average Dominance() same-substrate           : {}", fmt_ns(dom_spec_avg));
-    println!("average Dominance() graph-native BFS         : {}", fmt_ns(dom_bfs_avg));
+    println!(
+        "average Resolve()  (D-LP-, path-enum)        : {}",
+        fmt_ns(resolve_avg)
+    );
+    println!(
+        "average Dominance() same-substrate           : {}",
+        fmt_ns(dom_spec_avg)
+    );
+    println!(
+        "average Dominance() graph-native BFS         : {}",
+        fmt_ns(dom_bfs_avg)
+    );
     println!(
         "flexibility overhead vs same-substrate       : {:.0}%",
         overhead(dom_spec_avg)
@@ -177,7 +193,10 @@ fn main() {
     println!("\nDominance() placement dependence (BFS variant):");
     println!(
         "{}",
-        render_table(&["negative share", "avg ancestors visited", "early-exit rate"], &rows)
+        render_table(
+            &["negative share", "avg ancestors visited", "early-exit rate"],
+            &rows
+        )
     );
     println!(
         "\nexpected shapes (paper): 7(a) Resolve() grows with d; Dominance() scatters\n\

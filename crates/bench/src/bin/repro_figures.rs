@@ -31,8 +31,12 @@ fn results_dir() -> PathBuf {
 /// Tiny CSV reader: header + comma rows, all-numeric columns wanted by
 /// name. Returns one Vec per requested column.
 fn read_csv(path: &Path, columns: &[&str]) -> Result<Vec<Vec<f64>>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {} (run the repro_fig* binaries first): {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {} (run the repro_fig* binaries first): {e}",
+            path.display()
+        )
+    })?;
     let mut lines = text.lines();
     let header: Vec<&str> = lines
         .next()
@@ -81,8 +85,7 @@ fn fig6() -> Result<(), String> {
     let (ns, rates, times) = (&cols[0], &cols[1], &cols[2]);
     let mut by_n: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
     for i in 0..ns.len() {
-        by_n
-            .entry(ns[i] as i64)
+        by_n.entry(ns[i] as i64)
             .or_default()
             .push((rates[i] * 100.0, times[i] / 1000.0));
     }
@@ -114,7 +117,11 @@ fn fig7a() -> Result<(), String> {
     let series = vec![
         Series {
             name: "Resolve()".into(),
-            points: d.iter().zip(resolve).map(|(&x, &y)| (x, y / 1000.0)).collect(),
+            points: d
+                .iter()
+                .zip(resolve)
+                .map(|(&x, &y)| (x, y / 1000.0))
+                .collect(),
             color: SERIES_COLORS[0],
         },
         Series {
@@ -141,7 +148,11 @@ fn fig7b() -> Result<(), String> {
     let cols = read_csv(&results_dir().join("fig7b.csv"), &["subgraph_nodes", "d"])?;
     let series = vec![Series {
         name: "sink".into(),
-        points: cols[0].iter().zip(&cols[1]).map(|(&x, &y)| (x, y)).collect(),
+        points: cols[0]
+            .iter()
+            .zip(&cols[1])
+            .map(|(&x, &y)| (x, y))
+            .collect(),
         color: SERIES_COLORS[0],
     }];
     let frame = Frame {

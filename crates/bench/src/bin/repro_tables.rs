@@ -9,8 +9,8 @@
 //! `tests/paper_tables.rs`; this binary is the human-readable rendering.
 
 use ucra_bench::output::render_table;
-use ucra_core::motivating::motivating_example;
 use ucra_core::engine::path_enum::{self, PropagateOptions};
+use ucra_core::motivating::motivating_example;
 use ucra_core::{Resolver, Strategy, StrategyShape};
 
 fn main() {
@@ -75,7 +75,9 @@ fn main() {
     println!("{}", render_table(&["strategy", "mode"], &rows));
 
     // ---- Table 3: trace of Resolve() for eight selected strategies ---
-    let selected = ["D+LMP+", "D-GMP-", "D-MP-", "D-LP+", "D+GP-", "GMP-", "P-", "MGP-"];
+    let selected = [
+        "D+LMP+", "D-GMP-", "D-MP-", "D-LP+", "D+GP-", "GMP-", "P-", "MGP-",
+    ];
     let mut rows = Vec::new();
     for mnemonic in selected {
         let strategy: Strategy = mnemonic.parse().expect("paper mnemonic");
@@ -134,7 +136,13 @@ fn main() {
             ]);
         }
     }
-    rows.sort_by_key(|r| (r[3].parse::<u32>().expect("dis"), r[0].clone(), r[4].clone()));
+    rows.sort_by_key(|r| {
+        (
+            r[3].parse::<u32>().expect("dis"),
+            r[0].clone(),
+            r[4].clone(),
+        )
+    });
     println!("Table 4. All read authorizations on obj (relation P)");
     println!(
         "{}",

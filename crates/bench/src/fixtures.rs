@@ -16,7 +16,12 @@ pub fn kdag_with_auth(n: usize, rate: f64, seed: u64) -> (SubjectDag, Eacm, Subj
     let k = kdag(n, &mut r);
     let (eacm, _) = assign_by_edges(
         &k.hierarchy,
-        AuthConfig { rate, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        AuthConfig {
+            rate,
+            negative_share: 0.5,
+            object: PAIR.0,
+            right: PAIR.1,
+        },
         &mut r,
     );
     (k.hierarchy, eacm, k.sink)
@@ -29,7 +34,12 @@ pub fn livelink_fixture(seed: u64, negative_share: f64) -> (Livelink, Eacm) {
     let l = livelink(LivelinkConfig::default(), &mut r);
     let (eacm, _) = assign_by_edges(
         &l.hierarchy,
-        AuthConfig { rate: 0.007, negative_share, object: PAIR.0, right: PAIR.1 },
+        AuthConfig {
+            rate: 0.007,
+            negative_share,
+            object: PAIR.0,
+            right: PAIR.1,
+        },
         &mut r,
     );
     (l, eacm)

@@ -15,8 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
-pub mod plot;
 pub mod output;
+pub mod plot;
 pub mod timing;
 
 pub use fixtures::{kdag_with_auth, livelink_fixture, to_relational};

@@ -163,7 +163,9 @@ fn bounds(series: &[Series]) -> ((f64, f64), (f64, f64)) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Shared chart scaffold: surface, title, grid, axes, legend. Returns
@@ -189,7 +191,11 @@ fn scaffold(frame: &Frame, series: &[Series]) -> (String, Scale, Scale, String) 
         w = frame.width,
         h = frame.height
     );
-    let _ = write!(svg, r#"<rect width="{}" height="{}" fill="{SURFACE}"/>"#, frame.width, frame.height);
+    let _ = write!(
+        svg,
+        r#"<rect width="{}" height="{}" fill="{SURFACE}"/>"#,
+        frame.width, frame.height
+    );
     // Title.
     let _ = write!(
         svg,
@@ -375,7 +381,10 @@ mod tests {
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<path").count(), 2, "one path per series");
         assert!(svg.contains(r#"stroke-width="2""#));
-        assert!(svg.contains("alpha") && svg.contains("beta"), "legend + end labels");
+        assert!(
+            svg.contains("alpha") && svg.contains("beta"),
+            "legend + end labels"
+        );
         assert!(svg.contains("Test &lt;chart&gt;"), "title escaped");
         // End markers ship the surface ring (r=6 surface circle under r=4).
         assert!(svg.contains(r##"r="6" fill="#fcfcfb""##));
@@ -402,7 +411,10 @@ mod tests {
         assert!(t.contains(&0.0));
         assert!(*t.last().unwrap() >= 80.0);
         for w in t.windows(2) {
-            assert!((w[1] - w[0] - 20.0).abs() < 1e-9, "step 20 for 0..97: {t:?}");
+            assert!(
+                (w[1] - w[0] - 20.0).abs() < 1e-9,
+                "step 20 for 0..97: {t:?}"
+            );
         }
         assert_eq!(ticks(5.0, 5.0, 4), vec![5.0]);
     }
@@ -419,7 +431,11 @@ mod tests {
     fn degenerate_inputs_do_not_panic() {
         let svg = line_chart(&frame(), &[]);
         assert!(svg.ends_with("</svg>"));
-        let empty_series = vec![Series { name: "e".into(), points: vec![], color: SERIES_COLORS[2] }];
+        let empty_series = vec![Series {
+            name: "e".into(),
+            points: vec![],
+            color: SERIES_COLORS[2],
+        }];
         let svg = scatter_chart(&frame(), &empty_series);
         assert!(svg.ends_with("</svg>"));
     }

@@ -8,9 +8,7 @@ use ucra_store::{text, AccessModel};
 /// model's configured default.
 pub fn pick_strategy(model: &AccessModel, arg: Option<&str>) -> Result<Strategy, String> {
     match arg {
-        Some(text) => text
-            .parse::<Strategy>()
-            .map_err(|e| e.to_string()),
+        Some(text) => text.parse::<Strategy>().map_err(|e| e.to_string()),
         None => model.default_strategy().ok_or_else(|| {
             "no strategy: pass one (e.g. D-LP-) or add a `strategy` line to the model".to_string()
         }),
@@ -30,10 +28,17 @@ pub fn demo() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     records.sort_by_key(|r| (r.dis, r.mode));
     for rec in &records {
-        println!("  dis {}  mode {}  from {}", rec.dis, rec.mode, ex.name(rec.source));
+        println!(
+            "  dis {}  mode {}  from {}",
+            rec.dis,
+            rec.mode,
+            ex.name(rec.source)
+        );
     }
     println!("\nDecision under every strategy family:");
-    for mnemonic in ["D+LMP+", "D-LMP-", "D-LP+", "D+GP-", "MP-", "GMP-", "P-", "D-MGP+"] {
+    for mnemonic in [
+        "D+LMP+", "D-LMP-", "D-LP+", "D+GP-", "MP-", "GMP-", "P-", "D-MGP+",
+    ] {
         let strategy: Strategy = mnemonic.parse().expect("known mnemonic");
         let res = resolver
             .resolve_traced(ex.user, ex.obj, ex.read, strategy)
@@ -141,12 +146,18 @@ pub fn compare(
     let diff = a.diff(&b);
     println!(
         "switching {from} -> {to} on {object}/{right} changes {} of {} subjects:",
-        diff.len(),
+        diff.changed.len(),
         model.subject_count()
     );
-    for d in &diff {
+    for d in &diff.changed {
         let name = model.subject_name(d.subject).unwrap_or("?");
         println!("  {name}: {} -> {}", d.before, d.after);
+    }
+    if diff.default_flip() {
+        let (before, after) = diff.default_signs;
+        println!(
+            "note: every object/right pair with no explicit authorization flips {before} -> {after} for all subjects"
+        );
     }
     Ok(())
 }
@@ -185,7 +196,9 @@ pub fn sod(model: &AccessModel, strategy: Strategy) -> Result<bool, String> {
         println!("no constraints declared (add `mutex` lines to the model)");
         return Ok(true);
     }
-    let violations = model.check_constraints(strategy).map_err(|e| e.to_string())?;
+    let violations = model
+        .check_constraints(strategy)
+        .map_err(|e| e.to_string())?;
     if violations.is_empty() {
         println!(
             "OK: {} constraint(s) hold under {strategy}",
@@ -195,11 +208,7 @@ pub fn sod(model: &AccessModel, strategy: Strategy) -> Result<bool, String> {
     }
     println!("{} violation(s) under {strategy}:", violations.len());
     for v in &violations {
-        let held: Vec<String> = v
-            .held
-            .iter()
-            .map(|(o, r)| format!("{o}/{r}"))
-            .collect();
+        let held: Vec<String> = v.held.iter().map(|(o, r)| format!("{o}/{r}")).collect();
         println!(
             "  [{}] {} holds {} (allowed: {})",
             v.constraint,

@@ -102,8 +102,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if rest.len() < 4 {
                 return Err("compare needs <object> <right> <from-strategy> <to-strategy>".into());
             }
-            let from = rest[2].parse().map_err(|e: ucra_core::CoreError| e.to_string())?;
-            let to = rest[3].parse().map_err(|e: ucra_core::CoreError| e.to_string())?;
+            let from = rest[2]
+                .parse()
+                .map_err(|e: ucra_core::CoreError| e.to_string())?;
+            let to = rest[3]
+                .parse()
+                .map_err(|e: ucra_core::CoreError| e.to_string())?;
             done(commands::compare(&model, &rest[0], &rest[1], from, to))
         }
         Some("dot") => {

@@ -63,7 +63,14 @@ fn check_uses_model_strategy_and_override() {
 #[test]
 fn trace_prints_table3_columns() {
     let path = write_policy("trace.policy");
-    let out = ucra(&["trace", path.to_str().unwrap(), "User", "obj", "read", "D-GMP-"]);
+    let out = ucra(&[
+        "trace",
+        path.to_str().unwrap(),
+        "User",
+        "obj",
+        "read",
+        "D-GMP-",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("c1=1"), "{text}");
@@ -92,7 +99,14 @@ fn strategies_prints_48_rows() {
 #[test]
 fn explain_names_the_deciding_policy() {
     let path = write_policy("explain.policy");
-    let out = ucra(&["explain", path.to_str().unwrap(), "User", "obj", "read", "D+LMP+"]);
+    let out = ucra(&[
+        "explain",
+        path.to_str().unwrap(),
+        "User",
+        "obj",
+        "read",
+        "D+LMP+",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("Majority"), "{text}");
@@ -144,12 +158,16 @@ fn convert_round_trips_json() {
     let dir = path.parent().unwrap();
     let json = dir.join("model.json");
     let back = dir.join("back.policy");
-    assert!(ucra(&["convert", path.to_str().unwrap(), json.to_str().unwrap()])
-        .status
-        .success());
-    assert!(ucra(&["convert", json.to_str().unwrap(), back.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        ucra(&["convert", path.to_str().unwrap(), json.to_str().unwrap()])
+            .status
+            .success()
+    );
+    assert!(
+        ucra(&["convert", json.to_str().unwrap(), back.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = ucra(&["check", back.to_str().unwrap(), "User", "obj", "read"]);
     assert_eq!(stdout(&out).trim(), "-");
 }
@@ -209,7 +227,14 @@ fn unreadable_model_is_a_clear_error() {
 #[test]
 fn bad_strategy_argument_is_rejected() {
     let path = write_policy("badstrat.policy");
-    let out = ucra(&["check", path.to_str().unwrap(), "User", "obj", "read", "XYZ"]);
+    let out = ucra(&[
+        "check",
+        path.to_str().unwrap(),
+        "User",
+        "obj",
+        "read",
+        "XYZ",
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("mnemonic"), "{}", stderr(&out));
 }

@@ -35,7 +35,11 @@ pub struct SodConstraint {
 impl SodConstraint {
     /// A pairwise-exclusive constraint (`at_most = 1`).
     pub fn mutual_exclusion(name: impl Into<String>, privileges: Vec<Privilege>) -> Self {
-        SodConstraint { name: name.into(), privileges, at_most: 1 }
+        SodConstraint {
+            name: name.into(),
+            privileges,
+            at_most: 1,
+        }
     }
 }
 
@@ -109,7 +113,13 @@ mod tests {
         let mut eacm = Eacm::new();
         eacm.grant(clerks, issue.0, issue.1).unwrap();
         eacm.grant(approvers, approve.0, approve.1).unwrap();
-        (h, eacm, [clerks, approvers, alice, bob, eve], issue, approve)
+        (
+            h,
+            eacm,
+            [clerks, approvers, alice, bob, eve],
+            issue,
+            approve,
+        )
     }
 
     #[test]
@@ -121,8 +131,7 @@ mod tests {
         let strategy: Strategy = "LP-".parse().unwrap();
         let matrix =
             EffectiveMatrix::compute_for_pairs(&h, &eacm, strategy, &[issue, approve]).unwrap();
-        let constraint =
-            SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
+        let constraint = SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
         let violations = check_sod(&h, &matrix, &[constraint]);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].subject, eve);
@@ -150,8 +159,7 @@ mod tests {
         // privileges, so every subject violates mutual exclusion; under
         // the closed default only eve does.
         let (h, eacm, _, issue, approve) = payment_world();
-        let constraint =
-            SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
+        let constraint = SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
         let closed = EffectiveMatrix::compute_for_pairs(
             &h,
             &eacm,
@@ -166,7 +174,10 @@ mod tests {
             &[issue, approve],
         )
         .unwrap();
-        assert_eq!(check_sod(&h, &closed, std::slice::from_ref(&constraint)).len(), 1);
+        assert_eq!(
+            check_sod(&h, &closed, std::slice::from_ref(&constraint)).len(),
+            1
+        );
         assert_eq!(
             check_sod(&h, &open, std::slice::from_ref(&constraint)).len(),
             h.subject_count()
@@ -183,8 +194,7 @@ mod tests {
             &[issue], // approve not materialised
         )
         .unwrap();
-        let constraint =
-            SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
+        let constraint = SodConstraint::mutual_exclusion("issue-vs-approve", vec![issue, approve]);
         assert!(check_sod(&h, &matrix, &[constraint]).is_empty());
     }
 }

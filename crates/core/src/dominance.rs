@@ -299,7 +299,9 @@ mod tests {
         // Cross-check against Resolve(D-LP-).
         let resolver = Resolver::new(&h, &eacm);
         assert_eq!(
-            resolver.resolve(leaf, o, r, "D-LP-".parse().unwrap()).unwrap(),
+            resolver
+                .resolve(leaf, o, r, "D-LP-".parse().unwrap())
+                .unwrap(),
             Sign::Neg
         );
     }
@@ -353,7 +355,10 @@ mod tests {
         let mut eacm = Eacm::new();
         eacm.grant(a, o, r).unwrap();
         eacm.deny(b, o, r).unwrap();
-        assert_eq!(dominance_specialized(&h, &eacm, leaf, o, r).unwrap(), Sign::Neg);
+        assert_eq!(
+            dominance_specialized(&h, &eacm, leaf, o, r).unwrap(),
+            Sign::Neg
+        );
     }
 
     #[test]

@@ -16,8 +16,11 @@ use crate::ids::{ObjectId, RightId, SubjectId};
 use crate::matrix::Eacm;
 use crate::mode::Sign;
 use crate::resolve::resolve_histogram;
-use crate::strategy::Strategy;
+use crate::strategy::{DefaultRule, Strategy};
 use std::collections::BTreeMap;
+
+/// One work-stealing slot of the parallel column computation.
+type ColumnCell = parking_lot::Mutex<Option<Result<Vec<Sign>, CoreError>>>;
 
 /// A materialised effective matrix for one strategy: every subject ×
 /// every requested `(object, right)` pair.
@@ -35,7 +38,10 @@ use std::collections::BTreeMap;
 /// let open = EffectiveMatrix::compute(
 ///     &ex.hierarchy, &ex.eacm, "D+LP+".parse().unwrap(),
 /// ).unwrap();
-/// assert!(!closed.diff(&open).is_empty());
+/// let report = closed.diff(&open);
+/// assert!(!report.changed.is_empty());
+/// // The switch also flips every pair that carries no explicit label:
+/// assert!(report.default_flip());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EffectiveMatrix {
@@ -82,8 +88,9 @@ impl EffectiveMatrix {
     ) -> Result<Self, CoreError> {
         let threads = threads.max(1).min(pairs.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let cells: Vec<parking_lot::Mutex<Option<Result<Vec<Sign>, CoreError>>>> =
-            (0..pairs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let cells: Vec<ColumnCell> = (0..pairs.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -99,10 +106,7 @@ impl EffectiveMatrix {
         });
         let mut signs = BTreeMap::new();
         for (i, &(o, r)) in pairs.iter().enumerate() {
-            let col = cells[i]
-                .lock()
-                .take()
-                .expect("every index was processed")?;
+            let col = cells[i].lock().take().expect("every index was processed")?;
             signs.insert((o, r), col);
         }
         Ok(EffectiveMatrix { strategy, signs })
@@ -151,9 +155,10 @@ impl EffectiveMatrix {
             .get(&(object, right))
             .into_iter()
             .flat_map(|col| {
-                col.iter().enumerate().filter_map(|(i, &s)| {
-                    (s == Sign::Pos).then(|| SubjectId::from_index(i))
-                })
+                col.iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s == Sign::Pos)
+                    .map(|(i, _)| SubjectId::from_index(i))
             })
     }
 
@@ -162,19 +167,52 @@ impl EffectiveMatrix {
         self.signs.values().map(Vec::len).sum()
     }
 
-    /// The cells where two materialised matrices disagree — the impact
-    /// report an administrator wants before switching strategies (the
-    /// paper's central operation). Pairs materialised in only one matrix
-    /// are skipped.
-    pub fn diff(&self, other: &EffectiveMatrix) -> Vec<EffectiveDiff> {
-        let mut out = Vec::new();
+    /// The sign every subject resolves to on a pair that carries **no**
+    /// explicit authorization anywhere in the hierarchy.
+    ///
+    /// On such a pair every root contributes only its default record, so
+    /// the whole column is uniform: the default rule decides (`D+` → `+`,
+    /// `D-` → `-`), and a strategy without a default policy discards the
+    /// `d` rows, leaving the tie to the preference rule. This is why
+    /// [`EffectiveMatrix::compute`] never materialises those columns — and
+    /// why [`EffectiveMatrix::diff`] must still account for them.
+    pub fn default_sign(&self) -> Sign {
+        match self.strategy.default_rule() {
+            DefaultRule::Pos => Sign::Pos,
+            DefaultRule::Neg => Sign::Neg,
+            DefaultRule::NoDefault => self.strategy.preference_rule(),
+        }
+    }
+
+    /// The impact report an administrator wants before switching
+    /// strategies (the paper's central operation).
+    ///
+    /// Three kinds of impact are reported; none is silently dropped:
+    ///
+    /// * [`MatrixDiff::changed`] — materialised cells whose sign differs.
+    /// * [`MatrixDiff::only_in_self`] / [`MatrixDiff::only_in_other`] —
+    ///   pairs materialised on one side only. These **cannot** be compared
+    ///   and are listed so "not compared" is never mistaken for
+    ///   "unchanged".
+    /// * [`MatrixDiff::default_signs`] — the uniform sign of every
+    ///   label-free pair under each strategy. A `D-` → `D+` switch flips
+    ///   *all* of them for *all* subjects even though no such column is
+    ///   materialised; [`MatrixDiff::default_flip`] surfaces exactly that.
+    ///   (For matrices built with [`EffectiveMatrix::compute_for_pairs`]
+    ///   an unmaterialised pair may still carry explicit labels; the
+    ///   default column claim is exact when both sides were built with
+    ///   [`EffectiveMatrix::compute`].)
+    pub fn diff(&self, other: &EffectiveMatrix) -> MatrixDiff {
+        let mut changed = Vec::new();
+        let mut only_in_self = Vec::new();
         for (&(o, r), col) in &self.signs {
             let Some(other_col) = other.signs.get(&(o, r)) else {
+                only_in_self.push((o, r));
                 continue;
             };
             for (ix, (&a, &b)) in col.iter().zip(other_col).enumerate() {
                 if a != b {
-                    out.push(EffectiveDiff {
+                    changed.push(EffectiveDiff {
                         subject: SubjectId::from_index(ix),
                         object: o,
                         right: r,
@@ -184,7 +222,56 @@ impl EffectiveMatrix {
                 }
             }
         }
-        out
+        let only_in_other = other
+            .signs
+            .keys()
+            .filter(|k| !self.signs.contains_key(k))
+            .copied()
+            .collect();
+        MatrixDiff {
+            changed,
+            only_in_self,
+            only_in_other,
+            default_signs: (self.default_sign(), other.default_sign()),
+        }
+    }
+}
+
+/// The full impact report of [`EffectiveMatrix::diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixDiff {
+    /// Materialised cells whose sign differs between the two matrices.
+    pub changed: Vec<EffectiveDiff>,
+    /// Pairs materialised in `self` but not in `other` (not comparable).
+    pub only_in_self: Vec<(ObjectId, RightId)>,
+    /// Pairs materialised in `other` but not in `self` (not comparable).
+    pub only_in_other: Vec<(ObjectId, RightId)>,
+    /// The uniform sign of every label-free pair under (`self`, `other`).
+    pub default_signs: (Sign, Sign),
+}
+
+impl MatrixDiff {
+    /// `true` when the strategy switch flips the sign of every pair that
+    /// carries no explicit authorization — an impact no enumeration of
+    /// materialised cells can show.
+    pub fn default_flip(&self) -> bool {
+        self.default_signs.0 != self.default_signs.1
+    }
+
+    /// Pairs that were materialised on one side only and therefore not
+    /// compared.
+    pub fn skipped(&self) -> impl Iterator<Item = (ObjectId, RightId)> + '_ {
+        self.only_in_self.iter().chain(&self.only_in_other).copied()
+    }
+
+    /// `true` when the switch provably has no impact: no materialised cell
+    /// changed, no pair was left uncompared, and label-free pairs keep
+    /// their sign.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+            && self.only_in_self.is_empty()
+            && self.only_in_other.is_empty()
+            && !self.default_flip()
     }
 }
 
@@ -267,21 +354,73 @@ mod tests {
         let open =
             EffectiveMatrix::compute(&ex.hierarchy, &ex.eacm, "D+LP+".parse().unwrap()).unwrap();
         let diff = closed.diff(&open);
-        assert!(!diff.is_empty());
-        for d in &diff {
+        assert!(!diff.changed.is_empty());
+        for d in &diff.changed {
             assert_eq!(closed.sign(d.subject, d.object, d.right), Some(d.before));
             assert_eq!(open.sign(d.subject, d.object, d.right), Some(d.after));
             assert_ne!(d.before, d.after);
         }
+        // Both matrices cover the same pairs, so nothing was skipped.
+        assert_eq!(diff.skipped().count(), 0);
         // Symmetric cardinality, flipped direction.
         let back = open.diff(&closed);
-        assert_eq!(back.len(), diff.len());
+        assert_eq!(back.changed.len(), diff.changed.len());
         // Self-diff is empty.
         assert!(closed.diff(&closed).is_empty());
     }
 
     #[test]
-    fn diff_skips_unshared_pairs() {
+    fn diff_reports_the_default_column_flip() {
+        let ex = motivating_example();
+        let closed =
+            EffectiveMatrix::compute(&ex.hierarchy, &ex.eacm, "D-LP-".parse().unwrap()).unwrap();
+        let open =
+            EffectiveMatrix::compute(&ex.hierarchy, &ex.eacm, "D+LP+".parse().unwrap()).unwrap();
+        let diff = closed.diff(&open);
+        // The D- → D+ switch flips every label-free pair for every
+        // subject; no materialised cell can show it.
+        assert!(diff.default_flip());
+        assert_eq!(diff.default_signs, (Sign::Neg, Sign::Pos));
+        // And the per-query resolver confirms it on a pair with no
+        // explicit authorizations at all.
+        let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+        let free = ObjectId(99);
+        assert_eq!(
+            resolver
+                .resolve(ex.user, free, ex.read, "D-LP-".parse().unwrap())
+                .unwrap(),
+            Sign::Neg
+        );
+        assert_eq!(
+            resolver
+                .resolve(ex.user, free, ex.read, "D+LP+".parse().unwrap())
+                .unwrap(),
+            Sign::Pos
+        );
+        // Same strategy on both sides: no flip, genuinely empty report.
+        assert!(!closed.diff(&closed).default_flip());
+    }
+
+    #[test]
+    fn default_sign_matches_resolution_of_label_free_pairs() {
+        let ex = motivating_example();
+        let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
+        let free = ObjectId(77);
+        for strategy in Strategy::all_instances() {
+            let matrix =
+                EffectiveMatrix::compute_for_pairs(&ex.hierarchy, &ex.eacm, strategy, &[]).unwrap();
+            for s in ex.hierarchy.subjects() {
+                assert_eq!(
+                    matrix.default_sign(),
+                    resolver.resolve(s, free, ex.read, strategy).unwrap(),
+                    "strategy {strategy}, subject {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_exposes_unshared_pairs_instead_of_skipping_them() {
         let ex = motivating_example();
         let strategy: Strategy = "D-LP-".parse().unwrap();
         let a = EffectiveMatrix::compute_for_pairs(
@@ -298,7 +437,16 @@ mod tests {
             &[(ObjectId(5), ex.read)],
         )
         .unwrap();
-        assert!(a.diff(&b).is_empty());
+        let diff = a.diff(&b);
+        // No shared pair, so no comparable cell changed …
+        assert!(diff.changed.is_empty());
+        // … but the report is NOT empty: both pairs went uncompared and
+        // the default column flips.
+        assert!(!diff.is_empty());
+        assert_eq!(diff.only_in_self, vec![(ex.obj, ex.read)]);
+        assert_eq!(diff.only_in_other, vec![(ObjectId(5), ex.read)]);
+        assert_eq!(diff.skipped().count(), 2);
+        assert!(diff.default_flip());
     }
 
     #[test]

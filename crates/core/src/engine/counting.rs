@@ -72,7 +72,8 @@ pub fn histogram(
     let sub = hierarchy.ancestor_subgraph(subject)?;
     // Re-key the EACM slice into sub-graph ids via a closure-based lookup.
     let out = sweep(&sub.dag, mode, |v| {
-        eacm.label(sub.original_id(v), object, right).map(Mode::from)
+        eacm.label(sub.original_id(v), object, right)
+            .map(Mode::from)
     })?;
     Ok(out[sub.sink.index()].clone())
 }
@@ -97,6 +98,44 @@ pub fn histograms_all(
     })
 }
 
+/// Repairs the rows of an existing full-table sweep in place after a
+/// hierarchy edit.
+///
+/// `dirty` must be the complete set of subjects whose histograms the edit
+/// may have changed — for a new membership edge `group → member`, the
+/// descendant cone of `member` — **closed under descendants and listed in
+/// topological order** (use [`crate::invalidation::RepairPlan`]). Every
+/// row outside `dirty` is trusted as-is; each dirty row is recomputed
+/// from its parents' rows, which are either clean or already repaired by
+/// the time the row is visited. Cost is proportional to the cone's size
+/// and fan-in, not to the whole hierarchy.
+///
+/// `table` must have exactly one row per subject of `hierarchy` (the
+/// shape [`histograms_all`] produces for the same model).
+pub fn histograms_repair(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    object: ObjectId,
+    right: RightId,
+    mode: PropagationMode,
+    table: &mut [DistanceHistogram],
+    dirty: &[SubjectId],
+) -> Result<(), CoreError> {
+    let dag = hierarchy.graph();
+    debug_assert_eq!(table.len(), dag.node_count(), "table shape mismatch");
+    for &v in dirty {
+        let row = combine_row(
+            dag,
+            v,
+            mode,
+            |v| eacm.label(v, object, right).map(Mode::from),
+            table,
+        )?;
+        table[v.index()] = row;
+    }
+    Ok(())
+}
+
 /// One topological sweep computing `rights(v)` for every node, with
 /// `label(v)` supplying explicit labels.
 fn sweep(
@@ -106,47 +145,60 @@ fn sweep(
 ) -> Result<Vec<DistanceHistogram>, CoreError> {
     let mut out: Vec<DistanceHistogram> = vec![DistanceHistogram::new(); dag.node_count()];
     for v in traverse::topo_order(dag) {
-        let own = label(v);
-        let mut h = DistanceHistogram::new();
-        // Inflow from parents, shifted one edge.
-        let mut has_inflow = false;
-        for &p in dag.parents(v) {
-            if !out[p.index()].is_empty() {
-                has_inflow = true;
-            }
-            h.merge_shifted(&out[p.index()], 1)?;
-        }
-        match mode {
-            PropagationMode::Both => {
-                if let Some(m) = own {
-                    h.add(0, m, 1)?;
-                } else if dag.is_root(v) {
-                    h.add(0, Mode::Default, 1)?;
-                }
-            }
-            PropagationMode::SecondWins => {
-                if let Some(m) = own {
-                    // The explicit label replaces everything from above.
-                    h = DistanceHistogram::new();
-                    h.add(0, m, 1)?;
-                } else if dag.is_root(v) {
-                    h.add(0, Mode::Default, 1)?;
-                }
-            }
-            PropagationMode::FirstWins => {
-                if let Some(m) = own {
-                    // The label joins only if nothing arrives from above.
-                    if !has_inflow {
-                        h.add(0, m, 1)?;
-                    }
-                } else if dag.is_root(v) {
-                    h.add(0, Mode::Default, 1)?;
-                }
-            }
-        }
+        let h = combine_row(dag, v, mode, &label, &out)?;
         out[v.index()] = h;
     }
     Ok(out)
+}
+
+/// The counting recurrence for one node: inflow from the parents' rows
+/// in `rows`, plus the node's own label (or root default) under `mode`.
+fn combine_row(
+    dag: &ucra_graph::Dag,
+    v: SubjectId,
+    mode: PropagationMode,
+    label: impl Fn(SubjectId) -> Option<Mode>,
+    rows: &[DistanceHistogram],
+) -> Result<DistanceHistogram, CoreError> {
+    let own = label(v);
+    let mut h = DistanceHistogram::new();
+    // Inflow from parents, shifted one edge.
+    let mut has_inflow = false;
+    for &p in dag.parents(v) {
+        if !rows[p.index()].is_empty() {
+            has_inflow = true;
+        }
+        h.merge_shifted(&rows[p.index()], 1)?;
+    }
+    match mode {
+        PropagationMode::Both => {
+            if let Some(m) = own {
+                h.add(0, m, 1)?;
+            } else if dag.is_root(v) {
+                h.add(0, Mode::Default, 1)?;
+            }
+        }
+        PropagationMode::SecondWins => {
+            if let Some(m) = own {
+                // The explicit label replaces everything from above.
+                h = DistanceHistogram::new();
+                h.add(0, m, 1)?;
+            } else if dag.is_root(v) {
+                h.add(0, Mode::Default, 1)?;
+            }
+        }
+        PropagationMode::FirstWins => {
+            if let Some(m) = own {
+                // The label joins only if nothing arrives from above.
+                if !has_inflow {
+                    h.add(0, m, 1)?;
+                }
+            } else if dag.is_root(v) {
+                h.add(0, Mode::Default, 1)?;
+            }
+        }
+    }
+    Ok(h)
 }
 
 #[cfg(test)]
@@ -214,6 +266,41 @@ mod tests {
     }
 
     #[test]
+    fn repair_after_edge_matches_fresh_sweep() {
+        // Rebuild fig3 edge by edge; after each insertion repair the
+        // member's descendant cone and compare with a full recompute.
+        let (full, eacm, _, o, r) = fig3();
+        let mut h = SubjectDag::new();
+        for _ in 0..full.subject_count() {
+            h.add_subject();
+        }
+        for mode in [
+            PropagationMode::Both,
+            PropagationMode::SecondWins,
+            PropagationMode::FirstWins,
+        ] {
+            let mut h = h.clone();
+            let mut table = histograms_all(&h, &eacm, o, r, mode).unwrap();
+            for (g, m) in full.graph().edges() {
+                h.add_membership(g, m).unwrap();
+                let dirty = crate::invalidation::RepairPlan::for_new_edge(&h, m);
+                histograms_repair(&h, &eacm, o, r, mode, &mut table, dirty.dirty()).unwrap();
+                let fresh = histograms_all(&h, &eacm, o, r, mode).unwrap();
+                assert_eq!(table, fresh, "mode {mode:?}, edge {g}->{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_with_empty_dirty_set_is_a_noop() {
+        let (h, eacm, _, o, r) = fig3();
+        let mut table = histograms_all(&h, &eacm, o, r, PropagationMode::Both).unwrap();
+        let before = table.clone();
+        histograms_repair(&h, &eacm, o, r, PropagationMode::Both, &mut table, &[]).unwrap();
+        assert_eq!(table, before);
+    }
+
+    #[test]
     fn handles_exponential_path_counts_without_budget() {
         // 100 stacked diamonds: 2^100 paths — impossible to enumerate,
         // trivial to count.
@@ -256,7 +343,14 @@ mod tests {
         let mut eacm = Eacm::new();
         eacm.grant(first, ObjectId(0), RightId(0)).unwrap();
         assert_eq!(
-            histogram(&h, &eacm, top, ObjectId(0), RightId(0), PropagationMode::Both),
+            histogram(
+                &h,
+                &eacm,
+                top,
+                ObjectId(0),
+                RightId(0),
+                PropagationMode::Both
+            ),
             Err(CoreError::PathCountOverflow)
         );
     }

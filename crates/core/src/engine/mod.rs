@@ -119,7 +119,11 @@ impl DistanceHistogram {
     /// Merges `other` into `self` with every distance shifted by `shift`
     /// (one DAG edge = distance +1). Used by the counting engine's
     /// parent-to-child transfer.
-    pub fn merge_shifted(&mut self, other: &DistanceHistogram, shift: u32) -> Result<(), CoreError> {
+    pub fn merge_shifted(
+        &mut self,
+        other: &DistanceHistogram,
+        shift: u32,
+    ) -> Result<(), CoreError> {
         for (&dis, counts) in &other.strata {
             let entry = self.strata.entry(dis + shift).or_default();
             entry.add(Mode::Pos, counts.pos)?;
@@ -197,7 +201,14 @@ mod tests {
         h.add(1, Mode::Pos, 2).unwrap();
         h.add(1, Mode::Neg, 1).unwrap();
         h.add(3, Mode::Default, 5).unwrap();
-        assert_eq!(h.at(1), ModeCounts { pos: 2, neg: 1, def: 0 });
+        assert_eq!(
+            h.at(1),
+            ModeCounts {
+                pos: 2,
+                neg: 1,
+                def: 0
+            }
+        );
         assert_eq!(h.at(3).def, 5);
         assert_eq!(h.at(2), ModeCounts::default());
         assert_eq!(h.min_dis(), Some(1));
@@ -221,9 +232,21 @@ mod tests {
     fn from_records_counts_duplicates() {
         let s = SubjectId::from_index(0);
         let records = vec![
-            AuthRecord { dis: 1, mode: Mode::Pos, source: s },
-            AuthRecord { dis: 1, mode: Mode::Pos, source: s },
-            AuthRecord { dis: 2, mode: Mode::Neg, source: s },
+            AuthRecord {
+                dis: 1,
+                mode: Mode::Pos,
+                source: s,
+            },
+            AuthRecord {
+                dis: 1,
+                mode: Mode::Pos,
+                source: s,
+            },
+            AuthRecord {
+                dis: 2,
+                mode: Mode::Neg,
+                source: s,
+            },
         ];
         let h = DistanceHistogram::from_records(&records).unwrap();
         assert_eq!(h.at(1).pos, 2);

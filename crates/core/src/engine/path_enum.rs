@@ -45,7 +45,10 @@ impl Default for PropagateOptions {
 impl PropagateOptions {
     /// Default options with a custom record budget.
     pub fn with_budget(record_budget: usize) -> Self {
-        PropagateOptions { record_budget, ..Default::default() }
+        PropagateOptions {
+            record_budget,
+            ..Default::default()
+        }
     }
 }
 
@@ -88,7 +91,9 @@ pub fn propagate_all(
 
     let spend = |budget: &mut usize| -> Result<(), CoreError> {
         if *budget == 0 {
-            return Err(CoreError::PathBudgetExceeded { budget: opts.record_budget });
+            return Err(CoreError::PathBudgetExceeded {
+                budget: opts.record_budget,
+            });
         }
         *budget -= 1;
         Ok(())
@@ -98,13 +103,12 @@ pub fn propagate_all(
     // flows in from above — i.e. when no *proper* ancestor is itself a
     // source (labeled, or an unlabeled root). Precompute that activation.
     let explicit = |v: ucra_graph::NodeId| {
-        eacm.label(sub.original_id(v), object, right).map(Mode::from)
+        eacm.label(sub.original_id(v), object, right)
+            .map(Mode::from)
     };
-    let is_source =
-        |v: ucra_graph::NodeId| explicit(v).is_some() || sub.dag.is_root(v);
+    let is_source = |v: ucra_graph::NodeId| explicit(v).is_some() || sub.dag.is_root(v);
     let suppressed: Vec<bool> = if opts.mode == PropagationMode::FirstWins {
-        let sources: Vec<ucra_graph::NodeId> =
-            sub.dag.nodes().filter(|&v| is_source(v)).collect();
+        let sources: Vec<ucra_graph::NodeId> = sub.dag.nodes().filter(|&v| is_source(v)).collect();
         let mut below_source = vec![false; n];
         for &s in &sources {
             for &c in sub.dag.children(s) {
@@ -139,7 +143,11 @@ pub fn propagate_all(
                 continue; // FirstWins: inflow exists, own label never starts
             }
             spend(&mut budget)?;
-            records[v.index()].push(AuthRecord { dis: 0, mode, source: original });
+            records[v.index()].push(AuthRecord {
+                dis: 0,
+                mode,
+                source: original,
+            });
         }
     }
 
@@ -165,7 +173,10 @@ pub fn propagate_all(
                     continue;
                 }
                 spend(&mut budget)?;
-                let moved = AuthRecord { dis: rec.dis + 1, ..rec };
+                let moved = AuthRecord {
+                    dis: rec.dis + 1,
+                    ..rec
+                };
                 records[child.index()].push(moved);
                 if child != sub.sink {
                     next.push((child, moved));
@@ -253,7 +264,12 @@ mod tests {
         assert_eq!(of(s3), vec![(1, Mode::Pos), (1, Mode::Default)]);
         assert_eq!(
             of(s5),
-            vec![(0, Mode::Neg), (1, Mode::Default), (2, Mode::Pos), (2, Mode::Default)]
+            vec![
+                (0, Mode::Neg),
+                (1, Mode::Default),
+                (2, Mode::Pos),
+                (2, Mode::Default)
+            ]
         );
         assert_eq!(of(s6), vec![(0, Mode::Default)]);
         assert_eq!(of(user).len(), 6);
@@ -288,10 +304,7 @@ mod tests {
         let mut eacm = Eacm::new();
         eacm.deny(m, o, r).unwrap();
         let recs = propagate(&h, &eacm, m, o, r, PropagateOptions::default()).unwrap();
-        assert_eq!(
-            dis_modes(&recs),
-            vec![(0, Mode::Neg), (1, Mode::Default)]
-        );
+        assert_eq!(dis_modes(&recs), vec![(0, Mode::Neg), (1, Mode::Default)]);
     }
 
     #[test]

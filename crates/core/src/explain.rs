@@ -140,13 +140,43 @@ pub fn explain(
     right: RightId,
     strategy: Strategy,
 ) -> Result<Explanation, CoreError> {
+    explain_with_mode(
+        hierarchy,
+        eacm,
+        subject,
+        object,
+        right,
+        strategy,
+        crate::engine::counting::PropagationMode::Both,
+    )
+}
+
+/// Like [`explain`], under a non-default propagation mode (paper future
+/// work #3). The per-path engine honours all three modes, so the trace
+/// always agrees with a counting-engine decision taken under the same
+/// mode — use this instead of [`explain`] whenever the deciding resolver
+/// was configured with
+/// [`Resolver::with_propagation_mode`](crate::Resolver::with_propagation_mode).
+#[allow(clippy::too_many_arguments)]
+pub fn explain_with_mode(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+    strategy: Strategy,
+    mode: crate::engine::counting::PropagationMode,
+) -> Result<Explanation, CoreError> {
     let records = path_enum::propagate(
         hierarchy,
         eacm,
         subject,
         object,
         right,
-        PropagateOptions::default(),
+        PropagateOptions {
+            mode,
+            ..PropagateOptions::default()
+        },
     )?;
     let hist = DistanceHistogram::from_records(&records)?;
     let resolution = resolve_histogram(&hist, strategy)?;
@@ -161,8 +191,7 @@ pub fn explain(
     let mut contributions: Vec<Contribution> = per_source
         .into_iter()
         .map(|((source, mode), recs)| {
-            let distances: std::collections::BTreeSet<u32> =
-                recs.iter().map(|r| r.dis).collect();
+            let distances: std::collections::BTreeSet<u32> = recs.iter().map(|r| r.dis).collect();
             let min_dis = *distances.first().expect("non-empty");
             let max_dis = *distances.last().expect("non-empty");
             let decisive = is_decisive(mode, &distances, strategy, decisive_stratum);
@@ -269,7 +298,10 @@ mod tests {
             e.contributions.iter().map(|c| (c.source, c)).collect();
         assert_eq!(by_source[&ex.s[1]].paths, 2);
         assert_eq!(by_source[&ex.s[1]].mode, Mode::Pos);
-        assert_eq!((by_source[&ex.s[1]].min_dis, by_source[&ex.s[1]].max_dis), (1, 3));
+        assert_eq!(
+            (by_source[&ex.s[1]].min_dis, by_source[&ex.s[1]].max_dis),
+            (1, 3)
+        );
         assert_eq!(by_source[&ex.s[4]].paths, 1);
         assert_eq!(by_source[&ex.s[5]].paths, 2);
         assert_eq!(by_source[&ex.s[0]].paths, 1);
@@ -280,8 +312,7 @@ mod tests {
         // D+LMP+: majority counted at distance 1 — S2, S5, S6 decisive;
         // S1 (distance 3 only) not.
         let (e, ex) = explain_user("D+LMP+");
-        let decisive: Vec<SubjectId> =
-            e.decisive_contributions().map(|c| c.source).collect();
+        let decisive: Vec<SubjectId> = e.decisive_contributions().map(|c| c.source).collect();
         assert!(decisive.contains(&ex.s[1]));
         assert!(decisive.contains(&ex.s[4]));
         assert!(decisive.contains(&ex.s[5]));
@@ -309,8 +340,7 @@ mod tests {
     fn globality_marks_max_stratum() {
         // D+GP-: decided at distance 3 (S2's long path and S1's default).
         let (e, ex) = explain_user("D+GP-");
-        let decisive: Vec<SubjectId> =
-            e.decisive_contributions().map(|c| c.source).collect();
+        let decisive: Vec<SubjectId> = e.decisive_contributions().map(|c| c.source).collect();
         assert!(decisive.contains(&ex.s[0]));
         assert!(decisive.contains(&ex.s[1]));
         assert!(!decisive.contains(&ex.s[4]), "S5's - sits at distance 1");
@@ -337,7 +367,9 @@ mod tests {
             let e = explain(&ex.hierarchy, &ex.eacm, ex.user, ex.obj, ex.read, strategy).unwrap();
             assert_eq!(
                 e.resolution.sign,
-                resolver.resolve(ex.user, ex.obj, ex.read, strategy).unwrap()
+                resolver
+                    .resolve(ex.user, ex.obj, ex.read, strategy)
+                    .unwrap()
             );
         }
     }

@@ -29,7 +29,9 @@ impl SubjectDag {
 
     /// An empty hierarchy with room for `n` subjects.
     pub fn with_capacity(n: usize) -> Self {
-        SubjectDag { dag: Dag::with_capacity(n) }
+        SubjectDag {
+            dag: Dag::with_capacity(n),
+        }
     }
 
     /// Adds a subject (group or individual — the distinction is purely
@@ -138,7 +140,10 @@ mod tests {
         let err = h.add_membership(b, a).unwrap_err();
         assert_eq!(
             err,
-            CoreError::Graph(GraphError::WouldCycle { parent: b, child: a })
+            CoreError::Graph(GraphError::WouldCycle {
+                parent: b,
+                child: a
+            })
         );
     }
 

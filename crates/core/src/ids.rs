@@ -11,15 +11,11 @@ use std::fmt;
 pub use ucra_graph::NodeId as SubjectId;
 
 /// Identifier of a protected object (a column of the access matrix).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ObjectId(pub u32);
 
 /// Identifier of a right / operation (read, write, …).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RightId(pub u32);
 
 impl fmt::Display for ObjectId {

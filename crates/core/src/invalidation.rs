@@ -1,0 +1,92 @@
+//! Dirty-cone planning for incremental sweep-table repair.
+//!
+//! The counting recurrence `rights(v) = own(v) ⊎ ⨄_p shift₁(rights(p))`
+//! depends only on `v`'s ancestors, so a new membership edge
+//! `group → member` can change the `allRights` histogram of `member` and
+//! its descendants **only** — every other row of a cached sweep table
+//! stays correct. A [`RepairPlan`] captures that dirty descendant cone
+//! once per hierarchy edit, in a topological order suitable for a partial
+//! re-sweep seeded from the clean ancestor rows
+//! ([`crate::engine::counting::histograms_repair`]). One plan serves
+//! every cached `(object, right)` table, because the cone is a property
+//! of the hierarchy alone.
+//!
+//! This is the RPPM-style "repair the dependency cone instead of
+//! recomputing from scratch" move (Crampton & Sellwood, *Caching and
+//! Auditing in the RPPM Model*) applied to the paper's sweep tables.
+
+use crate::hierarchy::SubjectDag;
+use crate::ids::SubjectId;
+use ucra_graph::traverse::{cone_topo_order, Direction};
+
+/// The set of sweep-table rows a hierarchy edit can have dirtied, in the
+/// order a partial re-sweep must recompute them (ancestors within the
+/// cone before their descendants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairPlan {
+    dirty: Vec<SubjectId>,
+}
+
+impl RepairPlan {
+    /// The plan for a freshly inserted membership edge `group → member`:
+    /// `member` and all of its descendants, topologically ordered.
+    ///
+    /// Must be computed **after** the edge is in the hierarchy (the cone
+    /// is read from the post-edit graph; the pre-edit and post-edit
+    /// descendant sets of `member` coincide, since `add_membership` only
+    /// adds an incoming edge above it).
+    pub fn for_new_edge(hierarchy: &SubjectDag, member: SubjectId) -> Self {
+        RepairPlan {
+            dirty: cone_topo_order(hierarchy.graph(), &[member], Direction::Down),
+        }
+    }
+
+    /// The dirty rows in recompute order.
+    pub fn dirty(&self) -> &[SubjectId] {
+        &self.dirty
+    }
+
+    /// Number of dirty rows.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// `true` when nothing needs repair.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_member_and_descendants_only() {
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let group = h.add_subject();
+        let member = h.add_subject();
+        let leaf = h.add_subject();
+        let outsider = h.add_subject();
+        h.add_membership(root, group).unwrap();
+        h.add_membership(member, leaf).unwrap();
+        h.add_membership(group, member).unwrap();
+        let plan = RepairPlan::for_new_edge(&h, member);
+        assert_eq!(plan.dirty(), &[member, leaf]);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(!plan.dirty().contains(&outsider));
+        assert!(!plan.dirty().contains(&group));
+    }
+
+    #[test]
+    fn plan_for_sink_member_is_one_row() {
+        let mut h = SubjectDag::new();
+        let g = h.add_subject();
+        let m = h.add_subject();
+        h.add_membership(g, m).unwrap();
+        let plan = RepairPlan::for_new_edge(&h, m);
+        assert_eq!(plan.dirty(), &[m]);
+    }
+}

@@ -64,6 +64,7 @@ mod error;
 pub mod explain;
 mod hierarchy;
 pub mod ids;
+pub mod invalidation;
 mod matrix;
 mod memo;
 mod mode;
@@ -75,15 +76,16 @@ pub mod session;
 mod strategy;
 
 pub use dominance::{dominance, dominance_specialized, dominance_with_stats, DominanceStats};
-pub use effective::EffectiveMatrix;
+pub use effective::{EffectiveDiff, EffectiveMatrix, MatrixDiff};
 pub use engine::{AuthRecord, DistanceHistogram, ModeCounts};
 pub use error::CoreError;
+pub use explain::{explain, explain_with_mode, Explanation};
 pub use hierarchy::SubjectDag;
 pub use ids::{ObjectId, RightId, SubjectId};
+pub use invalidation::RepairPlan;
 pub use matrix::Eacm;
-pub use explain::{explain, Explanation};
 pub use memo::MemoResolver;
 pub use mode::{Mode, Sign};
-pub use session::{AccessSession, SessionStats};
 pub use resolve::{resolve_histogram, DecisionLine, Engine, Resolution, Resolver};
+pub use session::{AccessSession, SessionStats};
 pub use strategy::{DefaultRule, LocalityRule, MajorityRule, Strategy, StrategyShape};

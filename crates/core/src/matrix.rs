@@ -48,21 +48,18 @@ mod entries_as_rows {
 
     type Key = (SubjectId, ObjectId, RightId);
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<Key, Sign>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize<S: Serializer>(map: &BTreeMap<Key, Sign>, ser: S) -> Result<S::Ok, S::Error> {
         let rows: Vec<(SubjectId, ObjectId, RightId, Sign)> =
             map.iter().map(|(&(s, o, r), &g)| (s, o, r, g)).collect();
         serde::Serialize::serialize(&rows, ser)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<Key, Sign>, D::Error> {
-        let rows: Vec<(SubjectId, ObjectId, RightId, Sign)> =
-            serde::Deserialize::deserialize(de)?;
-        Ok(rows.into_iter().map(|(s, o, r, g)| ((s, o, r), g)).collect())
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<BTreeMap<Key, Sign>, D::Error> {
+        let rows: Vec<(SubjectId, ObjectId, RightId, Sign)> = serde::Deserialize::deserialize(de)?;
+        Ok(rows
+            .into_iter()
+            .map(|(s, o, r, g)| ((s, o, r), g))
+            .collect())
     }
 }
 
@@ -120,12 +117,7 @@ impl Eacm {
     }
 
     /// Removes an explicit authorization, returning the sign it had.
-    pub fn unset(
-        &mut self,
-        subject: SubjectId,
-        object: ObjectId,
-        right: RightId,
-    ) -> Option<Sign> {
+    pub fn unset(&mut self, subject: SubjectId, object: ObjectId, right: RightId) -> Option<Sign> {
         self.entries.remove(&(subject, object, right))
     }
 
@@ -145,10 +137,10 @@ impl Eacm {
     }
 
     /// Iterates over all entries in key order.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (SubjectId, ObjectId, RightId, Sign)> + '_ {
-        self.entries.iter().map(|(&(s, o, r), &sign)| (s, o, r, sign))
+    pub fn iter(&self) -> impl Iterator<Item = (SubjectId, ObjectId, RightId, Sign)> + '_ {
+        self.entries
+            .iter()
+            .map(|(&(s, o, r), &sign)| (s, o, r, sign))
     }
 
     /// The subjects explicitly labeled for one `(object, right)` pair,
@@ -213,7 +205,11 @@ mod tests {
         let err = m.deny(s, o, r).unwrap_err();
         assert!(matches!(
             err,
-            CoreError::ContradictoryAuthorization { existing: Sign::Pos, attempted: Sign::Neg, .. }
+            CoreError::ContradictoryAuthorization {
+                existing: Sign::Pos,
+                attempted: Sign::Neg,
+                ..
+            }
         ));
         assert_eq!(m.label(s, o, r), Some(Sign::Pos));
     }
@@ -249,10 +245,7 @@ mod tests {
         m.grant(s, ObjectId(1), r).unwrap();
         m.grant(s, o, r).unwrap();
         m.deny(s2, o, r).unwrap();
-        assert_eq!(
-            m.object_right_pairs(),
-            vec![(o, r), (ObjectId(1), r)]
-        );
+        assert_eq!(m.object_right_pairs(), vec![(o, r), (ObjectId(1), r)]);
     }
 
     #[test]

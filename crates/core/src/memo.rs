@@ -33,6 +33,9 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Finished sweep tables, keyed by `(object, right)` pair.
+type SweepCache = RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>;
+
 /// A resolver that caches one propagation sweep per `(object, right)`
 /// pair. Thread-safe: concurrent readers share cached sweeps.
 ///
@@ -54,7 +57,7 @@ pub struct MemoResolver<'a> {
     hierarchy: &'a SubjectDag,
     eacm: &'a Eacm,
     mode: PropagationMode,
-    cache: RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>,
+    cache: SweepCache,
 }
 
 impl<'a> MemoResolver<'a> {
@@ -197,7 +200,8 @@ mod tests {
         let memo = MemoResolver::new(&ex.hierarchy, &ex.eacm);
         let strategy: Strategy = "D-LP-".parse().unwrap();
         memo.resolve(ex.user, ex.obj, ex.read, strategy).unwrap();
-        memo.resolve(ex.user, ObjectId(7), ex.read, strategy).unwrap();
+        memo.resolve(ex.user, ObjectId(7), ex.read, strategy)
+            .unwrap();
         memo.resolve(ex.user, ex.obj, RightId(7), strategy).unwrap();
         assert_eq!(memo.cached_sweeps(), 3);
     }

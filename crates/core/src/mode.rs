@@ -5,9 +5,7 @@ use std::fmt;
 
 /// A definite authorization: the value stored in the explicit matrix and
 /// the result type of `Resolve()`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Sign {
     /// `+` — access granted.
     Pos,
@@ -52,9 +50,7 @@ impl fmt::Display for Sign {
 /// The mode column of the `allRights` relation: a definite sign or the
 /// placeholder `d` that Step 2 assigns to unlabeled root ancestors before
 /// the Default policy turns it into a sign (or discards it).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Mode {
     /// `+`.
     Pos,

@@ -71,7 +71,14 @@ pub fn motivating_example() -> MotivatingExample {
     eacm.grant(s4, obj, read).expect("fresh");
     eacm.deny(s5, obj, read).expect("fresh");
 
-    MotivatingExample { hierarchy, eacm, s, user, obj, read }
+    MotivatingExample {
+        hierarchy,
+        eacm,
+        s,
+        user,
+        obj,
+        read,
+    }
 }
 
 #[cfg(test)]

@@ -53,7 +53,11 @@ impl ObjectDag {
     }
 
     /// Records that `inner` is contained in `container`.
-    pub fn add_containment(&mut self, container: ObjectId, inner: ObjectId) -> Result<(), CoreError> {
+    pub fn add_containment(
+        &mut self,
+        container: ObjectId,
+        inner: ObjectId,
+    ) -> Result<(), CoreError> {
         self.dag
             .add_edge(Self::node(container), Self::node(inner))
             .map_err(CoreError::from)
@@ -107,10 +111,8 @@ impl ObjectDag {
         let mut out = HashMap::new();
         for v in self.dag.nodes() {
             if keep[v.index()] && !plen[v.index()].is_empty() {
-                let mut pairs: Vec<(u32, u128)> = plen[v.index()]
-                    .iter()
-                    .map(|(&l, &c)| (l, c))
-                    .collect();
+                let mut pairs: Vec<(u32, u128)> =
+                    plen[v.index()].iter().map(|(&l, &c)| (l, c)).collect();
                 pairs.sort_unstable();
                 out.insert(ObjectId(v.index() as u32), pairs);
             }
@@ -180,8 +182,7 @@ pub fn mixed_histogram(
     };
 
     // Standard downward counting sweep over the ancestor sub-graph.
-    let mut out: Vec<DistanceHistogram> =
-        vec![DistanceHistogram::new(); sub.dag.node_count()];
+    let mut out: Vec<DistanceHistogram> = vec![DistanceHistogram::new(); sub.dag.node_count()];
     for v in traverse::topo_order(&sub.dag) {
         let mut h = own(v)?;
         for &p in sub.dag.parents(v) {
@@ -224,15 +225,8 @@ mod tests {
     fn object_outside_hierarchy_is_isolated() {
         let ex = motivating_example();
         let objects = ObjectDag::new(); // ex.obj not even registered
-        let mixed = mixed_histogram(
-            &ex.hierarchy,
-            &objects,
-            &ex.eacm,
-            ex.user,
-            ex.obj,
-            ex.read,
-        )
-        .unwrap();
+        let mixed =
+            mixed_histogram(&ex.hierarchy, &objects, &ex.eacm, ex.user, ex.obj, ex.read).unwrap();
         let plain = counting::histogram(
             &ex.hierarchy,
             &ex.eacm,
@@ -361,15 +355,7 @@ mod tests {
         let doc = objects.add_object();
         objects.add_containment(folder, doc).unwrap();
         let eacm = Eacm::new();
-        let hist = mixed_histogram(
-            &subjects,
-            &objects,
-            &eacm,
-            alice,
-            doc,
-            RightId(0),
-        )
-        .unwrap();
+        let hist = mixed_histogram(&subjects, &objects, &eacm, alice, doc, RightId(0)).unwrap();
         assert_eq!(hist.at(1).def, 1);
         assert!(hist.at(0).is_zero());
     }

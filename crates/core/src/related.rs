@@ -190,10 +190,19 @@ mod tests {
     #[test]
     fn xacml_on_the_motivating_example() {
         let h = table1();
-        assert_eq!(combine(&h, CombiningAlgorithm::DenyOverrides), XacmlDecision::Deny);
-        assert_eq!(combine(&h, CombiningAlgorithm::PermitOverrides), XacmlDecision::Permit);
+        assert_eq!(
+            combine(&h, CombiningAlgorithm::DenyOverrides),
+            XacmlDecision::Deny
+        );
+        assert_eq!(
+            combine(&h, CombiningAlgorithm::PermitOverrides),
+            XacmlDecision::Permit
+        );
         // Nearest stratum (distance 1) holds both; deny is scanned first.
-        assert_eq!(combine(&h, CombiningAlgorithm::FirstApplicable), XacmlDecision::Deny);
+        assert_eq!(
+            combine(&h, CombiningAlgorithm::FirstApplicable),
+            XacmlDecision::Deny
+        );
         assert_eq!(
             combine(&h, CombiningAlgorithm::OnlyOneApplicable),
             XacmlDecision::Indeterminate
@@ -235,17 +244,18 @@ mod tests {
                 PropagationMode::Both,
             )
             .unwrap();
-            let xacml = with_default(
-                combine(&hist, CombiningAlgorithm::DenyOverrides),
-                Sign::Neg,
-            );
-            let p_minus = resolve_histogram(&hist, "P-".parse().unwrap()).unwrap().sign;
+            let xacml = with_default(combine(&hist, CombiningAlgorithm::DenyOverrides), Sign::Neg);
+            let p_minus = resolve_histogram(&hist, "P-".parse().unwrap())
+                .unwrap()
+                .sign;
             assert_eq!(xacml, p_minus, "subject {s}");
             let xacml = with_default(
                 combine(&hist, CombiningAlgorithm::PermitOverrides),
                 Sign::Pos,
             );
-            let p_plus = resolve_histogram(&hist, "P+".parse().unwrap()).unwrap().sign;
+            let p_plus = resolve_histogram(&hist, "P+".parse().unwrap())
+                .unwrap()
+                .sign;
             assert_eq!(xacml, p_plus, "subject {s}");
         }
     }
@@ -271,7 +281,9 @@ mod tests {
             if first == XacmlDecision::NotApplicable {
                 continue;
             }
-            let lp_minus = resolve_histogram(&hist, "LP-".parse().unwrap()).unwrap().sign;
+            let lp_minus = resolve_histogram(&hist, "LP-".parse().unwrap())
+                .unwrap()
+                .sign;
             assert_eq!(with_default(first, Sign::Neg), lp_minus, "subject {s}");
         }
     }
@@ -293,11 +305,15 @@ mod tests {
     #[test]
     fn strategy_mappings() {
         assert_eq!(
-            as_strategy(CombiningAlgorithm::DenyOverrides).unwrap().mnemonic(),
+            as_strategy(CombiningAlgorithm::DenyOverrides)
+                .unwrap()
+                .mnemonic(),
             "P-"
         );
         assert_eq!(
-            as_strategy(CombiningAlgorithm::PermitOverrides).unwrap().mnemonic(),
+            as_strategy(CombiningAlgorithm::PermitOverrides)
+                .unwrap()
+                .mnemonic(),
             "P+"
         );
         assert_eq!(as_strategy(CombiningAlgorithm::FirstApplicable), None);

@@ -126,9 +126,7 @@ impl SignHistogram {
             LocalityRule::MostSpecific => {
                 Ok(self.strata.first().map_or((0, 0), |&(_, p, n)| (p, n)))
             }
-            LocalityRule::MostGeneral => {
-                Ok(self.strata.last().map_or((0, 0), |&(_, p, n)| (p, n)))
-            }
+            LocalityRule::MostGeneral => Ok(self.strata.last().map_or((0, 0), |&(_, p, n)| (p, n))),
         }
     }
 }
@@ -157,10 +155,22 @@ pub fn resolve_histogram(
         c1 = Some(p);
         c2 = Some(n);
         if p > n {
-            return Ok(Resolution { sign: Sign::Pos, c1, c2, auth: None, line: DecisionLine::Majority });
+            return Ok(Resolution {
+                sign: Sign::Pos,
+                c1,
+                c2,
+                auth: None,
+                line: DecisionLine::Majority,
+            });
         }
         if n > p {
-            return Ok(Resolution { sign: Sign::Neg, c1, c2, auth: None, line: DecisionLine::Majority });
+            return Ok(Resolution {
+                sign: Sign::Neg,
+                c1,
+                c2,
+                auth: None,
+                line: DecisionLine::Majority,
+            });
         }
     }
 
@@ -177,7 +187,13 @@ pub fn resolve_histogram(
     // Line 8: a single surviving mode wins.
     if auth.len() == 1 {
         let sign = *auth.iter().next().expect("len checked");
-        return Ok(Resolution { sign, c1, c2, auth: Some(auth), line: DecisionLine::Locality });
+        return Ok(Resolution {
+            sign,
+            c1,
+            c2,
+            auth: Some(auth),
+            line: DecisionLine::Locality,
+        });
     }
 
     // Line 9: the Preference rule.
@@ -191,18 +207,13 @@ pub fn resolve_histogram(
 }
 
 /// Which propagation engine a [`Resolver`] uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The counting dynamic program (default; polynomial).
+    #[default]
     Counting,
     /// Paper-faithful per-path enumeration with a record budget.
     PathEnum(PropagateOptions),
-}
-
-impl Default for Engine {
-    fn default() -> Self {
-        Engine::Counting
-    }
 }
 
 /// The query facade: binds a hierarchy and an explicit matrix, and
@@ -245,20 +256,42 @@ impl<'a> Resolver<'a> {
         }
     }
 
-    /// Selects the propagation engine.
+    /// Selects the propagation engine. A [`Engine::PathEnum`] choice
+    /// also adopts the mode carried in its options, so the two
+    /// configuration paths cannot disagree.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
+        if let Engine::PathEnum(opts) = engine {
+            self.propagation_mode = opts.mode;
+        }
         self.engine = engine;
         self
     }
 
-    /// Selects the propagation mode (paper future work #3). Only the
-    /// counting engine honours non-default modes; the path-enumeration
-    /// engine is deliberately kept as the paper wrote it.
+    /// Selects the propagation mode (paper future work #3). The mode is
+    /// the single source of truth for **both** engines — the counting
+    /// sweep and the per-path enumeration (including
+    /// [`Resolver::all_rights_records`]) honour it, so a record-level
+    /// trace can never contradict the counting-engine decision it
+    /// explains.
     #[must_use]
     pub fn with_propagation_mode(mut self, mode: PropagationMode) -> Self {
         self.propagation_mode = mode;
         self
+    }
+
+    /// The path-enumeration options in effect: the configured engine's
+    /// options (or defaults), with the resolver's propagation mode
+    /// applied.
+    fn path_enum_options(&self) -> PropagateOptions {
+        let base = match self.engine {
+            Engine::PathEnum(opts) => opts,
+            Engine::Counting => PropagateOptions::default(),
+        };
+        PropagateOptions {
+            mode: self.propagation_mode,
+            ..base
+        }
     }
 
     /// The `allRights` histogram for a triple (Steps 1–3 of §3).
@@ -277,27 +310,38 @@ impl<'a> Resolver<'a> {
                 right,
                 self.propagation_mode,
             ),
-            Engine::PathEnum(opts) => {
-                let records =
-                    path_enum::propagate(self.hierarchy, self.eacm, subject, object, right, opts)?;
+            Engine::PathEnum(_) => {
+                let records = path_enum::propagate(
+                    self.hierarchy,
+                    self.eacm,
+                    subject,
+                    object,
+                    right,
+                    self.path_enum_options(),
+                )?;
                 DistanceHistogram::from_records(&records)
             }
         }
     }
 
     /// The raw `allRights` records for a triple (paper Table 1). Always
-    /// uses path enumeration, since individual records are requested.
+    /// uses path enumeration, since individual records are requested —
+    /// under the resolver's configured propagation mode, so the records
+    /// summarise to the same histogram the counting engine resolves.
     pub fn all_rights_records(
         &self,
         subject: SubjectId,
         object: ObjectId,
         right: RightId,
     ) -> Result<Vec<AuthRecord>, CoreError> {
-        let opts = match self.engine {
-            Engine::PathEnum(opts) => opts,
-            Engine::Counting => PropagateOptions::default(),
-        };
-        path_enum::propagate(self.hierarchy, self.eacm, subject, object, right, opts)
+        path_enum::propagate(
+            self.hierarchy,
+            self.eacm,
+            subject,
+            object,
+            right,
+            self.path_enum_options(),
+        )
     }
 
     /// The effective authorization of `subject` for `right` on `object`
@@ -362,10 +406,7 @@ mod tests {
         // D-GMP-: c1=1, c2=1, Auth {+,-}, -, line 9.
         let r = run("D-GMP-");
         assert_eq!((r.c1, r.c2), (Some(1), Some(1)));
-        assert_eq!(
-            r.auth,
-            Some([Sign::Pos, Sign::Neg].into_iter().collect())
-        );
+        assert_eq!(r.auth, Some([Sign::Pos, Sign::Neg].into_iter().collect()));
         assert_eq!((r.sign, r.line), (Sign::Neg, DecisionLine::Preference));
 
         // D-MP-: c1=2, c2=4, -, line 6.
@@ -520,6 +561,84 @@ mod tests {
             let b = path_enum.resolve_traced(user, o, r, strategy).unwrap();
             assert_eq!(a, b, "engines disagree on {strategy}");
         }
+    }
+
+    #[test]
+    fn records_honour_the_propagation_mode() {
+        // root(+) → mid(-) → leaf: the three modes produce three
+        // different bags, and the record-level trace must summarise to
+        // exactly the histogram the counting engine resolves.
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let mid = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(root, mid).unwrap();
+        h.add_membership(mid, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(root, o, r).unwrap();
+        eacm.deny(mid, o, r).unwrap();
+        for mode in [
+            PropagationMode::Both,
+            PropagationMode::SecondWins,
+            PropagationMode::FirstWins,
+        ] {
+            let resolver = Resolver::new(&h, &eacm).with_propagation_mode(mode);
+            let records = resolver.all_rights_records(leaf, o, r).unwrap();
+            let from_records = DistanceHistogram::from_records(&records).unwrap();
+            let counting = resolver.all_rights_histogram(leaf, o, r).unwrap();
+            assert_eq!(from_records, counting, "mode {mode:?}");
+            // And the full resolution agrees across engines.
+            for strategy in Strategy::all_instances() {
+                let a = resolver.resolve_traced(leaf, o, r, strategy).unwrap();
+                let b = resolver
+                    .clone()
+                    .with_engine(Engine::PathEnum(PropagateOptions {
+                        mode,
+                        ..PropagateOptions::default()
+                    }))
+                    .resolve_traced(leaf, o, r, strategy)
+                    .unwrap();
+                assert_eq!(a, b, "mode {mode:?}, strategy {strategy}");
+            }
+        }
+        // SecondWins and Both genuinely differ here — the old behaviour
+        // (records always under Both) would have made them equal.
+        let both = Resolver::new(&h, &eacm)
+            .all_rights_records(leaf, o, r)
+            .unwrap();
+        let second = Resolver::new(&h, &eacm)
+            .with_propagation_mode(PropagationMode::SecondWins)
+            .all_rights_records(leaf, o, r)
+            .unwrap();
+        assert_ne!(
+            DistanceHistogram::from_records(&both).unwrap(),
+            DistanceHistogram::from_records(&second).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_engine_adopts_the_options_mode() {
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let mid = h.add_subject();
+        let leaf = h.add_subject();
+        h.add_membership(root, mid).unwrap();
+        h.add_membership(mid, leaf).unwrap();
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(root, o, r).unwrap();
+        eacm.deny(mid, o, r).unwrap();
+        let opts = PropagateOptions {
+            mode: PropagationMode::SecondWins,
+            ..PropagateOptions::default()
+        };
+        let via_engine = Resolver::new(&h, &eacm).with_engine(Engine::PathEnum(opts));
+        let via_mode = Resolver::new(&h, &eacm).with_propagation_mode(PropagationMode::SecondWins);
+        assert_eq!(
+            via_engine.all_rights_histogram(leaf, o, r).unwrap(),
+            via_mode.all_rights_histogram(leaf, o, r).unwrap()
+        );
     }
 
     #[test]

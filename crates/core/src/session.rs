@@ -1,5 +1,5 @@
-//! A long-lived, mutable access-control session with precise cache
-//! maintenance.
+//! A long-lived, mutable access-control session with precise,
+//! *incremental* cache maintenance.
 //!
 //! The paper's related-work section criticises materialised effective
 //! matrices because they are "not self-maintainable with respect to
@@ -13,12 +13,25 @@
 //!   nothing;
 //! * **pair-local** — an explicit-matrix update touches exactly one
 //!   `(object, right)` sweep;
-//! * only hierarchy edits (group membership changes) invalidate
-//!   everything, and those are rare in practice.
+//! * **cone-local** — a hierarchy edit dirties only the edited member's
+//!   descendant cone, and the session *repairs* exactly those rows of
+//!   each cached table in place (a partial topological sweep seeded
+//!   from the clean ancestor rows, [`counting::histograms_repair`])
+//!   instead of flushing anything. Adding a subject merely appends one
+//!   row per cached table.
+//!
+//! No operation short of a failed repair (checked-arithmetic overflow)
+//! ever drops a whole cache, so an edit-heavy installation keeps paying
+//! cone-sized costs rather than `O(pairs × (V + E))` re-sweeps. In
+//! debug builds every repair is cross-checked against a from-scratch
+//! sweep (the old flush-and-recompute path survives only as that
+//! oracle).
 //!
 //! [`AccessSession`] owns the model, tracks these dependencies, and
-//! exposes hit/invalidation counters so operators can see the cache
-//! behave.
+//! exposes hit/repair counters so operators can see the cache behave.
+//! [`AccessSession::check_many`] batches point queries, grouping them by
+//! `(object, right)` and fanning the missing sweeps out over scoped
+//! threads.
 
 use crate::engine::counting::{self, PropagationMode};
 use crate::engine::DistanceHistogram;
@@ -26,14 +39,21 @@ use crate::error::CoreError;
 use crate::explain::{explain, Explanation};
 use crate::hierarchy::SubjectDag;
 use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::invalidation::RepairPlan;
 use crate::matrix::Eacm;
-use crate::mode::Sign;
+use crate::mode::{Mode, Sign};
 use crate::resolve::{resolve_histogram, Resolution};
 use crate::strategy::Strategy;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Finished sweep tables, keyed by `(object, right)` pair.
+type SweepCache = RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>;
+
+/// One work-stealing slot of the batched sweep computation.
+type TableCell = parking_lot::Mutex<Option<Result<Vec<DistanceHistogram>, CoreError>>>;
 
 /// Cache behaviour counters (monotonic, observational).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,8 +66,18 @@ pub struct SessionStats {
     pub sweeps: u64,
     /// Sweeps dropped by explicit-matrix updates.
     pub pair_invalidations: u64,
-    /// Full cache flushes caused by hierarchy edits.
+    /// Full cache flushes. Hierarchy edits no longer cause any — they
+    /// repair in place (a failed repair drops only its own pair, counted
+    /// under `pair_invalidations`) — so this stays `0`; it is retained
+    /// so operators can alert on it ever becoming non-zero.
     pub full_invalidations: u64,
+    /// Incremental table repairs performed (one per cached pair per
+    /// hierarchy edit).
+    pub partial_repairs: u64,
+    /// Total rows recomputed by incremental repairs — compare against
+    /// `subject_count × cached pairs` to see what a flush would have
+    /// re-swept.
+    pub rows_repaired: u64,
 }
 
 /// An owned access-control installation: hierarchy + explicit matrix +
@@ -74,12 +104,14 @@ pub struct AccessSession {
     hierarchy: SubjectDag,
     eacm: Eacm,
     strategy: Strategy,
-    cache: RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>,
+    cache: SweepCache,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     sweeps: AtomicU64,
     pair_invalidations: AtomicU64,
     full_invalidations: AtomicU64,
+    partial_repairs: AtomicU64,
+    rows_repaired: AtomicU64,
 }
 
 impl AccessSession {
@@ -95,6 +127,8 @@ impl AccessSession {
             sweeps: AtomicU64::new(0),
             pair_invalidations: AtomicU64::new(0),
             full_invalidations: AtomicU64::new(0),
+            partial_repairs: AtomicU64::new(0),
+            rows_repaired: AtomicU64::new(0),
         }
     }
 
@@ -126,21 +160,88 @@ impl AccessSession {
         &self.eacm
     }
 
-    /// Adds a subject. Does not invalidate (an isolated new subject
-    /// cannot appear in any existing ancestor cone)… except that cached
-    /// sweep tables are indexed by subject, so they are extended lazily:
-    /// we must still flush. Cheap correctness beats clever staleness.
+    /// Adds a subject. Does not invalidate anything: an isolated new
+    /// subject cannot appear in any existing ancestor cone, so each
+    /// cached table just grows by one freshly computed row (the new
+    /// subject is a root — its own label if one was pre-recorded, a
+    /// pending default otherwise).
     pub fn add_subject(&mut self) -> SubjectId {
-        self.flush_all();
-        self.hierarchy.add_subject()
+        let id = self.hierarchy.add_subject();
+        let mut guard = self.cache.write();
+        for (&(object, right), table) in guard.iter_mut() {
+            let mut row = DistanceHistogram::new();
+            let mode = self
+                .eacm
+                .label(id, object, right)
+                .map(Mode::from)
+                .unwrap_or(Mode::Default);
+            row.add(0, mode, 1).expect("one record cannot overflow");
+            Arc::make_mut(table).push(row);
+        }
+        id
     }
 
-    /// Adds a membership edge; flushes the whole cache (hierarchy edits
-    /// can reroute every ancestor cone).
+    /// Adds a membership edge and incrementally repairs every cached
+    /// sweep table: only the rows of `member` and its descendants can
+    /// have changed, so exactly those are recomputed by a partial
+    /// topological sweep seeded from the (clean) ancestor rows. No
+    /// cached table is dropped unless its repair itself fails
+    /// (checked-arithmetic overflow), in which case only that pair is
+    /// re-swept on next use.
     pub fn add_membership(&mut self, group: SubjectId, member: SubjectId) -> Result<(), CoreError> {
         self.hierarchy.add_membership(group, member)?;
-        self.flush_all();
+        self.repair_after_edge(member);
         Ok(())
+    }
+
+    /// Repairs all cached tables after a new edge into `member`.
+    fn repair_after_edge(&self, member: SubjectId) {
+        let mut guard = self.cache.write();
+        if guard.is_empty() {
+            return;
+        }
+        let plan = RepairPlan::for_new_edge(&self.hierarchy, member);
+        let mut failed: Vec<(ObjectId, RightId)> = Vec::new();
+        for (&(object, right), table) in guard.iter_mut() {
+            let rows = Arc::make_mut(table);
+            match counting::histograms_repair(
+                &self.hierarchy,
+                &self.eacm,
+                object,
+                right,
+                PropagationMode::Both,
+                rows,
+                plan.dirty(),
+            ) {
+                Ok(()) => {
+                    self.partial_repairs.fetch_add(1, Ordering::Relaxed);
+                    self.rows_repaired
+                        .fetch_add(plan.len() as u64, Ordering::Relaxed);
+                    // Debug oracle: the retired flush-and-recompute path,
+                    // kept as a cross-check that repair is exact.
+                    #[cfg(debug_assertions)]
+                    if let Ok(fresh) = counting::histograms_all(
+                        &self.hierarchy,
+                        &self.eacm,
+                        object,
+                        right,
+                        PropagationMode::Both,
+                    ) {
+                        debug_assert_eq!(
+                            rows,
+                            &fresh[..],
+                            "incremental repair diverged from full sweep \
+                             for ({object}, {right})"
+                        );
+                    }
+                }
+                Err(_) => failed.push((object, right)),
+            }
+        }
+        for key in failed {
+            guard.remove(&key);
+            self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records an explicit authorization; drops only the affected
@@ -208,6 +309,96 @@ impl AccessSession {
         resolve_histogram(&table[subject.index()], strategy)
     }
 
+    /// Batched authorization checks under the session strategy.
+    ///
+    /// Queries are grouped by `(object, right)`; pairs missing from the
+    /// cache are swept concurrently on scoped threads (work-stealing, as
+    /// in [`crate::EffectiveMatrix::compute_for_pairs_parallel`]), then
+    /// every query is answered from the now-warm cache. Answers are
+    /// returned in query order. Fails fast on the first unknown subject,
+    /// before any sweep runs.
+    pub fn check_many(
+        &self,
+        queries: &[(SubjectId, ObjectId, RightId)],
+    ) -> Result<Vec<Sign>, CoreError> {
+        self.check_many_with(queries, self.strategy)
+    }
+
+    /// Like [`AccessSession::check_many`], under an explicit strategy.
+    pub fn check_many_with(
+        &self,
+        queries: &[(SubjectId, ObjectId, RightId)],
+        strategy: Strategy,
+    ) -> Result<Vec<Sign>, CoreError> {
+        for &(subject, _, _) in queries {
+            if !self.hierarchy.contains(subject) {
+                return Err(CoreError::UnknownSubject(subject));
+            }
+        }
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let pairs: BTreeSet<(ObjectId, RightId)> =
+            queries.iter().map(|&(_, o, r)| (o, r)).collect();
+        let missing: Vec<(ObjectId, RightId)> = {
+            let guard = self.cache.read();
+            pairs
+                .iter()
+                .filter(|p| !guard.contains_key(p))
+                .copied()
+                .collect()
+        };
+        let hits = queries
+            .iter()
+            .filter(|&&(_, o, r)| !missing.contains(&(o, r)))
+            .count();
+        self.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(missing.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let cells: Vec<TableCell> = (0..missing.len())
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= missing.len() {
+                            break;
+                        }
+                        let (object, right) = missing[i];
+                        let table = counting::histograms_all(
+                            &self.hierarchy,
+                            &self.eacm,
+                            object,
+                            right,
+                            PropagationMode::Both,
+                        );
+                        *cells[i].lock() = Some(table);
+                    });
+                }
+            });
+            let mut guard = self.cache.write();
+            for (i, &pair) in missing.iter().enumerate() {
+                let table = cells[i].lock().take().expect("every index was processed")?;
+                self.sweeps.fetch_add(1, Ordering::Relaxed);
+                guard.entry(pair).or_insert_with(|| Arc::new(table));
+            }
+        }
+        let guard = self.cache.read();
+        queries
+            .iter()
+            .map(|&(subject, object, right)| {
+                let table = guard
+                    .get(&(object, right))
+                    .expect("pair ensured by the sweep phase");
+                Ok(resolve_histogram(&table[subject.index()], strategy)?.sign)
+            })
+            .collect()
+    }
+
     /// Explains a decision under the session strategy (uncached: the
     /// explanation needs per-path sources).
     pub fn explain(
@@ -216,7 +407,14 @@ impl AccessSession {
         object: ObjectId,
         right: RightId,
     ) -> Result<Explanation, CoreError> {
-        explain(&self.hierarchy, &self.eacm, subject, object, right, self.strategy)
+        explain(
+            &self.hierarchy,
+            &self.eacm,
+            subject,
+            object,
+            right,
+            self.strategy,
+        )
     }
 
     /// Cache/maintenance counters.
@@ -227,6 +425,8 @@ impl AccessSession {
             sweeps: self.sweeps.load(Ordering::Relaxed),
             pair_invalidations: self.pair_invalidations.load(Ordering::Relaxed),
             full_invalidations: self.full_invalidations.load(Ordering::Relaxed),
+            partial_repairs: self.partial_repairs.load(Ordering::Relaxed),
+            rows_repaired: self.rows_repaired.load(Ordering::Relaxed),
         }
     }
 
@@ -258,14 +458,6 @@ impl AccessSession {
         if self.cache.write().remove(&(object, right)).is_some() {
             self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
         }
-    }
-
-    fn flush_all(&self) {
-        let mut guard = self.cache.write();
-        if !guard.is_empty() {
-            self.full_invalidations.fetch_add(1, Ordering::Relaxed);
-        }
-        guard.clear();
     }
 }
 
@@ -315,7 +507,8 @@ mod tests {
         s.check(ex.user, other, ex.read).unwrap();
         assert_eq!(s.stats().sweeps, 2);
         // Update obj's matrix: only that sweep drops.
-        s.set_authorization(ex.s[0], ex.obj, ex.read, Sign::Neg).unwrap();
+        s.set_authorization(ex.s[0], ex.obj, ex.read, Sign::Neg)
+            .unwrap();
         s.check(ex.user, other, ex.read).unwrap(); // still cached
         assert_eq!(s.stats().sweeps, 2);
         let before = s.check(ex.user, ex.obj, ex.read).unwrap(); // re-swept
@@ -334,24 +527,98 @@ mod tests {
         s.set_strategy("D+LP+".parse().unwrap());
         assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
         // Deny at User itself: distance 0 beats everything.
-        s.set_authorization(ex.user, ex.obj, ex.read, Sign::Neg).unwrap();
+        s.set_authorization(ex.user, ex.obj, ex.read, Sign::Neg)
+            .unwrap();
         assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
         // Remove it again: back to +.
-        assert_eq!(s.unset_authorization(ex.user, ex.obj, ex.read), Some(Sign::Neg));
+        assert_eq!(
+            s.unset_authorization(ex.user, ex.obj, ex.read),
+            Some(Sign::Neg)
+        );
         assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
         assert_eq!(s.stats().pair_invalidations, 2);
     }
 
     #[test]
-    fn hierarchy_edit_flushes_everything() {
+    fn hierarchy_edit_repairs_instead_of_flushing() {
         let (mut s, ex) = session();
         s.check(ex.user, ex.obj, ex.read).unwrap();
         let newbie = s.add_subject();
         s.add_membership(ex.s[1], newbie).unwrap(); // member of S2
         assert_eq!(s.check(newbie, ex.obj, ex.read).unwrap(), Sign::Pos);
         let stats = s.stats();
-        assert!(stats.full_invalidations >= 1);
-        assert_eq!(stats.sweeps, 2);
+        assert_eq!(stats.full_invalidations, 0, "edits must repair, not flush");
+        assert_eq!(stats.sweeps, 1, "the original sweep keeps serving");
+        assert_eq!(stats.partial_repairs, 1);
+        assert_eq!(stats.rows_repaired, 1, "newbie's cone is just newbie");
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn add_subject_extends_cached_tables_without_flushing() {
+        let (mut s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let newbie = s.add_subject();
+        // The isolated newcomer resolves like any unlabeled root, served
+        // from the extended cache without a new sweep.
+        assert_eq!(s.check(newbie, ex.obj, ex.read).unwrap(), Sign::Neg);
+        let stats = s.stats();
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.full_invalidations + stats.pair_invalidations, 0);
+    }
+
+    #[test]
+    fn interior_edge_repairs_the_whole_descendant_cone() {
+        let (mut s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        s.check(ex.user, ObjectId(9), ex.read).unwrap();
+        // New root adopting S3: S3's descendant cone (S3, S4, S5, S7,
+        // S8, User) is dirty in *both* cached tables.
+        let boss = s.add_subject();
+        s.add_membership(boss, ex.s[2]).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.partial_repairs, 2);
+        assert_eq!(stats.rows_repaired, 12, "6-row cone × 2 cached pairs");
+        assert_eq!(stats.full_invalidations, 0);
+        // Answers still match a fresh resolver.
+        let fresh = crate::resolve::Resolver::new(s.hierarchy(), s.eacm())
+            .resolve(ex.user, ex.obj, ex.read, s.strategy())
+            .unwrap();
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), fresh);
+        assert_eq!(s.stats().sweeps, 2, "still no re-sweep");
+    }
+
+    #[test]
+    fn check_many_groups_pairs_and_matches_point_checks() {
+        let (s, ex) = session();
+        let mut queries = Vec::new();
+        for subject in ex.hierarchy.subjects() {
+            for o in 0..3u32 {
+                queries.push((subject, ObjectId(o), ex.read));
+            }
+        }
+        let batched = s.check_many(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        assert_eq!(s.stats().sweeps, 3, "one sweep per distinct pair");
+        for (&(subject, object, right), &sign) in queries.iter().zip(&batched) {
+            assert_eq!(s.check(subject, object, right).unwrap(), sign);
+        }
+        // The follow-up point checks were all cache hits.
+        let stats = s.stats();
+        assert_eq!(stats.sweeps, 3);
+        assert_eq!(stats.queries, 2 * queries.len() as u64);
+    }
+
+    #[test]
+    fn check_many_rejects_unknown_subject_before_sweeping() {
+        let (s, ex) = session();
+        let ghost = SubjectId::from_index(77);
+        assert_eq!(
+            s.check_many(&[(ex.user, ex.obj, ex.read), (ghost, ex.obj, ex.read)])
+                .unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+        assert_eq!(s.stats().sweeps, 0);
     }
 
     #[test]

@@ -32,9 +32,7 @@ use std::str::FromStr;
 
 /// `dRule` — what happens to the `d` placeholders on unlabeled root
 /// ancestors (Fig. 4 Lines 2–3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DefaultRule {
     /// `"+"` — defaults become positive (open systems).
     Pos,
@@ -46,9 +44,7 @@ pub enum DefaultRule {
 
 /// `lRule` — which distance stratum of `allRights` survives the locality
 /// filter (Fig. 4 Line 7).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LocalityRule {
     /// `min()` — the most specific authorization takes precedence
     /// (paper mnemonic letter `L`).
@@ -62,9 +58,7 @@ pub enum LocalityRule {
 
 /// `mRule` — whether the Majority vote is taken, and whether it is counted
 /// before or after the locality filter (Fig. 4 Lines 4–6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum MajorityRule {
     /// Count over all of `allRights` (strategy shapes `M…L…` / `M…G…` /
     /// plain `M`).
@@ -93,9 +87,7 @@ pub enum MajorityRule {
 /// assert_eq!(s.to_string(), "D+LMP-");
 /// assert_eq!(Strategy::all_instances().len(), 48);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Strategy {
     default: DefaultRule,
     locality: LocalityRule,
@@ -118,7 +110,12 @@ impl Strategy {
             (LocalityRule::Identity, MajorityRule::After) => MajorityRule::Before,
             (_, m) => m,
         };
-        Strategy { default, locality, majority, preference }
+        Strategy {
+            default,
+            locality,
+            majority,
+            preference,
+        }
     }
 
     /// The Default rule.
@@ -149,14 +146,14 @@ impl Strategy {
         let mut out = Vec::with_capacity(48);
         for default in [DefaultRule::Pos, DefaultRule::Neg, DefaultRule::NoDefault] {
             for (locality, majority) in [
-                (LocalityRule::MostSpecific, MajorityRule::Skip),   // …LP…
-                (LocalityRule::MostSpecific, MajorityRule::After),  // …LMP…
+                (LocalityRule::MostSpecific, MajorityRule::Skip), // …LP…
+                (LocalityRule::MostSpecific, MajorityRule::After), // …LMP…
                 (LocalityRule::MostSpecific, MajorityRule::Before), // …MLP…
-                (LocalityRule::MostGeneral, MajorityRule::Skip),    // …GP…
-                (LocalityRule::MostGeneral, MajorityRule::After),   // …GMP…
-                (LocalityRule::MostGeneral, MajorityRule::Before),  // …MGP…
-                (LocalityRule::Identity, MajorityRule::Skip),       // …P…
-                (LocalityRule::Identity, MajorityRule::Before),     // …MP…
+                (LocalityRule::MostGeneral, MajorityRule::Skip),  // …GP…
+                (LocalityRule::MostGeneral, MajorityRule::After), // …GMP…
+                (LocalityRule::MostGeneral, MajorityRule::Before), // …MGP…
+                (LocalityRule::Identity, MajorityRule::Skip),     // …P…
+                (LocalityRule::Identity, MajorityRule::Before),   // …MP…
             ] {
                 for preference in [Sign::Pos, Sign::Neg] {
                     out.push(Strategy::new(default, locality, majority, preference));
@@ -428,7 +425,11 @@ mod tests {
                 LocalityRule::MostGeneral,
                 LocalityRule::Identity,
             ] {
-                for m in [MajorityRule::Before, MajorityRule::After, MajorityRule::Skip] {
+                for m in [
+                    MajorityRule::Before,
+                    MajorityRule::After,
+                    MajorityRule::Skip,
+                ] {
                     for p in [Sign::Pos, Sign::Neg] {
                         set.insert(Strategy::new(d, l, m, p));
                     }
@@ -488,8 +489,21 @@ mod tests {
     #[test]
     fn rejects_malformed_mnemonics() {
         for bad in [
-            "", "D", "DP+", "D+", "D+P", "XP+", "D+LLP-", "D+MLMP-", "LMP", "P", "P0",
-            "D+LMP-extra", "LPM+", "MM P+", "GLP+",
+            "",
+            "D",
+            "DP+",
+            "D+",
+            "D+P",
+            "XP+",
+            "D+LLP-",
+            "D+MLMP-",
+            "LMP",
+            "P",
+            "P0",
+            "D+LMP-extra",
+            "LPM+",
+            "MM P+",
+            "GLP+",
         ] {
             assert!(
                 bad.parse::<Strategy>().is_err(),

@@ -28,12 +28,16 @@ fn deep_chain_locality_extremes() {
     let resolver = Resolver::new(&h, &eacm);
     // Most specific: the deny at distance 100.
     assert_eq!(
-        resolver.resolve(sink, O, R, "LP+".parse().unwrap()).unwrap(),
+        resolver
+            .resolve(sink, O, R, "LP+".parse().unwrap())
+            .unwrap(),
         Sign::Neg
     );
     // Most general: the grant at distance 500.
     assert_eq!(
-        resolver.resolve(sink, O, R, "GP-".parse().unwrap()).unwrap(),
+        resolver
+            .resolve(sink, O, R, "GP-".parse().unwrap())
+            .unwrap(),
         Sign::Pos
     );
     let hist = resolver.all_rights_histogram(sink, O, R).unwrap();
@@ -71,12 +75,16 @@ fn exponential_vote_weights() {
 
     // Majority: 2^60 positive paths vs 1 negative — grant.
     assert_eq!(
-        resolver.resolve(sink, O, R, "MP-".parse().unwrap()).unwrap(),
+        resolver
+            .resolve(sink, O, R, "MP-".parse().unwrap())
+            .unwrap(),
         Sign::Pos
     );
     // Locality: the deny at distance 1 is most specific.
     assert_eq!(
-        resolver.resolve(sink, O, R, "LP+".parse().unwrap()).unwrap(),
+        resolver
+            .resolve(sink, O, R, "LP+".parse().unwrap())
+            .unwrap(),
         Sign::Neg
     );
     let hist = resolver.all_rights_histogram(sink, O, R).unwrap();

@@ -79,11 +79,7 @@ pub fn transitive_closure(dag: &Dag) -> Vec<Vec<bool>> {
 }
 
 /// Borrows two distinct rows of the matrix mutably/immutably.
-fn split_two<'m>(
-    matrix: &'m mut [Vec<bool>],
-    a: usize,
-    b: usize,
-) -> (&'m mut Vec<bool>, &'m Vec<bool>) {
+fn split_two(matrix: &mut [Vec<bool>], a: usize, b: usize) -> (&mut Vec<bool>, &Vec<bool>) {
     assert_ne!(a, b, "DAG edges have distinct endpoints");
     if a < b {
         let (lo, hi) = matrix.split_at_mut(b);

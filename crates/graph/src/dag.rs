@@ -196,7 +196,10 @@ impl Dag {
                 .edges()
                 .find(|&(p, c)| on_cycle(p) && on_cycle(c))
                 .expect("a cyclic residue has an internal edge");
-            return Err(GraphError::WouldCycle { parent: edge.0, child: edge.1 });
+            return Err(GraphError::WouldCycle {
+                parent: edge.0,
+                child: edge.1,
+            });
         }
         Ok(dag)
     }
@@ -372,7 +375,10 @@ mod tests {
         g.add_edge(a, b).unwrap();
         assert_eq!(
             g.add_edge(a, b),
-            Err(GraphError::DuplicateEdge { parent: a, child: b })
+            Err(GraphError::DuplicateEdge {
+                parent: a,
+                child: b
+            })
         );
         assert_eq!(g.edge_count(), 1);
     }
@@ -394,7 +400,10 @@ mod tests {
         g.add_edge(a, b).unwrap();
         assert_eq!(
             g.add_edge(b, a),
-            Err(GraphError::WouldCycle { parent: b, child: a })
+            Err(GraphError::WouldCycle {
+                parent: b,
+                child: a
+            })
         );
     }
 
@@ -407,7 +416,10 @@ mod tests {
         }
         assert_eq!(
             g.add_edge(v[4], v[0]),
-            Err(GraphError::WouldCycle { parent: v[4], child: v[0] })
+            Err(GraphError::WouldCycle {
+                parent: v[4],
+                child: v[0]
+            })
         );
         // A forward shortcut is still fine.
         g.add_edge(v[0], v[4]).unwrap();
@@ -433,8 +445,8 @@ mod tests {
     #[test]
     fn from_edges_builds_valid_graphs() {
         let n = |i| NodeId::from_index(i);
-        let g = Dag::from_edges(4, [(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))])
-            .unwrap();
+        let g =
+            Dag::from_edges(4, [(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))]).unwrap();
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 4);
         assert!(g.reaches(n(0), n(3)));
@@ -449,7 +461,10 @@ mod tests {
         );
         assert_eq!(
             Dag::from_edges(2, [(n(0), n(1)), (n(0), n(1))]).unwrap_err(),
-            GraphError::DuplicateEdge { parent: n(0), child: n(1) }
+            GraphError::DuplicateEdge {
+                parent: n(0),
+                child: n(1)
+            }
         );
         assert_eq!(
             Dag::from_edges(1, [(n(0), n(5))]).unwrap_err(),
@@ -459,8 +474,7 @@ mod tests {
         let err = Dag::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]).unwrap_err();
         assert!(matches!(err, GraphError::WouldCycle { .. }));
         // A cycle plus clean nodes still detected.
-        let err =
-            Dag::from_edges(4, [(n(3), n(0)), (n(0), n(1)), (n(1), n(0))]).unwrap_err();
+        let err = Dag::from_edges(4, [(n(3), n(0)), (n(0), n(1)), (n(1), n(0))]).unwrap_err();
         assert!(matches!(err, GraphError::WouldCycle { .. }));
     }
 
@@ -474,7 +488,10 @@ mod tests {
         for (p, c) in edges {
             inc.add_edge(p, c).unwrap();
         }
-        assert_eq!(bulk.edges().collect::<Vec<_>>(), inc.edges().collect::<Vec<_>>());
+        assert_eq!(
+            bulk.edges().collect::<Vec<_>>(),
+            inc.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -484,6 +501,9 @@ mod tests {
         let back: Dag = serde_json::from_str(&json).unwrap();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
-        assert_eq!(back.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            back.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n:?} is not allowed"),
             GraphError::PathCountOverflow => {
-                write!(f, "path statistics overflowed u128 (graph has too many paths)")
+                write!(
+                    f,
+                    "path statistics overflowed u128 (graph has too many paths)"
+                )
             }
         }
     }

@@ -72,14 +72,14 @@ pub fn parse_edge_list(input: &str) -> Result<Dag, ParseError> {
         if content.is_empty() {
             continue;
         }
-        let bad = || ParseError::BadLine { line, content: content.to_string() };
+        let bad = || ParseError::BadLine {
+            line,
+            content: content.to_string(),
+        };
         let mut words = content.split_whitespace();
         let first = words.next().ok_or_else(bad)?;
         if first == "node" {
-            let id: usize = words
-                .next()
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(bad)?;
+            let id: usize = words.next().and_then(|w| w.parse().ok()).ok_or_else(bad)?;
             if words.next().is_some() {
                 return Err(bad());
             }
@@ -87,10 +87,7 @@ pub fn parse_edge_list(input: &str) -> Result<Dag, ParseError> {
             continue;
         }
         let parent: usize = first.parse().map_err(|_| bad())?;
-        let child: usize = words
-            .next()
-            .and_then(|w| w.parse().ok())
-            .ok_or_else(bad)?;
+        let child: usize = words.next().and_then(|w| w.parse().ok()).ok_or_else(bad)?;
         if words.next().is_some() {
             return Err(bad());
         }
@@ -145,7 +142,10 @@ mod tests {
         let err = parse_edge_list("0 1\nbogus\n").unwrap_err();
         assert_eq!(
             err,
-            ParseError::BadLine { line: 2, content: "bogus".to_string() }
+            ParseError::BadLine {
+                line: 2,
+                content: "bogus".to_string()
+            }
         );
         let err = parse_edge_list("0 1 2\n").unwrap_err();
         assert!(matches!(err, ParseError::BadLine { line: 1, .. }));

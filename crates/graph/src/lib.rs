@@ -48,8 +48,8 @@
 
 pub mod analysis;
 mod dag;
-mod error;
 pub mod dot;
+mod error;
 pub mod io;
 pub mod paths;
 pub mod subgraph;

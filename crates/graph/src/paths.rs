@@ -66,7 +66,10 @@ pub fn path_stats_to(dag: &Dag, to: NodeId) -> Result<Vec<PathStats>, GraphError
         return Err(GraphError::UnknownNode(to));
     }
     let mut stats = vec![PathStats::default(); dag.node_count()];
-    stats[to.index()] = PathStats { count: 1, total_len: 0 };
+    stats[to.index()] = PathStats {
+        count: 1,
+        total_len: 0,
+    };
     for v in topo_order(dag).into_iter().rev() {
         if v == to {
             continue;
@@ -99,11 +102,7 @@ pub fn path_stats_to(dag: &Dag, to: NodeId) -> Result<Vec<PathStats>, GraphError
 /// the unlabeled roots of the ancestor sub-graph (§3.3). Sources that do
 /// not reach `to` contribute 0. Duplicate sources are summed once each, as
 /// given.
-pub fn sum_path_lengths_to(
-    dag: &Dag,
-    sources: &[NodeId],
-    to: NodeId,
-) -> Result<u128, GraphError> {
+pub fn sum_path_lengths_to(dag: &Dag, sources: &[NodeId], to: NodeId) -> Result<u128, GraphError> {
     let stats = path_stats_to(dag, to)?;
     let mut d: u128 = 0;
     for &s in sources {
@@ -160,7 +159,13 @@ mod tests {
         let v = g.add_node();
         assert_eq!(count_paths(&g, v, v).unwrap(), 1);
         let stats = path_stats_to(&g, v).unwrap();
-        assert_eq!(stats[v.index()], PathStats { count: 1, total_len: 0 });
+        assert_eq!(
+            stats[v.index()],
+            PathStats {
+                count: 1,
+                total_len: 0
+            }
+        );
     }
 
     #[test]
@@ -168,7 +173,13 @@ mod tests {
         let (g, top, bottom) = diamond_chain(1);
         assert_eq!(count_paths(&g, top, bottom).unwrap(), 2);
         let stats = path_stats_to(&g, bottom).unwrap();
-        assert_eq!(stats[top.index()], PathStats { count: 2, total_len: 4 });
+        assert_eq!(
+            stats[top.index()],
+            PathStats {
+                count: 2,
+                total_len: 4
+            }
+        );
     }
 
     #[test]
@@ -190,7 +201,10 @@ mod tests {
     fn unknown_nodes_error() {
         let g = Dag::new();
         let ghost = NodeId::from_index(0);
-        assert!(matches!(paths_to(&g, ghost), Err(GraphError::UnknownNode(_))));
+        assert!(matches!(
+            paths_to(&g, ghost),
+            Err(GraphError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -213,10 +227,34 @@ mod tests {
         // Paths to u: s1: one path of length 3. s2: lengths 1 and 3.
         // s5: length 1. s6: lengths 1 and 2.
         let stats = path_stats_to(&g, u).unwrap();
-        assert_eq!(stats[s1.index()], PathStats { count: 1, total_len: 3 });
-        assert_eq!(stats[s2.index()], PathStats { count: 2, total_len: 4 });
-        assert_eq!(stats[s5.index()], PathStats { count: 1, total_len: 1 });
-        assert_eq!(stats[s6.index()], PathStats { count: 2, total_len: 3 });
+        assert_eq!(
+            stats[s1.index()],
+            PathStats {
+                count: 1,
+                total_len: 3
+            }
+        );
+        assert_eq!(
+            stats[s2.index()],
+            PathStats {
+                count: 2,
+                total_len: 4
+            }
+        );
+        assert_eq!(
+            stats[s5.index()],
+            PathStats {
+                count: 1,
+                total_len: 1
+            }
+        );
+        assert_eq!(
+            stats[s6.index()],
+            PathStats {
+                count: 2,
+                total_len: 3
+            }
+        );
         // d over sources {explicit: s2, s5; unlabeled roots: s1, s6}
         // = 4 + 1 + 3 + 3 = 11, which is the total length of Table 1's rows:
         // 1+1+2+1+3+3 = 11.

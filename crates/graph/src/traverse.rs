@@ -13,7 +13,7 @@ pub enum Direction {
     Up,
 }
 
-fn neighbours<'g>(dag: &'g Dag, v: NodeId, dir: Direction) -> &'g [NodeId] {
+fn neighbours(dag: &Dag, v: NodeId, dir: Direction) -> &[NodeId] {
     match dir {
         Direction::Down => dag.children(v),
         Direction::Up => dag.parents(v),
@@ -69,6 +69,54 @@ pub fn reachable_set(dag: &Dag, starts: &[NodeId], dir: Direction) -> Vec<bool> 
         }
     }
     seen
+}
+
+/// The nodes reachable from `starts` following `dir` (the *cone* of the
+/// starts, including the starts themselves), in a topological order
+/// restricted to the cone: a cone node appears after every cone node
+/// that precedes it along `dir`.
+///
+/// For [`Direction::Down`] this lists a node's descendant cone with
+/// parents-in-the-cone before children — exactly the visit order an
+/// incremental re-sweep needs when only the cone is dirty and every
+/// out-of-cone predecessor is known to be clean. Cost is `O(V)` for the
+/// membership vector plus `O(Σ_{v ∈ cone} degree(v))`, independent of the
+/// total edge count.
+pub fn cone_topo_order(dag: &Dag, starts: &[NodeId], dir: Direction) -> Vec<NodeId> {
+    let in_cone = reachable_set(dag, starts, dir);
+    // Kahn's algorithm restricted to the cone: count only predecessors
+    // (relative to `dir`) that are themselves cone members.
+    let back = match dir {
+        Direction::Down => Direction::Up,
+        Direction::Up => Direction::Down,
+    };
+    let mut indeg = vec![0usize; dag.node_count()];
+    let mut q = VecDeque::new();
+    let mut cone_size = 0usize;
+    for v in dag.nodes().filter(|v| in_cone[v.index()]) {
+        cone_size += 1;
+        indeg[v.index()] = neighbours(dag, v, back)
+            .iter()
+            .filter(|p| in_cone[p.index()])
+            .count();
+        if indeg[v.index()] == 0 {
+            q.push_back(v);
+        }
+    }
+    let mut order = Vec::with_capacity(cone_size);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        for &c in neighbours(dag, v, dir) {
+            if in_cone[c.index()] {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    q.push_back(c);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), cone_size, "Dag invariant violated");
+    order
 }
 
 /// A topological order of the whole graph (parents before children).
@@ -176,6 +224,53 @@ mod tests {
         let up = reachable_set(&g, &[e], Direction::Up);
         assert!(up[e.index()] && up[c.index()] && up[a.index()]);
         assert!(!up[b.index()] && !up[d.index()]);
+    }
+
+    #[test]
+    fn cone_topo_order_lists_descendants_in_topo_order() {
+        let (g, [a, b, c, d, e]) = sample();
+        let cone = cone_topo_order(&g, &[c], Direction::Down);
+        assert_eq!(cone.len(), 3);
+        assert_eq!(cone[0], c);
+        assert!(cone.contains(&d) && cone.contains(&e));
+        assert!(!cone.contains(&a) && !cone.contains(&b));
+        // Up direction: the ancestor cone of d, children before parents.
+        let up = cone_topo_order(&g, &[d], Direction::Up);
+        assert_eq!(up[0], d);
+        assert_eq!(up.len(), 4);
+        let pos = |v: NodeId| up.iter().position(|&x| x == v).unwrap();
+        assert!(pos(b) < pos(a) && pos(c) < pos(a));
+    }
+
+    #[test]
+    fn cone_topo_order_of_whole_graph_matches_edge_order() {
+        let (g, _) = sample();
+        let starts: Vec<NodeId> = g.roots().collect();
+        let order = cone_topo_order(&g, &starts, Direction::Down);
+        assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![0; g.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (p, c) in g.edges() {
+            assert!(pos[p.index()] < pos[c.index()]);
+        }
+    }
+
+    #[test]
+    fn cone_topo_order_respects_in_cone_edges_on_diamond() {
+        // a → b, a → c, b → d, c → d: cone of b is {b, d}; d after b.
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert_eq!(cone_topo_order(&g, &[b], Direction::Down), vec![b, d]);
+        assert_eq!(cone_topo_order(&g, &[d], Direction::Down), vec![d]);
     }
 
     #[test]

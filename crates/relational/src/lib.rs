@@ -46,8 +46,8 @@ mod error;
 mod predicate;
 mod relation;
 mod schema;
-mod value;
 pub mod spec;
+mod value;
 
 pub use error::RelationalError;
 pub use predicate::Predicate;

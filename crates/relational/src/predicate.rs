@@ -102,12 +102,8 @@ mod tests {
     fn col_eq_col() {
         let s = Schema::new(["a", "b"]);
         let p = Predicate::ColEqCol("a".into(), "b".into());
-        assert!(p
-            .eval(&s, &[Value::Int(3), Value::Int(3)])
-            .unwrap());
-        assert!(!p
-            .eval(&s, &[Value::Int(3), Value::Int(4)])
-            .unwrap());
+        assert!(p.eval(&s, &[Value::Int(3), Value::Int(3)]).unwrap());
+        assert!(!p.eval(&s, &[Value::Int(3), Value::Int(4)]).unwrap());
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The relation's schema.
@@ -149,7 +152,11 @@ impl Relation {
             .filter(|&i| !common.contains(&other.schema.columns()[i]))
             .collect();
         let mut names: Vec<String> = self.schema.columns().to_vec();
-        names.extend(right_extra.iter().map(|&i| other.schema.columns()[i].clone()));
+        names.extend(
+            right_extra
+                .iter()
+                .map(|&i| other.schema.columns()[i].clone()),
+        );
         let mut out = Relation::new(Schema::new(names));
 
         // Build side: hash the smaller relation? Keep it simple and hash
@@ -210,11 +217,7 @@ impl Relation {
 
     /// Appends a constant column to every row (used to materialise the
     /// iteration counter `i` as the `dis` column in Fig. 5).
-    pub fn with_const_column(
-        &self,
-        name: &str,
-        value: Value,
-    ) -> Result<Relation, RelationalError> {
+    pub fn with_const_column(&self, name: &str, value: Value) -> Result<Relation, RelationalError> {
         if self.schema.contains(name) {
             return Err(RelationalError::DuplicateColumn(name.to_string()));
         }
@@ -311,11 +314,7 @@ impl Relation {
         self.fold_int(column, |a, b| a.max(b))
     }
 
-    fn fold_int(
-        &self,
-        column: &str,
-        f: impl Fn(i64, i64) -> i64,
-    ) -> Result<i64, RelationalError> {
+    fn fold_int(&self, column: &str, f: impl Fn(i64, i64) -> i64) -> Result<i64, RelationalError> {
         let ci = self.schema.index_of(column)?;
         let mut acc: Option<i64> = None;
         for row in &self.rows {
@@ -404,7 +403,10 @@ mod tests {
         let mut r = Relation::new(Schema::new(["a", "b"]));
         assert!(matches!(
             r.push_row([Value::Int(1)]),
-            Err(RelationalError::ArityMismatch { expected: 2, got: 1 })
+            Err(RelationalError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -451,7 +453,10 @@ mod tests {
         let mut b = Relation::new(Schema::new(["v"]));
         b.push_row([Value::Int(2)]).unwrap();
         let d = a.minus(&b).unwrap();
-        assert_eq!(d.sorted_rows(), vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        assert_eq!(
+            d.sorted_rows(),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
     }
 
     #[test]

@@ -104,8 +104,7 @@ pub fn eacm_schema() -> Schema {
 pub fn sdag_relation(edges: &[(i64, i64)]) -> Relation {
     let mut r = Relation::new(sdag_schema());
     for &(p, c) in edges {
-        r.push_row([Value::Int(p), Value::Int(c)])
-            .expect("arity 2");
+        r.push_row([Value::Int(p), Value::Int(c)]).expect("arity 2");
     }
     r
 }
@@ -185,13 +184,16 @@ pub fn propagate_full(
     let mut i: i64 = 0;
 
     // Line 3: P ← π_{subject,object,permission,i,mode}(nodes ⋈ σ_{permission=r, object=o} EACM)
-    let filtered_eacm = eacm.select(
-        &Predicate::col_eq("permission", r).and(Predicate::col_eq("object", o)),
-    )?;
+    let filtered_eacm =
+        eacm.select(&Predicate::col_eq("permission", r).and(Predicate::col_eq("object", o)))?;
     let joined = nodes.natural_join(&filtered_eacm)?;
-    let mut p = joined
-        .with_const_column("dis", Value::Int(i))?
-        .project(&["subject", "object", "permission", "dis", "mode"])?;
+    let mut p = joined.with_const_column("dis", Value::Int(i))?.project(&[
+        "subject",
+        "object",
+        "permission",
+        "dis",
+        "mode",
+    ])?;
 
     // Line 4: Roots ← nodes − π_child SDAG' − π_subject P
     // (see module docs, clarification 2: `nodes` in place of π_subject SDAG').
@@ -200,19 +202,20 @@ pub fn propagate_full(
         .minus(&p.project(&["subject"])?)?;
 
     // Line 5: P ← P ∪ Roots × {⟨o, r, i, "d"⟩}
-    let mut default_tuple =
-        Relation::new(Schema::new(["object", "permission", "dis", "mode"]));
+    let mut default_tuple = Relation::new(Schema::new(["object", "permission", "dis", "mode"]));
     default_tuple.push_row([
         Value::Int(o),
         Value::Int(r),
         Value::Int(i),
         Value::text("d"),
     ])?;
-    p = p.union_all(
-        &roots
-            .product(&default_tuple)?
-            .project(&["subject", "object", "permission", "dis", "mode"])?,
-    )?;
+    p = p.union_all(&roots.product(&default_tuple)?.project(&[
+        "subject",
+        "object",
+        "permission",
+        "dis",
+        "mode",
+    ])?)?;
 
     // Line 6: P' ← σ_{subject ≠ s} P
     let mut p_prime = p.select(&Predicate::col_ne("subject", s))?;
@@ -296,6 +299,7 @@ pub struct SpecTrace {
 /// Algorithm `Resolve()` (Fig. 4): computes the effective authorization of
 /// subject `s` for right `r` on object `o` under the strategy instance
 /// `(d_rule, l_rule, m_rule, p_rule)`.
+#[allow(clippy::too_many_arguments)]
 pub fn resolve(
     sdag: &Relation,
     eacm: &Relation,
@@ -352,10 +356,22 @@ pub fn resolve_traced(
         c1 = Some(pos);
         c2 = Some(neg);
         if pos > neg {
-            return Ok(SpecTrace { sign: Sign::Pos, c1, c2, auth: None, line: 6 });
+            return Ok(SpecTrace {
+                sign: Sign::Pos,
+                c1,
+                c2,
+                auth: None,
+                line: 6,
+            });
         }
         if neg > pos {
-            return Ok(SpecTrace { sign: Sign::Neg, c1, c2, auth: None, line: 6 });
+            return Ok(SpecTrace {
+                sign: Sign::Neg,
+                c1,
+                c2,
+                auth: None,
+                line: 6,
+            });
         }
     }
 
@@ -374,11 +390,23 @@ pub fn resolve_traced(
     // Line 8: if count(Auth) = 1 return Auth
     if auth.len() == 1 {
         let sign = auth[0];
-        return Ok(SpecTrace { sign, c1, c2, auth: Some(auth), line: 8 });
+        return Ok(SpecTrace {
+            sign,
+            c1,
+            c2,
+            auth: Some(auth),
+            line: 8,
+        });
     }
 
     // Line 9: return pRule
-    Ok(SpecTrace { sign: p_rule, c1, c2, auth: Some(auth), line: 9 })
+    Ok(SpecTrace {
+        sign: p_rule,
+        c1,
+        c2,
+        auth: Some(auth),
+        line: 9,
+    })
 }
 
 #[cfg(test)]
@@ -388,15 +416,7 @@ mod tests {
     /// Figure 3 encoded as relations: node ids 1,2,3,5,6 = S1,S2,S3,S5,S6;
     /// 100 = User. Object 10, right 20.
     fn fig3() -> (Relation, Relation) {
-        let sdag = sdag_relation(&[
-            (1, 3),
-            (2, 3),
-            (2, 100),
-            (3, 5),
-            (5, 100),
-            (6, 5),
-            (6, 100),
-        ]);
+        let sdag = sdag_relation(&[(1, 3), (2, 3), (2, 100), (3, 5), (5, 100), (6, 5), (6, 100)]);
         let eacm = eacm_relation(&[(2, 10, 20, Sign::Pos), (5, 10, 20, Sign::Neg)]);
         (sdag, eacm)
     }
@@ -414,7 +434,10 @@ mod tests {
     fn ancestors_of_user() {
         let (sdag, _) = fig3();
         let anc = ancestors(&sdag, 100).unwrap();
-        assert_eq!(anc.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 5, 6, 100]);
+        assert_eq!(
+            anc.into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 5, 6, 100]
+        );
     }
 
     #[test]
@@ -542,9 +565,7 @@ mod tests {
     #[test]
     fn traced_resolve_matches_paper_table_3() {
         let (sdag, eacm) = fig3();
-        let run = |d, l, m, p| {
-            resolve_traced(&sdag, &eacm, 100, 10, 20, d, l, m, p).unwrap()
-        };
+        let run = |d, l, m, p| resolve_traced(&sdag, &eacm, 100, 10, 20, d, l, m, p).unwrap();
         use DefaultRule as D;
         use LocalityRule as L;
         use MajorityRule as M;
@@ -552,7 +573,13 @@ mod tests {
         let t = run(D::Pos, L::Min, M::After, Sign::Pos);
         assert_eq!(
             t,
-            SpecTrace { sign: Sign::Pos, c1: Some(2), c2: Some(1), auth: None, line: 6 }
+            SpecTrace {
+                sign: Sign::Pos,
+                c1: Some(2),
+                c2: Some(1),
+                auth: None,
+                line: 6
+            }
         );
         // D-GMP-: 1, 1, {+,-}, -, line 9.
         let t = run(D::Neg, L::Max, M::After, Sign::Neg);

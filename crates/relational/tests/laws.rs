@@ -9,8 +9,11 @@ use ucra_relational::{Predicate, Relation, Schema, Value};
 fn relation(rows: &[(i64, u8)]) -> Relation {
     let mut r = Relation::new(Schema::new(["k", "v"]));
     for &(k, v) in rows {
-        r.push_row([Value::Int(k % 4), Value::text(["a", "b", "c"][(v % 3) as usize])])
-            .unwrap();
+        r.push_row([
+            Value::Int(k % 4),
+            Value::text(["a", "b", "c"][(v % 3) as usize]),
+        ])
+        .unwrap();
     }
     r
 }

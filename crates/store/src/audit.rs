@@ -174,10 +174,7 @@ mod tests {
         assert_eq!(log.denials().count(), 1);
         assert_eq!(log.for_subject("alice").count(), 1);
         assert_eq!(log.preference_decided().count(), 1);
-        assert_eq!(
-            log.preference_decided().next().unwrap().subject,
-            "alice"
-        );
+        assert_eq!(log.preference_decided().next().unwrap().subject, "alice");
     }
 
     #[test]

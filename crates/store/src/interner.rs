@@ -36,11 +36,7 @@ impl Interner {
         if self.index.is_empty() && !self.names.is_empty() {
             // Deserialised without the index; fall back to a scan. Call
             // sites that mutate will rebuild the map via `intern`.
-            return self
-                .names
-                .iter()
-                .position(|n| n == name)
-                .map(|i| i as u32);
+            return self.names.iter().position(|n| n == name).map(|i| i as u32);
         }
         self.index.get(name).copied()
     }

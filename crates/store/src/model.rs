@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use ucra_core::constraints::{check_sod, SodConstraint};
 use ucra_core::{
-    CoreError, Eacm, EffectiveMatrix, MemoResolver, ObjectId, Resolution, Resolver, RightId,
-    Sign, Strategy, SubjectDag, SubjectId,
+    CoreError, Eacm, EffectiveMatrix, MemoResolver, ObjectId, Resolution, Resolver, RightId, Sign,
+    Strategy, SubjectDag, SubjectId,
 };
 
 /// A separation-of-duty constraint over *named* privileges, as stored in
@@ -60,7 +60,10 @@ impl fmt::Display for StoreError {
             StoreError::Core(e) => write!(f, "{e}"),
             StoreError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
             StoreError::NoStrategy => {
-                write!(f, "no strategy configured; call set_default_strategy or pass one")
+                write!(
+                    f,
+                    "no strategy configured; call set_default_strategy or pass one"
+                )
             }
             StoreError::Malformed(msg) => write!(f, "malformed model: {msg}"),
         }
@@ -130,7 +133,10 @@ impl AccessModel {
         self.subjects
             .get(name)
             .map(|id| SubjectId::from_index(id as usize))
-            .ok_or_else(|| StoreError::UnknownName { kind: "subject", name: name.into() })
+            .ok_or_else(|| StoreError::UnknownName {
+                kind: "subject",
+                name: name.into(),
+            })
     }
 
     /// Looks an object up without creating it.
@@ -138,7 +144,10 @@ impl AccessModel {
         self.objects
             .get(name)
             .map(ObjectId)
-            .ok_or_else(|| StoreError::UnknownName { kind: "object", name: name.into() })
+            .ok_or_else(|| StoreError::UnknownName {
+                kind: "object",
+                name: name.into(),
+            })
     }
 
     /// Looks a right up without creating it.
@@ -146,7 +155,10 @@ impl AccessModel {
         self.rights
             .get(name)
             .map(RightId)
-            .ok_or_else(|| StoreError::UnknownName { kind: "right", name: name.into() })
+            .ok_or_else(|| StoreError::UnknownName {
+                kind: "right",
+                name: name.into(),
+            })
     }
 
     /// The name of a subject id.
@@ -158,18 +170,28 @@ impl AccessModel {
     pub fn add_membership(&mut self, group: &str, member: &str) -> Result<(), StoreError> {
         let g = self.subject(group);
         let m = self.subject(member);
-        self.hierarchy.add_membership(g, m).map_err(StoreError::from)
+        self.hierarchy
+            .add_membership(g, m)
+            .map_err(StoreError::from)
     }
 
     /// Grants `right` on `object` to `subject` explicitly.
     pub fn grant(&mut self, subject: &str, object: &str, right: &str) -> Result<(), StoreError> {
-        let (s, o, r) = (self.subject(subject), self.object(object), self.right(right));
+        let (s, o, r) = (
+            self.subject(subject),
+            self.object(object),
+            self.right(right),
+        );
         self.eacm.grant(s, o, r).map_err(StoreError::from)
     }
 
     /// Denies `right` on `object` to `subject` explicitly.
     pub fn deny(&mut self, subject: &str, object: &str, right: &str) -> Result<(), StoreError> {
-        let (s, o, r) = (self.subject(subject), self.object(object), self.right(right));
+        let (s, o, r) = (
+            self.subject(subject),
+            self.object(object),
+            self.right(right),
+        );
         self.eacm.deny(s, o, r).map_err(StoreError::from)
     }
 
@@ -248,10 +270,7 @@ impl AccessModel {
 
     /// Checks every declared constraint against the effective matrix
     /// under `strategy`, returning named violation reports.
-    pub fn check_constraints(
-        &self,
-        strategy: Strategy,
-    ) -> Result<Vec<NamedViolation>, StoreError> {
+    pub fn check_constraints(&self, strategy: Strategy) -> Result<Vec<NamedViolation>, StoreError> {
         let mut reports = Vec::new();
         for c in &self.constraints {
             let pairs: Vec<(ObjectId, RightId)> = c
@@ -394,11 +413,13 @@ mod tests {
     fn named_resolution_matches_paper_table_2() {
         let m = motivating_model();
         assert_eq!(
-            m.check_with("User", "obj", "read", "D+LMP+".parse().unwrap()).unwrap(),
+            m.check_with("User", "obj", "read", "D+LMP+".parse().unwrap())
+                .unwrap(),
             Sign::Pos
         );
         assert_eq!(
-            m.check_with("User", "obj", "read", "D-LP-".parse().unwrap()).unwrap(),
+            m.check_with("User", "obj", "read", "D-LP-".parse().unwrap())
+                .unwrap(),
             Sign::Neg
         );
     }
@@ -429,7 +450,10 @@ mod tests {
         let before = m.subject_count();
         assert!(matches!(
             m.check_with("nobody", "obj", "read", "P+".parse().unwrap()),
-            Err(StoreError::UnknownName { kind: "subject", .. })
+            Err(StoreError::UnknownName {
+                kind: "subject",
+                ..
+            })
         ));
         assert!(matches!(
             m.check_with("User", "ghost", "read", "P+".parse().unwrap()),
@@ -447,7 +471,9 @@ mod tests {
         let mut m = motivating_model();
         assert!(matches!(
             m.deny("S2", "obj", "read"),
-            Err(StoreError::Core(CoreError::ContradictoryAuthorization { .. }))
+            Err(StoreError::Core(
+                CoreError::ContradictoryAuthorization { .. }
+            ))
         ));
     }
 

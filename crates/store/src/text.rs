@@ -67,9 +67,9 @@ pub fn parse(input: &str) -> Result<AccessModel, StoreError> {
                 if args.len() != 1 {
                     return Err(wrong_arity(1));
                 }
-                let strategy = args[0].parse().map_err(|e| {
-                    StoreError::Malformed(format!("line {}: {e}", lineno + 1))
-                })?;
+                let strategy = args[0]
+                    .parse()
+                    .map_err(|e| StoreError::Malformed(format!("line {}: {e}", lineno + 1)))?;
                 model.set_default_strategy(strategy);
             }
             // mutex <name> <at_most> <object>/<right> <object>/<right> …
@@ -171,7 +171,13 @@ pub fn render(model: &AccessModel) -> String {
             .iter()
             .map(|(o, r)| format!("{o}/{r}"))
             .collect();
-        let _ = writeln!(out, "mutex {} {} {}", c.name, c.at_most, privileges.join(" "));
+        let _ = writeln!(
+            out,
+            "mutex {} {} {}",
+            c.name,
+            c.at_most,
+            privileges.join(" ")
+        );
     }
     if let Some(strategy) = model.default_strategy() {
         let _ = writeln!(out, "strategy {strategy}");

@@ -57,8 +57,7 @@ fn render_program(directives: &[Directive]) -> String {
                 let _ = writeln!(out, "deny {s} {o} {r}");
             }
             Directive::Mutex(n, ps) => {
-                let privileges: Vec<String> =
-                    ps.iter().map(|(o, r)| format!("{o}/{r}")).collect();
+                let privileges: Vec<String> = ps.iter().map(|(o, r)| format!("{o}/{r}")).collect();
                 let _ = writeln!(out, "mutex {n} 1 {}", privileges.join(" "));
             }
             Directive::Strategy(ix) => {

@@ -136,10 +136,16 @@ mod tests {
     fn negative_share_extremes() {
         let mut r = rng(3);
         let k = kdag(60, &mut r);
-        let all_neg = AuthConfig { negative_share: 1.0, ..AuthConfig::with_rate(0.1) };
+        let all_neg = AuthConfig {
+            negative_share: 1.0,
+            ..AuthConfig::with_rate(0.1)
+        };
         let (eacm, _) = assign_by_edges(&k.hierarchy, all_neg, &mut r);
         assert!(eacm.iter().all(|(_, _, _, s)| s == Sign::Neg));
-        let all_pos = AuthConfig { negative_share: 0.0, ..AuthConfig::with_rate(0.1) };
+        let all_pos = AuthConfig {
+            negative_share: 0.0,
+            ..AuthConfig::with_rate(0.1)
+        };
         let (eacm, _) = assign_by_edges(&k.hierarchy, all_pos, &mut r);
         assert!(eacm.iter().all(|(_, _, _, s)| s == Sign::Pos));
     }
@@ -181,6 +187,8 @@ mod tests {
             ..AuthConfig::with_rate(0.1)
         };
         let (eacm, _) = assign_by_edges(&k.hierarchy, cfg, &mut r);
-        assert!(eacm.iter().all(|(_, o, rr, _)| o == ObjectId(7) && rr == RightId(3)));
+        assert!(eacm
+            .iter()
+            .all(|(_, o, rr, _)| o == ObjectId(7) && rr == RightId(3)));
     }
 }

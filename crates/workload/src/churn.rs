@@ -44,6 +44,15 @@ pub enum ChurnOp {
         /// Target right.
         right: RightId,
     },
+    /// Addition of a membership edge `group → member` — the hierarchy
+    /// edit whose cache cost the incremental repair path bounds to the
+    /// member's descendant cone.
+    AddMembership {
+        /// The group gaining a member (drawn from the label population).
+        group: SubjectId,
+        /// The new member (drawn from the query population).
+        member: SubjectId,
+    },
 }
 
 /// Parameters for [`trace`].
@@ -56,6 +65,10 @@ pub struct ChurnConfig {
     pub update_share: f64,
     /// Among updates, the fraction that are unsets.
     pub unset_share: f64,
+    /// Among updates, the fraction that are membership edits
+    /// (`AddMembership`); the rest are matrix updates split by
+    /// [`ChurnConfig::unset_share`]. 0.0 reproduces matrix-only traces.
+    pub membership_share: f64,
     /// Number of distinct objects queried/labeled.
     pub objects: u32,
     /// Number of distinct rights queried/labeled.
@@ -68,6 +81,7 @@ impl Default for ChurnConfig {
             ops: 1000,
             update_share: 0.05,
             unset_share: 0.3,
+            membership_share: 0.0,
             objects: 4,
             rights: 1,
         }
@@ -91,16 +105,39 @@ pub fn trace(
         let object = ObjectId(rng.gen_range(0..config.objects.max(1)));
         let right = RightId(rng.gen_range(0..config.rights.max(1)));
         if rng.gen_bool(config.update_share.clamp(0.0, 1.0)) {
+            if rng.gen_bool(config.membership_share.clamp(0.0, 1.0)) {
+                let group = label_subjects[rng.gen_range(0..label_subjects.len())];
+                let member = query_subjects[rng.gen_range(0..query_subjects.len())];
+                ops.push(ChurnOp::AddMembership { group, member });
+                continue;
+            }
             let subject = label_subjects[rng.gen_range(0..label_subjects.len())];
             if rng.gen_bool(config.unset_share.clamp(0.0, 1.0)) {
-                ops.push(ChurnOp::UnsetLabel { subject, object, right });
+                ops.push(ChurnOp::UnsetLabel {
+                    subject,
+                    object,
+                    right,
+                });
             } else {
-                let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
-                ops.push(ChurnOp::SetLabel { subject, object, right, sign });
+                let sign = if rng.gen_bool(0.5) {
+                    Sign::Pos
+                } else {
+                    Sign::Neg
+                };
+                ops.push(ChurnOp::SetLabel {
+                    subject,
+                    object,
+                    right,
+                    sign,
+                });
             }
         } else {
             let subject = query_subjects[rng.gen_range(0..query_subjects.len())];
-            ops.push(ChurnOp::Check { subject, object, right });
+            ops.push(ChurnOp::Check {
+                subject,
+                object,
+                right,
+            });
         }
     }
     ops
@@ -121,7 +158,11 @@ mod tests {
         let q = subjects(10);
         let l = subjects(5);
         let ops = trace(
-            ChurnConfig { ops: 4000, update_share: 0.25, ..Default::default() },
+            ChurnConfig {
+                ops: 4000,
+                update_share: 0.25,
+                ..Default::default()
+            },
             &q,
             &l,
             &mut r,
@@ -141,14 +182,22 @@ mod tests {
         let q = subjects(4);
         let l = subjects(4);
         let ops = trace(
-            ChurnConfig { ops: 100, update_share: 0.0, ..Default::default() },
+            ChurnConfig {
+                ops: 100,
+                update_share: 0.0,
+                ..Default::default()
+            },
             &q,
             &l,
             &mut r,
         );
         assert!(ops.iter().all(|o| matches!(o, ChurnOp::Check { .. })));
         let ops = trace(
-            ChurnConfig { ops: 100, update_share: 1.0, ..Default::default() },
+            ChurnConfig {
+                ops: 100,
+                update_share: 1.0,
+                ..Default::default()
+            },
             &q,
             &l,
             &mut r,
@@ -161,7 +210,12 @@ mod tests {
         let mut r = rng(3);
         let q = subjects(4);
         let ops = trace(
-            ChurnConfig { ops: 500, objects: 3, rights: 2, ..Default::default() },
+            ChurnConfig {
+                ops: 500,
+                objects: 3,
+                rights: 2,
+                ..Default::default()
+            },
             &q,
             &q,
             &mut r,
@@ -171,9 +225,63 @@ mod tests {
                 ChurnOp::Check { object, right, .. }
                 | ChurnOp::SetLabel { object, right, .. }
                 | ChurnOp::UnsetLabel { object, right, .. } => (object, right),
+                ChurnOp::AddMembership { .. } => continue,
             };
             assert!(o.0 < 3 && rt.0 < 2);
         }
+    }
+
+    #[test]
+    fn membership_edits_appear_at_the_requested_share() {
+        let mut r = rng(4);
+        let q = subjects(10);
+        let l = subjects(5);
+        let ops = trace(
+            ChurnConfig {
+                ops: 4000,
+                update_share: 0.5,
+                membership_share: 0.4,
+                ..Default::default()
+            },
+            &q,
+            &l,
+            &mut r,
+        );
+        let updates = ops
+            .iter()
+            .filter(|o| !matches!(o, ChurnOp::Check { .. }))
+            .count();
+        let edges = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::AddMembership { .. }))
+            .count();
+        let share = edges as f64 / updates as f64;
+        assert!((0.30..0.50).contains(&share), "share {share}");
+        for op in &ops {
+            if let ChurnOp::AddMembership { group, member } = op {
+                assert!(l.contains(group), "group from the label population");
+                assert!(q.contains(member), "member from the query population");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_only_traces_have_no_membership_edits() {
+        let mut r = rng(5);
+        let q = subjects(6);
+        let ops = trace(
+            ChurnConfig {
+                ops: 500,
+                update_share: 0.5,
+                ..Default::default()
+            },
+            &q,
+            &q,
+            &mut r,
+        );
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, ChurnOp::AddMembership { .. })));
     }
 
     #[test]

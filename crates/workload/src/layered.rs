@@ -20,7 +20,11 @@ pub struct LayeredConfig {
 
 impl Default for LayeredConfig {
     fn default() -> Self {
-        LayeredConfig { layers: 6, width: 16, density: 0.15 }
+        LayeredConfig {
+            layers: 6,
+            width: 16,
+            density: 0.15,
+        }
     }
 }
 
@@ -69,7 +73,14 @@ mod tests {
 
     #[test]
     fn every_non_root_has_a_parent() {
-        let l = layered(LayeredConfig { layers: 5, width: 8, density: 0.1 }, &mut rng(1));
+        let l = layered(
+            LayeredConfig {
+                layers: 5,
+                width: 8,
+                density: 0.1,
+            },
+            &mut rng(1),
+        );
         for (i, layer) in l.layers.iter().enumerate() {
             for &v in layer {
                 if i == 0 {
@@ -83,19 +94,40 @@ mod tests {
 
     #[test]
     fn depth_equals_layer_count_minus_one() {
-        let l = layered(LayeredConfig { layers: 7, width: 4, density: 0.3 }, &mut rng(2));
+        let l = layered(
+            LayeredConfig {
+                layers: 7,
+                width: 4,
+                density: 0.3,
+            },
+            &mut rng(2),
+        );
         assert_eq!(traverse::longest_path_len(l.hierarchy.graph()), 6);
     }
 
     #[test]
     fn density_one_gives_complete_bipartite_layers() {
-        let l = layered(LayeredConfig { layers: 3, width: 5, density: 1.0 }, &mut rng(3));
+        let l = layered(
+            LayeredConfig {
+                layers: 3,
+                width: 5,
+                density: 1.0,
+            },
+            &mut rng(3),
+        );
         assert_eq!(l.hierarchy.membership_count(), 2 * 5 * 5);
     }
 
     #[test]
     fn density_zero_gives_forest_like_minimum() {
-        let l = layered(LayeredConfig { layers: 4, width: 6, density: 0.0 }, &mut rng(4));
+        let l = layered(
+            LayeredConfig {
+                layers: 4,
+                width: 6,
+                density: 0.0,
+            },
+            &mut rng(4),
+        );
         assert_eq!(l.hierarchy.membership_count(), 3 * 6);
     }
 

@@ -129,7 +129,11 @@ pub fn livelink(config: LivelinkConfig, rng: &mut Rng) -> Livelink {
             .expect("group-to-user edge cannot cycle");
     }
 
-    Livelink { hierarchy, groups, users }
+    Livelink {
+        hierarchy,
+        groups,
+        users,
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +160,12 @@ mod tests {
 
     #[test]
     fn users_are_exactly_the_sinks() {
-        let cfg = LivelinkConfig { groups: 200, roots: 4, users: 50, ..Default::default() };
+        let cfg = LivelinkConfig {
+            groups: 200,
+            roots: 4,
+            users: 50,
+            ..Default::default()
+        };
         let l = livelink(cfg, &mut rng(5));
         let sinks: std::collections::HashSet<_> = l.hierarchy.individuals().collect();
         assert_eq!(sinks.len(), 50);
@@ -186,8 +195,24 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = livelink(LivelinkConfig { groups: 300, roots: 5, users: 40, ..Default::default() }, &mut rng(9));
-        let b = livelink(LivelinkConfig { groups: 300, roots: 5, users: 40, ..Default::default() }, &mut rng(9));
+        let a = livelink(
+            LivelinkConfig {
+                groups: 300,
+                roots: 5,
+                users: 40,
+                ..Default::default()
+            },
+            &mut rng(9),
+        );
+        let b = livelink(
+            LivelinkConfig {
+                groups: 300,
+                roots: 5,
+                users: 40,
+                ..Default::default()
+            },
+            &mut rng(9),
+        );
         assert_eq!(
             a.hierarchy.graph().edges().collect::<Vec<_>>(),
             b.hierarchy.graph().edges().collect::<Vec<_>>()

@@ -17,7 +17,8 @@ pub fn random_tree(n: usize, rng: &mut Rng) -> (SubjectDag, Vec<SubjectId>) {
     let ids = h.add_subjects(n);
     for i in 1..n {
         let parent = ids[rng.gen_range(0..i)];
-        h.add_membership(parent, ids[i]).expect("tree edges cannot cycle");
+        h.add_membership(parent, ids[i])
+            .expect("tree edges cannot cycle");
     }
     (h, ids)
 }
@@ -28,7 +29,8 @@ pub fn chain(n: usize) -> (SubjectDag, Vec<SubjectId>) {
     let mut h = SubjectDag::with_capacity(n);
     let ids = h.add_subjects(n);
     for w in ids.windows(2) {
-        h.add_membership(w[0], w[1]).expect("chain edges cannot cycle");
+        h.add_membership(w[0], w[1])
+            .expect("chain edges cannot cycle");
     }
     (h, ids)
 }
@@ -90,10 +92,7 @@ mod tests {
     fn diamond_chain_path_count() {
         let (h, top, bottom) = diamond_chain(10);
         assert_eq!(h.subject_count(), 31);
-        assert_eq!(
-            paths::count_paths(h.graph(), top, bottom).unwrap(),
-            1 << 10
-        );
+        assert_eq!(paths::count_paths(h.graph(), top, bottom).unwrap(), 1 << 10);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn query_stats(
         if sub.dag.is_root(v) {
             roots += 1;
         }
-        if labeled || (sub.dag.is_root(v) && !labeled) {
+        if labeled || sub.dag.is_root(v) {
             sources.push(v);
         }
     }

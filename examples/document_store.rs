@@ -8,7 +8,8 @@
 //!   crosses a subject that carries its own explicit label (future
 //!   work #3);
 //! * the **self-maintaining session** with per-pair cache invalidation
-//!   (future work #1 + the related-work maintenance critique).
+//!   and incremental repair of hierarchy edits (future work #1 + the
+//!   related-work maintenance critique).
 //!
 //! ```text
 //! cargo run --example document_store
@@ -58,10 +59,14 @@ fn mixed_hierarchy() {
     // on BOTH axes.
     let specific: Strategy = "LP+".parse().unwrap();
     let general: Strategy = "GP-".parse().unwrap();
-    let s1 = resolve_mixed_sign(&subjects, &objects, &eacm, mallory, deposition, read, specific)
-        .unwrap();
-    let s2 = resolve_mixed_sign(&subjects, &objects, &eacm, mallory, deposition, read, general)
-        .unwrap();
+    let s1 = resolve_mixed_sign(
+        &subjects, &objects, &eacm, mallory, deposition, read, specific,
+    )
+    .unwrap();
+    let s2 = resolve_mixed_sign(
+        &subjects, &objects, &eacm, mallory, deposition, read, general,
+    )
+    .unwrap();
     println!("  may mallory read the deposition?");
     println!("    LP+ (most specific wins): {s1}   — the intern-level deny is closer");
     println!("    GP- (most general wins) : {s2}   — the staff-wide grant is broader");
@@ -87,8 +92,14 @@ fn propagation_modes() {
     println!("  ceo grants, the division denies; what reaches the developer?");
     for (mode, name) in [
         (PropagationMode::Both, "Both (paper's semantics)"),
-        (PropagationMode::SecondWins, "SecondWins (labels block inflow)"),
-        (PropagationMode::FirstWins, "FirstWins (inflow suppresses labels)"),
+        (
+            PropagationMode::SecondWins,
+            "SecondWins (labels block inflow)",
+        ),
+        (
+            PropagationMode::FirstWins,
+            "FirstWins (inflow suppresses labels)",
+        ),
     ] {
         let hist = counting::histogram(&h, &eacm, dev, o, r, mode).unwrap();
         let t = hist.totals().unwrap();
@@ -105,19 +116,44 @@ fn live_session() {
     let alice = session.add_subject();
     session.add_membership(admins, alice).unwrap();
     let (wiki, edit) = (ucra::core::ids::ObjectId(0), RightId(0));
-    session.set_authorization(admins, wiki, edit, Sign::Pos).unwrap();
+    session
+        .set_authorization(admins, wiki, edit, Sign::Pos)
+        .unwrap();
 
-    println!("  alice edit wiki: {}", session.check(alice, wiki, edit).unwrap());
+    println!(
+        "  alice edit wiki: {}",
+        session.check(alice, wiki, edit).unwrap()
+    );
     // Strategy switch: no re-propagation at all.
     session.set_strategy("D+LP+".parse().unwrap());
-    println!("  after switching to D+LP+: {}", session.check(alice, wiki, edit).unwrap());
+    println!(
+        "  after switching to D+LP+: {}",
+        session.check(alice, wiki, edit).unwrap()
+    );
     // A matrix update invalidates exactly one (object, right) sweep; the
     // new deny sits at distance 0 and most-specific makes it decisive.
-    session.set_authorization(alice, wiki, edit, Sign::Neg).unwrap();
-    println!("  after explicit deny on alice: {}", session.check(alice, wiki, edit).unwrap());
+    session
+        .set_authorization(alice, wiki, edit, Sign::Neg)
+        .unwrap();
+    println!(
+        "  after explicit deny on alice: {}",
+        session.check(alice, wiki, edit).unwrap()
+    );
+    // A hierarchy edit does not flush either: only the new member's
+    // descendant cone is repaired in place, row by row.
+    let bob = session.add_subject();
+    session.add_membership(admins, bob).unwrap();
+    println!(
+        "  bob (new member of admins) edit wiki: {}",
+        session.check(bob, wiki, edit).unwrap()
+    );
     let stats = session.stats();
     println!(
         "  cache: {} queries, {} hits, {} sweeps, {} pair invalidations",
         stats.queries, stats.cache_hits, stats.sweeps, stats.pair_invalidations
+    );
+    println!(
+        "  maintenance: {} full flushes, {} incremental repairs touching {} rows",
+        stats.full_invalidations, stats.partial_repairs, stats.rows_repaired
     );
 }

@@ -30,17 +30,28 @@ fn main() {
     let read = RightId(0);
     let (mut eacm, labeled) = assign_by_edges(
         &org.hierarchy,
-        AuthConfig { rate: 0.007, negative_share: 0.3, object: contracts, right: read },
+        AuthConfig {
+            rate: 0.007,
+            negative_share: 0.3,
+            object: contracts,
+            right: read,
+        },
         &mut r,
     );
     let sign_off = RightId(1);
     let (eacm2, _) = assign_by_edges(
         &org.hierarchy,
-        AuthConfig { rate: 0.004, negative_share: 0.2, object: contracts, right: sign_off },
+        AuthConfig {
+            rate: 0.004,
+            negative_share: 0.2,
+            object: contracts,
+            right: sign_off,
+        },
         &mut r,
     );
     for (s, o, rr, sign) in eacm2.iter() {
-        eacm.set(s, o, rr, sign).expect("distinct right cannot contradict");
+        eacm.set(s, o, rr, sign)
+            .expect("distinct right cannot contradict");
     }
     println!(
         "explicit matrix: {} labels ({} groups labeled for read)",
@@ -89,7 +100,10 @@ fn main() {
     );
     let violations = check_sod(&org.hierarchy, &matrix, &[constraint]);
     println!("\nseparation-of-duty audit under {closed}:");
-    println!("  {} subject(s) effectively hold both privileges", violations.len());
+    println!(
+        "  {} subject(s) effectively hold both privileges",
+        violations.len()
+    );
     for v in violations.iter().take(5) {
         println!("  - subject {} holds {:?}", v.subject, v.held);
     }

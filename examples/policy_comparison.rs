@@ -24,14 +24,14 @@ fn main() {
     let mut r = rng(17);
     for world in 0..worlds {
         let l = layered(
-            LayeredConfig { layers: 5, width: 10, density: 0.12 },
+            LayeredConfig {
+                layers: 5,
+                width: 10,
+                density: 0.12,
+            },
             &mut r,
         );
-        let (eacm, _) = assign_by_edges(
-            &l.hierarchy,
-            AuthConfig::with_rate(0.08),
-            &mut r,
-        );
+        let (eacm, _) = assign_by_edges(&l.hierarchy, AuthConfig::with_rate(0.08), &mut r);
         let resolver = Resolver::new(&l.hierarchy, &eacm);
         // Query every bottom-layer individual.
         for &subject in &l.layers[l.layers.len() - 1] {
@@ -40,7 +40,12 @@ fn main() {
                 .iter()
                 .map(|&s| {
                     resolver
-                        .resolve(subject, ucra::core::ids::ObjectId(0), ucra::core::ids::RightId(0), s)
+                        .resolve(
+                            subject,
+                            ucra::core::ids::ObjectId(0),
+                            ucra::core::ids::RightId(0),
+                            s,
+                        )
                         .expect("resolution is total")
                 })
                 .collect();
@@ -50,7 +55,9 @@ fn main() {
             let base = decisions[strategies.iter().position(|&s| s == baseline).unwrap()];
             for (strategy, &decision) in strategies.iter().zip(&decisions) {
                 if decision != base {
-                    *disagree_with_baseline.entry(strategy.mnemonic()).or_default() += 1;
+                    *disagree_with_baseline
+                        .entry(strategy.mnemonic())
+                        .or_default() += 1;
                 }
             }
         }

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use ucra::core::{Eacm, Resolver, Strategy, SubjectDag};
 use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::{Eacm, Resolver, Strategy, SubjectDag};
 
 fn main() {
     // A DAG-shaped subject hierarchy (NOT a tree — alice belongs to two
@@ -48,7 +48,9 @@ fn main() {
         ("P-", "pure preference: any conflict denies"),
     ] {
         let strategy: Strategy = mnemonic.parse().unwrap();
-        let res = resolver.resolve_traced(alice, prod_db, deploy, strategy).unwrap();
+        let res = resolver
+            .resolve_traced(alice, prod_db, deploy, strategy)
+            .unwrap();
         println!("  {mnemonic:>6}  ->  {}   [{why}]", res.sign);
         println!("          trace: {res}");
     }

@@ -36,11 +36,22 @@ fn globality_story() {
     m.grant("university", "hockey-games", "referee").unwrap();
 
     for (mnemonic, reading) in [
-        ("LP-", "most SPECIFIC takes precedence: athletics (+) ties department (-), deny-preference ⇒"),
-        ("GP-", "most GENERAL takes precedence: the university's grant stands alone ⇒"),
+        (
+            "LP-",
+            "most SPECIFIC takes precedence: athletics (+) ties department (-), deny-preference ⇒",
+        ),
+        (
+            "GP-",
+            "most GENERAL takes precedence: the university's grant stands alone ⇒",
+        ),
     ] {
         let sign = m
-            .check_with("student", "hockey-games", "referee", mnemonic.parse().unwrap())
+            .check_with(
+                "student",
+                "hockey-games",
+                "referee",
+                mnemonic.parse().unwrap(),
+            )
             .unwrap();
         println!("  {mnemonic:>4}  {reading} {sign}");
     }
@@ -61,7 +72,12 @@ fn majority_story() {
     m.deny("kenya", "organization", "join").unwrap();
 
     let tally = m
-        .check_with("applicant-file", "organization", "join", "MP-".parse().unwrap())
+        .check_with(
+            "applicant-file",
+            "organization",
+            "join",
+            "MP-".parse().unwrap(),
+        )
         .unwrap();
     println!("  votes: 3 in favour, 2 against");
     println!("  MP-  (majority, deny on tie) ⇒ {tally}");
@@ -69,7 +85,12 @@ fn majority_story() {
 
     // Under "denial takes precedence" the same application fails:
     let closed = m
-        .check_with("applicant-file", "organization", "join", "P-".parse().unwrap())
+        .check_with(
+            "applicant-file",
+            "organization",
+            "join",
+            "P-".parse().unwrap(),
+        )
         .unwrap();
     println!("  P-   (any denial wins)       ⇒ {closed}");
     assert_eq!(closed, Sign::Neg);

@@ -38,14 +38,21 @@ fn world(n: usize, density: f64, label_rate: f64, seed: u64) -> (SubjectDag, Eac
     let mut eacm = Eacm::new();
     for &v in &ids {
         if rng.gen_bool(label_rate) {
-            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            let sign = if rng.gen_bool(0.5) {
+                Sign::Pos
+            } else {
+                Sign::Neg
+            };
             eacm.set(v, PAIR.0, PAIR.1, sign).unwrap();
         }
     }
     (h, eacm)
 }
 
-fn to_relational(h: &SubjectDag, e: &Eacm) -> (ucra::relational::Relation, ucra::relational::Relation) {
+fn to_relational(
+    h: &SubjectDag,
+    e: &Eacm,
+) -> (ucra::relational::Relation, ucra::relational::Relation) {
     let edges: Vec<(i64, i64)> = h
         .graph()
         .edges()
@@ -73,7 +80,12 @@ fn spec_sign(s: spec::Sign) -> Sign {
 
 fn to_spec_rules(
     s: Strategy,
-) -> (spec::DefaultRule, spec::LocalityRule, spec::MajorityRule, spec::Sign) {
+) -> (
+    spec::DefaultRule,
+    spec::LocalityRule,
+    spec::MajorityRule,
+    spec::Sign,
+) {
     use ucra::core::{DefaultRule as D, LocalityRule as L, MajorityRule as M};
     (
         match s.default_rule() {

@@ -12,12 +12,7 @@ use ucra::core::{Eacm, Sign, Strategy, SubjectDag};
 
 const READ: RightId = RightId(0);
 
-fn random_world(
-    n: usize,
-    density: f64,
-    label_rate: f64,
-    seed: u64,
-) -> (SubjectDag, Eacm) {
+fn random_world(n: usize, density: f64, label_rate: f64, seed: u64) -> (SubjectDag, Eacm) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut h = SubjectDag::with_capacity(n);
     let ids = h.add_subjects(n);
@@ -31,7 +26,11 @@ fn random_world(
     let mut eacm = Eacm::new();
     for &v in &ids {
         if rng.gen_bool(label_rate) {
-            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            let sign = if rng.gen_bool(0.5) {
+                Sign::Pos
+            } else {
+                Sign::Neg
+            };
             eacm.set(v, ObjectId(0), READ, sign).unwrap();
         }
     }
@@ -157,22 +156,14 @@ fn sod_interacts_with_strategy_choice() {
     eacm.deny(auditor, approve.0, approve.1).unwrap();
 
     let constraint = SodConstraint::mutual_exclusion("pay-vs-approve", vec![pay, approve]);
-    let strict = EffectiveMatrix::compute_for_pairs(
-        &h,
-        &eacm,
-        "LP-".parse().unwrap(),
-        &[pay, approve],
-    )
-    .unwrap();
+    let strict =
+        EffectiveMatrix::compute_for_pairs(&h, &eacm, "LP-".parse().unwrap(), &[pay, approve])
+            .unwrap();
     assert!(check_sod(&h, &strict, std::slice::from_ref(&constraint)).is_empty());
 
-    let lax = EffectiveMatrix::compute_for_pairs(
-        &h,
-        &eacm,
-        "D+MP+".parse().unwrap(),
-        &[pay, approve],
-    )
-    .unwrap();
+    let lax =
+        EffectiveMatrix::compute_for_pairs(&h, &eacm, "D+MP+".parse().unwrap(), &[pay, approve])
+            .unwrap();
     let violations = check_sod(&h, &lax, std::slice::from_ref(&constraint));
     assert!(
         violations.iter().any(|v| v.subject == auditor),

@@ -21,7 +21,12 @@ fn full_scale_engines_agree_on_sampled_users() {
     let l = livelink(LivelinkConfig::default(), &mut r);
     let (eacm, _) = assign_by_edges(
         &l.hierarchy,
-        AuthConfig { rate: 0.007, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        AuthConfig {
+            rate: 0.007,
+            negative_share: 0.5,
+            object: PAIR.0,
+            right: PAIR.1,
+        },
         &mut r,
     );
     let resolver = Resolver::new(&l.hierarchy, &eacm);
@@ -59,7 +64,10 @@ fn full_scale_engines_agree_on_sampled_users() {
         let want = resolver
             .resolve(user, PAIR.0, PAIR.1, "D-LP-".parse().unwrap())
             .unwrap();
-        assert_eq!(dominance(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1).unwrap(), want);
+        assert_eq!(
+            dominance(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1).unwrap(),
+            want
+        );
         assert_eq!(
             dominance_specialized(&l.hierarchy, &eacm, user, PAIR.0, PAIR.1).unwrap(),
             want
@@ -75,7 +83,12 @@ fn full_scale_query_stats_are_in_papers_ranges() {
     let l = livelink(LivelinkConfig::default(), &mut r);
     let (eacm, _) = assign_by_edges(
         &l.hierarchy,
-        AuthConfig { rate: 0.007, negative_share: 0.5, object: PAIR.0, right: PAIR.1 },
+        AuthConfig {
+            rate: 0.007,
+            negative_share: 0.5,
+            object: PAIR.0,
+            right: PAIR.1,
+        },
         &mut r,
     );
     let mut max_nodes = 0usize;

@@ -37,45 +37,68 @@ fn table_2_all_48_strategies() {
     let resolver = Resolver::new(&ex.hierarchy, &ex.eacm);
     let expected: &[(&str, Sign)] = &[
         // Column 1 of the paper's Table 2.
-        ("D+LMP+", Sign::Pos), ("D+LMP-", Sign::Pos),
-        ("D-LMP+", Sign::Neg), ("D-LMP-", Sign::Neg),
-        ("D+GMP+", Sign::Pos), ("D+GMP-", Sign::Pos),
-        ("D-GMP+", Sign::Pos), ("D-GMP-", Sign::Neg),
-        ("D+MP+", Sign::Pos), ("D+MP-", Sign::Pos),
-        ("D-MP+", Sign::Neg), ("D-MP-", Sign::Neg),
+        ("D+LMP+", Sign::Pos),
+        ("D+LMP-", Sign::Pos),
+        ("D-LMP+", Sign::Neg),
+        ("D-LMP-", Sign::Neg),
+        ("D+GMP+", Sign::Pos),
+        ("D+GMP-", Sign::Pos),
+        ("D-GMP+", Sign::Pos),
+        ("D-GMP-", Sign::Neg),
+        ("D+MP+", Sign::Pos),
+        ("D+MP-", Sign::Pos),
+        ("D-MP+", Sign::Neg),
+        ("D-MP-", Sign::Neg),
         // Column 2.
-        ("D+LP+", Sign::Pos), ("D+LP-", Sign::Neg),
-        ("D-LP+", Sign::Pos), ("D-LP-", Sign::Neg),
-        ("D+GP+", Sign::Pos), ("D+GP-", Sign::Pos),
-        ("D-GP+", Sign::Pos), ("D-GP-", Sign::Neg),
-        ("D+P+", Sign::Pos), ("D+P-", Sign::Neg),
-        ("D-P+", Sign::Pos), ("D-P-", Sign::Neg),
+        ("D+LP+", Sign::Pos),
+        ("D+LP-", Sign::Neg),
+        ("D-LP+", Sign::Pos),
+        ("D-LP-", Sign::Neg),
+        ("D+GP+", Sign::Pos),
+        ("D+GP-", Sign::Pos),
+        ("D-GP+", Sign::Pos),
+        ("D-GP-", Sign::Neg),
+        ("D+P+", Sign::Pos),
+        ("D+P-", Sign::Neg),
+        ("D-P+", Sign::Pos),
+        ("D-P-", Sign::Neg),
         // Column 3.
-        ("LMP+", Sign::Pos), ("LMP-", Sign::Neg),
-        ("GMP+", Sign::Pos), ("GMP-", Sign::Pos),
-        ("MP+", Sign::Pos), ("MP-", Sign::Pos),
-        ("LP+", Sign::Pos), ("LP-", Sign::Neg),
-        ("GP+", Sign::Pos), ("GP-", Sign::Pos),
-        ("P+", Sign::Pos), ("P-", Sign::Neg),
+        ("LMP+", Sign::Pos),
+        ("LMP-", Sign::Neg),
+        ("GMP+", Sign::Pos),
+        ("GMP-", Sign::Pos),
+        ("MP+", Sign::Pos),
+        ("MP-", Sign::Pos),
+        ("LP+", Sign::Pos),
+        ("LP-", Sign::Neg),
+        ("GP+", Sign::Pos),
+        ("GP-", Sign::Pos),
+        ("P+", Sign::Pos),
+        ("P-", Sign::Neg),
         // Column 4.
-        ("D+MLP+", Sign::Pos), ("D+MLP-", Sign::Pos),
-        ("D-MLP+", Sign::Neg), ("D-MLP-", Sign::Neg),
-        ("D+MGP+", Sign::Pos), ("D+MGP-", Sign::Pos),
-        ("D-MGP+", Sign::Neg), ("D-MGP-", Sign::Neg),
-        ("MLP+", Sign::Pos), ("MLP-", Sign::Pos),
-        ("MGP+", Sign::Pos), ("MGP-", Sign::Pos),
+        ("D+MLP+", Sign::Pos),
+        ("D+MLP-", Sign::Pos),
+        ("D-MLP+", Sign::Neg),
+        ("D-MLP-", Sign::Neg),
+        ("D+MGP+", Sign::Pos),
+        ("D+MGP-", Sign::Pos),
+        ("D-MGP+", Sign::Neg),
+        ("D-MGP-", Sign::Neg),
+        ("MLP+", Sign::Pos),
+        ("MLP-", Sign::Pos),
+        ("MGP+", Sign::Pos),
+        ("MGP-", Sign::Pos),
     ];
     assert_eq!(expected.len(), 48);
     for &(mnemonic, want) in expected {
         let strategy: Strategy = mnemonic.parse().unwrap();
-        let got = resolver.resolve(ex.user, ex.obj, ex.read, strategy).unwrap();
+        let got = resolver
+            .resolve(ex.user, ex.obj, ex.read, strategy)
+            .unwrap();
         assert_eq!(got, want, "Table 2 mismatch for {mnemonic}");
     }
     // And the mnemonics cover every canonical instance exactly once.
-    let mut parsed: Vec<Strategy> = expected
-        .iter()
-        .map(|(m, _)| m.parse().unwrap())
-        .collect();
+    let mut parsed: Vec<Strategy> = expected.iter().map(|(m, _)| m.parse().unwrap()).collect();
     parsed.sort();
     parsed.dedup();
     assert_eq!(parsed.len(), 48);
@@ -101,7 +124,13 @@ fn table_3_traces() {
     let r = run("D-GMP-");
     assert_eq!(
         (r.c1, r.c2, r.auth.clone(), r.sign, r.line),
-        (Some(1), Some(1), both(), Sign::Neg, DecisionLine::Preference)
+        (
+            Some(1),
+            Some(1),
+            both(),
+            Sign::Neg,
+            DecisionLine::Preference
+        )
     );
     let r = run("D-MP-");
     assert_eq!(
@@ -215,12 +244,7 @@ fn relational_spec_agrees_on_table_1() {
     let all = spec::propagate(&sdag, &eacm, ex.user.index() as i64, 0, 0).unwrap();
     let mut rows: Vec<(i64, String)> = all
         .rows()
-        .map(|r| {
-            (
-                r[3].as_int().unwrap(),
-                r[4].as_text().unwrap().to_string(),
-            )
-        })
+        .map(|r| (r[3].as_int().unwrap(), r[4].as_text().unwrap().to_string()))
         .collect();
     rows.sort();
     assert_eq!(

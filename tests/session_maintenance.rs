@@ -9,6 +9,119 @@ use proptest::strategy::Strategy as _; // `ucra::core::Strategy` shadows the tra
 use ucra::core::ids::{ObjectId, RightId};
 use ucra::core::{AccessSession, Resolver, Sign, Strategy};
 
+/// The acceptance bar for incremental repair, measured on a realistic
+/// enterprise hierarchy: a membership-heavy churn trace must never flush
+/// the cache, and the total number of repaired rows must stay strictly
+/// below the cost of rebuilding every cached table once.
+#[test]
+fn membership_churn_repairs_far_less_than_a_rebuild() {
+    use ucra::workload::auth::assign_matrix;
+    use ucra::workload::churn::{trace, ChurnConfig, ChurnOp};
+    use ucra::workload::livelink::{livelink, LivelinkConfig};
+    use ucra::workload::rng;
+
+    let mut r = rng(42);
+    let org = livelink(
+        LivelinkConfig {
+            groups: 150,
+            roots: 4,
+            users: 60,
+            ..Default::default()
+        },
+        &mut r,
+    );
+    let eacm = assign_matrix(&org.hierarchy, 4, 1, 0.02, 0.3, &mut r);
+    let strategy: Strategy = "D-LP-".parse().unwrap();
+    let mut session = AccessSession::new(org.hierarchy.clone(), eacm.clone(), strategy);
+
+    let ops = trace(
+        ChurnConfig {
+            ops: 400,
+            update_share: 0.25,
+            membership_share: 0.5,
+            objects: 4,
+            rights: 1,
+            ..Default::default()
+        },
+        &org.users,
+        &org.groups,
+        &mut r,
+    );
+    let mut edge_edits = 0usize;
+    for op in &ops {
+        match *op {
+            ChurnOp::Check {
+                subject,
+                object,
+                right,
+            } => {
+                session.check(subject, object, right).unwrap();
+            }
+            ChurnOp::SetLabel {
+                subject,
+                object,
+                right,
+                sign,
+            } => {
+                if session
+                    .set_authorization(subject, object, right, sign)
+                    .is_err()
+                {
+                    session.unset_authorization(subject, object, right);
+                    session
+                        .set_authorization(subject, object, right, sign)
+                        .unwrap();
+                }
+            }
+            ChurnOp::UnsetLabel {
+                subject,
+                object,
+                right,
+            } => {
+                session.unset_authorization(subject, object, right);
+            }
+            ChurnOp::AddMembership { group, member } => {
+                if session.add_membership(group, member).is_ok() {
+                    edge_edits += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        edge_edits > 0,
+        "trace must contain applied membership edits"
+    );
+
+    let stats = session.stats();
+    assert_eq!(stats.full_invalidations, 0, "no membership edit may flush");
+    assert!(
+        stats.partial_repairs > 0,
+        "edits with a warm cache must repair"
+    );
+    let cached_pairs = 4u64; // objects × rights in the trace
+    let rebuild_cost = org.hierarchy.subject_count() as u64 * cached_pairs;
+    assert!(
+        stats.rows_repaired < rebuild_cost,
+        "repaired {} rows; one full rebuild would cost {}",
+        stats.rows_repaired,
+        rebuild_cost
+    );
+
+    // And the repaired cache still answers exactly like a fresh resolver.
+    let fresh = Resolver::new(session.hierarchy(), session.eacm());
+    for &user in &org.users {
+        for o in 0..4 {
+            assert_eq!(
+                session.check(user, ObjectId(o), RightId(0)).unwrap(),
+                fresh
+                    .resolve(user, ObjectId(o), RightId(0), strategy)
+                    .unwrap(),
+                "user {user} object {o}"
+            );
+        }
+    }
+}
+
 /// One scripted operation.
 #[derive(Debug, Clone)]
 enum Op {
@@ -93,5 +206,33 @@ proptest! {
         if checks > 0 {
             prop_assert!(session.stats().queries as usize >= checks);
         }
+
+        // Final equivalence sweep: whatever state the interleaving left
+        // behind, the (batched) session must agree with a fresh resolver
+        // under every one of the 48 strategies. Two object/right pairs per
+        // strategy keep the sweep affordable while still exercising the
+        // batching path across pairs.
+        for (ix, &strategy) in strategies.iter().enumerate() {
+            session.set_strategy(strategy);
+            let pairs = [
+                (ObjectId(ix as u32 % 3), RightId(ix as u32 % 2)),
+                (ObjectId((ix as u32 + 1) % 3), RightId((ix as u32 + 1) % 2)),
+            ];
+            let queries: Vec<_> = session
+                .hierarchy()
+                .subjects()
+                .flat_map(|s| pairs.iter().map(move |&(o, r)| (s, o, r)))
+                .collect();
+            let batched = session.check_many(&queries).unwrap();
+            let fresh = Resolver::new(session.hierarchy(), session.eacm());
+            for (&(s, o, r), &got) in queries.iter().zip(&batched) {
+                let want = fresh.resolve(s, o, r, strategy).unwrap();
+                prop_assert_eq!(got, want, "strategy {} subject {}", strategy, s);
+            }
+        }
+
+        // Hierarchy edits must have been absorbed by incremental repair:
+        // the session never fell back to flushing the whole cache.
+        prop_assert_eq!(session.stats().full_invalidations, 0);
     }
 }

@@ -52,12 +52,9 @@ fn strategy_swap_is_one_line() {
 fn effective_matrix_from_named_model() {
     use ucra::core::EffectiveMatrix;
     let model = text::parse(POLICY).unwrap();
-    let matrix = EffectiveMatrix::compute(
-        model.hierarchy(),
-        model.eacm(),
-        "D-LP-".parse().unwrap(),
-    )
-    .unwrap();
+    let matrix =
+        EffectiveMatrix::compute(model.hierarchy(), model.eacm(), "D-LP-".parse().unwrap())
+            .unwrap();
     let user = model.subject_id("User").unwrap();
     let obj = model.object_id("obj").unwrap();
     let read = model.right_id("read").unwrap();

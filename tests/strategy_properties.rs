@@ -26,7 +26,11 @@ fn world(n: usize, density: f64, label_rate: f64, seed: u64) -> (SubjectDag, Eac
     let mut eacm = Eacm::new();
     for &v in &ids {
         if rng.gen_bool(label_rate) {
-            let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+            let sign = if rng.gen_bool(0.5) {
+                Sign::Pos
+            } else {
+                Sign::Neg
+            };
             eacm.set(v, PAIR.0, PAIR.1, sign).unwrap();
         }
     }
