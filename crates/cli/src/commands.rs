@@ -5,14 +5,28 @@ use ucra_core::{Resolver, Strategy};
 use ucra_store::{text, AccessModel};
 
 /// Resolves the strategy to use: an explicit CLI argument wins, then the
-/// model's configured default.
+/// model's configured default. Unknown mnemonics are an error with a
+/// nearest-legitimate-mnemonic suggestion, never a panic.
 pub fn pick_strategy(model: &AccessModel, arg: Option<&str>) -> Result<Strategy, String> {
     match arg {
-        Some(text) => text.parse::<Strategy>().map_err(|e| e.to_string()),
+        Some(text) => parse_strategy(text),
         None => model.default_strategy().ok_or_else(|| {
             "no strategy: pass one (e.g. D-LP-) or add a `strategy` line to the model".to_string()
         }),
     }
+}
+
+/// Parses a strategy mnemonic, suggesting the nearest of the 48
+/// legitimate instances on failure.
+fn parse_strategy(text: &str) -> Result<Strategy, String> {
+    text.parse::<Strategy>().map_err(|e| {
+        let (suggestion, distance) = ucra_lint::nearest_mnemonic(text);
+        if distance <= 2 {
+            format!("{e}; did you mean `{suggestion}`?")
+        } else {
+            format!("{e}; see `ucra lint` for the 48 legitimate instances")
+        }
+    })
 }
 
 /// `ucra demo` — the paper's motivating example, end to end.
@@ -39,7 +53,7 @@ pub fn demo() -> Result<(), String> {
     for mnemonic in [
         "D+LMP+", "D-LMP-", "D-LP+", "D+GP-", "MP-", "GMP-", "P-", "D-MGP+",
     ] {
-        let strategy: Strategy = mnemonic.parse().expect("known mnemonic");
+        let strategy = parse_strategy(mnemonic)?;
         let res = resolver
             .resolve_traced(ex.user, ex.obj, ex.read, strategy)
             .map_err(|e| e.to_string())?;
@@ -230,5 +244,89 @@ pub fn convert(input: &str, output: &str) -> Result<(), String> {
     };
     std::fs::write(output, rendered).map_err(|e| format!("cannot write `{output}`: {e}"))?;
     println!("wrote {output}");
+    Ok(())
+}
+
+/// `ucra lint` — run the static policy analyser over a model file.
+///
+/// Returns the process exit code: `0` clean (or infos only), `1` when
+/// any error-severity diagnostic is present, `2` when `--deny warnings`
+/// upgrades warnings to failures.
+pub fn lint(path: &str, json: bool, deny_warnings: bool) -> Result<std::process::ExitCode, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let report = if path.ends_with(".json") {
+        let model = AccessModel::from_json(&content).map_err(|e| e.to_string())?;
+        ucra_lint::lint_model(&model, None)
+    } else {
+        ucra_lint::lint_policy_text(&content)
+    };
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    print!("{rendered}");
+    if !rendered.ends_with('\n') {
+        println!();
+    }
+    Ok(std::process::ExitCode::from(
+        report.exit_code(deny_warnings),
+    ))
+}
+
+/// `ucra gen` — print a synthetic policy in the text format.
+///
+/// With `inject_smells`, plants one instance of every policy smell the
+/// linter detects (and switches the policy to the no-default strategy
+/// they fire under), so `ucra gen --inject-smells | ucra lint` has
+/// something to find.
+pub fn generate(nodes: usize, seed: u64, inject_smells: bool) -> Result<(), String> {
+    use ucra_core::{ObjectId, RightId, Sign};
+    use ucra_workload::auth::{assign_by_edges, AuthConfig};
+    use ucra_workload::layered::{layered, LayeredConfig};
+
+    if nodes == 0 {
+        return Err("gen needs at least one node".to_string());
+    }
+    let mut rng = ucra_workload::rng(seed);
+    let layers = 4.min(nodes);
+    let config = LayeredConfig {
+        layers,
+        width: nodes.div_ceil(layers),
+        density: 0.3,
+    };
+    let mut hierarchy = layered(config, &mut rng).hierarchy;
+    let (mut eacm, _) = assign_by_edges(&hierarchy, AuthConfig::with_rate(0.08), &mut rng);
+    let mut strategy: Strategy = "D-LP-"
+        .parse()
+        .map_err(|e: ucra_core::CoreError| e.to_string())?;
+    if inject_smells {
+        let (smelly, _manifest) =
+            ucra_workload::smells::inject(&mut hierarchy, &mut eacm, ObjectId(0), RightId(0));
+        strategy = smelly;
+    }
+
+    let mut model = AccessModel::new();
+    let name = |s: ucra_core::SubjectId| format!("s{}", s.index());
+    for i in 0..hierarchy.subject_count() {
+        model.subject(&format!("s{i}"));
+    }
+    model.object("obj");
+    model.right("read");
+    for (group, member) in hierarchy.graph().edges() {
+        model
+            .add_membership(&name(group), &name(member))
+            .map_err(|e| e.to_string())?;
+    }
+    for (subject, _, _, sign) in eacm.iter() {
+        match sign {
+            Sign::Pos => model.grant(&name(subject), "obj", "read"),
+            Sign::Neg => model.deny(&name(subject), "obj", "read"),
+        }
+        .map_err(|e| e.to_string())?;
+    }
+    model.set_default_strategy(strategy);
+    print!("{}", text::render(&model));
     Ok(())
 }

@@ -13,6 +13,8 @@
 //! ucra sod     <model> [strategy]
 //! ucra dot     <model> <object> <right>
 //! ucra convert <in> <out>
+//! ucra lint    <model> [--format json|text] [--deny warnings]
+//! ucra gen     <nodes> [--seed N] [--inject-smells]
 //! ```
 //!
 //! Models load from `.json` (serde) or any other extension as the
@@ -61,7 +63,13 @@ const USAGE: &str = "usage:
   ucra dot <model> <object> <right>
       Graphviz DOT of the hierarchy with explicit signs
   ucra convert <in> <out>
-      convert between .json and policy-text model formats";
+      convert between .json and policy-text model formats
+  ucra lint <model> [--format json|text] [--deny warnings]
+      static policy analysis; exits 0 clean, 1 on errors,
+      2 on warnings with --deny warnings
+  ucra gen <nodes> [--seed N] [--inject-smells]
+      print a synthetic policy; --inject-smells plants one of
+      every smell `ucra lint` detects";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter().map(String::as_str);
@@ -133,6 +141,70 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("convert") => {
             let [input, output] = take2(&args[1..])?;
             done(commands::convert(input, output))
+        }
+        Some("lint") => {
+            let mut path = None;
+            let mut json = false;
+            let mut deny_warnings = false;
+            let mut rest = args[1..].iter().map(String::as_str);
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--format" => match rest.next() {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        other => {
+                            return Err(format!(
+                                "--format takes `json` or `text`, got {:?}",
+                                other.unwrap_or("nothing")
+                            ))
+                        }
+                    },
+                    "--deny" => match rest.next() {
+                        Some("warnings") => deny_warnings = true,
+                        other => {
+                            return Err(format!(
+                                "--deny takes `warnings`, got {:?}",
+                                other.unwrap_or("nothing")
+                            ))
+                        }
+                    },
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown lint flag `{flag}`"))
+                    }
+                    p if path.is_none() => path = Some(p),
+                    p => return Err(format!("lint takes one <model> path, got also `{p}`")),
+                }
+            }
+            commands::lint(path.ok_or("missing <model> path")?, json, deny_warnings)
+        }
+        Some("gen") => {
+            let mut nodes = None;
+            let mut seed = 0;
+            let mut inject_smells = false;
+            let mut rest = args[1..].iter().map(String::as_str);
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--seed" => {
+                        seed = rest
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--seed takes an unsigned integer")?;
+                    }
+                    "--inject-smells" => inject_smells = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown gen flag `{flag}`"))
+                    }
+                    n if nodes.is_none() => {
+                        nodes = Some(n.parse().map_err(|_| format!("bad node count `{n}`"))?);
+                    }
+                    n => return Err(format!("gen takes one <nodes> count, got also `{n}`")),
+                }
+            }
+            done(commands::generate(
+                nodes.ok_or("missing <nodes> count")?,
+                seed,
+                inject_smells,
+            ))
         }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),

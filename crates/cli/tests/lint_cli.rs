@@ -1,0 +1,142 @@
+//! End-to-end tests for `ucra lint` and `ucra gen`: exit codes, flag
+//! handling, and the stability of the JSON output schema.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ucra(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ucra"))
+        .args(args)
+        .output()
+        .expect("spawn ucra")
+}
+
+/// Writes a fixture policy to a unique temp path and returns the path.
+fn fixture(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("ucra-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+const CLEAN: &str = "\
+member S1 S3
+member S2 S3
+member S2 User
+member S3 S5
+member S5 User
+member S6 S5
+member S6 User
+grant S2 obj read
+deny S5 obj read
+strategy D-LMP+
+";
+
+const WARNING_ONLY: &str = "\
+member g m
+subject lonely
+grant g obj read
+strategy D-LP-
+";
+
+const BAD_STRATEGY: &str = "\
+member g m
+grant g obj read
+strategy D+LMPX
+";
+
+#[test]
+fn clean_policy_exits_zero_even_with_deny_warnings() {
+    let path = fixture("clean", CLEAN);
+    let out = ucra(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s), 0 info(s)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn errors_exit_one() {
+    let path = fixture("bad-strategy", BAD_STRATEGY);
+    let out = ucra(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UCRA001"), "{stdout}");
+    assert!(stdout.contains("did you mean `D+LMP+`?"), "{stdout}");
+}
+
+#[test]
+fn warnings_exit_zero_without_and_two_with_deny() {
+    let path = fixture("warning", WARNING_ONLY);
+    let plain = ucra(&["lint", path.to_str().unwrap()]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+    let denied = ucra(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(denied.status.code(), Some(2), "{denied:?}");
+}
+
+/// The JSON schema is a stable interface: tools parse it. Any change to
+/// this snapshot is a breaking change for downstream consumers.
+#[test]
+fn json_output_schema_snapshot() {
+    let path = fixture("json-snapshot", WARNING_ONLY);
+    let out = ucra(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim_end(),
+        r#"{"version":1,"diagnostics":[{"code":"UCRA010","rule":"orphan-subject","severity":"warning","message":"subject `lonely` is isolated: no groups, no members, and no explicit authorizations","span":{"kind":"subject","subject":"lonely","line":2},"help":"connect it with a `member` directive or delete the subject"}],"summary":{"errors":0,"warnings":1,"infos":0}}"#
+    );
+}
+
+#[test]
+fn lint_rejects_bad_flags() {
+    let path = fixture("flags", CLEAN);
+    let bad_format = ucra(&["lint", path.to_str().unwrap(), "--format", "yaml"]);
+    assert_ne!(bad_format.status.code(), Some(0));
+    let unknown = ucra(&["lint", path.to_str().unwrap(), "--fix"]);
+    assert_ne!(unknown.status.code(), Some(0));
+}
+
+#[test]
+fn unknown_mnemonic_on_check_is_an_error_not_a_panic() {
+    let path = fixture("check-mnemonic", CLEAN);
+    let out = ucra(&[
+        "check",
+        path.to_str().unwrap(),
+        "User",
+        "obj",
+        "read",
+        "D+LMPX",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("did you mean `D+LMP+`?"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn gen_inject_smells_pipes_into_lint_with_findings() {
+    let gen = ucra(&["gen", "12", "--seed", "7", "--inject-smells"]);
+    assert_eq!(gen.status.code(), Some(0), "{gen:?}");
+    let policy = String::from_utf8(gen.stdout).unwrap();
+    let path = fixture("gen-smelly", &policy);
+    let lint = ucra(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(lint.status.code(), Some(2), "{lint:?}");
+    let stdout = String::from_utf8(lint.stdout).unwrap();
+    for code in [
+        "UCRA010", "UCRA011", "UCRA012", "UCRA020", "UCRA021", "UCRA030",
+    ] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn gen_without_smells_lints_clean() {
+    let gen = ucra(&["gen", "12", "--seed", "7"]);
+    assert_eq!(gen.status.code(), Some(0), "{gen:?}");
+    let policy = String::from_utf8(gen.stdout).unwrap();
+    let path = fixture("gen-clean", &policy);
+    let lint = ucra(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(lint.status.code(), Some(0), "{lint:?}");
+}

@@ -237,6 +237,39 @@ impl EffectiveMatrix {
     }
 }
 
+/// Resolves one `(object, right)` column under many strategies from a
+/// **single** propagation sweep.
+///
+/// `Resolve()` separates propagation (strategy-independent) from
+/// resolution (strategy-dependent), so the expensive
+/// `O(V + E)` histogram sweep can be shared across all requested
+/// strategies — `O(V + E + strategies × V)` instead of
+/// `O(strategies × (V + E))`. The static policy analyser leans on this
+/// to ask "does removing this label change *any* of the 48 strategies'
+/// outcomes?" without 48 sweeps per candidate label.
+///
+/// Returns one `Vec<Sign>` per requested strategy, indexed like
+/// [`EffectiveMatrix::sign`]: `columns[k][subject.index()]` is the
+/// effective sign under `strategies[k]`.
+pub fn columns_for_strategies(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    object: ObjectId,
+    right: RightId,
+    strategies: &[Strategy],
+) -> Result<Vec<Vec<Sign>>, CoreError> {
+    let table = counting::histograms_all(hierarchy, eacm, object, right, PropagationMode::Both)?;
+    strategies
+        .iter()
+        .map(|&strategy| {
+            table
+                .iter()
+                .map(|hist| Ok(resolve_histogram(hist, strategy)?.sign))
+                .collect()
+        })
+        .collect()
+}
+
 /// The full impact report of [`EffectiveMatrix::diff`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatrixDiff {
@@ -447,6 +480,31 @@ mod tests {
         assert_eq!(diff.only_in_other, vec![(ObjectId(5), ex.read)]);
         assert_eq!(diff.skipped().count(), 2);
         assert!(diff.default_flip());
+    }
+
+    #[test]
+    fn shared_sweep_columns_match_per_strategy_matrices() {
+        let ex = motivating_example();
+        let strategies = Strategy::all_instances();
+        let columns =
+            columns_for_strategies(&ex.hierarchy, &ex.eacm, ex.obj, ex.read, &strategies).unwrap();
+        assert_eq!(columns.len(), strategies.len());
+        for (strategy, column) in strategies.iter().zip(&columns) {
+            let matrix = EffectiveMatrix::compute_for_pairs(
+                &ex.hierarchy,
+                &ex.eacm,
+                *strategy,
+                &[(ex.obj, ex.read)],
+            )
+            .unwrap();
+            for s in ex.hierarchy.subjects() {
+                assert_eq!(
+                    column[s.index()],
+                    matrix.sign(s, ex.obj, ex.read).unwrap(),
+                    "strategy {strategy}, subject {s}"
+                );
+            }
+        }
     }
 
     #[test]

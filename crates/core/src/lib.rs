@@ -76,7 +76,7 @@ pub mod session;
 mod strategy;
 
 pub use dominance::{dominance, dominance_specialized, dominance_with_stats, DominanceStats};
-pub use effective::{EffectiveDiff, EffectiveMatrix, MatrixDiff};
+pub use effective::{columns_for_strategies, EffectiveDiff, EffectiveMatrix, MatrixDiff};
 pub use engine::{AuthRecord, DistanceHistogram, ModeCounts};
 pub use error::CoreError;
 pub use explain::{explain, explain_with_mode, Explanation};

@@ -61,18 +61,15 @@ pub enum CombiningAlgorithm {
 /// defaults are ignored: XACML has no subject-hierarchy default policy —
 /// absence of rules is what `NotApplicable` reports).
 pub fn combine(hist: &DistanceHistogram, algorithm: CombiningAlgorithm) -> XacmlDecision {
-    let totals = match hist.totals() {
-        Ok(t) => t,
+    let Ok(totals) = hist.totals() else {
         // Overflow cannot influence *which* signs are present.
-        Err(_) => {
-            let mut pos = false;
-            let mut neg = false;
-            for (_, c) in hist.strata() {
-                pos |= c.pos > 0;
-                neg |= c.neg > 0;
-            }
-            return combine_flags(hist, algorithm, pos, neg);
+        let mut pos = false;
+        let mut neg = false;
+        for (_, c) in hist.strata() {
+            pos |= c.pos > 0;
+            neg |= c.neg > 0;
         }
+        return combine_flags(hist, algorithm, pos, neg);
     };
     combine_flags(hist, algorithm, totals.pos > 0, totals.neg > 0)
 }

@@ -173,8 +173,7 @@ impl AccessSession {
             let mode = self
                 .eacm
                 .label(id, object, right)
-                .map(Mode::from)
-                .unwrap_or(Mode::Default);
+                .map_or(Mode::Default, Mode::from);
             row.add(0, mode, 1).expect("one record cannot overflow");
             Arc::make_mut(table).push(row);
         }
@@ -354,8 +353,7 @@ impl AccessSession {
         self.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
         if !missing.is_empty() {
             let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+                .map_or(1, std::num::NonZeroUsize::get)
                 .min(missing.len());
             let next = std::sync::atomic::AtomicUsize::new(0);
             let cells: Vec<TableCell> = (0..missing.len())

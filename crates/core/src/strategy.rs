@@ -118,6 +118,40 @@ impl Strategy {
         }
     }
 
+    /// Builds a strategy **without** canonicalising — exactly what a
+    /// derived deserialiser can produce from persisted data, since serde
+    /// fills the fields directly and never calls [`Strategy::new`].
+    /// Exists so validation layers (e.g. `ucra_lint`) can exercise that
+    /// surface; always prefer [`Strategy::new`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        default: DefaultRule,
+        locality: LocalityRule,
+        majority: MajorityRule,
+        preference: Sign,
+    ) -> Strategy {
+        Strategy {
+            default,
+            locality,
+            majority,
+            preference,
+        }
+    }
+
+    /// The canonical twin of this instance: identical behaviour, equal to
+    /// the [`Strategy::new`] result for the same parameters. A no-op for
+    /// strategies built through the public constructors.
+    #[must_use]
+    pub fn canonicalized(&self) -> Strategy {
+        Strategy::new(self.default, self.locality, self.majority, self.preference)
+    }
+
+    /// `true` when this instance is in canonical form (always the case
+    /// unless it was deserialised from non-canonical raw parameters).
+    pub fn is_canonical(&self) -> bool {
+        *self == self.canonicalized()
+    }
+
     /// The Default rule.
     pub fn default_rule(&self) -> DefaultRule {
         self.default
@@ -396,6 +430,26 @@ mod tests {
         assert_eq!(all.len(), 48);
         let set: HashSet<_> = all.iter().copied().collect();
         assert_eq!(set.len(), 48);
+    }
+
+    #[test]
+    fn raw_parts_expose_the_non_canonical_surface() {
+        let raw = Strategy::from_raw_parts(
+            DefaultRule::Pos,
+            LocalityRule::Identity,
+            MajorityRule::After,
+            Sign::Pos,
+        );
+        assert!(!raw.is_canonical());
+        assert_eq!(raw.majority_rule(), MajorityRule::After);
+        let canon = raw.canonicalized();
+        assert!(canon.is_canonical());
+        assert_eq!(canon.majority_rule(), MajorityRule::Before);
+        assert_eq!(canon.mnemonic(), "D+MP+");
+        // Everything built through the public constructor is canonical.
+        for s in Strategy::all_instances() {
+            assert!(s.is_canonical());
+        }
     }
 
     #[test]

@@ -100,6 +100,45 @@ pub fn ancestor_counts(dag: &Dag) -> Vec<usize> {
         .collect()
 }
 
+/// The weakly connected components of the graph: maximal node sets
+/// connected when edge direction is ignored, each sorted by node id,
+/// ordered largest-first (ties broken by smallest member id).
+///
+/// An access-control hierarchy normally forms one weakly connected
+/// component per administrative domain; stray extra components usually
+/// indicate subjects that were disconnected by a typo'd group name. The
+/// static policy analyser (`ucra_lint`) uses this to flag fragmented
+/// hierarchies.
+pub fn weakly_connected_components(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let n = dag.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in dag.nodes() {
+        if component[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        component[start.index()] = id;
+        components.push(vec![start]);
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in dag.children(v).iter().chain(dag.parents(v)) {
+                if component[u.index()] == usize::MAX {
+                    component[u.index()] = id;
+                    components[id].push(u);
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    for members in &mut components {
+        members.sort_unstable();
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    components
+}
+
 /// Verifies that `order` is a permutation of the graph's nodes with
 /// every edge pointing forward — the contract of
 /// [`crate::traverse::topo_order`], exposed so property tests and
@@ -180,6 +219,42 @@ mod tests {
         assert_eq!(counts[b.index()], 1);
         assert_eq!(counts[c.index()], 1);
         assert_eq!(counts[d.index()], 3);
+    }
+
+    #[test]
+    fn weak_components_of_split_graph() {
+        // Diamond (4 nodes) + chain of 2 + isolated node: 3 components,
+        // largest first.
+        let (mut g, [a, ..]) = diamond();
+        let e = g.add_node();
+        let f = g.add_node();
+        g.add_edge(e, f).unwrap();
+        let lone = g.add_node();
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[0][0], a);
+        assert_eq!(comps[1], vec![e, f]);
+        assert_eq!(comps[2], vec![lone]);
+    }
+
+    #[test]
+    fn weak_components_of_connected_and_empty_graphs() {
+        let (g, _) = diamond();
+        assert_eq!(weakly_connected_components(&g).len(), 1);
+        assert!(weakly_connected_components(&Dag::new()).is_empty());
+    }
+
+    #[test]
+    fn weak_components_ignore_edge_direction() {
+        // a → c ← b: weakly one component despite two roots.
+        let mut g = Dag::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(weakly_connected_components(&g), vec![vec![a, b, c]]);
     }
 
     #[test]

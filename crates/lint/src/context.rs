@@ -1,0 +1,135 @@
+//! What a lint rule sees: the loaded policy plus optional name tables and
+//! source positions.
+
+use crate::diagnostics::{Span, SpanItem};
+use crate::source_map::SourceMap;
+use ucra_core::{Eacm, ObjectId, RightId, Strategy, SubjectDag, SubjectId};
+use ucra_store::AccessModel;
+
+/// The input to every [`crate::LintRule`]: hierarchy, explicit matrix and
+/// configured strategy, with optional name tables (from an
+/// [`AccessModel`]) and source positions (from a [`SourceMap`]).
+///
+/// Rules run equally over named models loaded from files and over raw
+/// [`ucra_core::AccessSession`] parts; names and lines degrade gracefully
+/// to id-based placeholders.
+pub struct LintContext<'a> {
+    hierarchy: &'a SubjectDag,
+    eacm: &'a Eacm,
+    strategy: Option<Strategy>,
+    model: Option<&'a AccessModel>,
+    source: Option<&'a SourceMap>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Context over a named model.
+    pub fn from_model(model: &'a AccessModel, source: Option<&'a SourceMap>) -> LintContext<'a> {
+        LintContext {
+            hierarchy: model.hierarchy(),
+            eacm: model.eacm(),
+            strategy: model.default_strategy(),
+            model: Some(model),
+            source,
+        }
+    }
+
+    /// Context over raw core parts (no names, no source positions).
+    pub fn from_parts(
+        hierarchy: &'a SubjectDag,
+        eacm: &'a Eacm,
+        strategy: Option<Strategy>,
+    ) -> LintContext<'a> {
+        LintContext {
+            hierarchy,
+            eacm,
+            strategy,
+            model: None,
+            source: None,
+        }
+    }
+
+    /// The subject hierarchy.
+    pub fn hierarchy(&self) -> &'a SubjectDag {
+        self.hierarchy
+    }
+
+    /// The explicit matrix.
+    pub fn eacm(&self) -> &'a Eacm {
+        self.eacm
+    }
+
+    /// The configured strategy, if any, exactly as stored (possibly
+    /// non-canonical when deserialised).
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.strategy
+    }
+
+    /// The configured strategy in canonical form — safe to display and
+    /// to match against [`Strategy::all_instances`].
+    pub fn canonical_strategy(&self) -> Option<Strategy> {
+        self.strategy.map(|s| s.canonicalized())
+    }
+
+    /// The subject's name, or `s<index>` without name tables.
+    pub fn subject_name(&self, id: SubjectId) -> String {
+        self.model
+            .and_then(|m| m.subject_name(id))
+            .map_or_else(|| format!("s{}", id.index()), str::to_string)
+    }
+
+    /// The object's name, or its id rendering (`o<n>`).
+    pub fn object_name(&self, id: ObjectId) -> String {
+        self.model
+            .and_then(|m| m.object_names().nth(id.0 as usize))
+            .map_or_else(|| id.to_string(), str::to_string)
+    }
+
+    /// The right's name, or its id rendering (`r<n>`).
+    pub fn right_name(&self, id: RightId) -> String {
+        self.model
+            .and_then(|m| m.right_names().nth(id.0 as usize))
+            .map_or_else(|| id.to_string(), str::to_string)
+    }
+
+    /// A subject span, with its source line when known.
+    pub fn subject_span(&self, id: SubjectId) -> Span {
+        let name = self.subject_name(id);
+        let line = self.source.and_then(|s| s.subject_line(&name));
+        Span {
+            item: SpanItem::Subject(name),
+            line,
+        }
+    }
+
+    /// A label span, with its `grant`/`deny` line when known.
+    pub fn label_span(&self, subject: SubjectId, object: ObjectId, right: RightId) -> Span {
+        let s = self.subject_name(subject);
+        let o = self.object_name(object);
+        let r = self.right_name(right);
+        let line = self.source.and_then(|m| m.label_line(&s, &o, &r));
+        Span {
+            item: SpanItem::Label {
+                subject: s,
+                object: o,
+                right: r,
+            },
+            line,
+        }
+    }
+
+    /// A pair span (no line: pairs are not single directives).
+    pub fn pair_span(&self, object: ObjectId, right: RightId) -> Span {
+        Span::item(SpanItem::Pair {
+            object: self.object_name(object),
+            right: self.right_name(right),
+        })
+    }
+
+    /// A strategy span, pointing at the `strategy` directive when known.
+    pub fn strategy_span(&self, spelling: String) -> Span {
+        Span {
+            item: SpanItem::Strategy(spelling),
+            line: self.source.and_then(SourceMap::strategy_line),
+        }
+    }
+}

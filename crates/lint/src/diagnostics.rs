@@ -1,0 +1,378 @@
+//! The diagnostics framework: severities, spans, diagnostics, and the
+//! report with its human-readable and JSON renderers.
+//!
+//! The JSON renderer is hand-rolled (no `serde_json` dependency): the
+//! schema is part of the tool's public contract, pinned by a snapshot
+//! test, and must not drift with a serialisation library's defaults.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Severities drive the exit code of `ucra lint`: errors always fail,
+/// warnings fail only under `--deny warnings`, infos never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious policy that still loads and resolves.
+    Warning,
+    /// The policy is broken: it cannot load, or cannot mean what it says.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderers (`error`, `warning`,
+    /// `info`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanItem {
+    /// The policy as a whole.
+    Model,
+    /// The strategy directive, with the spelling found in the source.
+    Strategy(String),
+    /// One subject, by name.
+    Subject(String),
+    /// One explicit label ⟨subject, object, right⟩.
+    Label {
+        /// The labeled subject's name.
+        subject: String,
+        /// The object name.
+        object: String,
+        /// The right name.
+        right: String,
+    },
+    /// One ⟨object, right⟩ pair.
+    Pair {
+        /// The object name.
+        object: String,
+        /// The right name.
+        right: String,
+    },
+}
+
+impl fmt::Display for SpanItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanItem::Model => f.write_str("model"),
+            SpanItem::Strategy(m) => write!(f, "strategy `{m}`"),
+            SpanItem::Subject(s) => write!(f, "subject `{s}`"),
+            SpanItem::Label {
+                subject,
+                object,
+                right,
+            } => write!(f, "label `{subject}` {object}/{right}"),
+            SpanItem::Pair { object, right } => write!(f, "pair {object}/{right}"),
+        }
+    }
+}
+
+/// Where a diagnostic points: an item of the model, plus the 1-based
+/// source line when the policy came from text with a source map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The offending item.
+    pub item: SpanItem,
+    /// 1-based line in the policy text, when known.
+    pub line: Option<usize>,
+}
+
+impl Span {
+    /// A span with no line information.
+    pub fn item(item: SpanItem) -> Span {
+        Span { item, line: None }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `UCRA020`. Codes never change meaning; retired
+    /// codes are not reused.
+    pub code: &'static str,
+    /// The rule's kebab-case name, e.g. `redundant-label`.
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// What the finding points at.
+    pub span: Span,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+/// The outcome of a lint run: every finding, ordered deterministically
+/// (by source line where known, then code, then message).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Builds a report, sorting the findings into the stable order.
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> LintReport {
+        diagnostics.sort_by(|a, b| {
+            let line = |d: &Diagnostic| d.span.line.unwrap_or(usize::MAX);
+            line(a)
+                .cmp(&line(b))
+                .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        LintReport { diagnostics }
+    }
+
+    /// The findings, in report order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when at least one error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The process exit code `ucra lint` maps this report to:
+    /// `1` with errors, `2` with warnings under `--deny warnings`,
+    /// `0` otherwise.
+    pub fn exit_code(&self, deny_warnings: bool) -> u8 {
+        if self.has_errors() {
+            1
+        } else if deny_warnings && self.count(Severity::Warning) > 0 {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// The human-readable rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+            match d.span.line {
+                Some(line) => {
+                    let _ = writeln!(out, "  --> line {line}: {}", d.span.item);
+                }
+                None => {
+                    let _ = writeln!(out, "  --> {}", d.span.item);
+                }
+            }
+            if let Some(help) = &d.help {
+                let _ = writeln!(out, "  help: {help}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s), {} info(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        );
+        out
+    }
+
+    /// The machine-readable rendering (one stable JSON document; schema
+    /// version bumps on any breaking change).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_field(&mut out, "code", d.code);
+            out.push(',');
+            json_field(&mut out, "rule", d.rule);
+            out.push(',');
+            json_field(&mut out, "severity", d.severity.label());
+            out.push(',');
+            json_field(&mut out, "message", &d.message);
+            out.push_str(",\"span\":{");
+            match &d.span.item {
+                SpanItem::Model => json_field(&mut out, "kind", "model"),
+                SpanItem::Strategy(m) => {
+                    json_field(&mut out, "kind", "strategy");
+                    out.push(',');
+                    json_field(&mut out, "strategy", m);
+                }
+                SpanItem::Subject(s) => {
+                    json_field(&mut out, "kind", "subject");
+                    out.push(',');
+                    json_field(&mut out, "subject", s);
+                }
+                SpanItem::Label {
+                    subject,
+                    object,
+                    right,
+                } => {
+                    json_field(&mut out, "kind", "label");
+                    out.push(',');
+                    json_field(&mut out, "subject", subject);
+                    out.push(',');
+                    json_field(&mut out, "object", object);
+                    out.push(',');
+                    json_field(&mut out, "right", right);
+                }
+                SpanItem::Pair { object, right } => {
+                    json_field(&mut out, "kind", "pair");
+                    out.push(',');
+                    json_field(&mut out, "object", object);
+                    out.push(',');
+                    json_field(&mut out, "right", right);
+                }
+            }
+            out.push_str(",\"line\":");
+            match d.span.line {
+                Some(line) => out.push_str(&line.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str("},\"help\":");
+            match &d.help {
+                Some(help) => json_string(&mut out, help),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "],\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        );
+        out
+    }
+}
+
+fn json_field(out: &mut String, key: &str, value: &str) {
+    json_string(out, key);
+    out.push(':');
+    json_string(out, value);
+}
+
+/// Appends `value` as a JSON string literal, escaping per RFC 8259.
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(code: &'static str, severity: Severity, line: Option<usize>) -> Diagnostic {
+        Diagnostic {
+            code,
+            rule: "sample-rule",
+            severity,
+            message: format!("finding {code}"),
+            span: Span {
+                item: SpanItem::Model,
+                line,
+            },
+            help: None,
+        }
+    }
+
+    #[test]
+    fn report_orders_by_line_then_code() {
+        let report = LintReport::from_diagnostics(vec![
+            sample("UCRA020", Severity::Warning, None),
+            sample("UCRA010", Severity::Warning, Some(9)),
+            sample("UCRA001", Severity::Error, Some(2)),
+        ]);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["UCRA001", "UCRA010", "UCRA020"]);
+    }
+
+    #[test]
+    fn exit_codes_follow_severity() {
+        let clean = LintReport::new();
+        assert_eq!(clean.exit_code(false), 0);
+        assert_eq!(clean.exit_code(true), 0);
+        let warn = LintReport::from_diagnostics(vec![sample("UCRA010", Severity::Warning, None)]);
+        assert_eq!(warn.exit_code(false), 0);
+        assert_eq!(warn.exit_code(true), 2);
+        let err = LintReport::from_diagnostics(vec![
+            sample("UCRA001", Severity::Error, None),
+            sample("UCRA010", Severity::Warning, None),
+        ]);
+        assert_eq!(err.exit_code(false), 1);
+        assert_eq!(err.exit_code(true), 1);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut d = sample("UCRA000", Severity::Error, Some(1));
+        d.message = "a \"quoted\"\nline\t\\".to_string();
+        let json = LintReport::from_diagnostics(vec![d]).render_json();
+        assert!(json.contains(r#"a \"quoted\"\nline\t\\"#), "{json}");
+    }
+
+    #[test]
+    fn text_rendering_shows_line_and_help() {
+        let mut d = sample("UCRA010", Severity::Warning, Some(4));
+        d.help = Some("connect or remove the subject".into());
+        let text = LintReport::from_diagnostics(vec![d]).render_text();
+        assert!(text.contains("warning[UCRA010]"), "{text}");
+        assert!(text.contains("--> line 4: model"), "{text}");
+        assert!(
+            text.contains("help: connect or remove the subject"),
+            "{text}"
+        );
+        assert!(
+            text.contains("0 error(s), 1 warning(s), 0 info(s)"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! # `ucra-lint` — static policy analysis for UCRA models
+//!
+//! Most conflict-resolution mistakes are *configuration* mistakes: an
+//! illegitimate strategy mnemonic (only 48 of the 54 raw parameter
+//! points are legitimate, §2.2 of the paper), explicit labels that
+//! propagation already derives, conflicts the chosen strategy resolves
+//! to decoration, or outcomes that fall through every policy to the
+//! preference fallback. This crate finds them **before** any query
+//! runs: a rule registry with stable codes (`UCRA000`…), severities,
+//! per-diagnostic spans, and human + JSON renderers.
+//!
+//! ## Entry points
+//!
+//! * [`lint_policy_text`] — lint a policy in the line-oriented text
+//!   format, with source-line spans. Bad `strategy` mnemonics are
+//!   reported (with a nearest-legitimate-mnemonic suggestion) instead of
+//!   aborting the whole analysis.
+//! * [`lint_model`] — lint a loaded [`AccessModel`].
+//! * [`lint_session`] — lint raw core parts (hierarchy + matrix +
+//!   strategy), e.g. an [`AccessSession`] about to be served.
+//! * [`load_session`] — build an [`AccessSession`], but refuse (with the
+//!   report) when any error-severity finding is present — load-time
+//!   validation for services that must reject bad policies up front.
+//!
+//! ```
+//! let report = ucra_lint::lint_policy_text(
+//!     "member staff alice\n\
+//!      subject ghost\n\
+//!      strategy D-LP-\n",
+//! );
+//! assert_eq!(report.diagnostics().len(), 1); // UCRA010: `ghost` is orphaned
+//! assert_eq!(report.diagnostics()[0].code, "UCRA010");
+//! assert_eq!(report.exit_code(false), 0);
+//! assert_eq!(report.exit_code(true), 2); // --deny warnings
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod diagnostics;
+mod rules;
+mod source_map;
+mod suggest;
+
+pub use context::LintContext;
+pub use diagnostics::{Diagnostic, LintReport, Severity, Span, SpanItem};
+pub use rules::{codes, registry, LintRule, RuleInfo};
+pub use source_map::SourceMap;
+pub use suggest::{edit_distance, nearest_mnemonic};
+
+use ucra_core::{AccessSession, Eacm, Strategy, SubjectDag};
+use ucra_store::{text, AccessModel, StoreError};
+
+/// Lints a loaded model, attaching source lines when a [`SourceMap`] is
+/// supplied.
+///
+/// A rule that cannot run (propagation overflow, malformed ids) does not
+/// abort the others: the failure surfaces as an error-severity
+/// diagnostic under the rule's own code.
+pub fn lint_model(model: &AccessModel, source: Option<&SourceMap>) -> LintReport {
+    let cx = LintContext::from_model(model, source);
+    run_rules(&cx, Vec::new())
+}
+
+/// Lints raw core parts: the load-time entry point for sessions that
+/// never had names.
+pub fn lint_session(hierarchy: &SubjectDag, eacm: &Eacm, strategy: Option<Strategy>) -> LintReport {
+    let cx = LintContext::from_parts(hierarchy, eacm, strategy);
+    run_rules(&cx, Vec::new())
+}
+
+/// Builds an [`AccessSession`] only when the policy has no
+/// error-severity findings; otherwise returns the full report.
+///
+/// Warnings and infos do not block loading — services that want
+/// stricter gates can call [`lint_session`] and apply their own
+/// threshold via [`LintReport::exit_code`].
+pub fn load_session(
+    hierarchy: SubjectDag,
+    eacm: Eacm,
+    strategy: Strategy,
+) -> Result<AccessSession, LintReport> {
+    let report = lint_session(&hierarchy, &eacm, Some(strategy));
+    if report.has_errors() {
+        return Err(report);
+    }
+    Ok(AccessSession::new(hierarchy, eacm, strategy))
+}
+
+/// Lints a policy in the line-oriented text format.
+///
+/// The text front end runs first: every `strategy` directive is checked
+/// against the 48 legitimate mnemonics. Illegitimate ones become
+/// `UCRA001` errors (with a nearest-mnemonic suggestion) and are blanked
+/// out so the rest of the policy still parses and the model-level rules
+/// still run; legitimate-but-non-canonical spellings (the paper's
+/// Unicode superscripts) become `UCRA002` warnings. A text that still
+/// fails to parse yields a single `UCRA000` error.
+pub fn lint_policy_text(input: &str) -> LintReport {
+    let source = SourceMap::scan(input);
+    let mut diagnostics = Vec::new();
+    let mut sanitised: Vec<String> = input.lines().map(str::to_string).collect();
+    for &(line, ref spelling) in source.strategies() {
+        match spelling.parse::<Strategy>() {
+            Ok(strategy) => {
+                let canonical = strategy.mnemonic();
+                if *spelling != canonical {
+                    diagnostics.push(Diagnostic {
+                        code: rules::NON_CANONICAL_STRATEGY.code,
+                        rule: rules::NON_CANONICAL_STRATEGY.name,
+                        severity: rules::NON_CANONICAL_STRATEGY.severity,
+                        message: format!(
+                            "strategy is spelled `{spelling}`; the canonical mnemonic \
+                             is `{canonical}`"
+                        ),
+                        span: Span {
+                            item: SpanItem::Strategy(spelling.clone()),
+                            line: Some(line),
+                        },
+                        help: Some(format!("write `strategy {canonical}`")),
+                    });
+                }
+            }
+            Err(err) => {
+                let (suggestion, distance) = nearest_mnemonic(spelling);
+                let help = if distance <= 2 {
+                    format!("did you mean `{suggestion}`?")
+                } else {
+                    format!(
+                        "the nearest legitimate instance is `{suggestion}`; \
+                         see §2.2 of the paper for the 48 instances"
+                    )
+                };
+                diagnostics.push(Diagnostic {
+                    code: rules::UNKNOWN_STRATEGY.code,
+                    rule: rules::UNKNOWN_STRATEGY.name,
+                    severity: rules::UNKNOWN_STRATEGY.severity,
+                    message: format!(
+                        "`{spelling}` is not one of the 48 legitimate strategy \
+                         instances: {err}"
+                    ),
+                    span: Span {
+                        item: SpanItem::Strategy(spelling.clone()),
+                        line: Some(line),
+                    },
+                    help: Some(help),
+                });
+                // Blank the directive so the rest of the policy still
+                // parses and the structural rules still run.
+                sanitised[line - 1] = String::new();
+            }
+        }
+    }
+    match text::parse(&sanitised.join("\n")) {
+        Ok(model) => {
+            let cx = LintContext::from_model(&model, Some(&source));
+            run_rules(&cx, diagnostics)
+        }
+        Err(err) => {
+            let line = match &err {
+                StoreError::Malformed(msg) => msg
+                    .split("line ")
+                    .nth(1)
+                    .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|digits| digits.parse().ok()),
+                _ => None,
+            };
+            diagnostics.push(Diagnostic {
+                code: rules::PARSE_ERROR.code,
+                rule: rules::PARSE_ERROR.name,
+                severity: rules::PARSE_ERROR.severity,
+                message: format!("the policy text cannot be parsed: {err}"),
+                span: Span {
+                    item: SpanItem::Model,
+                    line,
+                },
+                help: None,
+            });
+            LintReport::from_diagnostics(diagnostics)
+        }
+    }
+}
+
+/// Runs every registry rule over `cx`, appending to already-collected
+/// text-phase diagnostics.
+fn run_rules(cx: &LintContext<'_>, mut diagnostics: Vec<Diagnostic>) -> LintReport {
+    for rule in registry() {
+        match rule.check(cx) {
+            Ok(found) => diagnostics.extend(found),
+            Err(err) => diagnostics.push(Diagnostic {
+                code: rule.info().code,
+                rule: rule.info().name,
+                severity: Severity::Error,
+                message: format!("rule `{}` could not run: {err}", rule.info().name),
+                span: Span::item(SpanItem::Model),
+                help: None,
+            }),
+        }
+    }
+    LintReport::from_diagnostics(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "\
+member S1 S3
+member S2 S3
+member S2 User
+member S3 S5
+member S5 User
+member S6 S5
+member S6 User
+grant S2 obj read
+deny S5 obj read
+strategy D-LMP+
+";
+
+    #[test]
+    fn motivating_example_lints_clean() {
+        let report = lint_policy_text(CLEAN);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_reported_with_suggestion_and_rules_still_run() {
+        let report =
+            lint_policy_text("member g m\nsubject lonely\ngrant g obj read\nstrategy D+LMPX\n");
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"UCRA001"), "{codes:?}");
+        assert!(codes.contains(&"UCRA010"), "{codes:?}"); // `lonely`
+        assert!(codes.contains(&"UCRA003"), "{codes:?}"); // blanked strategy
+        let bad = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "UCRA001")
+            .unwrap();
+        assert_eq!(bad.span.line, Some(4));
+        assert!(
+            bad.help.as_deref().unwrap_or("").contains("D+LMP"),
+            "{:?}",
+            bad.help
+        );
+        assert_eq!(report.exit_code(false), 1);
+    }
+
+    #[test]
+    fn superscript_spelling_is_non_canonical() {
+        let report = lint_policy_text("member g m\ngrant g obj read\nstrategy D⁺LP⁻\n");
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, "UCRA002");
+        assert!(d.message.contains("D+LP-"), "{}", d.message);
+        assert_eq!(report.diagnostics().len(), 1);
+    }
+
+    #[test]
+    fn unparseable_text_yields_ucra000_with_line() {
+        let report = lint_policy_text("member a b\nfrobnicate x\n");
+        assert_eq!(report.diagnostics().len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, "UCRA000");
+        assert_eq!(d.span.line, Some(2));
+        assert_eq!(report.exit_code(false), 1);
+    }
+
+    #[test]
+    fn load_session_refuses_nothing_but_errors() {
+        use ucra_core::Sign;
+        // A warning-only policy (orphan subject) loads fine.
+        let mut h = SubjectDag::new();
+        let g = h.add_subject();
+        let m = h.add_subject();
+        h.add_membership(g, m).unwrap();
+        h.add_subject(); // orphan
+        let mut eacm = Eacm::new();
+        eacm.set(g, ucra_core::ObjectId(0), ucra_core::RightId(0), Sign::Pos)
+            .unwrap();
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        let session = load_session(h.clone(), eacm.clone(), strategy).expect("warnings load");
+        assert_eq!(session.strategy(), strategy);
+        // And the same parts lint with the orphan warning.
+        let report = lint_session(&h, &eacm, Some(strategy));
+        assert_eq!(report.count(Severity::Warning), 1);
+        assert_eq!(report.diagnostics()[0].code, "UCRA010");
+        assert!(report.diagnostics()[0].message.contains("`s2`"));
+    }
+
+    #[test]
+    fn non_canonical_instance_is_flagged() {
+        use ucra_core::{DefaultRule, LocalityRule, MajorityRule, Sign};
+        let mut h = SubjectDag::new();
+        let g = h.add_subject();
+        let m = h.add_subject();
+        h.add_membership(g, m).unwrap();
+        let mut eacm = Eacm::new();
+        eacm.set(g, ucra_core::ObjectId(0), ucra_core::RightId(0), Sign::Pos)
+            .unwrap();
+        // serde materialises what Strategy::new would canonicalise; the
+        // raw constructor mirrors that surface.
+        let raw = Strategy::from_raw_parts(
+            DefaultRule::Pos,
+            LocalityRule::Identity,
+            MajorityRule::After,
+            Sign::Pos,
+        );
+        assert!(!raw.is_canonical());
+        let report = lint_session(&h, &eacm, Some(raw));
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "UCRA002")
+            .expect("non-canonical instance flagged");
+        assert!(d.message.contains("D+MP+"), "{}", d.message);
+    }
+}

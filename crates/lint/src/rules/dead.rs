@@ -1,0 +1,92 @@
+//! `UCRA021` — dead conflicts: contradictory labels the chosen strategy
+//! always resolves the same way.
+//!
+//! A label *participates in a conflict* when an opposite-sign label on
+//! the same `(object, right)` pair reaches a shared descendant — the
+//! situation Algorithm `Resolve()` (Fig. 4) exists to arbitrate. The
+//! conflict is *dead* under the configured strategy when removing the
+//! label changes no subject's outcome: the Majority/Preference pipeline
+//! resolves every affected subject identically with or without it. The
+//! label still matters under *other* strategies (otherwise it would be
+//! `UCRA020`), so the policy silently depends on the strategy choice —
+//! exactly the configuration drift §2.2 warns about.
+
+use super::{LintRule, RuleInfo};
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity};
+use ucra_core::{columns_for_strategies, CoreError, Strategy, SubjectId};
+use ucra_graph::traverse::{reachable_set, Direction};
+
+/// The `UCRA021` rule (see the module docs).
+pub struct DeadConflict;
+
+impl LintRule for DeadConflict {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA021",
+            name: "dead-conflict",
+            severity: Severity::Info,
+            summary: "a conflicting label never changes the outcome under the chosen strategy",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        let Some(strategy) = cx.canonical_strategy() else {
+            return Ok(Vec::new());
+        };
+        let strategies = Strategy::all_instances();
+        let configured = strategies
+            .iter()
+            .position(|&s| s == strategy)
+            .expect("every canonical strategy is one of the 48");
+        let graph = cx.hierarchy().graph();
+        let descendants = |s: SubjectId| reachable_set(graph, &[s], Direction::Down);
+        let mut out = Vec::new();
+        for (object, right) in cx.eacm().object_right_pairs() {
+            let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
+            if labels.len() < 2 {
+                continue;
+            }
+            let cones: Vec<Vec<bool>> = labels.iter().map(|&(s, _)| descendants(s)).collect();
+            let base =
+                columns_for_strategies(cx.hierarchy(), cx.eacm(), object, right, &strategies)?;
+            for (i, &(subject, sign)) in labels.iter().enumerate() {
+                let conflicting = labels.iter().enumerate().any(|(j, &(_, other))| {
+                    other != sign && cones[i].iter().zip(&cones[j]).any(|(&a, &b)| a && b)
+                });
+                if !conflicting {
+                    continue;
+                }
+                let mut trimmed = cx.eacm().clone();
+                trimmed.unset(subject, object, right);
+                let without =
+                    columns_for_strategies(cx.hierarchy(), &trimmed, object, right, &strategies)?;
+                // Unchanged under *all* strategies is UCRA020's finding,
+                // not a strategy-dependent dead conflict.
+                if without == base || without[configured] != base[configured] {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    code: self.info().code,
+                    rule: self.info().name,
+                    severity: self.info().severity,
+                    message: format!(
+                        "the `{sign}` on `{}` for {}/{} conflicts with opposite labels \
+                         on shared members, but strategy `{strategy}` resolves every \
+                         subject identically without it (dead policy)",
+                        cx.subject_name(subject),
+                        cx.object_name(object),
+                        cx.right_name(right),
+                    ),
+                    span: cx.label_span(subject, object, right),
+                    help: Some(format!(
+                        "under `{strategy}` this label is decoration; other strategies \
+                         do honour it, so outcomes will shift if the strategy ever \
+                         changes"
+                    )),
+                });
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,116 @@
+//! The rule registry.
+//!
+//! Every rule is one module implementing [`LintRule`]; [`registry`]
+//! enumerates them in code order. Codes are stable: they never change
+//! meaning, and retired codes are not reused. `UCRA000` (parse failure)
+//! and `UCRA001` (illegitimate strategy mnemonic) are emitted by the
+//! text front end in [`crate::lint_policy_text`] — they concern policies
+//! that cannot be loaded into a model at all, so no model-level rule can
+//! observe them — but are listed in [`codes`] alongside the rest.
+
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity};
+use ucra_core::CoreError;
+
+mod dead;
+mod redundancy;
+mod shadowing;
+mod strategy;
+mod structure;
+
+/// Identity card of a rule (or text-phase check): stable code, name,
+/// default severity and a one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable diagnostic code, e.g. `UCRA020`.
+    pub code: &'static str,
+    /// Kebab-case rule name, e.g. `redundant-label`.
+    pub name: &'static str,
+    /// Severity of this rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+}
+
+/// A static analysis over one loaded policy.
+pub trait LintRule {
+    /// The rule's identity card.
+    fn info(&self) -> RuleInfo;
+
+    /// Runs the rule. A `CoreError` here means the analysis itself could
+    /// not run (e.g. propagation overflow), not that the policy is clean;
+    /// the driver surfaces it as an error diagnostic.
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError>;
+}
+
+/// Text-phase check: the policy text failed to parse.
+pub const PARSE_ERROR: RuleInfo = RuleInfo {
+    code: "UCRA000",
+    name: "parse-error",
+    severity: Severity::Error,
+    summary: "the policy text cannot be parsed",
+};
+
+/// Text-phase check: a `strategy` directive names none of the 48
+/// legitimate instances.
+pub const UNKNOWN_STRATEGY: RuleInfo = RuleInfo {
+    code: "UCRA001",
+    name: "unknown-strategy",
+    severity: Severity::Error,
+    summary: "the strategy mnemonic is not one of the 48 legitimate instances",
+};
+
+/// Text/instance-phase check: the strategy is legitimate but not written
+/// (or not represented) in canonical form.
+pub const NON_CANONICAL_STRATEGY: RuleInfo = RuleInfo {
+    code: "UCRA002",
+    name: "non-canonical-strategy",
+    severity: Severity::Warning,
+    summary: "the strategy is legitimate but not in canonical form",
+};
+
+/// All model-level rules, in code order.
+pub fn registry() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(strategy::NonCanonicalInstance),
+        Box::new(strategy::NoStrategy),
+        Box::new(structure::OrphanSubject),
+        Box::new(structure::InertGroup),
+        Box::new(structure::FragmentedHierarchy),
+        Box::new(redundancy::RedundantLabel),
+        Box::new(dead::DeadConflict),
+        Box::new(shadowing::DefaultShadowing),
+    ]
+}
+
+/// Every diagnostic code this crate can emit, with its identity card —
+/// the text-phase checks plus the registry rules. (`UCRA002` is shared:
+/// the text phase flags non-canonical *spellings*, the registry rule
+/// non-canonical *instances*; both are the same finding.)
+pub fn codes() -> Vec<RuleInfo> {
+    let mut out = vec![PARSE_ERROR, UNKNOWN_STRATEGY];
+    for rule in registry() {
+        out.push(rule.info());
+    }
+    out.sort_by_key(|info| info.code);
+    out.dedup_by_key(|info| info.code);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let codes = codes();
+        for pair in codes.windows(2) {
+            assert!(pair[0].code < pair[1].code, "duplicate or unsorted codes");
+        }
+        for info in &codes {
+            assert!(info.code.starts_with("UCRA"), "{}", info.code);
+            assert_eq!(info.code.len(), 7, "{}", info.code);
+            assert!(!info.name.is_empty() && !info.summary.is_empty());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! `UCRA020` — redundant explicit labels.
+//!
+//! An explicit label is redundant when deleting it changes no subject's
+//! effective authorization under **any** of the 48 legitimate strategy
+//! instances: propagation already derives everything the label states.
+//! The paper's §2 motivation for sparse explicit matrices is exactly
+//! that derived authorizations need not be stored; this rule finds the
+//! stored ones that needn't be.
+//!
+//! The check is semantic, not syntactic: for each candidate label the
+//! rule recomputes the effective column with the label removed and
+//! compares outcomes. [`ucra_core::columns_for_strategies`] shares one
+//! propagation sweep across all 48 resolutions, so the cost per
+//! `(object, right)` pair is `(labels + 1)` sweeps, not `48 × labels`.
+
+use super::{LintRule, RuleInfo};
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity};
+use ucra_core::{columns_for_strategies, CoreError, Strategy};
+
+/// The `UCRA020` rule (see the module docs).
+pub struct RedundantLabel;
+
+impl LintRule for RedundantLabel {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA020",
+            name: "redundant-label",
+            severity: Severity::Warning,
+            summary: "an explicit label is implied by propagation under all 48 strategies",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        let strategies = Strategy::all_instances();
+        let mut out = Vec::new();
+        for (object, right) in cx.eacm().object_right_pairs() {
+            let base =
+                columns_for_strategies(cx.hierarchy(), cx.eacm(), object, right, &strategies)?;
+            let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
+            for &(subject, sign) in &labels {
+                let mut trimmed = cx.eacm().clone();
+                trimmed.unset(subject, object, right);
+                let without =
+                    columns_for_strategies(cx.hierarchy(), &trimmed, object, right, &strategies)?;
+                if without == base {
+                    out.push(Diagnostic {
+                        code: self.info().code,
+                        rule: self.info().name,
+                        severity: self.info().severity,
+                        message: format!(
+                            "explicit `{sign}` on `{}` for {}/{} is already derived by \
+                             propagation under every one of the 48 strategies",
+                            cx.subject_name(subject),
+                            cx.object_name(object),
+                            cx.right_name(right),
+                        ),
+                        span: cx.label_span(subject, object, right),
+                        help: Some(
+                            "remove the label: no subject's effective authorization \
+                             changes under any strategy"
+                                .to_string(),
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}

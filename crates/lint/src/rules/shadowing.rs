@@ -1,0 +1,89 @@
+//! `UCRA030` — default shadowing: outcomes decided by nothing in the
+//! policy.
+//!
+//! Step 2 of the algorithm plants a `d` placeholder on every unlabeled
+//! root ancestor (Fig. 4 Lines 2–3); a strategy *with* a default policy
+//! turns those into deliberate signs. A strategy **without** one
+//! discards them, and any subject whose `allRights` holds only `d` rows
+//! falls through the entire pipeline to the preference fallback. Those
+//! subjects' authorizations are shadowed: no directive in the policy —
+//! not even the default rule — decided them, so the fallback sign
+//! silently governs real principals on pairs that do carry labels
+//! elsewhere.
+
+use super::{LintRule, RuleInfo};
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity};
+use ucra_core::engine::counting::{self, PropagationMode};
+use ucra_core::{CoreError, DefaultRule, Mode};
+
+/// The `UCRA030` rule (see the module docs).
+pub struct DefaultShadowing;
+
+impl LintRule for DefaultShadowing {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA030",
+            name: "default-shadowing",
+            severity: Severity::Warning,
+            summary: "subjects whose outcome falls through to the preference fallback",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        let Some(strategy) = cx.canonical_strategy() else {
+            return Ok(Vec::new());
+        };
+        if strategy.default_rule() != DefaultRule::NoDefault {
+            return Ok(Vec::new());
+        }
+        let fallback = strategy.preference_rule();
+        let mut out = Vec::new();
+        for (object, right) in cx.eacm().object_right_pairs() {
+            let table = counting::histograms_all(
+                cx.hierarchy(),
+                cx.eacm(),
+                object,
+                right,
+                PropagationMode::Both,
+            )?;
+            let mut shadowed = Vec::new();
+            for (ix, hist) in table.iter().enumerate() {
+                let totals = hist.totals()?;
+                if totals.get(Mode::Pos) == 0
+                    && totals.get(Mode::Neg) == 0
+                    && totals.get(Mode::Default) > 0
+                {
+                    shadowed.push(cx.subject_name(ucra_core::SubjectId::from_index(ix)));
+                }
+            }
+            if shadowed.is_empty() {
+                continue;
+            }
+            let shown = shadowed.iter().take(5).cloned().collect::<Vec<_>>();
+            let more = shadowed.len().saturating_sub(shown.len());
+            let listing = if more > 0 {
+                format!("{} (and {more} more)", shown.join(", "))
+            } else {
+                shown.join(", ")
+            };
+            out.push(Diagnostic {
+                code: self.info().code,
+                rule: self.info().name,
+                severity: self.info().severity,
+                message: format!(
+                    "{} subject(s) hold neither an explicit nor a propagated \
+                     authorization for {}/{}; strategy `{strategy}` has no default \
+                     policy, so their access is decided purely by the preference \
+                     fallback `{fallback}`",
+                    shadowed.len(),
+                    cx.object_name(object),
+                    cx.right_name(right),
+                ),
+                span: cx.pair_span(object, right),
+                help: Some(format!("affected: {listing}")),
+            });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,87 @@
+//! Strategy-configuration rules: the 54→48 canonicalisation surface.
+//!
+//! §2.2 of the paper derives exactly 48 legitimate strategy instances
+//! from a raw 54-point parameter space: with `lRule = identity()` the
+//! locality filter is a no-op, so counting the majority before or after
+//! it is the same strategy. [`ucra_core::Strategy::new`] canonicalises
+//! that case, but deserialised models can smuggle in non-canonical
+//! instances, and policy texts can spell legitimate instances in
+//! non-canonical ways (the paper's Unicode superscripts). Both are worth
+//! flagging before they confuse an audit trail.
+
+use super::{LintRule, RuleInfo, NON_CANONICAL_STRATEGY};
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity, Span, SpanItem};
+use ucra_core::CoreError;
+
+/// `UCRA002` — the configured [`Strategy`] *instance* is not canonical.
+///
+/// Reachable only through deserialisation (serde fills the fields
+/// directly, bypassing [`Strategy::new`]): a majority-after rule paired
+/// with no locality policy behaves identically to majority-before, so
+/// two spellings of one strategy would compare unequal — poison for
+/// caching, diffing and audit logs.
+pub struct NonCanonicalInstance;
+
+impl LintRule for NonCanonicalInstance {
+    fn info(&self) -> RuleInfo {
+        NON_CANONICAL_STRATEGY
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        let Some(strategy) = cx.strategy() else {
+            return Ok(Vec::new());
+        };
+        if strategy.is_canonical() {
+            return Ok(Vec::new());
+        }
+        let mnemonic = strategy.canonicalized().mnemonic();
+        Ok(vec![Diagnostic {
+            code: self.info().code,
+            rule: self.info().name,
+            severity: self.info().severity,
+            message: format!(
+                "configured strategy pairs a majority-after rule with no locality \
+                 policy; this is the non-canonical twin of `{mnemonic}`"
+            ),
+            span: cx.strategy_span(mnemonic.clone()),
+            help: Some(format!(
+                "re-serialise the model so the strategy reads `{mnemonic}` \
+                 (the 54-point raw parameter space collapses to 48 instances)"
+            )),
+        }])
+    }
+}
+
+/// `UCRA003` — no strategy is configured.
+///
+/// The model still loads (per-query strategies work), but `check` calls
+/// fail and strategy-dependent lints cannot run.
+pub struct NoStrategy;
+
+impl LintRule for NoStrategy {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA003",
+            name: "no-strategy",
+            severity: Severity::Info,
+            summary: "no conflict-resolution strategy is configured",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        if cx.strategy().is_some() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![Diagnostic {
+            code: self.info().code,
+            rule: self.info().name,
+            severity: self.info().severity,
+            message: "no conflict-resolution strategy is configured; queries must pass \
+                      one explicitly, and strategy-dependent lints were skipped"
+                .to_string(),
+            span: Span::item(SpanItem::Model),
+            help: Some("add a `strategy` directive, e.g. `strategy D-LP-`".to_string()),
+        }])
+    }
+}

@@ -1,0 +1,147 @@
+//! SDAG structural rules: subjects and components that propagation can
+//! never reach the way the administrator probably intended (§2.1 — the
+//! whole algorithm is driven by membership paths; a subject outside the
+//! hierarchy is outside the algorithm).
+
+use super::{LintRule, RuleInfo};
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Severity, Span, SpanItem};
+use ucra_core::{CoreError, SubjectId};
+use ucra_graph::analysis::weakly_connected_components;
+
+/// `true` when the subject has neither groups nor members.
+fn is_isolated(cx: &LintContext<'_>, s: SubjectId) -> bool {
+    cx.hierarchy().groups_of(s).is_empty() && cx.hierarchy().members_of(s).is_empty()
+}
+
+/// `true` when the subject carries at least one explicit label.
+fn has_labels(cx: &LintContext<'_>, s: SubjectId) -> bool {
+    cx.eacm().iter().any(|(ls, _, _, _)| ls == s)
+}
+
+/// `UCRA010` — an isolated subject with no explicit authorizations.
+///
+/// It belongs to no group, has no members and labels nothing: every
+/// query about it falls straight through to the default/preference
+/// fallback. Usually a leftover of a deleted hierarchy branch or a
+/// typo'd `member` directive.
+pub struct OrphanSubject;
+
+impl LintRule for OrphanSubject {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA010",
+            name: "orphan-subject",
+            severity: Severity::Warning,
+            summary: "an isolated subject carries no authorizations at all",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        Ok(cx
+            .hierarchy()
+            .subjects()
+            .filter(|&s| is_isolated(cx, s) && !has_labels(cx, s))
+            .map(|s| Diagnostic {
+                code: self.info().code,
+                rule: self.info().name,
+                severity: self.info().severity,
+                message: format!(
+                    "subject `{}` is isolated: no groups, no members, and no \
+                     explicit authorizations",
+                    cx.subject_name(s)
+                ),
+                span: cx.subject_span(s),
+                help: Some(
+                    "connect it with a `member` directive or delete the subject".to_string(),
+                ),
+            })
+            .collect())
+    }
+}
+
+/// `UCRA011` — an isolated subject that *does* carry explicit labels.
+///
+/// Its authorizations propagate to nobody: if the subject was meant as a
+/// group, its membership edges are missing, and the labels silently
+/// apply to exactly one principal.
+pub struct InertGroup;
+
+impl LintRule for InertGroup {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA011",
+            name: "inert-group",
+            severity: Severity::Warning,
+            summary: "a labeled subject is connected to nothing, so its labels propagate nowhere",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        Ok(cx
+            .hierarchy()
+            .subjects()
+            .filter(|&s| is_isolated(cx, s) && has_labels(cx, s))
+            .map(|s| Diagnostic {
+                code: self.info().code,
+                rule: self.info().name,
+                severity: self.info().severity,
+                message: format!(
+                    "subject `{}` carries explicit authorizations but belongs to no \
+                     hierarchy; they propagate to nobody",
+                    cx.subject_name(s)
+                ),
+                span: cx.subject_span(s),
+                help: Some(
+                    "add `member` edges if this was meant as a group, or leave it \
+                     only if the labels are intentionally personal"
+                        .to_string(),
+                ),
+            })
+            .collect())
+    }
+}
+
+/// `UCRA012` — the hierarchy splits into several multi-subject
+/// components.
+///
+/// Propagation never crosses a component boundary, so labels in one
+/// fragment cannot affect subjects in another. One component per
+/// administrative domain is normal; several fragments usually mean a
+/// bridging `member` edge went missing. Isolated single subjects are
+/// reported individually (`UCRA010`/`UCRA011`) and ignored here.
+pub struct FragmentedHierarchy;
+
+impl LintRule for FragmentedHierarchy {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            code: "UCRA012",
+            name: "fragmented-hierarchy",
+            severity: Severity::Info,
+            summary: "the hierarchy splits into several disconnected components",
+        }
+    }
+
+    fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
+        let components = weakly_connected_components(cx.hierarchy().graph());
+        let multi: Vec<&Vec<SubjectId>> = components.iter().filter(|c| c.len() >= 2).collect();
+        if multi.len() < 2 {
+            return Ok(Vec::new());
+        }
+        let sizes: Vec<String> = multi.iter().map(|c| c.len().to_string()).collect();
+        let anchors: Vec<String> = multi.iter().map(|c| cx.subject_name(c[0])).collect();
+        Ok(vec![Diagnostic {
+            code: self.info().code,
+            rule: self.info().name,
+            severity: self.info().severity,
+            message: format!(
+                "the hierarchy splits into {} disconnected components (sizes {}); \
+                 authorizations never propagate across components",
+                multi.len(),
+                sizes.join(", ")
+            ),
+            span: Span::item(SpanItem::Model),
+            help: Some(format!("components anchored at: {}", anchors.join(", "))),
+        }])
+    }
+}

@@ -1,0 +1,110 @@
+//! Line numbers for the line-oriented policy format.
+//!
+//! The parser in `ucra_store::text` does not keep positions; this module
+//! re-scans the text with the same tokenisation (comments stripped at
+//! `#`, whitespace-separated words) and records the first line each
+//! subject, label and strategy directive appears on, so diagnostics can
+//! point back into the file the administrator edits.
+
+use std::collections::HashMap;
+
+/// First-occurrence line numbers (1-based) for the items of one policy
+/// text.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    subjects: HashMap<String, usize>,
+    labels: HashMap<(String, String, String), usize>,
+    strategies: Vec<(usize, String)>,
+}
+
+impl SourceMap {
+    /// Scans a policy text. Malformed lines are skipped — the scanner
+    /// must survive any input the parser would reject, since diagnostics
+    /// about broken files are exactly when positions matter most.
+    pub fn scan(text: &str) -> SourceMap {
+        let mut map = SourceMap::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let stripped = raw.split('#').next().unwrap_or("");
+            let words: Vec<&str> = stripped.split_whitespace().collect();
+            let mut subject = |name: &str| {
+                map.subjects.entry(name.to_string()).or_insert(line);
+            };
+            match words.as_slice() {
+                ["subject", name] => subject(name),
+                ["member", group, member] => {
+                    subject(group);
+                    subject(member);
+                }
+                ["grant" | "deny", s, o, r] => {
+                    subject(s);
+                    map.labels
+                        .entry((s.to_string(), o.to_string(), r.to_string()))
+                        .or_insert(line);
+                }
+                ["strategy", mnemonic] => {
+                    map.strategies.push((line, mnemonic.to_string()));
+                }
+                _ => {}
+            }
+        }
+        map
+    }
+
+    /// Line of a subject's first mention.
+    pub fn subject_line(&self, name: &str) -> Option<usize> {
+        self.subjects.get(name).copied()
+    }
+
+    /// Line of a `grant`/`deny` directive.
+    pub fn label_line(&self, subject: &str, object: &str, right: &str) -> Option<usize> {
+        self.labels
+            .get(&(subject.to_string(), object.to_string(), right.to_string()))
+            .copied()
+    }
+
+    /// All `strategy` directives with their raw mnemonic spelling, in
+    /// file order.
+    pub fn strategies(&self) -> &[(usize, String)] {
+        &self.strategies
+    }
+
+    /// Line of the last `strategy` directive (the one that wins).
+    pub fn strategy_line(&self) -> Option<usize> {
+        self.strategies.last().map(|&(line, _)| line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_first_occurrences() {
+        let map = SourceMap::scan(
+            "# header\n\
+             member S1 S3\n\
+             member S2 S3\n\
+             subject S4\n\
+             grant S2 obj read  # trailing comment\n\
+             deny S5 obj read\n\
+             strategy D+LMP-\n",
+        );
+        assert_eq!(map.subject_line("S1"), Some(2));
+        assert_eq!(map.subject_line("S3"), Some(2));
+        assert_eq!(map.subject_line("S4"), Some(4));
+        assert_eq!(map.subject_line("S5"), Some(6));
+        assert_eq!(map.label_line("S2", "obj", "read"), Some(5));
+        assert_eq!(map.label_line("S5", "obj", "read"), Some(6));
+        assert_eq!(map.strategy_line(), Some(7));
+        assert_eq!(map.subject_line("ghost"), None);
+    }
+
+    #[test]
+    fn survives_malformed_lines_and_keeps_all_strategies() {
+        let map = SourceMap::scan("frobnicate x\nstrategy BAD1\nstrategy D-LP-\n");
+        assert_eq!(map.strategies().len(), 2);
+        assert_eq!(map.strategies()[0], (2, "BAD1".to_string()));
+        assert_eq!(map.strategy_line(), Some(3));
+    }
+}

@@ -1,0 +1,82 @@
+//! "Did you mean …?" support: nearest legitimate strategy mnemonic by
+//! edit distance over the 48 instances.
+
+use ucra_core::Strategy;
+
+/// Levenshtein distance over characters (not bytes — mnemonics may carry
+/// the paper's Unicode superscripts).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The legitimate mnemonic closest to `input` (superscripts normalised
+/// first), with its distance. Ties break towards the lexicographically
+/// smallest mnemonic, so suggestions are deterministic.
+pub fn nearest_mnemonic(input: &str) -> (String, usize) {
+    let normalised: String = input
+        .trim()
+        .chars()
+        .map(|c| match c {
+            '⁺' => '+',
+            '⁻' | '−' => '-',
+            other => other,
+        })
+        .collect();
+    let mut best: Option<(String, usize)> = None;
+    for strategy in Strategy::all_instances() {
+        let mnemonic = strategy.mnemonic();
+        let d = edit_distance(&normalised, &mnemonic);
+        let better = match &best {
+            None => true,
+            Some((bm, bd)) => d < *bd || (d == *bd && mnemonic < *bm),
+        };
+        if better {
+            best = Some((mnemonic, d));
+        }
+    }
+    best.expect("there are 48 candidate mnemonics")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "axc"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("D+LMP-", "D+LMP+"), 1);
+    }
+
+    #[test]
+    fn suggests_the_obvious_fix() {
+        let (m, d) = nearest_mnemonic("D+LMP");
+        assert_eq!(m, "D+LMP+");
+        assert_eq!(d, 1);
+        // A transposed pair still lands on a legitimate instance.
+        let (m, d) = nearest_mnemonic("LPM+");
+        assert!(d <= 2, "{m} at distance {d}");
+    }
+
+    #[test]
+    fn exact_mnemonics_have_distance_zero() {
+        for s in Strategy::all_instances() {
+            let (m, d) = nearest_mnemonic(&s.mnemonic());
+            assert_eq!((m, d), (s.mnemonic(), 0));
+        }
+    }
+}

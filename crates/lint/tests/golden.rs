@@ -1,0 +1,119 @@
+//! Golden-file tests: each fixture policy is linted and both renderings
+//! (human text and JSON) are compared byte-for-byte against checked-in
+//! `.expected` / `.json` siblings.
+//!
+//! Regenerate the goldens with `BLESS=1 cargo test -p ucra-lint --test
+//! golden` after an intentional output change, then review the diff.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(name: &str) -> ucra_lint::LintReport {
+    let path = fixtures_dir().join(format!("{name}.policy"));
+    let policy =
+        fs::read_to_string(&path).unwrap_or_else(|err| panic!("read {}: {err}", path.display()));
+    ucra_lint::lint_policy_text(&policy)
+}
+
+fn check_golden(name: &str, expected_codes: &[&str]) {
+    let report = lint_fixture(name);
+    let found: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+    assert_eq!(found, expected_codes, "diagnostic codes for `{name}`");
+    for (ext, rendered) in [
+        ("expected", report.render_text()),
+        ("json", report.render_json()),
+    ] {
+        let path = fixtures_dir().join(format!("{name}.{ext}"));
+        if std::env::var_os("BLESS").is_some() {
+            fs::write(&path, &rendered).unwrap();
+        }
+        let want = fs::read_to_string(&path).unwrap_or_default();
+        assert_eq!(
+            rendered, want,
+            "golden mismatch for {name}.{ext}; rerun with BLESS=1 and review the diff"
+        );
+    }
+}
+
+#[test]
+fn clean_policy_is_silent() {
+    check_golden("clean", &[]);
+    assert_eq!(lint_fixture("clean").exit_code(true), 0);
+}
+
+#[test]
+fn smelly_policy_flags_every_planted_smell() {
+    check_golden(
+        "smelly",
+        &[
+            "UCRA010", // subject O
+            "UCRA011", // subject E
+            "UCRA020", // grant A2
+            "UCRA021", // deny B
+            "UCRA012", // whole-model fragmentation (no line)
+            "UCRA030", // obj/read pair (no line)
+        ],
+    );
+    let report = lint_fixture("smelly");
+    assert_eq!(report.exit_code(false), 0, "warnings alone exit 0");
+    assert_eq!(report.exit_code(true), 2, "--deny warnings exits 2");
+}
+
+#[test]
+fn unknown_strategy_is_an_error_with_suggestion() {
+    check_golden("unknown_strategy", &["UCRA001", "UCRA003"]);
+    assert_eq!(lint_fixture("unknown_strategy").exit_code(false), 1);
+}
+
+#[test]
+fn superscript_spelling_warns() {
+    check_golden("superscript", &["UCRA002"]);
+}
+
+#[test]
+fn missing_strategy_is_informational() {
+    check_golden("no_strategy", &["UCRA003"]);
+    assert_eq!(
+        lint_fixture("no_strategy").exit_code(true),
+        0,
+        "infos never fail"
+    );
+}
+
+#[test]
+fn unparseable_policy_is_a_single_parse_error() {
+    check_golden("parse_error", &["UCRA000"]);
+}
+
+/// Every registered diagnostic code must be exercised by at least one
+/// golden fixture — a new rule without a fixture fails here.
+#[test]
+fn fixtures_cover_every_diagnostic_code() {
+    let fixtures = [
+        "clean",
+        "smelly",
+        "unknown_strategy",
+        "superscript",
+        "no_strategy",
+        "parse_error",
+    ];
+    let mut covered = BTreeSet::new();
+    for name in fixtures {
+        for d in lint_fixture(name).diagnostics() {
+            covered.insert(d.code);
+        }
+    }
+    let registered: BTreeSet<&str> = ucra_lint::codes().iter().map(|info| info.code).collect();
+    let missing: Vec<&&str> = registered.difference(&covered).collect();
+    assert!(missing.is_empty(), "codes without a fixture: {missing:?}");
+    let unknown: Vec<&&str> = covered.difference(&registered).collect();
+    assert!(
+        unknown.is_empty(),
+        "fixtures emit unregistered codes: {unknown:?}"
+    );
+}

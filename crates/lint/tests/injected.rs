@@ -1,0 +1,69 @@
+//! The generator's planted smells and the analyser agree: every smell
+//! `ucra_workload::smells::inject` plants is flagged under its expected
+//! diagnostic code, pointing at the planted subject.
+
+use ucra_core::{Eacm, ObjectId, RightId, SubjectDag};
+use ucra_lint::{lint_session, SpanItem};
+use ucra_workload::smells;
+
+const PAIR: (ObjectId, RightId) = (ObjectId(0), RightId(0));
+
+fn span_subject(item: &SpanItem) -> Option<&str> {
+    match item {
+        SpanItem::Subject(name) => Some(name),
+        SpanItem::Label { subject, .. } => Some(subject),
+        _ => None,
+    }
+}
+
+#[test]
+fn every_planted_smell_is_flagged() {
+    // A small clean base: one group granting to one member.
+    let mut hierarchy = SubjectDag::new();
+    let g = hierarchy.add_subject();
+    let u = hierarchy.add_subject();
+    hierarchy.add_membership(g, u).unwrap();
+    let mut eacm = Eacm::new();
+    eacm.grant(g, PAIR.0, PAIR.1).unwrap();
+
+    let (strategy, manifest) = smells::inject(&mut hierarchy, &mut eacm, PAIR.0, PAIR.1);
+    let report = lint_session(&hierarchy, &eacm, Some(strategy));
+
+    for planted in &manifest {
+        let matched = report.diagnostics().iter().any(|d| {
+            d.code == planted.code
+                && match planted.subject {
+                    // Subject-shaped plants must be attributed to the
+                    // planted subject (nameless sessions use `s<i>`).
+                    Some(s) => span_subject(&d.span.item) == Some(&format!("s{}", s.index())),
+                    None => true,
+                }
+        });
+        assert!(
+            matched,
+            "planted smell not flagged: {planted:?}\nreport:\n{}",
+            report.render_text()
+        );
+    }
+
+    // And nothing is blamed on the clean base policy.
+    for d in report.diagnostics() {
+        if let Some(name) = span_subject(&d.span.item) {
+            assert_ne!(name, "s0", "false positive on the base group:\n{d:?}");
+            assert_ne!(name, "s1", "false positive on the base member:\n{d:?}");
+        }
+    }
+}
+
+#[test]
+fn injection_into_an_empty_policy_is_flagged_too() {
+    let mut hierarchy = SubjectDag::new();
+    let mut eacm = Eacm::new();
+    let (strategy, manifest) = smells::inject(&mut hierarchy, &mut eacm, PAIR.0, PAIR.1);
+    let report = lint_session(&hierarchy, &eacm, Some(strategy));
+    let found: std::collections::BTreeSet<&str> =
+        report.diagnostics().iter().map(|d| d.code).collect();
+    for planted in &manifest {
+        assert!(found.contains(planted.code), "missing {planted:?}");
+    }
+}

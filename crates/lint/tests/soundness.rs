@@ -1,0 +1,154 @@
+//! Soundness of the redundant-label rule (`UCRA020`).
+//!
+//! The rule claims a flagged label is *derived*: deleting it changes no
+//! effective authorization under **any** of the 48 legitimate
+//! strategies. This property test re-verifies every flagged label
+//! against [`ucra_core::EffectiveMatrix`] — the independent
+//! per-strategy resolver, not the shared-sweep fast path the rule uses
+//! internally — over randomly generated DAGs and label placements.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use ucra_core::{Eacm, EffectiveMatrix, ObjectId, RightId, Sign, Strategy, SubjectDag, SubjectId};
+use ucra_lint::{lint_session, SpanItem};
+
+const PAIR: (ObjectId, RightId) = (ObjectId(0), RightId(0));
+
+#[derive(Debug, Clone)]
+struct RandomPolicy {
+    subjects: usize,
+    /// Edges (parent, child) with parent < child, so the graph is acyclic.
+    edges: Vec<(usize, usize)>,
+    labels: Vec<(usize, Sign)>,
+    strategy_ix: usize,
+}
+
+fn arb_policy() -> impl proptest::strategy::Strategy<Value = RandomPolicy> {
+    (
+        2usize..9,
+        proptest::collection::vec((0usize..64, 0usize..64), 0..16),
+        proptest::collection::vec((0usize..64, any::<bool>()), 1..9),
+        0usize..Strategy::all_instances().len(),
+    )
+        .prop_map(|(subjects, raw_edges, raw_labels, strategy_ix)| {
+            // Orient every raw pair low → high so the graph is acyclic;
+            // self-loops are dropped.
+            let edges = raw_edges
+                .iter()
+                .filter_map(|&(a, b)| {
+                    let (a, b) = (a % subjects, b % subjects);
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => Some((a, b)),
+                        std::cmp::Ordering::Equal => None,
+                        std::cmp::Ordering::Greater => Some((b, a)),
+                    }
+                })
+                .collect();
+            let labels = raw_labels
+                .iter()
+                .map(|&(s, pos)| (s % subjects, if pos { Sign::Pos } else { Sign::Neg }))
+                .collect();
+            RandomPolicy {
+                subjects,
+                edges,
+                labels,
+                strategy_ix,
+            }
+        })
+}
+
+fn build(policy: &RandomPolicy) -> (SubjectDag, Eacm) {
+    let mut hierarchy = SubjectDag::new();
+    let ids: Vec<SubjectId> = (0..policy.subjects)
+        .map(|_| hierarchy.add_subject())
+        .collect();
+    for &(parent, child) in &policy.edges {
+        // Duplicate edges are rejected; that is fine for generation.
+        let _ = hierarchy.add_membership(ids[parent], ids[child]);
+    }
+    let mut eacm = Eacm::new();
+    for &(subject, sign) in &policy.labels {
+        // A contradictory second label on the same subject is rejected
+        // by the matrix; the first one wins.
+        let _ = eacm.set(ids[subject], PAIR.0, PAIR.1, sign);
+    }
+    (hierarchy, eacm)
+}
+
+/// The subject index encoded in a nameless-session span (`s<i>`).
+fn span_subject(item: &SpanItem) -> Option<usize> {
+    match item {
+        SpanItem::Label { subject, .. } => subject.strip_prefix('s')?.parse().ok(),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every `UCRA020` finding survives independent re-verification:
+    /// unsetting the flagged label leaves the effective matrix unchanged
+    /// under all 48 strategies.
+    #[test]
+    fn redundant_label_rule_is_sound(policy in arb_policy()) {
+        let (hierarchy, eacm) = build(&policy);
+        let strategy = Strategy::all_instances()[policy.strategy_ix];
+        let report = lint_session(&hierarchy, &eacm, Some(strategy));
+        for diagnostic in report.diagnostics().iter().filter(|d| d.code == "UCRA020") {
+            let subject = span_subject(&diagnostic.span.item)
+                .expect("UCRA020 always spans a label");
+            let mut trimmed = eacm.clone();
+            trimmed.unset(SubjectId::from_index(subject), PAIR.0, PAIR.1);
+            for &candidate in &Strategy::all_instances() {
+                let with =
+                    EffectiveMatrix::compute_for_pairs(&hierarchy, &eacm, candidate, &[PAIR])
+                        .unwrap();
+                let without =
+                    EffectiveMatrix::compute_for_pairs(&hierarchy, &trimmed, candidate, &[PAIR])
+                        .unwrap();
+                prop_assert!(
+                    with.diff(&without).is_empty(),
+                    "UCRA020 unsound: removing s{subject} changes outcomes under {candidate}"
+                );
+            }
+        }
+    }
+
+    /// Dead-conflict findings (`UCRA021`) are sound in the weaker sense:
+    /// removal is invariant under the *configured* strategy, and NOT
+    /// invariant under all 48 (that would be `UCRA020`).
+    #[test]
+    fn dead_conflict_rule_is_sound(policy in arb_policy()) {
+        let (hierarchy, eacm) = build(&policy);
+        let strategy = Strategy::all_instances()[policy.strategy_ix];
+        let report = lint_session(&hierarchy, &eacm, Some(strategy));
+        for diagnostic in report.diagnostics().iter().filter(|d| d.code == "UCRA021") {
+            let subject = span_subject(&diagnostic.span.item)
+                .expect("UCRA021 always spans a label");
+            let mut trimmed = eacm.clone();
+            trimmed.unset(SubjectId::from_index(subject), PAIR.0, PAIR.1);
+            let with =
+                EffectiveMatrix::compute_for_pairs(&hierarchy, &eacm, strategy, &[PAIR]).unwrap();
+            let without =
+                EffectiveMatrix::compute_for_pairs(&hierarchy, &trimmed, strategy, &[PAIR])
+                    .unwrap();
+            prop_assert!(
+                with.diff(&without).is_empty(),
+                "UCRA021 unsound: removing s{subject} changes outcomes under {strategy}"
+            );
+            let somewhere_live = Strategy::all_instances().iter().any(|&candidate| {
+                let with =
+                    EffectiveMatrix::compute_for_pairs(&hierarchy, &eacm, candidate, &[PAIR])
+                        .unwrap();
+                let without =
+                    EffectiveMatrix::compute_for_pairs(&hierarchy, &trimmed, candidate, &[PAIR])
+                        .unwrap();
+                !with.diff(&without).is_empty()
+            });
+            prop_assert!(
+                somewhere_live,
+                "UCRA021 finding for s{subject} is invariant under all 48 (should be UCRA020)"
+            );
+        }
+    }
+}

@@ -3,7 +3,6 @@
 //! points.
 
 use proptest::prelude::*;
-use proptest::strategy::Strategy as _; // `ucra_core::Strategy` shadows the trait
 use ucra_store::{text, AccessModel};
 
 /// Random well-formed policy programs built from generated names.

@@ -20,6 +20,9 @@
 //! * [`stats`] — per-sink measurements for Figure 7's axes: `d` (the sum
 //!   of all path lengths from labeled/defaulted ancestors) and the
 //!   ancestor sub-graph size.
+//! * [`smells::inject`] — plants one instance of every policy smell the
+//!   static analyser (`ucra-lint`) detects, with a manifest of the
+//!   expected diagnostic codes.
 //!
 //! All generators are deterministic given a seed (`rand_chacha`).
 
@@ -32,6 +35,7 @@ pub mod kdag;
 pub mod layered;
 pub mod livelink;
 pub mod shapes;
+pub mod smells;
 pub mod stats;
 
 /// The RNG used by every generator: seedable and stable across platforms

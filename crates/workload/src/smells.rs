@@ -1,0 +1,167 @@
+//! Known-bad policy patterns for exercising the static analyser.
+//!
+//! [`inject`] plants one instance of every structural/semantic smell
+//! `ucra-lint` detects — orphaned subjects, inert labeled islands,
+//! hierarchy fragmentation, propagation-redundant labels, dead
+//! conflicts, and default shadowing — as fresh, self-contained
+//! components, so the planted diagnostics are independent of whatever
+//! hierarchy they are injected into. Each plant is hand-verified
+//! against the resolution semantics: the redundant label is invariant
+//! under **all 48** strategies, the dead conflict is invariant under
+//! the returned strategy but *not* under all 48, and the shadowed
+//! subjects carry only `d` placeholder rows.
+
+use ucra_core::{Eacm, ObjectId, RightId, Strategy, SubjectDag, SubjectId};
+
+/// One planted smell: the diagnostic code the linter must emit for it,
+/// and the subject the diagnostic should point at (when the smell is
+/// subject- or label-shaped rather than model- or pair-wide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedSmell {
+    /// The expected diagnostic code (`UCRA010`, …).
+    pub code: &'static str,
+    /// The subject the diagnostic spans, if any.
+    pub subject: Option<SubjectId>,
+    /// What was planted, for test-failure messages.
+    pub note: &'static str,
+}
+
+/// Plants every known smell into `hierarchy`/`eacm` on the given pair
+/// and returns the strategy under which they all fire, plus the
+/// manifest of expected diagnostics.
+///
+/// The returned strategy is `LMP+`: its missing default rule is what
+/// makes the shadowing plant (and only a no-default strategy's
+/// Majority/Preference pipeline makes exactly one label of the planted
+/// conflict dead). All planted subjects are fresh, so injection never
+/// contradicts existing labels and never changes existing subjects'
+/// outcomes.
+pub fn inject(
+    hierarchy: &mut SubjectDag,
+    eacm: &mut Eacm,
+    object: ObjectId,
+    right: RightId,
+) -> (Strategy, Vec<PlantedSmell>) {
+    let strategy: Strategy = "LMP+".parse().expect("LMP+ is a legitimate instance");
+    let mut manifest = Vec::new();
+
+    // UCRA010: an orphaned subject — no groups, no members, no labels.
+    let orphan = hierarchy.add_subject();
+    manifest.push(PlantedSmell {
+        code: "UCRA010",
+        subject: Some(orphan),
+        note: "isolated unlabeled subject",
+    });
+
+    // UCRA011: an isolated subject that still carries a label. The deny
+    // is not redundant (without it the subject is d-only, which flips
+    // under `D+`) and cannot conflict (its cone is just itself).
+    let inert = hierarchy.add_subject();
+    eacm.deny(inert, object, right)
+        .expect("fresh subject has no labels");
+    manifest.push(PlantedSmell {
+        code: "UCRA011",
+        subject: Some(inert),
+        note: "labeled subject outside every hierarchy",
+    });
+
+    // UCRA012: an unlabeled two-node island. Together with the chains
+    // below this guarantees at least two multi-node components.
+    let f1 = hierarchy.add_subject();
+    let f2 = hierarchy.add_subject();
+    hierarchy.add_membership(f1, f2).expect("fresh edge");
+    // (Fragmentation is reported once for the whole model, so no
+    // subject is attributed.)
+    manifest.push(PlantedSmell {
+        code: "UCRA012",
+        subject: None,
+        note: "disconnected two-node island",
+    });
+
+    // UCRA020: a chain r2 → a2 → x2 where both r2 and a2 grant. a2's
+    // label is derived by propagation from r2 under every one of the 48
+    // strategies (its cone sees only `+` rows either way); r2's is not
+    // (removing it leaves the chain d-only, which `D-` flips).
+    let r2 = hierarchy.add_subject();
+    let a2 = hierarchy.add_subject();
+    let x2 = hierarchy.add_subject();
+    hierarchy.add_membership(r2, a2).expect("fresh edge");
+    hierarchy.add_membership(a2, x2).expect("fresh edge");
+    eacm.grant(r2, object, right).expect("fresh subject");
+    eacm.grant(a2, object, right).expect("fresh subject");
+    manifest.push(PlantedSmell {
+        code: "UCRA020",
+        subject: Some(a2),
+        note: "grant already derived from the group above",
+    });
+
+    // UCRA021: r(−) → b(−) → m ← a(+). b's deny conflicts with a's
+    // grant over m, but under `LMP+` removing it changes nothing: b
+    // still inherits r's deny, and m's nearest-ancestor stratum ties
+    // {a+, b−} → preference `+` with the label, and resolves to `+`
+    // without it. Under `MP+` (no locality filter) the two differ, so
+    // the label is dead — not redundant.
+    let r = hierarchy.add_subject();
+    let b = hierarchy.add_subject();
+    let m = hierarchy.add_subject();
+    let a = hierarchy.add_subject();
+    hierarchy.add_membership(r, b).expect("fresh edge");
+    hierarchy.add_membership(b, m).expect("fresh edge");
+    hierarchy.add_membership(a, m).expect("fresh edge");
+    eacm.deny(r, object, right).expect("fresh subject");
+    eacm.deny(b, object, right).expect("fresh subject");
+    eacm.grant(a, object, right).expect("fresh subject");
+    manifest.push(PlantedSmell {
+        code: "UCRA021",
+        subject: Some(b),
+        note: "conflicting deny that LMP+ resolves identically without",
+    });
+
+    // UCRA030: `LMP+` has no default rule, so the d-only plants (the
+    // orphan and the island) fall through to the preference fallback.
+    manifest.push(PlantedSmell {
+        code: "UCRA030",
+        subject: None,
+        note: "d-only subjects decided by the preference fallback",
+    });
+
+    (strategy, manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucra_core::{DefaultRule, Sign};
+
+    #[test]
+    fn injection_is_additive_and_self_contained() {
+        let mut hierarchy = SubjectDag::new();
+        let g = hierarchy.add_subject();
+        let u = hierarchy.add_subject();
+        hierarchy.add_membership(g, u).unwrap();
+        let mut eacm = Eacm::new();
+        eacm.grant(g, ObjectId(0), RightId(0)).unwrap();
+        let before_subjects = hierarchy.subject_count();
+        let before_labels = eacm.len();
+
+        let (strategy, manifest) = inject(&mut hierarchy, &mut eacm, ObjectId(0), RightId(0));
+
+        assert_eq!(strategy.default_rule(), DefaultRule::NoDefault);
+        assert_eq!(hierarchy.subject_count(), before_subjects + 11);
+        assert_eq!(eacm.len(), before_labels + 6);
+        // The pre-existing policy is untouched.
+        assert_eq!(eacm.label(g, ObjectId(0), RightId(0)), Some(Sign::Pos));
+        assert!(hierarchy.members_of(g).contains(&u));
+        // One plant per diagnostic family, each on a fresh subject.
+        let codes: Vec<_> = manifest.iter().map(|p| p.code).collect();
+        assert_eq!(
+            codes,
+            ["UCRA010", "UCRA011", "UCRA012", "UCRA020", "UCRA021", "UCRA030"]
+        );
+        for planted in &manifest {
+            if let Some(s) = planted.subject {
+                assert!(s.index() >= before_subjects, "{planted:?} reuses a subject");
+            }
+        }
+    }
+}
