@@ -1,0 +1,33 @@
+//! `fused_sweep` — benchmark the columnar fused-sweep kernel against the
+//! legacy per-pair BTreeMap sweep and measure thread scaling.
+//!
+//! ```text
+//! cargo run --release -p ucra-bench --bin fused_sweep [-- --quick]
+//! ```
+//!
+//! Writes `BENCH_sweep.json` at the repository root; `--quick` runs the
+//! CI-sized shape in seconds.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = match ucra_bench::sweep::run(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fused_sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    match ucra_bench::sweep::write_report(&report) {
+        Ok(path) => {
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write BENCH_sweep.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,7 @@
 pub mod fixtures;
 pub mod output;
 pub mod plot;
+pub mod sweep;
 pub mod timing;
 
 pub use fixtures::{kdag_with_auth, livelink_fixture, to_relational};

@@ -1,0 +1,263 @@
+//! The `fused_sweep` benchmark: columnar fused-sweep kernel vs. the
+//! legacy BTreeMap-per-node sweep, plus thread scaling of the
+//! work-stealing parallel driver.
+//!
+//! Three timings over the same deep-and-wide stress model
+//! ([`ucra_workload::stress::deep_wide`]) and the same strategy:
+//!
+//! * **reference** — the pre-kernel `compute_for_pairs` path: one
+//!   [`histograms_all_reference`](ucra_core::engine::counting::histograms_all_reference)
+//!   sweep per pair (a `BTreeMap` histogram per node), then
+//!   `resolve_histogram` per row.
+//! * **fused** — [`EffectiveMatrix::compute_for_pairs`]: multi-column
+//!   batches through the flat-arena kernel, single-threaded. The
+//!   fused/reference ratio isolates the fusion + arena win from
+//!   parallelism.
+//! * **parallel** — [`EffectiveMatrix::compute_for_pairs_parallel`] at
+//!   increasing thread counts (work-stealing pool).
+//!
+//! The run doubles as an equivalence smoke test: the fused and parallel
+//! matrices are asserted sign-identical to the reference before any
+//! number is reported. Results land in `BENCH_sweep.json` at the repo
+//! root (see EXPERIMENTS.md for the recipe).
+
+use crate::timing::{fmt_ns, median_ns};
+use std::collections::BTreeMap;
+use ucra_core::engine::counting::{self, PropagationMode};
+use ucra_core::{resolve_histogram, CoreError, EffectiveMatrix, ObjectId, RightId, Sign, Strategy};
+use ucra_workload::stress::{deep_wide, StressConfig, StressModel};
+
+/// One thread-scaling sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadSample {
+    /// Worker count passed to the pool.
+    pub threads: usize,
+    /// Median wall-clock nanoseconds.
+    pub ns: u128,
+    /// Speedup relative to the single-threaded fused run.
+    pub speedup_vs_fused: f64,
+}
+
+/// The benchmark's result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// `true` when the CI-sized quick shape was used.
+    pub quick: bool,
+    /// Subjects in the stress hierarchy.
+    pub subjects: usize,
+    /// Membership edges in the stress hierarchy.
+    pub edges: usize,
+    /// `(object, right)` columns computed.
+    pub pairs: usize,
+    /// Median ns of the legacy per-pair BTreeMap sweep + resolve.
+    pub reference_ns: u128,
+    /// Median ns of the single-threaded fused kernel.
+    pub fused_ns: u128,
+    /// `reference_ns / fused_ns` — the fusion + arena win alone.
+    pub speedup: f64,
+    /// Hardware threads available when the benchmark ran (context for
+    /// reading the scaling rows: on a 1-core host they hover near 1x).
+    pub cores: usize,
+    /// Thread-scaling samples of the parallel driver.
+    pub parallel: Vec<ThreadSample>,
+}
+
+impl SweepReport {
+    /// The report as a JSON document (hand-rolled: the bench harness
+    /// deliberately has no serde dependency).
+    pub fn to_json(&self) -> String {
+        let parallel = self
+            .parallel
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"threads\": {}, \"ns\": {}, \"speedup_vs_fused\": {:.3}}}",
+                    s.threads, s.ns, s.speedup_vs_fused
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"fused_sweep\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"workload\": {{\"subjects\": {}, \"edges\": {}, \"pairs\": {}}},\n  \
+             \"single_thread\": {{\"reference_ns\": {}, \"fused_ns\": {}, \"speedup\": {:.3}}},\n  \
+             \"parallel\": [\n{}\n  ]\n}}\n",
+            self.quick,
+            self.cores,
+            self.subjects,
+            self.edges,
+            self.pairs,
+            self.reference_ns,
+            self.fused_ns,
+            self.speedup,
+            parallel
+        )
+    }
+
+    /// A terminal-friendly summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fused_sweep: {} subjects, {} edges, {} (object, right) columns ({} hw threads)\n\
+             reference (BTreeMap sweep/pair): {}\n\
+             fused kernel  (1 thread)       : {}  ({:.2}x)\n",
+            self.subjects,
+            self.edges,
+            self.pairs,
+            self.cores,
+            fmt_ns(self.reference_ns),
+            fmt_ns(self.fused_ns),
+            self.speedup
+        );
+        for s in &self.parallel {
+            out.push_str(&format!(
+                "fused kernel ({:2} threads)      : {}  ({:.2}x vs 1-thread fused)\n",
+                s.threads,
+                fmt_ns(s.ns),
+                s.speedup_vs_fused
+            ));
+        }
+        out
+    }
+}
+
+/// The exact shape the pre-kernel `EffectiveMatrix::compute_for_pairs`
+/// produced: one legacy sweep per pair, one resolve per row.
+fn reference_matrix(
+    model: &StressModel,
+    strategy: Strategy,
+) -> Result<BTreeMap<(ObjectId, RightId), Vec<Sign>>, CoreError> {
+    let mut signs = BTreeMap::new();
+    for &(o, r) in &model.pairs {
+        let table = counting::histograms_all_reference(
+            &model.hierarchy,
+            &model.eacm,
+            o,
+            r,
+            PropagationMode::Both,
+        )?;
+        let column = table
+            .iter()
+            .map(|h| Ok(resolve_histogram(h, strategy)?.sign))
+            .collect::<Result<Vec<Sign>, CoreError>>()?;
+        signs.insert((o, r), column);
+    }
+    Ok(signs)
+}
+
+/// Runs the benchmark. `quick` selects the CI-sized shape; the full
+/// shape takes on the order of a minute.
+pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
+    let config = if quick {
+        StressConfig::quick()
+    } else {
+        StressConfig::full()
+    };
+    let model = deep_wide(config, &mut ucra_workload::rng(42));
+    let strategy: Strategy = "D-LP-".parse().expect("legitimate mnemonic");
+    let reps = if quick { 3 } else { 5 };
+
+    let (reference_ns, reference) = {
+        let (ns, out) = median_ns(reps, || reference_matrix(&model, strategy));
+        (ns, out?)
+    };
+    let (fused_ns, fused) = {
+        let (ns, out) = median_ns(reps, || {
+            EffectiveMatrix::compute_for_pairs(
+                &model.hierarchy,
+                &model.eacm,
+                strategy,
+                &model.pairs,
+            )
+        });
+        (ns, out?)
+    };
+    // Equivalence gate: a fast wrong kernel reports nothing.
+    for (&(o, r), column) in &reference {
+        for (i, &sign) in column.iter().enumerate() {
+            let s = ucra_core::SubjectId::from_index(i);
+            assert_eq!(
+                fused.sign(s, o, r),
+                Some(sign),
+                "fused kernel diverged from the reference sweep at ({s}, {o}, {r})"
+            );
+        }
+    }
+
+    // Always sample threads 2 and 4 — even on a single hardware core the
+    // work-stealing driver must stay correct and near-1x, and on real
+    // multi-core hosts these rows are the scaling curve. 8 workers are
+    // only worth measuring when the host can actually run them.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut parallel = Vec::new();
+    for threads in [2usize, 4, 8] {
+        if threads == 8 && cores < 8 {
+            break;
+        }
+        let (ns, out) = median_ns(reps, || {
+            EffectiveMatrix::compute_for_pairs_parallel(
+                &model.hierarchy,
+                &model.eacm,
+                strategy,
+                &model.pairs,
+                threads,
+            )
+        });
+        let out = out?;
+        assert_eq!(out, fused, "parallel driver diverged at {threads} threads");
+        parallel.push(ThreadSample {
+            threads,
+            ns,
+            speedup_vs_fused: fused_ns as f64 / ns as f64,
+        });
+    }
+
+    Ok(SweepReport {
+        quick,
+        subjects: model.hierarchy.subject_count(),
+        edges: model.hierarchy.membership_count(),
+        pairs: model.pairs.len(),
+        reference_ns,
+        fused_ns,
+        speedup: reference_ns as f64 / fused_ns as f64,
+        cores,
+        parallel,
+    })
+}
+
+/// Writes the report to `BENCH_sweep.json` at the repository root and
+/// returns the path written.
+pub fn write_report(report: &SweepReport) -> std::io::Result<String> {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .unwrap_or(manifest);
+    let path = root.join("BENCH_sweep.json");
+    std::fs::write(&path, report.to_json())?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_consistent_numbers() {
+        let report = run(true).unwrap();
+        assert!(report.quick);
+        assert_eq!(report.pairs, StressConfig::quick().pairs);
+        assert!(report.reference_ns > 0 && report.fused_ns > 0);
+        assert!(
+            (report.speedup - report.reference_ns as f64 / report.fused_ns as f64).abs() < 1e-9
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"fused_sweep\""));
+        assert!(json.contains("\"speedup\""));
+        // Well-formed enough for the CI validator: balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+    }
+}

@@ -330,3 +330,55 @@ pub fn generate(nodes: usize, seed: u64, inject_smells: bool) -> Result<(), Stri
     print!("{}", text::render(&model));
     Ok(())
 }
+
+/// `ucra bench` — run the fused-sweep kernel benchmark and write
+/// `BENCH_sweep.json` at the repository root.
+pub fn bench(quick: bool) -> Result<(), String> {
+    let report = ucra_bench::sweep::run(quick).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    let path = ucra_bench::sweep::write_report(&report).map_err(|e| e.to_string())?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// `ucra stats` — batch-check every subject against every labeled
+/// `(object, right)` pair through an [`ucra_core::AccessSession`] and
+/// print the session's cache and sweep-kernel counters.
+pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
+    let session =
+        ucra_core::AccessSession::new(model.hierarchy().clone(), model.eacm().clone(), strategy);
+    let pairs = model.eacm().object_right_pairs();
+    let queries: Vec<_> = model
+        .hierarchy()
+        .subjects()
+        .flat_map(|s| pairs.iter().map(move |&(o, r)| (s, o, r)))
+        .collect();
+    let signs = session.check_many(&queries).map_err(|e| e.to_string())?;
+    let granted = signs.iter().filter(|&&s| s == ucra_core::Sign::Pos).count();
+    let st = session.stats();
+    let fusion = if st.kernel_batches == 0 {
+        0.0
+    } else {
+        st.kernel_columns as f64 / st.kernel_batches as f64
+    };
+    println!(
+        "checked {} queries ({} subjects x {} labeled pairs) under {strategy}: {granted} granted",
+        queries.len(),
+        model.hierarchy().subject_count(),
+        pairs.len()
+    );
+    println!("queries             : {}", st.queries);
+    println!("cache hits          : {}", st.cache_hits);
+    println!("sweeps              : {}", st.sweeps);
+    println!("pair invalidations  : {}", st.pair_invalidations);
+    println!("full invalidations  : {}", st.full_invalidations);
+    println!("partial repairs     : {}", st.partial_repairs);
+    println!("rows repaired       : {}", st.rows_repaired);
+    println!("kernel columns      : {}", st.kernel_columns);
+    println!("kernel batches      : {}", st.kernel_batches);
+    println!("fusion factor       : {fusion:.2} columns/batch");
+    println!("kernel arena bytes  : {}", st.kernel_arena_bytes);
+    println!("parallel dispatches : {}", st.parallel_dispatches);
+    println!("serial dispatches   : {}", st.serial_dispatches);
+    Ok(())
+}

@@ -15,6 +15,8 @@
 //! ucra convert <in> <out>
 //! ucra lint    <model> [--format json|text] [--deny warnings]
 //! ucra gen     <nodes> [--seed N] [--inject-smells]
+//! ucra stats   <model> [strategy]
+//! ucra bench   [--quick]
 //! ```
 //!
 //! Models load from `.json` (serde) or any other extension as the
@@ -69,7 +71,13 @@ const USAGE: &str = "usage:
       2 on warnings with --deny warnings
   ucra gen <nodes> [--seed N] [--inject-smells]
       print a synthetic policy; --inject-smells plants one of
-      every smell `ucra lint` detects";
+      every smell `ucra lint` detects
+  ucra stats <model> [strategy]
+      batch-check every subject against every labeled pair and
+      print the session's cache and sweep-kernel counters
+  ucra bench [--quick]
+      benchmark the fused-sweep kernel vs the legacy sweep and
+      write BENCH_sweep.json at the repo root";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter().map(String::as_str);
@@ -205,6 +213,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 seed,
                 inject_smells,
             ))
+        }
+        Some("bench") => {
+            let mut quick = false;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--quick" => quick = true,
+                    other => return Err(format!("unknown bench flag `{other}`")),
+                }
+            }
+            done(commands::bench(quick))
+        }
+        Some("stats") => {
+            let (model, rest) = load_model_and_rest(&args[1..])?;
+            let strategy = commands::pick_strategy(&model, rest.first().map(String::as_str))?;
+            done(commands::stats(&model, strategy))
         }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),

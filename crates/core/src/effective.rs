@@ -9,18 +9,25 @@
 //! checker. One counting sweep per `(object, right)` pair makes the cost
 //! `O(pairs × (V + E))` rather than `O(pairs × V × (V + E))`.
 
-use crate::engine::counting::{self, PropagationMode};
+use crate::engine::counting::PropagationMode;
+use crate::engine::kernel::{FusedSweep, DEFAULT_BATCH_COLUMNS};
 use crate::error::CoreError;
 use crate::hierarchy::SubjectDag;
 use crate::ids::{ObjectId, RightId, SubjectId};
 use crate::matrix::Eacm;
 use crate::mode::Sign;
-use crate::resolve::resolve_histogram;
+use crate::pool;
 use crate::strategy::{DefaultRule, Strategy};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// One work-stealing slot of the parallel column computation.
-type ColumnCell = parking_lot::Mutex<Option<Result<Vec<Sign>, CoreError>>>;
+/// Drops repeated `(object, right)` pairs, keeping first-occurrence
+/// order. Callers pass arbitrary pair lists (audit configs, CLI input);
+/// sweeping a duplicate column would be pure waste since the column only
+/// depends on the pair.
+fn dedup_pairs(pairs: &[(ObjectId, RightId)]) -> Vec<(ObjectId, RightId)> {
+    let mut seen = BTreeSet::new();
+    pairs.iter().copied().filter(|p| seen.insert(*p)).collect()
+}
 
 /// A materialised effective matrix for one strategy: every subject ×
 /// every requested `(object, right)` pair.
@@ -63,22 +70,29 @@ impl EffectiveMatrix {
     }
 
     /// Computes the effective matrix for explicitly chosen pairs.
+    /// Repeated pairs are swept once (the result only depends on the
+    /// pair, so the output shape is unchanged).
     pub fn compute_for_pairs(
         hierarchy: &SubjectDag,
         eacm: &Eacm,
         strategy: Strategy,
         pairs: &[(ObjectId, RightId)],
     ) -> Result<Self, CoreError> {
+        let unique = dedup_pairs(pairs);
         let mut signs = BTreeMap::new();
-        for &(o, r) in pairs {
-            signs.insert((o, r), Self::column(hierarchy, eacm, strategy, o, r)?);
+        for batch in unique.chunks(DEFAULT_BATCH_COLUMNS) {
+            let fused = FusedSweep::compute(hierarchy, eacm, batch, PropagationMode::Both)?;
+            for (c, &(o, r)) in batch.iter().enumerate() {
+                signs.insert((o, r), fused.signs(c, strategy)?);
+            }
         }
         Ok(EffectiveMatrix { strategy, signs })
     }
 
-    /// Parallel variant of [`EffectiveMatrix::compute_for_pairs`]: pairs
-    /// are independent, so each `(object, right)` sweep runs on its own
-    /// scoped thread (capped at `threads`).
+    /// Parallel variant of [`EffectiveMatrix::compute_for_pairs`]:
+    /// deduplicated pairs are grouped into fused batches and the batches
+    /// are distributed over up to `threads` workers by the work-stealing
+    /// pool ([`crate::pool`]).
     pub fn compute_for_pairs_parallel(
         hierarchy: &SubjectDag,
         eacm: &Eacm,
@@ -86,45 +100,29 @@ impl EffectiveMatrix {
         pairs: &[(ObjectId, RightId)],
         threads: usize,
     ) -> Result<Self, CoreError> {
-        let threads = threads.max(1).min(pairs.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let cells: Vec<ColumnCell> = (0..pairs.len())
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= pairs.len() {
-                        break;
-                    }
-                    let (o, r) = pairs[i];
-                    let col = Self::column(hierarchy, eacm, strategy, o, r);
-                    *cells[i].lock() = Some(col);
-                });
-            }
+        let unique = dedup_pairs(pairs);
+        let threads = threads.max(1);
+        // Small enough batches to keep every worker busy, capped so one
+        // batch's arena working set stays bounded.
+        let per_batch = unique
+            .len()
+            .div_ceil(threads)
+            .clamp(1, DEFAULT_BATCH_COLUMNS);
+        let batches: Vec<&[(ObjectId, RightId)]> = unique.chunks(per_batch).collect();
+        let results = pool::run_indexed(batches.len(), threads, |i| {
+            let batch = batches[i];
+            let fused = FusedSweep::compute(hierarchy, eacm, batch, PropagationMode::Both)?;
+            batch
+                .iter()
+                .enumerate()
+                .map(|(c, &(o, r))| Ok(((o, r), fused.signs(c, strategy)?)))
+                .collect::<Result<Vec<_>, CoreError>>()
         });
         let mut signs = BTreeMap::new();
-        for (i, &(o, r)) in pairs.iter().enumerate() {
-            let col = cells[i].lock().take().expect("every index was processed")?;
-            signs.insert((o, r), col);
+        for batch in results {
+            signs.extend(batch?);
         }
         Ok(EffectiveMatrix { strategy, signs })
-    }
-
-    fn column(
-        hierarchy: &SubjectDag,
-        eacm: &Eacm,
-        strategy: Strategy,
-        object: ObjectId,
-        right: RightId,
-    ) -> Result<Vec<Sign>, CoreError> {
-        let table =
-            counting::histograms_all(hierarchy, eacm, object, right, PropagationMode::Both)?;
-        table
-            .iter()
-            .map(|hist| Ok(resolve_histogram(hist, strategy)?.sign))
-            .collect()
     }
 
     /// The strategy this matrix was materialised under.
@@ -258,15 +256,10 @@ pub fn columns_for_strategies(
     right: RightId,
     strategies: &[Strategy],
 ) -> Result<Vec<Vec<Sign>>, CoreError> {
-    let table = counting::histograms_all(hierarchy, eacm, object, right, PropagationMode::Both)?;
+    let fused = FusedSweep::compute(hierarchy, eacm, &[(object, right)], PropagationMode::Both)?;
     strategies
         .iter()
-        .map(|&strategy| {
-            table
-                .iter()
-                .map(|hist| Ok(resolve_histogram(hist, strategy)?.sign))
-                .collect()
-        })
+        .map(|&strategy| fused.signs(0, strategy))
         .collect()
 }
 
@@ -363,6 +356,52 @@ mod tests {
         .unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq.cell_count(), 8 * ex.hierarchy.subject_count());
+    }
+
+    #[test]
+    fn repeated_pairs_are_swept_once_with_unchanged_output() {
+        let ex = motivating_example();
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        let unique = [(ex.obj, ex.read), (ObjectId(3), ex.read)];
+        // The same pairs, heavily duplicated and interleaved.
+        let dupes: Vec<_> = unique.iter().cycle().take(20).copied().collect();
+        let from_unique =
+            EffectiveMatrix::compute_for_pairs(&ex.hierarchy, &ex.eacm, strategy, &unique).unwrap();
+        let from_dupes =
+            EffectiveMatrix::compute_for_pairs(&ex.hierarchy, &ex.eacm, strategy, &dupes).unwrap();
+        assert_eq!(from_unique, from_dupes);
+        assert_eq!(from_dupes.pairs().count(), unique.len());
+        let parallel = EffectiveMatrix::compute_for_pairs_parallel(
+            &ex.hierarchy,
+            &ex.eacm,
+            strategy,
+            &dupes,
+            3,
+        )
+        .unwrap();
+        assert_eq!(from_unique, parallel);
+    }
+
+    #[test]
+    fn parallel_with_many_pairs_exercises_multiple_batches() {
+        let ex = motivating_example();
+        let strategy: Strategy = "D+GMP+".parse().unwrap();
+        // More pairs than DEFAULT_BATCH_COLUMNS × threads, so batching,
+        // stealing, and result reassembly all kick in.
+        let pairs: Vec<_> = (0..40).map(|i| (ObjectId(i), ex.read)).collect();
+        let seq =
+            EffectiveMatrix::compute_for_pairs(&ex.hierarchy, &ex.eacm, strategy, &pairs).unwrap();
+        for threads in [1, 2, 7] {
+            let par = EffectiveMatrix::compute_for_pairs_parallel(
+                &ex.hierarchy,
+                &ex.eacm,
+                strategy,
+                &pairs,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -86,7 +86,32 @@ pub fn histogram(
 /// per-query computation — this is what makes the memoised resolver
 /// (paper future work #1) sound. Entry `i` corresponds to the subject
 /// with index `i`.
+///
+/// Since the columnar kernel landed this is a thin wrapper over a
+/// one-column [`crate::engine::kernel::FusedSweep`]; the original
+/// BTreeMap-per-node implementation survives as
+/// [`histograms_all_reference`], the equivalence/bench oracle.
 pub fn histograms_all(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    object: ObjectId,
+    right: RightId,
+    mode: PropagationMode,
+) -> Result<Vec<DistanceHistogram>, CoreError> {
+    let fused =
+        crate::engine::kernel::FusedSweep::compute(hierarchy, eacm, &[(object, right)], mode)?;
+    Ok(fused.table(0))
+}
+
+/// The original node-at-a-time implementation of [`histograms_all`]:
+/// one `BTreeMap`-backed [`DistanceHistogram`] per node, merged via
+/// [`DistanceHistogram::merge_shifted`].
+///
+/// Kept as the **oracle**: the fused-sweep kernel must be
+/// bag-equivalent to this function (asserted by unit tests here and the
+/// property tests in `tests/kernel_equivalence.rs`), and the
+/// `fused_sweep` benchmark reports speedups relative to it.
+pub fn histograms_all_reference(
     hierarchy: &SubjectDag,
     eacm: &Eacm,
     object: ObjectId,
@@ -262,6 +287,22 @@ mod tests {
         for s in subjects {
             let direct = histogram(&h, &eacm, s, o, r, PropagationMode::Both).unwrap();
             assert_eq!(table[s.index()], direct, "mismatch for subject {s}");
+        }
+    }
+
+    #[test]
+    fn kernel_backed_histograms_all_matches_the_reference_sweep() {
+        let (h, eacm, _, o, r) = fig3();
+        for mode in [
+            PropagationMode::Both,
+            PropagationMode::SecondWins,
+            PropagationMode::FirstWins,
+        ] {
+            assert_eq!(
+                histograms_all(&h, &eacm, o, r, mode).unwrap(),
+                histograms_all_reference(&h, &eacm, o, r, mode).unwrap(),
+                "mode {mode:?}"
+            );
         }
     }
 

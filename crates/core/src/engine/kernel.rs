@@ -1,0 +1,518 @@
+//! The columnar fused-sweep kernel: flat arena histograms + multi-column
+//! batched propagation.
+//!
+//! ## Why
+//!
+//! The original counting sweep ([`crate::engine::counting`]) is correct
+//! and polynomial, but its hot path is allocation-bound: every
+//! `(object, right)` column walks the whole DAG building a fresh
+//! `BTreeMap<u32, ModeCounts>` per node — one heap allocation per stratum
+//! per node per column, plus pointer-chasing tree merges on every
+//! parent-to-child transfer. Caching work (Crampton & Sellwood's RPPM
+//! line) shows these systems win by reusing partial decision state; this
+//! kernel applies the same lesson to the sweep's *memory layout* and
+//! *scheduling*:
+//!
+//! 1. **Flat arena histograms.** A node's histogram in a sweep always
+//!    occupies a contiguous distance span `[base, base + len)` — the
+//!    union of its parents' spans shifted by one, plus distance 0 for an
+//!    own label or root default. So per `(node, column)` row we store
+//!    only `(offset, base, len)` into one shared `Vec<ModeCounts>` arena:
+//!    zero per-node allocation, dense sequential merges, and a lossless
+//!    round-trip to/from [`DistanceHistogram`].
+//! 2. **Fused multi-column sweeps.** One topological walk serves a whole
+//!    batch of `(object, right)` columns in struct-of-arrays layout: the
+//!    `topo_order` / `parents()` traversal cost — and its cache misses —
+//!    are amortised over every column in the batch.
+//! 3. **Resolution without materialisation.** `Resolve()` only iterates
+//!    strata in distance order, so [`FusedSweep::resolve`] reads arena
+//!    rows directly; the full-matrix path never builds a `BTreeMap` at
+//!    all.
+//!
+//! Parallel scheduling over batches lives in [`crate::pool`]; the
+//! equivalence of this kernel with the per-path engine and the legacy
+//! sweep is asserted by `tests/kernel_equivalence.rs` for all 48
+//! strategies and all three [`PropagationMode`]s.
+
+use crate::engine::counting::PropagationMode;
+use crate::engine::{DistanceHistogram, ModeCounts};
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::{Mode, Sign};
+use crate::resolve::{resolve_strata, Resolution};
+use crate::strategy::Strategy;
+use std::collections::HashMap;
+use ucra_graph::{traverse, Dag};
+
+/// Default number of columns fused into one sweep batch. Bounds the
+/// arena's working set while still amortising the topological walk; the
+/// parallel drivers split larger pair lists into batches of this size.
+pub const DEFAULT_BATCH_COLUMNS: usize = 8;
+
+/// One arena row: the histogram of one `(subject, column)` cell, stored
+/// as a dense `ModeCounts` slice covering distances `base .. base + len`.
+/// `len == 0` means the empty histogram (and `offset`/`base` are
+/// meaningless).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RowMeta {
+    offset: usize,
+    base: u32,
+    len: u32,
+}
+
+/// The result of one fused multi-column sweep: for every subject × every
+/// requested column, the full `allRights` distance histogram — stored
+/// columnar in a single flat arena.
+///
+/// ```
+/// use ucra_core::engine::counting::PropagationMode;
+/// use ucra_core::engine::kernel::FusedSweep;
+///
+/// let ex = ucra_core::motivating::motivating_example();
+/// let pairs = [(ex.obj, ex.read)];
+/// let sweep = FusedSweep::compute(
+///     &ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both,
+/// ).unwrap();
+/// let hist = sweep.histogram(ex.user, 0);
+/// assert_eq!(hist.totals().unwrap().pos, 2); // Table 1 of the paper
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedSweep {
+    subjects: usize,
+    columns: usize,
+    /// Row metadata, `subjects × columns`, indexed `v * columns + c`.
+    rows: Vec<RowMeta>,
+    /// The arena: every non-empty row's dense strata, concatenated.
+    counts: Vec<ModeCounts>,
+}
+
+impl FusedSweep {
+    /// Sweeps the full hierarchy once for a batch of `(object, right)`
+    /// columns. Column `c` of the result corresponds to `pairs[c]`;
+    /// duplicate pairs are computed per occurrence (callers that care
+    /// deduplicate first).
+    pub fn compute(
+        hierarchy: &SubjectDag,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+    ) -> Result<FusedSweep, CoreError> {
+        let dag = hierarchy.graph();
+        let n = dag.node_count();
+        let k = pairs.len();
+        // Struct-of-arrays label matrix: `labels[c * n + v]`. Built by a
+        // single pass over the sparse explicit matrix instead of `n × k`
+        // map lookups inside the sweep.
+        let mut labels: Vec<Option<Mode>> = vec![None; n * k];
+        let mut columns_of: HashMap<(ObjectId, RightId), Vec<usize>> = HashMap::new();
+        for (c, &pair) in pairs.iter().enumerate() {
+            columns_of.entry(pair).or_default().push(c);
+        }
+        for (s, o, r, sign) in eacm.iter() {
+            if s.index() >= n {
+                continue; // labels outside the hierarchy are unreachable
+            }
+            if let Some(cols) = columns_of.get(&(o, r)) {
+                for &c in cols {
+                    labels[c * n + s.index()] = Some(Mode::from(sign));
+                }
+            }
+        }
+        Self::sweep(dag, k, &labels, mode)
+    }
+
+    /// The fused counting recurrence: one topological walk, all columns.
+    fn sweep(
+        dag: &Dag,
+        columns: usize,
+        labels: &[Option<Mode>],
+        mode: PropagationMode,
+    ) -> Result<FusedSweep, CoreError> {
+        let n = dag.node_count();
+        debug_assert_eq!(labels.len(), n * columns, "label matrix shape");
+        let mut rows = vec![RowMeta::default(); n * columns];
+        let mut counts: Vec<ModeCounts> = Vec::new();
+        for v in traverse::topo_order(dag) {
+            let parents = dag.parents(v);
+            let is_root = parents.is_empty();
+            for c in 0..columns {
+                let own = labels[c * n + v.index()];
+
+                // SecondWins: an explicit label replaces every record
+                // arriving from above — the row is exactly one stratum.
+                if mode == PropagationMode::SecondWins {
+                    if let Some(m) = own {
+                        let offset = counts.len();
+                        let mut cell = ModeCounts::default();
+                        cell.add(m, 1)?;
+                        counts.push(cell);
+                        rows[v.index() * columns + c] = RowMeta {
+                            offset,
+                            base: 0,
+                            len: 1,
+                        };
+                        continue;
+                    }
+                }
+
+                // Pass 1: the row's distance span from the parents' rows
+                // shifted one edge down.
+                let mut base = u32::MAX;
+                let mut end = 0u32; // exclusive
+                let mut has_inflow = false;
+                for &p in parents {
+                    let r = rows[p.index() * columns + c];
+                    if r.len == 0 {
+                        continue;
+                    }
+                    has_inflow = true;
+                    let pb = r.base.checked_add(1).ok_or(CoreError::DistanceOverflow)?;
+                    let pe = pb.checked_add(r.len).ok_or(CoreError::DistanceOverflow)?;
+                    base = base.min(pb);
+                    end = end.max(pe);
+                }
+                let own_contrib = match mode {
+                    PropagationMode::Both => {
+                        own.or(if is_root { Some(Mode::Default) } else { None })
+                    }
+                    // `own` was handled above; only the root default remains.
+                    PropagationMode::SecondWins => {
+                        if is_root {
+                            Some(Mode::Default)
+                        } else {
+                            None
+                        }
+                    }
+                    PropagationMode::FirstWins => match own {
+                        Some(m) if !has_inflow => Some(m),
+                        Some(_) => None,
+                        None if is_root => Some(Mode::Default),
+                        None => None,
+                    },
+                };
+                if own_contrib.is_some() {
+                    base = 0;
+                    end = end.max(1);
+                }
+                if base == u32::MAX {
+                    continue; // empty row
+                }
+
+                // Pass 2: reserve the dense slice at the arena tail and
+                // merge. Parents' rows live strictly below `offset`, so a
+                // split borrow keeps everything safe and branch-free.
+                let len = end - base;
+                let offset = counts.len();
+                counts.resize(offset + len as usize, ModeCounts::default());
+                let (head, tail) = counts.split_at_mut(offset);
+                if let Some(m) = own_contrib {
+                    tail[0].add(m, 1)?; // base == 0 whenever own_contrib is set
+                }
+                for &p in parents {
+                    let r = rows[p.index() * columns + c];
+                    if r.len == 0 {
+                        continue;
+                    }
+                    let src = &head[r.offset..r.offset + r.len as usize];
+                    let start = (r.base + 1 - base) as usize;
+                    for (dst, s) in tail[start..start + r.len as usize].iter_mut().zip(src) {
+                        dst.merge(s)?;
+                    }
+                }
+                rows[v.index() * columns + c] = RowMeta { offset, base, len };
+            }
+        }
+        Ok(FusedSweep {
+            subjects: n,
+            columns,
+            rows,
+            counts,
+        })
+    }
+
+    /// Packs existing histogram columns into arena form (the inverse of
+    /// [`FusedSweep::histogram`]; the round-trip is lossless).
+    ///
+    /// `columns[c][v]` is subject `v`'s histogram in column `c`; every
+    /// column must have the same length.
+    pub fn from_columns(columns: &[Vec<DistanceHistogram>]) -> FusedSweep {
+        let k = columns.len();
+        let n = columns.first().map_or(0, Vec::len);
+        assert!(
+            columns.iter().all(|col| col.len() == n),
+            "all columns must have one row per subject"
+        );
+        let mut rows = vec![RowMeta::default(); n * k];
+        let mut counts = Vec::new();
+        for v in 0..n {
+            for (c, col) in columns.iter().enumerate() {
+                let h = &col[v];
+                let (Some(lo), Some(hi)) = (h.min_dis(), h.max_dis()) else {
+                    continue;
+                };
+                let offset = counts.len();
+                counts.extend((lo..=hi).map(|d| h.at(d)));
+                rows[v * k + c] = RowMeta {
+                    offset,
+                    base: lo,
+                    len: hi - lo + 1,
+                };
+            }
+        }
+        FusedSweep {
+            subjects: n,
+            columns: k,
+            rows,
+            counts,
+        }
+    }
+
+    /// Number of subjects (rows per column).
+    pub fn subjects(&self) -> usize {
+        self.subjects
+    }
+
+    /// Number of columns in the batch.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Bytes held by the arena and its row index — the figure the
+    /// session's `kernel_arena_bytes` counter accumulates.
+    pub fn arena_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<ModeCounts>()
+            + self.rows.len() * std::mem::size_of::<RowMeta>()
+    }
+
+    /// The non-zero strata of one `(subject, column)` cell in increasing
+    /// distance order — the exact stream `Resolve()` consumes.
+    pub fn strata(
+        &self,
+        subject: SubjectId,
+        column: usize,
+    ) -> impl Iterator<Item = (u32, ModeCounts)> + '_ {
+        let r = self.rows[subject.index() * self.columns + column];
+        self.counts[r.offset..r.offset + r.len as usize]
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(move |(i, &c)| (r.base + i as u32, c))
+    }
+
+    /// The cell's histogram in the classic sparse representation.
+    pub fn histogram(&self, subject: SubjectId, column: usize) -> DistanceHistogram {
+        let mut h = DistanceHistogram::new();
+        for (dis, c) in self.strata(subject, column) {
+            for mode in [Mode::Pos, Mode::Neg, Mode::Default] {
+                h.add(dis, mode, c.get(mode))
+                    .expect("arena counts were checked when the row was built");
+            }
+        }
+        h
+    }
+
+    /// Resolves one cell under `strategy`, straight from the arena.
+    pub fn resolve(
+        &self,
+        subject: SubjectId,
+        column: usize,
+        strategy: Strategy,
+    ) -> Result<Resolution, CoreError> {
+        resolve_strata(self.strata(subject, column), strategy)
+    }
+
+    /// The effective sign of every subject in one column.
+    pub fn signs(&self, column: usize, strategy: Strategy) -> Result<Vec<Sign>, CoreError> {
+        (0..self.subjects)
+            .map(|i| {
+                Ok(self
+                    .resolve(SubjectId::from_index(i), column, strategy)?
+                    .sign)
+            })
+            .collect()
+    }
+
+    /// One column as a plain histogram table (the shape the sweep caches
+    /// store).
+    pub fn table(&self, column: usize) -> Vec<DistanceHistogram> {
+        (0..self.subjects)
+            .map(|i| self.histogram(SubjectId::from_index(i), column))
+            .collect()
+    }
+
+    /// All columns as histogram tables, `tables[c][v]`.
+    pub fn into_tables(self) -> Vec<Vec<DistanceHistogram>> {
+        (0..self.columns).map(|c| self.table(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::counting;
+    use crate::motivating::motivating_example;
+
+    const MODES: [PropagationMode; 3] = [
+        PropagationMode::Both,
+        PropagationMode::SecondWins,
+        PropagationMode::FirstWins,
+    ];
+
+    #[test]
+    fn single_column_matches_legacy_sweep_in_every_mode() {
+        let ex = motivating_example();
+        for mode in MODES {
+            let fused =
+                FusedSweep::compute(&ex.hierarchy, &ex.eacm, &[(ex.obj, ex.read)], mode).unwrap();
+            let legacy =
+                counting::histograms_all_reference(&ex.hierarchy, &ex.eacm, ex.obj, ex.read, mode)
+                    .unwrap();
+            for s in ex.hierarchy.subjects() {
+                assert_eq!(
+                    fused.histogram(s, 0),
+                    legacy[s.index()],
+                    "mode {mode:?}, {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_column_batch_matches_per_column_sweeps() {
+        let ex = motivating_example();
+        let pairs: Vec<_> = (0..5).map(|o| (ObjectId(o), ex.read)).collect();
+        let fused =
+            FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both).unwrap();
+        assert_eq!(fused.columns(), 5);
+        for (c, &(o, r)) in pairs.iter().enumerate() {
+            let legacy =
+                counting::histograms_all(&ex.hierarchy, &ex.eacm, o, r, PropagationMode::Both)
+                    .unwrap();
+            assert_eq!(fused.table(c), legacy, "column {c}");
+        }
+    }
+
+    #[test]
+    fn round_trip_through_columns_is_lossless() {
+        let ex = motivating_example();
+        let pairs = [(ex.obj, ex.read), (ObjectId(9), ex.read)];
+        let fused =
+            FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both).unwrap();
+        let tables = fused.clone().into_tables();
+        let packed = FusedSweep::from_columns(&tables);
+        for c in 0..pairs.len() {
+            for s in ex.hierarchy.subjects() {
+                assert_eq!(packed.histogram(s, c), fused.histogram(s, c));
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_from_arena_matches_resolve_histogram() {
+        let ex = motivating_example();
+        let fused = FusedSweep::compute(
+            &ex.hierarchy,
+            &ex.eacm,
+            &[(ex.obj, ex.read)],
+            PropagationMode::Both,
+        )
+        .unwrap();
+        for s in ex.hierarchy.subjects() {
+            let hist = fused.histogram(s, 0);
+            for strategy in Strategy::all_instances() {
+                assert_eq!(
+                    fused.resolve(s, 0, strategy).unwrap(),
+                    crate::resolve::resolve_histogram(&hist, strategy).unwrap(),
+                    "subject {s}, strategy {strategy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_hierarchy_are_fine() {
+        let ex = motivating_example();
+        let empty_batch =
+            FusedSweep::compute(&ex.hierarchy, &ex.eacm, &[], PropagationMode::Both).unwrap();
+        assert_eq!(empty_batch.columns(), 0);
+        assert_eq!(empty_batch.subjects(), ex.hierarchy.subject_count());
+
+        let empty = FusedSweep::compute(
+            &SubjectDag::new(),
+            &Eacm::new(),
+            &[(ObjectId(0), RightId(0))],
+            PropagationMode::Both,
+        )
+        .unwrap();
+        assert_eq!(empty.subjects(), 0);
+        assert!(empty.into_tables()[0].is_empty());
+    }
+
+    #[test]
+    fn exponential_path_counts_stay_exact() {
+        // 100 stacked diamonds: 2^100 paths, counted exactly in the
+        // arena just as in the BTreeMap engine.
+        let mut h = SubjectDag::new();
+        let mut top = h.add_subject();
+        let first = top;
+        for _ in 0..100 {
+            let l = h.add_subject();
+            let r = h.add_subject();
+            let bottom = h.add_subject();
+            h.add_membership(top, l).unwrap();
+            h.add_membership(top, r).unwrap();
+            h.add_membership(l, bottom).unwrap();
+            h.add_membership(r, bottom).unwrap();
+            top = bottom;
+        }
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(first, o, r).unwrap();
+        let fused = FusedSweep::compute(&h, &eacm, &[(o, r)], PropagationMode::Both).unwrap();
+        assert_eq!(fused.histogram(top, 0).at(200).pos, 1u128 << 100);
+    }
+
+    #[test]
+    fn counting_overflow_is_an_error() {
+        let mut h = SubjectDag::new();
+        let mut top = h.add_subject();
+        let first = top;
+        for _ in 0..128 {
+            let l = h.add_subject();
+            let r = h.add_subject();
+            let bottom = h.add_subject();
+            h.add_membership(top, l).unwrap();
+            h.add_membership(top, r).unwrap();
+            h.add_membership(l, bottom).unwrap();
+            h.add_membership(r, bottom).unwrap();
+            top = bottom;
+        }
+        let mut eacm = Eacm::new();
+        eacm.grant(first, ObjectId(0), RightId(0)).unwrap();
+        assert_eq!(
+            FusedSweep::compute(
+                &h,
+                &eacm,
+                &[(ObjectId(0), RightId(0))],
+                PropagationMode::Both
+            ),
+            Err(CoreError::PathCountOverflow)
+        );
+    }
+
+    #[test]
+    fn arena_bytes_reports_the_flat_layout() {
+        let ex = motivating_example();
+        let fused = FusedSweep::compute(
+            &ex.hierarchy,
+            &ex.eacm,
+            &[(ex.obj, ex.read)],
+            PropagationMode::Both,
+        )
+        .unwrap();
+        // Rows index + at least one stratum of real data.
+        assert!(fused.arena_bytes() > std::mem::size_of::<ModeCounts>());
+    }
+}

@@ -18,6 +18,7 @@
 //! mode exist at each distance.
 
 pub mod counting;
+pub mod kernel;
 pub mod path_enum;
 
 use crate::error::CoreError;
@@ -68,7 +69,7 @@ impl ModeCounts {
         }
     }
 
-    fn add(&mut self, mode: Mode, n: u128) -> Result<(), CoreError> {
+    pub(crate) fn add(&mut self, mode: Mode, n: u128) -> Result<(), CoreError> {
         let slot = match mode {
             Mode::Pos => &mut self.pos,
             Mode::Neg => &mut self.neg,
@@ -76,6 +77,13 @@ impl ModeCounts {
         };
         *slot = slot.checked_add(n).ok_or(CoreError::PathCountOverflow)?;
         Ok(())
+    }
+
+    /// Adds every count of `other` into `self` (checked).
+    pub(crate) fn merge(&mut self, other: &ModeCounts) -> Result<(), CoreError> {
+        self.add(Mode::Pos, other.pos)?;
+        self.add(Mode::Neg, other.neg)?;
+        self.add(Mode::Default, other.def)
     }
 
     /// `true` when all three counts are zero.
@@ -118,17 +126,18 @@ impl DistanceHistogram {
 
     /// Merges `other` into `self` with every distance shifted by `shift`
     /// (one DAG edge = distance +1). Used by the counting engine's
-    /// parent-to-child transfer.
+    /// parent-to-child transfer. Both the shifted distances and the
+    /// merged counts are checked: a distance past `u32::MAX` is
+    /// [`CoreError::DistanceOverflow`] rather than a silent release-mode
+    /// wrap-around.
     pub fn merge_shifted(
         &mut self,
         other: &DistanceHistogram,
         shift: u32,
     ) -> Result<(), CoreError> {
         for (&dis, counts) in &other.strata {
-            let entry = self.strata.entry(dis + shift).or_default();
-            entry.add(Mode::Pos, counts.pos)?;
-            entry.add(Mode::Neg, counts.neg)?;
-            entry.add(Mode::Default, counts.def)?;
+            let shifted = dis.checked_add(shift).ok_or(CoreError::DistanceOverflow)?;
+            self.strata.entry(shifted).or_default().merge(counts)?;
         }
         Ok(())
     }
@@ -276,6 +285,24 @@ mod tests {
             h.merge_shifted(&other, 0),
             Err(CoreError::PathCountOverflow)
         );
+    }
+
+    #[test]
+    fn shifted_distance_overflow_is_an_error_not_a_wrap() {
+        let mut near_max = DistanceHistogram::new();
+        near_max.add(u32::MAX - 1, Mode::Pos, 1).unwrap();
+        // Shifting past u32::MAX must fail loudly (in release builds the
+        // old unchecked `dis + shift` wrapped to a small distance,
+        // silently promoting the record to "most specific").
+        let mut sink = DistanceHistogram::new();
+        assert_eq!(
+            sink.merge_shifted(&near_max, 2),
+            Err(CoreError::DistanceOverflow)
+        );
+        assert!(sink.is_empty(), "failed merge must not leave partial rows");
+        // The largest representable shift still works.
+        sink.merge_shifted(&near_max, 1).unwrap();
+        assert_eq!(sink.at(u32::MAX).pos, 1);
     }
 
     #[test]

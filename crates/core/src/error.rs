@@ -39,6 +39,11 @@ pub enum CoreError {
     },
     /// A path count exceeded `u128` in the counting engine.
     PathCountOverflow,
+    /// A propagation distance exceeded `u32`. Distances are bounded by
+    /// the longest path in the hierarchy, so this can only fire on
+    /// adversarial shifted merges — but it must be an error, not a silent
+    /// release-mode wrap.
+    DistanceOverflow,
     /// A strategy mnemonic could not be parsed.
     BadMnemonic {
         /// The offending input.
@@ -68,6 +73,7 @@ impl fmt::Display for CoreError {
                 write!(f, "path-enumeration budget of {budget} records exceeded")
             }
             CoreError::PathCountOverflow => write!(f, "path count overflowed u128"),
+            CoreError::DistanceOverflow => write!(f, "propagation distance overflowed u32"),
             CoreError::BadMnemonic { input, reason } => {
                 write!(f, "bad strategy mnemonic `{input}`: {reason}")
             }

@@ -70,6 +70,7 @@ mod memo;
 mod mode;
 pub mod motivating;
 pub mod objects;
+pub mod pool;
 pub mod related;
 mod resolve;
 pub mod session;
@@ -77,6 +78,7 @@ mod strategy;
 
 pub use dominance::{dominance, dominance_specialized, dominance_with_stats, DominanceStats};
 pub use effective::{columns_for_strategies, EffectiveDiff, EffectiveMatrix, MatrixDiff};
+pub use engine::kernel::FusedSweep;
 pub use engine::{AuthRecord, DistanceHistogram, ModeCounts};
 pub use error::CoreError;
 pub use explain::{explain, explain_with_mode, Explanation};

@@ -87,9 +87,16 @@ struct SignHistogram {
 }
 
 impl SignHistogram {
-    fn apply_default(hist: &DistanceHistogram, rule: DefaultRule) -> Result<Self, CoreError> {
+    /// Applies the Default policy to strata supplied in increasing
+    /// distance order. Accepting an iterator (rather than a
+    /// [`DistanceHistogram`]) lets the columnar kernel resolve directly
+    /// from its flat arena rows without materialising a `BTreeMap`.
+    fn apply_default(
+        strata_in: impl Iterator<Item = (u32, crate::engine::ModeCounts)>,
+        rule: DefaultRule,
+    ) -> Result<Self, CoreError> {
         let mut strata = Vec::new();
-        for (dis, c) in hist.strata() {
+        for (dis, c) in strata_in {
             let (mut pos, mut neg) = (c.pos, c.neg);
             match rule {
                 DefaultRule::NoDefault => {}
@@ -141,8 +148,19 @@ pub fn resolve_histogram(
     hist: &DistanceHistogram,
     strategy: Strategy,
 ) -> Result<Resolution, CoreError> {
+    resolve_strata(hist.strata(), strategy)
+}
+
+/// Algorithm `Resolve()` over raw `(distance, counts)` strata supplied in
+/// increasing distance order (all-zero strata are ignored). This is the
+/// allocation-free entry point the columnar kernel resolves through; it
+/// is exactly [`resolve_histogram`] without the `BTreeMap` detour.
+pub(crate) fn resolve_strata(
+    strata: impl Iterator<Item = (u32, crate::engine::ModeCounts)>,
+    strategy: Strategy,
+) -> Result<Resolution, CoreError> {
     // Lines 2–3: the Default policy.
-    let signs = SignHistogram::apply_default(hist, strategy.default_rule())?;
+    let signs = SignHistogram::apply_default(strata, strategy.default_rule())?;
 
     // Lines 4–6: the Majority policy.
     let (mut c1, mut c2) = (None, None);

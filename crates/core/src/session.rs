@@ -30,10 +30,12 @@
 //! [`AccessSession`] owns the model, tracks these dependencies, and
 //! exposes hit/repair counters so operators can see the cache behave.
 //! [`AccessSession::check_many`] batches point queries, grouping them by
-//! `(object, right)` and fanning the missing sweeps out over scoped
-//! threads.
+//! `(object, right)`, fusing the missing sweeps into columnar kernel
+//! batches ([`crate::engine::kernel`]), and spreading the batches over
+//! the work-stealing pool ([`crate::pool`]).
 
 use crate::engine::counting::{self, PropagationMode};
+use crate::engine::kernel::{FusedSweep, DEFAULT_BATCH_COLUMNS};
 use crate::engine::DistanceHistogram;
 use crate::error::CoreError;
 use crate::explain::{explain, Explanation};
@@ -42,6 +44,7 @@ use crate::ids::{ObjectId, RightId, SubjectId};
 use crate::invalidation::RepairPlan;
 use crate::matrix::Eacm;
 use crate::mode::{Mode, Sign};
+use crate::pool;
 use crate::resolve::{resolve_histogram, Resolution};
 use crate::strategy::Strategy;
 use parking_lot::RwLock;
@@ -51,9 +54,6 @@ use std::sync::Arc;
 
 /// Finished sweep tables, keyed by `(object, right)` pair.
 type SweepCache = RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>;
-
-/// One work-stealing slot of the batched sweep computation.
-type TableCell = parking_lot::Mutex<Option<Result<Vec<DistanceHistogram>, CoreError>>>;
 
 /// Cache behaviour counters (monotonic, observational).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +78,21 @@ pub struct SessionStats {
     /// `subject_count × cached pairs` to see what a flush would have
     /// re-swept.
     pub rows_repaired: u64,
+    /// `(object, right)` columns computed by the fused-sweep kernel.
+    pub kernel_columns: u64,
+    /// Fused batches executed (`kernel_columns / kernel_batches` is the
+    /// realised fusion factor — how many columns each topological walk
+    /// amortised over).
+    pub kernel_batches: u64,
+    /// Total bytes of flat arena the kernel allocated across all
+    /// batches — the peak per batch is this divided by `kernel_batches`.
+    pub kernel_arena_bytes: u64,
+    /// Batched sweep rounds dispatched to the work-stealing pool
+    /// (more than one worker).
+    pub parallel_dispatches: u64,
+    /// Sweep rounds that ran inline on the calling thread (single
+    /// worker, single batch, or a point query).
+    pub serial_dispatches: u64,
 }
 
 /// An owned access-control installation: hierarchy + explicit matrix +
@@ -112,6 +127,11 @@ pub struct AccessSession {
     full_invalidations: AtomicU64,
     partial_repairs: AtomicU64,
     rows_repaired: AtomicU64,
+    kernel_columns: AtomicU64,
+    kernel_batches: AtomicU64,
+    kernel_arena_bytes: AtomicU64,
+    parallel_dispatches: AtomicU64,
+    serial_dispatches: AtomicU64,
 }
 
 impl AccessSession {
@@ -129,6 +149,11 @@ impl AccessSession {
             full_invalidations: AtomicU64::new(0),
             partial_repairs: AtomicU64::new(0),
             rows_repaired: AtomicU64::new(0),
+            kernel_columns: AtomicU64::new(0),
+            kernel_batches: AtomicU64::new(0),
+            kernel_arena_bytes: AtomicU64::new(0),
+            parallel_dispatches: AtomicU64::new(0),
+            serial_dispatches: AtomicU64::new(0),
         }
     }
 
@@ -311,8 +336,9 @@ impl AccessSession {
     /// Batched authorization checks under the session strategy.
     ///
     /// Queries are grouped by `(object, right)`; pairs missing from the
-    /// cache are swept concurrently on scoped threads (work-stealing, as
-    /// in [`crate::EffectiveMatrix::compute_for_pairs_parallel`]), then
+    /// cache are fused into multi-column kernel batches and swept
+    /// concurrently by the work-stealing pool (as in
+    /// [`crate::EffectiveMatrix::compute_for_pairs_parallel`]), then
     /// every query is answered from the now-warm cache. Answers are
     /// returned in query order. Fails fast on the first unknown subject,
     /// before any sweep runs.
@@ -352,37 +378,38 @@ impl AccessSession {
             .count();
         self.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
         if !missing.is_empty() {
+            // Fuse the missing columns into kernel batches and let the
+            // work-stealing pool spread the batches over the cores.
+            let batches: Vec<&[(ObjectId, RightId)]> =
+                missing.chunks(DEFAULT_BATCH_COLUMNS).collect();
             let threads = std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get)
-                .min(missing.len());
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let cells: Vec<TableCell> = (0..missing.len())
-                .map(|_| parking_lot::Mutex::new(None))
-                .collect();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= missing.len() {
-                            break;
-                        }
-                        let (object, right) = missing[i];
-                        let table = counting::histograms_all(
-                            &self.hierarchy,
-                            &self.eacm,
-                            object,
-                            right,
-                            PropagationMode::Both,
-                        );
-                        *cells[i].lock() = Some(table);
-                    });
-                }
+                .min(batches.len());
+            let results = pool::run_indexed(batches.len(), threads, |i| {
+                let fused = FusedSweep::compute(
+                    &self.hierarchy,
+                    &self.eacm,
+                    batches[i],
+                    PropagationMode::Both,
+                )?;
+                Ok::<_, CoreError>((fused.arena_bytes(), fused.into_tables()))
             });
+            if threads > 1 {
+                self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.serial_dispatches.fetch_add(1, Ordering::Relaxed);
+            }
             let mut guard = self.cache.write();
-            for (i, &pair) in missing.iter().enumerate() {
-                let table = cells[i].lock().take().expect("every index was processed")?;
-                self.sweeps.fetch_add(1, Ordering::Relaxed);
-                guard.entry(pair).or_insert_with(|| Arc::new(table));
+            for (batch, result) in batches.iter().zip(results) {
+                let (arena_bytes, tables) = result?;
+                self.kernel_batches.fetch_add(1, Ordering::Relaxed);
+                self.kernel_arena_bytes
+                    .fetch_add(arena_bytes as u64, Ordering::Relaxed);
+                for (&pair, table) in batch.iter().zip(tables) {
+                    self.sweeps.fetch_add(1, Ordering::Relaxed);
+                    self.kernel_columns.fetch_add(1, Ordering::Relaxed);
+                    guard.entry(pair).or_insert_with(|| Arc::new(table));
+                }
             }
         }
         let guard = self.cache.read();
@@ -425,6 +452,11 @@ impl AccessSession {
             full_invalidations: self.full_invalidations.load(Ordering::Relaxed),
             partial_repairs: self.partial_repairs.load(Ordering::Relaxed),
             rows_repaired: self.rows_repaired.load(Ordering::Relaxed),
+            kernel_columns: self.kernel_columns.load(Ordering::Relaxed),
+            kernel_batches: self.kernel_batches.load(Ordering::Relaxed),
+            kernel_arena_bytes: self.kernel_arena_bytes.load(Ordering::Relaxed),
+            parallel_dispatches: self.parallel_dispatches.load(Ordering::Relaxed),
+            serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
         }
     }
 
@@ -437,13 +469,18 @@ impl AccessSession {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(t));
         }
-        let table = Arc::new(counting::histograms_all(
+        let fused = FusedSweep::compute(
             &self.hierarchy,
             &self.eacm,
-            object,
-            right,
+            &[(object, right)],
             PropagationMode::Both,
-        )?);
+        )?;
+        self.kernel_columns.fetch_add(1, Ordering::Relaxed);
+        self.kernel_batches.fetch_add(1, Ordering::Relaxed);
+        self.kernel_arena_bytes
+            .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
+        self.serial_dispatches.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(fused.table(0));
         self.sweeps.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.cache.write();
         let entry = guard
@@ -605,6 +642,34 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.sweeps, 3);
         assert_eq!(stats.queries, 2 * queries.len() as u64);
+    }
+
+    #[test]
+    fn kernel_counters_track_batches_and_columns() {
+        let (s, ex) = session();
+        // One point check: a single-column kernel batch, dispatched
+        // inline.
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.kernel_columns, 1);
+        assert_eq!(stats.kernel_batches, 1);
+        assert_eq!(stats.serial_dispatches, 1);
+        assert_eq!(stats.parallel_dispatches, 0);
+        assert!(stats.kernel_arena_bytes > 0);
+
+        // A batched check over many distinct pairs: the missing columns
+        // fuse into ceil(missing / DEFAULT_BATCH_COLUMNS) batches.
+        let queries: Vec<_> = (0..20).map(|o| (ex.user, ObjectId(o), ex.read)).collect();
+        s.check_many(&queries).unwrap();
+        let stats = s.stats();
+        // Pair (obj, read) was already cached, so 19 columns remained.
+        assert_eq!(stats.kernel_columns, 1 + 19);
+        assert_eq!(
+            stats.kernel_batches as usize,
+            1 + 19usize.div_ceil(DEFAULT_BATCH_COLUMNS)
+        );
+        assert_eq!(stats.parallel_dispatches + stats.serial_dispatches, 2);
+        assert_eq!(stats.sweeps, 20);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   paper publishes: >8000 nodes, ~22,000 edges, 1582 sinks
 //!   (individual users), induced-sub-graph depths 1–11.
 //! * [`layered::layered`] — tunable layered random DAGs.
+//! * [`stress::deep_wide`] — the deep-and-wide shape (layered spine +
+//!   skip-level shortcuts + many labeled `(object, right)` pairs) that
+//!   stresses the columnar fused-sweep kernel.
 //! * [`shapes`] — trees, chains, and the exponential diamond chain.
 //! * [`auth::assign_by_edges`] — the paper's authorization assignment:
 //!   select a fraction of *edges* at random and label their source
@@ -37,6 +40,7 @@ pub mod livelink;
 pub mod shapes;
 pub mod smells;
 pub mod stats;
+pub mod stress;
 
 /// The RNG used by every generator: seedable and stable across platforms
 /// and crate versions, so experiments are reproducible bit-for-bit.

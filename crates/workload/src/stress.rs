@@ -1,0 +1,208 @@
+//! The deep-and-wide stress shape: the workload the columnar fused-sweep
+//! kernel is benchmarked on.
+//!
+//! [`layered`](crate::layered) DAGs only connect adjacent layers, so
+//! every histogram's distance span is narrow and contiguous. Real
+//! enterprise hierarchies (and the paper's Livelink statistics) also
+//! contain *shortcut* memberships — a user directly in a top-level group
+//! — which widen the distance spans and punch zero-count gaps into them.
+//! [`deep_wide`] generates exactly that: a deep layered spine plus
+//! random skip-level edges, then loads explicit labels for **many**
+//! `(object, right)` pairs so multi-column batching has real work to
+//! fuse.
+
+use crate::auth::{assign_by_edges, AuthConfig};
+use crate::Rng;
+use rand::Rng as _;
+use ucra_core::{Eacm, ObjectId, RightId, SubjectDag, SubjectId};
+
+/// Parameters for [`deep_wide`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressConfig {
+    /// Number of layers (the hierarchy's depth, ≥ 2).
+    pub depth: usize,
+    /// Subjects per layer.
+    pub width: usize,
+    /// Probability of an edge from each previous-layer node (on top of
+    /// one guaranteed parent).
+    pub density: f64,
+    /// Probability of a *skip* edge from each node two layers up —
+    /// these widen distance spans and create zero-count gap strata.
+    pub skip_density: f64,
+    /// Number of `(object, right)` pairs to load with labels.
+    pub pairs: usize,
+    /// Per-pair authorization rate (fraction of edges whose sources are
+    /// labeled, as in the paper's §4 assignment).
+    pub rate: f64,
+    /// Fraction of negative labels.
+    pub negative_share: f64,
+}
+
+impl StressConfig {
+    /// The full benchmark shape (~2k subjects, 64 label-bearing pairs).
+    pub fn full() -> Self {
+        StressConfig {
+            depth: 48,
+            width: 40,
+            density: 0.06,
+            skip_density: 0.015,
+            pairs: 64,
+            rate: 0.05,
+            negative_share: 0.4,
+        }
+    }
+
+    /// A seconds-fast shape for CI smoke runs and unit tests.
+    pub fn quick() -> Self {
+        StressConfig {
+            depth: 10,
+            width: 12,
+            density: 0.15,
+            skip_density: 0.05,
+            pairs: 12,
+            rate: 0.08,
+            negative_share: 0.4,
+        }
+    }
+}
+
+/// A generated stress model: hierarchy, loaded explicit matrix, and the
+/// label-bearing pairs (the benchmark's work list).
+#[derive(Debug, Clone)]
+pub struct StressModel {
+    /// The deep-and-wide hierarchy.
+    pub hierarchy: SubjectDag,
+    /// Explicit labels for every pair in `pairs`.
+    pub eacm: Eacm,
+    /// The `(object, right)` pairs that carry labels, in column order.
+    pub pairs: Vec<(ObjectId, RightId)>,
+    /// `layers[i]` holds layer *i*'s subjects, roots first.
+    pub layers: Vec<Vec<SubjectId>>,
+}
+
+/// Generates the deep-and-wide stress model (deterministic per `rng`
+/// state).
+pub fn deep_wide(config: StressConfig, rng: &mut Rng) -> StressModel {
+    assert!(
+        config.depth >= 2 && config.width >= 1,
+        "degenerate stress config"
+    );
+    let mut hierarchy = SubjectDag::with_capacity(config.depth * config.width);
+    let layers: Vec<Vec<SubjectId>> = (0..config.depth)
+        .map(|_| hierarchy.add_subjects(config.width))
+        .collect();
+    for i in 1..layers.len() {
+        for &child in &layers[i] {
+            let upper = &layers[i - 1];
+            let forced = upper[rng.gen_range(0..upper.len())];
+            hierarchy
+                .add_membership(forced, child)
+                .expect("downward edges cannot cycle");
+            for &parent in upper {
+                if parent != forced && rng.gen_bool(config.density) {
+                    hierarchy
+                        .add_membership(parent, child)
+                        .expect("downward edges cannot cycle");
+                }
+            }
+            // Skip-level shortcuts: distance-2 parents reached in 1 hop.
+            if i >= 2 {
+                for &grand in &layers[i - 2] {
+                    if rng.gen_bool(config.skip_density) {
+                        hierarchy
+                            .add_membership(grand, child)
+                            .expect("downward edges cannot cycle");
+                    }
+                }
+            }
+        }
+    }
+    // Spread the pairs over a few rights so object/right grouping code
+    // paths are exercised too.
+    let pairs: Vec<(ObjectId, RightId)> = (0..config.pairs)
+        .map(|i| (ObjectId((i / 3) as u32), RightId((i % 3) as u32)))
+        .collect();
+    let mut eacm = Eacm::new();
+    for &(object, right) in &pairs {
+        let (pair_matrix, _) = assign_by_edges(
+            &hierarchy,
+            AuthConfig {
+                rate: config.rate,
+                negative_share: config.negative_share,
+                object,
+                right,
+            },
+            rng,
+        );
+        for (s, o, r, sign) in pair_matrix.iter() {
+            eacm.set(s, o, r, sign)
+                .expect("distinct pairs cannot contradict");
+        }
+    }
+    StressModel {
+        hierarchy,
+        eacm,
+        pairs,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use ucra_graph::traverse;
+
+    #[test]
+    fn quick_shape_is_deep_wide_and_labeled() {
+        let m = deep_wide(StressConfig::quick(), &mut rng(7));
+        let cfg = StressConfig::quick();
+        assert_eq!(m.hierarchy.subject_count(), cfg.depth * cfg.width);
+        assert_eq!(
+            traverse::longest_path_len(m.hierarchy.graph()),
+            (cfg.depth - 1) as u32,
+            "the spine keeps the full depth despite skip edges"
+        );
+        assert_eq!(m.pairs.len(), cfg.pairs);
+        assert!(!m.eacm.is_empty());
+        // Every pair in the work list actually carries labels (rate and
+        // edge count are big enough in the quick shape).
+        let loaded = m.eacm.object_right_pairs();
+        for pair in &m.pairs {
+            assert!(loaded.contains(pair), "pair {pair:?} has no labels");
+        }
+    }
+
+    #[test]
+    fn skip_edges_exist_and_create_distance_gaps() {
+        let cfg = StressConfig {
+            skip_density: 0.5,
+            ..StressConfig::quick()
+        };
+        let m = deep_wide(cfg, &mut rng(8));
+        // At least one membership crosses two layers.
+        let layer_of: std::collections::HashMap<_, _> = m
+            .layers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, l)| l.iter().map(move |&v| (v, i)))
+            .collect();
+        let has_skip = m
+            .hierarchy
+            .graph()
+            .edges()
+            .any(|(g, v)| layer_of[&v] == layer_of[&g] + 2);
+        assert!(has_skip, "skip_density 0.5 must produce skip edges");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = deep_wide(StressConfig::quick(), &mut rng(9));
+        let b = deep_wide(StressConfig::quick(), &mut rng(9));
+        assert_eq!(
+            a.hierarchy.membership_count(),
+            b.hierarchy.membership_count()
+        );
+        assert_eq!(a.eacm.len(), b.eacm.len());
+    }
+}

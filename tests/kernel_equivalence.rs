@@ -1,0 +1,193 @@
+//! Columnar fused-sweep kernel equivalence: on random DAG worlds the
+//! arena-backed kernel must be bag-equivalent to
+//!
+//! * `path_enum::propagate` (the paper-faithful Fig. 5 engine) and
+//! * the legacy BTreeMap sweep (`counting::histograms_all_reference`)
+//!
+//! under **all three** propagation modes, and resolution straight from
+//! the arena must match `resolve_histogram` for **all 48** strategies.
+//! The flat-arena ↔ `DistanceHistogram` round-trip must be lossless, and
+//! the deduplicating parallel driver must equal the sequential one.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ucra::core::engine::counting::{self, PropagationMode};
+use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::ids::{ObjectId, RightId};
+use ucra::core::{
+    resolve_histogram, DistanceHistogram, Eacm, EffectiveMatrix, FusedSweep, Sign, Strategy,
+    SubjectDag,
+};
+
+const MODES: [PropagationMode; 3] = [
+    PropagationMode::Both,
+    PropagationMode::SecondWins,
+    PropagationMode::FirstWins,
+];
+
+/// A random DAG world with labels spread over `pairs` distinct
+/// `(object, right)` columns, built deterministically from the scalars.
+fn world(
+    n: usize,
+    density: f64,
+    label_rate: f64,
+    pairs: usize,
+    seed: u64,
+) -> (SubjectDag, Eacm, Vec<(ObjectId, RightId)>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                h.add_membership(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    let cols: Vec<(ObjectId, RightId)> = (0..pairs)
+        .map(|i| (ObjectId((i / 2) as u32), RightId((i % 2) as u32)))
+        .collect();
+    let mut eacm = Eacm::new();
+    for &(o, r) in &cols {
+        for &v in &ids {
+            if rng.gen_bool(label_rate) {
+                let sign = if rng.gen_bool(0.5) {
+                    Sign::Pos
+                } else {
+                    Sign::Neg
+                };
+                eacm.set(v, o, r, sign).unwrap();
+            }
+        }
+    }
+    (h, eacm, cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fused kernel's histograms equal the per-path engine's under
+    /// every propagation mode.
+    #[test]
+    fn fused_matches_path_enum_in_every_mode(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, 1, seed);
+        let (o, r) = cols[0];
+        for mode in MODES {
+            let fused = FusedSweep::compute(&h, &eacm, &[(o, r)], mode).unwrap();
+            for s in h.subjects() {
+                let recs = path_enum::propagate(
+                    &h, &eacm, s, o, r,
+                    PropagateOptions { mode, ..Default::default() },
+                ).unwrap();
+                let from_paths = DistanceHistogram::from_records(&recs).unwrap();
+                prop_assert_eq!(
+                    &fused.histogram(s, 0), &from_paths,
+                    "mode {:?} subject {}", mode, s
+                );
+            }
+        }
+    }
+
+    /// Multi-column fused batches equal one legacy BTreeMap sweep per
+    /// column, under every propagation mode.
+    #[test]
+    fn fused_matches_legacy_sweep_multi_column(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.5,
+        pairs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        for mode in MODES {
+            let fused = FusedSweep::compute(&h, &eacm, &cols, mode).unwrap();
+            for (c, &(o, r)) in cols.iter().enumerate() {
+                let legacy = counting::histograms_all_reference(&h, &eacm, o, r, mode).unwrap();
+                prop_assert_eq!(
+                    fused.table(c), legacy,
+                    "mode {:?} column {}", mode, c
+                );
+            }
+        }
+    }
+
+    /// Resolving straight from the arena equals `resolve_histogram` on
+    /// the materialised histogram for all 48 strategy instances.
+    #[test]
+    fn arena_resolution_matches_all_48_strategies(
+        n in 1usize..10,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, 2, seed);
+        let fused = FusedSweep::compute(&h, &eacm, &cols, PropagationMode::Both).unwrap();
+        for c in 0..cols.len() {
+            for s in h.subjects() {
+                let hist = fused.histogram(s, c);
+                for strategy in Strategy::all_instances() {
+                    prop_assert_eq!(
+                        fused.resolve(s, c, strategy).unwrap(),
+                        resolve_histogram(&hist, strategy).unwrap(),
+                        "subject {} column {} strategy {}", s, c, strategy
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arena ↔ `DistanceHistogram` conversion is lossless both ways.
+    #[test]
+    fn arena_round_trip_is_lossless(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.6,
+        pairs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        let fused = FusedSweep::compute(&h, &eacm, &cols, PropagationMode::Both).unwrap();
+        let tables = fused.clone().into_tables();
+        let packed = FusedSweep::from_columns(&tables);
+        prop_assert_eq!(packed.clone().into_tables(), tables.clone());
+        // And the unpacked tables are exactly the legacy sweeps.
+        for (c, &(o, r)) in cols.iter().enumerate() {
+            let legacy = counting::histograms_all_reference(
+                &h, &eacm, o, r, PropagationMode::Both,
+            ).unwrap();
+            prop_assert_eq!(&tables[c], &legacy, "column {}", c);
+        }
+    }
+
+    /// The deduplicating drivers: duplicates in the pair list change
+    /// nothing, and the parallel work-stealing driver equals the
+    /// sequential one.
+    #[test]
+    fn dedup_and_parallel_drivers_agree(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.5,
+        pairs in 1usize..5,
+        dup_factor in 1usize..4,
+        threads in 1usize..5,
+        strategy_ix in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let duplicated: Vec<_> = cols.iter().cycle().take(cols.len() * dup_factor).copied().collect();
+        let seq = EffectiveMatrix::compute_for_pairs(&h, &eacm, strategy, &cols).unwrap();
+        let seq_dup = EffectiveMatrix::compute_for_pairs(&h, &eacm, strategy, &duplicated).unwrap();
+        let par = EffectiveMatrix::compute_for_pairs_parallel(
+            &h, &eacm, strategy, &duplicated, threads,
+        ).unwrap();
+        prop_assert_eq!(&seq, &seq_dup);
+        prop_assert_eq!(&seq, &par);
+    }
+}
