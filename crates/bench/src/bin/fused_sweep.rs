@@ -2,17 +2,65 @@
 //! legacy per-pair BTreeMap sweep and measure thread scaling.
 //!
 //! ```text
-//! cargo run --release -p ucra-bench --bin fused_sweep [-- --quick]
+//! cargo run --release -p ucra-bench --bin fused_sweep [-- --quick] [--threads 1,2,4]
 //! ```
 //!
 //! Writes `BENCH_sweep.json` at the repository root; `--quick` runs the
-//! CI-sized shape in seconds.
+//! CI-sized shape in seconds. `--threads` takes a comma-separated list
+//! of worker counts to sample (default: 2,4 and 8 when the host has 8
+//! hardware threads).
 
 use std::process::ExitCode;
 
+fn parse_threads(raw: &str) -> Result<Vec<usize>, String> {
+    let counts = raw
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--threads expects positive integers, got {part:?}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if counts.is_empty() {
+        return Err("--threads expects at least one count".into());
+    }
+    Ok(counts)
+}
+
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let report = match ucra_bench::sweep::run(quick) {
+    let mut quick = false;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("--threads expects a comma-separated list, e.g. --threads 1,2,4");
+                    return ExitCode::FAILURE;
+                };
+                match parse_threads(&raw) {
+                    Ok(list) => threads = Some(list),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --quick or --threads <list>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match threads {
+        Some(list) => ucra_bench::sweep::run_with_threads(quick, &list),
+        None => ucra_bench::sweep::run(quick),
+    };
+    let report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fused_sweep failed: {e}");

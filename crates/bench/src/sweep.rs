@@ -1,6 +1,6 @@
 //! The `fused_sweep` benchmark: columnar fused-sweep kernel vs. the
 //! legacy BTreeMap-per-node sweep, plus thread scaling of the
-//! work-stealing parallel driver.
+//! work-stealing parallel driver over a shared [`ucra_core::SweepContext`].
 //!
 //! Three timings over the same deep-and-wide stress model
 //! ([`ucra_workload::stress::deep_wide`]) and the same strategy:
@@ -14,27 +14,46 @@
 //!   fused/reference ratio isolates the fusion + arena win from
 //!   parallelism.
 //! * **parallel** — [`EffectiveMatrix::compute_for_pairs_parallel`] at
-//!   increasing thread counts (work-stealing pool).
+//!   increasing thread counts (persistent work-stealing pool).
+//!
+//! Methodology: every configuration gets warmup iterations (unmeasured;
+//! they fault in pages, build the sweep context and spin up the pool's
+//! parked workers) followed by `reps` measured repetitions, reported as
+//! median plus min/max spread. `cores` in the report is
+//! `std::thread::available_parallelism()` at run time, and every
+//! parallel entry records the thread count it actually requested — on a
+//! 1-core host the scaling rows hover near 1x by construction and the
+//! report says so.
 //!
 //! The run doubles as an equivalence smoke test: the fused and parallel
 //! matrices are asserted sign-identical to the reference before any
 //! number is reported. Results land in `BENCH_sweep.json` at the repo
 //! root (see EXPERIMENTS.md for the recipe).
 
-use crate::timing::{fmt_ns, median_ns};
+use crate::timing::{fmt_ns, measure, TimingStats};
 use std::collections::BTreeMap;
 use ucra_core::engine::counting::{self, PropagationMode};
 use ucra_core::{resolve_histogram, CoreError, EffectiveMatrix, ObjectId, RightId, Sign, Strategy};
 use ucra_workload::stress::{deep_wide, StressConfig, StressModel};
 
+/// Unmeasured iterations before timing starts, for every configuration.
+pub const WARMUP_ITERS: usize = 1;
+
 /// One thread-scaling sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadSample {
-    /// Worker count passed to the pool.
+    /// Worker count requested from the driver. The driver clamps to
+    /// `available_parallelism` (see `compute_for_pairs_parallel`), so on
+    /// a host with fewer cores the row measures the serial fallback —
+    /// read it against the report's `cores` field.
     pub threads: usize,
-    /// Median wall-clock nanoseconds.
+    /// Median wall-clock nanoseconds over the measured repetitions.
     pub ns: u128,
-    /// Speedup relative to the single-threaded fused run.
+    /// Fastest repetition.
+    pub min_ns: u128,
+    /// Slowest repetition.
+    pub max_ns: u128,
+    /// Speedup relative to the single-threaded fused run (medians).
     pub speedup_vs_fused: f64,
 }
 
@@ -49,14 +68,19 @@ pub struct SweepReport {
     pub edges: usize,
     /// `(object, right)` columns computed.
     pub pairs: usize,
-    /// Median ns of the legacy per-pair BTreeMap sweep + resolve.
-    pub reference_ns: u128,
-    /// Median ns of the single-threaded fused kernel.
-    pub fused_ns: u128,
-    /// `reference_ns / fused_ns` — the fusion + arena win alone.
+    /// Warmup iterations run (unmeasured) before each configuration.
+    pub warmup: usize,
+    /// Measured repetitions per configuration (median-of-`reps`).
+    pub reps: usize,
+    /// Legacy per-pair BTreeMap sweep + resolve.
+    pub reference: TimingStats,
+    /// Single-threaded fused kernel.
+    pub fused: TimingStats,
+    /// `reference / fused` medians — the fusion + arena win alone.
     pub speedup: f64,
-    /// Hardware threads available when the benchmark ran (context for
-    /// reading the scaling rows: on a 1-core host they hover near 1x).
+    /// `std::thread::available_parallelism()` when the benchmark ran
+    /// (context for reading the scaling rows: on a 1-core host they
+    /// hover near 1x).
     pub cores: usize,
     /// Thread-scaling samples of the parallel driver.
     pub parallel: Vec<ThreadSample>,
@@ -64,31 +88,42 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// The report as a JSON document (hand-rolled: the bench harness
-    /// deliberately has no serde dependency).
+    /// deliberately has no serde dependency). `ns` keys are medians;
+    /// each configuration also reports its `min_ns`/`max_ns` spread.
     pub fn to_json(&self) -> String {
         let parallel = self
             .parallel
             .iter()
             .map(|s| {
                 format!(
-                    "    {{\"threads\": {}, \"ns\": {}, \"speedup_vs_fused\": {:.3}}}",
-                    s.threads, s.ns, s.speedup_vs_fused
+                    "    {{\"threads\": {}, \"ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                     \"speedup_vs_fused\": {:.3}}}",
+                    s.threads, s.ns, s.min_ns, s.max_ns, s.speedup_vs_fused
                 )
             })
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
             "{{\n  \"bench\": \"fused_sweep\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"warmup\": {},\n  \"reps\": {},\n  \
              \"workload\": {{\"subjects\": {}, \"edges\": {}, \"pairs\": {}}},\n  \
-             \"single_thread\": {{\"reference_ns\": {}, \"fused_ns\": {}, \"speedup\": {:.3}}},\n  \
+             \"single_thread\": {{\"reference_ns\": {}, \"reference_min_ns\": {}, \
+             \"reference_max_ns\": {}, \"fused_ns\": {}, \"fused_min_ns\": {}, \
+             \"fused_max_ns\": {}, \"speedup\": {:.3}}},\n  \
              \"parallel\": [\n{}\n  ]\n}}\n",
             self.quick,
             self.cores,
+            self.warmup,
+            self.reps,
             self.subjects,
             self.edges,
             self.pairs,
-            self.reference_ns,
-            self.fused_ns,
+            self.reference.median_ns,
+            self.reference.min_ns,
+            self.reference.max_ns,
+            self.fused.median_ns,
+            self.fused.min_ns,
+            self.fused.max_ns,
             self.speedup,
             parallel
         )
@@ -96,23 +131,31 @@ impl SweepReport {
 
     /// A terminal-friendly summary table.
     pub fn render(&self) -> String {
+        let spread = |s: &TimingStats| format!("{}..{}", fmt_ns(s.min_ns), fmt_ns(s.max_ns));
         let mut out = format!(
-            "fused_sweep: {} subjects, {} edges, {} (object, right) columns ({} hw threads)\n\
-             reference (BTreeMap sweep/pair): {}\n\
-             fused kernel  (1 thread)       : {}  ({:.2}x)\n",
+            "fused_sweep: {} subjects, {} edges, {} (object, right) columns\n\
+             {} hw threads; median of {} reps after {} warmup\n\
+             reference (BTreeMap sweep/pair): {}  [{}]\n\
+             fused kernel  (1 thread)       : {}  [{}]  ({:.2}x)\n",
             self.subjects,
             self.edges,
             self.pairs,
             self.cores,
-            fmt_ns(self.reference_ns),
-            fmt_ns(self.fused_ns),
+            self.reps,
+            self.warmup,
+            fmt_ns(self.reference.median_ns),
+            spread(&self.reference),
+            fmt_ns(self.fused.median_ns),
+            spread(&self.fused),
             self.speedup
         );
         for s in &self.parallel {
             out.push_str(&format!(
-                "fused kernel ({:2} threads)      : {}  ({:.2}x vs 1-thread fused)\n",
+                "fused kernel ({:2} threads)      : {}  [{}..{}]  ({:.2}x vs 1-thread fused)\n",
                 s.threads,
                 fmt_ns(s.ns),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns),
                 s.speedup_vs_fused
             ));
         }
@@ -144,9 +187,23 @@ fn reference_matrix(
     Ok(signs)
 }
 
-/// Runs the benchmark. `quick` selects the CI-sized shape; the full
-/// shape takes on the order of a minute.
+/// Runs the benchmark with the default thread ladder: 2 and 4 always
+/// (even on a single hardware core the work-stealing driver must stay
+/// correct and near-1x), 8 only when the host can actually run them.
 pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut ladder = vec![2usize, 4];
+    if cores >= 8 {
+        ladder.push(8);
+    }
+    run_with_threads(quick, &ladder)
+}
+
+/// Runs the benchmark sampling the parallel driver at exactly the given
+/// thread counts (`ucra bench --threads 1,2,4` lands here). `quick`
+/// selects the CI-sized shape; the full shape takes on the order of a
+/// minute.
+pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepReport, CoreError> {
     let config = if quick {
         StressConfig::quick()
     } else {
@@ -156,12 +213,12 @@ pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
     let strategy: Strategy = "D-LP-".parse().expect("legitimate mnemonic");
     let reps = if quick { 3 } else { 5 };
 
-    let (reference_ns, reference) = {
-        let (ns, out) = median_ns(reps, || reference_matrix(&model, strategy));
-        (ns, out?)
+    let (reference_stats, reference) = {
+        let (stats, out) = measure(WARMUP_ITERS, reps, || reference_matrix(&model, strategy));
+        (stats, out?)
     };
-    let (fused_ns, fused) = {
-        let (ns, out) = median_ns(reps, || {
+    let (fused_stats, fused) = {
+        let (stats, out) = measure(WARMUP_ITERS, reps, || {
             EffectiveMatrix::compute_for_pairs(
                 &model.hierarchy,
                 &model.eacm,
@@ -169,7 +226,7 @@ pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
                 &model.pairs,
             )
         });
-        (ns, out?)
+        (stats, out?)
     };
     // Equivalence gate: a fast wrong kernel reports nothing.
     for (&(o, r), column) in &reference {
@@ -183,17 +240,11 @@ pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
         }
     }
 
-    // Always sample threads 2 and 4 — even on a single hardware core the
-    // work-stealing driver must stay correct and near-1x, and on real
-    // multi-core hosts these rows are the scaling curve. 8 workers are
-    // only worth measuring when the host can actually run them.
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut parallel = Vec::new();
-    for threads in [2usize, 4, 8] {
-        if threads == 8 && cores < 8 {
-            break;
-        }
-        let (ns, out) = median_ns(reps, || {
+    for &threads in thread_counts {
+        let threads = threads.max(1);
+        let (stats, out) = measure(WARMUP_ITERS, reps, || {
             EffectiveMatrix::compute_for_pairs_parallel(
                 &model.hierarchy,
                 &model.eacm,
@@ -206,8 +257,10 @@ pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
         assert_eq!(out, fused, "parallel driver diverged at {threads} threads");
         parallel.push(ThreadSample {
             threads,
-            ns,
-            speedup_vs_fused: fused_ns as f64 / ns as f64,
+            ns: stats.median_ns,
+            min_ns: stats.min_ns,
+            max_ns: stats.max_ns,
+            speedup_vs_fused: fused_stats.median_ns as f64 / stats.median_ns as f64,
         });
     }
 
@@ -216,9 +269,11 @@ pub fn run(quick: bool) -> Result<SweepReport, CoreError> {
         subjects: model.hierarchy.subject_count(),
         edges: model.hierarchy.membership_count(),
         pairs: model.pairs.len(),
-        reference_ns,
-        fused_ns,
-        speedup: reference_ns as f64 / fused_ns as f64,
+        warmup: WARMUP_ITERS,
+        reps,
+        reference: reference_stats,
+        fused: fused_stats,
+        speedup: reference_stats.median_ns as f64 / fused_stats.median_ns as f64,
         cores,
         parallel,
     })
@@ -243,16 +298,28 @@ mod tests {
 
     #[test]
     fn quick_run_reports_consistent_numbers() {
-        let report = run(true).unwrap();
+        let report = run_with_threads(true, &[1, 2]).unwrap();
         assert!(report.quick);
         assert_eq!(report.pairs, StressConfig::quick().pairs);
-        assert!(report.reference_ns > 0 && report.fused_ns > 0);
+        assert!(report.reference.median_ns > 0 && report.fused.median_ns > 0);
+        assert!(report.reference.min_ns <= report.reference.median_ns);
+        assert!(report.fused.median_ns <= report.fused.max_ns);
         assert!(
-            (report.speedup - report.reference_ns as f64 / report.fused_ns as f64).abs() < 1e-9
+            (report.speedup - report.reference.median_ns as f64 / report.fused.median_ns as f64)
+                .abs()
+                < 1e-9
         );
+        assert_eq!(report.warmup, WARMUP_ITERS);
+        let threads: Vec<usize> = report.parallel.iter().map(|s| s.threads).collect();
+        assert_eq!(threads, vec![1, 2], "per-entry thread counts preserved");
+        for s in &report.parallel {
+            assert!(s.min_ns <= s.ns && s.ns <= s.max_ns);
+        }
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"fused_sweep\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"warmup\""));
+        assert!(json.contains("\"min_ns\""));
         // Well-formed enough for the CI validator: balanced braces.
         assert_eq!(
             json.matches('{').count(),

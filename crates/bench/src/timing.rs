@@ -4,11 +4,28 @@
 
 use std::time::Instant;
 
-/// Median wall-clock nanoseconds of `reps` runs of `f`. The closure's
-/// result is returned (from the last run) so the measured work cannot be
-/// optimised away by the caller discarding it.
-pub fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+/// Wall-clock summary of one measured configuration: the median of the
+/// measured repetitions plus the min/max spread, so a reader can tell a
+/// stable number from a noisy one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Median nanoseconds across the measured repetitions.
+    pub median_ns: u128,
+    /// Fastest repetition.
+    pub min_ns: u128,
+    /// Slowest repetition.
+    pub max_ns: u128,
+}
+
+/// Runs `f` `warmup` times unmeasured (to populate caches, fault in
+/// pages and spin up lazy thread pools), then `reps` measured times.
+/// Returns median/min/max over the measured runs plus the last run's
+/// result so the work cannot be optimised away.
+pub fn measure<T>(warmup: usize, reps: usize, mut f: impl FnMut() -> T) -> (TimingStats, T) {
     assert!(reps >= 1);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
     let mut samples = Vec::with_capacity(reps);
     let mut last = None;
     for _ in 0..reps {
@@ -18,7 +35,20 @@ pub fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
         last = Some(out);
     }
     samples.sort_unstable();
-    (samples[samples.len() / 2], last.expect("reps >= 1"))
+    let stats = TimingStats {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    };
+    (stats, last.expect("reps >= 1"))
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`, with no warmup.
+/// The closure's result is returned (from the last run) so the measured
+/// work cannot be optimised away by the caller discarding it.
+pub fn median_ns<T>(reps: usize, f: impl FnMut() -> T) -> (u128, T) {
+    let (stats, out) = measure(0, reps, f);
+    (stats.median_ns, out)
 }
 
 /// Arithmetic mean of nanosecond samples.
@@ -48,6 +78,19 @@ mod tests {
         let (ns, v) = median_ns(5, || (0..1000).sum::<u64>());
         assert_eq!(v, 499_500);
         assert!(ns > 0);
+    }
+
+    #[test]
+    fn measure_runs_warmup_and_orders_stats() {
+        let mut calls = 0u32;
+        let (stats, v) = measure(2, 5, || {
+            calls += 1;
+            (0..1000).sum::<u64>()
+        });
+        assert_eq!(calls, 7, "2 warmup + 5 measured");
+        assert_eq!(v, 499_500);
+        assert!(stats.min_ns > 0);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
     }
 
     #[test]

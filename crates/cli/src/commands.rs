@@ -332,9 +332,14 @@ pub fn generate(nodes: usize, seed: u64, inject_smells: bool) -> Result<(), Stri
 }
 
 /// `ucra bench` — run the fused-sweep kernel benchmark and write
-/// `BENCH_sweep.json` at the repository root.
-pub fn bench(quick: bool) -> Result<(), String> {
-    let report = ucra_bench::sweep::run(quick).map_err(|e| e.to_string())?;
+/// `BENCH_sweep.json` at the repository root. `threads` overrides the
+/// default thread-scaling ladder with an explicit list of worker counts.
+pub fn bench(quick: bool, threads: Option<&[usize]>) -> Result<(), String> {
+    let report = match threads {
+        Some(list) => ucra_bench::sweep::run_with_threads(quick, list),
+        None => ucra_bench::sweep::run(quick),
+    }
+    .map_err(|e| e.to_string())?;
     print!("{}", report.render());
     let path = ucra_bench::sweep::write_report(&report).map_err(|e| e.to_string())?;
     println!("wrote {path}");
@@ -378,6 +383,7 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("kernel batches      : {}", st.kernel_batches);
     println!("fusion factor       : {fusion:.2} columns/batch");
     println!("kernel arena bytes  : {}", st.kernel_arena_bytes);
+    println!("context builds      : {}", st.context_builds);
     println!("parallel dispatches : {}", st.parallel_dispatches);
     println!("serial dispatches   : {}", st.serial_dispatches);
     Ok(())

@@ -16,7 +16,7 @@
 //! ucra lint    <model> [--format json|text] [--deny warnings]
 //! ucra gen     <nodes> [--seed N] [--inject-smells]
 //! ucra stats   <model> [strategy]
-//! ucra bench   [--quick]
+//! ucra bench   [--quick] [--threads <list>]
 //! ```
 //!
 //! Models load from `.json` (serde) or any other extension as the
@@ -75,9 +75,10 @@ const USAGE: &str = "usage:
   ucra stats <model> [strategy]
       batch-check every subject against every labeled pair and
       print the session's cache and sweep-kernel counters
-  ucra bench [--quick]
+  ucra bench [--quick] [--threads <list>]
       benchmark the fused-sweep kernel vs the legacy sweep and
-      write BENCH_sweep.json at the repo root";
+      write BENCH_sweep.json at the repo root; --threads takes a
+      comma-separated list of worker counts to sample (e.g. 1,2,4)";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter().map(String::as_str);
@@ -216,13 +217,36 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Some("bench") => {
             let mut quick = false;
-            for arg in &args[1..] {
+            let mut threads: Option<Vec<usize>> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--quick" => quick = true,
+                    "--threads" => {
+                        let raw = rest
+                            .next()
+                            .ok_or("--threads expects a comma-separated list, e.g. 1,2,4")?;
+                        let list = raw
+                            .split(',')
+                            .map(|part| {
+                                part.trim()
+                                    .parse::<usize>()
+                                    .ok()
+                                    .filter(|&n| n >= 1)
+                                    .ok_or_else(|| {
+                                        format!("--threads expects positive integers, got `{part}`")
+                                    })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if list.is_empty() {
+                            return Err("--threads expects at least one count".into());
+                        }
+                        threads = Some(list);
+                    }
                     other => return Err(format!("unknown bench flag `{other}`")),
                 }
             }
-            done(commands::bench(quick))
+            done(commands::bench(quick, threads.as_deref()))
         }
         Some("stats") => {
             let (model, rest) = load_model_and_rest(&args[1..])?;

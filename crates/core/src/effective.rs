@@ -10,7 +10,7 @@
 //! `O(pairs × (V + E))` rather than `O(pairs × V × (V + E))`.
 
 use crate::engine::counting::PropagationMode;
-use crate::engine::kernel::{FusedSweep, DEFAULT_BATCH_COLUMNS};
+use crate::engine::kernel::{with_thread_scratch, FusedSweep, SweepContext, DEFAULT_BATCH_COLUMNS};
 use crate::error::CoreError;
 use crate::hierarchy::SubjectDag;
 use crate::ids::{ObjectId, RightId, SubjectId};
@@ -28,6 +28,13 @@ fn dedup_pairs(pairs: &[(ObjectId, RightId)]) -> Vec<(ObjectId, RightId)> {
     let mut seen = BTreeSet::new();
     pairs.iter().copied().filter(|p| seen.insert(*p)).collect()
 }
+
+/// Minimum matrix size (`subjects × columns` cells) before the parallel
+/// driver dispatches to the pool. Below this the whole request sweeps in
+/// a few hundred microseconds and batch handoff overhead dominates, so
+/// [`EffectiveMatrix::compute_for_pairs_parallel`] runs the serial path
+/// instead — same results, no pool traffic.
+pub const PARALLEL_WORK_THRESHOLD: usize = 1 << 10;
 
 /// A materialised effective matrix for one strategy: every subject ×
 /// every requested `(object, right)` pair.
@@ -79,20 +86,21 @@ impl EffectiveMatrix {
         pairs: &[(ObjectId, RightId)],
     ) -> Result<Self, CoreError> {
         let unique = dedup_pairs(pairs);
-        let mut signs = BTreeMap::new();
-        for batch in unique.chunks(DEFAULT_BATCH_COLUMNS) {
-            let fused = FusedSweep::compute(hierarchy, eacm, batch, PropagationMode::Both)?;
-            for (c, &(o, r)) in batch.iter().enumerate() {
-                signs.insert((o, r), fused.signs(c, strategy)?);
-            }
-        }
-        Ok(EffectiveMatrix { strategy, signs })
+        Self::compute_batches_serial(&SweepContext::new(hierarchy), eacm, strategy, &unique)
     }
 
     /// Parallel variant of [`EffectiveMatrix::compute_for_pairs`]:
-    /// deduplicated pairs are grouped into fused batches and the batches
-    /// are distributed over up to `threads` workers by the work-stealing
-    /// pool ([`crate::pool`]).
+    /// deduplicated pairs are grouped into **full-width** fused batches
+    /// ([`DEFAULT_BATCH_COLUMNS`] columns each — narrowing batches to
+    /// match the thread count would trade away the kernel's column
+    /// fusion, which is worth more than extra parallel slack) and the
+    /// batches are distributed over up to `threads` threads by the
+    /// persistent pool ([`crate::pool`]). Every worker sweeps over one
+    /// shared immutable [`SweepContext`] and reuses its thread's arena
+    /// scratch across batches. `threads` is clamped to the host's
+    /// `available_parallelism` (oversubscribing a CPU-bound sweep only
+    /// buys context switches), and requests below
+    /// [`PARALLEL_WORK_THRESHOLD`] run the serial path unchanged.
     pub fn compute_for_pairs_parallel(
         hierarchy: &SubjectDag,
         eacm: &Eacm,
@@ -101,27 +109,81 @@ impl EffectiveMatrix {
         threads: usize,
     ) -> Result<Self, CoreError> {
         let unique = dedup_pairs(pairs);
-        let threads = threads.max(1);
-        // Small enough batches to keep every worker busy, capped so one
-        // batch's arena working set stays bounded.
-        let per_batch = unique
-            .len()
-            .div_ceil(threads)
-            .clamp(1, DEFAULT_BATCH_COLUMNS);
-        let batches: Vec<&[(ObjectId, RightId)]> = unique.chunks(per_batch).collect();
+        Self::compute_batches(
+            &SweepContext::new(hierarchy),
+            eacm,
+            strategy,
+            &unique,
+            threads,
+        )
+    }
+
+    /// The shared-context batch driver behind both compute paths.
+    /// `unique` must already be deduplicated.
+    pub(crate) fn compute_batches(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        strategy: Strategy,
+        unique: &[(ObjectId, RightId)],
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        // The sweep is CPU-bound, so granting more workers than the host
+        // has hardware threads only buys context switches: clamp to
+        // `available_parallelism` (a request for 4 workers on a 1-core
+        // host runs serial). Serial below the work threshold too, or
+        // when the request fits in a single fused batch (nothing to
+        // distribute).
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = threads.min(hw);
+        if threads.max(1) <= 1
+            || ctx.subjects() * unique.len() < PARALLEL_WORK_THRESHOLD
+            || unique.len() <= DEFAULT_BATCH_COLUMNS
+        {
+            return Self::compute_batches_serial(ctx, eacm, strategy, unique);
+        }
+        let batches: Vec<&[(ObjectId, RightId)]> = unique.chunks(DEFAULT_BATCH_COLUMNS).collect();
         let results = pool::run_indexed(batches.len(), threads, |i| {
             let batch = batches[i];
-            let fused = FusedSweep::compute(hierarchy, eacm, batch, PropagationMode::Both)?;
-            batch
-                .iter()
-                .enumerate()
-                .map(|(c, &(o, r))| Ok(((o, r), fused.signs(c, strategy)?)))
-                .collect::<Result<Vec<_>, CoreError>>()
+            with_thread_scratch(|scratch| {
+                let fused =
+                    FusedSweep::compute_with(ctx, eacm, batch, PropagationMode::Both, scratch)?;
+                let signs = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &(o, r))| Ok(((o, r), fused.signs(c, strategy)?)))
+                    .collect::<Result<Vec<_>, CoreError>>();
+                fused.recycle(scratch);
+                signs
+            })
         });
         let mut signs = BTreeMap::new();
         for batch in results {
             signs.extend(batch?);
         }
+        Ok(EffectiveMatrix { strategy, signs })
+    }
+
+    /// Serial batch loop: one shared context, one scratch reused across
+    /// every batch. Identical batch boundaries to the parallel driver,
+    /// so the two paths produce identical sweeps cell for cell.
+    fn compute_batches_serial(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        strategy: Strategy,
+        unique: &[(ObjectId, RightId)],
+    ) -> Result<Self, CoreError> {
+        let mut signs = BTreeMap::new();
+        with_thread_scratch(|scratch| {
+            for batch in unique.chunks(DEFAULT_BATCH_COLUMNS) {
+                let fused =
+                    FusedSweep::compute_with(ctx, eacm, batch, PropagationMode::Both, scratch)?;
+                for (c, &(o, r)) in batch.iter().enumerate() {
+                    signs.insert((o, r), fused.signs(c, strategy)?);
+                }
+                fused.recycle(scratch);
+            }
+            Ok::<(), CoreError>(())
+        })?;
         Ok(EffectiveMatrix { strategy, signs })
     }
 
@@ -256,11 +318,43 @@ pub fn columns_for_strategies(
     right: RightId,
     strategies: &[Strategy],
 ) -> Result<Vec<Vec<Sign>>, CoreError> {
-    let fused = FusedSweep::compute(hierarchy, eacm, &[(object, right)], PropagationMode::Both)?;
-    strategies
-        .iter()
-        .map(|&strategy| fused.signs(0, strategy))
-        .collect()
+    columns_for_strategies_in(
+        &SweepContext::new(hierarchy),
+        eacm,
+        object,
+        right,
+        strategies,
+    )
+}
+
+/// [`columns_for_strategies`] over a prebuilt [`SweepContext`].
+///
+/// Callers that resolve many columns against the **same** hierarchy —
+/// the static policy analyser probes every candidate label twice per
+/// rule — build the context once and amortise the `O(V + E)` traversal
+/// setup across every probe; only the sweep itself is paid per call.
+pub fn columns_for_strategies_in(
+    ctx: &SweepContext,
+    eacm: &Eacm,
+    object: ObjectId,
+    right: RightId,
+    strategies: &[Strategy],
+) -> Result<Vec<Vec<Sign>>, CoreError> {
+    with_thread_scratch(|scratch| {
+        let fused = FusedSweep::compute_with(
+            ctx,
+            eacm,
+            &[(object, right)],
+            PropagationMode::Both,
+            scratch,
+        )?;
+        let columns = strategies
+            .iter()
+            .map(|&strategy| fused.signs(0, strategy))
+            .collect();
+        fused.recycle(scratch);
+        columns
+    })
 }
 
 /// The full impact report of [`EffectiveMatrix::diff`].

@@ -44,12 +44,134 @@ use crate::mode::{Mode, Sign};
 use crate::resolve::{resolve_strata, Resolution};
 use crate::strategy::Strategy;
 use std::collections::HashMap;
-use ucra_graph::{traverse, Dag};
+use ucra_graph::traverse;
 
 /// Default number of columns fused into one sweep batch. Bounds the
 /// arena's working set while still amortising the topological walk; the
 /// parallel drivers split larger pair lists into batches of this size.
 pub const DEFAULT_BATCH_COLUMNS: usize = 8;
+
+/// Immutable per-hierarchy traversal state, shared across sweep batches.
+///
+/// Everything a sweep needs from the [`SubjectDag`] that does **not**
+/// depend on the column set lives here: the topological order and a CSR
+/// (compressed sparse row) copy of the parent adjacency. The original
+/// parallel driver re-derived both *per batch* — `topo_order` alone is an
+/// `O(V + E)` allocation-heavy Kahn pass — which is exactly the per-query
+/// graph work that Gatterbauer & Suciu's trust-mapping resolution and
+/// Crampton & Sellwood's RPPM caching amortise across requests. Building
+/// the context once per request (or caching it on
+/// [`crate::AccessSession`]) lets every batch walk flat precomputed
+/// arrays instead of re-traversing the DAG.
+///
+/// The CSR copy preserves the `Dag::parents` insertion order, so sweeps
+/// through a context merge parent histograms in exactly the order the
+/// direct traversal would — results are bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepContext {
+    subjects: usize,
+    /// Node indexes in topological order (parents before children).
+    topo: Vec<u32>,
+    /// CSR offsets into `parent_ids`; `subjects + 1` entries.
+    parent_start: Vec<u32>,
+    /// Concatenated parent indexes, in `Dag::parents` order.
+    parent_ids: Vec<u32>,
+}
+
+impl SweepContext {
+    /// Builds the shared traversal state for `hierarchy` in one
+    /// `O(V + E)` pass.
+    pub fn new(hierarchy: &SubjectDag) -> SweepContext {
+        let dag = hierarchy.graph();
+        let n = dag.node_count();
+        let topo = traverse::topo_order(dag)
+            .into_iter()
+            .map(|v| v.index() as u32)
+            .collect();
+        let mut parent_start = Vec::with_capacity(n + 1);
+        let mut parent_ids = Vec::with_capacity(dag.edge_count());
+        parent_start.push(0);
+        for v in dag.nodes() {
+            parent_ids.extend(dag.parents(v).iter().map(|p| p.index() as u32));
+            parent_start.push(parent_ids.len() as u32);
+        }
+        SweepContext {
+            subjects: n,
+            topo,
+            parent_start,
+            parent_ids,
+        }
+    }
+
+    /// Number of subjects the context was built for.
+    pub fn subjects(&self) -> usize {
+        self.subjects
+    }
+
+    /// Bytes held by the precomputed arrays (observability; the session
+    /// reports this alongside arena sizes).
+    pub fn bytes(&self) -> usize {
+        (self.topo.len() + self.parent_start.len() + self.parent_ids.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// The parents of node `v`, in `Dag::parents` insertion order.
+    #[inline]
+    fn parents(&self, v: usize) -> &[u32] {
+        let lo = self.parent_start[v] as usize;
+        let hi = self.parent_start[v + 1] as usize;
+        &self.parent_ids[lo..hi]
+    }
+}
+
+/// Reusable sweep buffers: the label plane, row index and arena of one
+/// [`FusedSweep::compute_with`] call.
+///
+/// A fresh sweep allocates three growable buffers whose high-water marks
+/// repeat across batches of the same hierarchy; keeping them in a scratch
+/// that survives the batch turns steady-state sweeping allocation-free.
+/// The parallel drivers hold one scratch per pool worker (thread-local,
+/// so it also survives across *requests* on the persistent pool); serial
+/// drivers reuse one across their batch loop. [`FusedSweep::recycle`]
+/// returns a finished sweep's storage to the scratch.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    labels: Vec<Option<Mode>>,
+    rows: Vec<RowMeta>,
+    counts: Vec<ModeCounts>,
+    columns_of: HashMap<(ObjectId, RightId), Vec<usize>>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> SweepScratch {
+        SweepScratch::default()
+    }
+
+    /// Capacity currently retained by the scratch buffers, in bytes.
+    pub fn retained_bytes(&self) -> usize {
+        self.labels.capacity() * std::mem::size_of::<Option<Mode>>()
+            + self.rows.capacity() * std::mem::size_of::<RowMeta>()
+            + self.counts.capacity() * std::mem::size_of::<ModeCounts>()
+    }
+}
+
+thread_local! {
+    /// One scratch per thread. Pool workers are persistent, so a worker's
+    /// scratch survives across batches *and* across requests — steady-state
+    /// parallel sweeping allocates nothing.
+    static THREAD_SCRATCH: std::cell::RefCell<SweepScratch> =
+        std::cell::RefCell::new(SweepScratch::new());
+}
+
+/// Runs `f` with this thread's persistent [`SweepScratch`]. Re-entrant
+/// calls (none today) fall back to a fresh scratch instead of panicking.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut SweepScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut SweepScratch::new()),
+    })
+}
 
 /// One arena row: the histogram of one `(subject, column)` cell, stored
 /// as a dense `ModeCounts` slice covering distances `base .. base + len`.
@@ -93,52 +215,97 @@ impl FusedSweep {
     /// columns. Column `c` of the result corresponds to `pairs[c]`;
     /// duplicate pairs are computed per occurrence (callers that care
     /// deduplicate first).
+    ///
+    /// One-shot convenience over [`FusedSweep::compute_with`]: builds a
+    /// throwaway [`SweepContext`] and [`SweepScratch`]. Drivers that sweep
+    /// more than one batch should build the context once and reuse a
+    /// scratch instead.
     pub fn compute(
         hierarchy: &SubjectDag,
         eacm: &Eacm,
         pairs: &[(ObjectId, RightId)],
         mode: PropagationMode,
     ) -> Result<FusedSweep, CoreError> {
-        let dag = hierarchy.graph();
-        let n = dag.node_count();
+        Self::compute_with(
+            &SweepContext::new(hierarchy),
+            eacm,
+            pairs,
+            mode,
+            &mut SweepScratch::new(),
+        )
+    }
+
+    /// Sweeps a batch of columns over a prebuilt [`SweepContext`], reusing
+    /// `scratch`'s buffers for the label plane and arena.
+    ///
+    /// Equivalent to [`FusedSweep::compute`] (bit-identical output), minus
+    /// the per-call `O(V + E)` traversal rebuild and steady-state
+    /// allocations. Call [`FusedSweep::recycle`] (or
+    /// [`FusedSweep::into_tables_recycling`]) on the result to hand the
+    /// arena storage back to `scratch` for the next batch.
+    pub fn compute_with(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+        scratch: &mut SweepScratch,
+    ) -> Result<FusedSweep, CoreError> {
+        let n = ctx.subjects;
         let k = pairs.len();
         // Struct-of-arrays label matrix: `labels[c * n + v]`. Built by a
         // single pass over the sparse explicit matrix instead of `n × k`
         // map lookups inside the sweep.
-        let mut labels: Vec<Option<Mode>> = vec![None; n * k];
-        let mut columns_of: HashMap<(ObjectId, RightId), Vec<usize>> = HashMap::new();
+        scratch.labels.clear();
+        scratch.labels.resize(n * k, None);
+        scratch.columns_of.clear();
         for (c, &pair) in pairs.iter().enumerate() {
-            columns_of.entry(pair).or_default().push(c);
+            scratch.columns_of.entry(pair).or_default().push(c);
         }
         for (s, o, r, sign) in eacm.iter() {
             if s.index() >= n {
                 continue; // labels outside the hierarchy are unreachable
             }
-            if let Some(cols) = columns_of.get(&(o, r)) {
+            if let Some(cols) = scratch.columns_of.get(&(o, r)) {
                 for &c in cols {
-                    labels[c * n + s.index()] = Some(Mode::from(sign));
+                    scratch.labels[c * n + s.index()] = Some(Mode::from(sign));
                 }
             }
         }
-        Self::sweep(dag, k, &labels, mode)
+        let mut rows = std::mem::take(&mut scratch.rows);
+        rows.clear();
+        rows.resize(n * k, RowMeta::default());
+        let mut counts = std::mem::take(&mut scratch.counts);
+        counts.clear();
+        Self::sweep(ctx, k, &scratch.labels, mode, rows, counts)
     }
 
-    /// The fused counting recurrence: one topological walk, all columns.
+    /// Returns this sweep's arena storage to `scratch` so the next
+    /// [`FusedSweep::compute_with`] call on the same thread reuses the
+    /// capacity instead of reallocating.
+    pub fn recycle(self, scratch: &mut SweepScratch) {
+        scratch.rows = self.rows;
+        scratch.counts = self.counts;
+    }
+
+    /// The fused counting recurrence: one walk of the precomputed
+    /// topological order, all columns. `rows`/`counts` arrive cleared but
+    /// with retained capacity from the caller's scratch.
     fn sweep(
-        dag: &Dag,
+        ctx: &SweepContext,
         columns: usize,
         labels: &[Option<Mode>],
         mode: PropagationMode,
+        mut rows: Vec<RowMeta>,
+        mut counts: Vec<ModeCounts>,
     ) -> Result<FusedSweep, CoreError> {
-        let n = dag.node_count();
+        let n = ctx.subjects;
         debug_assert_eq!(labels.len(), n * columns, "label matrix shape");
-        let mut rows = vec![RowMeta::default(); n * columns];
-        let mut counts: Vec<ModeCounts> = Vec::new();
-        for v in traverse::topo_order(dag) {
-            let parents = dag.parents(v);
+        for &v in &ctx.topo {
+            let v = v as usize;
+            let parents = ctx.parents(v);
             let is_root = parents.is_empty();
             for c in 0..columns {
-                let own = labels[c * n + v.index()];
+                let own = labels[c * n + v];
 
                 // SecondWins: an explicit label replaces every record
                 // arriving from above — the row is exactly one stratum.
@@ -148,7 +315,7 @@ impl FusedSweep {
                         let mut cell = ModeCounts::default();
                         cell.add(m, 1)?;
                         counts.push(cell);
-                        rows[v.index() * columns + c] = RowMeta {
+                        rows[v * columns + c] = RowMeta {
                             offset,
                             base: 0,
                             len: 1,
@@ -163,7 +330,7 @@ impl FusedSweep {
                 let mut end = 0u32; // exclusive
                 let mut has_inflow = false;
                 for &p in parents {
-                    let r = rows[p.index() * columns + c];
+                    let r = rows[p as usize * columns + c];
                     if r.len == 0 {
                         continue;
                     }
@@ -211,7 +378,7 @@ impl FusedSweep {
                     tail[0].add(m, 1)?; // base == 0 whenever own_contrib is set
                 }
                 for &p in parents {
-                    let r = rows[p.index() * columns + c];
+                    let r = rows[p as usize * columns + c];
                     if r.len == 0 {
                         continue;
                     }
@@ -221,7 +388,7 @@ impl FusedSweep {
                         dst.merge(s)?;
                     }
                 }
-                rows[v.index() * columns + c] = RowMeta { offset, base, len };
+                rows[v * columns + c] = RowMeta { offset, base, len };
             }
         }
         Ok(FusedSweep {
@@ -345,6 +512,15 @@ impl FusedSweep {
     /// All columns as histogram tables, `tables[c][v]`.
     pub fn into_tables(self) -> Vec<Vec<DistanceHistogram>> {
         (0..self.columns).map(|c| self.table(c)).collect()
+    }
+
+    /// [`FusedSweep::into_tables`] that also hands the arena storage back
+    /// to `scratch` — the shape batch drivers want: extract the cacheable
+    /// tables, keep the buffers warm for the next batch.
+    pub fn into_tables_recycling(self, scratch: &mut SweepScratch) -> Vec<Vec<DistanceHistogram>> {
+        let tables = (0..self.columns).map(|c| self.table(c)).collect();
+        self.recycle(scratch);
+        tables
     }
 }
 
@@ -500,6 +676,45 @@ mod tests {
             ),
             Err(CoreError::PathCountOverflow)
         );
+    }
+
+    #[test]
+    fn shared_context_and_recycled_scratch_match_one_shot_compute() {
+        let ex = motivating_example();
+        let ctx = SweepContext::new(&ex.hierarchy);
+        assert_eq!(ctx.subjects(), ex.hierarchy.subject_count());
+        assert!(ctx.bytes() > 0);
+        let mut scratch = SweepScratch::new();
+        // Batches of different widths, all modes, through ONE context and
+        // ONE scratch — each must equal the one-shot path bit-for-bit.
+        for mode in MODES {
+            for width in [1usize, 3, 5] {
+                let pairs: Vec<_> = (0..width).map(|o| (ObjectId(o as u32), ex.read)).collect();
+                let shared =
+                    FusedSweep::compute_with(&ctx, &ex.eacm, &pairs, mode, &mut scratch).unwrap();
+                let fresh = FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, mode).unwrap();
+                assert_eq!(shared, fresh, "mode {mode:?}, width {width}");
+                shared.recycle(&mut scratch);
+            }
+        }
+        // After the first growth the scratch retains its high-water marks.
+        assert!(scratch.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn into_tables_recycling_matches_into_tables() {
+        let ex = motivating_example();
+        let ctx = SweepContext::new(&ex.hierarchy);
+        let mut scratch = SweepScratch::new();
+        let pairs = [(ex.obj, ex.read), (ObjectId(2), ex.read)];
+        let a =
+            FusedSweep::compute_with(&ctx, &ex.eacm, &pairs, PropagationMode::Both, &mut scratch)
+                .unwrap();
+        let tables = a.into_tables_recycling(&mut scratch);
+        let b =
+            FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both).unwrap();
+        assert_eq!(tables, b.into_tables());
+        assert!(scratch.retained_bytes() > 0);
     }
 
     #[test]

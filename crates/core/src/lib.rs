@@ -53,7 +53,12 @@
 //! assert_eq!(resolver.resolve(ex.user, ex.obj, ex.read, closed).unwrap(), Sign::Neg);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent thread pool ([`pool`]) contains
+// one audited `unsafe` block — the lifetime erasure that lets parked
+// workers run a caller-borrowed closure (see the soundness argument
+// there). Every other module is `unsafe`-free and cannot opt out
+// silently; CI runs the pool's tests under Miri.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constraints;
@@ -77,8 +82,11 @@ pub mod session;
 mod strategy;
 
 pub use dominance::{dominance, dominance_specialized, dominance_with_stats, DominanceStats};
-pub use effective::{columns_for_strategies, EffectiveDiff, EffectiveMatrix, MatrixDiff};
-pub use engine::kernel::FusedSweep;
+pub use effective::{
+    columns_for_strategies, columns_for_strategies_in, EffectiveDiff, EffectiveMatrix, MatrixDiff,
+    PARALLEL_WORK_THRESHOLD,
+};
+pub use engine::kernel::{FusedSweep, SweepContext, SweepScratch};
 pub use engine::{AuthRecord, DistanceHistogram, ModeCounts};
 pub use error::CoreError;
 pub use explain::{explain, explain_with_mode, Explanation};

@@ -1,33 +1,229 @@
-//! A minimal scoped work-stealing executor for embarrassingly parallel
-//! index spaces.
+//! A persistent parking thread pool for embarrassingly parallel index
+//! spaces.
 //!
 //! The engine's parallel drivers ([`crate::EffectiveMatrix::compute_for_pairs_parallel`],
 //! [`crate::AccessSession::check_many`]) fan independent sweep batches out
-//! over threads. The previous implementation hand-rolled a shared atomic
-//! cursor with one `parking_lot::Mutex` **per output cell**; this module
-//! replaces it with proper work stealing and lock-free result collection:
+//! over threads. The previous implementation spawned fresh scoped threads
+//! on **every call** and balanced work through one `Mutex<VecDeque>` per
+//! worker, locked on every pop and every steal attempt. Measured on the
+//! deep-wide stress shape that made the parallel driver *slower* than one
+//! thread: thread spawn/join latency and per-pop locking swamped the few
+//! hundred microseconds a sweep batch actually takes. This module replaces
+//! it with the structure long-lived pools (rayon et al.) use:
 //!
-//! * every worker owns a deque seeded round-robin with task indexes;
-//!   owners pop from the front, thieves steal from the back — the classic
-//!   split that keeps contention off the hot path while batches of
-//!   uneven cost (sweep time varies with label placement) still balance;
-//! * each worker accumulates `(index, result)` pairs privately and the
-//!   results are assembled **after** the scope joins — no per-cell locks,
-//!   no `Option` dance, no shared mutable output at all.
+//! * **Lazily initialised persistent workers.** The first parallel call
+//!   spawns the workers it needs (capped at [`MAX_POOL_WORKERS`]); they
+//!   park on a condvar between jobs and are reused by every later call —
+//!   spawn cost is paid once per process, not once per request.
+//! * **Chunked atomic index claiming.** A job is a shared cursor over
+//!   `0..tasks`; workers claim chunks with one `fetch_add` instead of a
+//!   mutex round-trip per task. Chunks are small enough
+//!   (`tasks / (threads × 4)`, minimum 1) that uneven batch costs still
+//!   balance.
+//! * **The caller participates.** `run_indexed` claims chunks on the
+//!   calling thread alongside the helpers, so a starved pool (or a
+//!   single-core host) degrades to almost exactly the serial path rather
+//!   than blocking on a handoff.
 //!
-//! The container environment pins dependencies, so this is a
-//! dependency-free stand-in for a `rayon`-style pool, scoped (borrows
-//! the closure's environment) and `forbid(unsafe_code)`-clean.
+//! # Safety
+//!
+//! This is the one module in `ucra-core` that uses `unsafe` (the crate is
+//! `deny(unsafe_code)` elsewhere): persistent workers outlive any single
+//! call, so the caller's borrowed closure is handed to them through a
+//! single lifetime-erasing transmute. Soundness rests on one invariant:
+//! **the closure is only invoked between a successful chunk claim and the
+//! job's completion handshake, and `run_indexed` never returns (or
+//! unwinds) before that handshake.**
+//!
+//! * A worker increments the job's `inflight` counter *before* trying to
+//!   claim a chunk and decrements it *after* the chunk's closures have
+//!   returned. A successful claim therefore implies `inflight > 0` for
+//!   the whole execution window.
+//! * `run_indexed` returns only after observing `cursor >= tasks` (no
+//!   chunk can be claimed any more) **and** `inflight == 0` (no claimed
+//!   chunk is still running). The cursor is monotonic, so after that
+//!   observation no worker can reach the closure again: any later claim
+//!   attempt sees an exhausted cursor and backs off without touching it.
+//! * Panics inside the closure are caught on whichever thread ran the
+//!   chunk, recorded on the job, and re-raised on the caller *after* the
+//!   completion handshake — the wait is unconditional.
+//!
+//! The atomics use `SeqCst` so the argument above reads as a plain
+//! interleaving argument; the handshake's mutex/condvar pair provides the
+//! final synchronises-with edge for the result buffer. CI runs these
+//! tests under Miri (`-Zmiri-ignore-leaks` — parked daemon workers are
+//! intentionally alive at process exit).
 
-use parking_lot::Mutex;
-use std::collections::VecDeque;
+#![allow(unsafe_code)]
 
-/// Runs `f(0..tasks)` across up to `threads` workers with work stealing
-/// and returns the results in index order.
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks ignoring poisoning: no lock below is ever held across user code
+/// (`f` runs outside every critical section), so a poisoned mutex can only
+/// mean a panic in the pool's own bookkeeping — the data is still sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Hard cap on persistent pool workers, over the whole process lifetime.
+/// Requests beyond this are still correct — the caller and the capped
+/// helpers drain the cursor — they just don't add oversubscription.
+pub const MAX_POOL_WORKERS: usize = 32;
+
+/// The erased shape of one parallel call's task closure.
+type Task = dyn Fn(usize) + Sync;
+
+/// One `run_indexed` call, shared between the caller and the helpers.
+struct Job {
+    /// The caller's closure with its lifetime erased. Only dereferenced
+    /// between a successful claim and the completion handshake (see the
+    /// module-level safety argument).
+    task: &'static Task,
+    tasks: usize,
+    chunk: usize,
+    /// Next unclaimed index; grows monotonically, saturates past `tasks`.
+    cursor: AtomicUsize,
+    /// Chunk executions currently in flight (claim attempt included).
+    inflight: AtomicUsize,
+    /// How many pool workers may still join this job. The caller
+    /// participates unconditionally, so `threads - 1` at the start.
+    helper_slots: AtomicUsize,
+    /// Completion handshake: workers notify under the mutex after the
+    /// last in-flight chunk finishes; the caller waits on it.
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// First panic payload raised by the closure, re-raised by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.cursor.load(SeqCst) >= self.tasks
+    }
+
+    fn complete(&self) -> bool {
+        self.exhausted() && self.inflight.load(SeqCst) == 0
+    }
+
+    /// Claims and runs chunks until the cursor is exhausted. Called by
+    /// the caller thread and by every helper that joined the job.
+    fn work(&self) {
+        loop {
+            self.inflight.fetch_add(1, SeqCst);
+            let start = self.cursor.fetch_add(self.chunk, SeqCst);
+            if start >= self.tasks {
+                self.finish_chunk();
+                return;
+            }
+            let end = (start + self.chunk).min(self.tasks);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    (self.task)(i);
+                }
+            }));
+            if let Err(payload) = outcome {
+                lock(&self.panic).get_or_insert(payload);
+                // Stop handing out further chunks; the job is doomed and
+                // the caller will re-raise. `fetch_max` keeps the cursor
+                // monotonic under concurrent claims.
+                self.cursor.fetch_max(self.tasks, SeqCst);
+            }
+            self.finish_chunk();
+        }
+    }
+
+    fn finish_chunk(&self) {
+        if self.inflight.fetch_sub(1, SeqCst) == 1 && self.exhausted() {
+            // Taking the mutex before notifying closes the race against a
+            // caller that checked `complete()` just before we decremented.
+            let _g = lock(&self.done);
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Process-wide pool state: the job board and the parked workers.
+struct Pool {
+    board: Mutex<Board>,
+    work_cv: Condvar,
+}
+
+struct Board {
+    /// Jobs with unclaimed chunks. A job is registered for the duration
+    /// of its `run_indexed` call and removed by the caller.
+    jobs: Vec<Arc<Job>>,
+    /// Workers spawned so far (monotonic, capped).
+    spawned: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        board: Mutex::new(Board {
+            jobs: Vec::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Number of persistent workers spawned so far (observability: tests
+/// assert reuse, the session reports it). Workers are never torn down.
+pub fn pooled_workers() -> usize {
+    lock(&pool().board).spawned
+}
+
+fn ensure_workers(pool: &'static Pool, wanted: usize) {
+    let wanted = wanted.min(MAX_POOL_WORKERS);
+    let mut board = lock(&pool.board);
+    while board.spawned < wanted {
+        let id = board.spawned;
+        board.spawned += 1;
+        std::thread::Builder::new()
+            .name(format!("ucra-pool-{id}"))
+            .spawn(move || worker_loop(pool))
+            .expect("spawning a pool worker thread");
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut board = lock(&pool.board);
+            loop {
+                // Join the first job that still has unclaimed chunks and
+                // a free helper slot; otherwise park until one appears.
+                let found = board.jobs.iter().find(|j| {
+                    !j.exhausted()
+                        && j.helper_slots
+                            .fetch_update(SeqCst, SeqCst, |s| s.checked_sub(1))
+                            .is_ok()
+                });
+                match found {
+                    Some(job) => break Arc::clone(job),
+                    None => {
+                        board = pool
+                            .work_cv
+                            .wait(board)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        job.work();
+    }
+}
+
+/// Runs `f(0..tasks)` across up to `threads` threads (the caller plus
+/// `threads - 1` pooled helpers) and returns the results in index order.
 ///
 /// `threads <= 1` (or a trivial task count) runs inline on the calling
-/// thread — callers can treat this as the serial path and skip thread
-/// setup entirely.
+/// thread — callers can treat this as the serial path and skip pool
+/// setup entirely. If `f` panics on any thread, the panic is re-raised
+/// on the caller once every in-flight task has finished; the pool itself
+/// survives and later calls proceed normally.
 ///
 /// ```
 /// let squares = ucra_core::pool::run_indexed(8, 4, |i| i * i);
@@ -43,46 +239,58 @@ where
         return (0..tasks).map(f).collect();
     }
 
-    // Seed the deques round-robin so every worker starts with a similar
-    // share and neighbouring indexes (often similar cost) spread out.
-    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
-        .map(|w| Mutex::new((w..tasks).step_by(threads).collect()))
-        .collect();
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    let run_one = |i: usize| {
+        let value = f(i);
+        lock(&results).push((i, value));
+    };
+    let erased: &(dyn Fn(usize) + Sync) = &run_one;
+    // SAFETY: the erased closure borrows `f` and `results` from this
+    // stack frame. Workers dereference it only between a successful chunk
+    // claim and the completion handshake below, and this function does
+    // not return (or unwind) before that handshake observes the job
+    // complete — see the module-level safety argument.
+    let task: &'static Task = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+    };
+
+    let job = Arc::new(Job {
+        task,
+        tasks,
+        chunk: (tasks / (threads * 4)).max(1),
+        cursor: AtomicUsize::new(0),
+        inflight: AtomicUsize::new(0),
+        helper_slots: AtomicUsize::new(threads - 1),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let pool = pool();
+    ensure_workers(pool, threads - 1);
+    lock(&pool.board).jobs.push(Arc::clone(&job));
+    pool.work_cv.notify_all();
+
+    // Claim chunks alongside the helpers; on a starved pool the caller
+    // simply drains the whole cursor itself.
+    job.work();
+
+    // Completion handshake: wait out helpers' in-flight chunks. This wait
+    // is unconditional — it is what keeps the lifetime erasure sound.
+    {
+        let mut g = lock(&job.done);
+        while !job.complete() {
+            g = job.done_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    lock(&pool.board).jobs.retain(|j| !Arc::ptr_eq(j, &job));
+
+    if let Some(payload) = lock(&job.panic).take() {
+        panic::resume_unwind(payload);
+    }
 
     let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
-    let harvested: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|me| {
-                let deques = &deques;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        // Own work first: pop the front of our deque.
-                        let own = deques[me].lock().pop_front();
-                        if let Some(i) = own {
-                            local.push((i, f(i)));
-                            continue;
-                        }
-                        // Empty: steal from the back of a victim's deque.
-                        let stolen = (0..deques.len())
-                            .filter(|&o| o != me)
-                            .find_map(|o| deques[o].lock().pop_back());
-                        match stolen {
-                            Some(i) => local.push((i, f(i))),
-                            None => break, // every deque drained
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pool worker must not panic"))
-            .collect()
-    });
-    for (i, value) in harvested.into_iter().flatten() {
+    for (i, value) in results.into_inner().unwrap_or_else(PoisonError::into_inner) {
         debug_assert!(slots[i].is_none(), "task {i} executed twice");
         slots[i] = Some(value);
     }
@@ -95,7 +303,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -106,8 +314,8 @@ mod tests {
     #[test]
     fn every_task_runs_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        run_indexed(100, 8, |i| hits[i].fetch_add(1, Ordering::Relaxed));
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        run_indexed(100, 8, |i| hits[i].fetch_add(1, SeqCst));
+        assert!(hits.iter().all(|h| h.load(SeqCst) == 1));
     }
 
     #[test]
@@ -119,19 +327,87 @@ mod tests {
     }
 
     #[test]
-    fn uneven_task_costs_still_complete() {
-        // First worker's seeds are expensive; thieves must drain them.
-        let out = run_indexed(16, 4, |i| {
+    fn uneven_task_costs_still_complete_in_order() {
+        // Every fourth task is expensive: chunked claiming must keep the
+        // cheap tasks flowing around the stragglers, and the reassembly
+        // must still come back dense and ordered.
+        let out = run_indexed(64, 4, |i| {
             if i % 4 == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
             i
         });
-        assert_eq!(out.len(), 16);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
     }
 
     #[test]
     fn more_threads_than_tasks_is_clamped() {
         assert_eq!(run_indexed(2, 64, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller_and_pool_survives() {
+        let attempt = panic::catch_unwind(|| {
+            run_indexed(32, 4, |i| {
+                if i == 17 {
+                    panic!("boom in task 17");
+                }
+                i
+            })
+        });
+        let payload = attempt.expect_err("the task panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom in task 17"), "payload: {msg:?}");
+        // The pool must stay healthy after a panicked job.
+        assert_eq!(run_indexed(8, 4, |i| i + 1), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_consecutive_calls() {
+        let reps = if cfg!(miri) { 10 } else { 200 };
+        for rep in 0..reps {
+            let out = run_indexed(32, 4, |i| i * rep);
+            assert_eq!(out, (0..32).map(|i| i * rep).collect::<Vec<_>>());
+        }
+        // Workers persist and are reused: the spawn count is bounded by
+        // the cap no matter how many calls ran (and other tests in this
+        // process share the same pool).
+        assert!(pooled_workers() <= MAX_POOL_WORKERS);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let out = run_indexed(25, 3, move |i| i + k * 100);
+                        assert_eq!(out, (0..25).map(|i| i + k * 100).collect::<Vec<_>>());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn heavy_interleaving_keeps_every_index_exactly_once() {
+        // Tiny chunks + many more tasks than threads: maximal contention
+        // on the claim cursor.
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let n = if cfg!(miri) { 50 } else { 500 };
+        let out = run_indexed(n, 6, |i| {
+            hits[i].fetch_add(1, SeqCst);
+            i
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert!(hits[..n].iter().all(|h| h.load(SeqCst) == 1));
     }
 }

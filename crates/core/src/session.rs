@@ -32,10 +32,12 @@
 //! [`AccessSession::check_many`] batches point queries, grouping them by
 //! `(object, right)`, fusing the missing sweeps into columnar kernel
 //! batches ([`crate::engine::kernel`]), and spreading the batches over
-//! the work-stealing pool ([`crate::pool`]).
+//! the persistent thread pool ([`crate::pool`]). All sweeps — batched
+//! and point — share one cached [`crate::SweepContext`] (topo order +
+//! CSR adjacency), rebuilt lazily only after hierarchy edits.
 
 use crate::engine::counting::{self, PropagationMode};
-use crate::engine::kernel::{FusedSweep, DEFAULT_BATCH_COLUMNS};
+use crate::engine::kernel::{with_thread_scratch, FusedSweep, SweepContext, DEFAULT_BATCH_COLUMNS};
 use crate::engine::DistanceHistogram;
 use crate::error::CoreError;
 use crate::explain::{explain, Explanation};
@@ -93,6 +95,10 @@ pub struct SessionStats {
     /// Sweep rounds that ran inline on the calling thread (single
     /// worker, single batch, or a point query).
     pub serial_dispatches: u64,
+    /// Shared [`crate::SweepContext`] builds. Stays at 1 across any
+    /// number of queries until a hierarchy edit invalidates the cached
+    /// context; `queries / context_builds` is the amortisation factor.
+    pub context_builds: u64,
 }
 
 /// An owned access-control installation: hierarchy + explicit matrix +
@@ -120,6 +126,10 @@ pub struct AccessSession {
     eacm: Eacm,
     strategy: Strategy,
     cache: SweepCache,
+    /// Lazily built traversal context, shared by every sweep until a
+    /// hierarchy edit invalidates it (matrix edits don't touch it: the
+    /// context depends only on the DAG).
+    sweep_context: RwLock<Option<Arc<SweepContext>>>,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     sweeps: AtomicU64,
@@ -132,6 +142,7 @@ pub struct AccessSession {
     kernel_arena_bytes: AtomicU64,
     parallel_dispatches: AtomicU64,
     serial_dispatches: AtomicU64,
+    context_builds: AtomicU64,
 }
 
 impl AccessSession {
@@ -142,6 +153,7 @@ impl AccessSession {
             eacm,
             strategy,
             cache: RwLock::new(HashMap::new()),
+            sweep_context: RwLock::new(None),
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
@@ -154,6 +166,7 @@ impl AccessSession {
             kernel_arena_bytes: AtomicU64::new(0),
             parallel_dispatches: AtomicU64::new(0),
             serial_dispatches: AtomicU64::new(0),
+            context_builds: AtomicU64::new(0),
         }
     }
 
@@ -192,6 +205,7 @@ impl AccessSession {
     /// pending default otherwise).
     pub fn add_subject(&mut self) -> SubjectId {
         let id = self.hierarchy.add_subject();
+        *self.sweep_context.get_mut() = None;
         let mut guard = self.cache.write();
         for (&(object, right), table) in guard.iter_mut() {
             let mut row = DistanceHistogram::new();
@@ -214,8 +228,23 @@ impl AccessSession {
     /// re-swept on next use.
     pub fn add_membership(&mut self, group: SubjectId, member: SubjectId) -> Result<(), CoreError> {
         self.hierarchy.add_membership(group, member)?;
+        *self.sweep_context.get_mut() = None;
         self.repair_after_edge(member);
         Ok(())
+    }
+
+    /// The session's shared sweep context, built on first use after the
+    /// last hierarchy edit and reused by every sweep until the next one.
+    fn context(&self) -> Arc<SweepContext> {
+        if let Some(ctx) = self.sweep_context.read().as_ref() {
+            return Arc::clone(ctx);
+        }
+        let built = Arc::new(SweepContext::new(&self.hierarchy));
+        self.context_builds.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.sweep_context.write();
+        // A racing builder may have stored one first; keep the stored one
+        // so every concurrent caller sweeps over the same arrays.
+        Arc::clone(guard.get_or_insert(built))
     }
 
     /// Repairs all cached tables after a new edge into `member`.
@@ -337,7 +366,7 @@ impl AccessSession {
     ///
     /// Queries are grouped by `(object, right)`; pairs missing from the
     /// cache are fused into multi-column kernel batches and swept
-    /// concurrently by the work-stealing pool (as in
+    /// concurrently by the persistent pool (as in
     /// [`crate::EffectiveMatrix::compute_for_pairs_parallel`]), then
     /// every query is answered from the now-warm cache. Answers are
     /// returned in query order. Fails fast on the first unknown subject,
@@ -385,14 +414,19 @@ impl AccessSession {
             let threads = std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get)
                 .min(batches.len());
+            let ctx = self.context();
             let results = pool::run_indexed(batches.len(), threads, |i| {
-                let fused = FusedSweep::compute(
-                    &self.hierarchy,
-                    &self.eacm,
-                    batches[i],
-                    PropagationMode::Both,
-                )?;
-                Ok::<_, CoreError>((fused.arena_bytes(), fused.into_tables()))
+                with_thread_scratch(|scratch| {
+                    let fused = FusedSweep::compute_with(
+                        &ctx,
+                        &self.eacm,
+                        batches[i],
+                        PropagationMode::Both,
+                        scratch,
+                    )?;
+                    let arena_bytes = fused.arena_bytes();
+                    Ok::<_, CoreError>((arena_bytes, fused.into_tables_recycling(scratch)))
+                })
             });
             if threads > 1 {
                 self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
@@ -457,6 +491,7 @@ impl AccessSession {
             kernel_arena_bytes: self.kernel_arena_bytes.load(Ordering::Relaxed),
             parallel_dispatches: self.parallel_dispatches.load(Ordering::Relaxed),
             serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
+            context_builds: self.context_builds.load(Ordering::Relaxed),
         }
     }
 
@@ -469,18 +504,25 @@ impl AccessSession {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(t));
         }
-        let fused = FusedSweep::compute(
-            &self.hierarchy,
-            &self.eacm,
-            &[(object, right)],
-            PropagationMode::Both,
-        )?;
+        let ctx = self.context();
+        let table = with_thread_scratch(|scratch| {
+            let fused = FusedSweep::compute_with(
+                &ctx,
+                &self.eacm,
+                &[(object, right)],
+                PropagationMode::Both,
+                scratch,
+            )?;
+            self.kernel_arena_bytes
+                .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
+            let rows = fused.table(0);
+            fused.recycle(scratch);
+            Ok::<_, CoreError>(rows)
+        })?;
         self.kernel_columns.fetch_add(1, Ordering::Relaxed);
         self.kernel_batches.fetch_add(1, Ordering::Relaxed);
-        self.kernel_arena_bytes
-            .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
         self.serial_dispatches.fetch_add(1, Ordering::Relaxed);
-        let table = Arc::new(fused.table(0));
+        let table = Arc::new(table);
         self.sweeps.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.cache.write();
         let entry = guard
@@ -670,6 +712,30 @@ mod tests {
         );
         assert_eq!(stats.parallel_dispatches + stats.serial_dispatches, 2);
         assert_eq!(stats.sweeps, 20);
+    }
+
+    #[test]
+    fn sweep_context_is_shared_until_a_hierarchy_edit() {
+        let (mut s, ex) = session();
+        // Many sweeps across point and batched paths: one context build.
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let queries: Vec<_> = (0..20).map(|o| (ex.user, ObjectId(o), ex.read)).collect();
+        s.check_many(&queries).unwrap();
+        s.check(ex.user, ObjectId(30), ex.read).unwrap();
+        assert_eq!(s.stats().context_builds, 1, "one context serves all sweeps");
+
+        // A matrix edit must NOT invalidate the context (DAG unchanged).
+        s.set_authorization(ex.s[0], ObjectId(31), ex.read, Sign::Pos)
+            .unwrap();
+        s.check(ex.user, ObjectId(31), ex.read).unwrap();
+        assert_eq!(s.stats().context_builds, 1);
+
+        // A hierarchy edit must: the next sweep rebuilds once.
+        let newbie = s.add_subject();
+        s.add_membership(ex.s[1], newbie).unwrap();
+        s.check(newbie, ObjectId(32), ex.read).unwrap();
+        s.check(newbie, ObjectId(33), ex.read).unwrap();
+        assert_eq!(s.stats().context_builds, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use super::{LintRule, RuleInfo};
 use crate::context::LintContext;
 use crate::diagnostics::{Diagnostic, Severity};
-use ucra_core::{columns_for_strategies, CoreError, Strategy, SubjectId};
+use ucra_core::{columns_for_strategies_in, CoreError, Strategy, SubjectId, SweepContext};
 use ucra_graph::traverse::{reachable_set, Direction};
 
 /// The `UCRA021` rule (see the module docs).
@@ -41,6 +41,7 @@ impl LintRule for DeadConflict {
             .expect("every canonical strategy is one of the 48");
         let graph = cx.hierarchy().graph();
         let descendants = |s: SubjectId| reachable_set(graph, &[s], Direction::Down);
+        let ctx = SweepContext::new(cx.hierarchy());
         let mut out = Vec::new();
         for (object, right) in cx.eacm().object_right_pairs() {
             let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
@@ -48,8 +49,7 @@ impl LintRule for DeadConflict {
                 continue;
             }
             let cones: Vec<Vec<bool>> = labels.iter().map(|&(s, _)| descendants(s)).collect();
-            let base =
-                columns_for_strategies(cx.hierarchy(), cx.eacm(), object, right, &strategies)?;
+            let base = columns_for_strategies_in(&ctx, cx.eacm(), object, right, &strategies)?;
             for (i, &(subject, sign)) in labels.iter().enumerate() {
                 let conflicting = labels.iter().enumerate().any(|(j, &(_, other))| {
                     other != sign && cones[i].iter().zip(&cones[j]).any(|(&a, &b)| a && b)
@@ -60,7 +60,7 @@ impl LintRule for DeadConflict {
                 let mut trimmed = cx.eacm().clone();
                 trimmed.unset(subject, object, right);
                 let without =
-                    columns_for_strategies(cx.hierarchy(), &trimmed, object, right, &strategies)?;
+                    columns_for_strategies_in(&ctx, &trimmed, object, right, &strategies)?;
                 // Unchanged under *all* strategies is UCRA020's finding,
                 // not a strategy-dependent dead conflict.
                 if without == base || without[configured] != base[configured] {

@@ -9,14 +9,16 @@
 //!
 //! The check is semantic, not syntactic: for each candidate label the
 //! rule recomputes the effective column with the label removed and
-//! compares outcomes. [`ucra_core::columns_for_strategies`] shares one
-//! propagation sweep across all 48 resolutions, so the cost per
-//! `(object, right)` pair is `(labels + 1)` sweeps, not `48 × labels`.
+//! compares outcomes. [`ucra_core::columns_for_strategies_in`] shares
+//! one propagation sweep across all 48 resolutions, so the cost per
+//! `(object, right)` pair is `(labels + 1)` sweeps, not `48 × labels` —
+//! and every sweep shares one [`ucra_core::SweepContext`], so the
+//! traversal setup is paid once per model, not once per probe.
 
 use super::{LintRule, RuleInfo};
 use crate::context::LintContext;
 use crate::diagnostics::{Diagnostic, Severity};
-use ucra_core::{columns_for_strategies, CoreError, Strategy};
+use ucra_core::{columns_for_strategies_in, CoreError, Strategy, SweepContext};
 
 /// The `UCRA020` rule (see the module docs).
 pub struct RedundantLabel;
@@ -33,16 +35,16 @@ impl LintRule for RedundantLabel {
 
     fn check(&self, cx: &LintContext<'_>) -> Result<Vec<Diagnostic>, CoreError> {
         let strategies = Strategy::all_instances();
+        let ctx = SweepContext::new(cx.hierarchy());
         let mut out = Vec::new();
         for (object, right) in cx.eacm().object_right_pairs() {
-            let base =
-                columns_for_strategies(cx.hierarchy(), cx.eacm(), object, right, &strategies)?;
+            let base = columns_for_strategies_in(&ctx, cx.eacm(), object, right, &strategies)?;
             let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
             for &(subject, sign) in &labels {
                 let mut trimmed = cx.eacm().clone();
                 trimmed.unset(subject, object, right);
                 let without =
-                    columns_for_strategies(cx.hierarchy(), &trimmed, object, right, &strategies)?;
+                    columns_for_strategies_in(&ctx, &trimmed, object, right, &strategies)?;
                 if without == base {
                     out.push(Diagnostic {
                         code: self.info().code,

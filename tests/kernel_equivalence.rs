@@ -17,7 +17,7 @@ use ucra::core::engine::path_enum::{self, PropagateOptions};
 use ucra::core::ids::{ObjectId, RightId};
 use ucra::core::{
     resolve_histogram, DistanceHistogram, Eacm, EffectiveMatrix, FusedSweep, Sign, Strategy,
-    SubjectDag,
+    SubjectDag, SweepContext, SweepScratch, PARALLEL_WORK_THRESHOLD,
 };
 
 const MODES: [PropagationMode; 3] = [
@@ -189,5 +189,62 @@ proptest! {
         ).unwrap();
         prop_assert_eq!(&seq, &seq_dup);
         prop_assert_eq!(&seq, &par);
+    }
+
+    /// A [`SweepContext`] built once and a [`SweepScratch`] recycled
+    /// across every call produce bit-identical tables to the one-shot
+    /// `FusedSweep::compute`, under every propagation mode.
+    #[test]
+    fn shared_context_and_scratch_match_one_shot_in_every_mode(
+        n in 1usize..12,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.5,
+        pairs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let one_shot = FusedSweep::compute(&h, &eacm, &cols, mode).unwrap();
+            let shared = FusedSweep::compute_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            let tables = shared.clone().into_tables();
+            prop_assert_eq!(one_shot.into_tables(), tables, "mode {:?}", mode);
+            shared.recycle(&mut scratch);
+        }
+    }
+}
+
+proptest! {
+    // Large worlds (fewer cases): `subjects * pairs` crosses
+    // PARALLEL_WORK_THRESHOLD and the pair count exceeds one batch, so
+    // on hosts with 2+ cores the parallel driver genuinely fans
+    // full-width batches out to the persistent pool instead of taking
+    // the serial fallback (the driver clamps worker grants to
+    // `available_parallelism`, so on a 1-core host this degenerates to
+    // the serial path — CI's multi-core runners cover the pooled one).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Above the work threshold the pooled driver over a shared sweep
+    /// context equals the serial `compute_for_pairs`.
+    #[test]
+    fn parallel_driver_matches_serial_above_work_threshold(
+        n in 120usize..160,
+        density in 0.0f64..0.08,
+        rate in 0.0f64..0.3,
+        pairs in 9usize..16,
+        threads in 2usize..5,
+        strategy_ix in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        // By construction: 120 subjects x 9 pairs = 1080 cells minimum.
+        prop_assert!(n * cols.len() >= PARALLEL_WORK_THRESHOLD);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let seq = EffectiveMatrix::compute_for_pairs(&h, &eacm, strategy, &cols).unwrap();
+        let par = EffectiveMatrix::compute_for_pairs_parallel(
+            &h, &eacm, strategy, &cols, threads,
+        ).unwrap();
+        prop_assert_eq!(&seq, &par, "threads {}", threads);
     }
 }
