@@ -25,19 +25,44 @@
 //! 1-core host the scaling rows hover near 1x by construction and the
 //! report says so.
 //!
+//! Two further sections measure the sparsity-pruned sweep path:
+//!
+//! * **sparse** — for each label density in [`SPARSE_DENSITIES`], the
+//!   pruned kernel ([`FusedSweep::compute_with`]) vs. the forced dense
+//!   walk ([`FusedSweep::compute_dense_with`]) over the clustered
+//!   [`ucra_workload::sparse::sparse_labels`] shape, single-threaded.
+//!   `speedup_vs_dense_walk` is the headline sparsity number;
+//!   `active_fraction` records the largest per-batch union label cone
+//!   so a reader can see *why* the speedup is what it is.
+//! * **dense_check** — the pruned-capable auto path vs. the forced
+//!   dense walk on the *dense* stress shape, as a within-run ratio.
+//!   Dense batches fail the pruning gate, so the ratio must sit near
+//!   1.0; CI gates on it instead of on absolute nanoseconds, which do
+//!   not transfer across machines.
+//!
 //! The run doubles as an equivalence smoke test: the fused and parallel
-//! matrices are asserted sign-identical to the reference before any
-//! number is reported. Results land in `BENCH_sweep.json` at the repo
-//! root (see EXPERIMENTS.md for the recipe).
+//! matrices are asserted sign-identical to the reference, and the pruned
+//! sparse sweeps sign-identical to their dense walks, before any number
+//! is reported. Results land in `BENCH_sweep.json` at the repo root (see
+//! EXPERIMENTS.md for the recipe).
 
 use crate::timing::{fmt_ns, measure, TimingStats};
 use std::collections::BTreeMap;
 use ucra_core::engine::counting::{self, PropagationMode};
-use ucra_core::{resolve_histogram, CoreError, EffectiveMatrix, ObjectId, RightId, Sign, Strategy};
+use ucra_core::engine::kernel::DEFAULT_BATCH_COLUMNS;
+use ucra_core::{
+    resolve_histogram, CoreError, Eacm, EffectiveMatrix, FusedSweep, ObjectId, RightId, Sign,
+    Strategy, SweepContext, SweepScratch,
+};
+use ucra_workload::sparse::{sparse_labels, SparseConfig};
 use ucra_workload::stress::{deep_wide, StressConfig, StressModel};
 
 /// Unmeasured iterations before timing starts, for every configuration.
 pub const WARMUP_ITERS: usize = 1;
+
+/// Label densities the sparse section samples (fraction of subjects
+/// carrying an explicit label per `(object, right)` pair).
+pub const SPARSE_DENSITIES: [f64; 3] = [0.001, 0.01, 0.1];
 
 /// One thread-scaling sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +80,42 @@ pub struct ThreadSample {
     pub max_ns: u128,
     /// Speedup relative to the single-threaded fused run (medians).
     pub speedup_vs_fused: f64,
+}
+
+/// One sparse-density sample: the pruned sweep vs. the forced dense
+/// walk over the same clustered low-density model, single-threaded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseSample {
+    /// Fraction of subjects with an explicit label per pair.
+    pub label_density: f64,
+    /// Subjects in the sparse hierarchy.
+    pub subjects: usize,
+    /// `(object, right)` columns swept.
+    pub pairs: usize,
+    /// Largest per-batch union label cone as a fraction of the
+    /// hierarchy (1.0 means some batch fell back to the dense walk).
+    pub active_fraction: f64,
+    /// Pruned kernel, [`FusedSweep::compute_with`].
+    pub pruned: TimingStats,
+    /// Forced dense walk, [`FusedSweep::compute_dense_with`].
+    pub dense_walk: TimingStats,
+    /// `dense_walk / pruned` medians — the sparsity win.
+    pub speedup_vs_dense_walk: f64,
+}
+
+/// Within-run dense no-regression check: the pruned-capable auto path
+/// vs. the forced dense walk on the dense stress shape. Dense batches
+/// fail the pruning seed gate (their label seeds exceed a quarter of
+/// the hierarchy), so `ratio` must sit near 1.0 — the pruning
+/// machinery may not tax workloads it cannot help.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseCheck {
+    /// Auto path ([`FusedSweep::compute_with`]) on the dense shape.
+    pub auto: TimingStats,
+    /// Forced dense walk on the same shape.
+    pub forced_dense: TimingStats,
+    /// `auto / forced_dense` medians; CI gates `ratio <= 1.10`.
+    pub ratio: f64,
 }
 
 /// The benchmark's result set.
@@ -84,6 +145,10 @@ pub struct SweepReport {
     pub cores: usize,
     /// Thread-scaling samples of the parallel driver.
     pub parallel: Vec<ThreadSample>,
+    /// Auto-vs-forced-dense ratio on the dense shape (regression gate).
+    pub dense_check: DenseCheck,
+    /// Pruned-vs-dense-walk samples per label density.
+    pub sparse: Vec<SparseSample>,
 }
 
 impl SweepReport {
@@ -103,6 +168,31 @@ impl SweepReport {
             })
             .collect::<Vec<_>>()
             .join(",\n");
+        let sparse = self
+            .sparse
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"label_density\": {}, \"subjects\": {}, \"pairs\": {}, \
+                     \"active_fraction\": {:.4}, \
+                     \"pruned_ns\": {}, \"pruned_min_ns\": {}, \"pruned_max_ns\": {}, \
+                     \"dense_walk_ns\": {}, \"dense_walk_min_ns\": {}, \
+                     \"dense_walk_max_ns\": {}, \"speedup_vs_dense_walk\": {:.3}}}",
+                    s.label_density,
+                    s.subjects,
+                    s.pairs,
+                    s.active_fraction,
+                    s.pruned.median_ns,
+                    s.pruned.min_ns,
+                    s.pruned.max_ns,
+                    s.dense_walk.median_ns,
+                    s.dense_walk.min_ns,
+                    s.dense_walk.max_ns,
+                    s.speedup_vs_dense_walk
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
             "{{\n  \"bench\": \"fused_sweep\",\n  \"quick\": {},\n  \"cores\": {},\n  \
              \"warmup\": {},\n  \"reps\": {},\n  \
@@ -110,7 +200,10 @@ impl SweepReport {
              \"single_thread\": {{\"reference_ns\": {}, \"reference_min_ns\": {}, \
              \"reference_max_ns\": {}, \"fused_ns\": {}, \"fused_min_ns\": {}, \
              \"fused_max_ns\": {}, \"speedup\": {:.3}}},\n  \
-             \"parallel\": [\n{}\n  ]\n}}\n",
+             \"parallel\": [\n{}\n  ],\n  \
+             \"dense_check\": {{\"auto_ns\": {}, \"forced_dense_ns\": {}, \
+             \"ratio\": {:.3}}},\n  \
+             \"sparse\": [\n{}\n  ]\n}}\n",
             self.quick,
             self.cores,
             self.warmup,
@@ -125,7 +218,11 @@ impl SweepReport {
             self.fused.min_ns,
             self.fused.max_ns,
             self.speedup,
-            parallel
+            parallel,
+            self.dense_check.auto.median_ns,
+            self.dense_check.forced_dense.median_ns,
+            self.dense_check.ratio,
+            sparse
         )
     }
 
@@ -159,6 +256,24 @@ impl SweepReport {
                 s.speedup_vs_fused
             ));
         }
+        out.push_str(&format!(
+            "dense check (auto vs forced dense walk): {} vs {}  (ratio {:.2}, gate <= 1.10)\n",
+            fmt_ns(self.dense_check.auto.median_ns),
+            fmt_ns(self.dense_check.forced_dense.median_ns),
+            self.dense_check.ratio
+        ));
+        for s in &self.sparse {
+            out.push_str(&format!(
+                "sparse {:>5.2}% density: pruned {} vs dense walk {}  \
+                 ({:.2}x, active {:.1}% of {} subjects)\n",
+                s.label_density * 100.0,
+                fmt_ns(s.pruned.median_ns),
+                fmt_ns(s.dense_walk.median_ns),
+                s.speedup_vs_dense_walk,
+                s.active_fraction * 100.0,
+                s.subjects
+            ));
+        }
         out
     }
 }
@@ -185,6 +300,95 @@ fn reference_matrix(
         signs.insert((o, r), column);
     }
     Ok(signs)
+}
+
+/// Sweeps `pairs` in kernel-width batches over a shared context,
+/// single-threaded — the loop both sparse timings share. `dense` forces
+/// the full walk; otherwise the pruning gate decides per batch. Returns
+/// the largest per-batch active set (`subjects` when any batch ran the
+/// dense walk), the numerator of the report's `active_fraction`.
+fn sweep_batches(
+    ctx: &SweepContext,
+    eacm: &Eacm,
+    pairs: &[(ObjectId, RightId)],
+    scratch: &mut SweepScratch,
+    dense: bool,
+) -> Result<usize, CoreError> {
+    let mut max_active = 0usize;
+    for batch in pairs.chunks(DEFAULT_BATCH_COLUMNS) {
+        let fused = if dense {
+            FusedSweep::compute_dense_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+        } else {
+            FusedSweep::compute_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+        };
+        max_active = max_active.max(fused.active_subjects().unwrap_or(ctx.subjects()));
+        fused.recycle(scratch);
+    }
+    Ok(max_active)
+}
+
+/// Measures the sparse section: per density, pruned vs. forced-dense
+/// sweeps of the clustered [`sparse_labels`] shape, equivalence-gated.
+fn run_sparse(
+    quick: bool,
+    reps: usize,
+    strategy: Strategy,
+) -> Result<Vec<SparseSample>, CoreError> {
+    let mut samples = Vec::new();
+    for &density in &SPARSE_DENSITIES {
+        let config = if quick {
+            SparseConfig::quick(density)
+        } else {
+            SparseConfig::full(density)
+        };
+        let model = sparse_labels(config, &mut ucra_workload::rng(1007));
+        let ctx = SweepContext::new(&model.hierarchy);
+        // Equivalence gate: the pruned sweep must be sign-identical to
+        // the dense walk on every column before its time is reported.
+        let mut scratch = SweepScratch::new();
+        for batch in model.pairs.chunks(DEFAULT_BATCH_COLUMNS) {
+            let pruned = FusedSweep::compute_with(
+                &ctx,
+                &model.eacm,
+                batch,
+                PropagationMode::Both,
+                &mut scratch,
+            )?;
+            let dense = FusedSweep::compute_dense_with(
+                &ctx,
+                &model.eacm,
+                batch,
+                PropagationMode::Both,
+                &mut scratch,
+            )?;
+            for c in 0..batch.len() {
+                assert_eq!(
+                    pruned.signs(c, strategy)?,
+                    dense.signs(c, strategy)?,
+                    "pruned sweep diverged from the dense walk at density {density}, column {c}"
+                );
+            }
+            dense.recycle(&mut scratch);
+        }
+        let (pruned_stats, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, false)
+        });
+        let max_active = out?;
+        let (dense_stats, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, true)
+        });
+        out?;
+        samples.push(SparseSample {
+            label_density: density,
+            subjects: model.hierarchy.subject_count(),
+            pairs: model.pairs.len(),
+            active_fraction: max_active as f64 / model.hierarchy.subject_count().max(1) as f64,
+            pruned: pruned_stats,
+            dense_walk: dense_stats,
+            speedup_vs_dense_walk: dense_stats.median_ns as f64 / pruned_stats.median_ns as f64,
+        });
+    }
+    Ok(samples)
 }
 
 /// Runs the benchmark with the default thread ladder: 2 and 4 always
@@ -264,6 +468,28 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
         });
     }
 
+    // Within-run dense no-regression: the pruned-capable auto path vs.
+    // the forced dense walk on the dense shape, same context.
+    let dense_check = {
+        let ctx = SweepContext::new(&model.hierarchy);
+        let mut scratch = SweepScratch::new();
+        let (auto, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, false)
+        });
+        out?;
+        let (forced, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, true)
+        });
+        out?;
+        DenseCheck {
+            auto,
+            forced_dense: forced,
+            ratio: auto.median_ns as f64 / forced.median_ns as f64,
+        }
+    };
+
+    let sparse = run_sparse(quick, reps, strategy)?;
+
     Ok(SweepReport {
         quick,
         subjects: model.hierarchy.subject_count(),
@@ -276,6 +502,8 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
         speedup: reference_stats.median_ns as f64 / fused_stats.median_ns as f64,
         cores,
         parallel,
+        dense_check,
+        sparse,
     })
 }
 
@@ -315,11 +543,33 @@ mod tests {
         for s in &report.parallel {
             assert!(s.min_ns <= s.ns && s.ns <= s.max_ns);
         }
+        assert!(report.dense_check.ratio > 0.0);
+        assert!(
+            report.dense_check.auto.median_ns > 0 && report.dense_check.forced_dense.median_ns > 0
+        );
+        assert_eq!(report.sparse.len(), SPARSE_DENSITIES.len());
+        for (s, &d) in report.sparse.iter().zip(SPARSE_DENSITIES.iter()) {
+            assert_eq!(s.label_density, d);
+            assert!(s.pruned.median_ns > 0 && s.dense_walk.median_ns > 0);
+            assert!(s.speedup_vs_dense_walk > 0.0);
+            assert!(s.active_fraction > 0.0 && s.active_fraction <= 1.0);
+        }
+        // The whole point: at 1 % density the pruned sweep's batch cones
+        // are cluster-local, so it must clearly beat the dense walk.
+        let one_percent = &report.sparse[1];
+        assert!(
+            one_percent.active_fraction < 0.5,
+            "1 % density batches should prune (active fraction {})",
+            one_percent.active_fraction
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"fused_sweep\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"warmup\""));
         assert!(json.contains("\"min_ns\""));
+        assert!(json.contains("\"dense_check\""));
+        assert!(json.contains("\"speedup_vs_dense_walk\""));
+        assert!(json.contains("\"active_fraction\""));
         // Well-formed enough for the CI validator: balanced braces.
         assert_eq!(
             json.matches('{').count(),

@@ -379,10 +379,13 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("full invalidations  : {}", st.full_invalidations);
     println!("partial repairs     : {}", st.partial_repairs);
     println!("rows repaired       : {}", st.rows_repaired);
+    println!("matrix repairs      : {}", st.matrix_repairs);
+    println!("matrix repair rows  : {}", st.matrix_repair_rows);
     println!("kernel columns      : {}", st.kernel_columns);
     println!("kernel batches      : {}", st.kernel_batches);
     println!("fusion factor       : {fusion:.2} columns/batch");
     println!("kernel arena bytes  : {}", st.kernel_arena_bytes);
+    println!("scratch bytes (hwm) : {}", st.scratch_retained_bytes);
     println!("context builds      : {}", st.context_builds);
     println!("parallel dispatches : {}", st.parallel_dispatches);
     println!("serial dispatches   : {}", st.serial_dispatches);

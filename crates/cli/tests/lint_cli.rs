@@ -85,7 +85,7 @@ fn json_output_schema_snapshot() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(
         stdout.trim_end(),
-        r#"{"version":1,"diagnostics":[{"code":"UCRA010","rule":"orphan-subject","severity":"warning","message":"subject `lonely` is isolated: no groups, no members, and no explicit authorizations","span":{"kind":"subject","subject":"lonely","line":2},"help":"connect it with a `member` directive or delete the subject"}],"summary":{"errors":0,"warnings":1,"infos":0}}"#
+        r#"{"version":1,"diagnostics":[{"code":"UCRA010","rule":"orphan-subject","severity":"warning","message":"subject `lonely` is isolated: no groups, no members, and no explicit authorizations","span":{"kind":"subject","subject":"lonely","line":2},"help":"connect it with a `member` directive or delete the subject"}],"kernel":[{"rule":"dead-conflict","subjects":3,"pairs_probed":0,"active_rows_max":0,"active_rows_total":0},{"rule":"redundant-label","subjects":3,"pairs_probed":1,"active_rows_max":2,"active_rows_total":2}],"summary":{"errors":0,"warnings":1,"infos":0}}"#
     );
 }
 

@@ -17,7 +17,7 @@ use crate::ids::{ObjectId, RightId, SubjectId};
 use crate::matrix::Eacm;
 use crate::mode::Sign;
 use crate::pool;
-use crate::strategy::{DefaultRule, Strategy};
+use crate::strategy::Strategy;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Drops repeated `(object, right)` pairs, keeping first-occurrence
@@ -135,10 +135,15 @@ impl EffectiveMatrix {
         // distribute).
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let threads = threads.min(hw);
-        if threads.max(1) <= 1
-            || ctx.subjects() * unique.len() < PARALLEL_WORK_THRESHOLD
-            || unique.len() <= DEFAULT_BATCH_COLUMNS
-        {
+        // The work estimate is sparsity-aware: a pruned sweep touches
+        // only the labels' union descendant cone, so a large-but-sparse
+        // matrix estimates `active × columns` cells, not `V × columns`,
+        // and microscopic sweeps stop waking the pool.
+        if threads.max(1) <= 1 || unique.len() <= DEFAULT_BATCH_COLUMNS {
+            return Self::compute_batches_serial(ctx, eacm, strategy, unique);
+        }
+        let est = ctx.active_set_size(eacm, unique).max(1) * unique.len();
+        if est < PARALLEL_WORK_THRESHOLD {
             return Self::compute_batches_serial(ctx, eacm, strategy, unique);
         }
         let batches: Vec<&[(ObjectId, RightId)]> = unique.chunks(DEFAULT_BATCH_COLUMNS).collect();
@@ -237,11 +242,7 @@ impl EffectiveMatrix {
     /// [`EffectiveMatrix::compute`] never materialises those columns — and
     /// why [`EffectiveMatrix::diff`] must still account for them.
     pub fn default_sign(&self) -> Sign {
-        match self.strategy.default_rule() {
-            DefaultRule::Pos => Sign::Pos,
-            DefaultRule::Neg => Sign::Neg,
-            DefaultRule::NoDefault => self.strategy.preference_rule(),
-        }
+        self.strategy.default_only_sign()
     }
 
     /// The impact report an administrator wants before switching

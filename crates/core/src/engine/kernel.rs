@@ -44,6 +44,7 @@ use crate::mode::{Mode, Sign};
 use crate::resolve::{resolve_strata, Resolution};
 use crate::strategy::Strategy;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use ucra_graph::traverse;
 
 /// Default number of columns fused into one sweep batch. Bounds the
@@ -66,17 +67,57 @@ pub const DEFAULT_BATCH_COLUMNS: usize = 8;
 ///
 /// The CSR copy preserves the `Dag::parents` insertion order, so sweeps
 /// through a context merge parent histograms in exactly the order the
-/// direct traversal would — results are bit-identical.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// direct traversal would — results are bit-identical. A second CSR in
+/// the child direction supports the forward label-cone walks the
+/// sparsity-pruned sweep path uses to find each batch's *active set*.
+#[derive(Debug, Clone)]
 pub struct SweepContext {
     subjects: usize,
     /// Node indexes in topological order (parents before children).
     topo: Vec<u32>,
+    /// `topo_pos[v]` = position of node `v` in `topo` (for sorting an
+    /// active set into sweep order without touching inactive nodes).
+    topo_pos: Vec<u32>,
     /// CSR offsets into `parent_ids`; `subjects + 1` entries.
     parent_start: Vec<u32>,
     /// Concatenated parent indexes, in `Dag::parents` order.
     parent_ids: Vec<u32>,
+    /// CSR offsets into `child_ids`; `subjects + 1` entries.
+    child_start: Vec<u32>,
+    /// Concatenated child indexes (forward direction, for cone walks).
+    child_ids: Vec<u32>,
+    /// The empty-column sweep: every node's *pure-default* histogram
+    /// (one `Default` record per path from each root ancestor). A node
+    /// with no labeled ancestor-or-self has exactly this histogram in
+    /// every propagation mode, so pruned sweeps share these rows across
+    /// all columns and all batches. Built lazily on the first batch that
+    /// can prune; the inner `None` records a checked-arithmetic overflow
+    /// during the build, which permanently disables pruning for this
+    /// context (the dense path reports its own overflow if it also
+    /// hits one).
+    defaults: OnceLock<Option<Arc<DefaultRows>>>,
 }
+
+/// Arena-form table of per-node pure-default histograms (see
+/// [`SweepContext::defaults`]). One column wide, indexed by node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DefaultRows {
+    rows: Vec<RowMeta>,
+    counts: Vec<ModeCounts>,
+}
+
+impl PartialEq for SweepContext {
+    fn eq(&self, other: &Self) -> bool {
+        // The default-rows cache is derived state (and filled lazily),
+        // so equality is over the traversal arrays only.
+        self.subjects == other.subjects
+            && self.topo == other.topo
+            && self.parent_start == other.parent_start
+            && self.parent_ids == other.parent_ids
+    }
+}
+
+impl Eq for SweepContext {}
 
 impl SweepContext {
     /// Builds the shared traversal state for `hierarchy` in one
@@ -84,10 +125,14 @@ impl SweepContext {
     pub fn new(hierarchy: &SubjectDag) -> SweepContext {
         let dag = hierarchy.graph();
         let n = dag.node_count();
-        let topo = traverse::topo_order(dag)
+        let topo: Vec<u32> = traverse::topo_order(dag)
             .into_iter()
             .map(|v| v.index() as u32)
             .collect();
+        let mut topo_pos = vec![0u32; n];
+        for (i, &v) in topo.iter().enumerate() {
+            topo_pos[v as usize] = i as u32;
+        }
         let mut parent_start = Vec::with_capacity(n + 1);
         let mut parent_ids = Vec::with_capacity(dag.edge_count());
         parent_start.push(0);
@@ -95,11 +140,33 @@ impl SweepContext {
             parent_ids.extend(dag.parents(v).iter().map(|p| p.index() as u32));
             parent_start.push(parent_ids.len() as u32);
         }
+        // Invert the parent CSR into a child CSR by counting sort.
+        let mut child_start = vec![0u32; n + 1];
+        for &p in &parent_ids {
+            child_start[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            child_start[i + 1] += child_start[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut child_ids = vec![0u32; parent_ids.len()];
+        for v in 0..n {
+            let lo = parent_start[v] as usize;
+            let hi = parent_start[v + 1] as usize;
+            for &p in &parent_ids[lo..hi] {
+                child_ids[cursor[p as usize] as usize] = v as u32;
+                cursor[p as usize] += 1;
+            }
+        }
         SweepContext {
             subjects: n,
             topo,
+            topo_pos,
             parent_start,
             parent_ids,
+            child_start,
+            child_ids,
+            defaults: OnceLock::new(),
         }
     }
 
@@ -109,10 +176,24 @@ impl SweepContext {
     }
 
     /// Bytes held by the precomputed arrays (observability; the session
-    /// reports this alongside arena sizes).
+    /// reports this alongside arena sizes). Lazily built default rows are
+    /// included once present.
     pub fn bytes(&self) -> usize {
-        (self.topo.len() + self.parent_start.len() + self.parent_ids.len())
-            * std::mem::size_of::<u32>()
+        let arrays = (self.topo.len()
+            + self.topo_pos.len()
+            + self.parent_start.len()
+            + self.parent_ids.len()
+            + self.child_start.len()
+            + self.child_ids.len())
+            * std::mem::size_of::<u32>();
+        let defaults = match self.defaults.get() {
+            Some(Some(d)) => {
+                d.rows.len() * std::mem::size_of::<RowMeta>()
+                    + d.counts.len() * std::mem::size_of::<ModeCounts>()
+            }
+            _ => 0,
+        };
+        arrays + defaults
     }
 
     /// The parents of node `v`, in `Dag::parents` insertion order.
@@ -121,6 +202,77 @@ impl SweepContext {
         let lo = self.parent_start[v] as usize;
         let hi = self.parent_start[v + 1] as usize;
         &self.parent_ids[lo..hi]
+    }
+
+    /// The children of node `v` (forward cone direction).
+    #[inline]
+    fn children(&self, v: usize) -> &[u32] {
+        let lo = self.child_start[v] as usize;
+        let hi = self.child_start[v + 1] as usize;
+        &self.child_ids[lo..hi]
+    }
+
+    /// The shared pure-default rows, built on first use. `None` when the
+    /// empty-column sweep overflowed (pruning disabled for this context).
+    fn default_rows(&self) -> Option<&Arc<DefaultRows>> {
+        self.defaults
+            .get_or_init(|| self.build_default_rows().ok().map(Arc::new))
+            .as_ref()
+    }
+
+    /// Sweeps the empty column: every root contributes one `Default`
+    /// record, nothing else exists, so the result is each node's bag of
+    /// root-path lengths. Label-free propagation is identical under all
+    /// three [`PropagationMode`]s (no label ever fires a mode branch).
+    fn build_default_rows(&self) -> Result<DefaultRows, CoreError> {
+        let labels = vec![None; self.subjects];
+        let swept = FusedSweep::sweep(
+            self,
+            1,
+            &labels,
+            PropagationMode::Both,
+            vec![RowMeta::default(); self.subjects],
+            Vec::new(),
+        )?;
+        Ok(DefaultRows {
+            rows: swept.rows,
+            counts: swept.counts,
+        })
+    }
+
+    /// The size of the union descendant cone (the *active set*) of every
+    /// subject carrying an explicit label for one of `pairs` — exactly
+    /// the rows a sparsity-pruned sweep of those columns computes.
+    /// Dispatchers use `active_set_size × columns` as the work estimate
+    /// that decides serial fallback, and `ucra lint --format json`
+    /// reports it per rule.
+    pub fn active_set_size(&self, eacm: &Eacm, pairs: &[(ObjectId, RightId)]) -> usize {
+        let n = self.subjects;
+        if n == 0 || pairs.is_empty() {
+            return 0;
+        }
+        let wanted: std::collections::BTreeSet<(ObjectId, RightId)> =
+            pairs.iter().copied().collect();
+        let mut visited = vec![false; n];
+        let mut worklist: Vec<u32> = Vec::new();
+        for (s, o, r, _) in eacm.iter() {
+            if s.index() < n && !visited[s.index()] && wanted.contains(&(o, r)) {
+                visited[s.index()] = true;
+                worklist.push(s.index() as u32);
+            }
+        }
+        let mut i = 0;
+        while i < worklist.len() {
+            let v = worklist[i] as usize;
+            i += 1;
+            for &ch in self.children(v) {
+                if !visited[ch as usize] {
+                    visited[ch as usize] = true;
+                    worklist.push(ch);
+                }
+            }
+        }
+        worklist.len()
     }
 }
 
@@ -140,7 +292,31 @@ pub struct SweepScratch {
     rows: Vec<RowMeta>,
     counts: Vec<ModeCounts>,
     columns_of: HashMap<(ObjectId, RightId), Vec<usize>>,
+    /// Epoch stamps for the cone walk: `stamp[v] == epoch` means node `v`
+    /// was visited during the *current* sweep's active-set computation.
+    /// Bumping `epoch` invalidates every stamp at once, so steady-state
+    /// cone computation neither allocates nor clears.
+    stamp: Vec<u64>,
+    /// The current epoch (`0` is never a valid stamp).
+    epoch: u64,
+    /// Labeled subjects of the current batch (cone-walk seeds), deduped
+    /// via the epoch stamps.
+    sources: Vec<u32>,
+    /// The union active set of the current batch, in topological order.
+    active: Vec<u32>,
+    /// Batches recycled since the last trim decision.
+    trim_clock: u32,
+    /// Per-buffer high-water marks (lengths actually used) within the
+    /// current trim window.
+    labels_peak: usize,
+    rows_peak: usize,
+    counts_peak: usize,
 }
+
+/// How many recycled batches [`SweepScratch`] observes before it
+/// considers shrinking over-retained buffers (see
+/// [`SweepScratch::note_batch_and_trim`]).
+const TRIM_WINDOW: u32 = 64;
 
 impl SweepScratch {
     /// An empty scratch; buffers grow on first use and are retained.
@@ -153,6 +329,47 @@ impl SweepScratch {
         self.labels.capacity() * std::mem::size_of::<Option<Mode>>()
             + self.rows.capacity() * std::mem::size_of::<RowMeta>()
             + self.counts.capacity() * std::mem::size_of::<ModeCounts>()
+            + self.stamp.capacity() * std::mem::size_of::<u64>()
+            + (self.sources.capacity() + self.active.capacity()) * std::mem::size_of::<u32>()
+    }
+
+    /// Starts a new epoch over `n` nodes: all previous stamps become
+    /// stale in `O(1)`; the stamp array only ever grows to the largest
+    /// hierarchy seen.
+    fn begin_epoch(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// High-water-mark shrink: scratch buffers grow to the largest batch
+    /// ever seen, which on a long-lived session pins the peak working
+    /// set forever. Every [`TRIM_WINDOW`] recycled batches, any buffer
+    /// whose retained capacity exceeds **twice** its high-water mark
+    /// within the window is shrunk back to that mark, so memory tracks
+    /// the recent workload instead of the historical maximum.
+    fn note_batch_and_trim(&mut self) {
+        self.labels_peak = self.labels_peak.max(self.labels.len());
+        self.rows_peak = self.rows_peak.max(self.rows.len());
+        self.counts_peak = self.counts_peak.max(self.counts.len());
+        self.trim_clock += 1;
+        if self.trim_clock < TRIM_WINDOW {
+            return;
+        }
+        self.trim_clock = 0;
+        if self.labels.capacity() > 2 * self.labels_peak {
+            self.labels.shrink_to(self.labels_peak);
+        }
+        if self.rows.capacity() > 2 * self.rows_peak {
+            self.rows.shrink_to(self.rows_peak);
+        }
+        if self.counts.capacity() > 2 * self.counts_peak {
+            self.counts.shrink_to(self.counts_peak);
+        }
+        self.labels_peak = 0;
+        self.rows_peak = 0;
+        self.counts_peak = 0;
     }
 }
 
@@ -208,6 +425,15 @@ pub struct FusedSweep {
     rows: Vec<RowMeta>,
     /// The arena: every non-empty row's dense strata, concatenated.
     counts: Vec<ModeCounts>,
+    /// `Some` when the sparsity-pruned path produced this sweep: a
+    /// zero-length row then denotes a *default-only* cell served from
+    /// these shared per-node default rows (not an empty histogram —
+    /// empty rows cannot arise in a non-empty hierarchy, since every
+    /// node has at least one root ancestor contributing a record).
+    defaults: Option<Arc<DefaultRows>>,
+    /// Union active-set size when the pruned path ran (`None` = dense
+    /// full walk). Observability for benches and dispatch diagnostics.
+    active: Option<usize>,
 }
 
 impl FusedSweep {
@@ -238,9 +464,13 @@ impl FusedSweep {
     /// Sweeps a batch of columns over a prebuilt [`SweepContext`], reusing
     /// `scratch`'s buffers for the label plane and arena.
     ///
-    /// Equivalent to [`FusedSweep::compute`] (bit-identical output), minus
-    /// the per-call `O(V + E)` traversal rebuild and steady-state
-    /// allocations. Call [`FusedSweep::recycle`] (or
+    /// Equivalent to [`FusedSweep::compute`] (bag-identical histograms),
+    /// minus the per-call `O(V + E)` traversal rebuild and steady-state
+    /// allocations. When the batch's labels reach less than half the
+    /// hierarchy, the sweep restricts itself to the labels' union
+    /// descendant cone (see [`FusedSweep::active_subjects`]); cells
+    /// outside the cone share the context's precomputed default rows.
+    /// Call [`FusedSweep::recycle`] (or
     /// [`FusedSweep::into_tables_recycling`]) on the result to hand the
     /// arena storage back to `scratch` for the next batch.
     pub fn compute_with(
@@ -250,17 +480,46 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
+        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true)
+    }
+
+    /// The dense full-walk reference: [`FusedSweep::compute_with`] with
+    /// sparsity pruning disabled, materialising an arena row for every
+    /// `(node, column)` cell. Benchmarks measure the pruned path against
+    /// this, and differential tests pin the two paths to each other.
+    pub fn compute_dense_with(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+        scratch: &mut SweepScratch,
+    ) -> Result<FusedSweep, CoreError> {
+        Self::compute_impl(ctx, eacm, pairs, mode, scratch, false)
+    }
+
+    fn compute_impl(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+        scratch: &mut SweepScratch,
+        allow_prune: bool,
+    ) -> Result<FusedSweep, CoreError> {
         let n = ctx.subjects;
         let k = pairs.len();
         // Struct-of-arrays label matrix: `labels[c * n + v]`. Built by a
         // single pass over the sparse explicit matrix instead of `n × k`
-        // map lookups inside the sweep.
+        // map lookups inside the sweep. The same pass collects the
+        // deduplicated labeled subjects as cone-walk seeds.
         scratch.labels.clear();
         scratch.labels.resize(n * k, None);
         scratch.columns_of.clear();
         for (c, &pair) in pairs.iter().enumerate() {
             scratch.columns_of.entry(pair).or_default().push(c);
         }
+        scratch.begin_epoch(n);
+        scratch.sources.clear();
+        let epoch = scratch.epoch;
         for (s, o, r, sign) in eacm.iter() {
             if s.index() >= n {
                 continue; // labels outside the hierarchy are unreachable
@@ -269,6 +528,10 @@ impl FusedSweep {
                 for &c in cols {
                     scratch.labels[c * n + s.index()] = Some(Mode::from(sign));
                 }
+                if scratch.stamp[s.index()] != epoch {
+                    scratch.stamp[s.index()] = epoch;
+                    scratch.sources.push(s.index() as u32);
+                }
             }
         }
         let mut rows = std::mem::take(&mut scratch.rows);
@@ -276,15 +539,60 @@ impl FusedSweep {
         rows.resize(n * k, RowMeta::default());
         let mut counts = std::mem::take(&mut scratch.counts);
         counts.clear();
+
+        // Sparsity pruning: rows outside the labels' union descendant
+        // cone are pure-default and shared, so only walk the cone when it
+        // is small. The seed count bounds the cone from below; batches
+        // seeding a quarter of the hierarchy skip the walk entirely —
+        // their cones almost always blow the half-size cap below, and on
+        // near-dense batches the speculative `O(V + E)` cone walk is
+        // pure overhead on top of the full sweep it fails to avoid.
+        if allow_prune && k > 0 && scratch.sources.len() * 4 < n {
+            let mut active = std::mem::take(&mut scratch.active);
+            active.clear();
+            active.extend_from_slice(&scratch.sources);
+            let mut i = 0;
+            while i < active.len() {
+                let v = active[i] as usize;
+                i += 1;
+                for &ch in ctx.children(v) {
+                    if scratch.stamp[ch as usize] != epoch {
+                        scratch.stamp[ch as usize] = epoch;
+                        active.push(ch);
+                    }
+                }
+            }
+            if active.len() * 2 < n {
+                if let Some(defaults) = ctx.default_rows() {
+                    let defaults = Arc::clone(defaults);
+                    active.sort_unstable_by_key(|&v| ctx.topo_pos[v as usize]);
+                    let swept = Self::sweep_pruned(
+                        ctx,
+                        k,
+                        &scratch.labels,
+                        mode,
+                        &active,
+                        &defaults,
+                        rows,
+                        counts,
+                    );
+                    scratch.active = active;
+                    return swept;
+                }
+            }
+            scratch.active = active;
+        }
         Self::sweep(ctx, k, &scratch.labels, mode, rows, counts)
     }
 
     /// Returns this sweep's arena storage to `scratch` so the next
     /// [`FusedSweep::compute_with`] call on the same thread reuses the
-    /// capacity instead of reallocating.
+    /// capacity instead of reallocating, and gives the scratch a chance
+    /// to shrink over-retained buffers back to recent high-water marks.
     pub fn recycle(self, scratch: &mut SweepScratch) {
         scratch.rows = self.rows;
         scratch.counts = self.counts;
+        scratch.note_batch_and_trim();
     }
 
     /// The fused counting recurrence: one walk of the precomputed
@@ -396,6 +704,148 @@ impl FusedSweep {
             columns,
             rows,
             counts,
+            defaults: None,
+            active: None,
+        })
+    }
+
+    /// The sparsity-pruned counting recurrence: walks only `active` (the
+    /// union descendant cone of the batch's labeled subjects, in
+    /// topological order). Per column, a cone node is *column-active* iff
+    /// it carries its own label or inherits from a column-active parent;
+    /// the written rows double as that mask, since every written row is
+    /// non-empty. Cells left unwritten are **exactly** the pure-default
+    /// rows of `defaults` — a node with no labeled ancestor-or-self
+    /// receives one `Default` record per root path in every propagation
+    /// mode — so cone-boundary merges read inactive parents' histograms
+    /// from `defaults` and the result is bag-identical to the full walk.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_pruned(
+        ctx: &SweepContext,
+        columns: usize,
+        labels: &[Option<Mode>],
+        mode: PropagationMode,
+        active: &[u32],
+        defaults: &Arc<DefaultRows>,
+        mut rows: Vec<RowMeta>,
+        mut counts: Vec<ModeCounts>,
+    ) -> Result<FusedSweep, CoreError> {
+        let n = ctx.subjects;
+        debug_assert_eq!(labels.len(), n * columns, "label matrix shape");
+        for &v in active {
+            let v = v as usize;
+            let parents = ctx.parents(v);
+            let is_root = parents.is_empty();
+            for c in 0..columns {
+                let own = labels[c * n + v];
+                let inherits = parents
+                    .iter()
+                    .any(|&p| rows[p as usize * columns + c].len != 0);
+                if own.is_none() && !inherits {
+                    continue; // default-only cell, served from `defaults`
+                }
+
+                // SecondWins: an explicit label replaces every record
+                // arriving from above — the row is exactly one stratum.
+                if mode == PropagationMode::SecondWins {
+                    if let Some(m) = own {
+                        let offset = counts.len();
+                        let mut cell = ModeCounts::default();
+                        cell.add(m, 1)?;
+                        counts.push(cell);
+                        rows[v * columns + c] = RowMeta {
+                            offset,
+                            base: 0,
+                            len: 1,
+                        };
+                        continue;
+                    }
+                }
+
+                // Pass 1: the distance span, with column-inactive parents
+                // contributing their (true) default rows.
+                let mut base = u32::MAX;
+                let mut end = 0u32; // exclusive
+                let mut has_inflow = false;
+                for &p in parents {
+                    let p = p as usize;
+                    let mut r = rows[p * columns + c];
+                    if r.len == 0 {
+                        r = defaults.rows[p];
+                    }
+                    if r.len == 0 {
+                        continue;
+                    }
+                    has_inflow = true;
+                    let pb = r.base.checked_add(1).ok_or(CoreError::DistanceOverflow)?;
+                    let pe = pb.checked_add(r.len).ok_or(CoreError::DistanceOverflow)?;
+                    base = base.min(pb);
+                    end = end.max(pe);
+                }
+                let own_contrib = match mode {
+                    PropagationMode::Both => {
+                        own.or(if is_root { Some(Mode::Default) } else { None })
+                    }
+                    // `own` was handled above; only the root default remains.
+                    PropagationMode::SecondWins => {
+                        if is_root {
+                            Some(Mode::Default)
+                        } else {
+                            None
+                        }
+                    }
+                    PropagationMode::FirstWins => match own {
+                        Some(m) if !has_inflow => Some(m),
+                        Some(_) => None,
+                        None if is_root => Some(Mode::Default),
+                        None => None,
+                    },
+                };
+                if own_contrib.is_some() {
+                    base = 0;
+                    end = end.max(1);
+                }
+                if base == u32::MAX {
+                    continue; // empty row
+                }
+
+                // Pass 2: reserve and merge, exactly as in the dense
+                // walk, except default-row sources come from the shared
+                // table instead of this sweep's arena.
+                let len = end - base;
+                let offset = counts.len();
+                counts.resize(offset + len as usize, ModeCounts::default());
+                let (head, tail) = counts.split_at_mut(offset);
+                if let Some(m) = own_contrib {
+                    tail[0].add(m, 1)?; // base == 0 whenever own_contrib is set
+                }
+                for &p in parents {
+                    let p = p as usize;
+                    let mut r = rows[p * columns + c];
+                    let src: &[ModeCounts] = if r.len != 0 {
+                        &head[r.offset..r.offset + r.len as usize]
+                    } else {
+                        r = defaults.rows[p];
+                        if r.len == 0 {
+                            continue;
+                        }
+                        &defaults.counts[r.offset..r.offset + r.len as usize]
+                    };
+                    let start = (r.base + 1 - base) as usize;
+                    for (dst, s) in tail[start..start + r.len as usize].iter_mut().zip(src) {
+                        dst.merge(s)?;
+                    }
+                }
+                rows[v * columns + c] = RowMeta { offset, base, len };
+            }
+        }
+        Ok(FusedSweep {
+            subjects: n,
+            columns,
+            rows,
+            counts,
+            defaults: Some(Arc::clone(defaults)),
+            active: Some(active.len()),
         })
     }
 
@@ -433,6 +883,8 @@ impl FusedSweep {
             columns: k,
             rows,
             counts,
+            defaults: None,
+            active: None,
         }
     }
 
@@ -444,6 +896,14 @@ impl FusedSweep {
     /// Number of columns in the batch.
     pub fn columns(&self) -> usize {
         self.columns
+    }
+
+    /// `Some(size)` when this sweep took the sparsity-pruned path: the
+    /// number of nodes in the batch's union label cone, i.e. how many
+    /// rows were actually computed per column (the rest are shared
+    /// default rows). `None` means the dense full walk ran.
+    pub fn active_subjects(&self) -> Option<usize> {
+        self.active
     }
 
     /// Bytes held by the arena and its row index — the figure the
@@ -460,8 +920,18 @@ impl FusedSweep {
         subject: SubjectId,
         column: usize,
     ) -> impl Iterator<Item = (u32, ModeCounts)> + '_ {
-        let r = self.rows[subject.index() * self.columns + column];
-        self.counts[r.offset..r.offset + r.len as usize]
+        let mut r = self.rows[subject.index() * self.columns + column];
+        let counts: &[ModeCounts] = match &self.defaults {
+            // Pruned sweep: an unwritten row is a default-only cell
+            // served from the shared per-node default table (real rows
+            // are never empty, so `len == 0` is unambiguous).
+            Some(d) if r.len == 0 => {
+                r = d.rows[subject.index()];
+                &d.counts
+            }
+            _ => &self.counts,
+        };
+        counts[r.offset..r.offset + r.len as usize]
             .iter()
             .enumerate()
             .filter(|(_, c)| !c.is_zero())
@@ -491,9 +961,20 @@ impl FusedSweep {
     }
 
     /// The effective sign of every subject in one column.
+    ///
+    /// On a pruned sweep, default-only cells short-circuit to
+    /// [`Strategy::default_only_sign`] — a pure-default histogram always
+    /// resolves to that closed form — so the per-subject cost is `O(1)`
+    /// outside the label cone.
     pub fn signs(&self, column: usize, strategy: Strategy) -> Result<Vec<Sign>, CoreError> {
+        let default_sign = self.defaults.as_ref().map(|_| strategy.default_only_sign());
         (0..self.subjects)
             .map(|i| {
+                if let Some(sign) = default_sign {
+                    if self.rows[i * self.columns + column].len == 0 {
+                        return Ok(sign);
+                    }
+                }
                 Ok(self
                     .resolve(SubjectId::from_index(i), column, strategy)?
                     .sign)
@@ -715,6 +1196,134 @@ mod tests {
             FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both).unwrap();
         assert_eq!(tables, b.into_tables());
         assert!(scratch.retained_bytes() > 0);
+    }
+
+    /// A deep forest where labels touch only one small subtree: the
+    /// canonical shape the sparsity pruning targets. Returns the
+    /// hierarchy, a matrix with labels confined to the first chain, and
+    /// the label's cone size.
+    fn sparse_forest() -> (SubjectDag, Eacm, usize) {
+        let mut h = SubjectDag::new();
+        // 8 disjoint chains of 32 nodes each.
+        let mut chains = Vec::new();
+        for _ in 0..8 {
+            let ids = h.add_subjects(32);
+            for w in ids.windows(2) {
+                h.add_membership(w[0], w[1]).unwrap();
+            }
+            chains.push(ids);
+        }
+        // One label at depth 8 of chain 0: its cone is the 24 nodes below
+        // (plus itself), out of 256 total.
+        let mut eacm = Eacm::new();
+        eacm.grant(chains[0][8], ObjectId(0), RightId(0)).unwrap();
+        (h, eacm, 32 - 8)
+    }
+
+    #[test]
+    fn pruned_sweep_engages_and_matches_dense_walk() {
+        let (h, eacm, cone) = sparse_forest();
+        let ctx = SweepContext::new(&h);
+        let pairs = [(ObjectId(0), RightId(0)), (ObjectId(1), RightId(1))];
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let pruned = FusedSweep::compute_with(&ctx, &eacm, &pairs, mode, &mut scratch).unwrap();
+            assert_eq!(
+                pruned.active_subjects(),
+                Some(cone),
+                "mode {mode:?}: pruning should walk exactly the label cone"
+            );
+            let dense =
+                FusedSweep::compute_dense_with(&ctx, &eacm, &pairs, mode, &mut SweepScratch::new())
+                    .unwrap();
+            assert_eq!(dense.active_subjects(), None);
+            for c in 0..pairs.len() {
+                assert_eq!(pruned.table(c), dense.table(c), "mode {mode:?} column {c}");
+                for strategy in Strategy::all_instances() {
+                    assert_eq!(
+                        pruned.signs(c, strategy).unwrap(),
+                        dense.signs(c, strategy).unwrap(),
+                        "mode {mode:?} column {c} strategy {strategy}"
+                    );
+                }
+            }
+            pruned.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn dense_batches_skip_pruning() {
+        // Labels on more than half the subjects: the seed bound already
+        // rules pruning out, so the dense walk runs.
+        let ex = motivating_example();
+        let mut eacm = Eacm::new();
+        for s in ex.hierarchy.subjects() {
+            eacm.grant(s, ex.obj, ex.read).unwrap();
+        }
+        let ctx = SweepContext::new(&ex.hierarchy);
+        let swept = FusedSweep::compute_with(
+            &ctx,
+            &eacm,
+            &[(ex.obj, ex.read)],
+            PropagationMode::Both,
+            &mut SweepScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(swept.active_subjects(), None);
+    }
+
+    #[test]
+    fn active_set_size_counts_the_union_cone() {
+        let (h, eacm, cone) = sparse_forest();
+        let ctx = SweepContext::new(&h);
+        assert_eq!(
+            ctx.active_set_size(&eacm, &[(ObjectId(0), RightId(0))]),
+            cone
+        );
+        // A column with no labels has an empty active set; unioning it
+        // changes nothing.
+        assert_eq!(ctx.active_set_size(&eacm, &[(ObjectId(9), RightId(9))]), 0);
+        assert_eq!(
+            ctx.active_set_size(
+                &eacm,
+                &[(ObjectId(0), RightId(0)), (ObjectId(9), RightId(9))]
+            ),
+            cone
+        );
+        assert_eq!(ctx.active_set_size(&eacm, &[]), 0);
+    }
+
+    #[test]
+    fn scratch_trims_back_to_recent_high_water_marks() {
+        let (h, eacm, _) = sparse_forest();
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        // One wide dense batch inflates the arena buffers…
+        let wide: Vec<_> = (0..16).map(|o| (ObjectId(o), RightId(0))).collect();
+        FusedSweep::compute_dense_with(&ctx, &eacm, &wide, PropagationMode::Both, &mut scratch)
+            .unwrap()
+            .recycle(&mut scratch);
+        let inflated = scratch.retained_bytes();
+        // …then > TRIM_WINDOW narrow batches shrink them back toward the
+        // narrow working set.
+        let narrow = [(ObjectId(0), RightId(0))];
+        for _ in 0..(2 * TRIM_WINDOW) {
+            FusedSweep::compute_dense_with(
+                &ctx,
+                &eacm,
+                &narrow,
+                PropagationMode::Both,
+                &mut scratch,
+            )
+            .unwrap()
+            .recycle(&mut scratch);
+        }
+        assert!(
+            scratch.retained_bytes() < inflated,
+            "retained {} bytes, expected less than the inflated {} bytes",
+            scratch.retained_bytes(),
+            inflated
+        );
     }
 
     #[test]

@@ -41,6 +41,23 @@ impl RepairPlan {
         }
     }
 
+    /// The plan for an explicit-label edit (set, overwrite or unset) on
+    /// `subject` for one `(object, right)` pair: the subject and all of
+    /// its descendants, topologically ordered.
+    ///
+    /// The recurrence reads `own(v)` only at `v` itself, so a label edit
+    /// dirties exactly the edited subject's descendant cone — the same
+    /// cone shape as an edge insertion at that subject, and the hierarchy
+    /// is unchanged by the edit. Base→default and default→base
+    /// transitions need no special casing: the repair re-reads the
+    /// post-edit matrix for every dirty row, so a vanished label simply
+    /// contributes nothing.
+    pub fn for_label_edit(hierarchy: &SubjectDag, subject: SubjectId) -> Self {
+        RepairPlan {
+            dirty: cone_topo_order(hierarchy.graph(), &[subject], Direction::Down),
+        }
+    }
+
     /// The dirty rows in recompute order.
     pub fn dirty(&self) -> &[SubjectId] {
         &self.dirty
@@ -78,6 +95,25 @@ mod tests {
         assert!(!plan.is_empty());
         assert!(!plan.dirty().contains(&outsider));
         assert!(!plan.dirty().contains(&group));
+    }
+
+    #[test]
+    fn label_edit_plan_is_the_subjects_descendant_cone() {
+        let mut h = SubjectDag::new();
+        let root = h.add_subject();
+        let group = h.add_subject();
+        let member = h.add_subject();
+        let leaf = h.add_subject();
+        let outsider = h.add_subject();
+        h.add_membership(root, group).unwrap();
+        h.add_membership(group, member).unwrap();
+        h.add_membership(member, leaf).unwrap();
+        let plan = RepairPlan::for_label_edit(&h, group);
+        assert_eq!(plan.dirty(), &[group, member, leaf]);
+        assert!(!plan.dirty().contains(&root));
+        assert!(!plan.dirty().contains(&outsider));
+        // A label edit on a sink dirties exactly one row.
+        assert_eq!(RepairPlan::for_label_edit(&h, leaf).dirty(), &[leaf]);
     }
 
     #[test]

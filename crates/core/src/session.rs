@@ -11,8 +11,11 @@
 //! * **strategy-independent** — switching the enterprise's conflict
 //!   resolution strategy (the paper's headline use case) invalidates
 //!   nothing;
-//! * **pair-local** — an explicit-matrix update touches exactly one
-//!   `(object, right)` sweep;
+//! * **pair-local AND cone-local for matrix edits** — an explicit-label
+//!   edit touches exactly one `(object, right)` table, and only the
+//!   edited subject's descendant cone within it: the session repairs
+//!   those rows in place ([`RepairPlan::for_label_edit`]) instead of
+//!   dropping the sweep;
 //! * **cone-local** — a hierarchy edit dirties only the edited member's
 //!   descendant cone, and the session *repairs* exactly those rows of
 //!   each cached table in place (a partial topological sweep seeded
@@ -80,6 +83,20 @@ pub struct SessionStats {
     /// `subject_count × cached pairs` to see what a flush would have
     /// re-swept.
     pub rows_repaired: u64,
+    /// Incremental repairs of a single cached table after an
+    /// explicit-label edit (set/overwrite/unset). The flush-a-pair path
+    /// these replace survives only as the debug oracle.
+    pub matrix_repairs: u64,
+    /// Total rows recomputed by matrix-edit repairs — the edited
+    /// subject's descendant cone per edit, vs. `subject_count` for the
+    /// retired flush-and-resweep.
+    pub matrix_repair_rows: u64,
+    /// High-water mark of bytes retained by this thread's reusable sweep
+    /// scratch (label plane + arena + cone-walk buffers), as last
+    /// observed after a sweep. The scratch trims itself back toward
+    /// recent batch sizes, so this gauge tracks the recent working set,
+    /// not the historical peak.
+    pub scratch_retained_bytes: u64,
     /// `(object, right)` columns computed by the fused-sweep kernel.
     pub kernel_columns: u64,
     /// Fused batches executed (`kernel_columns / kernel_batches` is the
@@ -137,6 +154,9 @@ pub struct AccessSession {
     full_invalidations: AtomicU64,
     partial_repairs: AtomicU64,
     rows_repaired: AtomicU64,
+    matrix_repairs: AtomicU64,
+    matrix_repair_rows: AtomicU64,
+    scratch_bytes: AtomicU64,
     kernel_columns: AtomicU64,
     kernel_batches: AtomicU64,
     kernel_arena_bytes: AtomicU64,
@@ -161,6 +181,9 @@ impl AccessSession {
             full_invalidations: AtomicU64::new(0),
             partial_repairs: AtomicU64::new(0),
             rows_repaired: AtomicU64::new(0),
+            matrix_repairs: AtomicU64::new(0),
+            matrix_repair_rows: AtomicU64::new(0),
+            scratch_bytes: AtomicU64::new(0),
             kernel_columns: AtomicU64::new(0),
             kernel_batches: AtomicU64::new(0),
             kernel_arena_bytes: AtomicU64::new(0),
@@ -297,8 +320,10 @@ impl AccessSession {
         }
     }
 
-    /// Records an explicit authorization; drops only the affected
-    /// `(object, right)` sweep.
+    /// Records an explicit authorization and incrementally repairs the
+    /// one cached sweep it can have changed: only the rows of `subject`'s
+    /// descendant cone in the `(object, right)` table are recomputed; no
+    /// sweep is dropped unless the repair itself fails.
     pub fn set_authorization(
         &mut self,
         subject: SubjectId,
@@ -307,11 +332,14 @@ impl AccessSession {
         sign: Sign,
     ) -> Result<(), CoreError> {
         self.eacm.set(subject, object, right, sign)?;
-        self.flush_pair(object, right);
+        self.repair_pair_after_label_edit(subject, object, right);
         Ok(())
     }
 
-    /// Removes an explicit authorization; drops only the affected sweep.
+    /// Removes an explicit authorization; cone-repairs the affected sweep
+    /// just like [`AccessSession::set_authorization`] (a vanished label
+    /// is the default→base transition: the repair re-reads the post-edit
+    /// matrix, so the row simply loses its explicit record).
     pub fn unset_authorization(
         &mut self,
         subject: SubjectId,
@@ -320,9 +348,65 @@ impl AccessSession {
     ) -> Option<Sign> {
         let removed = self.eacm.unset(subject, object, right);
         if removed.is_some() {
-            self.flush_pair(object, right);
+            self.repair_pair_after_label_edit(subject, object, right);
         }
         removed
+    }
+
+    /// Repairs the single cached table an explicit-label edit at
+    /// `subject` can have dirtied — the edited subject's descendant cone
+    /// of the `(object, right)` sweep. A failed repair (checked-arithmetic
+    /// overflow) drops only that pair; the retired flush-the-pair path
+    /// survives as the debug oracle below.
+    fn repair_pair_after_label_edit(&self, subject: SubjectId, object: ObjectId, right: RightId) {
+        if !self.hierarchy.contains(subject) {
+            // Labels may be pre-recorded for subjects not yet in the
+            // hierarchy; no sweep can observe them until the subject is
+            // added, so cached tables are untouched.
+            return;
+        }
+        let mut guard = self.cache.write();
+        let Some(table) = guard.get_mut(&(object, right)) else {
+            return;
+        };
+        let plan = RepairPlan::for_label_edit(&self.hierarchy, subject);
+        let rows = Arc::make_mut(table);
+        match counting::histograms_repair(
+            &self.hierarchy,
+            &self.eacm,
+            object,
+            right,
+            PropagationMode::Both,
+            rows,
+            plan.dirty(),
+        ) {
+            Ok(()) => {
+                self.matrix_repairs.fetch_add(1, Ordering::Relaxed);
+                self.matrix_repair_rows
+                    .fetch_add(plan.len() as u64, Ordering::Relaxed);
+                // Debug oracle: the retired flush-and-recompute path,
+                // kept as a cross-check that cone repair is exact.
+                #[cfg(debug_assertions)]
+                if let Ok(fresh) = counting::histograms_all(
+                    &self.hierarchy,
+                    &self.eacm,
+                    object,
+                    right,
+                    PropagationMode::Both,
+                ) {
+                    debug_assert_eq!(
+                        rows,
+                        &fresh[..],
+                        "matrix-edit cone repair diverged from full sweep \
+                         for ({object}, {right})"
+                    );
+                }
+            }
+            Err(_) => {
+                guard.remove(&(object, right));
+                self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// The effective authorization under the session strategy.
@@ -411,10 +495,20 @@ impl AccessSession {
             // work-stealing pool spread the batches over the cores.
             let batches: Vec<&[(ObjectId, RightId)]> =
                 missing.chunks(DEFAULT_BATCH_COLUMNS).collect();
-            let threads = std::thread::available_parallelism()
-                .map_or(1, std::num::NonZeroUsize::get)
-                .min(batches.len());
             let ctx = self.context();
+            // Sparsity-aware work estimate: pruned sweeps only walk the
+            // labels' union descendant cone, so a mostly-empty matrix
+            // estimates `active × columns` cells — far below the
+            // threshold — and stays on the calling thread instead of
+            // waking the pool for microscopic sweeps.
+            let est = ctx.active_set_size(&self.eacm, &missing).max(1) * missing.len();
+            let threads = if est < crate::effective::PARALLEL_WORK_THRESHOLD {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map_or(1, std::num::NonZeroUsize::get)
+                    .min(batches.len())
+            };
             let results = pool::run_indexed(batches.len(), threads, |i| {
                 with_thread_scratch(|scratch| {
                     let fused = FusedSweep::compute_with(
@@ -425,7 +519,10 @@ impl AccessSession {
                         scratch,
                     )?;
                     let arena_bytes = fused.arena_bytes();
-                    Ok::<_, CoreError>((arena_bytes, fused.into_tables_recycling(scratch)))
+                    let tables = fused.into_tables_recycling(scratch);
+                    self.scratch_bytes
+                        .fetch_max(scratch.retained_bytes() as u64, Ordering::Relaxed);
+                    Ok::<_, CoreError>((arena_bytes, tables))
                 })
             });
             if threads > 1 {
@@ -486,6 +583,9 @@ impl AccessSession {
             full_invalidations: self.full_invalidations.load(Ordering::Relaxed),
             partial_repairs: self.partial_repairs.load(Ordering::Relaxed),
             rows_repaired: self.rows_repaired.load(Ordering::Relaxed),
+            matrix_repairs: self.matrix_repairs.load(Ordering::Relaxed),
+            matrix_repair_rows: self.matrix_repair_rows.load(Ordering::Relaxed),
+            scratch_retained_bytes: self.scratch_bytes.load(Ordering::Relaxed),
             kernel_columns: self.kernel_columns.load(Ordering::Relaxed),
             kernel_batches: self.kernel_batches.load(Ordering::Relaxed),
             kernel_arena_bytes: self.kernel_arena_bytes.load(Ordering::Relaxed),
@@ -517,6 +617,8 @@ impl AccessSession {
                 .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
             let rows = fused.table(0);
             fused.recycle(scratch);
+            self.scratch_bytes
+                .fetch_max(scratch.retained_bytes() as u64, Ordering::Relaxed);
             Ok::<_, CoreError>(rows)
         })?;
         self.kernel_columns.fetch_add(1, Ordering::Relaxed);
@@ -529,12 +631,6 @@ impl AccessSession {
             .entry((object, right))
             .or_insert_with(|| Arc::clone(&table));
         Ok(Arc::clone(entry))
-    }
-
-    fn flush_pair(&self, object: ObjectId, right: RightId) {
-        if self.cache.write().remove(&(object, right)).is_some() {
-            self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
-        }
     }
 }
 
@@ -577,24 +673,28 @@ mod tests {
     }
 
     #[test]
-    fn matrix_update_invalidates_only_its_pair() {
+    fn matrix_update_repairs_only_its_pair() {
         let (mut s, ex) = session();
         let other = ObjectId(9);
         s.check(ex.user, ex.obj, ex.read).unwrap();
         s.check(ex.user, other, ex.read).unwrap();
         assert_eq!(s.stats().sweeps, 2);
-        // Update obj's matrix: only that sweep drops.
+        // Update obj's matrix: only that table is cone-repaired in
+        // place; nothing is dropped, nothing is re-swept.
         s.set_authorization(ex.s[0], ex.obj, ex.read, Sign::Neg)
             .unwrap();
-        s.check(ex.user, other, ex.read).unwrap(); // still cached
-        assert_eq!(s.stats().sweeps, 2);
-        let before = s.check(ex.user, ex.obj, ex.read).unwrap(); // re-swept
-        assert_eq!(s.stats().sweeps, 3);
-        assert_eq!(s.stats().pair_invalidations, 1);
-        // And the answer reflects the update: S1 now denies explicitly,
-        // but S5's - at distance 1 already decided D-LP- — assert via a
-        // strategy the update actually flips.
-        let _ = before;
+        s.check(ex.user, other, ex.read).unwrap(); // untouched pair
+        s.check(ex.user, ex.obj, ex.read).unwrap(); // repaired pair
+        let stats = s.stats();
+        assert_eq!(stats.sweeps, 2, "the repaired table keeps serving");
+        assert_eq!(stats.matrix_repairs, 1);
+        assert_eq!(stats.pair_invalidations, 0);
+        assert_eq!(stats.cache_hits, 2);
+        // The repaired cache answers exactly like a fresh resolver.
+        let fresh = crate::resolve::Resolver::new(s.hierarchy(), s.eacm())
+            .resolve(ex.user, ex.obj, ex.read, s.strategy())
+            .unwrap();
+        assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), fresh);
     }
 
     #[test]
@@ -607,13 +707,70 @@ mod tests {
         s.set_authorization(ex.user, ex.obj, ex.read, Sign::Neg)
             .unwrap();
         assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
-        // Remove it again: back to +.
+        // Remove it again: back to + (the default→base→default round
+        // trip, handled entirely by in-place cone repair).
         assert_eq!(
             s.unset_authorization(ex.user, ex.obj, ex.read),
             Some(Sign::Neg)
         );
         assert_eq!(s.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
-        assert_eq!(s.stats().pair_invalidations, 2);
+        let stats = s.stats();
+        assert_eq!(stats.matrix_repairs, 2, "one repair per edit");
+        assert_eq!(stats.pair_invalidations, 0);
+        assert_eq!(stats.sweeps, 1, "matrix edits never re-sweep");
+        // User is a sink: each repair recomputed exactly one row.
+        assert_eq!(stats.matrix_repair_rows, 2);
+    }
+
+    #[test]
+    fn label_edits_on_a_large_shape_repair_cones_not_tables() {
+        // The acceptance shape: a label edit on a deep hierarchy repairs
+        // only the edited subject's descendant cone — never a flush,
+        // never a full-table resweep.
+        let mut s = AccessSession::empty("D-LP-".parse().unwrap());
+        // 16 chains of 16 nodes hanging off one root.
+        let root = s.add_subject();
+        let mut mids = Vec::new();
+        for _ in 0..16 {
+            let mut prev = root;
+            for depth in 0..16 {
+                let v = s.add_subject();
+                s.add_membership(prev, v).unwrap();
+                if depth == 7 {
+                    mids.push(v);
+                }
+                prev = v;
+            }
+        }
+        let n = s.hierarchy().subject_count() as u64;
+        let (o, r) = (ObjectId(0), RightId(0));
+        s.set_authorization(mids[0], o, r, Sign::Pos).unwrap();
+        s.check(root, o, r).unwrap(); // warm the cache
+        let swept = s.stats().sweeps;
+        // Edit mid-chain: the cone is the 9 nodes at depth ≥ 7 of that
+        // chain, out of 257 subjects.
+        s.set_authorization(mids[1], o, r, Sign::Neg).unwrap();
+        assert_eq!(
+            s.unset_authorization(mids[1], o, r),
+            Some(Sign::Neg),
+            "and back again"
+        );
+        let stats = s.stats();
+        assert_eq!(stats.full_invalidations, 0);
+        assert_eq!(stats.pair_invalidations, 0);
+        assert_eq!(stats.sweeps, swept, "no edit re-swept the table");
+        assert_eq!(stats.matrix_repairs, 2);
+        assert!(
+            stats.matrix_repair_rows < n,
+            "two cone repairs ({} rows) must stay below one full table ({n} rows)",
+            stats.matrix_repair_rows
+        );
+        assert_eq!(stats.matrix_repair_rows, 18, "9-row cone × 2 edits");
+        // And the repaired cache still answers like a fresh resolver.
+        let fresh = crate::resolve::Resolver::new(s.hierarchy(), s.eacm())
+            .resolve(root, o, r, s.strategy())
+            .unwrap();
+        assert_eq!(s.check(root, o, r).unwrap(), fresh);
     }
 
     #[test]
@@ -698,6 +855,7 @@ mod tests {
         assert_eq!(stats.serial_dispatches, 1);
         assert_eq!(stats.parallel_dispatches, 0);
         assert!(stats.kernel_arena_bytes > 0);
+        assert!(stats.scratch_retained_bytes > 0);
 
         // A batched check over many distinct pairs: the missing columns
         // fuse into ceil(missing / DEFAULT_BATCH_COLUMNS) batches.

@@ -173,6 +173,24 @@ impl Strategy {
         self.preference
     }
 
+    /// The sign this strategy resolves any **non-empty pure-default**
+    /// histogram to (every record `Default`, at any mix of distances).
+    ///
+    /// After the Default rule fires, such a histogram is uniformly
+    /// positive, uniformly negative, or empty (`NoDefault` discards the
+    /// `d` rows): the Locality filter keeps a stratum of the same sign,
+    /// a Majority vote over one sign is unanimous, and an empty stream
+    /// falls through to Preference. So the result depends only on
+    /// `dRule`/`pRule` — this is the closed form the sparsity-pruned
+    /// kernel uses for every subject outside a column's label cone.
+    pub fn default_only_sign(&self) -> Sign {
+        match self.default {
+            DefaultRule::Pos => Sign::Pos,
+            DefaultRule::Neg => Sign::Neg,
+            DefaultRule::NoDefault => self.preference,
+        }
+    }
+
     /// All 48 legitimate strategy instances, in a stable order: grouped by
     /// Default rule (`+`, `-`, none), then by policy shape, then by
     /// preference sign.
@@ -563,6 +581,29 @@ mod tests {
                 bad.parse::<Strategy>().is_err(),
                 "`{bad}` should be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn default_only_sign_matches_resolution_on_pure_default_histograms() {
+        use crate::engine::DistanceHistogram;
+        use crate::mode::Mode;
+        use crate::resolve::resolve_histogram;
+        // Pure-default histograms of several shapes: single stratum,
+        // multiple strata, large counts.
+        let shapes: [&[(u32, u128)]; 3] = [&[(0, 1)], &[(1, 2), (3, 5)], &[(7, 1 << 40)]];
+        for strata in shapes {
+            let mut h = DistanceHistogram::new();
+            for &(d, count) in strata {
+                h.add(d, Mode::Default, count).unwrap();
+            }
+            for s in Strategy::all_instances() {
+                assert_eq!(
+                    resolve_histogram(&h, s).unwrap().sign,
+                    s.default_only_sign(),
+                    "strategy {s}"
+                );
+            }
         }
     }
 

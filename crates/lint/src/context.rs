@@ -1,8 +1,9 @@
 //! What a lint rule sees: the loaded policy plus optional name tables and
 //! source positions.
 
-use crate::diagnostics::{Span, SpanItem};
+use crate::diagnostics::{RuleSweepStats, Span, SpanItem};
 use crate::source_map::SourceMap;
+use std::cell::RefCell;
 use ucra_core::{Eacm, ObjectId, RightId, Strategy, SubjectDag, SubjectId};
 use ucra_store::AccessModel;
 
@@ -19,6 +20,7 @@ pub struct LintContext<'a> {
     strategy: Option<Strategy>,
     model: Option<&'a AccessModel>,
     source: Option<&'a SourceMap>,
+    sweeps: RefCell<Vec<RuleSweepStats>>,
 }
 
 impl<'a> LintContext<'a> {
@@ -30,6 +32,7 @@ impl<'a> LintContext<'a> {
             strategy: model.default_strategy(),
             model: Some(model),
             source,
+            sweeps: RefCell::new(Vec::new()),
         }
     }
 
@@ -45,7 +48,20 @@ impl<'a> LintContext<'a> {
             strategy,
             model: None,
             source: None,
+            sweeps: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Records one rule's sweep-kernel statistics (its pruned-probe
+    /// active-set sizes), surfaced by the report's JSON renderer.
+    pub fn record_sweep_stats(&self, stats: RuleSweepStats) {
+        self.sweeps.borrow_mut().push(stats);
+    }
+
+    /// Drains the recorded sweep statistics (called once per lint run,
+    /// after every rule has checked).
+    pub fn take_sweep_stats(&self) -> Vec<RuleSweepStats> {
+        std::mem::take(&mut self.sweeps.borrow_mut())
     }
 
     /// The subject hierarchy.

@@ -117,11 +117,36 @@ pub struct Diagnostic {
     pub help: Option<String>,
 }
 
+/// Sweep-kernel observability for one semantic rule: how much of the
+/// hierarchy its label-cone-pruned probes actually visited.
+///
+/// The semantic rules (`UCRA020`, `UCRA021`) recompute effective columns
+/// through the sparsity-pruned sweep kernel; on the sparse matrices they
+/// exist to encourage, each probe's active set is the union label cone,
+/// not the whole hierarchy. These numbers make that visible in
+/// `--format json` so policy authors can see the probe cost scale with
+/// label density rather than model size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSweepStats {
+    /// The rule's kebab-case name, e.g. `redundant-label`.
+    pub rule: &'static str,
+    /// Subjects in the linted hierarchy.
+    pub subjects: usize,
+    /// `(object, right)` pairs the rule probed.
+    pub pairs_probed: usize,
+    /// Largest single-pair active set over all probes.
+    pub active_rows_max: usize,
+    /// Active rows summed over all probes (the rule's total sweep work,
+    /// in rows; a dense probe would cost `subjects × pairs_probed`).
+    pub active_rows_total: usize,
+}
+
 /// The outcome of a lint run: every finding, ordered deterministically
 /// (by source line where known, then code, then message).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
     diagnostics: Vec<Diagnostic>,
+    sweeps: Vec<RuleSweepStats>,
 }
 
 impl LintReport {
@@ -139,7 +164,24 @@ impl LintReport {
                 .then_with(|| a.code.cmp(b.code))
                 .then_with(|| a.message.cmp(&b.message))
         });
-        LintReport { diagnostics }
+        LintReport {
+            diagnostics,
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// Attaches per-rule sweep-kernel statistics (sorted by rule name
+    /// for a deterministic rendering).
+    pub fn with_sweep_stats(mut self, mut sweeps: Vec<RuleSweepStats>) -> LintReport {
+        sweeps.sort_by(|a, b| a.rule.cmp(b.rule));
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Per-rule sweep-kernel statistics, sorted by rule name. Empty when
+    /// no semantic rule ran (e.g. the policy failed to parse).
+    pub fn sweep_stats(&self) -> &[RuleSweepStats] {
+        &self.sweeps
     }
 
     /// The findings, in report order.
@@ -269,6 +311,18 @@ impl LintReport {
             out.push('}');
         }
         use std::fmt::Write as _;
+        out.push_str("],\"kernel\":[");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"subjects\":{},\"pairs_probed\":{},\
+                 \"active_rows_max\":{},\"active_rows_total\":{}}}",
+                s.rule, s.subjects, s.pairs_probed, s.active_rows_max, s.active_rows_total
+            );
+        }
         let _ = write!(
             out,
             "],\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}}}",

@@ -44,7 +44,7 @@ mod source_map;
 mod suggest;
 
 pub use context::LintContext;
-pub use diagnostics::{Diagnostic, LintReport, Severity, Span, SpanItem};
+pub use diagnostics::{Diagnostic, LintReport, RuleSweepStats, Severity, Span, SpanItem};
 pub use rules::{codes, registry, LintRule, RuleInfo};
 pub use source_map::SourceMap;
 pub use suggest::{edit_distance, nearest_mnemonic};
@@ -198,7 +198,7 @@ fn run_rules(cx: &LintContext<'_>, mut diagnostics: Vec<Diagnostic>) -> LintRepo
             }),
         }
     }
-    LintReport::from_diagnostics(diagnostics)
+    LintReport::from_diagnostics(diagnostics).with_sweep_stats(cx.take_sweep_stats())
 }
 
 #[cfg(test)]
@@ -217,6 +217,28 @@ grant S2 obj read
 deny S5 obj read
 strategy D-LMP+
 ";
+
+    #[test]
+    fn semantic_rules_report_pruned_sweep_stats() {
+        let report = lint_policy_text(CLEAN);
+        let rules: Vec<_> = report.sweep_stats().iter().map(|s| s.rule).collect();
+        assert_eq!(rules, vec!["dead-conflict", "redundant-label"]);
+        for s in report.sweep_stats() {
+            assert!(s.pairs_probed >= 1, "{}: no pairs probed", s.rule);
+            assert!(
+                s.active_rows_max <= s.subjects,
+                "{}: active set cannot exceed the hierarchy",
+                s.rule
+            );
+            assert!(s.active_rows_total >= s.active_rows_max);
+        }
+        let json = report.render_json();
+        assert!(
+            json.contains("\"kernel\":[{\"rule\":\"dead-conflict\""),
+            "{json}"
+        );
+        assert!(json.contains("\"active_rows_max\""), "{json}");
+    }
 
     #[test]
     fn motivating_example_lints_clean() {

@@ -13,7 +13,7 @@
 
 use super::{LintRule, RuleInfo};
 use crate::context::LintContext;
-use crate::diagnostics::{Diagnostic, Severity};
+use crate::diagnostics::{Diagnostic, RuleSweepStats, Severity};
 use ucra_core::{columns_for_strategies_in, CoreError, Strategy, SubjectId, SweepContext};
 use ucra_graph::traverse::{reachable_set, Direction};
 
@@ -43,11 +43,22 @@ impl LintRule for DeadConflict {
         let descendants = |s: SubjectId| reachable_set(graph, &[s], Direction::Down);
         let ctx = SweepContext::new(cx.hierarchy());
         let mut out = Vec::new();
+        let mut stats = RuleSweepStats {
+            rule: self.info().name,
+            subjects: ctx.subjects(),
+            pairs_probed: 0,
+            active_rows_max: 0,
+            active_rows_total: 0,
+        };
         for (object, right) in cx.eacm().object_right_pairs() {
             let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
             if labels.len() < 2 {
                 continue;
             }
+            let active = ctx.active_set_size(cx.eacm(), &[(object, right)]);
+            stats.pairs_probed += 1;
+            stats.active_rows_max = stats.active_rows_max.max(active);
+            stats.active_rows_total += active;
             let cones: Vec<Vec<bool>> = labels.iter().map(|&(s, _)| descendants(s)).collect();
             let base = columns_for_strategies_in(&ctx, cx.eacm(), object, right, &strategies)?;
             for (i, &(subject, sign)) in labels.iter().enumerate() {
@@ -87,6 +98,7 @@ impl LintRule for DeadConflict {
                 });
             }
         }
+        cx.record_sweep_stats(stats);
         Ok(out)
     }
 }

@@ -17,7 +17,7 @@
 
 use super::{LintRule, RuleInfo};
 use crate::context::LintContext;
-use crate::diagnostics::{Diagnostic, Severity};
+use crate::diagnostics::{Diagnostic, RuleSweepStats, Severity};
 use ucra_core::{columns_for_strategies_in, CoreError, Strategy, SweepContext};
 
 /// The `UCRA020` rule (see the module docs).
@@ -37,7 +37,18 @@ impl LintRule for RedundantLabel {
         let strategies = Strategy::all_instances();
         let ctx = SweepContext::new(cx.hierarchy());
         let mut out = Vec::new();
+        let mut stats = RuleSweepStats {
+            rule: self.info().name,
+            subjects: ctx.subjects(),
+            pairs_probed: 0,
+            active_rows_max: 0,
+            active_rows_total: 0,
+        };
         for (object, right) in cx.eacm().object_right_pairs() {
+            let active = ctx.active_set_size(cx.eacm(), &[(object, right)]);
+            stats.pairs_probed += 1;
+            stats.active_rows_max = stats.active_rows_max.max(active);
+            stats.active_rows_total += active;
             let base = columns_for_strategies_in(&ctx, cx.eacm(), object, right, &strategies)?;
             let labels: Vec<_> = cx.eacm().labels_for(object, right).collect();
             for &(subject, sign) in &labels {
@@ -67,6 +78,7 @@ impl LintRule for RedundantLabel {
                 }
             }
         }
+        cx.record_sweep_stats(stats);
         Ok(out)
     }
 }

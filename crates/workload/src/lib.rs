@@ -15,6 +15,9 @@
 //! * [`stress::deep_wide`] — the deep-and-wide shape (layered spine +
 //!   skip-level shortcuts + many labeled `(object, right)` pairs) that
 //!   stresses the columnar fused-sweep kernel.
+//! * [`sparse::sparse_labels`] — clustered forests with near-empty,
+//!   cluster-local columns: the low-label-density shape the
+//!   sparsity-pruned sweep path is benchmarked on.
 //! * [`shapes`] — trees, chains, and the exponential diamond chain.
 //! * [`auth::assign_by_edges`] — the paper's authorization assignment:
 //!   select a fraction of *edges* at random and label their source
@@ -39,6 +42,7 @@ pub mod layered;
 pub mod livelink;
 pub mod shapes;
 pub mod smells;
+pub mod sparse;
 pub mod stats;
 pub mod stress;
 

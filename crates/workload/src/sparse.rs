@@ -1,0 +1,235 @@
+//! The sparse-labels shape: large clustered forests with near-empty
+//! columns, the workload the sparsity-pruned sweep path is measured on.
+//!
+//! The paper's EACM is explicitly sparse — most `(subject, object,
+//! right)` cells carry no label — and in real installations the labels a
+//! single object's ACL *does* carry tend to cluster in one organisational
+//! subtree, not spread uniformly over the enterprise. [`sparse_labels`]
+//! generates exactly that texture: a forest of small disconnected
+//! cluster DAGs (think departments), with each `(object, right)` pair's
+//! explicit labels confined to a handful of clusters chosen per run of
+//! [`PAIR_LOCALITY`] consecutive pairs. Columns are then provably
+//! default-only outside a few clusters, so a pruned sweep's union label
+//! cone stays a small fraction of the hierarchy even for a fused
+//! multi-column batch — while a dense walk still pays `O(V + E)` per
+//! batch.
+
+use crate::Rng;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use ucra_core::{Eacm, ObjectId, RightId, Sign, SubjectDag, SubjectId};
+
+/// Subjects per cluster DAG (departments of ~this size).
+const CLUSTER_SIZE: usize = 64;
+
+/// Consecutive `(object, right)` pairs that share a cluster group.
+/// Matches the kernel's default fusion width, so a fused batch's union
+/// label cone stays cluster-local instead of unioning unrelated cones.
+pub const PAIR_LOCALITY: usize = 8;
+
+/// Parameters for [`sparse_labels`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseConfig {
+    /// Total number of subjects (split into ~[`CLUSTER_SIZE`]-node
+    /// clusters).
+    pub subjects: usize,
+    /// Total membership-edge budget. At least one spanning edge per
+    /// non-root cluster node is always created; the surplus becomes
+    /// random intra-cluster edges.
+    pub edges: usize,
+    /// Number of `(object, right)` pairs to load with labels.
+    pub pairs: usize,
+    /// Fraction of subjects carrying an explicit label *per pair*
+    /// (`0.01` = 1 % density).
+    pub label_density: f64,
+    /// Fraction of negative labels.
+    pub negative_share: f64,
+}
+
+impl SparseConfig {
+    /// The full benchmark shape: stress-scale subject count, 64 pairs.
+    pub fn full(label_density: f64) -> Self {
+        SparseConfig {
+            subjects: 4096,
+            edges: 9000,
+            pairs: 64,
+            label_density,
+            negative_share: 0.4,
+        }
+    }
+
+    /// A seconds-fast shape for CI smoke runs and unit tests.
+    pub fn quick(label_density: f64) -> Self {
+        SparseConfig {
+            subjects: 768,
+            edges: 1700,
+            pairs: 16,
+            label_density,
+            negative_share: 0.4,
+        }
+    }
+}
+
+/// A generated sparse model: clustered hierarchy, low-density matrix,
+/// and the labeled pairs (the benchmark's work list).
+#[derive(Debug, Clone)]
+pub struct SparseModel {
+    /// The clustered forest.
+    pub hierarchy: SubjectDag,
+    /// Explicit labels, `label_density · subjects` per pair.
+    pub eacm: Eacm,
+    /// The `(object, right)` pairs that carry labels, in column order.
+    pub pairs: Vec<(ObjectId, RightId)>,
+    /// `clusters[i]` holds cluster *i*'s subjects, in creation order
+    /// (ancestors before descendants within the cluster).
+    pub clusters: Vec<Vec<SubjectId>>,
+}
+
+/// Generates the sparse-labels model (deterministic per `rng` state).
+pub fn sparse_labels(config: SparseConfig, rng: &mut Rng) -> SparseModel {
+    assert!(
+        config.subjects >= 1 && config.pairs >= 1,
+        "degenerate sparse config"
+    );
+    let mut hierarchy = SubjectDag::with_capacity(config.subjects);
+    let mut clusters: Vec<Vec<SubjectId>> = Vec::new();
+    let mut remaining = config.subjects;
+    while remaining > 0 {
+        let size = remaining.min(CLUSTER_SIZE);
+        clusters.push(hierarchy.add_subjects(size));
+        remaining -= size;
+    }
+    // Spanning edges: every non-first cluster node gets one parent among
+    // its cluster predecessors, keeping each cluster connected (and the
+    // clusters mutually disconnected — a forest of department DAGs).
+    let mut edges_used = 0usize;
+    for cluster in &clusters {
+        for (i, &child) in cluster.iter().enumerate().skip(1) {
+            let parent = cluster[rng.gen_range(0..i)];
+            hierarchy
+                .add_membership(parent, child)
+                .expect("forward edges cannot cycle");
+            edges_used += 1;
+        }
+    }
+    // Surplus edges: random forward intra-cluster pairs. Duplicates are
+    // rejected by the DAG, so retry a bounded number of times.
+    let mut surplus = config.edges.saturating_sub(edges_used);
+    let mut attempts = 4 * surplus + 16;
+    while surplus > 0 && attempts > 0 {
+        attempts -= 1;
+        let cluster = &clusters[rng.gen_range(0..clusters.len())];
+        if cluster.len() < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..cluster.len() - 1);
+        let j = rng.gen_range(i + 1..cluster.len());
+        if hierarchy.add_membership(cluster[i], cluster[j]).is_ok() {
+            surplus -= 1;
+        }
+    }
+    // Labels: each run of PAIR_LOCALITY consecutive pairs draws its
+    // subjects from one contiguous cluster group, so a fused batch's
+    // union cone covers a few clusters, not the whole forest.
+    let pairs: Vec<(ObjectId, RightId)> = (0..config.pairs)
+        .map(|i| (ObjectId((i / 3) as u32), RightId((i % 3) as u32)))
+        .collect();
+    let quota = ((config.subjects as f64) * config.label_density)
+        .round()
+        .max(1.0) as usize;
+    let mut eacm = Eacm::new();
+    for (i, &(object, right)) in pairs.iter().enumerate() {
+        let group = i / PAIR_LOCALITY;
+        // Enough consecutive clusters to hold the quota, starting at a
+        // per-group offset that spreads groups over the forest.
+        let span = quota.div_ceil(CLUSTER_SIZE).max(1);
+        let start = (group * span) % clusters.len();
+        let pool: Vec<SubjectId> = (0..span + 1)
+            .flat_map(|k| clusters[(start + k) % clusters.len()].iter().copied())
+            .collect();
+        for &subject in pool.choose_multiple(rng, quota.min(pool.len())) {
+            let sign = if rng.gen_bool(config.negative_share.clamp(0.0, 1.0)) {
+                Sign::Neg
+            } else {
+                Sign::Pos
+            };
+            eacm.set(subject, object, right, sign)
+                .expect("distinct pairs cannot contradict");
+        }
+    }
+    SparseModel {
+        hierarchy,
+        eacm,
+        pairs,
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use ucra_core::SweepContext;
+
+    #[test]
+    fn shape_and_density_are_as_configured() {
+        let cfg = SparseConfig::quick(0.01);
+        let m = sparse_labels(cfg, &mut rng(11));
+        assert_eq!(m.hierarchy.subject_count(), cfg.subjects);
+        assert_eq!(m.pairs.len(), cfg.pairs);
+        let quota = ((cfg.subjects as f64) * cfg.label_density).round() as usize;
+        for &(o, r) in &m.pairs {
+            let labels = m
+                .eacm
+                .iter()
+                .filter(|&(_, oo, rr, _)| (oo, rr) == (o, r))
+                .count();
+            assert_eq!(labels, quota, "pair ({o}, {r})");
+        }
+    }
+
+    #[test]
+    fn clusters_are_mutually_disconnected() {
+        let m = sparse_labels(SparseConfig::quick(0.01), &mut rng(12));
+        let cluster_of: std::collections::HashMap<SubjectId, usize> = m
+            .clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.iter().map(move |&v| (v, i)))
+            .collect();
+        for (g, v) in m.hierarchy.graph().edges() {
+            assert_eq!(
+                cluster_of[&g], cluster_of[&v],
+                "edge {g} → {v} crosses clusters"
+            );
+        }
+    }
+
+    #[test]
+    fn label_cones_stay_a_small_fraction_at_one_percent() {
+        let m = sparse_labels(SparseConfig::quick(0.01), &mut rng(13));
+        let ctx = SweepContext::new(&m.hierarchy);
+        // Per fused batch (PAIR_LOCALITY consecutive pairs), the union
+        // cone must stay well below the pruning threshold of half the
+        // hierarchy.
+        for batch in m.pairs.chunks(PAIR_LOCALITY) {
+            let active = ctx.active_set_size(&m.eacm, batch);
+            assert!(
+                active * 4 < m.hierarchy.subject_count(),
+                "batch cone {active} of {} subjects is not sparse",
+                m.hierarchy.subject_count()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sparse_labels(SparseConfig::quick(0.05), &mut rng(14));
+        let b = sparse_labels(SparseConfig::quick(0.05), &mut rng(14));
+        assert_eq!(
+            a.hierarchy.membership_count(),
+            b.hierarchy.membership_count()
+        );
+        assert_eq!(a.eacm.len(), b.eacm.len());
+    }
+}

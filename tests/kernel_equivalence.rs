@@ -14,10 +14,11 @@ use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use ucra::core::engine::counting::{self, PropagationMode};
 use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::ids::SubjectId;
 use ucra::core::ids::{ObjectId, RightId};
 use ucra::core::{
-    resolve_histogram, DistanceHistogram, Eacm, EffectiveMatrix, FusedSweep, Sign, Strategy,
-    SubjectDag, SweepContext, SweepScratch, PARALLEL_WORK_THRESHOLD,
+    resolve_histogram, AccessSession, DistanceHistogram, Eacm, EffectiveMatrix, FusedSweep,
+    RepairPlan, Sign, Strategy, SubjectDag, SweepContext, SweepScratch, PARALLEL_WORK_THRESHOLD,
 };
 
 const MODES: [PropagationMode; 3] = [
@@ -59,6 +60,64 @@ fn world(
                 };
                 eacm.set(v, o, r, sign).unwrap();
             }
+        }
+    }
+    (h, eacm, cols)
+}
+
+/// A sparsified world for the pruning tests: few labels per column,
+/// optionally confined to sinks (`placement == 0`) or roots
+/// (`placement == 1`), with the final column always zero-label — the
+/// three textures where the label-cone restriction does real work.
+fn sparse_world(
+    n: usize,
+    density: f64,
+    placement: usize,
+    labels_per_col: usize,
+    seed: u64,
+) -> (SubjectDag, Eacm, Vec<(ObjectId, RightId)>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = SubjectDag::with_capacity(n);
+    let ids = h.add_subjects(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                h.add_membership(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    let mut has_parent = vec![false; n];
+    let mut has_child = vec![false; n];
+    for (g, v) in h.graph().edges() {
+        has_child[g.index()] = true;
+        has_parent[v.index()] = true;
+    }
+    let pool: Vec<SubjectId> = ids
+        .iter()
+        .copied()
+        .filter(|v| match placement {
+            0 => !has_child[v.index()],  // sinks only
+            1 => !has_parent[v.index()], // roots only
+            _ => true,
+        })
+        .collect();
+    let cols = vec![
+        (ObjectId(0), RightId(0)),
+        (ObjectId(0), RightId(1)),
+        (ObjectId(1), RightId(0)), // stays zero-label
+    ];
+    let mut eacm = Eacm::new();
+    for &(o, r) in &cols[..2] {
+        for _ in 0..labels_per_col {
+            let v = pool[rng.gen_range(0..pool.len())];
+            let sign = if rng.gen_bool(0.5) {
+                Sign::Pos
+            } else {
+                Sign::Neg
+            };
+            // A re-picked subject may already hold the opposite sign;
+            // keeping the first label is fine for these tests.
+            let _ = eacm.set(v, o, r, sign);
         }
     }
     (h, eacm, cols)
@@ -246,5 +305,158 @@ proptest! {
             &h, &eacm, strategy, &cols, threads,
         ).unwrap();
         prop_assert_eq!(&seq, &par, "threads {}", threads);
+    }
+}
+
+proptest! {
+    // The sparsity-pruning equivalences: fewer cases, each checks all
+    // 48 strategies under all 3 modes.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On sparse worlds — labels confined to sinks, to roots, or spread
+    /// at random, and always one zero-label column — the pruned sweep
+    /// must be bag-equivalent to the forced dense walk and the per-path
+    /// Fig. 5 engine, and sign-identical for all 48 strategies, in all
+    /// three propagation modes.
+    #[test]
+    fn pruned_sweep_matches_dense_walk_and_path_enum_on_sparse_worlds(
+        n in 16usize..40,
+        density in 0.0f64..0.15,
+        placement in 0usize..3,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = sparse_world(n, density, placement, labels, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let pruned = FusedSweep::compute_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            let dense =
+                FusedSweep::compute_dense_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            for (c, _) in cols.iter().enumerate() {
+                prop_assert_eq!(
+                    pruned.table(c), dense.table(c),
+                    "mode {:?} column {} placement {}", mode, c, placement
+                );
+                for strategy in Strategy::all_instances() {
+                    prop_assert_eq!(
+                        pruned.signs(c, strategy).unwrap(),
+                        dense.signs(c, strategy).unwrap(),
+                        "mode {:?} column {} strategy {}", mode, c, strategy
+                    );
+                }
+            }
+            // Close the triangle against the paper-faithful engine on
+            // the labeled first column and the zero-label last column.
+            for c in [0, cols.len() - 1] {
+                let (o, r) = cols[c];
+                for s in h.subjects() {
+                    let recs = path_enum::propagate(
+                        &h, &eacm, s, o, r,
+                        PropagateOptions { mode, ..Default::default() },
+                    ).unwrap();
+                    prop_assert_eq!(
+                        pruned.histogram(s, c),
+                        DistanceHistogram::from_records(&recs).unwrap(),
+                        "mode {:?} column {} subject {}", mode, c, s
+                    );
+                }
+            }
+            dense.recycle(&mut scratch);
+            pruned.recycle(&mut scratch);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cone repair after a random label-edit sequence equals
+    /// flush-and-recompute, row for row, in every propagation mode.
+    #[test]
+    fn label_edit_cone_repair_matches_full_recompute(
+        n in 1usize..14,
+        density in 0.0f64..0.5,
+        rate in 0.0f64..0.5,
+        edits in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let (h, mut eacm, cols) = world(n, density, rate, 1, seed);
+        let (o, r) = cols[0];
+        let ids: Vec<SubjectId> = h.subjects().collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let mut tables: Vec<Vec<DistanceHistogram>> = MODES
+            .iter()
+            .map(|&m| counting::histograms_all(&h, &eacm, o, r, m).unwrap())
+            .collect();
+        for _ in 0..edits {
+            let v = ids[rng.gen_range(0..ids.len())];
+            eacm.unset(v, o, r);
+            if rng.gen_bool(0.6) {
+                let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+                eacm.set(v, o, r, sign).unwrap();
+            }
+            let plan = RepairPlan::for_label_edit(&h, v);
+            for (mi, &mode) in MODES.iter().enumerate() {
+                counting::histograms_repair(
+                    &h, &eacm, o, r, mode, &mut tables[mi], plan.dirty(),
+                ).unwrap();
+                let fresh = counting::histograms_all(&h, &eacm, o, r, mode).unwrap();
+                prop_assert_eq!(
+                    &tables[mi], &fresh,
+                    "repair diverged from recompute after editing {} (mode {:?})", v, mode
+                );
+            }
+        }
+    }
+
+    /// A live session absorbing random matrix edits keeps answering
+    /// exactly like a from-scratch computation over the edited matrix,
+    /// without ever flushing a cached table (cone repair only).
+    #[test]
+    fn session_matrix_edits_repair_cones_and_never_flush(
+        n in 1usize..14,
+        density in 0.0f64..0.5,
+        rate in 0.0f64..0.5,
+        edits in 1usize..10,
+        strategy_ix in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, 2, seed);
+        let strategy = Strategy::all_instances()[strategy_ix];
+        let mut session = AccessSession::new(h.clone(), eacm.clone(), strategy);
+        let mut shadow = eacm;
+        // Warm every pair's cached table so the edits exercise repair.
+        let queries: Vec<_> = h
+            .subjects()
+            .flat_map(|s| cols.iter().map(move |&(o, r)| (s, o, r)))
+            .collect();
+        session.check_many(&queries).unwrap();
+        let ids: Vec<SubjectId> = h.subjects().collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5bd1_e995);
+        for _ in 0..edits {
+            let v = ids[rng.gen_range(0..ids.len())];
+            let (o, r) = cols[rng.gen_range(0..cols.len())];
+            session.unset_authorization(v, o, r);
+            shadow.unset(v, o, r);
+            if rng.gen_bool(0.6) {
+                let sign = if rng.gen_bool(0.5) { Sign::Pos } else { Sign::Neg };
+                session.set_authorization(v, o, r, sign).unwrap();
+                shadow.set(v, o, r, sign).unwrap();
+            }
+        }
+        let expected = EffectiveMatrix::compute_for_pairs(&h, &shadow, strategy, &cols).unwrap();
+        for s in h.subjects() {
+            for &(o, r) in &cols {
+                prop_assert_eq!(
+                    session.check(s, o, r).unwrap(),
+                    expected.sign(s, o, r).unwrap(),
+                    "subject {} pair ({}, {})", s, o, r
+                );
+            }
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.full_invalidations, 0, "matrix edits must never flush all");
+        prop_assert_eq!(stats.pair_invalidations, 0, "matrix edits must repair, not flush");
     }
 }
