@@ -1,0 +1,42 @@
+//! `serve_load` — drive the HTTP daemon with concurrent read-heavy
+//! traffic and interleaved edits.
+//!
+//! ```text
+//! cargo run --release -p ucra-bench --bin serve_load [-- --quick]
+//! ```
+//!
+//! Writes `BENCH_serve.json` at the repository root; `--quick` runs the
+//! CI-sized load in a couple of seconds.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other:?} (expected --quick)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = match ucra_bench::serve::run(quick) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve_load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    match ucra_bench::serve::write_report(&report) {
+        Ok(path) => {
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write BENCH_serve.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

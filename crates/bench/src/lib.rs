@@ -17,6 +17,7 @@
 pub mod fixtures;
 pub mod output;
 pub mod plot;
+pub mod serve;
 pub mod sweep;
 pub mod timing;
 

@@ -68,7 +68,7 @@ const MARGIN_BOTTOM: f64 = 56.0;
 
 /// "Nice numbers" tick positions covering `[min, max]` with ~`n` ticks.
 fn ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
-    if !(max > min) {
+    if max <= min || max.is_nan() || min.is_nan() {
         return vec![min];
     }
     let raw_step = (max - min) / n.max(1) as f64;
@@ -108,7 +108,7 @@ fn fmt_tick(v: f64) -> String {
         let s = i.abs().to_string();
         let mut grouped = String::new();
         for (ix, ch) in s.chars().enumerate() {
-            if ix > 0 && (s.len() - ix) % 3 == 0 {
+            if ix > 0 && (s.len() - ix).is_multiple_of(3) {
                 grouped.push(',');
             }
             grouped.push(ch);

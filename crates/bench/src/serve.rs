@@ -1,0 +1,460 @@
+//! `serve_load` — concurrent read-heavy load against the HTTP daemon
+//! with interleaved edits.
+//!
+//! Boots an in-process [`ucra_service::Server`] over a synthetic
+//! installation, then drives it with persistent keep-alive client
+//! threads issuing `check_many` batches while one editor thread toggles
+//! explicit labels and flips the strategy. Reports client-observed
+//! p50/p99/max request latency and end-to-end checks/sec into
+//! `BENCH_serve.json` (same hand-rolled JSON convention as
+//! `BENCH_sweep.json`; the harness deliberately has no serde
+//! dependency).
+//!
+//! Within-run health gates, checked by the CI smoke job:
+//!
+//! * `full_invalidations` stays 0 — edits repaired, never flushed;
+//! * at least one edit actually interleaved with the read traffic;
+//! * every request returned 200.
+
+use crate::timing::fmt_ns;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ucra_service::client::Connection;
+use ucra_service::{Server, Service};
+use ucra_store::AccessModel;
+
+/// Shape of one load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Subjects in the synthetic hierarchy.
+    pub subjects: usize,
+    /// Objects × rights labeled pairs.
+    pub objects: usize,
+    /// Rights.
+    pub rights: usize,
+    /// Concurrent reader connections.
+    pub clients: usize,
+    /// `check_many` requests each reader issues.
+    pub requests_per_client: usize,
+    /// Queries per `check_many` batch.
+    pub batch: usize,
+}
+
+impl ServeConfig {
+    /// CI-sized: finishes in a couple of seconds on one core.
+    pub fn quick() -> Self {
+        ServeConfig {
+            subjects: 160,
+            objects: 6,
+            rights: 3,
+            clients: 4,
+            requests_per_client: 150,
+            batch: 16,
+        }
+    }
+
+    /// The full shape for local runs.
+    pub fn full() -> Self {
+        ServeConfig {
+            subjects: 1200,
+            objects: 10,
+            rights: 4,
+            clients: 8,
+            requests_per_client: 400,
+            batch: 32,
+        }
+    }
+}
+
+/// The load run's result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// `true` when the CI-sized quick shape was used.
+    pub quick: bool,
+    /// The configuration that ran.
+    pub config: ServeConfig,
+    /// `std::thread::available_parallelism()` when the run happened.
+    pub cores: usize,
+    /// Individual checks answered (requests × batch).
+    pub total_checks: u64,
+    /// Wall-clock time of the read phase.
+    pub wall_ns: u128,
+    /// `total_checks / wall` — the headline throughput number.
+    pub checks_per_sec: f64,
+    /// Median client-observed `check_many` latency.
+    pub p50_ns: u128,
+    /// 99th-percentile latency.
+    pub p99_ns: u128,
+    /// Slowest single request.
+    pub max_ns: u128,
+    /// Edits the editor thread applied while reads were in flight.
+    pub edits_applied: u64,
+    /// Median client-observed edit latency.
+    pub edit_p50_ns: u128,
+    /// Sweeps the session computed (cold columns only — everything else
+    /// was served from the shared cache).
+    pub sweeps: u64,
+    /// Whole-cache flushes observed by `/stats`; the CI gate requires 0.
+    pub full_invalidations: u64,
+    /// Incremental matrix-edit repairs observed by `/stats`.
+    pub matrix_repairs: u64,
+}
+
+impl ServeReport {
+    /// The report as a JSON document (hand-rolled, like
+    /// [`crate::sweep::SweepReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve_load\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"workload\": {{\"subjects\": {}, \"objects\": {}, \"rights\": {}}},\n  \
+             \"load\": {{\"clients\": {}, \"requests_per_client\": {}, \"batch\": {}}},\n  \
+             \"throughput\": {{\"total_checks\": {}, \"wall_ns\": {}, \
+             \"checks_per_sec\": {:.1}}},\n  \
+             \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
+             \"edits\": {{\"applied\": {}, \"p50_ns\": {}}},\n  \
+             \"session\": {{\"sweeps\": {}, \"full_invalidations\": {}, \
+             \"matrix_repairs\": {}}}\n}}\n",
+            self.quick,
+            self.cores,
+            self.config.subjects,
+            self.config.objects,
+            self.config.rights,
+            self.config.clients,
+            self.config.requests_per_client,
+            self.config.batch,
+            self.total_checks,
+            self.wall_ns,
+            self.checks_per_sec,
+            self.p50_ns,
+            self.p99_ns,
+            self.max_ns,
+            self.edits_applied,
+            self.edit_p50_ns,
+            self.sweeps,
+            self.full_invalidations,
+            self.matrix_repairs,
+        )
+    }
+
+    /// A terminal-friendly summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let c = &self.config;
+        let _ = writeln!(
+            out,
+            "serve_load ({}): {} subjects, {} pairs, {} clients x {} requests x batch {}",
+            if self.quick { "quick" } else { "full" },
+            c.subjects,
+            c.objects * c.rights,
+            c.clients,
+            c.requests_per_client,
+            c.batch
+        );
+        let _ = writeln!(
+            out,
+            "  throughput : {:.0} checks/sec ({} checks in {})",
+            self.checks_per_sec,
+            self.total_checks,
+            fmt_ns(self.wall_ns)
+        );
+        let _ = writeln!(
+            out,
+            "  latency    : p50 {}  p99 {}  max {}",
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p99_ns),
+            fmt_ns(self.max_ns)
+        );
+        let _ = writeln!(
+            out,
+            "  edits      : {} interleaved, p50 {}",
+            self.edits_applied,
+            fmt_ns(self.edit_p50_ns)
+        );
+        let _ = writeln!(
+            out,
+            "  session    : {} sweeps, {} matrix repairs, {} full flushes",
+            self.sweeps, self.matrix_repairs, self.full_invalidations
+        );
+        out
+    }
+}
+
+fn subject(i: usize) -> String {
+    format!("s{i}")
+}
+
+/// Deterministic synthetic installation: layered DAG plus labels on
+/// every `(object, right)` pair.
+fn build_model(cfg: &ServeConfig, seed: u64) -> AccessModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut model = AccessModel::new();
+    for i in 0..cfg.subjects {
+        model.subject(&subject(i));
+    }
+    for j in 1..cfg.subjects {
+        // Every subject belongs to 1–3 earlier groups: connected,
+        // acyclic, a few propagation paths per query.
+        let parents = rng.gen_range(1..=3.min(j));
+        for _ in 0..parents {
+            let i = rng.gen_range(0..j);
+            let _ = model.add_membership(&subject(i), &subject(j));
+        }
+    }
+    for o in 0..cfg.objects {
+        for r in 0..cfg.rights {
+            let (obj, rt) = (format!("o{o}"), format!("r{r}"));
+            // A handful of labels per pair, spread over the hierarchy.
+            for _ in 0..(cfg.subjects / 12).max(2) {
+                let s = subject(rng.gen_range(0..cfg.subjects));
+                let res = if rng.gen_bool(0.7) {
+                    model.grant(&s, &obj, &rt)
+                } else {
+                    model.deny(&s, &obj, &rt)
+                };
+                let _ = res; // contradictions on re-picked subjects: skip
+            }
+        }
+    }
+    model.set_default_strategy("D+LMP+".parse().expect("valid mnemonic"));
+    model
+}
+
+/// One reader's batch body, pre-rendered so request serialisation is
+/// not part of the measured latency.
+fn batch_bodies(cfg: &ServeConfig, client: usize) -> Vec<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ client as u64);
+    (0..cfg.requests_per_client)
+        .map(|_| {
+            let queries: Vec<String> = (0..cfg.batch)
+                .map(|_| {
+                    format!(
+                        "{{\"subject\":\"s{}\",\"object\":\"o{}\",\"right\":\"r{}\"}}",
+                        rng.gen_range(0..cfg.subjects),
+                        rng.gen_range(0..cfg.objects),
+                        rng.gen_range(0..cfg.rights)
+                    )
+                })
+                .collect();
+            format!("{{\"queries\":[{}]}}", queries.join(","))
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pulls one `"key":<integer>` field out of the `/stats` JSON body
+/// (the harness has no serde; the daemon's stats keys are flat).
+fn stat_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String = body[at..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Runs the load and returns the report. Everything is in-process: the
+/// server binds an ephemeral loopback port and the readers connect to
+/// it like any external client would.
+pub fn run(quick: bool) -> Result<ServeReport, String> {
+    let cfg = if quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::full()
+    };
+    let model = build_model(&cfg, 7);
+    let service = Arc::new(Service::from_model(
+        &model,
+        "D+LMP+".parse().expect("valid mnemonic"),
+    ));
+    let handle =
+        Server::bind("127.0.0.1:0", service).map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let addr = handle.addr();
+
+    // Warm the cache so the measured phase exercises the steady state
+    // (cold sweeps are the fused_sweep benchmark's subject, not this
+    // one's).
+    let mut warm = Connection::connect(addr).map_err(|e| e.to_string())?;
+    for body in batch_bodies(&cfg, usize::MAX).iter().take(8) {
+        let (status, resp) = warm.post("/check_many", body).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("warmup request failed with {status}: {resp}"));
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    // The editor: toggle labels on a dedicated subject (set ↔ revoke
+    // never contradicts) and flip the strategy, until the readers are
+    // done.
+    let editor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).expect("editor connect");
+            let mut latencies = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let (path, body) = match i % 4 {
+                    0 => (
+                        "/edit/authorization",
+                        "{\"subject\":\"s1\",\"object\":\"o0\",\"right\":\"r0\",\"sign\":\"-\"}"
+                            .to_string(),
+                    ),
+                    1 => (
+                        "/edit/revoke",
+                        "{\"subject\":\"s1\",\"object\":\"o0\",\"right\":\"r0\"}".to_string(),
+                    ),
+                    2 => ("/edit/strategy", "{\"strategy\":\"D-LP-\"}".to_string()),
+                    _ => ("/edit/strategy", "{\"strategy\":\"D+LMP+\"}".to_string()),
+                };
+                let start = Instant::now();
+                let ok = matches!(conn.post(path, &body), Ok((200 | 409, _)));
+                latencies.push(start.elapsed().as_nanos());
+                assert!(ok, "edit {path} failed");
+                i += 1;
+                // Reads dominate by design: ~read-heavy traffic with
+                // occasional edits, not an edit storm.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            latencies
+        })
+    };
+
+    let started = Instant::now();
+    let readers: Vec<_> = (0..cfg.clients)
+        .map(|client| {
+            let failures = Arc::clone(&failures);
+            let bodies = batch_bodies(&cfg, client);
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("reader connect");
+                let mut latencies = Vec::with_capacity(bodies.len());
+                for body in &bodies {
+                    let start = Instant::now();
+                    match conn.post("/check_many", body) {
+                        Ok((200, _)) => latencies.push(start.elapsed().as_nanos()),
+                        _ => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u128> = Vec::new();
+    for reader in readers {
+        latencies.extend(reader.join().expect("reader thread must not panic"));
+    }
+    let wall_ns = started.elapsed().as_nanos();
+    stop.store(true, Ordering::Release);
+    let mut edit_latencies = editor.join().expect("editor thread must not panic");
+
+    if failures.load(Ordering::Relaxed) > 0 {
+        return Err(format!(
+            "{} read requests failed; the daemon must answer every well-formed request",
+            failures.load(Ordering::Relaxed)
+        ));
+    }
+    let (status, stats_body) = warm.get("/stats").map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("/stats failed with {status}"));
+    }
+
+    latencies.sort_unstable();
+    edit_latencies.sort_unstable();
+    let total_checks = (latencies.len() * cfg.batch) as u64;
+    let checks_per_sec = total_checks as f64 / (wall_ns as f64 / 1e9);
+    Ok(ServeReport {
+        quick,
+        config: cfg,
+        cores: std::thread::available_parallelism().map_or(1, usize::from),
+        total_checks,
+        wall_ns,
+        checks_per_sec,
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+        max_ns: latencies.last().copied().unwrap_or(0),
+        edits_applied: edit_latencies.len() as u64,
+        edit_p50_ns: percentile(&edit_latencies, 0.50),
+        sweeps: stat_u64(&stats_body, "sweeps").unwrap_or(0),
+        full_invalidations: stat_u64(&stats_body, "full_invalidations").unwrap_or(u64::MAX),
+        matrix_repairs: stat_u64(&stats_body, "matrix_repairs").unwrap_or(0),
+    })
+}
+
+/// Writes the report to `BENCH_serve.json` at the repository root and
+/// returns the path written.
+pub fn write_report(report: &ServeReport) -> std::io::Result<String> {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .unwrap_or(manifest);
+    let path = root.join("BENCH_serve.json");
+    std::fs::write(&path, report.to_json())?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let sorted = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        assert_eq!(percentile(&sorted, 0.50), 60);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn stat_extraction_reads_flat_json() {
+        let body = "{\"queries\":123,\"full_invalidations\":0,\"sweeps\":42}";
+        assert_eq!(stat_u64(body, "queries"), Some(123));
+        assert_eq!(stat_u64(body, "full_invalidations"), Some(0));
+        assert_eq!(stat_u64(body, "sweeps"), Some(42));
+        assert_eq!(stat_u64(body, "absent"), None);
+    }
+
+    #[test]
+    fn quick_run_reports_consistent_numbers() {
+        let report = run(true).unwrap();
+        assert!(report.quick);
+        assert_eq!(
+            report.total_checks,
+            (report.config.clients * report.config.requests_per_client * report.config.batch)
+                as u64
+        );
+        assert!(report.checks_per_sec > 0.0);
+        assert!(report.p50_ns > 0 && report.p50_ns <= report.p99_ns);
+        assert!(report.p99_ns <= report.max_ns);
+        // The acceptance bar: edits really interleaved, and none of them
+        // flushed the cache.
+        assert!(report.edits_applied >= 1);
+        assert_eq!(report.full_invalidations, 0);
+        assert!(report.matrix_repairs >= 1, "label toggles must cone-repair");
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve_load\""));
+        assert!(json.contains("\"checks_per_sec\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+    }
+}

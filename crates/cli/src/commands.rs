@@ -164,7 +164,11 @@ pub fn compare(
         model.subject_count()
     );
     for d in &diff.changed {
-        let name = model.subject_name(d.subject).unwrap_or("?");
+        // Subjects without a name table entry still get a stable,
+        // actionable handle (never an anonymous `?`).
+        let name = model
+            .subject_name(d.subject)
+            .map_or_else(|| format!("subject#{}", d.subject.index()), str::to_string);
         println!("  {name}: {} -> {}", d.before, d.after);
     }
     if diff.default_flip() {
@@ -390,4 +394,26 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("parallel dispatches : {}", st.parallel_dispatches);
     println!("serial dispatches   : {}", st.serial_dispatches);
     Ok(())
+}
+
+/// `ucra serve`: boot the HTTP/JSON daemon and block until killed.
+pub fn serve(
+    model: Option<&AccessModel>,
+    addr: &str,
+    strategy: Option<Strategy>,
+) -> Result<(), String> {
+    let fallback = strategy.unwrap_or_else(|| "D+LMP+".parse().expect("valid mnemonic"));
+    let service = std::sync::Arc::new(match model {
+        Some(m) => ucra_service::Service::from_model(m, fallback),
+        None => ucra_service::Service::empty(fallback),
+    });
+    let handle = ucra_service::Server::bind(addr, service)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    println!("ucra daemon listening on http://{}", handle.addr());
+    println!("endpoints: /health /stats /lint /check /check_many /explain /edit/*  (ctrl-c stops)");
+    // Serve until the process is killed; the acceptor thread owns the
+    // listener, so parking the main thread costs nothing.
+    loop {
+        std::thread::park();
+    }
 }

@@ -17,6 +17,7 @@
 //! ucra gen     <nodes> [--seed N] [--inject-smells]
 //! ucra stats   <model> [strategy]
 //! ucra bench   [--quick] [--threads <list>]
+//! ucra serve   [model] [--addr host:port] [--strategy mnemonic]
 //! ```
 //!
 //! Models load from `.json` (serde) or any other extension as the
@@ -78,7 +79,12 @@ const USAGE: &str = "usage:
   ucra bench [--quick] [--threads <list>]
       benchmark the fused-sweep kernel vs the legacy sweep and
       write BENCH_sweep.json at the repo root; --threads takes a
-      comma-separated list of worker counts to sample (e.g. 1,2,4)";
+      comma-separated list of worker counts to sample (e.g. 1,2,4)
+  ucra serve [model] [--addr host:port] [--strategy mnemonic]
+      run the HTTP/JSON authorization daemon (default 127.0.0.1:7171)
+      over the model, or over an empty installation when no model is
+      given; --strategy sets the session strategy when the model
+      names none (default D+LMP+)";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter().map(String::as_str);
@@ -247,6 +253,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             done(commands::bench(quick, threads.as_deref()))
+        }
+        Some("serve") => {
+            let mut path = None;
+            let mut addr = "127.0.0.1:7171".to_string();
+            let mut strategy = None;
+            let mut rest = args[1..].iter().map(String::as_str);
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--addr" => {
+                        addr = rest.next().ok_or("--addr takes host:port")?.to_string();
+                    }
+                    "--strategy" => {
+                        strategy = Some(
+                            rest.next()
+                                .ok_or("--strategy takes a mnemonic")?
+                                .parse()
+                                .map_err(|e: ucra_core::CoreError| e.to_string())?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown serve flag `{flag}`"))
+                    }
+                    p if path.is_none() => path = Some(p),
+                    p => return Err(format!("serve takes one [model] path, got also `{p}`")),
+                }
+            }
+            let model = path.map(load_model).transpose()?;
+            done(commands::serve(model.as_ref(), &addr, strategy))
         }
         Some("stats") => {
             let (model, rest) = load_model_and_rest(&args[1..])?;

@@ -51,6 +51,17 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A cached sweep table the batched check's sweep phase guarantees
+    /// was nevertheless absent at answer time. The only way to get here
+    /// is a concurrent repair failure dropping the pair between the two
+    /// phases; the pair re-sweeps on the next query, so callers should
+    /// retry rather than abort.
+    MissingSweepTable {
+        /// The pair's object.
+        object: ObjectId,
+        /// The pair's right.
+        right: RightId,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +88,10 @@ impl fmt::Display for CoreError {
             CoreError::BadMnemonic { input, reason } => {
                 write!(f, "bad strategy mnemonic `{input}`: {reason}")
             }
+            CoreError::MissingSweepTable { object, right } => write!(
+                f,
+                "cached sweep table for ({object}, {right}) vanished mid-query; retry"
+            ),
         }
     }
 }

@@ -225,19 +225,31 @@ impl AccessSession {
     /// subject cannot appear in any existing ancestor cone, so each
     /// cached table just grows by one freshly computed row (the new
     /// subject is a root — its own label if one was pre-recorded, a
-    /// pending default otherwise).
+    /// pending default otherwise). A row that fails to build (checked-
+    /// arithmetic overflow — impossible for a one-record histogram, but
+    /// handled rather than trusted) drops only its own pair, exactly
+    /// like a failed repair: the pair re-sweeps on next use instead of
+    /// aborting the process.
     pub fn add_subject(&mut self) -> SubjectId {
         let id = self.hierarchy.add_subject();
         *self.sweep_context.get_mut() = None;
         let mut guard = self.cache.write();
+        let mut failed: Vec<(ObjectId, RightId)> = Vec::new();
         for (&(object, right), table) in guard.iter_mut() {
             let mut row = DistanceHistogram::new();
             let mode = self
                 .eacm
                 .label(id, object, right)
                 .map_or(Mode::Default, Mode::from);
-            row.add(0, mode, 1).expect("one record cannot overflow");
+            if row.add(0, mode, 1).is_err() {
+                failed.push((object, right));
+                continue;
+            }
             Arc::make_mut(table).push(row);
+        }
+        for key in failed {
+            guard.remove(&key);
+            self.pair_invalidations.fetch_add(1, Ordering::Relaxed);
         }
         id
     }
@@ -547,9 +559,13 @@ impl AccessSession {
         queries
             .iter()
             .map(|&(subject, object, right)| {
+                // The sweep phase above inserted every missing pair, but
+                // a concurrent repair failure may have dropped one since;
+                // that is a retriable error, never an abort (the next
+                // query re-sweeps the pair).
                 let table = guard
                     .get(&(object, right))
-                    .expect("pair ensured by the sweep phase");
+                    .ok_or(CoreError::MissingSweepTable { object, right })?;
                 Ok(resolve_histogram(&table[subject.index()], strategy)?.sign)
             })
             .collect()

@@ -243,7 +243,11 @@ impl Strategy {
                 s.push('M');
             }
             (MajorityRule::After, None) => {
-                unreachable!("canonical strategies never pair After with Identity")
+                // Only reachable through a non-canonical deserialised
+                // instance (`from_raw_parts`): with identity locality the
+                // filter is a no-op, so After behaves as Before — render
+                // the canonical twin instead of aborting on display.
+                s.push('M');
             }
         }
         s.push('P');
@@ -460,6 +464,9 @@ mod tests {
         );
         assert!(!raw.is_canonical());
         assert_eq!(raw.majority_rule(), MajorityRule::After);
+        // Displaying the non-canonical twin must not abort: it renders
+        // the behaviourally identical canonical mnemonic.
+        assert_eq!(raw.mnemonic(), "D+MP+");
         let canon = raw.canonicalized();
         assert!(canon.is_canonical());
         assert_eq!(canon.majority_rule(), MajorityRule::Before);

@@ -1,0 +1,405 @@
+//! Wire types of the HTTP/JSON API: request/response bodies and the
+//! typed error surface.
+//!
+//! Every error carries an HTTP status class and renders as a JSON body
+//! of the shape
+//!
+//! ```json
+//! {"error": {"code": 400, "kind": "bad_mnemonic",
+//!            "message": "...", "suggestion": "D-LP-"}}
+//! ```
+//!
+//! so clients can branch on `kind` without parsing prose. Input errors
+//! are always 4xx; 500 is reserved for caught handler panics (bugs).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ucra_core::CoreError;
+use ucra_store::StoreError;
+
+/// Upper bound on `/check_many` batch size. Larger batches are rejected
+/// with a 400 before any name resolution or sweeping happens — one
+/// request must not be able to monopolise the read lock for an
+/// arbitrary amount of work.
+pub const MAX_BATCH: usize = 4096;
+
+/// One named authorization triple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripleRequest {
+    /// Subject name.
+    pub subject: String,
+    /// Object name.
+    pub object: String,
+    /// Right name.
+    pub right: String,
+}
+
+/// Body of `POST /check` and `POST /explain`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckRequest {
+    /// Subject name.
+    pub subject: String,
+    /// Object name.
+    pub object: String,
+    /// Right name.
+    pub right: String,
+    /// Optional strategy mnemonic; the session strategy when absent.
+    #[serde(default)]
+    pub strategy: Option<String>,
+}
+
+/// Body of `POST /check_many`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckManyRequest {
+    /// The batch, answered in order.
+    pub queries: Vec<TripleRequest>,
+    /// Optional strategy mnemonic applied to the whole batch.
+    #[serde(default)]
+    pub strategy: Option<String>,
+}
+
+/// Response of `POST /check`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckResponse {
+    /// `"+"` or `"-"`.
+    pub sign: String,
+    /// The strategy that decided (mnemonic).
+    pub strategy: String,
+}
+
+/// Response of `POST /check_many`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckManyResponse {
+    /// One `"+"`/`"-"` per query, in request order.
+    pub signs: Vec<String>,
+    /// The strategy that decided the batch (mnemonic).
+    pub strategy: String,
+}
+
+/// Response of `POST /explain`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// `"+"` or `"-"`.
+    pub sign: String,
+    /// The strategy that decided (mnemonic).
+    pub strategy: String,
+    /// The human-readable decision narrative.
+    pub narrative: String,
+}
+
+/// Response of every `POST /edit/*` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditResponse {
+    /// What the edit did, e.g. `"membership added"`.
+    pub applied: String,
+    /// Subjects in the installation after the edit.
+    pub subjects: usize,
+    /// The session strategy after the edit (mnemonic).
+    pub strategy: String,
+}
+
+/// Response of `GET /stats`: installation shape plus the session's
+/// cache/kernel counters (see [`ucra_core::SessionStats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Named subjects.
+    pub subjects: usize,
+    /// Named objects.
+    pub objects: usize,
+    /// Named rights.
+    pub rights: usize,
+    /// Explicit authorization labels.
+    pub labels: usize,
+    /// Session strategy (mnemonic).
+    pub strategy: String,
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries served from a cached sweep.
+    pub cache_hits: u64,
+    /// Sweeps computed.
+    pub sweeps: u64,
+    /// Pairs dropped by failed repairs.
+    pub pair_invalidations: u64,
+    /// Whole-cache flushes (stays 0; alarm if not).
+    pub full_invalidations: u64,
+    /// Incremental hierarchy-edit repairs.
+    pub partial_repairs: u64,
+    /// Rows recomputed by hierarchy-edit repairs.
+    pub rows_repaired: u64,
+    /// Incremental matrix-edit repairs.
+    pub matrix_repairs: u64,
+    /// Rows recomputed by matrix-edit repairs.
+    pub matrix_repair_rows: u64,
+    /// Kernel columns computed.
+    pub kernel_columns: u64,
+    /// Fused kernel batches executed.
+    pub kernel_batches: u64,
+    /// Shared sweep-context builds.
+    pub context_builds: u64,
+    /// Batched rounds dispatched to the pool.
+    pub parallel_dispatches: u64,
+    /// Rounds run inline on the calling thread.
+    pub serial_dispatches: u64,
+}
+
+/// The typed error surface. Input problems are 4xx; [`ApiError::Internal`]
+/// (500) is reserved for caught panics and serialisation bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// Malformed request body (bad JSON, missing fields). 400.
+    BadRequest(String),
+    /// Unparseable strategy mnemonic, with the nearest legitimate
+    /// instance when it is close enough to be a likely typo. 400.
+    BadMnemonic {
+        /// The parser's message.
+        message: String,
+        /// Nearest of the 48 legitimate mnemonics, if within typo range.
+        suggestion: Option<String>,
+    },
+    /// Batch exceeds [`MAX_BATCH`]. 400.
+    BatchTooLarge {
+        /// Queries received.
+        got: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// A subject/object/right name is not in the installation. 404.
+    UnknownName {
+        /// Namespace: `"subject"`, `"object"` or `"right"`.
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// No route at this path. 404.
+    NotFound(String),
+    /// Route exists, method doesn't. 405.
+    MethodNotAllowed(String),
+    /// The edit contradicts a recorded explicit authorization (§3.3). 409.
+    Conflict(String),
+    /// Request framing exceeds the body/header limits. 413.
+    PayloadTooLarge {
+        /// The limit in bytes.
+        limit: usize,
+    },
+    /// Well-formed input the engine rejected (cycle, overflow, …). 422.
+    Unprocessable(String),
+    /// A caught handler panic or serialisation failure — a bug. 500.
+    Internal(String),
+}
+
+impl ApiError {
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_)
+            | ApiError::BadMnemonic { .. }
+            | ApiError::BatchTooLarge { .. } => 400,
+            ApiError::UnknownName { .. } | ApiError::NotFound(_) => 404,
+            ApiError::MethodNotAllowed(_) => 405,
+            ApiError::Conflict(_) => 409,
+            ApiError::PayloadTooLarge { .. } => 413,
+            ApiError::Unprocessable(_) => 422,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable discriminator for the JSON body.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::BadRequest(_) => "bad_request",
+            ApiError::BadMnemonic { .. } => "bad_mnemonic",
+            ApiError::BatchTooLarge { .. } => "batch_too_large",
+            ApiError::UnknownName { .. } => "unknown_name",
+            ApiError::NotFound(_) => "not_found",
+            ApiError::MethodNotAllowed(_) => "method_not_allowed",
+            ApiError::Conflict(_) => "conflict",
+            ApiError::PayloadTooLarge { .. } => "payload_too_large",
+            ApiError::Unprocessable(_) => "unprocessable",
+            ApiError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            ApiError::BadRequest(m)
+            | ApiError::Conflict(m)
+            | ApiError::Unprocessable(m)
+            | ApiError::Internal(m) => m.clone(),
+            ApiError::BadMnemonic { message, .. } => message.clone(),
+            ApiError::BatchTooLarge { got, max } => {
+                format!("batch of {got} queries exceeds the {max}-query cap")
+            }
+            ApiError::UnknownName { kind, name } => format!("unknown {kind} `{name}`"),
+            ApiError::NotFound(path) => format!("no route at `{path}`"),
+            ApiError::MethodNotAllowed(path) => format!("method not allowed on `{path}`"),
+            ApiError::PayloadTooLarge { limit } => {
+                format!("request exceeds the {limit}-byte limit")
+            }
+        }
+    }
+
+    /// The error as its JSON response body.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Detail {
+            code: u16,
+            kind: &'static str,
+            message: String,
+            #[serde(default)]
+            suggestion: Option<String>,
+        }
+        #[derive(Serialize)]
+        struct Body {
+            error: Detail,
+        }
+        let suggestion = match self {
+            ApiError::BadMnemonic { suggestion, .. } => suggestion.clone(),
+            _ => None,
+        };
+        let body = Body {
+            error: Detail {
+                code: self.status(),
+                kind: self.kind(),
+                message: self.message(),
+                suggestion,
+            },
+        };
+        serde_json::to_string(&body)
+            .unwrap_or_else(|_| "{\"error\":{\"code\":500,\"kind\":\"internal\"}}".to_string())
+    }
+
+    /// Parses a strategy mnemonic, attaching the nearest legitimate
+    /// instance as a suggestion when the input is within typo range
+    /// (mirrors the CLI's behaviour).
+    pub fn parse_strategy(text: &str) -> Result<ucra_core::Strategy, ApiError> {
+        text.parse::<ucra_core::Strategy>().map_err(|e| {
+            let (suggestion, distance) = ucra_lint::nearest_mnemonic(text);
+            ApiError::BadMnemonic {
+                message: e.to_string(),
+                suggestion: (distance <= 2).then_some(suggestion),
+            }
+        })
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::BadMnemonic { ref input, .. } => {
+                let (suggestion, distance) = ucra_lint::nearest_mnemonic(input);
+                ApiError::BadMnemonic {
+                    message: e.to_string(),
+                    suggestion: (distance <= 2).then_some(suggestion),
+                }
+            }
+            CoreError::UnknownSubject(s) => ApiError::UnknownName {
+                kind: "subject",
+                name: s.to_string(),
+            },
+            CoreError::ContradictoryAuthorization { .. } => ApiError::Conflict(e.to_string()),
+            other => ApiError::Unprocessable(other.to_string()),
+        }
+    }
+}
+
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Core(core) => core.into(),
+            StoreError::UnknownName { kind, name } => ApiError::UnknownName { kind, name },
+            other => ApiError::Unprocessable(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_stay_in_the_4xx_class_for_input_errors() {
+        for (e, code) in [
+            (ApiError::BadRequest("x".into()), 400),
+            (
+                ApiError::BadMnemonic {
+                    message: "m".into(),
+                    suggestion: None,
+                },
+                400,
+            ),
+            (ApiError::BatchTooLarge { got: 9, max: 4 }, 400),
+            (
+                ApiError::UnknownName {
+                    kind: "subject",
+                    name: "ghost".into(),
+                },
+                404,
+            ),
+            (ApiError::NotFound("/x".into()), 404),
+            (ApiError::MethodNotAllowed("/check".into()), 405),
+            (ApiError::Conflict("c".into()), 409),
+            (ApiError::PayloadTooLarge { limit: 1 }, 413),
+            (ApiError::Unprocessable("u".into()), 422),
+        ] {
+            assert_eq!(e.status(), code, "{e:?}");
+            assert!(e.status() < 500, "input error {e:?} must not be a 500");
+        }
+        assert_eq!(ApiError::Internal("bug".into()).status(), 500);
+    }
+
+    #[test]
+    fn bad_mnemonic_carries_a_close_suggestion() {
+        let err = ApiError::parse_strategy("D-LP").unwrap_err();
+        let ApiError::BadMnemonic { suggestion, .. } = &err else {
+            panic!("expected BadMnemonic, got {err:?}");
+        };
+        assert!(suggestion.is_some(), "one-edit typo should suggest");
+        let json = err.to_json();
+        assert!(json.contains("\"bad_mnemonic\""));
+        assert!(json.contains("\"suggestion\""));
+        // Gibberish far from every mnemonic suggests nothing.
+        let err = ApiError::parse_strategy("zzzzzzzz").unwrap_err();
+        assert!(matches!(
+            err,
+            ApiError::BadMnemonic {
+                suggestion: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_json_is_parseable_and_typed() {
+        #[derive(Deserialize)]
+        struct Detail {
+            code: u16,
+            kind: String,
+            message: String,
+        }
+        #[derive(Deserialize)]
+        struct Body {
+            error: Detail,
+        }
+        let body: Body = serde_json::from_str(
+            &ApiError::UnknownName {
+                kind: "object",
+                name: "vault".into(),
+            }
+            .to_json(),
+        )
+        .unwrap();
+        assert_eq!(body.error.code, 404);
+        assert_eq!(body.error.kind, "unknown_name");
+        assert!(body.error.message.contains("vault"));
+    }
+}

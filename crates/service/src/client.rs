@@ -1,0 +1,96 @@
+//! A minimal blocking HTTP/1.1 client for tests and the load
+//! generator: persistent keep-alive connections, `Content-Length`
+//! framing, nothing else.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One persistent keep-alive connection to the daemon.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to the daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response. Returns
+    /// `(status, body)`.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: ucra\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET` without a body.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line `{}`", status_line.trim_end()),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|body| (status, body))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}

@@ -1,0 +1,343 @@
+//! A small, dependency-free HTTP/1.1 server over `std::net`.
+//!
+//! One acceptor thread; one detached worker thread per connection with
+//! keep-alive, so a load generator's persistent connections each get a
+//! worker and the kernel does the scheduling. Request framing is
+//! deliberately minimal — request line, headers, `Content-Length` body —
+//! which covers every JSON client we care about; anything else (chunked
+//! uploads, upgrades) gets a clean 400.
+//!
+//! Handler dispatch is wrapped in `catch_unwind`: a panicking handler is
+//! a bug, but it must surface as a JSON 500 on that one request, not
+//! kill the worker and reset the connection.
+
+use crate::api::ApiError;
+use crate::state::Service;
+use serde::de::DeserializeOwned;
+use serde::Deserialize;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request body bytes (a `MAX_BATCH` batch of long names fits
+/// comfortably).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-read socket timeout; an idle keep-alive connection is dropped
+/// after this long.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Namespace for [`Server::bind`]; the server has no state of its own.
+pub struct Server;
+
+/// A running server: its bound address and shutdown/join handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `service` until [`ServerHandle::shutdown`].
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<Service>) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("ucra-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    let _ = std::thread::Builder::new()
+                        .name("ucra-serve-conn".to_string())
+                        .spawn(move || serve_connection(stream, &service));
+                }
+            })?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the acceptor to stop and joins it. In-flight connections
+    /// finish their current request and drop on the next read timeout.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+/// Reads one request off the connection. `Ok(None)` means the peer
+/// closed cleanly between requests.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<Option<Result<Request, ApiError>>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(Some(Err(ApiError::BadRequest(
+            "malformed request line".to_string(),
+        ))));
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Some(Err(ApiError::PayloadTooLarge {
+                limit: MAX_HEAD_BYTES,
+            })));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = value.parse::<usize>() else {
+                return Ok(Some(Err(ApiError::BadRequest(
+                    "unparseable Content-Length".to_string(),
+                ))));
+            };
+            content_length = n;
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Ok(Some(Err(ApiError::BadRequest(
+                "chunked bodies are not supported; send Content-Length".to_string(),
+            ))));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Some(Err(ApiError::PayloadTooLarge {
+            limit: MAX_BODY_BYTES,
+        })));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let Ok(body) = String::from_utf8(body) else {
+        return Ok(Some(Err(ApiError::BadRequest(
+            "body is not UTF-8".to_string(),
+        ))));
+    };
+    Ok(Some(Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn serve_connection(stream: TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(Ok(req))) => req,
+            Ok(Some(Err(err))) => {
+                // Framing error: answer it, then drop the connection —
+                // the stream position is no longer trustworthy.
+                let _ = write_response(&mut writer, err.status(), &err.to_json(), false);
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        };
+        // A handler panic is a bug in us, never a reason to tear the
+        // connection down mid-protocol.
+        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(service, &request)));
+        let (status, body) = match outcome {
+            Ok(Ok(body)) => (200, body),
+            Ok(Err(err)) => (err.status(), err.to_json()),
+            Err(_) => {
+                let err = ApiError::Internal("handler panicked; see server log".to_string());
+                (err.status(), err.to_json())
+            }
+        };
+        if write_response(&mut writer, status, &body, request.keep_alive).is_err()
+            || !request.keep_alive
+        {
+            return;
+        }
+    }
+}
+
+fn parse_body<T: DeserializeOwned>(body: &str) -> Result<T, ApiError> {
+    serde_json::from_str(body).map_err(|e| ApiError::BadRequest(format!("bad request body: {e}")))
+}
+
+/// The edit bodies are endpoint-specific; kept private to the router.
+#[derive(Deserialize)]
+struct SubjectBody {
+    name: String,
+}
+
+#[derive(Deserialize)]
+struct MembershipBody {
+    group: String,
+    member: String,
+}
+
+#[derive(Deserialize)]
+struct AuthorizationBody {
+    subject: String,
+    object: String,
+    right: String,
+    sign: String,
+}
+
+#[derive(Deserialize)]
+struct RevokeBody {
+    subject: String,
+    object: String,
+    right: String,
+}
+
+#[derive(Deserialize)]
+struct StrategyBody {
+    strategy: String,
+}
+
+fn dispatch(service: &Service, req: &Request) -> Result<String, ApiError> {
+    let ok = |body: String| Ok(body);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => ok("{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => {
+            serde_json::to_string(&service.stats()).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("GET" | "POST", "/lint") => ok(service.lint()),
+        ("POST", "/check") => {
+            let resp = service.check(&parse_body(&req.body)?)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/check_many") => {
+            let resp = service.check_many(&parse_body(&req.body)?)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/explain") => {
+            let resp = service.explain(&parse_body(&req.body)?)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/edit/subject") => {
+            let body: SubjectBody = parse_body(&req.body)?;
+            let resp = service.add_subject(&body.name)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/edit/membership") => {
+            let body: MembershipBody = parse_body(&req.body)?;
+            let resp = service.add_membership(&body.group, &body.member)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/edit/authorization") => {
+            let body: AuthorizationBody = parse_body(&req.body)?;
+            let resp =
+                service.set_authorization(&body.subject, &body.object, &body.right, &body.sign)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/edit/revoke") => {
+            let body: RevokeBody = parse_body(&req.body)?;
+            let resp = service.unset_authorization(&body.subject, &body.object, &body.right)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        ("POST", "/edit/strategy") => {
+            let body: StrategyBody = parse_body(&req.body)?;
+            let resp = service.set_strategy(&body.strategy)?;
+            serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
+        }
+        (
+            _,
+            "/health"
+            | "/stats"
+            | "/lint"
+            | "/check"
+            | "/check_many"
+            | "/explain"
+            | "/edit/subject"
+            | "/edit/membership"
+            | "/edit/authorization"
+            | "/edit/revoke"
+            | "/edit/strategy",
+        ) => Err(ApiError::MethodNotAllowed(req.path.clone())),
+        (_, path) => Err(ApiError::NotFound(path.to_string())),
+    }
+}

@@ -1,0 +1,55 @@
+//! # `ucra-service` — the authorization daemon
+//!
+//! A long-lived HTTP/JSON decision point over
+//! [`ucra_core::AccessSession`]: the paper's resolution algorithm, the
+//! fused-sweep cache, and the incremental repair machinery, put behind a
+//! network surface so the "fast library" becomes a fast *system*
+//! (`ucra serve` boots it; DESIGN.md §8 describes the architecture).
+//!
+//! ## Lock discipline
+//!
+//! The whole installation — session plus the three name tables — sits
+//! behind **one** `parking_lot::RwLock`:
+//!
+//! * **reads** (`/check`, `/check_many`, `/explain`, `/lint`, `/stats`)
+//!   take the shared lock. `AccessSession`'s query methods are `&self`
+//!   (its sweep cache and [`ucra_core::SweepContext`] live behind their
+//!   own interior locks), so any number of concurrent readers share the
+//!   same cached sweeps and the same traversal context — a cold
+//!   `(object, right)` pair is swept once and serves everyone.
+//! * **edits** (`/edit/*`) take the exclusive lock and go through the
+//!   session's incremental-repair mutators. **No edit ever flushes a
+//!   cache**: hierarchy and matrix edits cone-repair the cached tables
+//!   in place, and a strategy switch invalidates nothing at all.
+//!
+//! Because the lock is held for the whole request, every request is
+//! atomic with respect to edits: a batched `/check_many` observes one
+//! consistent installation state (some prefix of the edit stream), never
+//! a torn one. The concurrent-equivalence suite in
+//! `tests/concurrent_equivalence.rs` pins that down against a serial
+//! replay oracle.
+//!
+//! ## Error surface
+//!
+//! Untrusted input never panics a worker and never produces a bare 500:
+//! malformed JSON, malformed strategy mnemonics (with a
+//! nearest-legitimate-mnemonic suggestion, via [`ucra_lint`]), unknown
+//! subject/object/right names, and oversized batches all map to
+//! 400-class JSON bodies ([`ApiError`]). A panic in a handler — a bug,
+//! not an input — is caught at the connection boundary and reported as a
+//! JSON 500 instead of killing the worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod state;
+
+pub use api::{
+    ApiError, CheckManyRequest, CheckManyResponse, CheckRequest, EditResponse, ExplainResponse,
+    StatsResponse, TripleRequest, MAX_BATCH,
+};
+pub use http::{Server, ServerHandle};
+pub use state::Service;

@@ -1,0 +1,478 @@
+//! The shared service state and its read/edit lock discipline.
+//!
+//! [`Service`] owns the whole installation — an [`AccessSession`] plus
+//! the three name tables — behind a single `parking_lot::RwLock`.
+//! Query handlers borrow it shared; edit handlers borrow it exclusive
+//! and go through the session's incremental-repair mutators, so **no
+//! edit ever flushes a cache**. Handlers are plain methods returning
+//! `Result<_, ApiError>`; the HTTP layer in [`crate::http`] is a thin
+//! router over them, which is also what lets the concurrency tests
+//! drive the lock discipline directly without sockets.
+
+use crate::api::{
+    ApiError, CheckManyRequest, CheckManyResponse, CheckRequest, CheckResponse, EditResponse,
+    ExplainResponse, StatsResponse, TripleRequest, MAX_BATCH,
+};
+use parking_lot::RwLock;
+use ucra_core::{AccessSession, ObjectId, RightId, Sign, Strategy, SubjectId};
+use ucra_store::{AccessModel, Interner};
+
+/// The installation behind the lock: the session and the name tables
+/// that translate the wire protocol's strings into its dense ids.
+struct Inner {
+    session: AccessSession,
+    subjects: Interner,
+    objects: Interner,
+    rights: Interner,
+}
+
+/// The shared, thread-safe service state. Clone-free: wrap it in an
+/// `Arc` and hand it to [`crate::Server::bind`].
+pub struct Service {
+    inner: RwLock<Inner>,
+}
+
+impl Inner {
+    fn subject_id(&self, name: &str) -> Result<SubjectId, ApiError> {
+        self.subjects
+            .get(name)
+            .map(|id| SubjectId::from_index(id as usize))
+            .ok_or_else(|| ApiError::UnknownName {
+                kind: "subject",
+                name: name.to_string(),
+            })
+    }
+
+    fn object_id(&self, name: &str) -> Result<ObjectId, ApiError> {
+        self.objects
+            .get(name)
+            .map(ObjectId)
+            .ok_or_else(|| ApiError::UnknownName {
+                kind: "object",
+                name: name.to_string(),
+            })
+    }
+
+    fn right_id(&self, name: &str) -> Result<RightId, ApiError> {
+        self.rights
+            .get(name)
+            .map(RightId)
+            .ok_or_else(|| ApiError::UnknownName {
+                kind: "right",
+                name: name.to_string(),
+            })
+    }
+
+    fn triple(&self, t: &TripleRequest) -> Result<(SubjectId, ObjectId, RightId), ApiError> {
+        Ok((
+            self.subject_id(&t.subject)?,
+            self.object_id(&t.object)?,
+            self.right_id(&t.right)?,
+        ))
+    }
+
+    /// Interns a subject name, growing the hierarchy so the returned id
+    /// is guaranteed to exist in the session.
+    fn intern_subject(&mut self, name: &str) -> SubjectId {
+        let id = self.subjects.intern(name) as usize;
+        while self.session.hierarchy().subject_count() <= id {
+            self.session.add_subject();
+        }
+        SubjectId::from_index(id)
+    }
+
+    /// Resolves a strategy override, or falls back to the session's.
+    fn strategy(&self, text: Option<&str>) -> Result<Strategy, ApiError> {
+        match text {
+            Some(t) => ApiError::parse_strategy(t),
+            None => Ok(self.session.strategy()),
+        }
+    }
+
+    fn edit_response(&self, applied: impl Into<String>) -> EditResponse {
+        EditResponse {
+            applied: applied.into(),
+            subjects: self.subjects.len(),
+            strategy: self.session.strategy().to_string(),
+        }
+    }
+}
+
+fn parse_sign(text: &str) -> Result<Sign, ApiError> {
+    match text {
+        "+" | "pos" | "grant" | "allow" => Ok(Sign::Pos),
+        "-" | "neg" | "deny" | "forbid" => Ok(Sign::Neg),
+        other => Err(ApiError::BadRequest(format!(
+            "`{other}` is not a sign; use `+`/`grant` or `-`/`deny`"
+        ))),
+    }
+}
+
+impl Service {
+    /// A service over an empty installation with the given default
+    /// strategy.
+    pub fn empty(strategy: Strategy) -> Self {
+        Service {
+            inner: RwLock::new(Inner {
+                session: AccessSession::empty(strategy),
+                subjects: Interner::default(),
+                objects: Interner::default(),
+                rights: Interner::default(),
+            }),
+        }
+    }
+
+    /// A service seeded from a persisted [`AccessModel`] (policy text or
+    /// JSON). The model's hierarchy, matrix, names, and default strategy
+    /// carry over; `fallback` applies when the model names no strategy.
+    pub fn from_model(model: &AccessModel, fallback: Strategy) -> Self {
+        let strategy = model.default_strategy().unwrap_or(fallback);
+        let session = AccessSession::new(model.hierarchy().clone(), model.eacm().clone(), strategy);
+        let mut subjects = Interner::default();
+        for name in model.subject_names() {
+            subjects.intern(name);
+        }
+        let mut objects = Interner::default();
+        for name in model.object_names() {
+            objects.intern(name);
+        }
+        let mut rights = Interner::default();
+        for name in model.right_names() {
+            rights.intern(name);
+        }
+        Service {
+            inner: RwLock::new(Inner {
+                session,
+                subjects,
+                objects,
+                rights,
+            }),
+        }
+    }
+
+    /// `POST /check` — one decision under the session (or an explicit)
+    /// strategy. Read lock.
+    pub fn check(&self, req: &CheckRequest) -> Result<CheckResponse, ApiError> {
+        let inner = self.inner.read();
+        let strategy = inner.strategy(req.strategy.as_deref())?;
+        let s = inner.subject_id(&req.subject)?;
+        let o = inner.object_id(&req.object)?;
+        let r = inner.right_id(&req.right)?;
+        let resolution = inner.session.check_traced_with(s, o, r, strategy)?;
+        Ok(CheckResponse {
+            sign: resolution.sign.symbol().to_string(),
+            strategy: strategy.to_string(),
+        })
+    }
+
+    /// `POST /check_many` — a batched decision. The whole batch runs
+    /// under one read-lock acquisition, so it observes a single
+    /// consistent installation state even while writers queue. Batches
+    /// over [`MAX_BATCH`] are rejected before any name resolution.
+    pub fn check_many(&self, req: &CheckManyRequest) -> Result<CheckManyResponse, ApiError> {
+        if req.queries.len() > MAX_BATCH {
+            return Err(ApiError::BatchTooLarge {
+                got: req.queries.len(),
+                max: MAX_BATCH,
+            });
+        }
+        let inner = self.inner.read();
+        let strategy = inner.strategy(req.strategy.as_deref())?;
+        let triples: Vec<(SubjectId, ObjectId, RightId)> = req
+            .queries
+            .iter()
+            .map(|t| inner.triple(t))
+            .collect::<Result<_, _>>()?;
+        let signs = inner.session.check_many_with(&triples, strategy)?;
+        Ok(CheckManyResponse {
+            signs: signs.iter().map(|s| s.symbol().to_string()).collect(),
+            strategy: strategy.to_string(),
+        })
+    }
+
+    /// `POST /explain` — the decision with its Table-3 narrative. Read
+    /// lock.
+    pub fn explain(&self, req: &CheckRequest) -> Result<ExplainResponse, ApiError> {
+        let inner = self.inner.read();
+        let strategy = inner.strategy(req.strategy.as_deref())?;
+        let s = inner.subject_id(&req.subject)?;
+        let o = inner.object_id(&req.object)?;
+        let r = inner.right_id(&req.right)?;
+        // explain() always runs under the session strategy; honour an
+        // override by checking it matches (the narrative embeds the
+        // strategy, so silently substituting would mislead).
+        if strategy != inner.session.strategy() {
+            return Err(ApiError::BadRequest(
+                "explain uses the session strategy; switch it via /edit/strategy".to_string(),
+            ));
+        }
+        let explanation = inner.session.explain(s, o, r)?;
+        let narrative = explanation.narrative(|id| {
+            inner
+                .subjects
+                .resolve(id.index() as u32)
+                .map_or_else(|| format!("subject#{}", id.index()), str::to_string)
+        });
+        Ok(ExplainResponse {
+            sign: explanation.resolution.sign.symbol().to_string(),
+            strategy: strategy.to_string(),
+            narrative,
+        })
+    }
+
+    /// `GET /lint` — the policy lint report as JSON. Read lock.
+    pub fn lint(&self) -> String {
+        let inner = self.inner.read();
+        ucra_lint::lint_session(
+            inner.session.hierarchy(),
+            inner.session.eacm(),
+            Some(inner.session.strategy()),
+        )
+        .render_json()
+    }
+
+    /// `GET /stats` — installation shape plus session counters. Read
+    /// lock.
+    pub fn stats(&self) -> StatsResponse {
+        let inner = self.inner.read();
+        let s = inner.session.stats();
+        StatsResponse {
+            subjects: inner.subjects.len(),
+            objects: inner.objects.len(),
+            rights: inner.rights.len(),
+            labels: inner.session.eacm().len(),
+            strategy: inner.session.strategy().to_string(),
+            queries: s.queries,
+            cache_hits: s.cache_hits,
+            sweeps: s.sweeps,
+            pair_invalidations: s.pair_invalidations,
+            full_invalidations: s.full_invalidations,
+            partial_repairs: s.partial_repairs,
+            rows_repaired: s.rows_repaired,
+            matrix_repairs: s.matrix_repairs,
+            matrix_repair_rows: s.matrix_repair_rows,
+            kernel_columns: s.kernel_columns,
+            kernel_batches: s.kernel_batches,
+            context_builds: s.context_builds,
+            parallel_dispatches: s.parallel_dispatches,
+            serial_dispatches: s.serial_dispatches,
+        }
+    }
+
+    /// `POST /edit/subject` — declares a subject (idempotent). Write
+    /// lock.
+    pub fn add_subject(&self, name: &str) -> Result<EditResponse, ApiError> {
+        validate_name(name)?;
+        let mut inner = self.inner.write();
+        inner.intern_subject(name);
+        Ok(inner.edit_response(format!("subject `{name}` present")))
+    }
+
+    /// `POST /edit/membership` — adds `member` to `group`, interning
+    /// both. Cycles are rejected with a 422; the cached sweeps are
+    /// cone-repaired, never flushed. Write lock.
+    pub fn add_membership(&self, group: &str, member: &str) -> Result<EditResponse, ApiError> {
+        validate_name(group)?;
+        validate_name(member)?;
+        let mut inner = self.inner.write();
+        let g = inner.intern_subject(group);
+        let m = inner.intern_subject(member);
+        inner.session.add_membership(g, m)?;
+        Ok(inner.edit_response(format!("membership `{group}` ← `{member}` added")))
+    }
+
+    /// `POST /edit/authorization` — records an explicit grant/denial,
+    /// interning all three names. A contradicting record is a 409
+    /// (paper §3.3). Write lock; cone-repairs the one affected sweep.
+    pub fn set_authorization(
+        &self,
+        subject: &str,
+        object: &str,
+        right: &str,
+        sign: &str,
+    ) -> Result<EditResponse, ApiError> {
+        validate_name(subject)?;
+        validate_name(object)?;
+        validate_name(right)?;
+        let sign = parse_sign(sign)?;
+        let mut inner = self.inner.write();
+        let s = inner.intern_subject(subject);
+        let o = ObjectId(inner.objects.intern(object));
+        let r = RightId(inner.rights.intern(right));
+        inner.session.set_authorization(s, o, r, sign)?;
+        let verb = match sign {
+            Sign::Pos => "granted",
+            Sign::Neg => "denied",
+        };
+        Ok(inner.edit_response(format!("`{subject}` {verb} `{right}` on `{object}`")))
+    }
+
+    /// `POST /edit/revoke` — removes an explicit record if present.
+    /// Unknown names are a 404 (revoking from a name that was never
+    /// interned cannot have a record to remove). Write lock.
+    pub fn unset_authorization(
+        &self,
+        subject: &str,
+        object: &str,
+        right: &str,
+    ) -> Result<EditResponse, ApiError> {
+        let mut inner = self.inner.write();
+        let s = inner.subject_id(subject)?;
+        let o = inner.object_id(object)?;
+        let r = inner.right_id(right)?;
+        let removed = inner.session.unset_authorization(s, o, r);
+        Ok(inner.edit_response(match removed {
+            Some(_) => format!("explicit record on (`{subject}`, `{object}`, `{right}`) removed"),
+            None => format!("no explicit record on (`{subject}`, `{object}`, `{right}`)"),
+        }))
+    }
+
+    /// `POST /edit/strategy` — switches the session strategy. Costs
+    /// nothing: cached sweeps are strategy-independent. Write lock.
+    pub fn set_strategy(&self, mnemonic: &str) -> Result<EditResponse, ApiError> {
+        let strategy = ApiError::parse_strategy(mnemonic)?;
+        let mut inner = self.inner.write();
+        inner.session.set_strategy(strategy);
+        Ok(inner.edit_response(format!("strategy set to {strategy}")))
+    }
+}
+
+/// Rejects names the policy text format could not round-trip (empty,
+/// whitespace, comment markers) so the daemon never grows state that
+/// `ucra` CLI tooling cannot re-load.
+fn validate_name(name: &str) -> Result<(), ApiError> {
+    if name.is_empty() {
+        return Err(ApiError::BadRequest("names must be non-empty".to_string()));
+    }
+    if name.chars().any(char::is_whitespace) || name.contains('#') {
+        return Err(ApiError::BadRequest(format!(
+            "name `{name}` contains whitespace or `#`, which the policy format reserves"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motivating() -> Service {
+        let model = ucra_store::text::parse(
+            "member S1 S3\nmember S2 S3\nmember S2 User\nmember S3 S5\nmember S5 User\n\
+             member S6 S5\nmember S6 User\ngrant S2 obj read\ndeny S5 obj read\n\
+             strategy D+LMP+\n",
+        )
+        .unwrap();
+        Service::from_model(&model, "P+".parse().unwrap())
+    }
+
+    fn check_req(subject: &str, strategy: Option<&str>) -> CheckRequest {
+        CheckRequest {
+            subject: subject.to_string(),
+            object: "obj".to_string(),
+            right: "read".to_string(),
+            strategy: strategy.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn check_reproduces_the_paper_decision() {
+        let svc = motivating();
+        let resp = svc.check(&check_req("User", None)).unwrap();
+        assert_eq!(resp.sign, "+");
+        assert_eq!(resp.strategy, "D+LMP+");
+        // A most-specific-without-majority override flips the outcome
+        // (paper Table 2: `D+LP-` resolves User to −).
+        let resp = svc.check(&check_req("User", Some("D+LP-"))).unwrap();
+        assert_eq!(resp.sign, "-");
+        assert_eq!(resp.strategy, "D+LP-");
+    }
+
+    #[test]
+    fn unknown_names_are_404_not_panic() {
+        let svc = motivating();
+        let err = svc.check(&check_req("ghost", None)).unwrap_err();
+        assert_eq!(err.status(), 404);
+        assert!(matches!(
+            err,
+            ApiError::UnknownName {
+                kind: "subject",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_mnemonic_is_400_with_suggestion() {
+        let svc = motivating();
+        let err = svc.check(&check_req("User", Some("D+LMPP+"))).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(matches!(err, ApiError::BadMnemonic { .. }));
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_before_resolution() {
+        let svc = motivating();
+        let q = TripleRequest {
+            subject: "ghost".to_string(), // would 404 if resolution ran
+            object: "obj".to_string(),
+            right: "read".to_string(),
+        };
+        let err = svc
+            .check_many(&CheckManyRequest {
+                queries: vec![q; MAX_BATCH + 1],
+                strategy: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ApiError::BatchTooLarge { .. }));
+    }
+
+    #[test]
+    fn edits_repair_instead_of_flushing() {
+        let svc = motivating();
+        // Warm the cache.
+        let warm = svc.check(&check_req("User", None)).unwrap();
+        assert_eq!(warm.sign, "+");
+        let before = svc.stats();
+        // A matrix edit on a cached pair must cone-repair it.
+        svc.set_authorization("S3", "obj", "read", "-").unwrap();
+        let after = svc.stats();
+        assert_eq!(after.full_invalidations, 0);
+        assert!(after.matrix_repairs > before.matrix_repairs);
+        // And the next read is a cache hit with the new answer folded in.
+        let resp = svc.check(&check_req("S3", None)).unwrap();
+        assert_eq!(resp.sign, "-");
+        assert!(svc.stats().cache_hits > after.cache_hits);
+    }
+
+    #[test]
+    fn membership_cycle_is_422() {
+        let svc = Service::empty("P+".parse().unwrap());
+        svc.add_membership("a", "b").unwrap();
+        let err = svc.add_membership("b", "a").unwrap_err();
+        assert_eq!(err.status(), 422);
+    }
+
+    #[test]
+    fn contradiction_is_409() {
+        let svc = motivating();
+        let err = svc.set_authorization("S2", "obj", "read", "-").unwrap_err();
+        assert_eq!(err.status(), 409);
+    }
+
+    #[test]
+    fn explain_names_subjects() {
+        let svc = motivating();
+        let resp = svc.explain(&check_req("User", None)).unwrap();
+        assert_eq!(resp.sign, "+");
+        assert!(resp.narrative.contains("User"));
+    }
+
+    #[test]
+    fn bad_names_are_400() {
+        let svc = Service::empty("P+".parse().unwrap());
+        for bad in ["", "two words", "has#hash"] {
+            assert_eq!(svc.add_subject(bad).unwrap_err().status(), 400, "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Concurrency oracle for the daemon's read/edit lock discipline
+//! (equivalence-oracle pattern of `tests/kernel_equivalence.rs`, lifted
+//! to the service layer):
+//!
+//! * **Atomicity** — with reader threads issuing `check_many` batches
+//!   while a writer interleaves edits, every batch response must equal
+//!   the serial replay of some *prefix* of the edit script. A response
+//!   matching no prefix would mean a batch observed a torn state.
+//! * **Convergence** — after the writer finishes, reads equal the full
+//!   serial replay.
+//! * **Repair correctness** (proptest) — driving random edit scripts
+//!   through the service, with reads interleaved so the incremental
+//!   repairs act on *warm* caches, must end in the same decisions as an
+//!   [`AccessModel`] built from scratch out of the script's net state
+//!   and queried through the uncached resolver.
+
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use ucra_service::{CheckManyRequest, Service, TripleRequest};
+use ucra_store::AccessModel;
+
+const SUBJECTS: usize = 14;
+const OBJECTS: usize = 3;
+const RIGHTS: usize = 2;
+const STRATEGIES: [&str; 4] = ["D+LMP+", "D-LP-", "GP+", "P-"];
+
+fn subject(i: usize) -> String {
+    format!("s{i}")
+}
+
+fn object(i: usize) -> String {
+    format!("o{i}")
+}
+
+fn right(i: usize) -> String {
+    format!("r{i}")
+}
+
+/// One scripted edit, expressed in wire names.
+#[derive(Clone, Debug)]
+enum Edit {
+    Membership {
+        group: String,
+        member: String,
+    },
+    Authorize {
+        s: String,
+        o: String,
+        r: String,
+        sign: char,
+    },
+    Revoke {
+        s: String,
+        o: String,
+        r: String,
+    },
+    Strategy(String),
+}
+
+fn apply(svc: &Service, edit: &Edit) {
+    match edit {
+        Edit::Membership { group, member } => {
+            svc.add_membership(group, member)
+                .expect("script is acyclic");
+        }
+        Edit::Authorize { s, o, r, sign } => {
+            svc.set_authorization(s, o, r, &sign.to_string())
+                .expect("script avoids contradictions");
+        }
+        Edit::Revoke { s, o, r } => {
+            svc.unset_authorization(s, o, r).expect("names exist");
+        }
+        Edit::Strategy(m) => {
+            svc.set_strategy(m).expect("script uses valid mnemonics");
+        }
+    }
+}
+
+/// Net state the script leaves behind, tracked during generation so the
+/// generator never emits a contradiction and the proptest oracle can
+/// rebuild the final installation from scratch.
+#[derive(Default)]
+struct Net {
+    edges: BTreeSet<(usize, usize)>,
+    labels: BTreeMap<(String, String, String), char>,
+    strategy: String,
+}
+
+/// Deterministic base world + edit script. Membership edges always run
+/// low → high subject index, so any interleaving stays acyclic.
+fn build(seed: u64, edits: usize) -> (Vec<Edit>, Vec<Edit>, Net) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = Net {
+        strategy: STRATEGIES[0].to_string(),
+        ..Net::default()
+    };
+    let mut base = Vec::new();
+    for i in 0..SUBJECTS {
+        for j in (i + 1)..SUBJECTS {
+            if rng.gen_bool(0.18) {
+                net.edges.insert((i, j));
+                base.push(Edit::Membership {
+                    group: subject(i),
+                    member: subject(j),
+                });
+            }
+        }
+    }
+    // Deterministic coverage labels: every object and right name is
+    // interned by the base, so queries never 404 regardless of what the
+    // random labels and later revokes do.
+    for o in 0..OBJECTS {
+        for r in 0..RIGHTS {
+            let key = (subject((o + r) % SUBJECTS), object(o), right(r));
+            let sign = if (o + r) % 2 == 0 { '+' } else { '-' };
+            net.labels.insert(key.clone(), sign);
+            base.push(Edit::Authorize {
+                s: key.0,
+                o: key.1,
+                r: key.2,
+                sign,
+            });
+        }
+    }
+    for _ in 0..SUBJECTS {
+        let key = (
+            subject(rng.gen_range(0..SUBJECTS)),
+            object(rng.gen_range(0..OBJECTS)),
+            right(rng.gen_range(0..RIGHTS)),
+        );
+        if net.labels.contains_key(&key) {
+            continue;
+        }
+        let sign = if rng.gen_bool(0.5) { '+' } else { '-' };
+        net.labels.insert(key.clone(), sign);
+        base.push(Edit::Authorize {
+            s: key.0,
+            o: key.1,
+            r: key.2,
+            sign,
+        });
+    }
+    let mut script = Vec::new();
+    while script.len() < edits {
+        match rng.gen_range(0..10) {
+            0..=2 => {
+                let i = rng.gen_range(0..SUBJECTS - 1);
+                let j = rng.gen_range(i + 1..SUBJECTS);
+                if net.edges.insert((i, j)) {
+                    script.push(Edit::Membership {
+                        group: subject(i),
+                        member: subject(j),
+                    });
+                }
+            }
+            3..=6 => {
+                let key = (
+                    subject(rng.gen_range(0..SUBJECTS)),
+                    object(rng.gen_range(0..OBJECTS)),
+                    right(rng.gen_range(0..RIGHTS)),
+                );
+                if net.labels.contains_key(&key) {
+                    continue;
+                }
+                let sign = if rng.gen_bool(0.5) { '+' } else { '-' };
+                net.labels.insert(key.clone(), sign);
+                script.push(Edit::Authorize {
+                    s: key.0,
+                    o: key.1,
+                    r: key.2,
+                    sign,
+                });
+            }
+            7 | 8 => {
+                // Revoke an existing label, if any.
+                let Some(key) = net.labels.keys().next().cloned() else {
+                    continue;
+                };
+                net.labels.remove(&key);
+                script.push(Edit::Revoke {
+                    s: key.0,
+                    o: key.1,
+                    r: key.2,
+                });
+            }
+            _ => {
+                let m = STRATEGIES[rng.gen_range(0..STRATEGIES.len())];
+                if net.strategy != m {
+                    net.strategy = m.to_string();
+                    script.push(Edit::Strategy(m.to_string()));
+                }
+            }
+        }
+    }
+    (base, script, net)
+}
+
+/// Every subject × every (object, right) pair, as one `check_many`
+/// batch.
+fn all_queries() -> Vec<TripleRequest> {
+    let mut q = Vec::new();
+    for s in 0..SUBJECTS {
+        for o in 0..OBJECTS {
+            for r in 0..RIGHTS {
+                q.push(TripleRequest {
+                    subject: subject(s),
+                    object: object(o),
+                    right: right(r),
+                });
+            }
+        }
+    }
+    q
+}
+
+/// One atomic observation of the installation: all decisions plus the
+/// strategy that produced them (the strategy disambiguates prefixes
+/// whose sign vectors coincide).
+fn snapshot(svc: &Service, queries: &[TripleRequest]) -> (Vec<String>, String) {
+    let resp = svc
+        .check_many(&CheckManyRequest {
+            queries: queries.to_vec(),
+            strategy: None,
+        })
+        .expect("all names are declared by the base world");
+    (resp.signs, resp.strategy)
+}
+
+fn fresh_service(base: &[Edit]) -> Service {
+    let svc = Service::empty(STRATEGIES[0].parse().expect("valid"));
+    // Declare every name up front so queries never 404, even for
+    // subjects the random base left isolated.
+    for s in 0..SUBJECTS {
+        svc.add_subject(&subject(s)).expect("valid name");
+    }
+    for e in base {
+        apply(&svc, e);
+    }
+    svc
+}
+
+#[test]
+fn concurrent_batches_observe_only_serial_prefixes() {
+    for seed in [3, 11, 42, 99] {
+        let (base, script, _) = build(seed, 14);
+        let queries = Arc::new(all_queries());
+
+        // Serial replay oracle: the observable state after every prefix.
+        let mut prefixes = Vec::new();
+        for k in 0..=script.len() {
+            let svc = fresh_service(&base);
+            for e in &script[..k] {
+                apply(&svc, e);
+            }
+            prefixes.push(snapshot(&svc, &queries));
+        }
+
+        let svc = Arc::new(fresh_service(&base));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let queries = Arc::clone(&queries);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        seen.push(snapshot(&svc, &queries));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for e in &script {
+            apply(&svc, e);
+            std::thread::yield_now();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let mut observed = Vec::new();
+        for reader in readers {
+            observed.extend(reader.join().expect("reader must not panic"));
+        }
+
+        assert!(!observed.is_empty());
+        for obs in &observed {
+            assert!(
+                prefixes.contains(obs),
+                "seed {seed}: a concurrent batch observed a state matching \
+                 no serial prefix of the edit script (torn read)"
+            );
+        }
+        // Convergence: reads after the writer finished equal the full
+        // replay.
+        assert_eq!(
+            snapshot(&svc, &queries),
+            prefixes[script.len()],
+            "seed {seed}: final state diverged from full serial replay"
+        );
+        // The cache discipline held throughout: plenty of concurrent
+        // reads, zero flushes.
+        let stats = svc.stats();
+        assert_eq!(stats.full_invalidations, 0, "seed {seed}");
+        assert!(stats.cache_hits > 0, "seed {seed}");
+    }
+}
+
+/// Rebuilds the script's net state as a plain [`AccessModel`] and
+/// queries it through the uncached resolver.
+fn model_from_net(net: &Net) -> AccessModel {
+    let mut model = AccessModel::new();
+    for s in 0..SUBJECTS {
+        model.subject(&subject(s));
+    }
+    for &(i, j) in &net.edges {
+        model
+            .add_membership(&subject(i), &subject(j))
+            .expect("acyclic by construction");
+    }
+    for ((s, o, r), sign) in &net.labels {
+        if *sign == '+' {
+            model.grant(s, o, r).expect("no contradictions");
+        } else {
+            model.deny(s, o, r).expect("no contradictions");
+        }
+    }
+    // Revokes can leave an object/right name with no surviving label;
+    // intern every name so queries still resolve.
+    for o in 0..OBJECTS {
+        model.object(&object(o));
+    }
+    for r in 0..RIGHTS {
+        model.right(&right(r));
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental repairs on a warm service equal a from-scratch model
+    /// through the uncached resolver, for random edit scripts.
+    #[test]
+    fn warm_service_equals_from_scratch_model(
+        seed in any::<u64>(),
+        edits in 1usize..20,
+    ) {
+        let (base, script, net) = build(seed, edits);
+        let queries = all_queries();
+        let svc = fresh_service(&base);
+        // Interleave reads so every repair acts on warm caches.
+        for e in &script {
+            snapshot(&svc, &queries);
+            apply(&svc, e);
+        }
+        let (signs, strategy) = snapshot(&svc, &queries);
+        prop_assert_eq!(&strategy, &net.strategy);
+
+        let model = model_from_net(&net);
+        let strategy = net.strategy.parse().expect("valid mnemonic");
+        for (q, sign) in queries.iter().zip(&signs) {
+            let expected = model
+                .check_with(&q.subject, &q.object, &q.right, strategy)
+                .expect("all names declared");
+            let expected = match expected {
+                ucra_core::Sign::Pos => "+",
+                ucra_core::Sign::Neg => "-",
+            };
+            prop_assert_eq!(
+                sign.as_str(), expected,
+                "({}, {}, {}) under {}", q.subject, q.object, q.right, net.strategy
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end tests over a real socket: boot the daemon on an
+//! ephemeral port and drive it with the blocking client. The error
+//! cases pin the acceptance bar — no request input may produce a panic
+//! or a bare 500.
+
+use std::sync::Arc;
+use ucra_service::client::Connection;
+use ucra_service::{Server, Service, MAX_BATCH};
+
+fn boot() -> (ucra_service::ServerHandle, Connection) {
+    let model = ucra_store::text::parse(
+        "member S1 S3\nmember S2 S3\nmember S2 User\nmember S3 S5\nmember S5 User\n\
+         member S6 S5\nmember S6 User\ngrant S2 obj read\ndeny S5 obj read\n\
+         strategy D+LMP+\n",
+    )
+    .expect("motivating example parses");
+    let service = Arc::new(Service::from_model(&model, "P+".parse().expect("valid")));
+    let handle = Server::bind("127.0.0.1:0", service).expect("ephemeral bind");
+    let conn = Connection::connect(handle.addr()).expect("connect");
+    (handle, conn)
+}
+
+#[test]
+fn health_check_and_keep_alive() {
+    let (_handle, mut conn) = boot();
+    // Several requests over ONE connection: keep-alive framing works.
+    for _ in 0..3 {
+        let (status, body) = conn.get("/health").expect("request");
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+    }
+}
+
+#[test]
+fn check_and_explain_round_trip() {
+    let (_handle, mut conn) = boot();
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"User","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"+\""), "{body}");
+    assert!(body.contains("D+LMP+"), "{body}");
+    // Strategy override via the same connection.
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"User","object":"obj","right":"read","strategy":"D+LP-"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"-\""), "{body}");
+    let (status, body) = conn
+        .post(
+            "/explain",
+            r#"{"subject":"User","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("User"), "{body}");
+}
+
+#[test]
+fn check_many_is_batched_and_ordered() {
+    let (_handle, mut conn) = boot();
+    let (status, body) = conn
+        .post(
+            "/check_many",
+            r#"{"queries":[
+                {"subject":"User","object":"obj","right":"read"},
+                {"subject":"S5","object":"obj","right":"read"},
+                {"subject":"S2","object":"obj","right":"read"}
+            ]}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#"["+","-","+"]"#), "{body}");
+}
+
+#[test]
+fn bad_mnemonic_is_400_with_suggestion() {
+    let (_handle, mut conn) = boot();
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"User","object":"obj","right":"read","strategy":"D+LMPP+"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_mnemonic"), "{body}");
+    assert!(body.contains("\"suggestion\":\"D+LMP+\""), "{body}");
+}
+
+#[test]
+fn unknown_names_are_404() {
+    let (_handle, mut conn) = boot();
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"ghost","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown_name"), "{body}");
+    assert!(body.contains("ghost"), "{body}");
+}
+
+#[test]
+fn oversized_batch_is_400() {
+    let (_handle, mut conn) = boot();
+    let one = r#"{"subject":"User","object":"obj","right":"read"}"#;
+    let queries = vec![one; MAX_BATCH + 1].join(",");
+    let (status, body) = conn
+        .post("/check_many", &format!(r#"{{"queries":[{queries}]}}"#))
+        .expect("request");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("batch_too_large"), "{body}");
+}
+
+#[test]
+fn malformed_bodies_and_routes_never_500() {
+    let (_handle, mut conn) = boot();
+    let cases: &[(&str, &str, &str, u16)] = &[
+        ("POST", "/check", "{not json", 400),
+        ("POST", "/check", "{}", 400),      // missing fields
+        ("POST", "/check", "[1,2,3]", 400), // wrong shape
+        ("POST", "/edit/strategy", r#"{"strategy":"XYZ"}"#, 400),
+        ("GET", "/no/such/route", "", 404),
+        ("DELETE", "/check", "", 405),
+        ("GET", "/check", "", 405),
+    ];
+    for &(method, path, body, expected) in cases {
+        let (status, resp) = conn.request(method, path, body).expect("request");
+        assert_eq!(status, expected, "{method} {path} {body:?} -> {resp}");
+        assert!(status < 500, "{method} {path} must not be a server error");
+        assert!(resp.contains("\"error\""), "{resp}");
+    }
+}
+
+#[test]
+fn edits_apply_over_http_and_are_visible() {
+    let (_handle, mut conn) = boot();
+    // A new subject joins a group and inherits its grant.
+    let (status, body) = conn
+        .post("/edit/membership", r#"{"group":"S2","member":"newcomer"}"#)
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"newcomer","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"+\""), "{body}");
+    // Contradicting an explicit record is a 409.
+    let (status, body) = conn
+        .post(
+            "/edit/authorization",
+            r#"{"subject":"S2","object":"obj","right":"read","sign":"-"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 409, "{body}");
+    // A membership cycle is a 422.
+    let (status, body) = conn
+        .post("/edit/membership", r#"{"group":"S3","member":"S2"}"#)
+        .expect("request");
+    assert_eq!(status, 422, "{body}");
+    // Revoke, then the strategy default decides.
+    let (status, body) = conn
+        .post(
+            "/edit/revoke",
+            r#"{"subject":"S5","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"S5","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"+\""), "{body}");
+    // Strategy switch via HTTP.
+    let (status, body) = conn
+        .post("/edit/strategy", r#"{"strategy":"D-P-"}"#)
+        .expect("request");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = conn
+        .post(
+            "/check",
+            r#"{"subject":"S4x","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 404, "{body}"); // still unknown — edits did not invent it
+}
+
+#[test]
+fn stats_and_lint_render_json() {
+    let (_handle, mut conn) = boot();
+    let (status, _) = conn
+        .post(
+            "/check",
+            r#"{"subject":"User","object":"obj","right":"read"}"#,
+        )
+        .expect("request");
+    assert_eq!(status, 200);
+    let (status, body) = conn.get("/stats").expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"queries\":"), "{body}");
+    assert!(body.contains("\"full_invalidations\":0"), "{body}");
+    let (status, body) = conn.get("/lint").expect("request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with('{') || body.starts_with('['), "{body}");
+}
+
+#[test]
+fn concurrent_clients_share_the_warm_cache() {
+    let (handle, mut conn) = boot();
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                for _ in 0..25 {
+                    let (status, body) = conn
+                        .post(
+                            "/check",
+                            r#"{"subject":"User","object":"obj","right":"read"}"#,
+                        )
+                        .expect("request");
+                    assert_eq!(status, 200, "{body}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread must not panic");
+    }
+    let (status, body) = conn.get("/stats").expect("request");
+    assert_eq!(status, 200);
+    // 200 checks but at most one sweep of the single hot pair: everyone
+    // shared the cache.
+    assert!(body.contains("\"sweeps\":1"), "{body}");
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let (mut handle, mut conn) = boot();
+    let (status, _) = conn.get("/health").expect("request");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    handle.shutdown(); // idempotent
+    assert!(
+        Connection::connect(handle.addr()).is_err() || {
+            // The OS may still accept briefly; a request must then fail.
+            let mut c = Connection::connect(handle.addr()).expect("raced accept");
+            c.get("/health").is_err()
+        }
+    );
+}

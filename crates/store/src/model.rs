@@ -291,14 +291,20 @@ impl AccessModel {
                     .iter()
                     .map(|&(o, r)| {
                         (
-                            self.objects.resolve(o.0).unwrap_or("?").to_string(),
-                            self.rights.resolve(r.0).unwrap_or("?").to_string(),
+                            self.objects
+                                .resolve(o.0)
+                                .map_or_else(|| format!("object#{}", o.0), str::to_string),
+                            self.rights
+                                .resolve(r.0)
+                                .map_or_else(|| format!("right#{}", r.0), str::to_string),
                         )
                     })
                     .collect();
                 reports.push(NamedViolation {
                     constraint: v.constraint,
-                    subject: self.subject_name(v.subject).unwrap_or("?").to_string(),
+                    subject: self
+                        .subject_name(v.subject)
+                        .map_or_else(|| format!("subject#{}", v.subject.index()), str::to_string),
                     held,
                     at_most: v.at_most,
                 });
@@ -338,10 +344,12 @@ impl AccessModel {
         let o = self.object_id(object)?;
         let r = self.right_id(right)?;
         Ok(ucra_graph::dot::to_dot(self.hierarchy.graph(), |id| {
-            let name = self.subject_name(id).unwrap_or("?");
+            let name = self
+                .subject_name(id)
+                .map_or_else(|| format!("subject#{}", id.index()), str::to_string);
             match self.eacm.label(id, o, r) {
                 Some(sign) => format!("{name} [{sign}]"),
-                None => name.to_string(),
+                None => name,
             }
         }))
     }

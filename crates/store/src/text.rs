@@ -123,20 +123,23 @@ pub fn parse(input: &str) -> Result<AccessModel, StoreError> {
 pub fn render(model: &AccessModel) -> String {
     let mut out = String::new();
     let h = model.hierarchy();
-    let name = |s| model.subject_name(s).unwrap_or("?");
+    // Unnamed ids render as stable `subject#<n>` handles rather than an
+    // ambiguous `?` (which would also collide across subjects on
+    // re-parse).
+    let name = |s: ucra_core::SubjectId| {
+        model
+            .subject_name(s)
+            .map_or_else(|| format!("subject#{}", s.index()), str::to_string)
+    };
     let mut memberships: Vec<(String, String)> = h
         .subjects()
-        .flat_map(|g| {
-            h.members_of(g)
-                .iter()
-                .map(move |&m| (name(g).to_string(), name(m).to_string()))
-        })
+        .flat_map(|g| h.members_of(g).iter().map(move |&m| (name(g), name(m))))
         .collect();
     memberships.sort();
     for (g, m) in memberships {
         let _ = writeln!(out, "member {g} {m}");
     }
-    let mut isolated: Vec<&str> = h
+    let mut isolated: Vec<String> = h
         .subjects()
         .filter(|&s| h.members_of(s).is_empty() && h.groups_of(s).is_empty())
         .map(name)
@@ -148,14 +151,7 @@ pub fn render(model: &AccessModel) -> String {
     let mut auths: Vec<(String, String, String, ucra_core::Sign)> = model
         .eacm()
         .iter()
-        .map(|(s, o, r, sign)| {
-            (
-                name(s).to_string(),
-                object_name(model, o),
-                right_name(model, r),
-                sign,
-            )
-        })
+        .map(|(s, o, r, sign)| (name(s), object_name(model, o), right_name(model, r), sign))
         .collect();
     auths.sort();
     for (s, o, r, sign) in auths {
@@ -191,16 +187,14 @@ fn object_name(model: &AccessModel, o: ucra_core::ObjectId) -> String {
     model
         .object_names()
         .nth(o.0 as usize)
-        .unwrap_or("?")
-        .to_string()
+        .map_or_else(|| format!("object#{}", o.0), str::to_string)
 }
 
 fn right_name(model: &AccessModel, r: ucra_core::RightId) -> String {
     model
         .right_names()
         .nth(r.0 as usize)
-        .unwrap_or("?")
-        .to_string()
+        .map_or_else(|| format!("right#{}", r.0), str::to_string)
 }
 
 #[cfg(test)]
