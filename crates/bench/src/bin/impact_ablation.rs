@@ -1,0 +1,192 @@
+//! `impact_ablation` — the overlay's cone-pruned diff vs a full
+//! recompute, on the deep-and-wide stress workload.
+//!
+//! ```text
+//! cargo run --release -p ucra-bench --bin impact_ablation [-- --quick]
+//! ```
+//!
+//! Two ways to answer "what does this edit script change":
+//!
+//! * **overlay** — [`ImpactAnalysis::analyze`]: evaluate the script on a
+//!   copy-on-write session and refresh only the columns inside each
+//!   edit's static blast cone (the cone's soundness makes the pruning
+//!   exact);
+//! * **full** — apply the script to plain clones and recompute the whole
+//!   effective matrix from scratch on the edited side, then diff against
+//!   the (pre-materialised) base matrix.
+//!
+//! The two reports are asserted equal before any number is printed, so
+//! the speedup is between two implementations of the same answer.
+
+use std::time::Instant;
+use ucra_core::impact::{EditOp, EditScript, ImpactAnalysis};
+use ucra_core::{Eacm, EffectiveMatrix, MatrixDiff, Strategy, SubjectDag};
+use ucra_workload::edits::{edit_script, EditScriptConfig};
+use ucra_workload::stress::{deep_wide, StressConfig};
+
+/// Replays the script on plain clones — the baseline's "apply" step.
+fn apply(
+    hierarchy: &mut SubjectDag,
+    eacm: &mut Eacm,
+    strategy: &mut Strategy,
+    script: &EditScript,
+) {
+    for op in &script.ops {
+        match *op {
+            EditOp::AddSubject => {
+                hierarchy.add_subject();
+            }
+            EditOp::AddMembership { group, member } => {
+                hierarchy
+                    .add_membership(group, member)
+                    .expect("generated scripts only add fresh acyclic edges");
+            }
+            EditOp::SetAuthorization {
+                subject,
+                object,
+                right,
+                sign,
+            } => {
+                eacm.set(subject, object, right, sign)
+                    .expect("generated scripts never contradict");
+            }
+            EditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => {
+                eacm.unset(subject, object, right);
+            }
+            EditOp::SetStrategy { strategy: s } => *strategy = s,
+        }
+    }
+}
+
+/// Full-recompute baseline: clone, apply, then sweep every tracked pair
+/// from scratch on **both** sides and diff. Neither side starts from a
+/// cached matrix — the same starting point `ImpactAnalysis::analyze`
+/// gets (its overlay session is cold too).
+fn full_recompute(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    strategy: Strategy,
+    pairs: &[(ucra_core::ObjectId, ucra_core::RightId)],
+    script: &EditScript,
+) -> MatrixDiff {
+    let base = EffectiveMatrix::compute_for_pairs(hierarchy, eacm, strategy, pairs)
+        .expect("stress model sweeps cleanly");
+    let mut h = hierarchy.clone();
+    let mut e = eacm.clone();
+    let mut s = strategy;
+    apply(&mut h, &mut e, &mut s, script);
+    let edited =
+        EffectiveMatrix::compute_for_pairs(&h, &e, s, pairs).expect("stress model sweeps cleanly");
+    base.diff(&edited)
+}
+
+fn median(mut ns: Vec<u128>) -> u128 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let (cfg, reps) = if quick {
+        (StressConfig::quick(), 3)
+    } else {
+        (StressConfig::full(), 5)
+    };
+    let mut rng = ucra_workload::rng(7);
+    let model = deep_wide(cfg, &mut rng);
+    let strategy: Strategy = "D+LMP+".parse().expect("valid mnemonic");
+    let subjects = model.hierarchy.subject_count();
+    println!(
+        "impact_ablation ({}): {} subjects, {} labeled pairs, median of {} reps",
+        if quick { "quick" } else { "full" },
+        subjects,
+        model.pairs.len(),
+        reps,
+    );
+
+    // Script shapes bracket the realistic range: a small label-only
+    // change set (narrow cones), a small mixed set (membership edits
+    // have wide cones under defaulting strategies), and a bulk
+    // migration-sized script.
+    let shapes = [
+        (
+            "4 label edits   ",
+            EditScriptConfig {
+                ops: 4,
+                subject_share: 0.0,
+                membership_share: 0.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "4 mixed edits   ",
+            EditScriptConfig {
+                ops: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "32 mixed edits  ",
+            EditScriptConfig {
+                ops: 32,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, config) in shapes {
+        let script = edit_script(&model.hierarchy, &model.eacm, config, &mut rng);
+        // The same tracked-pair universe the analyzer uses: base labels
+        // plus script-touched pairs.
+        let mut pairs = model.eacm.object_right_pairs();
+        for op in &script.ops {
+            if let EditOp::SetAuthorization { object, right, .. }
+            | EditOp::Revoke { object, right, .. } = *op
+            {
+                pairs.push((object, right));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        // Both paths must produce the same report before timing means
+        // anything.
+        let analysis = ImpactAnalysis::analyze(&model.hierarchy, &model.eacm, strategy, &script)
+            .expect("analyze succeeds on generated scripts");
+        let oracle = full_recompute(&model.hierarchy, &model.eacm, strategy, &pairs, &script);
+        assert_eq!(
+            analysis.diff, oracle,
+            "overlay diff must equal full recompute"
+        );
+        assert_eq!(analysis.overlay_stats.full_invalidations, 0);
+
+        let mut overlay_ns = Vec::with_capacity(reps);
+        let mut full_ns = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let a = ImpactAnalysis::analyze(&model.hierarchy, &model.eacm, strategy, &script)
+                .expect("analyze succeeds");
+            overlay_ns.push(t.elapsed().as_nanos());
+            std::hint::black_box(a);
+
+            let t = Instant::now();
+            let d = full_recompute(&model.hierarchy, &model.eacm, strategy, &pairs, &script);
+            full_ns.push(t.elapsed().as_nanos());
+            std::hint::black_box(d);
+        }
+        let overlay = median(overlay_ns);
+        let full = median(full_ns);
+        println!(
+            "  {label}: overlay {:>10}  full recompute {:>10}  speedup {:>5.2}x  \
+             ({} diff cells, {} cone-bounded)",
+            ucra_bench::timing::fmt_ns(overlay),
+            ucra_bench::timing::fmt_ns(full),
+            full as f64 / overlay as f64,
+            analysis.diff.changed.len(),
+            analysis.cone_cell_bound(),
+        );
+    }
+}

@@ -10,11 +10,16 @@
 //! `BENCH_sweep.json`; the harness deliberately has no serde
 //! dependency).
 //!
+//! After the read phase, a dry-run phase posts an edit script to
+//! `POST /impact` and records its latency and overlay counters.
+//!
 //! Within-run health gates, checked by the CI smoke job:
 //!
 //! * `full_invalidations` stays 0 — edits repaired, never flushed;
 //! * at least one edit actually interleaved with the read traffic;
-//! * every request returned 200.
+//! * every request returned 200;
+//! * the `/impact` overlays report 0 full invalidations and the base
+//!   session's `/stats` body is bit-identical before and after them.
 
 use crate::timing::fmt_ns;
 use rand::{Rng as _, SeedableRng};
@@ -37,10 +42,18 @@ pub struct ServeConfig {
     pub rights: usize,
     /// Concurrent reader connections.
     pub clients: usize,
-    /// `check_many` requests each reader issues.
+    /// `check_many` requests each reader issues per repetition.
     pub requests_per_client: usize,
     /// Queries per `check_many` batch.
     pub batch: usize,
+    /// Unmeasured `check_many` requests issued before the clock starts,
+    /// so the measured phase exercises the warmed steady state.
+    pub warmup: usize,
+    /// Measured repetitions of the read phase; latencies are pooled
+    /// across repetitions.
+    pub reps: usize,
+    /// Dry-run `POST /impact` requests issued after the read phase.
+    pub impact_requests: usize,
 }
 
 impl ServeConfig {
@@ -53,6 +66,9 @@ impl ServeConfig {
             clients: 4,
             requests_per_client: 150,
             batch: 16,
+            warmup: 8,
+            reps: 1,
+            impact_requests: 8,
         }
     }
 
@@ -65,6 +81,9 @@ impl ServeConfig {
             clients: 8,
             requests_per_client: 400,
             batch: 32,
+            warmup: 16,
+            reps: 3,
+            impact_requests: 32,
         }
     }
 }
@@ -101,6 +120,14 @@ pub struct ServeReport {
     pub full_invalidations: u64,
     /// Incremental matrix-edit repairs observed by `/stats`.
     pub matrix_repairs: u64,
+    /// `POST /impact` dry-runs issued after the read phase.
+    pub impact_requests: u64,
+    /// Median client-observed `/impact` latency.
+    pub impact_p50_ns: u128,
+    /// Full invalidations reported by the `/impact` overlays, summed
+    /// across requests; the CI gate requires 0 (the overlay cone-repairs,
+    /// never flushes).
+    pub impact_full_invalidations: u64,
 }
 
 impl ServeReport {
@@ -109,16 +136,21 @@ impl ServeReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"bench\": \"serve_load\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"warmup\": {},\n  \"reps\": {},\n  \
              \"workload\": {{\"subjects\": {}, \"objects\": {}, \"rights\": {}}},\n  \
              \"load\": {{\"clients\": {}, \"requests_per_client\": {}, \"batch\": {}}},\n  \
              \"throughput\": {{\"total_checks\": {}, \"wall_ns\": {}, \
              \"checks_per_sec\": {:.1}}},\n  \
              \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
              \"edits\": {{\"applied\": {}, \"p50_ns\": {}}},\n  \
+             \"impact\": {{\"requests\": {}, \"p50_ns\": {}, \
+             \"full_invalidations\": {}}},\n  \
              \"session\": {{\"sweeps\": {}, \"full_invalidations\": {}, \
              \"matrix_repairs\": {}}}\n}}\n",
             self.quick,
             self.cores,
+            self.config.warmup,
+            self.config.reps,
             self.config.subjects,
             self.config.objects,
             self.config.rights,
@@ -133,6 +165,9 @@ impl ServeReport {
             self.max_ns,
             self.edits_applied,
             self.edit_p50_ns,
+            self.impact_requests,
+            self.impact_p50_ns,
+            self.impact_full_invalidations,
             self.sweeps,
             self.full_invalidations,
             self.matrix_repairs,
@@ -146,13 +181,16 @@ impl ServeReport {
         let c = &self.config;
         let _ = writeln!(
             out,
-            "serve_load ({}): {} subjects, {} pairs, {} clients x {} requests x batch {}",
+            "serve_load ({}): {} subjects, {} pairs, {} clients x {} requests x batch {} \
+             ({} warmup, {} reps)",
             if self.quick { "quick" } else { "full" },
             c.subjects,
             c.objects * c.rights,
             c.clients,
             c.requests_per_client,
-            c.batch
+            c.batch,
+            c.warmup,
+            c.reps
         );
         let _ = writeln!(
             out,
@@ -173,6 +211,13 @@ impl ServeReport {
             "  edits      : {} interleaved, p50 {}",
             self.edits_applied,
             fmt_ns(self.edit_p50_ns)
+        );
+        let _ = writeln!(
+            out,
+            "  impact     : {} dry-runs, p50 {}, {} overlay full flushes",
+            self.impact_requests,
+            fmt_ns(self.impact_p50_ns),
+            self.impact_full_invalidations
         );
         let _ = writeln!(
             out,
@@ -287,7 +332,7 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
     // (cold sweeps are the fused_sweep benchmark's subject, not this
     // one's).
     let mut warm = Connection::connect(addr).map_err(|e| e.to_string())?;
-    for body in batch_bodies(&cfg, usize::MAX).iter().take(8) {
+    for body in batch_bodies(&cfg, usize::MAX).iter().take(cfg.warmup) {
         let (status, resp) = warm.post("/check_many", body).map_err(|e| e.to_string())?;
         if status != 200 {
             return Err(format!("warmup request failed with {status}: {resp}"));
@@ -333,30 +378,33 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
         })
     };
 
+    let mut latencies: Vec<u128> = Vec::new();
     let started = Instant::now();
-    let readers: Vec<_> = (0..cfg.clients)
-        .map(|client| {
-            let failures = Arc::clone(&failures);
-            let bodies = batch_bodies(&cfg, client);
-            std::thread::spawn(move || {
-                let mut conn = Connection::connect(addr).expect("reader connect");
-                let mut latencies = Vec::with_capacity(bodies.len());
-                for body in &bodies {
-                    let start = Instant::now();
-                    match conn.post("/check_many", body) {
-                        Ok((200, _)) => latencies.push(start.elapsed().as_nanos()),
-                        _ => {
-                            failures.fetch_add(1, Ordering::Relaxed);
+    for rep in 0..cfg.reps.max(1) {
+        let readers: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let failures = Arc::clone(&failures);
+                // A fresh deterministic body stream per (client, rep).
+                let bodies = batch_bodies(&cfg, client + rep * cfg.clients);
+                std::thread::spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("reader connect");
+                    let mut latencies = Vec::with_capacity(bodies.len());
+                    for body in &bodies {
+                        let start = Instant::now();
+                        match conn.post("/check_many", body) {
+                            Ok((200, _)) => latencies.push(start.elapsed().as_nanos()),
+                            _ => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
-                }
-                latencies
+                    latencies
+                })
             })
-        })
-        .collect();
-    let mut latencies: Vec<u128> = Vec::new();
-    for reader in readers {
-        latencies.extend(reader.join().expect("reader thread must not panic"));
+            .collect();
+        for reader in readers {
+            latencies.extend(reader.join().expect("reader thread must not panic"));
+        }
     }
     let wall_ns = started.elapsed().as_nanos();
     stop.store(true, Ordering::Release);
@@ -372,6 +420,36 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
     if status != 200 {
         return Err(format!("/stats failed with {status}"));
     }
+
+    // Dry-run phase: `POST /impact` is a pure read — the overlays it
+    // evaluates must cone-repair (never flush), and the base session's
+    // counters must come back bit-identical afterwards.
+    let impact_body = "{\"edits\":\"revoke s1 o0 r0\\ndeny s1 o0 r0\\nstrategy D-LP-\\n\
+                       subject zz_impact\\nmember s0 zz_impact\\ngrant zz_impact o1 r1\\n\"}";
+    let mut impact_latencies = Vec::with_capacity(cfg.impact_requests);
+    let mut impact_full_invalidations = 0u64;
+    for _ in 0..cfg.impact_requests {
+        let start = Instant::now();
+        let (status, resp) = warm
+            .post("/impact", impact_body)
+            .map_err(|e| e.to_string())?;
+        impact_latencies.push(start.elapsed().as_nanos());
+        if status != 200 {
+            return Err(format!("/impact failed with {status}: {resp}"));
+        }
+        impact_full_invalidations += stat_u64(&resp, "full_invalidations")
+            .ok_or("impact response is missing \"full_invalidations\"")?;
+    }
+    let (status, stats_after) = warm.get("/stats").map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("/stats failed with {status}"));
+    }
+    if stats_after != stats_body {
+        return Err(format!(
+            "/impact mutated the base session: stats before {stats_body} != after {stats_after}"
+        ));
+    }
+    impact_latencies.sort_unstable();
 
     latencies.sort_unstable();
     edit_latencies.sort_unstable();
@@ -392,6 +470,9 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
         sweeps: stat_u64(&stats_body, "sweeps").unwrap_or(0),
         full_invalidations: stat_u64(&stats_body, "full_invalidations").unwrap_or(u64::MAX),
         matrix_repairs: stat_u64(&stats_body, "matrix_repairs").unwrap_or(0),
+        impact_requests: impact_latencies.len() as u64,
+        impact_p50_ns: percentile(&impact_latencies, 0.50),
+        impact_full_invalidations,
     })
 }
 
@@ -436,8 +517,10 @@ mod tests {
         assert!(report.quick);
         assert_eq!(
             report.total_checks,
-            (report.config.clients * report.config.requests_per_client * report.config.batch)
-                as u64
+            (report.config.clients
+                * report.config.requests_per_client
+                * report.config.batch
+                * report.config.reps) as u64
         );
         assert!(report.checks_per_sec > 0.0);
         assert!(report.p50_ns > 0 && report.p50_ns <= report.p99_ns);
@@ -447,10 +530,17 @@ mod tests {
         assert!(report.edits_applied >= 1);
         assert_eq!(report.full_invalidations, 0);
         assert!(report.matrix_repairs >= 1, "label toggles must cone-repair");
+        // The dry-run phase: every /impact overlay cone-repaired.
+        assert_eq!(report.impact_requests, report.config.impact_requests as u64);
+        assert!(report.impact_p50_ns > 0);
+        assert_eq!(report.impact_full_invalidations, 0);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"serve_load\""));
         assert!(json.contains("\"checks_per_sec\""));
         assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"warmup\": 8"));
+        assert!(json.contains("\"reps\": 1"));
+        assert!(json.contains("\"impact\": {\"requests\": 8, "));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

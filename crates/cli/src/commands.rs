@@ -279,6 +279,73 @@ pub fn lint(path: &str, json: bool, deny_warnings: bool) -> Result<std::process:
     ))
 }
 
+/// `ucra lint --explain` — print one rule's full documentation from the
+/// registry (no model needed).
+pub fn lint_explain(code: &str) -> Result<(), String> {
+    let info = ucra_lint::explain(code).ok_or_else(|| {
+        let known: Vec<&str> = ucra_lint::codes().iter().map(|i| i.code).collect();
+        format!("unknown rule `{code}`; known codes: {}", known.join(", "))
+    })?;
+    println!("{} ({}) — {}", info.code, info.name, info.severity);
+    println!("  {}", info.summary);
+    println!();
+    println!("{}", info.doc);
+    Ok(())
+}
+
+/// What `ucra impact --deny` gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpactDeny {
+    /// Fail only on error-severity findings (none are defined today).
+    Nothing,
+    /// Fail on any warning, like `ucra lint --deny warnings`.
+    Warnings,
+    /// Fail only on `UCRA102` privilege-escalation findings.
+    Escalation,
+}
+
+/// `ucra impact` — dry-run an edit script against a model: static blast
+/// cones, the exact effective diff via a copy-on-write overlay (the
+/// model is never mutated), and the `UCRA1xx` findings.
+///
+/// Exit codes mirror `ucra lint`: `0` allowed, `1` on error-severity
+/// findings, `2` when the `--deny` class is present.
+pub fn impact(
+    model: &AccessModel,
+    edits_path: &str,
+    json: bool,
+    deny: ImpactDeny,
+    opts: &ucra_lint::ImpactOptions,
+    strategy: Option<Strategy>,
+) -> Result<std::process::ExitCode, String> {
+    let edits = std::fs::read_to_string(edits_path)
+        .map_err(|e| format!("cannot read `{edits_path}`: {e}"))?;
+    let run = ucra_lint::run_impact(model, &edits, strategy, opts)?;
+    let rendered = if json {
+        ucra_lint::render_impact_json(&run)
+    } else {
+        ucra_lint::render_impact_text(&run)
+    };
+    print!("{rendered}");
+    if !rendered.ends_with('\n') {
+        println!();
+    }
+    let code = match deny {
+        ImpactDeny::Nothing => run.report.exit_code(false),
+        ImpactDeny::Warnings => run.report.exit_code(true),
+        ImpactDeny::Escalation => {
+            if run.report.has_errors() {
+                1
+            } else if ucra_lint::has_escalation(&run.report) {
+                2
+            } else {
+                0
+            }
+        }
+    };
+    Ok(std::process::ExitCode::from(code))
+}
+
 /// `ucra gen` — print a synthetic policy in the text format.
 ///
 /// With `inject_smells`, plants one instance of every policy smell the
@@ -410,7 +477,9 @@ pub fn serve(
     let handle = ucra_service::Server::bind(addr, service)
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
     println!("ucra daemon listening on http://{}", handle.addr());
-    println!("endpoints: /health /stats /lint /check /check_many /explain /edit/*  (ctrl-c stops)");
+    println!(
+        "endpoints: /health /stats /lint /check /check_many /explain /impact /edit/*  (ctrl-c stops)"
+    );
     // Serve until the process is killed; the acceptor thread owns the
     // listener, so parking the main thread costs nothing.
     loop {

@@ -14,6 +14,8 @@
 //! ucra dot     <model> <object> <right>
 //! ucra convert <in> <out>
 //! ucra lint    <model> [--format json|text] [--deny warnings]
+//! ucra lint    --explain <code>
+//! ucra impact  <model> --edits <script> [--format json|text] [--deny <class>]
 //! ucra gen     <nodes> [--seed N] [--inject-smells]
 //! ucra stats   <model> [strategy]
 //! ucra bench   [--quick] [--threads <list>]
@@ -70,6 +72,16 @@ const USAGE: &str = "usage:
   ucra lint <model> [--format json|text] [--deny warnings]
       static policy analysis; exits 0 clean, 1 on errors,
       2 on warnings with --deny warnings
+  ucra lint --explain <code>
+      print one rule's full documentation (UCRA010, no-op-edit, ...)
+  ucra impact <model> --edits <script> [--format json|text]
+              [--deny warnings|escalation] [--sensitive <glob>]
+              [--mass-flip-pct <n>] [--strategy mnemonic]
+      dry-run an edit script (subject/member/grant/deny/revoke/
+      strategy lines): static blast cones, the exact effective diff
+      on a copy-on-write overlay (the model file is never modified),
+      and UCRA1xx findings; --deny escalation exits 2 when the
+      script grants access the base policy denies
   ucra gen <nodes> [--seed N] [--inject-smells]
       print a synthetic policy; --inject-smells plants one of
       every smell `ucra lint` detects
@@ -161,6 +173,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut path = None;
             let mut json = false;
             let mut deny_warnings = false;
+            let mut explain = None;
             let mut rest = args[1..].iter().map(String::as_str);
             while let Some(arg) = rest.next() {
                 match arg {
@@ -183,6 +196,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                             ))
                         }
                     },
+                    "--explain" => {
+                        explain = Some(
+                            rest.next()
+                                .ok_or("--explain takes a rule code or name, e.g. UCRA102")?
+                                .to_string(),
+                        );
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(format!("unknown lint flag `{flag}`"))
                     }
@@ -190,7 +210,86 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     p => return Err(format!("lint takes one <model> path, got also `{p}`")),
                 }
             }
+            if let Some(code) = explain {
+                return done(commands::lint_explain(&code));
+            }
             commands::lint(path.ok_or("missing <model> path")?, json, deny_warnings)
+        }
+        Some("impact") => {
+            let mut path = None;
+            let mut edits = None;
+            let mut json = false;
+            let mut deny = commands::ImpactDeny::Nothing;
+            let mut opts = ucra_lint::ImpactOptions::default();
+            let mut strategy = None;
+            let mut rest = args[1..].iter().map(String::as_str);
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--edits" => {
+                        edits = Some(
+                            rest.next()
+                                .ok_or("--edits takes a script path")?
+                                .to_string(),
+                        );
+                    }
+                    "--format" => match rest.next() {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        other => {
+                            return Err(format!(
+                                "--format takes `json` or `text`, got {:?}",
+                                other.unwrap_or("nothing")
+                            ))
+                        }
+                    },
+                    "--deny" => match rest.next() {
+                        Some("warnings") => deny = commands::ImpactDeny::Warnings,
+                        Some("escalation") => deny = commands::ImpactDeny::Escalation,
+                        other => {
+                            return Err(format!(
+                                "--deny takes `warnings` or `escalation`, got {:?}",
+                                other.unwrap_or("nothing")
+                            ))
+                        }
+                    },
+                    "--sensitive" => {
+                        opts.sensitive = Some(
+                            rest.next()
+                                .ok_or("--sensitive takes an object/right glob, e.g. payroll/*")?
+                                .to_string(),
+                        );
+                    }
+                    "--mass-flip-pct" => {
+                        opts.mass_flip_pct = rest
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n <= 100)
+                            .ok_or("--mass-flip-pct takes a percentage (0-100)")?;
+                    }
+                    "--strategy" => {
+                        strategy = Some(
+                            rest.next()
+                                .ok_or("--strategy takes a mnemonic")?
+                                .parse()
+                                .map_err(|e: ucra_core::CoreError| e.to_string())?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown impact flag `{flag}`"))
+                    }
+                    p if path.is_none() => path = Some(p),
+                    p => return Err(format!("impact takes one <model> path, got also `{p}`")),
+                }
+            }
+            let model = load_model(path.ok_or("missing <model> path")?)?;
+            commands::impact(
+                &model,
+                &edits.ok_or("missing --edits <script> path")?,
+                json,
+                deny,
+                &opts,
+                strategy,
+            )
         }
         Some("gen") => {
             let mut nodes = None;

@@ -85,7 +85,7 @@ fn json_output_schema_snapshot() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(
         stdout.trim_end(),
-        r#"{"version":1,"diagnostics":[{"code":"UCRA010","rule":"orphan-subject","severity":"warning","message":"subject `lonely` is isolated: no groups, no members, and no explicit authorizations","span":{"kind":"subject","subject":"lonely","line":2},"help":"connect it with a `member` directive or delete the subject"}],"kernel":[{"rule":"dead-conflict","subjects":3,"pairs_probed":0,"active_rows_max":0,"active_rows_total":0},{"rule":"redundant-label","subjects":3,"pairs_probed":1,"active_rows_max":2,"active_rows_total":2}],"summary":{"errors":0,"warnings":1,"infos":0}}"#
+        r#"{"version":1,"diagnostics":[{"code":"UCRA010","rule":"orphan-subject","severity":"warning","message":"subject `lonely` is isolated: no groups, no members, and no explicit authorizations","span":{"kind":"subject","subject":"lonely","line":2},"help":"connect it with a `member` directive or delete the subject"}],"kernel":[{"rule":"dead-conflict","subjects":3,"pairs_probed":0,"active_rows_max":0,"active_rows_total":0},{"rule":"redundant-label","subjects":3,"pairs_probed":1,"active_rows_max":2,"active_rows_total":2}],"rules":[{"code":"UCRA000","name":"parse-error","severity":"error","summary":"the policy text cannot be parsed"},{"code":"UCRA001","name":"unknown-strategy","severity":"error","summary":"the strategy mnemonic is not one of the 48 legitimate instances"},{"code":"UCRA002","name":"non-canonical-strategy","severity":"warning","summary":"the strategy is legitimate but not in canonical form"},{"code":"UCRA003","name":"no-strategy","severity":"info","summary":"no conflict-resolution strategy is configured"},{"code":"UCRA010","name":"orphan-subject","severity":"warning","summary":"an isolated subject carries no authorizations at all"},{"code":"UCRA011","name":"inert-group","severity":"warning","summary":"a labeled subject is connected to nothing, so its labels propagate nowhere"},{"code":"UCRA012","name":"fragmented-hierarchy","severity":"info","summary":"the hierarchy splits into several disconnected components"},{"code":"UCRA020","name":"redundant-label","severity":"warning","summary":"an explicit label is implied by propagation under all 48 strategies"},{"code":"UCRA021","name":"dead-conflict","severity":"info","summary":"a conflicting label never changes the outcome under the chosen strategy"},{"code":"UCRA030","name":"default-shadowing","severity":"warning","summary":"subjects whose outcome falls through to the preference fallback"},{"code":"UCRA100","name":"no-op-edit","severity":"warning","summary":"an edit changes no effective authorization"},{"code":"UCRA101","name":"shadowed-edit","severity":"warning","summary":"a later edit in the script overwrites this one"},{"code":"UCRA102","name":"privilege-escalation","severity":"warning","summary":"the script grants access that the base policy denies"},{"code":"UCRA103","name":"mass-strategy-flip","severity":"warning","summary":"a strategy swap flips a large share of the matrix"},{"code":"UCRA104","name":"default-flip","severity":"warning","summary":"a strategy swap flips the label-free default sign"}],"summary":{"errors":0,"warnings":1,"infos":0}}"#
     );
 }
 

@@ -192,6 +192,24 @@ impl EffectiveMatrix {
         Ok(EffectiveMatrix { strategy, signs })
     }
 
+    /// Assembles a matrix from already-resolved columns (each
+    /// `signs[(o, r)][subject.index()]`). The impact analyzer maintains
+    /// columns incrementally through an edit script and re-wraps them
+    /// here so the final state can be [`EffectiveMatrix::diff`]ed
+    /// against the base.
+    pub(crate) fn from_columns(
+        strategy: Strategy,
+        signs: BTreeMap<(ObjectId, RightId), Vec<Sign>>,
+    ) -> Self {
+        EffectiveMatrix { strategy, signs }
+    }
+
+    /// The raw columns (crate-internal: the impact analyzer seeds its
+    /// evolving overlay columns from a fused base compute).
+    pub(crate) fn columns(&self) -> &BTreeMap<(ObjectId, RightId), Vec<Sign>> {
+        &self.signs
+    }
+
     /// The strategy this matrix was materialised under.
     pub fn strategy(&self) -> Strategy {
         self.strategy

@@ -1,0 +1,689 @@
+//! Change-impact analysis: what does an edit script do to the matrix?
+//!
+//! Given a base installation (hierarchy + explicit matrix + strategy)
+//! and an **edit script** in the session's own edit vocabulary —
+//! subject, membership, authorization, revoke, strategy — this module
+//! answers two questions, one cheap and sound, one exact:
+//!
+//! 1. **Static blast cone** ([`EditCone`], per edit): a sound
+//!    over-approximation of the `(subject, object, right)` cells the
+//!    edit can flip, computed from graph reachability and the strategy
+//!    sign/default algebra alone — **no sweep runs**. A membership edge
+//!    `group → member` can only flip cells of `member`'s descendant
+//!    cone — restricted further to pairs labeled on `group`'s ancestor
+//!    cone when the strategy discards defaults (new propagation paths
+//!    must pass through the new edge), and to all labeled pairs
+//!    otherwise, since the edge also reroutes default records; a
+//!    label edit flips only the edited subject's descendant cone on the
+//!    edited pair; a strategy swap flips everything only when its
+//!    default-only sign changes, otherwise only cells with a labeled
+//!    ancestor (bounded here by labeled subjects' descendant cones over
+//!    labeled pairs).
+//! 2. **Exact effective diff** ([`ImpactAnalysis::diff`]): the script is
+//!    evaluated on a **copy-on-write overlay** — a scratch
+//!    [`AccessSession`] built from clones of the base hierarchy and
+//!    matrix, so the base is never mutated — through the session's
+//!    incremental cone-repair mutators (edits repair cached sweep
+//!    tables, never flush them). After each edit, only the columns
+//!    inside that edit's static cone are re-resolved; soundness of the
+//!    cone is exactly what makes this pruning exact, and is pinned by
+//!    the `impact_soundness` proptest against a full-recompute oracle
+//!    under all 48 strategies.
+//!
+//! The result reuses [`MatrixDiff`] for the before/after report, plus
+//! per-edit [`EditOutcome`]s (which edits were no-ops, which flipped
+//! how much) that the static analyser's `UCRA1xx` diagnostics are built
+//! on.
+
+use crate::effective::{EffectiveDiff, EffectiveMatrix, MatrixDiff};
+use crate::error::CoreError;
+use crate::hierarchy::SubjectDag;
+use crate::ids::{ObjectId, RightId, SubjectId};
+use crate::matrix::Eacm;
+use crate::mode::Sign;
+use crate::session::{AccessSession, SessionStats};
+use crate::strategy::Strategy;
+use std::collections::BTreeMap;
+use ucra_graph::traverse::{cone_topo_order, Direction};
+
+/// One edit in the session's edit vocabulary, by id. Name resolution is
+/// the caller's business (`ucra-store` lowers name-based scripts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Declare the next subject (ids are dense: the new subject is
+    /// `subject_count()` at the time the op applies).
+    AddSubject,
+    /// Add a membership edge `group → member`.
+    AddMembership {
+        /// The group gaining a member.
+        group: SubjectId,
+        /// The new member.
+        member: SubjectId,
+    },
+    /// Record (or idempotently re-record) an explicit authorization.
+    SetAuthorization {
+        /// The labeled subject.
+        subject: SubjectId,
+        /// The labeled object.
+        object: ObjectId,
+        /// The labeled right.
+        right: RightId,
+        /// The sign to record.
+        sign: Sign,
+    },
+    /// Remove an explicit authorization if present.
+    Revoke {
+        /// The target subject.
+        subject: SubjectId,
+        /// The target object.
+        object: ObjectId,
+        /// The target right.
+        right: RightId,
+    },
+    /// Switch the conflict-resolution strategy.
+    SetStrategy {
+        /// The new strategy.
+        strategy: Strategy,
+    },
+}
+
+impl EditOp {
+    /// A short human-readable rendering (ids, not names) for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            EditOp::AddSubject => "subject".to_string(),
+            EditOp::AddMembership { group, member } => {
+                format!("member s{} s{}", group.index(), member.index())
+            }
+            EditOp::SetAuthorization {
+                subject,
+                object,
+                right,
+                sign,
+            } => format!(
+                "{} s{} {object} {right}",
+                if *sign == Sign::Pos { "grant" } else { "deny" },
+                subject.index()
+            ),
+            EditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => format!("revoke s{} {object} {right}", subject.index()),
+            EditOp::SetStrategy { strategy } => format!("strategy {strategy}"),
+        }
+    }
+}
+
+/// An ordered list of edits, applied first to last.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditScript {
+    /// The edits, in application order.
+    pub ops: Vec<EditOp>,
+}
+
+impl EditScript {
+    /// A script over the given ops.
+    pub fn new(ops: Vec<EditOp>) -> Self {
+        EditScript { ops }
+    }
+}
+
+/// The static blast cone of one edit: a sound over-approximation of the
+/// cells the edit can flip, as a subject set × pair set (either side
+/// `None` = unrestricted) plus a default-column flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditCone {
+    /// Subjects whose cells can flip; sorted. `None` means every
+    /// subject (including ones added later in the script).
+    pub subjects: Option<Vec<SubjectId>>,
+    /// `(object, right)` pairs whose columns can flip; sorted. `None`
+    /// means every pair, including label-free ones.
+    pub pairs: Option<Vec<(ObjectId, RightId)>>,
+    /// Whether the uniform sign of label-free pairs can flip (only a
+    /// strategy swap whose default-only sign differs sets this).
+    pub default_flip: bool,
+}
+
+impl EditCone {
+    /// The provably-empty cone (an edit that cannot flip anything).
+    pub fn empty() -> Self {
+        EditCone {
+            subjects: Some(Vec::new()),
+            pairs: Some(Vec::new()),
+            default_flip: false,
+        }
+    }
+
+    /// `true` when the cone is provably empty.
+    pub fn is_empty(&self) -> bool {
+        !self.default_flip
+            && (self.subjects.as_deref() == Some(&[]) || self.pairs.as_deref() == Some(&[]))
+    }
+
+    /// Sound membership test: `false` proves the cell cannot flip.
+    pub fn contains(&self, subject: SubjectId, object: ObjectId, right: RightId) -> bool {
+        let subject_in = self
+            .subjects
+            .as_ref()
+            .is_none_or(|s| s.binary_search(&subject).is_ok());
+        let pair_in = self
+            .pairs
+            .as_ref()
+            .is_none_or(|p| p.binary_search(&(object, right)).is_ok());
+        subject_in && pair_in
+    }
+
+    /// Upper bound on affected cells, clamped to the tracked universe.
+    pub fn cell_bound(&self, total_subjects: usize, total_pairs: usize) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let s = self.subjects.as_ref().map_or(total_subjects, Vec::len);
+        let p = self.pairs.as_ref().map_or(total_pairs, Vec::len);
+        (s * p).min(total_subjects * total_pairs)
+    }
+}
+
+/// What one edit actually did to the overlay, exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// Cells (of subjects that existed before this edit) whose
+    /// effective sign flipped at this step. `before`/`after` are the
+    /// signs under the strategy in force before/after the step.
+    pub flips: Vec<EffectiveDiff>,
+    /// Whether this step flipped the label-free default sign.
+    pub default_flip: bool,
+    /// Columns re-resolved for this step — the cone pairs, i.e. the
+    /// exact-diff work the static cone could not rule out.
+    pub refreshed_pairs: usize,
+    /// For [`EditOp::Revoke`]: whether an explicit record existed.
+    pub removed_label: bool,
+}
+
+impl EditOutcome {
+    /// `true` when the edit provably changed nothing effective.
+    pub fn is_noop(&self) -> bool {
+        self.flips.is_empty() && !self.default_flip
+    }
+}
+
+/// The full impact report of one edit script against one base.
+#[derive(Debug, Clone)]
+pub struct ImpactAnalysis {
+    /// The base strategy.
+    pub base_strategy: Strategy,
+    /// The strategy after the script (differs only via
+    /// [`EditOp::SetStrategy`]).
+    pub final_strategy: Strategy,
+    /// Subjects in the base hierarchy.
+    pub base_subjects: usize,
+    /// Subjects after the script.
+    pub final_subjects: usize,
+    /// The tracked `(object, right)` pairs: every pair labeled in the
+    /// base plus every pair an edit touches. Sorted. Cells outside
+    /// these pairs are label-free on both sides and covered by the
+    /// default-sign component of [`ImpactAnalysis::diff`].
+    pub pairs: Vec<(ObjectId, RightId)>,
+    /// Per-edit static blast cones, index-aligned with the script.
+    pub cones: Vec<EditCone>,
+    /// Per-edit exact outcomes, index-aligned with the script.
+    pub outcomes: Vec<EditOutcome>,
+    /// The base effective matrix over the tracked pairs.
+    pub base_matrix: EffectiveMatrix,
+    /// The overlay's effective matrix after the whole script.
+    pub final_matrix: EffectiveMatrix,
+    /// Exact base → final diff over the tracked pairs (reused
+    /// [`MatrixDiff`]; cells of script-added subjects are reported in
+    /// [`ImpactAnalysis::added_grants`] instead, since they have no
+    /// "before" side).
+    pub diff: MatrixDiff,
+    /// `(subject, object, right)` cells of script-added subjects whose
+    /// final effective sign is `+`.
+    pub added_grants: Vec<(SubjectId, ObjectId, RightId)>,
+    /// The overlay session's counters — the proof that evaluation went
+    /// through the incremental-repair path (`full_invalidations == 0`)
+    /// and how many sweeps/repairs the exact diff cost.
+    pub overlay_stats: SessionStats,
+}
+
+impl ImpactAnalysis {
+    /// Analyzes `script` against the base installation. The base parts
+    /// are only read (cloned into the overlay); the caller's session, if
+    /// any, is untouched.
+    pub fn analyze(
+        hierarchy: &SubjectDag,
+        eacm: &Eacm,
+        strategy: Strategy,
+        script: &EditScript,
+    ) -> Result<ImpactAnalysis, CoreError> {
+        // The tracked pair universe: labeled in the base, or touched by
+        // the script. Everything else is label-free on both sides and
+        // fully described by the strategies' default-only signs.
+        let mut pairs = eacm.object_right_pairs();
+        for op in &script.ops {
+            match *op {
+                EditOp::SetAuthorization { object, right, .. }
+                | EditOp::Revoke { object, right, .. } => pairs.push((object, right)),
+                _ => {}
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let base_subjects = hierarchy.subject_count();
+        let mut overlay = AccessSession::new(hierarchy.clone(), eacm.clone(), strategy);
+
+        // Materialise the base columns once, straight from a fused
+        // multi-column compute (no per-pair session sweeps); each edit
+        // then refreshes only the columns inside its static cone (the
+        // cone's soundness is what makes this pruning exact). The
+        // overlay session's own sweep cache warms lazily, per edit, over
+        // just that edit's cone pairs.
+        let base_matrix = EffectiveMatrix::compute_for_pairs(hierarchy, eacm, strategy, &pairs)?;
+        let mut cols: BTreeMap<(ObjectId, RightId), Vec<Sign>> = base_matrix.columns().clone();
+
+        let mut cones = Vec::with_capacity(script.ops.len());
+        let mut outcomes = Vec::with_capacity(script.ops.len());
+        for op in &script.ops {
+            let cone = static_cone(overlay.hierarchy(), overlay.eacm(), overlay.strategy(), op);
+            let before_strategy = overlay.strategy();
+            let mut removed_label = false;
+            match *op {
+                EditOp::AddSubject => {
+                    overlay.add_subject();
+                    // A fresh subject is a root with no labels and no
+                    // ancestors: it cannot appear in any existing cell's
+                    // ancestor cone, so existing columns are untouched —
+                    // and its own row resolves from its default record
+                    // alone, i.e. to the strategy's default-only sign on
+                    // every pair. No sweep needed.
+                    let sign = before_strategy.default_only_sign();
+                    for col in cols.values_mut() {
+                        col.push(sign);
+                    }
+                }
+                EditOp::AddMembership { group, member } => {
+                    overlay.add_membership(group, member)?;
+                }
+                EditOp::SetAuthorization {
+                    subject,
+                    object,
+                    right,
+                    sign,
+                } => {
+                    overlay.set_authorization(subject, object, right, sign)?;
+                }
+                EditOp::Revoke {
+                    subject,
+                    object,
+                    right,
+                } => {
+                    removed_label = overlay
+                        .unset_authorization(subject, object, right)
+                        .is_some();
+                }
+                EditOp::SetStrategy { strategy } => {
+                    overlay.set_strategy(strategy);
+                }
+            }
+            let after_strategy = overlay.strategy();
+
+            // Exact per-edit delta: re-resolve exactly the cone's
+            // columns against the repaired overlay and compare.
+            let refresh: Vec<(ObjectId, RightId)> = match &cone.pairs {
+                Some(p) => p.clone(),
+                None => pairs.clone(),
+            };
+            // Warm this edit's cold cone columns in one batched call —
+            // they fuse into multi-column kernel sweeps; already-cached
+            // pairs are hits. Row resolution below then never sweeps.
+            if !refresh.is_empty() && overlay.hierarchy().subject_count() > 0 {
+                let probe = SubjectId::from_index(0);
+                let queries: Vec<(SubjectId, ObjectId, RightId)> =
+                    refresh.iter().map(|&(o, r)| (probe, o, r)).collect();
+                overlay.check_many_with(&queries, after_strategy)?;
+            }
+            let mut flips = Vec::new();
+            for &(o, r) in &refresh {
+                let col = cols.get_mut(&(o, r)).expect("refresh pairs are tracked");
+                match &cone.subjects {
+                    // The cone names the subjects that can flip: resolve
+                    // only those rows (soundness makes this exact — any
+                    // row outside the cone provably kept its sign).
+                    Some(subjects) => {
+                        let fresh = overlay.resolve_rows_with(o, r, subjects, after_strategy)?;
+                        for (&s, &now) in subjects.iter().zip(&fresh) {
+                            let was = col[s.index()];
+                            if was != now {
+                                flips.push(EffectiveDiff {
+                                    subject: s,
+                                    object: o,
+                                    right: r,
+                                    before: was,
+                                    after: now,
+                                });
+                                col[s.index()] = now;
+                            }
+                        }
+                    }
+                    None => {
+                        let fresh = overlay.resolve_column_with(o, r, after_strategy)?;
+                        for (ix, (&was, &now)) in col.iter().zip(&fresh).enumerate() {
+                            if was != now {
+                                flips.push(EffectiveDiff {
+                                    subject: SubjectId::from_index(ix),
+                                    object: o,
+                                    right: r,
+                                    before: was,
+                                    after: now,
+                                });
+                            }
+                        }
+                        *col = fresh;
+                    }
+                }
+            }
+            outcomes.push(EditOutcome {
+                flips,
+                default_flip: before_strategy.default_only_sign()
+                    != after_strategy.default_only_sign(),
+                refreshed_pairs: refresh.len(),
+                removed_label,
+            });
+            cones.push(cone);
+        }
+
+        let final_strategy = overlay.strategy();
+        let final_subjects = overlay.hierarchy().subject_count();
+        let final_matrix = EffectiveMatrix::from_columns(final_strategy, cols);
+        let diff = base_matrix.diff(&final_matrix);
+        let mut added_grants = Vec::new();
+        for ix in base_subjects..final_subjects {
+            let s = SubjectId::from_index(ix);
+            for &(o, r) in &pairs {
+                if final_matrix.sign(s, o, r) == Some(Sign::Pos) {
+                    added_grants.push((s, o, r));
+                }
+            }
+        }
+        Ok(ImpactAnalysis {
+            base_strategy: strategy,
+            final_strategy,
+            base_subjects,
+            final_subjects,
+            pairs,
+            cones,
+            outcomes,
+            base_matrix,
+            final_matrix,
+            diff,
+            added_grants,
+            overlay_stats: overlay.stats(),
+        })
+    }
+
+    /// Sound membership test against the union of all per-edit cones.
+    pub fn cone_contains(&self, subject: SubjectId, object: ObjectId, right: RightId) -> bool {
+        self.cones
+            .iter()
+            .any(|c| c.contains(subject, object, right))
+    }
+
+    /// Upper bound on affected cells over the whole script, clamped to
+    /// the tracked universe.
+    pub fn cone_cell_bound(&self) -> usize {
+        let total = self.final_subjects * self.pairs.len();
+        self.cones
+            .iter()
+            .map(|c| c.cell_bound(self.final_subjects, self.pairs.len()))
+            .sum::<usize>()
+            .min(total)
+    }
+
+    /// Cells whose final sign is `+` where the base sign was `-`
+    /// (grant-gains of pre-existing subjects).
+    pub fn gains(&self) -> impl Iterator<Item = &EffectiveDiff> + '_ {
+        self.diff.changed.iter().filter(|d| d.after == Sign::Pos)
+    }
+}
+
+/// The static cone of one edit against the current overlay state.
+/// Pure graph reachability + sign algebra: no sweep runs here.
+fn static_cone(hierarchy: &SubjectDag, eacm: &Eacm, strategy: Strategy, op: &EditOp) -> EditCone {
+    match *op {
+        // A fresh subject is an isolated root: no existing cell's
+        // ancestor cone can change, only the new row materialises.
+        EditOp::AddSubject => EditCone {
+            subjects: Some(vec![SubjectId::from_index(hierarchy.subject_count())]),
+            pairs: None,
+            default_flip: false,
+        },
+        // A new edge `group → member` adds propagation paths that all
+        // pass through the edge, so only `member`'s descendant cone can
+        // observe a change. Which pairs those subjects can flip on
+        // depends on the default rule: under `NoDefault` only explicit
+        // labels resolve, and the new paths carry only labels recorded
+        // on `group`'s ancestor cone (distances from any other labeled
+        // subject are unchanged — no new path reaches them). Under
+        // `D+`/`D-` the edge also reroutes **default records** (roots
+        // above `group` now default into the member's cone at new
+        // distances, and the member may stop being a root), which can
+        // retip any labeled pair; label-free pairs stay uniform at the
+        // default-only sign either way.
+        EditOp::AddMembership { group, member } => {
+            let mut subjects = cone_topo_order(hierarchy.graph(), &[member], Direction::Down);
+            subjects.sort_unstable();
+            let mut pairs: Vec<(ObjectId, RightId)>;
+            if strategy.default_rule() == crate::strategy::DefaultRule::NoDefault {
+                let mut up = cone_topo_order(hierarchy.graph(), &[group], Direction::Up);
+                up.sort_unstable();
+                pairs = eacm
+                    .iter()
+                    .filter(|&(s, _, _, _)| up.binary_search(&s).is_ok())
+                    .map(|(_, o, r, _)| (o, r))
+                    .collect();
+            } else {
+                pairs = eacm.object_right_pairs();
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            EditCone {
+                subjects: Some(subjects),
+                pairs: Some(pairs),
+                default_flip: false,
+            }
+        }
+        // A label edit re-derives only the edited subject's descendant
+        // cone, on the edited pair (the counting recurrence reads
+        // `own(v)` at `v` only). Idempotent re-sets are provably empty.
+        EditOp::SetAuthorization {
+            subject,
+            object,
+            right,
+            sign,
+        } => {
+            if eacm.label(subject, object, right) == Some(sign) {
+                return EditCone::empty();
+            }
+            label_cone(hierarchy, subject, object, right)
+        }
+        // Revoking an absent record is provably empty.
+        EditOp::Revoke {
+            subject,
+            object,
+            right,
+        } => {
+            if eacm.label(subject, object, right).is_none() {
+                return EditCone::empty();
+            }
+            label_cone(hierarchy, subject, object, right)
+        }
+        // The sign/default algebra: a swap to the same canonical
+        // instance flips nothing; a swap that keeps the default-only
+        // sign can flip only cells that see at least one label (bounded
+        // by labeled subjects' descendant cones over labeled pairs);
+        // a swap that changes the default-only sign can flip every
+        // cell, including the unmaterialised label-free pairs.
+        EditOp::SetStrategy { strategy: new } => {
+            if new.canonicalized() == strategy.canonicalized() {
+                return EditCone::empty();
+            }
+            if new.default_only_sign() != strategy.default_only_sign() {
+                return EditCone {
+                    subjects: None,
+                    pairs: None,
+                    default_flip: true,
+                };
+            }
+            let seeds: Vec<SubjectId> = {
+                let mut s: Vec<SubjectId> = eacm
+                    .iter()
+                    .filter(|&(s, _, _, _)| hierarchy.contains(s))
+                    .map(|(s, _, _, _)| s)
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            };
+            let mut subjects = cone_topo_order(hierarchy.graph(), &seeds, Direction::Down);
+            subjects.sort_unstable();
+            let mut pairs = eacm.object_right_pairs();
+            pairs.sort_unstable();
+            EditCone {
+                subjects: Some(subjects),
+                pairs: Some(pairs),
+                default_flip: false,
+            }
+        }
+    }
+}
+
+/// Descendant cone of one labeled subject on one pair. Labels may be
+/// pre-recorded for subjects not yet in the hierarchy; until the subject
+/// exists no sweep can observe them, so the cone is empty.
+fn label_cone(
+    hierarchy: &SubjectDag,
+    subject: SubjectId,
+    object: ObjectId,
+    right: RightId,
+) -> EditCone {
+    if !hierarchy.contains(subject) {
+        return EditCone::empty();
+    }
+    let mut subjects = cone_topo_order(hierarchy.graph(), &[subject], Direction::Down);
+    subjects.sort_unstable();
+    EditCone {
+        subjects: Some(subjects),
+        pairs: Some(vec![(object, right)]),
+        default_flip: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating::motivating_example;
+
+    fn base() -> (SubjectDag, Eacm, Strategy) {
+        let ex = motivating_example();
+        (ex.hierarchy, ex.eacm, "D+LMP+".parse().unwrap())
+    }
+
+    #[test]
+    fn empty_script_is_empty_impact() {
+        let (h, e, s) = base();
+        let a = ImpactAnalysis::analyze(&h, &e, s, &EditScript::default()).unwrap();
+        assert!(a.diff.is_empty());
+        assert!(a.cones.is_empty());
+        assert_eq!(a.base_matrix, a.final_matrix);
+        assert_eq!(a.overlay_stats.full_invalidations, 0);
+    }
+
+    #[test]
+    fn revoke_of_redundant_label_is_exact_noop_with_nonempty_cone() {
+        let (h, e, s) = base();
+        let ex = motivating_example();
+        // Re-granting S2's own sign is idempotent: provably empty cone.
+        let idem = EditScript::new(vec![EditOp::SetAuthorization {
+            subject: ex.s[1],
+            object: ex.obj,
+            right: ex.read,
+            sign: Sign::Pos,
+        }]);
+        let a = ImpactAnalysis::analyze(&h, &e, s, &idem).unwrap();
+        assert!(a.cones[0].is_empty());
+        assert!(a.outcomes[0].is_noop());
+        // Revoking a live label has a non-empty static cone even when
+        // the exact outcome happens to be a no-op or not.
+        let rev = EditScript::new(vec![EditOp::Revoke {
+            subject: ex.s[1],
+            object: ex.obj,
+            right: ex.read,
+        }]);
+        let a = ImpactAnalysis::analyze(&h, &e, s, &rev).unwrap();
+        assert!(!a.cones[0].is_empty());
+        assert!(a.outcomes[0].removed_label);
+        for f in &a.outcomes[0].flips {
+            assert!(a.cones[0].contains(f.subject, f.object, f.right));
+        }
+    }
+
+    #[test]
+    fn strategy_swap_with_default_flip_has_universal_cone() {
+        let (h, e, s) = base();
+        let script = EditScript::new(vec![EditOp::SetStrategy {
+            strategy: "D-LP-".parse().unwrap(),
+        }]);
+        let a = ImpactAnalysis::analyze(&h, &e, s, &script).unwrap();
+        assert!(a.cones[0].default_flip);
+        assert!(a.diff.default_flip());
+        assert!(a.outcomes[0].default_flip);
+    }
+
+    #[test]
+    fn added_subject_then_grant_reports_added_grant() {
+        let (h, e, s) = base();
+        let ex = motivating_example();
+        let new = SubjectId::from_index(h.subject_count());
+        let script = EditScript::new(vec![
+            EditOp::AddSubject,
+            EditOp::SetAuthorization {
+                subject: new,
+                object: ex.obj,
+                right: ex.read,
+                sign: Sign::Pos,
+            },
+        ]);
+        let a = ImpactAnalysis::analyze(&h, &e, s, &script).unwrap();
+        assert_eq!(a.final_subjects, a.base_subjects + 1);
+        assert!(a.added_grants.contains(&(new, ex.obj, ex.read)));
+        // Existing subjects' cells are untouched by an isolated new
+        // subject plus its own label.
+        assert!(a.diff.changed.is_empty());
+    }
+
+    #[test]
+    fn base_parts_are_never_mutated() {
+        let (h, e, s) = base();
+        let ex = motivating_example();
+        let before_e = e.clone();
+        let (subjects, memberships) = (h.subject_count(), h.membership_count());
+        let script = EditScript::new(vec![
+            EditOp::AddSubject,
+            EditOp::SetStrategy {
+                strategy: "GMP-".parse().unwrap(),
+            },
+            EditOp::Revoke {
+                subject: ex.s[4],
+                object: ex.obj,
+                right: ex.read,
+            },
+        ]);
+        let a = ImpactAnalysis::analyze(&h, &e, s, &script).unwrap();
+        assert_eq!(h.subject_count(), subjects);
+        assert_eq!(h.membership_count(), memberships);
+        assert_eq!(e, before_e);
+        assert_eq!(a.overlay_stats.full_invalidations, 0);
+    }
+}

@@ -69,6 +69,7 @@ mod error;
 pub mod explain;
 mod hierarchy;
 pub mod ids;
+pub mod impact;
 pub mod invalidation;
 mod matrix;
 mod memo;
@@ -92,6 +93,7 @@ pub use error::CoreError;
 pub use explain::{explain, explain_with_mode, Explanation};
 pub use hierarchy::SubjectDag;
 pub use ids::{ObjectId, RightId, SubjectId};
+pub use impact::{EditCone, EditOp, EditOutcome, EditScript, ImpactAnalysis};
 pub use invalidation::RepairPlan;
 pub use matrix::Eacm;
 pub use memo::MemoResolver;

@@ -458,6 +458,44 @@ impl AccessSession {
         resolve_histogram(&table[subject.index()], strategy)
     }
 
+    /// Resolves one full effective column — every subject's sign for
+    /// `(object, right)` under `strategy` — from the cached sweep table
+    /// (sweeping it once on a miss). Rows are indexed by
+    /// [`SubjectId::index`]. This is the impact analyzer's refresh
+    /// primitive: after an edit repairs the cache, re-resolving a column
+    /// costs one histogram resolution per subject, never a sweep.
+    pub fn resolve_column_with(
+        &self,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Vec<Sign>, CoreError> {
+        let table = self.sweep(object, right)?;
+        table
+            .iter()
+            .map(|h| resolve_histogram(h, strategy).map(|r| r.sign))
+            .collect()
+    }
+
+    /// Resolves selected rows of one effective column from the cached
+    /// sweep table (sweeping it once on a miss), in `subjects` order.
+    /// The impact analyzer's narrow refresh: when an edit's static cone
+    /// names a subject set, only those rows can flip, so only they are
+    /// re-resolved.
+    pub fn resolve_rows_with(
+        &self,
+        object: ObjectId,
+        right: RightId,
+        subjects: &[SubjectId],
+        strategy: Strategy,
+    ) -> Result<Vec<Sign>, CoreError> {
+        let table = self.sweep(object, right)?;
+        subjects
+            .iter()
+            .map(|s| resolve_histogram(&table[s.index()], strategy).map(|r| r.sign))
+            .collect()
+    }
+
     /// Batched authorization checks under the session strategy.
     ///
     /// Queries are grouped by `(object, right)`; pairs missing from the

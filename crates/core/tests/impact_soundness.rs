@@ -1,0 +1,284 @@
+//! Soundness of the impact analyzer's static blast cones.
+//!
+//! The analyzer makes two claims per edit. **Static**: the blast cone —
+//! computed from graph reachability and the strategy sign/default
+//! algebra alone, no sweep — contains every cell the edit can flip.
+//! **Exact**: evaluating the script on the copy-on-write overlay and
+//! re-resolving only the cone's columns reproduces the true effective
+//! diff. This test pins both against a from-scratch
+//! [`EffectiveMatrix::compute_for_pairs`] oracle: random DAGs, label
+//! placements over a 2×2 pair universe, and scripts mixing every edit
+//! class (subject, membership, authorization, revoke, strategy), under
+//! **all 48** base strategies.
+//!
+//! Soundness of the cone is not a nicety — it is exactly what makes the
+//! pruned refresh exact, so a cone that misses a flip would surface
+//! here as a final-matrix mismatch too.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use std::collections::BTreeSet;
+use ucra_core::impact::{EditOp, EditScript, ImpactAnalysis};
+use ucra_core::{Eacm, EffectiveMatrix, ObjectId, RightId, Sign, Strategy, SubjectDag, SubjectId};
+
+const PAIRS: [(ObjectId, RightId); 4] = [
+    (ObjectId(0), RightId(0)),
+    (ObjectId(0), RightId(1)),
+    (ObjectId(1), RightId(0)),
+    (ObjectId(1), RightId(1)),
+];
+
+#[derive(Debug, Clone)]
+struct RandomBase {
+    subjects: usize,
+    /// Raw (a, b) pairs, oriented low → high at build time (acyclic).
+    edges: Vec<(usize, usize)>,
+    /// (subject, pair index, sign).
+    labels: Vec<(usize, usize, bool)>,
+}
+
+/// One raw edit, lowered to a valid [`EditOp`] against evolving scratch
+/// state so the script always applies cleanly (no cycles, no
+/// contradictory labels) while still covering idempotent sets, revokes
+/// of absent records, and same-strategy swaps.
+#[derive(Debug, Clone)]
+enum RawEdit {
+    AddSubject,
+    AddMembership(usize, usize),
+    Set(usize, usize, bool),
+    Revoke(usize, usize),
+    Strategy(usize),
+}
+
+fn arb_base() -> impl proptest::strategy::Strategy<Value = RandomBase> {
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+        proptest::collection::vec((0usize..64, 0usize..4, any::<bool>()), 0..8),
+    )
+        .prop_map(|(subjects, edges, labels)| RandomBase {
+            subjects,
+            edges,
+            labels,
+        })
+}
+
+fn arb_script() -> impl proptest::strategy::Strategy<Value = Vec<RawEdit>> {
+    let op = prop_oneof![
+        1 => Just(RawEdit::AddSubject),
+        2 => (0usize..64, 0usize..64).prop_map(|(a, b)| RawEdit::AddMembership(a, b)),
+        3 => (0usize..64, 0usize..4, any::<bool>()).prop_map(|(s, p, g)| RawEdit::Set(s, p, g)),
+        2 => (0usize..64, 0usize..4).prop_map(|(s, p)| RawEdit::Revoke(s, p)),
+        2 => (0usize..48).prop_map(RawEdit::Strategy),
+    ];
+    proptest::collection::vec(op, 1..6)
+}
+
+fn build_base(base: &RandomBase) -> (SubjectDag, Eacm) {
+    let mut hierarchy = SubjectDag::new();
+    let ids: Vec<SubjectId> = (0..base.subjects)
+        .map(|_| hierarchy.add_subject())
+        .collect();
+    for &(a, b) in &base.edges {
+        let (a, b) = (a % base.subjects, b % base.subjects);
+        if a != b {
+            // Low → high keeps the graph acyclic; duplicates rejected.
+            let _ = hierarchy.add_membership(ids[a.min(b)], ids[a.max(b)]);
+        }
+    }
+    let mut eacm = Eacm::new();
+    for &(s, p, pos) in &base.labels {
+        let (o, r) = PAIRS[p];
+        // A contradictory second label is rejected; the first one wins.
+        let _ = eacm.set(
+            ids[s % base.subjects],
+            o,
+            r,
+            if pos { Sign::Pos } else { Sign::Neg },
+        );
+    }
+    (hierarchy, eacm)
+}
+
+/// Lowers raw edits into a script every mutator accepts, tracking the
+/// same scratch state (subject count, edge set, label map) the overlay
+/// will evolve through.
+fn lower_script(raw: &[RawEdit], hierarchy: &SubjectDag, eacm: &Eacm) -> EditScript {
+    let mut count = hierarchy.subject_count();
+    let mut edges: BTreeSet<(usize, usize)> = (0..count)
+        .flat_map(|g| {
+            hierarchy
+                .members_of(SubjectId::from_index(g))
+                .iter()
+                .map(move |m| (g, m.index()))
+        })
+        .collect();
+    let mut labels: std::collections::BTreeMap<(usize, usize), Sign> = eacm
+        .iter()
+        .map(|(s, o, r, sign)| {
+            let p = PAIRS.iter().position(|&q| q == (o, r)).unwrap();
+            ((s.index(), p), sign)
+        })
+        .collect();
+    let instances = Strategy::all_instances();
+    let mut ops = Vec::new();
+    for edit in raw {
+        match *edit {
+            RawEdit::AddSubject => {
+                count += 1;
+                ops.push(EditOp::AddSubject);
+            }
+            RawEdit::AddMembership(a, b) => {
+                let (a, b) = (a % count, b % count);
+                if a == b {
+                    continue;
+                }
+                let (g, m) = (a.min(b), a.max(b));
+                if !edges.insert((g, m)) {
+                    continue;
+                }
+                ops.push(EditOp::AddMembership {
+                    group: SubjectId::from_index(g),
+                    member: SubjectId::from_index(m),
+                });
+            }
+            RawEdit::Set(s, p, pos) => {
+                let s = s % count;
+                let mut sign = if pos { Sign::Pos } else { Sign::Neg };
+                // Coerce to the recorded sign so the set is accepted
+                // (and sometimes a provable no-op).
+                if let Some(&existing) = labels.get(&(s, p)) {
+                    sign = existing;
+                }
+                labels.insert((s, p), sign);
+                let (o, r) = PAIRS[p];
+                ops.push(EditOp::SetAuthorization {
+                    subject: SubjectId::from_index(s),
+                    object: o,
+                    right: r,
+                    sign,
+                });
+            }
+            RawEdit::Revoke(s, p) => {
+                let s = s % count;
+                labels.remove(&(s, p));
+                let (o, r) = PAIRS[p];
+                ops.push(EditOp::Revoke {
+                    subject: SubjectId::from_index(s),
+                    object: o,
+                    right: r,
+                });
+            }
+            RawEdit::Strategy(ix) => {
+                ops.push(EditOp::SetStrategy {
+                    strategy: instances[ix % instances.len()],
+                });
+            }
+        }
+    }
+    EditScript::new(ops)
+}
+
+/// Replays the script directly on plain clones — the independent oracle
+/// the overlay's incremental evaluation must match.
+fn apply_oracle(hierarchy: &mut SubjectDag, eacm: &mut Eacm, strategy: &mut Strategy, op: &EditOp) {
+    match *op {
+        EditOp::AddSubject => {
+            hierarchy.add_subject();
+        }
+        EditOp::AddMembership { group, member } => {
+            hierarchy
+                .add_membership(group, member)
+                .expect("lowered scripts only add fresh acyclic edges");
+        }
+        EditOp::SetAuthorization {
+            subject,
+            object,
+            right,
+            sign,
+        } => {
+            eacm.set(subject, object, right, sign)
+                .expect("lowered scripts never contradict");
+        }
+        EditOp::Revoke {
+            subject,
+            object,
+            right,
+        } => {
+            eacm.unset(subject, object, right);
+        }
+        EditOp::SetStrategy { strategy: s } => *strategy = s,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every base strategy (all 48) and a random script over every
+    /// edit class: the overlay's final matrix equals the from-scratch
+    /// oracle, every per-step oracle flip lies inside that step's
+    /// static cone, every whole-script flip lies inside the union
+    /// cone, default flips are claimed by some cone, and the overlay
+    /// never flushes.
+    #[test]
+    fn static_cone_contains_every_exact_flip(base in arb_base(), raw in arb_script()) {
+        let (hierarchy, eacm) = build_base(&base);
+        let script = lower_script(&raw, &hierarchy, &eacm);
+        for &base_strategy in &Strategy::all_instances() {
+            let analysis =
+                ImpactAnalysis::analyze(&hierarchy, &eacm, base_strategy, &script).unwrap();
+            prop_assert_eq!(analysis.overlay_stats.full_invalidations, 0);
+
+            // Replay on the oracle, checking each step's flips against
+            // that step's static cone.
+            let mut h = hierarchy.clone();
+            let mut e = eacm.clone();
+            let mut s = base_strategy;
+            let mut prev =
+                EffectiveMatrix::compute_for_pairs(&h, &e, s, &analysis.pairs).unwrap();
+            for (ix, op) in script.ops.iter().enumerate() {
+                apply_oracle(&mut h, &mut e, &mut s, op);
+                let next =
+                    EffectiveMatrix::compute_for_pairs(&h, &e, s, &analysis.pairs).unwrap();
+                let step = prev.diff(&next);
+                let cone = &analysis.cones[ix];
+                for flip in &step.changed {
+                    prop_assert!(
+                        cone.contains(flip.subject, flip.object, flip.right),
+                        "edit #{ix} {:?}: flip {:?} escapes its static cone {:?}",
+                        op, flip, cone
+                    );
+                }
+                if step.default_flip() {
+                    prop_assert!(cone.default_flip,
+                        "edit #{ix} {:?} flips the default sign outside its cone", op);
+                }
+                // The overlay's exact per-step outcome matches the
+                // oracle's (same cells, both exact).
+                let mut ours: Vec<_> = analysis.outcomes[ix]
+                    .flips
+                    .iter()
+                    .map(|f| (f.subject, f.object, f.right, f.before, f.after))
+                    .collect();
+                let mut oracle: Vec<_> = step
+                    .changed
+                    .iter()
+                    .map(|f| (f.subject, f.object, f.right, f.before, f.after))
+                    .collect();
+                ours.sort_unstable();
+                oracle.sort_unstable();
+                prop_assert_eq!(ours, oracle, "edit #{ix} {:?}", op);
+                prev = next;
+            }
+
+            // Whole-script: incremental columns == from-scratch oracle.
+            prop_assert_eq!(&analysis.final_matrix, &prev);
+            for flip in &analysis.diff.changed {
+                prop_assert!(analysis.cone_contains(flip.subject, flip.object, flip.right));
+            }
+            if analysis.diff.default_flip() {
+                prop_assert!(analysis.cones.iter().any(|c| c.default_flip));
+            }
+        }
+    }
+}

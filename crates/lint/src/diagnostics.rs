@@ -64,6 +64,9 @@ pub enum SpanItem {
         /// The right name.
         right: String,
     },
+    /// One edit of an edit script, rendered as its source directive
+    /// (impact analysis, `UCRA1xx`).
+    Edit(String),
 }
 
 impl fmt::Display for SpanItem {
@@ -78,6 +81,7 @@ impl fmt::Display for SpanItem {
                 right,
             } => write!(f, "label `{subject}` {object}/{right}"),
             SpanItem::Pair { object, right } => write!(f, "pair {object}/{right}"),
+            SpanItem::Edit(edit) => write!(f, "edit `{edit}`"),
         }
     }
 }
@@ -297,6 +301,11 @@ impl LintReport {
                     out.push(',');
                     json_field(&mut out, "right", right);
                 }
+                SpanItem::Edit(edit) => {
+                    json_field(&mut out, "kind", "edit");
+                    out.push(',');
+                    json_field(&mut out, "edit", edit);
+                }
             }
             out.push_str(",\"line\":");
             match d.span.line {
@@ -323,6 +332,23 @@ impl LintReport {
                 s.rule, s.subjects, s.pairs_probed, s.active_rows_max, s.active_rows_total
             );
         }
+        // The complete rule registry, so external tooling can enumerate
+        // every check this build can emit without a side-channel.
+        out.push_str("],\"rules\":[");
+        for (i, info) in crate::rules::codes().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_field(&mut out, "code", info.code);
+            out.push(',');
+            json_field(&mut out, "name", info.name);
+            out.push(',');
+            json_field(&mut out, "severity", info.severity.label());
+            out.push(',');
+            json_field(&mut out, "summary", info.summary);
+            out.push('}');
+        }
         let _ = write!(
             out,
             "],\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}}}",
@@ -334,14 +360,14 @@ impl LintReport {
     }
 }
 
-fn json_field(out: &mut String, key: &str, value: &str) {
+pub(crate) fn json_field(out: &mut String, key: &str, value: &str) {
     json_string(out, key);
     out.push(':');
     json_string(out, value);
 }
 
 /// Appends `value` as a JSON string literal, escaping per RFC 8259.
-fn json_string(out: &mut String, value: &str) {
+pub(crate) fn json_string(out: &mut String, value: &str) {
     out.push('"');
     for c in value.chars() {
         match c {

@@ -1,0 +1,915 @@
+//! The `UCRA1xx` diagnostic family: static analysis of **edit scripts**
+//! against a base policy, on top of [`ucra_core::ImpactAnalysis`].
+//!
+//! Where the `UCRA0xx` rules judge a *policy*, these judge a *change*:
+//! edits that provably do nothing (a revoke whose subject keeps the
+//! access via a group), edits a later line overwrites, grant-gains on
+//! sensitive objects, strategy swaps that retip a large share of the
+//! matrix, and swaps that flip the label-free default sign. Same
+//! machinery as the rest of the crate — stable codes, severities,
+//! spans (here [`SpanItem::Edit`] with the script's source line), text
+//! and JSON renderers — so `ucra impact` and `POST /impact` gate the
+//! same way `ucra lint` does.
+
+use crate::diagnostics::{json_field, json_string, Diagnostic, LintReport, Span, SpanItem};
+use crate::rules::RuleInfo;
+use crate::Severity;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use ucra_core::impact::{EditOp, EditScript, ImpactAnalysis};
+use ucra_core::{ObjectId, RightId, Sign, Strategy, SubjectId};
+use ucra_store::{parse_edits, resolve_edits, AccessModel, Interner};
+
+/// An edit whose exact outcome is empty: it changes no effective
+/// authorization.
+pub const NOOP_EDIT: RuleInfo = RuleInfo {
+    code: "UCRA100",
+    name: "no-op-edit",
+    severity: Severity::Warning,
+    summary: "an edit changes no effective authorization",
+    doc: "The edit's exact effective diff is empty: after applying it, \
+          every subject resolves to the same sign as before. The flagship \
+          case is a revoke that removes the explicit record while the \
+          subject keeps the access because propagation still derives it \
+          through a group — the operator believes access was withdrawn \
+          when it was not. Also flagged: re-recording an identical label, \
+          membership edges that change nothing, and strategy swaps to an \
+          equivalent instance. Fix the edit (revoke the deriving group \
+          label too) or drop the line.",
+};
+
+/// An edit a later line of the same script overwrites.
+pub const SHADOWED_EDIT: RuleInfo = RuleInfo {
+    code: "UCRA101",
+    name: "shadowed-edit",
+    severity: Severity::Warning,
+    summary: "a later edit in the script overwrites this one",
+    doc: "A later line of the same script writes the same cell (or \
+          replaces the strategy again), so this edit's effect never \
+          survives to the final state. Shadowed edits are usually merge \
+          artifacts or leftovers from an edited draft; reviewers read \
+          them as intent, so delete the dead line or reorder the script \
+          to say what it means.",
+};
+
+/// A grant-gain on a (sensitive) object/right.
+pub const PRIVILEGE_ESCALATION: RuleInfo = RuleInfo {
+    code: "UCRA102",
+    name: "privilege-escalation",
+    severity: Severity::Warning,
+    summary: "the script grants access that the base policy denies",
+    doc: "The script flips at least one cell from `-` to `+` (or grants \
+          a script-added subject, or flips the label-free default sign \
+          to `+`) on an object/right matched by the `--sensitive` \
+          pattern — every pair when no pattern is given. Gains are the \
+          one direction of change that needs a human sign-off in an \
+          approval pipeline; `ucra impact --deny escalation` turns any \
+          finding of this rule into a non-zero exit for CI gating.",
+};
+
+/// A strategy swap that retips a large share of the matrix.
+pub const MASS_STRATEGY_FLIP: RuleInfo = RuleInfo {
+    code: "UCRA103",
+    name: "mass-strategy-flip",
+    severity: Severity::Warning,
+    summary: "a strategy swap flips a large share of the matrix",
+    doc: "A `strategy` edit flips more than the configured percentage of \
+          the tracked matrix cells (default 30%). Strategy swaps are \
+          global: unlike a label edit their blast cone spans every \
+          labeled subject's descendant cone, so a swap that retips this \
+          much of the matrix is rarely a tuning change and should be \
+          reviewed as a policy rewrite — stage it separately from \
+          ordinary label edits.",
+};
+
+/// A strategy swap that flips the label-free default sign.
+pub const DEFAULT_FLIP: RuleInfo = RuleInfo {
+    code: "UCRA104",
+    name: "default-flip",
+    severity: Severity::Warning,
+    summary: "a strategy swap flips the label-free default sign",
+    doc: "A `strategy` edit changes the sign that every pair carrying no \
+          explicit authorization resolves to — an impact no enumeration \
+          of materialised cells can show, covering the unbounded space \
+          of objects the policy never mentions. When a script flips the \
+          default and later flips it back (churn), the intermediate \
+          state is still what any concurrently-applied script would \
+          compose with; keep default-flipping swaps in single-edit \
+          scripts.",
+};
+
+/// The `UCRA1xx` registry slice, merged into [`crate::codes`].
+pub const IMPACT_RULES: &[RuleInfo] = &[
+    NOOP_EDIT,
+    SHADOWED_EDIT,
+    PRIVILEGE_ESCALATION,
+    MASS_STRATEGY_FLIP,
+    DEFAULT_FLIP,
+];
+
+/// Knobs for [`lint_impact`].
+#[derive(Debug, Clone)]
+pub struct ImpactOptions {
+    /// Glob over `object/right` (`*` and `?`) selecting the pairs whose
+    /// grant-gains count as escalation; `None` means every pair.
+    pub sensitive: Option<String>,
+    /// `UCRA103` fires when a strategy swap flips strictly more than
+    /// this percentage of the tracked matrix cells.
+    pub mass_flip_pct: u32,
+}
+
+impl Default for ImpactOptions {
+    fn default() -> Self {
+        ImpactOptions {
+            sensitive: None,
+            mass_flip_pct: 30,
+        }
+    }
+}
+
+/// Name tables for rendering ids; ids beyond the tables fall back to
+/// the dense spellings (`s3`, `o0`, `r1`) used for nameless sessions.
+#[derive(Debug, Clone, Default)]
+pub struct ImpactNames {
+    /// Subject names, indexed by [`SubjectId::index`].
+    pub subjects: Vec<String>,
+    /// Object names, indexed by the object id.
+    pub objects: Vec<String>,
+    /// Right names, indexed by the right id.
+    pub rights: Vec<String>,
+}
+
+impl ImpactNames {
+    /// Builds name tables from interners (the daemon's, or a model's).
+    pub fn from_interners(subjects: &Interner, objects: &Interner, rights: &Interner) -> Self {
+        ImpactNames {
+            subjects: subjects.names().map(str::to_string).collect(),
+            objects: objects.names().map(str::to_string).collect(),
+            rights: rights.names().map(str::to_string).collect(),
+        }
+    }
+
+    /// The subject's name, or `s<i>`.
+    pub fn subject(&self, id: SubjectId) -> String {
+        self.subjects
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| format!("s{}", id.index()))
+    }
+
+    /// The object's name, or `o<i>`.
+    pub fn object(&self, id: ObjectId) -> String {
+        self.objects
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// The right's name, or `r<i>`.
+    pub fn right(&self, id: RightId) -> String {
+        self.rights
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// `object/right`, the spelling `--sensitive` patterns match.
+    pub fn pair(&self, object: ObjectId, right: RightId) -> String {
+        format!("{}/{}", self.object(object), self.right(right))
+    }
+
+    /// Renders one edit as its source directive.
+    pub fn describe(&self, op: &EditOp, new_subject: Option<SubjectId>) -> String {
+        match *op {
+            EditOp::AddSubject => match new_subject {
+                Some(id) => format!("subject {}", self.subject(id)),
+                None => "subject".to_string(),
+            },
+            EditOp::AddMembership { group, member } => {
+                format!("member {} {}", self.subject(group), self.subject(member))
+            }
+            EditOp::SetAuthorization {
+                subject,
+                object,
+                right,
+                sign,
+            } => format!(
+                "{} {} {} {}",
+                if sign == Sign::Pos { "grant" } else { "deny" },
+                self.subject(subject),
+                self.object(object),
+                self.right(right)
+            ),
+            EditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => format!(
+                "revoke {} {} {}",
+                self.subject(subject),
+                self.object(object),
+                self.right(right)
+            ),
+            EditOp::SetStrategy { strategy } => format!("strategy {strategy}"),
+        }
+    }
+}
+
+/// Matches a `*`/`?` glob against `text` (classic two-pointer walk with
+/// single backtrack point — patterns here are operator-typed and tiny).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0, 0);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Per-op rendering context: the directive text and the source line.
+/// `AddSubject` ops synthesised by the resolver are numbered so the
+/// describing text can show the new subject's name.
+fn edit_labels(script: &EditScript, names: &ImpactNames, base_subjects: usize) -> Vec<String> {
+    let mut next = base_subjects;
+    script
+        .ops
+        .iter()
+        .map(|op| {
+            let label = match op {
+                EditOp::AddSubject => {
+                    let id = SubjectId::from_index(next);
+                    names.describe(op, Some(id))
+                }
+                _ => names.describe(op, None),
+            };
+            if matches!(op, EditOp::AddSubject) {
+                next += 1;
+            }
+            label
+        })
+        .collect()
+}
+
+/// Runs the `UCRA1xx` checks over a completed analysis.
+///
+/// `lines[i]` is the 1-based source line of `script.ops[i]` (from
+/// [`ucra_store::ResolvedScript`]); pass `&[]` when the script did not
+/// come from text.
+pub fn lint_impact(
+    script: &EditScript,
+    analysis: &ImpactAnalysis,
+    names: &ImpactNames,
+    lines: &[usize],
+    opts: &ImpactOptions,
+) -> LintReport {
+    let labels = edit_labels(script, names, analysis.base_subjects);
+    let span = |ix: usize| Span {
+        item: SpanItem::Edit(labels[ix].clone()),
+        line: lines.get(ix).copied(),
+    };
+    let line_ref = |ix: usize| match lines.get(ix) {
+        Some(l) => format!("line {l}"),
+        None => format!("edit #{}", ix + 1),
+    };
+    let mut diagnostics = Vec::new();
+
+    // UCRA100: edits whose exact outcome is empty. New subjects are
+    // structural, not flips, so `subject` lines are never no-ops here.
+    for (ix, (op, outcome)) in script.ops.iter().zip(&analysis.outcomes).enumerate() {
+        if !outcome.is_noop() || matches!(op, EditOp::AddSubject) {
+            continue;
+        }
+        let (message, help) = match op {
+            EditOp::Revoke { subject, .. } if outcome.removed_label => (
+                format!(
+                    "revoking this record changes nothing: `{}` still derives \
+                     the same sign through the hierarchy",
+                    names.subject(*subject)
+                ),
+                Some(
+                    "the access is propagated from a group label; revoke the \
+                     deriving label (see `ucra explain`) or accept that this \
+                     line only removes a redundant record"
+                        .to_string(),
+                ),
+            ),
+            EditOp::Revoke { .. } => (
+                "this revoke revokes nothing: no explicit record exists for \
+                 the triple"
+                    .to_string(),
+                Some("check the subject/object/right names for typos".to_string()),
+            ),
+            EditOp::SetAuthorization { .. } => (
+                "this label changes no effective authorization (it re-records \
+                 or is already derived)"
+                    .to_string(),
+                Some(
+                    "drop the line, or keep it deliberately as an anchor \
+                      against future hierarchy edits"
+                        .to_string(),
+                ),
+            ),
+            EditOp::AddMembership { .. } => (
+                "this membership edge changes no effective authorization".to_string(),
+                None,
+            ),
+            EditOp::SetStrategy { .. } => (
+                if analysis.cones[ix].is_empty() {
+                    "this strategy is already in force (same canonical instance)".to_string()
+                } else {
+                    "this strategy swap resolves every tracked cell identically".to_string()
+                },
+                None,
+            ),
+            EditOp::AddSubject => unreachable!("skipped above"),
+        };
+        diagnostics.push(Diagnostic {
+            code: NOOP_EDIT.code,
+            rule: NOOP_EDIT.name,
+            severity: NOOP_EDIT.severity,
+            message,
+            span: span(ix),
+            help,
+        });
+    }
+
+    // UCRA101: last-write-wins shadowing, per cell and for the strategy.
+    let mut last_cell_write: BTreeMap<(SubjectId, ObjectId, RightId), usize> = BTreeMap::new();
+    let mut last_strategy: Option<usize> = None;
+    for (ix, op) in script.ops.iter().enumerate() {
+        match *op {
+            EditOp::SetAuthorization {
+                subject,
+                object,
+                right,
+                ..
+            }
+            | EditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => {
+                if let Some(prev) = last_cell_write.insert((subject, object, right), ix) {
+                    diagnostics.push(Diagnostic {
+                        code: SHADOWED_EDIT.code,
+                        rule: SHADOWED_EDIT.name,
+                        severity: SHADOWED_EDIT.severity,
+                        message: format!(
+                            "this edit is overwritten by {} before the script ends",
+                            line_ref(ix)
+                        ),
+                        span: span(prev),
+                        help: Some("delete the dead line or reorder the script".to_string()),
+                    });
+                }
+            }
+            EditOp::SetStrategy { .. } => {
+                if let Some(prev) = last_strategy.replace(ix) {
+                    diagnostics.push(Diagnostic {
+                        code: SHADOWED_EDIT.code,
+                        rule: SHADOWED_EDIT.name,
+                        severity: SHADOWED_EDIT.severity,
+                        message: format!(
+                            "this strategy is replaced again by {}; only the last \
+                             `strategy` line survives",
+                            line_ref(ix)
+                        ),
+                        span: span(prev),
+                        help: Some("delete the dead line or reorder the script".to_string()),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // UCRA102: grant-gains on sensitive pairs, aggregated per pair.
+    let is_sensitive = |object: ObjectId, right: RightId| match &opts.sensitive {
+        Some(pattern) => glob_match(pattern, &names.pair(object, right)),
+        None => true,
+    };
+    let mut gains: BTreeMap<(ObjectId, RightId), Vec<SubjectId>> = BTreeMap::new();
+    for flip in analysis.gains() {
+        if is_sensitive(flip.object, flip.right) {
+            gains
+                .entry((flip.object, flip.right))
+                .or_default()
+                .push(flip.subject);
+        }
+    }
+    for &(subject, object, right) in &analysis.added_grants {
+        if is_sensitive(object, right) {
+            gains.entry((object, right)).or_default().push(subject);
+        }
+    }
+    for ((object, right), subjects) in gains {
+        let mut sample: Vec<String> = subjects.iter().take(3).map(|&s| names.subject(s)).collect();
+        if subjects.len() > sample.len() {
+            sample.push(format!("… {} more", subjects.len() - sample.len()));
+        }
+        diagnostics.push(Diagnostic {
+            code: PRIVILEGE_ESCALATION.code,
+            rule: PRIVILEGE_ESCALATION.name,
+            severity: PRIVILEGE_ESCALATION.severity,
+            message: format!(
+                "the script grants {} on {} access the base policy denies ({})",
+                if subjects.len() == 1 {
+                    "1 subject".to_string()
+                } else {
+                    format!("{} subjects", subjects.len())
+                },
+                names.pair(object, right),
+                sample.join(", ")
+            ),
+            span: Span::item(SpanItem::Pair {
+                object: names.object(object),
+                right: names.right(right),
+            }),
+            help: Some(
+                "gains need explicit sign-off; run with `--deny escalation` to \
+                 gate on this rule"
+                    .to_string(),
+            ),
+        });
+    }
+    if analysis.diff.default_signs.1 == Sign::Pos && analysis.diff.default_flip() {
+        diagnostics.push(Diagnostic {
+            code: PRIVILEGE_ESCALATION.code,
+            rule: PRIVILEGE_ESCALATION.name,
+            severity: PRIVILEGE_ESCALATION.severity,
+            message: "the script flips the label-free default sign to `+`: every \
+                      pair the policy never mentions becomes granted"
+                .to_string(),
+            span: Span::item(SpanItem::Model),
+            help: Some(
+                "gains need explicit sign-off; run with `--deny escalation` \
+                        to gate on this rule"
+                    .to_string(),
+            ),
+        });
+    }
+
+    // UCRA103/UCRA104: strategy-swap magnitude and default flips.
+    let cells = analysis.final_subjects * analysis.pairs.len();
+    let mut default_sign = analysis.base_strategy.default_only_sign();
+    for (ix, (op, outcome)) in script.ops.iter().zip(&analysis.outcomes).enumerate() {
+        let EditOp::SetStrategy { strategy } = op else {
+            continue;
+        };
+        if let Some(pct) = (outcome.flips.len() * 100).checked_div(cells) {
+            if pct > opts.mass_flip_pct as usize {
+                diagnostics.push(Diagnostic {
+                    code: MASS_STRATEGY_FLIP.code,
+                    rule: MASS_STRATEGY_FLIP.name,
+                    severity: MASS_STRATEGY_FLIP.severity,
+                    message: format!(
+                        "this strategy swap flips {} of {} tracked cells ({pct}%, \
+                         threshold {}%)",
+                        outcome.flips.len(),
+                        cells,
+                        opts.mass_flip_pct
+                    ),
+                    span: span(ix),
+                    help: Some(
+                        "review as a policy rewrite, not a tuning change; \
+                                stage it in its own script"
+                            .to_string(),
+                    ),
+                });
+            }
+        }
+        if outcome.default_flip {
+            let to = strategy.default_only_sign();
+            let churn = to == analysis.base_strategy.default_only_sign()
+                && default_sign != analysis.base_strategy.default_only_sign();
+            diagnostics.push(Diagnostic {
+                code: DEFAULT_FLIP.code,
+                rule: DEFAULT_FLIP.name,
+                severity: DEFAULT_FLIP.severity,
+                message: if churn {
+                    format!(
+                        "this swap flips the label-free default sign back to \
+                         `{to}` — the script churns the default without a net \
+                         change"
+                    )
+                } else {
+                    format!(
+                        "this swap flips the label-free default sign from \
+                         `{default_sign}` to `{to}`, retipping every pair the \
+                         policy never mentions"
+                    )
+                },
+                span: span(ix),
+                help: Some("keep default-flipping swaps in single-edit scripts".to_string()),
+            });
+            default_sign = to;
+        }
+    }
+
+    LintReport::from_diagnostics(diagnostics)
+}
+
+/// A complete impact run: the lowered script, the analysis, the name
+/// tables that grew with it, and the `UCRA1xx` report.
+#[derive(Debug, Clone)]
+pub struct ImpactRun {
+    /// The dense-id script, in application order.
+    pub script: EditScript,
+    /// Per-op 1-based source lines.
+    pub lines: Vec<usize>,
+    /// The core analysis (cones, outcomes, exact diff, overlay stats).
+    pub analysis: ImpactAnalysis,
+    /// Name tables including script-added names.
+    pub names: ImpactNames,
+    /// The `UCRA1xx` findings.
+    pub report: LintReport,
+}
+
+/// End-to-end impact over a named model: parses the edit-script text,
+/// lowers it against the model's name tables (clones — the model is
+/// untouched), evaluates it on a copy-on-write overlay, and runs the
+/// `UCRA1xx` checks. `strategy` overrides the model's default strategy;
+/// one of the two must exist.
+pub fn run_impact(
+    model: &AccessModel,
+    edits_text: &str,
+    strategy: Option<Strategy>,
+    opts: &ImpactOptions,
+) -> Result<ImpactRun, String> {
+    let strategy = strategy
+        .or_else(|| model.default_strategy())
+        .ok_or("the policy configures no strategy; pass one explicitly")?;
+    let edits = parse_edits(edits_text).map_err(|e| e.to_string())?;
+    let mut subjects = Interner::new();
+    let mut objects = Interner::new();
+    let mut rights = Interner::new();
+    for n in model.subject_names() {
+        subjects.intern(n);
+    }
+    for n in model.object_names() {
+        objects.intern(n);
+    }
+    for n in model.right_names() {
+        rights.intern(n);
+    }
+    let resolved = resolve_edits(&edits, &mut subjects, &mut objects, &mut rights)
+        .map_err(|e| e.to_string())?;
+    let analysis =
+        ImpactAnalysis::analyze(model.hierarchy(), model.eacm(), strategy, &resolved.script)
+            .map_err(|e| e.to_string())?;
+    let names = ImpactNames::from_interners(&subjects, &objects, &rights);
+    let report = lint_impact(&resolved.script, &analysis, &names, &resolved.lines, opts);
+    Ok(ImpactRun {
+        script: resolved.script,
+        lines: resolved.lines,
+        analysis,
+        names,
+        report,
+    })
+}
+
+/// `true` when the report contains a `UCRA102` finding — the class
+/// `--deny escalation` gates on.
+pub fn has_escalation(report: &LintReport) -> bool {
+    report
+        .diagnostics()
+        .iter()
+        .any(|d| d.code == PRIVILEGE_ESCALATION.code)
+}
+
+/// The human-readable impact rendering: a summary of the analysis, the
+/// exact cell diff, then the `UCRA1xx` findings.
+pub fn render_impact_text(run: &ImpactRun) -> String {
+    let a = &run.analysis;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "impact: strategy {} -> {}, subjects {} -> {}, {} tracked pair(s)",
+        a.base_strategy,
+        a.final_strategy,
+        a.base_subjects,
+        a.final_subjects,
+        a.pairs.len()
+    );
+    let _ = writeln!(
+        out,
+        "  static cone bound: {} cell(s); exact flips: {}{}",
+        a.cone_cell_bound(),
+        a.diff.changed.len(),
+        if a.diff.default_flip() {
+            " (+ label-free default flip)"
+        } else {
+            ""
+        }
+    );
+    let labels = edit_labels(&run.script, &run.names, a.base_subjects);
+    for (ix, outcome) in a.outcomes.iter().enumerate() {
+        let line = match run.lines.get(ix) {
+            Some(l) => format!("line {l}"),
+            None => format!("#{}", ix + 1),
+        };
+        let _ = writeln!(
+            out,
+            "  edit {line}: {} — {} flip(s){}{}",
+            labels[ix],
+            outcome.flips.len(),
+            if outcome.default_flip {
+                ", flips the default sign"
+            } else {
+                ""
+            },
+            if outcome.is_noop() && !matches!(run.script.ops[ix], EditOp::AddSubject) {
+                ", no-op"
+            } else {
+                ""
+            }
+        );
+    }
+    if !a.diff.changed.is_empty() {
+        let _ = writeln!(out, "cells flipped (before -> after):");
+        for flip in &a.diff.changed {
+            let _ = writeln!(
+                out,
+                "  {} {}: {} -> {}",
+                run.names.subject(flip.subject),
+                run.names.pair(flip.object, flip.right),
+                flip.before,
+                flip.after
+            );
+        }
+    }
+    if a.diff.default_flip() {
+        let _ = writeln!(
+            out,
+            "label-free pairs flip: {} -> {}",
+            a.diff.default_signs.0, a.diff.default_signs.1
+        );
+    }
+    if !a.added_grants.is_empty() {
+        let _ = writeln!(out, "script-added subjects granted:");
+        for &(s, o, r) in &a.added_grants {
+            let _ = writeln!(out, "  {} {}", run.names.subject(s), run.names.pair(o, r));
+        }
+    }
+    out.push_str(&run.report.render_text());
+    out
+}
+
+/// The machine-readable impact rendering: one JSON document with an
+/// `impact` section (exact diff + per-edit outcomes + overlay counters)
+/// and the full `UCRA1xx` lint report under `report`.
+pub fn render_impact_json(run: &ImpactRun) -> String {
+    let a = &run.analysis;
+    let mut out = String::from("{\"version\":1,\"impact\":{");
+    json_field(&mut out, "base_strategy", &a.base_strategy.to_string());
+    out.push(',');
+    json_field(&mut out, "final_strategy", &a.final_strategy.to_string());
+    let _ = write!(
+        out,
+        ",\"base_subjects\":{},\"final_subjects\":{},\"pairs\":{},\"cone_cells\":{},",
+        a.base_subjects,
+        a.final_subjects,
+        a.pairs.len(),
+        a.cone_cell_bound()
+    );
+    out.push_str("\"flips\":[");
+    for (i, flip) in a.diff.changed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_field(&mut out, "subject", &run.names.subject(flip.subject));
+        out.push(',');
+        json_field(&mut out, "object", &run.names.object(flip.object));
+        out.push(',');
+        json_field(&mut out, "right", &run.names.right(flip.right));
+        out.push(',');
+        json_field(&mut out, "before", &flip.before.to_string());
+        out.push(',');
+        json_field(&mut out, "after", &flip.after.to_string());
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "],\"default_signs\":[\"{}\",\"{}\"],\"default_flip\":{},",
+        a.diff.default_signs.0,
+        a.diff.default_signs.1,
+        a.diff.default_flip()
+    );
+    out.push_str("\"added_grants\":[");
+    for (i, &(s, o, r)) in a.added_grants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_field(&mut out, "subject", &run.names.subject(s));
+        out.push(',');
+        json_field(&mut out, "object", &run.names.object(o));
+        out.push(',');
+        json_field(&mut out, "right", &run.names.right(r));
+        out.push('}');
+    }
+    out.push_str("],\"edits\":[");
+    let labels = edit_labels(&run.script, &run.names, a.base_subjects);
+    for (ix, outcome) in a.outcomes.iter().enumerate() {
+        if ix > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_field(&mut out, "edit", &labels[ix]);
+        out.push_str(",\"line\":");
+        match run.lines.get(ix) {
+            Some(l) => out.push_str(&l.to_string()),
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"cone_cells\":{},\"flips\":{},\"default_flip\":{},\"noop\":{}}}",
+            a.cones[ix].cell_bound(a.final_subjects, a.pairs.len()),
+            outcome.flips.len(),
+            outcome.default_flip,
+            outcome.is_noop() && !matches!(run.script.ops[ix], EditOp::AddSubject)
+        );
+    }
+    let stats = &a.overlay_stats;
+    let _ = write!(
+        out,
+        "],\"overlay\":{{\"full_invalidations\":{},\"sweeps\":{},\"matrix_repairs\":{},\
+         \"partial_repairs\":{}}}}},\"report\":",
+        stats.full_invalidations, stats.sweeps, stats.matrix_repairs, stats.partial_repairs
+    );
+    out.push_str(&run.report.render_json());
+    out.push('}');
+    let _ = json_string; // shared helper kept in one place
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AccessModel {
+        let mut m = AccessModel::new();
+        m.add_membership("staff", "alice").unwrap();
+        m.add_membership("staff", "bob").unwrap();
+        m.grant("staff", "report", "read").unwrap();
+        m.deny("bob", "report", "write").unwrap();
+        m.set_default_strategy("D-LP-".parse().unwrap());
+        m
+    }
+
+    #[test]
+    fn glob_matches_pairs() {
+        assert!(glob_match("report/*", "report/read"));
+        assert!(glob_match("*/write", "report/write"));
+        assert!(glob_match("re?ort/read", "report/read"));
+        assert!(!glob_match("report/write", "report/read"));
+        assert!(glob_match("*", "anything/at-all"));
+    }
+
+    #[test]
+    fn derived_revoke_is_flagged_as_noop() {
+        // alice's read is derived via staff; revoking her (redundant)
+        // explicit grant changes nothing.
+        let mut m = model();
+        m.grant("alice", "report", "read").unwrap();
+        let run =
+            run_impact(&m, "revoke alice report read\n", None, &Default::default()).expect("runs");
+        let noop = run
+            .report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "UCRA100")
+            .expect("no-op revoke flagged");
+        assert!(noop.message.contains("alice"), "{}", noop.message);
+        assert_eq!(noop.span.line, Some(1));
+        assert!(run.analysis.diff.is_empty());
+    }
+
+    #[test]
+    fn escalation_is_flagged_and_filtered_by_sensitive() {
+        // The explicit `-` must be revoked before the opposite sign can
+        // be recorded (the Eacm rejects contradictions).
+        let script = "revoke bob report write\ngrant bob report write\n";
+        let run = run_impact(&model(), script, None, &Default::default()).expect("runs");
+        assert!(has_escalation(&run.report), "{}", run.report.render_text());
+        // A non-matching sensitive pattern silences it.
+        let opts = ImpactOptions {
+            sensitive: Some("payroll/*".to_string()),
+            ..Default::default()
+        };
+        let run = run_impact(&model(), script, None, &opts).expect("runs");
+        assert!(!has_escalation(&run.report));
+        // A matching one keeps it.
+        let opts = ImpactOptions {
+            sensitive: Some("report/wr*".to_string()),
+            ..Default::default()
+        };
+        let run = run_impact(&model(), script, None, &opts).expect("runs");
+        assert!(has_escalation(&run.report));
+    }
+
+    #[test]
+    fn shadowed_and_default_flip_and_mass_flip_are_flagged() {
+        let script = "\
+            grant alice report read\n\
+            revoke alice report read\n\
+            strategy D+LMP+\n\
+            strategy GMP-\n";
+        let run = run_impact(&model(), script, None, &Default::default()).expect("runs");
+        let codes: Vec<_> = run.report.diagnostics().iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"UCRA101"), "{codes:?}"); // both shadowed pairs
+        assert!(codes.contains(&"UCRA104"), "{codes:?}"); // D- base -> D+ flip
+        let shadowed: Vec<_> = run
+            .report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "UCRA101")
+            .collect();
+        assert_eq!(shadowed.len(), 2, "label + strategy shadowing");
+        assert_eq!(shadowed[0].span.line, Some(1));
+    }
+
+    #[test]
+    fn mass_flip_threshold_gates_ucra103() {
+        // Swapping D-LP- -> D+LMP+ retips every cell derived only from
+        // the default: a mass flip at threshold 0, silent at 100.
+        let script = "strategy D+LMP+\n";
+        let opts = ImpactOptions {
+            mass_flip_pct: 0,
+            ..Default::default()
+        };
+        let run = run_impact(&model(), script, None, &opts).expect("runs");
+        assert!(
+            run.report.diagnostics().iter().any(|d| d.code == "UCRA103"),
+            "{}",
+            run.report.render_text()
+        );
+        let opts = ImpactOptions {
+            mass_flip_pct: 100,
+            ..Default::default()
+        };
+        let run = run_impact(&model(), script, None, &opts).expect("runs");
+        assert!(!run.report.diagnostics().iter().any(|d| d.code == "UCRA103"));
+    }
+
+    #[test]
+    fn renderers_are_balanced_and_name_new_subjects() {
+        let script = "\
+            subject contractors\n\
+            member staff contractors\n\
+            grant contractors report write\n";
+        let run = run_impact(&model(), script, None, &Default::default()).expect("runs");
+        let text = render_impact_text(&run);
+        assert!(text.contains("contractors"), "{text}");
+        let json = render_impact_json(&run);
+        let mut depth = 0i32;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "{json}");
+        }
+        assert_eq!(depth, 0, "{json}");
+        assert!(json.contains("\"impact\":{"), "{json}");
+        assert!(json.contains("\"report\":{"), "{json}");
+        assert!(json.contains("\"rules\":["), "{json}");
+        assert!(json.contains("contractors"), "{json}");
+        assert!(json.contains("\"full_invalidations\":0"), "{json}");
+    }
+
+    #[test]
+    fn strategy_is_required_from_model_or_caller() {
+        let mut m = AccessModel::new();
+        m.add_membership("g", "m").unwrap();
+        let err = run_impact(&m, "grant g o r\n", None, &Default::default()).unwrap_err();
+        assert!(err.contains("no strategy"), "{err}");
+        let run = run_impact(
+            &m,
+            "grant g o r\n",
+            Some("D-LP-".parse().unwrap()),
+            &Default::default(),
+        )
+        .expect("explicit strategy");
+        assert_eq!(run.analysis.base_strategy, "D-LP-".parse().unwrap());
+    }
+}

@@ -39,13 +39,18 @@
 
 mod context;
 mod diagnostics;
+pub mod impact;
 mod rules;
 mod source_map;
 mod suggest;
 
 pub use context::LintContext;
 pub use diagnostics::{Diagnostic, LintReport, RuleSweepStats, Severity, Span, SpanItem};
-pub use rules::{codes, registry, LintRule, RuleInfo};
+pub use impact::{
+    glob_match, has_escalation, lint_impact, render_impact_json, render_impact_text, run_impact,
+    ImpactNames, ImpactOptions, ImpactRun,
+};
+pub use rules::{codes, explain, registry, LintRule, RuleInfo};
 pub use source_map::SourceMap;
 pub use suggest::{edit_distance, nearest_mnemonic};
 

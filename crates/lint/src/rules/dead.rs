@@ -27,6 +27,12 @@ impl LintRule for DeadConflict {
             name: "dead-conflict",
             severity: Severity::Info,
             summary: "a conflicting label never changes the outcome under the chosen strategy",
+            doc: "A pair carries explicit labels of both signs, but under the \
+                  configured strategy removing the losing side changes no \
+                  subject's effective authorization: the conflict is \
+                  decorative. Dead conflicts make a policy look contested \
+                  when it is not; either remove the losing labels or switch \
+                  to a strategy under which they matter.",
         }
     }
 

@@ -19,7 +19,8 @@ mod strategy;
 mod structure;
 
 /// Identity card of a rule (or text-phase check): stable code, name,
-/// default severity and a one-line summary.
+/// default severity, a one-line summary, and the full documentation
+/// shown by `ucra lint --explain <code>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleInfo {
     /// Stable diagnostic code, e.g. `UCRA020`.
@@ -30,6 +31,9 @@ pub struct RuleInfo {
     pub severity: Severity,
     /// One-line description for `--help`-style listings.
     pub summary: &'static str,
+    /// The full explanation: what the rule detects, why it matters, and
+    /// what to do about it.
+    pub doc: &'static str,
 }
 
 /// A static analysis over one loaded policy.
@@ -49,6 +53,11 @@ pub const PARSE_ERROR: RuleInfo = RuleInfo {
     name: "parse-error",
     severity: Severity::Error,
     summary: "the policy text cannot be parsed",
+    doc: "The policy text is not valid in the line-oriented format, so no \
+          model could be built and no other rule could run. The message \
+          carries the offending line and directive; the accepted directives \
+          are `subject`, `member`, `grant`, `deny`, `strategy` and `mutex`, \
+          with `#` starting a comment.",
 };
 
 /// Text-phase check: a `strategy` directive names none of the 48
@@ -58,6 +67,12 @@ pub const UNKNOWN_STRATEGY: RuleInfo = RuleInfo {
     name: "unknown-strategy",
     severity: Severity::Error,
     summary: "the strategy mnemonic is not one of the 48 legitimate instances",
+    doc: "A `strategy` directive names a mnemonic that is not one of the 48 \
+          legitimate instances the paper derives in §2.2 (54 raw parameter \
+          combinations minus the 6 that are unsatisfiable or equivalent). \
+          The directive is ignored so the structural rules still run, and \
+          the diagnostic suggests the nearest legitimate mnemonic by edit \
+          distance.",
 };
 
 /// Text/instance-phase check: the strategy is legitimate but not written
@@ -67,6 +82,13 @@ pub const NON_CANONICAL_STRATEGY: RuleInfo = RuleInfo {
     name: "non-canonical-strategy",
     severity: Severity::Warning,
     summary: "the strategy is legitimate but not in canonical form",
+    doc: "The strategy is one of the 48 legitimate instances but is not \
+          written (or represented) in canonical form — e.g. Unicode \
+          superscript signs in the text, or raw parameter combinations \
+          that canonicalise to a different spelling. Two spellings of the \
+          same instance resolve identically, so non-canonical forms are \
+          pure reading hazards; write the canonical mnemonic the \
+          diagnostic suggests.",
 };
 
 /// All model-level rules, in code order.
@@ -84,17 +106,27 @@ pub fn registry() -> Vec<Box<dyn LintRule>> {
 }
 
 /// Every diagnostic code this crate can emit, with its identity card —
-/// the text-phase checks plus the registry rules. (`UCRA002` is shared:
-/// the text phase flags non-canonical *spellings*, the registry rule
-/// non-canonical *instances*; both are the same finding.)
+/// the text-phase checks, the registry rules, and the `UCRA1xx`
+/// impact-analysis family. (`UCRA002` is shared: the text phase flags
+/// non-canonical *spellings*, the registry rule non-canonical
+/// *instances*; both are the same finding.)
 pub fn codes() -> Vec<RuleInfo> {
     let mut out = vec![PARSE_ERROR, UNKNOWN_STRATEGY];
     for rule in registry() {
         out.push(rule.info());
     }
+    out.extend_from_slice(crate::impact::IMPACT_RULES);
     out.sort_by_key(|info| info.code);
     out.dedup_by_key(|info| info.code);
     out
+}
+
+/// Looks up a rule's identity card by code (`UCRA020`) or kebab-case
+/// name (`redundant-label`); backs `ucra lint --explain`.
+pub fn explain(code_or_name: &str) -> Option<RuleInfo> {
+    codes()
+        .into_iter()
+        .find(|info| info.code.eq_ignore_ascii_case(code_or_name) || info.name == code_or_name)
 }
 
 #[cfg(test)]
@@ -111,6 +143,16 @@ mod tests {
             assert!(info.code.starts_with("UCRA"), "{}", info.code);
             assert_eq!(info.code.len(), 7, "{}", info.code);
             assert!(!info.name.is_empty() && !info.summary.is_empty());
+            assert!(!info.doc.is_empty(), "{} has no --explain doc", info.code);
         }
+    }
+
+    #[test]
+    fn explain_resolves_codes_and_names() {
+        assert_eq!(explain("UCRA020").unwrap().name, "redundant-label");
+        assert_eq!(explain("ucra020").unwrap().name, "redundant-label");
+        assert_eq!(explain("redundant-label").unwrap().code, "UCRA020");
+        assert_eq!(explain("UCRA102").unwrap().name, "privilege-escalation");
+        assert!(explain("UCRA999").is_none());
     }
 }

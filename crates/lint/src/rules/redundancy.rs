@@ -30,6 +30,13 @@ impl LintRule for RedundantLabel {
             name: "redundant-label",
             severity: Severity::Warning,
             summary: "an explicit label is implied by propagation under all 48 strategies",
+            doc: "An explicit label can be deleted without changing any \
+                  subject's effective authorization under any of the 48 \
+                  legitimate strategies — group propagation already derives \
+                  it. Redundant labels are proven removable by recomputing \
+                  the affected columns with and without the label under \
+                  every instance; keeping them bloats the matrix and hides \
+                  which records actually carry the policy.",
         }
     }
 

@@ -27,6 +27,12 @@ impl LintRule for DefaultShadowing {
             name: "default-shadowing",
             severity: Severity::Warning,
             summary: "subjects whose outcome falls through to the preference fallback",
+            doc: "On a labeled pair, some subjects' outcomes are decided by \
+                  nothing in the policy: no explicit or propagated label \
+                  reaches them and the strategy has no default rule, so the \
+                  preference sign alone decides. Such subjects silently \
+                  change access when the preference flips; either connect \
+                  them to a labeled group or configure a default rule.",
         }
     }
 

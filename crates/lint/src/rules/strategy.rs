@@ -66,6 +66,12 @@ impl LintRule for NoStrategy {
             name: "no-strategy",
             severity: Severity::Info,
             summary: "no conflict-resolution strategy is configured",
+            doc: "The policy configures no conflict-resolution strategy, so \
+                  every consumer must supply one ad hoc — and two consumers \
+                  supplying different instances will disagree about the same \
+                  matrix. The paper's pitch is that the strategy is a \
+                  configuration value; add a `strategy <mnemonic>` directive \
+                  so the policy pins its own semantics.",
         }
     }
 

@@ -34,6 +34,11 @@ impl LintRule for OrphanSubject {
             name: "orphan-subject",
             severity: Severity::Warning,
             summary: "an isolated subject carries no authorizations at all",
+            doc: "A subject has no group, no members and no explicit labels: \
+                  every check against it falls through to the strategy's \
+                  default/preference fallback. Orphans are usually leftovers \
+                  from renames or imports; connect them to the hierarchy or \
+                  delete them so the fallback surface stays small.",
         }
     }
 
@@ -74,6 +79,12 @@ impl LintRule for InertGroup {
             name: "inert-group",
             severity: Severity::Warning,
             summary: "a labeled subject is connected to nothing, so its labels propagate nowhere",
+            doc: "A subject carries explicit labels but has no members, so \
+                  the labels protect only the subject itself and propagate \
+                  nowhere. That is legal but usually a mis-modelled group: \
+                  either add the intended members or accept that the record \
+                  is a per-subject exception and silence the warning by \
+                  intent.",
         }
     }
 
@@ -119,6 +130,11 @@ impl LintRule for FragmentedHierarchy {
             name: "fragmented-hierarchy",
             severity: Severity::Info,
             summary: "the hierarchy splits into several disconnected components",
+            doc: "The subject hierarchy splits into several weakly-connected \
+                  components. Labels never propagate across components, so \
+                  each fragment is an independent policy island; that can be \
+                  deliberate (tenants) but is often an import artifact. The \
+                  diagnostic lists the fragments so you can decide which.",
         }
     }
 

@@ -24,10 +24,11 @@ fn check_golden(name: &str, expected_codes: &[&str]) {
     let report = lint_fixture(name);
     let found: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
     assert_eq!(found, expected_codes, "diagnostic codes for `{name}`");
-    for (ext, rendered) in [
-        ("expected", report.render_text()),
-        ("json", report.render_json()),
-    ] {
+    compare(name, report.render_text(), report.render_json());
+}
+
+fn compare(name: &str, text: String, json: String) {
+    for (ext, rendered) in [("expected", text), ("json", json)] {
         let path = fixtures_dir().join(format!("{name}.{ext}"));
         if std::env::var_os("BLESS").is_some() {
             fs::write(&path, &rendered).unwrap();
@@ -38,6 +39,27 @@ fn check_golden(name: &str, expected_codes: &[&str]) {
             "golden mismatch for {name}.{ext}; rerun with BLESS=1 and review the diff"
         );
     }
+}
+
+/// Runs a `<name>.policy` + `<name>.edits` impact fixture through the
+/// same text/JSON golden comparison as the policy lints.
+fn impact_fixture(name: &str) -> ucra_lint::ImpactRun {
+    let policy = fs::read_to_string(fixtures_dir().join(format!("{name}.policy"))).unwrap();
+    let edits = fs::read_to_string(fixtures_dir().join(format!("{name}.edits"))).unwrap();
+    let model = ucra_store::text::parse(&policy).expect("fixture policy parses");
+    ucra_lint::run_impact(&model, &edits, None, &ucra_lint::ImpactOptions::default())
+        .expect("fixture impact runs")
+}
+
+fn check_impact_golden(name: &str, expected_codes: &[&str]) {
+    let run = impact_fixture(name);
+    let found: Vec<&str> = run.report.diagnostics().iter().map(|d| d.code).collect();
+    assert_eq!(found, expected_codes, "diagnostic codes for `{name}`");
+    compare(
+        name,
+        ucra_lint::render_impact_text(&run),
+        ucra_lint::render_impact_json(&run),
+    );
 }
 
 #[test]
@@ -90,6 +112,54 @@ fn unparseable_policy_is_a_single_parse_error() {
     check_golden("parse_error", &["UCRA000"]);
 }
 
+#[test]
+fn noop_edits_are_flagged() {
+    check_impact_golden("impact_noop", &["UCRA100", "UCRA100"]);
+    let run = impact_fixture("impact_noop");
+    assert!(run.analysis.diff.is_empty(), "no-op script has empty diff");
+    assert_eq!(run.analysis.overlay_stats.full_invalidations, 0);
+}
+
+#[test]
+fn shadowed_edits_and_default_churn_are_flagged() {
+    check_impact_golden(
+        "impact_shadowed",
+        &[
+            "UCRA100", // grant alice (already derived) — line 1
+            "UCRA101", // … and overwritten by the revoke — line 1
+            "UCRA100", // the revoke removes that grant, net nothing — line 2
+            "UCRA101", // strategy D+LMP+ replaced — line 3
+            "UCRA103", // D+LMP+ retips the write column — line 3
+            "UCRA104", // … and flips the default — line 3
+            "UCRA103", // GMP- retips it back — line 4
+            "UCRA104", // … churning the default back too — line 4
+        ],
+    );
+}
+
+#[test]
+fn escalation_fixture_trips_the_deny_gate() {
+    let run = impact_fixture("impact_escalation");
+    assert!(ucra_lint::has_escalation(&run.report));
+    check_impact_golden(
+        "impact_escalation",
+        &["UCRA100", "UCRA101", "UCRA102", "UCRA102"],
+    );
+}
+
+#[test]
+fn mass_strategy_flip_is_flagged() {
+    let run = impact_fixture("impact_mass_flip");
+    let codes: Vec<&str> = run.report.diagnostics().iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"UCRA103"), "{codes:?}");
+    // The two `UCRA102`s: the report/write gains, and the default sign
+    // flipping to `+` (both spans are line-less, so they sort last).
+    check_impact_golden(
+        "impact_mass_flip",
+        &["UCRA103", "UCRA104", "UCRA102", "UCRA102"],
+    );
+}
+
 /// Every registered diagnostic code must be exercised by at least one
 /// golden fixture — a new rule without a fixture fails here.
 #[test]
@@ -102,9 +172,20 @@ fn fixtures_cover_every_diagnostic_code() {
         "no_strategy",
         "parse_error",
     ];
+    let impact_fixtures = [
+        "impact_noop",
+        "impact_shadowed",
+        "impact_escalation",
+        "impact_mass_flip",
+    ];
     let mut covered = BTreeSet::new();
     for name in fixtures {
         for d in lint_fixture(name).diagnostics() {
+            covered.insert(d.code);
+        }
+    }
+    for name in impact_fixtures {
+        for d in impact_fixture(name).report.diagnostics() {
             covered.insert(d.code);
         }
     }

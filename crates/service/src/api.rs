@@ -48,6 +48,26 @@ pub struct CheckRequest {
     pub strategy: Option<String>,
 }
 
+/// Body of `POST /impact` — a dry-run edit script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImpactRequest {
+    /// The edit script in the line-oriented format (`subject`, `member`,
+    /// `grant`, `deny`, `revoke`, `strategy` directives).
+    pub edits: String,
+    /// Optional base-strategy override; the session strategy when
+    /// absent.
+    #[serde(default)]
+    pub strategy: Option<String>,
+    /// Optional `object/right` glob restricting which grant-gains count
+    /// as `UCRA102` escalation; every pair when absent.
+    #[serde(default)]
+    pub sensitive: Option<String>,
+    /// `UCRA103` threshold (percentage of tracked cells); 30 when
+    /// absent.
+    #[serde(default)]
+    pub mass_flip_pct: Option<u32>,
+}
+
 /// Body of `POST /check_many`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckManyRequest {

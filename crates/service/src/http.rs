@@ -298,6 +298,8 @@ fn dispatch(service: &Service, req: &Request) -> Result<String, ApiError> {
             let resp = service.explain(&parse_body(&req.body)?)?;
             serde_json::to_string(&resp).map_err(|e| ApiError::Internal(e.to_string()))
         }
+        // Already a complete JSON document — no serde round-trip.
+        ("POST", "/impact") => service.impact(&parse_body(&req.body)?),
         ("POST", "/edit/subject") => {
             let body: SubjectBody = parse_body(&req.body)?;
             let resp = service.add_subject(&body.name)?;
@@ -332,6 +334,7 @@ fn dispatch(service: &Service, req: &Request) -> Result<String, ApiError> {
             | "/check"
             | "/check_many"
             | "/explain"
+            | "/impact"
             | "/edit/subject"
             | "/edit/membership"
             | "/edit/authorization"

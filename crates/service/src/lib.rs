@@ -49,7 +49,7 @@ pub mod state;
 
 pub use api::{
     ApiError, CheckManyRequest, CheckManyResponse, CheckRequest, EditResponse, ExplainResponse,
-    StatsResponse, TripleRequest, MAX_BATCH,
+    ImpactRequest, StatsResponse, TripleRequest, MAX_BATCH,
 };
 pub use http::{Server, ServerHandle};
 pub use state::Service;

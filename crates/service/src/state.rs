@@ -11,7 +11,7 @@
 
 use crate::api::{
     ApiError, CheckManyRequest, CheckManyResponse, CheckRequest, CheckResponse, EditResponse,
-    ExplainResponse, StatsResponse, TripleRequest, MAX_BATCH,
+    ExplainResponse, ImpactRequest, StatsResponse, TripleRequest, MAX_BATCH,
 };
 use parking_lot::RwLock;
 use ucra_core::{AccessSession, ObjectId, RightId, Sign, Strategy, SubjectId};
@@ -259,6 +259,54 @@ impl Service {
         }
     }
 
+    /// `POST /impact` — dry-run an edit script against the live
+    /// installation without mutating it. **Read lock only**: the name
+    /// tables are cloned so script-added names resolve, the script is
+    /// evaluated on a copy-on-write overlay of the hierarchy and matrix,
+    /// and the serving session — its caches, its counters — is left
+    /// bit-identical. Returns the combined impact + `UCRA1xx` report
+    /// JSON document.
+    pub fn impact(&self, req: &ImpactRequest) -> Result<String, ApiError> {
+        let edits =
+            ucra_store::parse_edits(&req.edits).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        if edits.len() > MAX_BATCH {
+            return Err(ApiError::BatchTooLarge {
+                got: edits.len(),
+                max: MAX_BATCH,
+            });
+        }
+        let inner = self.inner.read();
+        let strategy = inner.strategy(req.strategy.as_deref())?;
+        let mut subjects = inner.subjects.clone();
+        let mut objects = inner.objects.clone();
+        let mut rights = inner.rights.clone();
+        let resolved = ucra_store::resolve_edits(&edits, &mut subjects, &mut objects, &mut rights)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let analysis = ucra_core::ImpactAnalysis::analyze(
+            inner.session.hierarchy(),
+            inner.session.eacm(),
+            strategy,
+            &resolved.script,
+        )?;
+        let names = ucra_lint::ImpactNames::from_interners(&subjects, &objects, &rights);
+        let opts = ucra_lint::ImpactOptions {
+            sensitive: req.sensitive.clone(),
+            mass_flip_pct: req
+                .mass_flip_pct
+                .unwrap_or_else(|| ucra_lint::ImpactOptions::default().mass_flip_pct),
+        };
+        let report =
+            ucra_lint::lint_impact(&resolved.script, &analysis, &names, &resolved.lines, &opts);
+        let run = ucra_lint::ImpactRun {
+            script: resolved.script,
+            lines: resolved.lines,
+            analysis,
+            names,
+            report,
+        };
+        Ok(ucra_lint::render_impact_json(&run))
+    }
+
     /// `POST /edit/subject` — declares a subject (idempotent). Write
     /// lock.
     pub fn add_subject(&self, name: &str) -> Result<EditResponse, ApiError> {
@@ -466,6 +514,83 @@ mod tests {
         let resp = svc.explain(&check_req("User", None)).unwrap();
         assert_eq!(resp.sign, "+");
         assert!(resp.narrative.contains("User"));
+    }
+
+    #[test]
+    fn impact_is_a_pure_read() {
+        let svc = motivating();
+        // Warm the cache and snapshot the counters.
+        svc.check(&check_req("User", None)).unwrap();
+        let before = svc.stats();
+        let json = svc
+            .impact(&ImpactRequest {
+                edits: "deny S6 obj read\nrevoke S2 obj read\n".to_string(),
+                strategy: None,
+                sensitive: None,
+                mass_flip_pct: None,
+            })
+            .unwrap();
+        assert!(json.contains("\"impact\":{"), "{json}");
+        assert!(json.contains("\"full_invalidations\":0"), "{json}");
+        // The serving session is bit-identical: counters unchanged (the
+        // overlay has its own), and the decision still comes from cache.
+        let after = svc.stats();
+        assert_eq!(before, after);
+        let resp = svc.check(&check_req("User", None)).unwrap();
+        assert_eq!(resp.sign, "+");
+        assert!(svc.stats().cache_hits > after.cache_hits);
+    }
+
+    #[test]
+    fn impact_resolves_script_added_names_without_interning_them() {
+        let svc = motivating();
+        let json = svc
+            .impact(&ImpactRequest {
+                edits: "subject intern\nmember S2 intern\n".to_string(),
+                strategy: None,
+                sensitive: None,
+                mass_flip_pct: None,
+            })
+            .unwrap();
+        assert!(json.contains("intern"), "{json}");
+        // The dry run never grew the live name tables.
+        assert_eq!(
+            svc.check(&check_req("intern", None)).unwrap_err().status(),
+            404
+        );
+    }
+
+    #[test]
+    fn impact_rejects_bad_scripts_and_oversized_batches() {
+        let svc = motivating();
+        let err = svc
+            .impact(&ImpactRequest {
+                edits: "frobnicate x\n".to_string(),
+                strategy: None,
+                sensitive: None,
+                mass_flip_pct: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        let err = svc
+            .impact(&ImpactRequest {
+                edits: "revoke ghost obj read\n".to_string(),
+                strategy: None,
+                sensitive: None,
+                mass_flip_pct: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.status(), 400, "revoke of an unknown name");
+        let big = "subject s\n".repeat(MAX_BATCH + 1);
+        let err = svc
+            .impact(&ImpactRequest {
+                edits: big,
+                strategy: None,
+                sensitive: None,
+                mass_flip_pct: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ApiError::BatchTooLarge { .. }));
     }
 
     #[test]

@@ -242,9 +242,17 @@ fn concurrent_clients_share_the_warm_cache() {
     }
     let (status, body) = conn.get("/stats").expect("request");
     assert_eq!(status, 200);
-    // 200 checks but at most one sweep of the single hot pair: everyone
-    // shared the cache.
-    assert!(body.contains("\"sweeps\":1"), "{body}");
+    // 200 checks of one hot pair: everyone shared the cache. Clients
+    // that race on the cold miss may each sweep once (the cache keeps
+    // the first table), so under heavy scheduler contention up to one
+    // sweep per client is benign — but never one per check.
+    let sweeps: u64 = body
+        .split("\"sweeps\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("stats report sweeps");
+    assert!((1..=8).contains(&sweeps), "{body}");
 }
 
 #[test]

@@ -1,0 +1,409 @@
+//! A line-oriented **edit-script** format: the daemon's edit vocabulary
+//! (subject / membership / authorization / revoke / strategy) as a
+//! reviewable text artifact, for dry-run impact analysis.
+//!
+//! ```text
+//! # Stage: give contractors read access, retire the old deny.
+//! subject contractors          # declare (idempotent if present)
+//! member  staff contractors
+//! grant   contractors report read
+//! revoke  bob report read
+//! strategy D-LP-
+//! ```
+//!
+//! Directives are the policy format's (`subject`, `member`, `grant`,
+//! `deny`, `strategy`) plus `revoke <subject> <object> <right>`; `#`
+//! comments and blank lines as usual. [`parse_edits`] keeps names and
+//! line numbers; [`resolve_edits`] lowers them to a dense-id
+//! [`ucra_core::EditScript`] against the caller's interners, following
+//! the daemon's semantics: unknown subjects in `member`/`grant`/`deny`
+//! are created implicitly (an [`EditOp::AddSubject`] is synthesised,
+//! carrying the referencing line), `subject` on a known name is a no-op,
+//! and `revoke` of an unknown name is an error — a revoke that cannot
+//! name its target is a typo, not a no-op.
+
+use crate::interner::Interner;
+use crate::model::StoreError;
+use ucra_core::{EditOp, EditScript, ObjectId, RightId, Sign, Strategy, SubjectId};
+
+/// One parsed edit, still name-based, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedEdit {
+    /// The directive.
+    pub op: NamedEditOp,
+    /// 1-based line in the script text.
+    pub line: usize,
+}
+
+/// The name-based edit vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedEditOp {
+    /// `subject <name>` — ensure a subject exists.
+    Subject(String),
+    /// `member <group> <member>`.
+    Member {
+        /// The group gaining a member.
+        group: String,
+        /// The new member.
+        member: String,
+    },
+    /// `grant <subject> <object> <right>` / `deny …`.
+    Authorize {
+        /// The labeled subject.
+        subject: String,
+        /// The labeled object.
+        object: String,
+        /// The labeled right.
+        right: String,
+        /// `+` for grant, `-` for deny.
+        sign: Sign,
+    },
+    /// `revoke <subject> <object> <right>`.
+    Revoke {
+        /// The target subject.
+        subject: String,
+        /// The target object.
+        object: String,
+        /// The target right.
+        right: String,
+    },
+    /// `strategy <mnemonic>`.
+    Strategy(Strategy),
+}
+
+impl NamedEditOp {
+    /// The source-line rendering (for diagnostics spans).
+    pub fn describe(&self) -> String {
+        match self {
+            NamedEditOp::Subject(name) => format!("subject {name}"),
+            NamedEditOp::Member { group, member } => format!("member {group} {member}"),
+            NamedEditOp::Authorize {
+                subject,
+                object,
+                right,
+                sign,
+            } => format!(
+                "{} {subject} {object} {right}",
+                if *sign == Sign::Pos { "grant" } else { "deny" }
+            ),
+            NamedEditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => format!("revoke {subject} {object} {right}"),
+            NamedEditOp::Strategy(s) => format!("strategy {s}"),
+        }
+    }
+}
+
+/// Parses an edit-script text. Errors carry 1-based line numbers.
+pub fn parse_edits(input: &str) -> Result<Vec<NamedEdit>, StoreError> {
+    let mut edits = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        let args: Vec<&str> = words.collect();
+        let wrong_arity = |expected: usize| {
+            StoreError::Malformed(format!(
+                "line {}: `{directive}` takes {expected} argument(s), got {}",
+                lineno + 1,
+                args.len()
+            ))
+        };
+        let op = match directive {
+            "subject" => {
+                if args.len() != 1 {
+                    return Err(wrong_arity(1));
+                }
+                NamedEditOp::Subject(args[0].to_string())
+            }
+            "member" => {
+                if args.len() != 2 {
+                    return Err(wrong_arity(2));
+                }
+                NamedEditOp::Member {
+                    group: args[0].to_string(),
+                    member: args[1].to_string(),
+                }
+            }
+            "grant" | "deny" => {
+                if args.len() != 3 {
+                    return Err(wrong_arity(3));
+                }
+                NamedEditOp::Authorize {
+                    subject: args[0].to_string(),
+                    object: args[1].to_string(),
+                    right: args[2].to_string(),
+                    sign: if directive == "grant" {
+                        Sign::Pos
+                    } else {
+                        Sign::Neg
+                    },
+                }
+            }
+            "revoke" => {
+                if args.len() != 3 {
+                    return Err(wrong_arity(3));
+                }
+                NamedEditOp::Revoke {
+                    subject: args[0].to_string(),
+                    object: args[1].to_string(),
+                    right: args[2].to_string(),
+                }
+            }
+            "strategy" => {
+                if args.len() != 1 {
+                    return Err(wrong_arity(1));
+                }
+                let strategy = args[0]
+                    .parse()
+                    .map_err(|e| StoreError::Malformed(format!("line {}: {e}", lineno + 1)))?;
+                NamedEditOp::Strategy(strategy)
+            }
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "line {}: unknown edit directive `{other}` \
+                     (expected subject/member/grant/deny/revoke/strategy)",
+                    lineno + 1
+                )));
+            }
+        };
+        edits.push(NamedEdit {
+            op,
+            line: lineno + 1,
+        });
+    }
+    Ok(edits)
+}
+
+/// A lowered script: dense-id ops plus, per op, the 1-based source line
+/// it came from (synthesised `AddSubject` ops carry the line of the
+/// directive that first named the subject).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedScript {
+    /// The dense-id script, ready for `ImpactAnalysis::analyze`.
+    pub script: EditScript,
+    /// `lines[i]` is the source line of `script.ops[i]`.
+    pub lines: Vec<usize>,
+}
+
+/// Lowers named edits against the caller's interners (the base model's
+/// name tables, or clones of the daemon's). New subject, object and
+/// right names are interned **into the passed interners** — pass clones
+/// when the originals must stay pristine. The interners must be
+/// id-aligned with the base hierarchy/matrix (subject `i` in the
+/// interner is `SubjectId::from_index(i)`), which holds for both
+/// [`crate::AccessModel`] name tables and the daemon's.
+pub fn resolve_edits(
+    edits: &[NamedEdit],
+    subjects: &mut Interner,
+    objects: &mut Interner,
+    rights: &mut Interner,
+) -> Result<ResolvedScript, StoreError> {
+    let mut ops = Vec::new();
+    let mut lines = Vec::new();
+    // Interner ids are dense, so a name is new exactly when interning
+    // grows the table; every growth synthesises one `AddSubject`.
+    let intern_subject = |subjects: &mut Interner,
+                          name: &str,
+                          line: usize,
+                          ops: &mut Vec<EditOp>,
+                          lines: &mut Vec<usize>| {
+        let before = subjects.len();
+        let id = subjects.intern(name);
+        if subjects.len() > before {
+            ops.push(EditOp::AddSubject);
+            lines.push(line);
+        }
+        SubjectId::from_index(id as usize)
+    };
+    for edit in edits {
+        match &edit.op {
+            NamedEditOp::Subject(name) => {
+                // Idempotent, like the daemon's `/edit/subject`.
+                intern_subject(subjects, name, edit.line, &mut ops, &mut lines);
+            }
+            NamedEditOp::Member { group, member } => {
+                let g = intern_subject(subjects, group, edit.line, &mut ops, &mut lines);
+                let m = intern_subject(subjects, member, edit.line, &mut ops, &mut lines);
+                ops.push(EditOp::AddMembership {
+                    group: g,
+                    member: m,
+                });
+                lines.push(edit.line);
+            }
+            NamedEditOp::Authorize {
+                subject,
+                object,
+                right,
+                sign,
+            } => {
+                let s = intern_subject(subjects, subject, edit.line, &mut ops, &mut lines);
+                let o = ObjectId(objects.intern(object));
+                let r = RightId(rights.intern(right));
+                ops.push(EditOp::SetAuthorization {
+                    subject: s,
+                    object: o,
+                    right: r,
+                    sign: *sign,
+                });
+                lines.push(edit.line);
+            }
+            NamedEditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => {
+                let unknown = |kind: &str, name: &str| {
+                    StoreError::Malformed(format!(
+                        "line {}: revoke names unknown {kind} `{name}`",
+                        edit.line
+                    ))
+                };
+                let s = subjects
+                    .get(subject)
+                    .ok_or_else(|| unknown("subject", subject))?;
+                let o = objects
+                    .get(object)
+                    .ok_or_else(|| unknown("object", object))?;
+                let r = rights.get(right).ok_or_else(|| unknown("right", right))?;
+                ops.push(EditOp::Revoke {
+                    subject: SubjectId::from_index(s as usize),
+                    object: ObjectId(o),
+                    right: RightId(r),
+                });
+                lines.push(edit.line);
+            }
+            NamedEditOp::Strategy(strategy) => {
+                ops.push(EditOp::SetStrategy {
+                    strategy: *strategy,
+                });
+                lines.push(edit.line);
+            }
+        }
+    }
+    Ok(ResolvedScript {
+        script: EditScript::new(ops),
+        lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interners(
+        subjects: &[&str],
+        objects: &[&str],
+        rights: &[&str],
+    ) -> (Interner, Interner, Interner) {
+        let mut s = Interner::new();
+        let mut o = Interner::new();
+        let mut r = Interner::new();
+        for n in subjects {
+            s.intern(n);
+        }
+        for n in objects {
+            o.intern(n);
+        }
+        for n in rights {
+            r.intern(n);
+        }
+        (s, o, r)
+    }
+
+    #[test]
+    fn parses_and_lowers_every_directive() {
+        let text = "
+            # staged change
+            subject contractors
+            member staff contractors
+            grant contractors report read
+            revoke bob report read
+            deny bob report write
+            strategy D-LP-
+        ";
+        let edits = parse_edits(text).unwrap();
+        assert_eq!(edits.len(), 6);
+        let (mut s, mut o, mut r) = interners(&["staff", "bob"], &["report"], &["read"]);
+        let resolved = resolve_edits(&edits, &mut s, &mut o, &mut r).unwrap();
+        // `subject contractors` is new → AddSubject; the later mentions
+        // reuse it. `write` is a new right, interned silently.
+        assert_eq!(
+            resolved.script.ops,
+            vec![
+                EditOp::AddSubject,
+                EditOp::AddMembership {
+                    group: SubjectId::from_index(0),
+                    member: SubjectId::from_index(2),
+                },
+                EditOp::SetAuthorization {
+                    subject: SubjectId::from_index(2),
+                    object: ObjectId(0),
+                    right: RightId(0),
+                    sign: Sign::Pos,
+                },
+                EditOp::Revoke {
+                    subject: SubjectId::from_index(1),
+                    object: ObjectId(0),
+                    right: RightId(0),
+                },
+                EditOp::SetAuthorization {
+                    subject: SubjectId::from_index(1),
+                    object: ObjectId(0),
+                    right: RightId(1),
+                    sign: Sign::Neg,
+                },
+                EditOp::SetStrategy {
+                    strategy: "D-LP-".parse().unwrap(),
+                },
+            ]
+        );
+        assert_eq!(resolved.lines, vec![3, 4, 5, 6, 7, 8]);
+        assert_eq!(s.resolve(2), Some("contractors"));
+        assert_eq!(r.resolve(1), Some("write"));
+    }
+
+    #[test]
+    fn implicit_subjects_synthesise_add_ops_on_the_naming_line() {
+        let edits = parse_edits("member newgroup newmember").unwrap();
+        let (mut s, mut o, mut r) = interners(&[], &[], &[]);
+        let resolved = resolve_edits(&edits, &mut s, &mut o, &mut r).unwrap();
+        assert_eq!(
+            resolved.script.ops,
+            vec![
+                EditOp::AddSubject,
+                EditOp::AddSubject,
+                EditOp::AddMembership {
+                    group: SubjectId::from_index(0),
+                    member: SubjectId::from_index(1),
+                },
+            ]
+        );
+        assert_eq!(resolved.lines, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn revoke_of_unknown_name_is_an_error() {
+        let edits = parse_edits("revoke ghost report read").unwrap();
+        let (mut s, mut o, mut r) = interners(&["staff"], &["report"], &["read"]);
+        let err = resolve_edits(&edits, &mut s, &mut o, &mut r).unwrap_err();
+        assert!(err.to_string().contains("unknown subject `ghost`"));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_edits("grant a b").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = parse_edits("\nfrobnicate x").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("frobnicate"));
+        let err = parse_edits("strategy NOPE").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod edits;
 mod interner;
 mod model;
 pub mod text;
 
 pub use audit::{AuditEntry, AuditLog};
+pub use edits::{parse_edits, resolve_edits, NamedEdit, NamedEditOp, ResolvedScript};
 pub use interner::Interner;
 pub use model::{AccessModel, NamedConstraint, NamedViolation, StoreError};

@@ -1,0 +1,295 @@
+//! Deterministic edit-script generator for the change-impact analyzer.
+//!
+//! Produces [`ucra_core::EditScript`]s that are **valid against a given
+//! base installation**: revokes target labels that exist, authorization
+//! edits never contradict a live record (the script tracks its own view
+//! of the matrix as it grows), and membership edges only ever attach
+//! script-added subjects, so they cannot create a cycle. That makes the
+//! scripts directly usable by `ImpactAnalysis::analyze`, the `/impact`
+//! endpoint benches, and the soundness stress tests — no rejection
+//! sampling at apply time.
+//!
+//! With [`EditScriptConfig::escalation`], the script deliberately grants
+//! access the base policy denies (revoke an explicit `-`, re-record `+`,
+//! and grant a script-added subject), so CI can assert that
+//! `ucra impact --deny escalation` fails on it.
+
+use crate::Rng;
+use rand::Rng as _;
+use std::collections::BTreeMap;
+use ucra_core::impact::{EditOp, EditScript};
+use ucra_core::{Eacm, ObjectId, RightId, Sign, SubjectDag, SubjectId};
+
+/// Parameters for [`edit_script`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EditScriptConfig {
+    /// Number of edits to generate (the escalation preamble, when
+    /// enabled, is included in this budget).
+    pub ops: usize,
+    /// Fraction of edits that declare a new subject.
+    pub subject_share: f64,
+    /// Fraction of edits that add a membership edge (an existing group
+    /// gains a script-added member).
+    pub membership_share: f64,
+    /// Fraction of edits that revoke an existing explicit label; the
+    /// remainder are authorization edits on unlabeled cells.
+    pub revoke_share: f64,
+    /// Among authorization edits, the fraction that deny.
+    pub negative_share: f64,
+    /// Plant a guaranteed privilege escalation (see the module docs).
+    pub escalation: bool,
+}
+
+impl Default for EditScriptConfig {
+    fn default() -> Self {
+        EditScriptConfig {
+            ops: 32,
+            subject_share: 0.1,
+            membership_share: 0.15,
+            revoke_share: 0.2,
+            negative_share: 0.4,
+            escalation: false,
+        }
+    }
+}
+
+/// Generates an edit script valid against `(hierarchy, eacm)`.
+///
+/// Deterministic for a given `rng` state; the base parts are only read.
+pub fn edit_script(
+    hierarchy: &SubjectDag,
+    eacm: &Eacm,
+    config: EditScriptConfig,
+    rng: &mut Rng,
+) -> EditScript {
+    // The script's evolving view of the explicit matrix: base labels
+    // plus everything the script has recorded or removed so far.
+    let mut labels: BTreeMap<(SubjectId, ObjectId, RightId), Sign> = eacm
+        .iter()
+        .map(|(s, o, r, sign)| ((s, o, r), sign))
+        .collect();
+    let mut pairs = eacm.object_right_pairs();
+    if pairs.is_empty() {
+        pairs.push((ObjectId(0), RightId(0)));
+    }
+    let base_subjects = hierarchy.subject_count().max(1);
+    let mut subjects = base_subjects;
+    let mut added: Vec<SubjectId> = Vec::new();
+    // Members are always script-added, so no edge can collide with the
+    // base DAG — only with one this script already emitted.
+    let mut edges: std::collections::BTreeSet<(SubjectId, SubjectId)> = Default::default();
+    let mut ops = Vec::new();
+
+    let add_subject = |subjects: &mut usize, added: &mut Vec<SubjectId>| {
+        let id = SubjectId::from_index(*subjects);
+        *subjects += 1;
+        added.push(id);
+        EditOp::AddSubject
+    };
+
+    if config.escalation {
+        // Revoke an explicit `-` and re-record `+` on the same cell; a
+        // script-added subject gets its own grant so the gain survives
+        // even when the flipped cell is re-derived through a group.
+        if let Some((&(s, o, r), _)) = labels.iter().find(|(_, &sign)| sign == Sign::Neg) {
+            ops.push(EditOp::Revoke {
+                subject: s,
+                object: o,
+                right: r,
+            });
+            labels.remove(&(s, o, r));
+            ops.push(EditOp::SetAuthorization {
+                subject: s,
+                object: o,
+                right: r,
+                sign: Sign::Pos,
+            });
+            labels.insert((s, o, r), Sign::Pos);
+        }
+        ops.push(add_subject(&mut subjects, &mut added));
+        let freshman = *added.last().expect("just added");
+        let (o, r) = pairs[rng.gen_range(0..pairs.len())];
+        ops.push(EditOp::SetAuthorization {
+            subject: freshman,
+            object: o,
+            right: r,
+            sign: Sign::Pos,
+        });
+        labels.insert((freshman, o, r), Sign::Pos);
+    }
+
+    while ops.len() < config.ops {
+        let roll: f64 = rng.gen();
+        if roll < config.subject_share {
+            ops.push(add_subject(&mut subjects, &mut added));
+        } else if roll < config.subject_share + config.membership_share {
+            // Only script-added subjects become members: the edge leaves
+            // the base DAG untouched upward, so no cycle is possible.
+            let member = match added.is_empty() {
+                true => {
+                    ops.push(add_subject(&mut subjects, &mut added));
+                    *added.last().expect("just added")
+                }
+                false => added[rng.gen_range(0..added.len())],
+            };
+            let group = SubjectId::from_index(rng.gen_range(0..base_subjects));
+            if group != member && edges.insert((group, member)) {
+                ops.push(EditOp::AddMembership { group, member });
+            }
+        } else if roll < config.subject_share + config.membership_share + config.revoke_share {
+            if let Some(&(s, o, r)) = labels
+                .keys()
+                .nth(rng.gen_range(0..labels.len().max(1)))
+                .filter(|_| !labels.is_empty())
+            {
+                ops.push(EditOp::Revoke {
+                    subject: s,
+                    object: o,
+                    right: r,
+                });
+                labels.remove(&(s, o, r));
+            }
+        } else {
+            let s = SubjectId::from_index(rng.gen_range(0..subjects));
+            let (o, r) = pairs[rng.gen_range(0..pairs.len())];
+            let sign = if rng.gen::<f64>() < config.negative_share {
+                Sign::Neg
+            } else {
+                Sign::Pos
+            };
+            // Contradictions are rejected by the matrix; re-roll the
+            // sign to match, making the edit an idempotent re-set (a
+            // deliberate `UCRA100` source) instead of an error.
+            let sign = *labels.entry((s, o, r)).or_insert(sign);
+            ops.push(EditOp::SetAuthorization {
+                subject: s,
+                object: o,
+                right: r,
+                sign,
+            });
+        }
+    }
+    ops.truncate(config.ops.max(if config.escalation { 4 } else { 0 }));
+    EditScript::new(ops)
+}
+
+/// Renders a script in the line-oriented text format understood by
+/// `ucra impact --edits` and `POST /impact`, naming subjects `s<i>`,
+/// objects `o<i>`, and rights `r<i>` (the same spellings `ucra gen`
+/// and nameless sessions use).
+pub fn render_script(script: &EditScript, base_subjects: usize) -> String {
+    let mut out = String::new();
+    let mut next = base_subjects;
+    for op in &script.ops {
+        let line = match *op {
+            EditOp::AddSubject => {
+                let line = format!("subject s{next}");
+                next += 1;
+                line
+            }
+            EditOp::AddMembership { group, member } => {
+                format!("member s{} s{}", group.index(), member.index())
+            }
+            EditOp::SetAuthorization {
+                subject,
+                object,
+                right,
+                sign,
+            } => format!(
+                "{} s{} o{} r{}",
+                match sign {
+                    Sign::Pos => "grant",
+                    Sign::Neg => "deny",
+                },
+                subject.index(),
+                object.0,
+                right.0
+            ),
+            EditOp::Revoke {
+                subject,
+                object,
+                right,
+            } => format!("revoke s{} o{} r{}", subject.index(), object.0, right.0),
+            EditOp::SetStrategy { strategy } => format!("strategy {strategy}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{assign_by_edges, AuthConfig};
+    use crate::layered::{layered, LayeredConfig};
+    use ucra_core::{ImpactAnalysis, Strategy};
+
+    fn base() -> (SubjectDag, Eacm) {
+        let mut rng = crate::rng(7);
+        let hierarchy = layered(
+            LayeredConfig {
+                layers: 3,
+                width: 4,
+                density: 0.4,
+            },
+            &mut rng,
+        )
+        .hierarchy;
+        let (eacm, _) = assign_by_edges(&hierarchy, AuthConfig::with_rate(0.3), &mut rng);
+        (hierarchy, eacm)
+    }
+
+    #[test]
+    fn generated_scripts_apply_cleanly() {
+        let (hierarchy, eacm) = base();
+        let strategy: Strategy = "D-LP-".parse().unwrap();
+        for seed in 0..8 {
+            let mut rng = crate::rng(seed);
+            let script = edit_script(&hierarchy, &eacm, EditScriptConfig::default(), &mut rng);
+            assert!(!script.ops.is_empty());
+            let analysis = ImpactAnalysis::analyze(&hierarchy, &eacm, strategy, &script)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(analysis.overlay_stats.full_invalidations, 0);
+        }
+    }
+
+    #[test]
+    fn escalation_scripts_gain_access() {
+        let (hierarchy, eacm) = base();
+        assert!(
+            eacm.iter().any(|(_, _, _, s)| s == Sign::Neg),
+            "base needs an explicit denial for the escalation preamble"
+        );
+        let mut rng = crate::rng(3);
+        let config = EditScriptConfig {
+            escalation: true,
+            ..Default::default()
+        };
+        let script = edit_script(&hierarchy, &eacm, config, &mut rng);
+        let analysis =
+            ImpactAnalysis::analyze(&hierarchy, &eacm, "D-LP-".parse().unwrap(), &script).unwrap();
+        let gained = analysis.gains().count() + analysis.added_grants.len();
+        assert!(gained > 0, "escalation script must gain at least one cell");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_reparses() {
+        let (hierarchy, eacm) = base();
+        let mut a = crate::rng(11);
+        let mut b = crate::rng(11);
+        let config = EditScriptConfig::default();
+        let sa = edit_script(&hierarchy, &eacm, config, &mut a);
+        let sb = edit_script(&hierarchy, &eacm, config, &mut b);
+        assert_eq!(sa.ops, sb.ops, "same seed, same script");
+        let text = render_script(&sa, hierarchy.subject_count());
+        assert_eq!(text.lines().count(), sa.ops.len());
+        for line in text.lines() {
+            let word = line.split_whitespace().next().unwrap();
+            assert!(
+                ["subject", "member", "grant", "deny", "revoke", "strategy"].contains(&word),
+                "{line}"
+            );
+        }
+    }
+}

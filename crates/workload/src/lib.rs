@@ -37,6 +37,7 @@
 
 pub mod auth;
 pub mod churn;
+pub mod edits;
 pub mod kdag;
 pub mod layered;
 pub mod livelink;
