@@ -40,6 +40,14 @@
 //!   1.0; CI gates on it instead of on absolute nanoseconds, which do
 //!   not transfer across machines.
 //!
+//! A **narrow_vs_wide** section measures the tiered count arena: the
+//! default narrow `u64` lane sweep vs. the forced wide `u128`
+//! `ModeCounts` sweep ([`FusedSweep::compute_wide_with`]) on the stress
+//! shape, single-threaded, same pruning decisions. `speedup_vs_wide` is
+//! the SoA-lane headline (CI gates `>= 1.3`), and `escalations` counts
+//! auto batches that crossed the narrow saturation ceiling (CI gates
+//! `== 0` — standard workloads never approach `u64` path counts).
+//!
 //! The run doubles as an equivalence smoke test: the fused and parallel
 //! matrices are asserted sign-identical to the reference, and the pruned
 //! sparse sweeps sign-identical to their dense walks, before any number
@@ -118,6 +126,25 @@ pub struct DenseCheck {
     pub ratio: f64,
 }
 
+/// The tiered-arena comparison: the default narrow `u64` lane sweep vs.
+/// the forced wide `u128` `ModeCounts` sweep on the same stress shape,
+/// single-threaded, same pruning decisions (both entry points share the
+/// gate), so the ratio isolates the count-lane representation alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NarrowVsWide {
+    /// Default tiered path, [`FusedSweep::compute_with`] (narrow lanes).
+    pub narrow: TimingStats,
+    /// Forced wide tier, [`FusedSweep::compute_wide_with`].
+    pub wide: TimingStats,
+    /// `wide / narrow` medians — the SoA lane win; CI gates `>= 1.3`.
+    pub speedup_vs_wide: f64,
+    /// Batches the auto path escalated to the wide tier. Must be 0 on
+    /// the standard workloads (CI gates it): escalation means the shape
+    /// has path multiplicities near `2^63`, which no realistic
+    /// hierarchy produces.
+    pub escalations: u64,
+}
+
 /// The benchmark's result set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -147,6 +174,8 @@ pub struct SweepReport {
     pub parallel: Vec<ThreadSample>,
     /// Auto-vs-forced-dense ratio on the dense shape (regression gate).
     pub dense_check: DenseCheck,
+    /// Narrow-lane vs. forced-wide tier comparison on the stress shape.
+    pub narrow_vs_wide: NarrowVsWide,
     /// Pruned-vs-dense-walk samples per label density.
     pub sparse: Vec<SparseSample>,
 }
@@ -203,6 +232,9 @@ impl SweepReport {
              \"parallel\": [\n{}\n  ],\n  \
              \"dense_check\": {{\"auto_ns\": {}, \"forced_dense_ns\": {}, \
              \"ratio\": {:.3}}},\n  \
+             \"narrow_vs_wide\": {{\"narrow_ns\": {}, \"narrow_min_ns\": {}, \
+             \"narrow_max_ns\": {}, \"wide_ns\": {}, \"wide_min_ns\": {}, \
+             \"wide_max_ns\": {}, \"speedup_vs_wide\": {:.3}, \"escalations\": {}}},\n  \
              \"sparse\": [\n{}\n  ]\n}}\n",
             self.quick,
             self.cores,
@@ -222,6 +254,14 @@ impl SweepReport {
             self.dense_check.auto.median_ns,
             self.dense_check.forced_dense.median_ns,
             self.dense_check.ratio,
+            self.narrow_vs_wide.narrow.median_ns,
+            self.narrow_vs_wide.narrow.min_ns,
+            self.narrow_vs_wide.narrow.max_ns,
+            self.narrow_vs_wide.wide.median_ns,
+            self.narrow_vs_wide.wide.min_ns,
+            self.narrow_vs_wide.wide.max_ns,
+            self.narrow_vs_wide.speedup_vs_wide,
+            self.narrow_vs_wide.escalations,
             sparse
         )
     }
@@ -261,6 +301,14 @@ impl SweepReport {
             fmt_ns(self.dense_check.auto.median_ns),
             fmt_ns(self.dense_check.forced_dense.median_ns),
             self.dense_check.ratio
+        ));
+        out.push_str(&format!(
+            "narrow u64 lanes vs forced wide u128   : {} vs {}  \
+             ({:.2}x, gate >= 1.3, {} escalations)\n",
+            fmt_ns(self.narrow_vs_wide.narrow.median_ns),
+            fmt_ns(self.narrow_vs_wide.wide.median_ns),
+            self.narrow_vs_wide.speedup_vs_wide,
+            self.narrow_vs_wide.escalations
         ));
         for s in &self.sparse {
             out.push_str(&format!(
@@ -302,29 +350,48 @@ fn reference_matrix(
     Ok(signs)
 }
 
+/// Which kernel entry point [`sweep_batches`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepPath {
+    /// The default tiered path: pruning gate + narrow `u64` lanes.
+    Auto,
+    /// Pruning disabled ([`FusedSweep::compute_dense_with`]).
+    DenseWalk,
+    /// Narrow tier disabled ([`FusedSweep::compute_wide_with`]).
+    ForcedWide,
+}
+
 /// Sweeps `pairs` in kernel-width batches over a shared context,
-/// single-threaded — the loop both sparse timings share. `dense` forces
-/// the full walk; otherwise the pruning gate decides per batch. Returns
+/// single-threaded — the loop every forced-path timing shares. Returns
 /// the largest per-batch active set (`subjects` when any batch ran the
-/// dense walk), the numerator of the report's `active_fraction`.
+/// dense walk) — the numerator of the report's `active_fraction` — and
+/// the number of batches that escalated to the wide tier.
 fn sweep_batches(
     ctx: &SweepContext,
     eacm: &Eacm,
     pairs: &[(ObjectId, RightId)],
     scratch: &mut SweepScratch,
-    dense: bool,
-) -> Result<usize, CoreError> {
+    path: SweepPath,
+) -> Result<(usize, u64), CoreError> {
     let mut max_active = 0usize;
+    let mut escalations = 0u64;
     for batch in pairs.chunks(DEFAULT_BATCH_COLUMNS) {
-        let fused = if dense {
-            FusedSweep::compute_dense_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
-        } else {
-            FusedSweep::compute_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+        let fused = match path {
+            SweepPath::Auto => {
+                FusedSweep::compute_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+            }
+            SweepPath::DenseWalk => {
+                FusedSweep::compute_dense_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+            }
+            SweepPath::ForcedWide => {
+                FusedSweep::compute_wide_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
+            }
         };
         max_active = max_active.max(fused.active_subjects().unwrap_or(ctx.subjects()));
+        escalations += u64::from(fused.escalated());
         fused.recycle(scratch);
     }
-    Ok(max_active)
+    Ok((max_active, escalations))
 }
 
 /// Measures the sparse section: per density, pruned vs. forced-dense
@@ -371,11 +438,23 @@ fn run_sparse(
             dense.recycle(&mut scratch);
         }
         let (pruned_stats, out) = measure(WARMUP_ITERS, reps, || {
-            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, false)
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::Auto,
+            )
         });
-        let max_active = out?;
+        let (max_active, _) = out?;
         let (dense_stats, out) = measure(WARMUP_ITERS, reps, || {
-            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, true)
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::DenseWalk,
+            )
         });
         out?;
         samples.push(SparseSample {
@@ -470,21 +549,66 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
 
     // Within-run dense no-regression: the pruned-capable auto path vs.
     // the forced dense walk on the dense shape, same context.
+    let ctx = SweepContext::new(&model.hierarchy);
+    let mut scratch = SweepScratch::new();
     let dense_check = {
-        let ctx = SweepContext::new(&model.hierarchy);
-        let mut scratch = SweepScratch::new();
         let (auto, out) = measure(WARMUP_ITERS, reps, || {
-            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, false)
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::Auto,
+            )
         });
         out?;
         let (forced, out) = measure(WARMUP_ITERS, reps, || {
-            sweep_batches(&ctx, &model.eacm, &model.pairs, &mut scratch, true)
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::DenseWalk,
+            )
         });
         out?;
         DenseCheck {
             auto,
             forced_dense: forced,
             ratio: auto.median_ns as f64 / forced.median_ns as f64,
+        }
+    };
+
+    // The tiered-arena headline: default narrow u64 lanes vs. the forced
+    // wide u128 tier on the same shape, same context, same pruning
+    // decisions — the ratio isolates the count-lane layout. The auto
+    // runs also report how many batches escalated (must be 0 here).
+    let narrow_vs_wide = {
+        let (narrow, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::Auto,
+            )
+        });
+        let (_, escalations) = out?;
+        let (wide, out) = measure(WARMUP_ITERS, reps, || {
+            sweep_batches(
+                &ctx,
+                &model.eacm,
+                &model.pairs,
+                &mut scratch,
+                SweepPath::ForcedWide,
+            )
+        });
+        out?;
+        NarrowVsWide {
+            narrow,
+            wide,
+            speedup_vs_wide: wide.median_ns as f64 / narrow.median_ns as f64,
+            escalations,
         }
     };
 
@@ -503,6 +627,7 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
         cores,
         parallel,
         dense_check,
+        narrow_vs_wide,
         sparse,
     })
 }
@@ -547,6 +672,14 @@ mod tests {
         assert!(
             report.dense_check.auto.median_ns > 0 && report.dense_check.forced_dense.median_ns > 0
         );
+        assert!(report.narrow_vs_wide.speedup_vs_wide > 0.0);
+        assert!(
+            report.narrow_vs_wide.narrow.median_ns > 0 && report.narrow_vs_wide.wide.median_ns > 0
+        );
+        assert_eq!(
+            report.narrow_vs_wide.escalations, 0,
+            "the stress shape must never escalate to the wide tier"
+        );
         assert_eq!(report.sparse.len(), SPARSE_DENSITIES.len());
         for (s, &d) in report.sparse.iter().zip(SPARSE_DENSITIES.iter()) {
             assert_eq!(s.label_density, d);
@@ -568,6 +701,9 @@ mod tests {
         assert!(json.contains("\"warmup\""));
         assert!(json.contains("\"min_ns\""));
         assert!(json.contains("\"dense_check\""));
+        assert!(json.contains("\"narrow_vs_wide\""));
+        assert!(json.contains("\"speedup_vs_wide\""));
+        assert!(json.contains("\"escalations\": 0"));
         assert!(json.contains("\"speedup_vs_dense_walk\""));
         assert!(json.contains("\"active_fraction\""));
         // Well-formed enough for the CI validator: balanced braces.

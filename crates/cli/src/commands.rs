@@ -455,6 +455,8 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("kernel columns      : {}", st.kernel_columns);
     println!("kernel batches      : {}", st.kernel_batches);
     println!("fusion factor       : {fusion:.2} columns/batch");
+    println!("narrow sweeps       : {}", st.narrow_sweeps);
+    println!("wide escalations    : {}", st.wide_escalations);
     println!("kernel arena bytes  : {}", st.kernel_arena_bytes);
     println!("scratch bytes (hwm) : {}", st.scratch_retained_bytes);
     println!("context builds      : {}", st.context_builds);

@@ -22,6 +22,13 @@
 //! ("optimize the Resolve() algorithm for special purposes") without
 //! giving up any strategy: all 48 instances read the same histogram.
 //!
+//! This module is the *reference* single-pair sweep over sparse
+//! [`DistanceHistogram`]s. The production bulk path is the columnar
+//! kernel in [`kernel`](crate::engine::kernel), which runs the same
+//! recurrence over flat arenas — on tiered `u64` count lanes with a
+//! checked-`u128` escalation path — and is property-tested equivalent
+//! to this one.
+//!
 //! ## Propagation modes (paper future work #3)
 //!
 //! The paper suggests three modes for what happens when a propagating

@@ -17,22 +17,41 @@
 //!    occupies a contiguous distance span `[base, base + len)` — the
 //!    union of its parents' spans shifted by one, plus distance 0 for an
 //!    own label or root default. So per `(node, column)` row we store
-//!    only `(offset, base, len)` into one shared `Vec<ModeCounts>` arena:
-//!    zero per-node allocation, dense sequential merges, and a lossless
-//!    round-trip to/from [`DistanceHistogram`].
-//! 2. **Fused multi-column sweeps.** One topological walk serves a whole
+//!    only `(offset, base, len)` into one shared arena: zero per-node
+//!    allocation, dense sequential merges, and a lossless round-trip
+//!    to/from [`DistanceHistogram`].
+//! 2. **Tiered count lanes.** The arena comes in two tiers. The *narrow*
+//!    tier stores counts as three parallel `u64` lanes (`pos`/`neg`/`def`
+//!    planes sharing one offset space), so the parent→child merge is a
+//!    straight slice-add over contiguous `u64`s that LLVM autovectorizes.
+//!    Path counts are worst-case exponential, so every finished row is
+//!    saturation-checked against a per-context ceiling chosen so that no
+//!    single row merge can wrap a `u64`; a batch that crosses the ceiling
+//!    transparently re-runs through the *wide* tier — the original
+//!    checked-`u128` `Vec<ModeCounts>` arena, which survives as the
+//!    escalation target and equivalence oracle. [`CoreError::PathCountOverflow`]
+//!    therefore only ever originates in the wide tier, at exactly the
+//!    sites the pre-tiering kernel fired it.
+//! 3. **Packed label bitplanes.** The per-batch label plane is 2-bit
+//!    codes packed 32-per-`u64` word, one plane per column — 4× denser
+//!    than the former `Vec<Option<Mode>>`, scanned word-at-a-time.
+//! 4. **Topo-ordered rows.** Arena rows are indexed by the cached
+//!    [`SweepContext`] topo *position* rather than by subject id, so the
+//!    sweep writes rows strictly sequentially and parent lookups walk
+//!    memory in traversal order.
+//! 5. **Fused multi-column sweeps.** One topological walk serves a whole
 //!    batch of `(object, right)` columns in struct-of-arrays layout: the
 //!    `topo_order` / `parents()` traversal cost — and its cache misses —
 //!    are amortised over every column in the batch.
-//! 3. **Resolution without materialisation.** `Resolve()` only iterates
+//! 6. **Resolution without materialisation.** `Resolve()` only iterates
 //!    strata in distance order, so [`FusedSweep::resolve`] reads arena
 //!    rows directly; the full-matrix path never builds a `BTreeMap` at
 //!    all.
 //!
 //! Parallel scheduling over batches lives in [`crate::pool`]; the
-//! equivalence of this kernel with the per-path engine and the legacy
-//! sweep is asserted by `tests/kernel_equivalence.rs` for all 48
-//! strategies and all three [`PropagationMode`]s.
+//! equivalence of this kernel with the per-path engine, the legacy
+//! sweep, and the wide tier is asserted by `tests/kernel_equivalence.rs`
+//! for all 48 strategies and all three [`PropagationMode`]s.
 
 use crate::engine::counting::PropagationMode;
 use crate::engine::{DistanceHistogram, ModeCounts};
@@ -51,6 +70,274 @@ use ucra_graph::traverse;
 /// arena's working set while still amortising the topological walk; the
 /// parallel drivers split larger pair lists into batches of this size.
 pub const DEFAULT_BATCH_COLUMNS: usize = 8;
+
+/// Labels packed 32-per-word: `u64` words of 2-bit codes.
+const LABELS_PER_WORD: usize = 32;
+
+/// Words per packed label column for an `n`-subject hierarchy.
+#[inline]
+fn words_per_column(n: usize) -> usize {
+    n.div_ceil(LABELS_PER_WORD)
+}
+
+/// The 2-bit label code of a mode (`0` encodes "no label").
+#[inline]
+const fn label_code(mode: Mode) -> u64 {
+    match mode {
+        Mode::Pos => 1,
+        Mode::Neg => 2,
+        Mode::Default => 3,
+    }
+}
+
+/// A read-only view of the packed 2-bit label plane: `columns` planes of
+/// [`words_per_column`] words each, indexed by **topo position** so the
+/// sweep reads labels in traversal order.
+#[derive(Clone, Copy)]
+struct LabelPlane<'a> {
+    words: &'a [u64],
+    wpc: usize,
+}
+
+impl LabelPlane<'_> {
+    /// The label of the subject at topo position `slot` in column `c`.
+    #[inline]
+    fn get(&self, c: usize, slot: usize) -> Option<Mode> {
+        let bits = (self.words[c * self.wpc + slot / LABELS_PER_WORD]
+            >> (2 * (slot % LABELS_PER_WORD)))
+            & 3;
+        match bits {
+            0 => None,
+            1 => Some(Mode::Pos),
+            2 => Some(Mode::Neg),
+            _ => Some(Mode::Default),
+        }
+    }
+}
+
+/// The narrow tier's storage: three parallel `u64` count lanes sharing
+/// one arena offset space. `pos[i]`, `neg[i]`, `def[i]` together are the
+/// [`ModeCounts`] of arena cell `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LanePlanes {
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+    def: Vec<u64>,
+}
+
+impl LanePlanes {
+    /// Number of cells currently in the lanes.
+    #[inline]
+    fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Drops all cells, keeping capacity.
+    fn clear(&mut self) {
+        self.pos.clear();
+        self.neg.clear();
+        self.def.clear();
+    }
+
+    /// Bytes of retained capacity across the three lanes.
+    fn capacity_bytes(&self) -> usize {
+        (self.pos.capacity() + self.neg.capacity() + self.def.capacity())
+            * std::mem::size_of::<u64>()
+    }
+
+    /// Shrinks each lane's capacity back toward `cells`.
+    fn shrink_to(&mut self, cells: usize) {
+        self.pos.shrink_to(cells);
+        self.neg.shrink_to(cells);
+        self.def.shrink_to(cells);
+    }
+
+    /// The cell at `i`, widened.
+    #[inline]
+    fn cell(&self, i: usize) -> ModeCounts {
+        ModeCounts {
+            pos: u128::from(self.pos[i]),
+            neg: u128::from(self.neg[i]),
+            def: u128::from(self.def[i]),
+        }
+    }
+}
+
+/// Lane-wise `lane[dst..dst+len] += lane[src..src+len]` where the source
+/// row lives strictly below `dst`. The adds are unchecked on purpose:
+/// every source row passed the saturation check (≤ the context's narrow
+/// limit), and the limit is chosen so that `max_fan_in` limit-sized rows
+/// plus an own contribution cannot wrap a `u64`.
+#[inline]
+fn merge_lane(lane: &mut [u64], dst: usize, src: usize, len: usize) {
+    let (head, tail) = lane.split_at_mut(dst);
+    for (d, s) in tail[..len].iter_mut().zip(&head[src..src + len]) {
+        *d += *s;
+    }
+}
+
+/// Lane-wise `dst += src` over equal-length slices (defaults-plane merge).
+#[inline]
+fn add_lane(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+/// The operations the shared sweep body needs from a count arena,
+/// implemented by both storage tiers. Offsets are absolute arena cell
+/// indexes; callers guarantee `src + len <= dst` for
+/// [`CountTier::merge_within`] (a parent's row always lives strictly
+/// below the row being built).
+trait CountTier {
+    /// The next free cell index (current arena length).
+    fn end(&self) -> usize;
+    /// Appends `n` zeroed cells at the tail.
+    fn grow(&mut self, n: usize);
+    /// `self[at] += 1` in `mode`'s lane.
+    fn bump(&mut self, at: usize, mode: Mode) -> Result<(), CoreError>;
+    /// Lane-wise `self[dst..dst+len] += self[src..src+len]`.
+    fn merge_within(&mut self, dst: usize, src: usize, len: usize) -> Result<(), CoreError>;
+    /// Lane-wise merge from the shared defaults plane (pruned sweeps).
+    fn merge_defaults(
+        &mut self,
+        dst: usize,
+        defaults: &DefaultRows,
+        src: usize,
+        len: usize,
+    ) -> Result<(), CoreError>;
+    /// Saturation check once a row is complete: `false` aborts the sweep
+    /// so the batch can escalate. The wide tier never aborts.
+    fn row_fits(&self, offset: usize, len: usize, limit: u64) -> bool;
+}
+
+impl CountTier for Vec<ModeCounts> {
+    #[inline]
+    fn end(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn grow(&mut self, n: usize) {
+        self.resize(self.len() + n, ModeCounts::default());
+    }
+
+    #[inline]
+    fn bump(&mut self, at: usize, mode: Mode) -> Result<(), CoreError> {
+        self[at].add(mode, 1)
+    }
+
+    #[inline]
+    fn merge_within(&mut self, dst: usize, src: usize, len: usize) -> Result<(), CoreError> {
+        let (head, tail) = self.split_at_mut(dst);
+        for (d, s) in tail[..len].iter_mut().zip(&head[src..src + len]) {
+            d.merge(s)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn merge_defaults(
+        &mut self,
+        dst: usize,
+        defaults: &DefaultRows,
+        src: usize,
+        len: usize,
+    ) -> Result<(), CoreError> {
+        for (d, s) in self[dst..dst + len]
+            .iter_mut()
+            .zip(&defaults.counts[src..src + len])
+        {
+            d.merge(s)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn row_fits(&self, _offset: usize, _len: usize, _limit: u64) -> bool {
+        true
+    }
+}
+
+impl CountTier for LanePlanes {
+    #[inline]
+    fn end(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn grow(&mut self, n: usize) {
+        let target = self.pos.len() + n;
+        self.pos.resize(target, 0);
+        self.neg.resize(target, 0);
+        self.def.resize(target, 0);
+    }
+
+    #[inline]
+    fn bump(&mut self, at: usize, mode: Mode) -> Result<(), CoreError> {
+        match mode {
+            Mode::Pos => self.pos[at] += 1,
+            Mode::Neg => self.neg[at] += 1,
+            Mode::Default => self.def[at] += 1,
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn merge_within(&mut self, dst: usize, src: usize, len: usize) -> Result<(), CoreError> {
+        merge_lane(&mut self.pos, dst, src, len);
+        merge_lane(&mut self.neg, dst, src, len);
+        merge_lane(&mut self.def, dst, src, len);
+        Ok(())
+    }
+
+    #[inline]
+    fn merge_defaults(
+        &mut self,
+        dst: usize,
+        defaults: &DefaultRows,
+        src: usize,
+        len: usize,
+    ) -> Result<(), CoreError> {
+        let nd = defaults
+            .narrow
+            .as_ref()
+            .expect("narrow pruned sweeps require narrow default planes");
+        add_lane(&mut self.pos[dst..dst + len], &nd.pos[src..src + len]);
+        add_lane(&mut self.neg[dst..dst + len], &nd.neg[src..src + len]);
+        add_lane(&mut self.def[dst..dst + len], &nd.def[src..src + len]);
+        Ok(())
+    }
+
+    #[inline]
+    fn row_fits(&self, offset: usize, len: usize, limit: u64) -> bool {
+        // `limit` is always 2^k - 1, so OR-accumulating the row and
+        // comparing once is an exact "any lane value > limit" test —
+        // and a loop LLVM vectorizes, unlike a branchy per-cell max.
+        let mut seen = 0u64;
+        for &x in &self.pos[offset..offset + len] {
+            seen |= x;
+        }
+        for &x in &self.neg[offset..offset + len] {
+            seen |= x;
+        }
+        for &x in &self.def[offset..offset + len] {
+            seen |= x;
+        }
+        seen <= limit
+    }
+}
+
+/// The narrow tier's saturation ceiling for a hierarchy whose maximum
+/// fan-in is `max_fan_in`: the largest `2^k - 1` such that a row built
+/// from `max_fan_in` ceiling-sized parent rows plus one own record
+/// cannot wrap a `u64`. Power-of-two-minus-one so the per-row check can
+/// be a single OR-accumulate (see [`CountTier::row_fits`]).
+fn narrow_limit_for(max_fan_in: usize) -> u64 {
+    let f = max_fan_in.max(1) as u64;
+    let raw = (u64::MAX - 1) / f;
+    (1u64 << (63 - raw.leading_zeros())) - 1
+}
 
 /// Immutable per-hierarchy traversal state, shared across sweep batches.
 ///
@@ -75,9 +362,10 @@ pub struct SweepContext {
     subjects: usize,
     /// Node indexes in topological order (parents before children).
     topo: Vec<u32>,
-    /// `topo_pos[v]` = position of node `v` in `topo` (for sorting an
-    /// active set into sweep order without touching inactive nodes).
-    topo_pos: Vec<u32>,
+    /// `topo_pos[v]` = position of node `v` in `topo`. Arena rows are
+    /// indexed by this position (so sweeps write rows sequentially), and
+    /// finished sweeps share it for their accessors.
+    topo_pos: Arc<Vec<u32>>,
     /// CSR offsets into `parent_ids`; `subjects + 1` entries.
     parent_start: Vec<u32>,
     /// Concatenated parent indexes, in `Dag::parents` order.
@@ -86,6 +374,10 @@ pub struct SweepContext {
     child_start: Vec<u32>,
     /// Concatenated child indexes (forward direction, for cone walks).
     child_ids: Vec<u32>,
+    /// The narrow tier's saturation ceiling (see [`narrow_limit_for`]):
+    /// rows whose lanes stay at or below this can be merged once more
+    /// without any risk of wrapping a `u64`.
+    narrow_limit: u64,
     /// The empty-column sweep: every node's *pure-default* histogram
     /// (one `Default` record per path from each root ancestor). A node
     /// with no labeled ancestor-or-self has exactly this histogram in
@@ -99,11 +391,16 @@ pub struct SweepContext {
 }
 
 /// Arena-form table of per-node pure-default histograms (see
-/// [`SweepContext::defaults`]). One column wide, indexed by node.
+/// [`SweepContext::defaults`]). One column wide, indexed by topo
+/// position. The wide counts are authoritative; `narrow` carries the
+/// same values as `u64` lane planes whenever every count fits under the
+/// context's narrow limit, so pruned narrow sweeps can merge
+/// cone-boundary defaults without leaving the tier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct DefaultRows {
     rows: Vec<RowMeta>,
     counts: Vec<ModeCounts>,
+    narrow: Option<LanePlanes>,
 }
 
 impl PartialEq for SweepContext {
@@ -136,8 +433,11 @@ impl SweepContext {
         let mut parent_start = Vec::with_capacity(n + 1);
         let mut parent_ids = Vec::with_capacity(dag.edge_count());
         parent_start.push(0);
+        let mut max_fan_in = 0usize;
         for v in dag.nodes() {
-            parent_ids.extend(dag.parents(v).iter().map(|p| p.index() as u32));
+            let parents = dag.parents(v);
+            max_fan_in = max_fan_in.max(parents.len());
+            parent_ids.extend(parents.iter().map(|p| p.index() as u32));
             parent_start.push(parent_ids.len() as u32);
         }
         // Invert the parent CSR into a child CSR by counting sort.
@@ -161,11 +461,12 @@ impl SweepContext {
         SweepContext {
             subjects: n,
             topo,
-            topo_pos,
+            topo_pos: Arc::new(topo_pos),
             parent_start,
             parent_ids,
             child_start,
             child_ids,
+            narrow_limit: narrow_limit_for(max_fan_in),
             defaults: OnceLock::new(),
         }
     }
@@ -190,6 +491,7 @@ impl SweepContext {
             Some(Some(d)) => {
                 d.rows.len() * std::mem::size_of::<RowMeta>()
                     + d.counts.len() * std::mem::size_of::<ModeCounts>()
+                    + d.narrow.as_ref().map_or(0, LanePlanes::capacity_bytes)
             }
             _ => 0,
         };
@@ -224,19 +526,38 @@ impl SweepContext {
     /// record, nothing else exists, so the result is each node's bag of
     /// root-path lengths. Label-free propagation is identical under all
     /// three [`PropagationMode`]s (no label ever fires a mode branch).
+    /// Runs in the wide tier (one-time cost per context), then derives
+    /// narrow lane copies when every count fits the narrow ceiling.
     fn build_default_rows(&self) -> Result<DefaultRows, CoreError> {
-        let labels = vec![None; self.subjects];
-        let swept = FusedSweep::sweep(
+        let empty = vec![0u64; words_per_column(self.subjects)];
+        let labels = LabelPlane {
+            words: &empty,
+            wpc: words_per_column(self.subjects),
+        };
+        let mut rows = vec![RowMeta::default(); self.subjects];
+        let mut counts: Vec<ModeCounts> = Vec::new();
+        FusedSweep::sweep_tier(
             self,
             1,
-            &labels,
+            labels,
             PropagationMode::Both,
-            vec![RowMeta::default(); self.subjects],
-            Vec::new(),
+            &mut rows,
+            &mut counts,
+            0,
         )?;
+        let ceiling = u128::from(self.narrow_limit);
+        let narrow = counts
+            .iter()
+            .all(|c| c.pos <= ceiling && c.neg <= ceiling && c.def <= ceiling)
+            .then(|| LanePlanes {
+                pos: counts.iter().map(|c| c.pos as u64).collect(),
+                neg: counts.iter().map(|c| c.neg as u64).collect(),
+                def: counts.iter().map(|c| c.def as u64).collect(),
+            });
         Ok(DefaultRows {
-            rows: swept.rows,
-            counts: swept.counts,
+            rows,
+            counts,
+            narrow,
         })
     }
 
@@ -276,10 +597,10 @@ impl SweepContext {
     }
 }
 
-/// Reusable sweep buffers: the label plane, row index and arena of one
-/// [`FusedSweep::compute_with`] call.
+/// Reusable sweep buffers: the packed label plane, row index and both
+/// arena tiers of one [`FusedSweep::compute_with`] call.
 ///
-/// A fresh sweep allocates three growable buffers whose high-water marks
+/// A fresh sweep allocates growable buffers whose high-water marks
 /// repeat across batches of the same hierarchy; keeping them in a scratch
 /// that survives the batch turns steady-state sweeping allocation-free.
 /// The parallel drivers hold one scratch per pool worker (thread-local,
@@ -288,9 +609,13 @@ impl SweepContext {
 /// returns a finished sweep's storage to the scratch.
 #[derive(Debug, Default)]
 pub struct SweepScratch {
-    labels: Vec<Option<Mode>>,
+    /// Packed 2-bit label planes, one per column (see [`LabelPlane`]).
+    label_words: Vec<u64>,
     rows: Vec<RowMeta>,
+    /// The wide tier's arena (also the escalation target).
     counts: Vec<ModeCounts>,
+    /// The narrow tier's `u64` lane planes.
+    lanes: LanePlanes,
     columns_of: HashMap<(ObjectId, RightId), Vec<usize>>,
     /// Epoch stamps for the cone walk: `stamp[v] == epoch` means node `v`
     /// was visited during the *current* sweep's active-set computation.
@@ -308,9 +633,10 @@ pub struct SweepScratch {
     trim_clock: u32,
     /// Per-buffer high-water marks (lengths actually used) within the
     /// current trim window.
-    labels_peak: usize,
+    words_peak: usize,
     rows_peak: usize,
     counts_peak: usize,
+    lanes_peak: usize,
 }
 
 /// How many recycled batches [`SweepScratch`] observes before it
@@ -325,10 +651,13 @@ impl SweepScratch {
     }
 
     /// Capacity currently retained by the scratch buffers, in bytes.
+    /// Includes both arena tiers — the narrow `u64` lane planes and the
+    /// wide `ModeCounts` arena — plus the packed label plane.
     pub fn retained_bytes(&self) -> usize {
-        self.labels.capacity() * std::mem::size_of::<Option<Mode>>()
+        self.label_words.capacity() * std::mem::size_of::<u64>()
             + self.rows.capacity() * std::mem::size_of::<RowMeta>()
             + self.counts.capacity() * std::mem::size_of::<ModeCounts>()
+            + self.lanes.capacity_bytes()
             + self.stamp.capacity() * std::mem::size_of::<u64>()
             + (self.sources.capacity() + self.active.capacity()) * std::mem::size_of::<u32>()
     }
@@ -350,16 +679,17 @@ impl SweepScratch {
     /// within the window is shrunk back to that mark, so memory tracks
     /// the recent workload instead of the historical maximum.
     fn note_batch_and_trim(&mut self) {
-        self.labels_peak = self.labels_peak.max(self.labels.len());
+        self.words_peak = self.words_peak.max(self.label_words.len());
         self.rows_peak = self.rows_peak.max(self.rows.len());
         self.counts_peak = self.counts_peak.max(self.counts.len());
+        self.lanes_peak = self.lanes_peak.max(self.lanes.len());
         self.trim_clock += 1;
         if self.trim_clock < TRIM_WINDOW {
             return;
         }
         self.trim_clock = 0;
-        if self.labels.capacity() > 2 * self.labels_peak {
-            self.labels.shrink_to(self.labels_peak);
+        if self.label_words.capacity() > 2 * self.words_peak {
+            self.label_words.shrink_to(self.words_peak);
         }
         if self.rows.capacity() > 2 * self.rows_peak {
             self.rows.shrink_to(self.rows_peak);
@@ -367,9 +697,13 @@ impl SweepScratch {
         if self.counts.capacity() > 2 * self.counts_peak {
             self.counts.shrink_to(self.counts_peak);
         }
-        self.labels_peak = 0;
+        if self.lanes.pos.capacity() > 2 * self.lanes_peak {
+            self.lanes.shrink_to(self.lanes_peak);
+        }
+        self.words_peak = 0;
         self.rows_peak = 0;
         self.counts_peak = 0;
+        self.lanes_peak = 0;
     }
 }
 
@@ -391,7 +725,7 @@ pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut SweepScratch) -> R) -> 
 }
 
 /// One arena row: the histogram of one `(subject, column)` cell, stored
-/// as a dense `ModeCounts` slice covering distances `base .. base + len`.
+/// as a dense slice of arena cells covering distances `base .. base + len`.
 /// `len == 0` means the empty histogram (and `offset`/`base` are
 /// meaningless).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -401,9 +735,59 @@ struct RowMeta {
     len: u32,
 }
 
+/// Which storage tier holds a finished sweep's counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CountArena {
+    /// Three parallel `u64` lanes (the fast path).
+    Narrow(LanePlanes),
+    /// Checked `u128` `ModeCounts` cells (the escalation target and
+    /// equivalence oracle).
+    Wide(Vec<ModeCounts>),
+}
+
+/// A borrowed view of one cell's count storage (own arena or the shared
+/// defaults plane), for the [`Strata`] iterator.
+#[derive(Clone, Copy)]
+enum CellCounts<'a> {
+    Narrow(&'a LanePlanes),
+    Wide(&'a [ModeCounts]),
+}
+
+/// Iterator over the non-zero strata of one `(subject, column)` cell in
+/// increasing distance order — the exact stream `Resolve()` consumes.
+/// Returned by [`FusedSweep::strata`].
+pub struct Strata<'a> {
+    cells: CellCounts<'a>,
+    offset: usize,
+    base: u32,
+    len: usize,
+    i: usize,
+}
+
+impl Iterator for Strata<'_> {
+    type Item = (u32, ModeCounts);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, ModeCounts)> {
+        while self.i < self.len {
+            let i = self.i;
+            self.i += 1;
+            let c = match self.cells {
+                CellCounts::Narrow(l) => l.cell(self.offset + i),
+                CellCounts::Wide(w) => w[self.offset + i],
+            };
+            if !c.is_zero() {
+                return Some((self.base + i as u32, c));
+            }
+        }
+        None
+    }
+}
+
 /// The result of one fused multi-column sweep: for every subject × every
 /// requested column, the full `allRights` distance histogram — stored
-/// columnar in a single flat arena.
+/// columnar in a single flat arena (narrow `u64` lanes or wide
+/// `ModeCounts` cells, see the module docs).
 ///
 /// ```
 /// use ucra_core::engine::counting::PropagationMode;
@@ -416,15 +800,18 @@ struct RowMeta {
 /// ).unwrap();
 /// let hist = sweep.histogram(ex.user, 0);
 /// assert_eq!(hist.totals().unwrap().pos, 2); // Table 1 of the paper
+/// assert!(sweep.is_narrow() && !sweep.escalated());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FusedSweep {
     subjects: usize,
     columns: usize,
-    /// Row metadata, `subjects × columns`, indexed `v * columns + c`.
+    /// Row metadata, `subjects × columns`, indexed `slot * columns + c`
+    /// where `slot` is the subject's topo position under `order`.
     rows: Vec<RowMeta>,
-    /// The arena: every non-empty row's dense strata, concatenated.
-    counts: Vec<ModeCounts>,
+    /// The arena: every non-empty row's dense strata, concatenated, in
+    /// whichever tier the sweep finished in.
+    arena: CountArena,
     /// `Some` when the sparsity-pruned path produced this sweep: a
     /// zero-length row then denotes a *default-only* cell served from
     /// these shared per-node default rows (not an empty histogram —
@@ -434,6 +821,12 @@ pub struct FusedSweep {
     /// Union active-set size when the pruned path ran (`None` = dense
     /// full walk). Observability for benches and dispatch diagnostics.
     active: Option<usize>,
+    /// Maps subject index → row slot (the context's `topo_pos`); `None`
+    /// is the identity order ([`FusedSweep::from_columns`]).
+    order: Option<Arc<Vec<u32>>>,
+    /// `true` when the narrow tier was attempted (or would have been)
+    /// but the batch's counts demanded the wide `u128` tier.
+    escalated: bool,
 }
 
 impl FusedSweep {
@@ -470,6 +863,8 @@ impl FusedSweep {
     /// hierarchy, the sweep restricts itself to the labels' union
     /// descendant cone (see [`FusedSweep::active_subjects`]); cells
     /// outside the cone share the context's precomputed default rows.
+    /// Runs in the narrow `u64` tier and escalates to the wide tier only
+    /// when the batch's counts demand it (see [`FusedSweep::escalated`]).
     /// Call [`FusedSweep::recycle`] (or
     /// [`FusedSweep::into_tables_recycling`]) on the result to hand the
     /// arena storage back to `scratch` for the next batch.
@@ -480,7 +875,7 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
-        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true)
+        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true, true)
     }
 
     /// The dense full-walk reference: [`FusedSweep::compute_with`] with
@@ -494,7 +889,22 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
-        Self::compute_impl(ctx, eacm, pairs, mode, scratch, false)
+        Self::compute_impl(ctx, eacm, pairs, mode, scratch, false, true)
+    }
+
+    /// The forced wide-tier run: [`FusedSweep::compute_with`] with the
+    /// narrow `u64` lanes disabled, so the whole batch goes through the
+    /// checked-`u128` `ModeCounts` arena. This is the escalation target
+    /// and the in-tree equivalence oracle for the narrow tier; the
+    /// `fused_sweep` bench times the default (narrow) path against it.
+    pub fn compute_wide_with(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+        scratch: &mut SweepScratch,
+    ) -> Result<FusedSweep, CoreError> {
+        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true, false)
     }
 
     fn compute_impl(
@@ -504,15 +914,18 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
         allow_prune: bool,
+        allow_narrow: bool,
     ) -> Result<FusedSweep, CoreError> {
         let n = ctx.subjects;
         let k = pairs.len();
-        // Struct-of-arrays label matrix: `labels[c * n + v]`. Built by a
-        // single pass over the sparse explicit matrix instead of `n × k`
-        // map lookups inside the sweep. The same pass collects the
-        // deduplicated labeled subjects as cone-walk seeds.
-        scratch.labels.clear();
-        scratch.labels.resize(n * k, None);
+        let wpc = words_per_column(n);
+        // Packed struct-of-bitplanes label matrix: per column, 2-bit
+        // codes at each topo position. Built by a single pass over the
+        // sparse explicit matrix instead of `n × k` map lookups inside
+        // the sweep. The same pass collects the deduplicated labeled
+        // subjects as cone-walk seeds.
+        scratch.label_words.clear();
+        scratch.label_words.resize(wpc * k, 0);
         scratch.columns_of.clear();
         for (c, &pair) in pairs.iter().enumerate() {
             scratch.columns_of.entry(pair).or_default().push(c);
@@ -525,8 +938,13 @@ impl FusedSweep {
                 continue; // labels outside the hierarchy are unreachable
             }
             if let Some(cols) = scratch.columns_of.get(&(o, r)) {
+                let slot = ctx.topo_pos[s.index()] as usize;
+                let shift = 2 * (slot % LABELS_PER_WORD);
+                let code = label_code(Mode::from(sign)) << shift;
+                let mask = !(3u64 << shift);
                 for &c in cols {
-                    scratch.labels[c * n + s.index()] = Some(Mode::from(sign));
+                    let w = &mut scratch.label_words[c * wpc + slot / LABELS_PER_WORD];
+                    *w = (*w & mask) | code;
                 }
                 if scratch.stamp[s.index()] != epoch {
                     scratch.stamp[s.index()] = epoch;
@@ -534,11 +952,6 @@ impl FusedSweep {
                 }
             }
         }
-        let mut rows = std::mem::take(&mut scratch.rows);
-        rows.clear();
-        rows.resize(n * k, RowMeta::default());
-        let mut counts = std::mem::take(&mut scratch.counts);
-        counts.clear();
 
         // Sparsity pruning: rows outside the labels' union descendant
         // cone are pure-default and shared, so only walk the cone when it
@@ -547,42 +960,131 @@ impl FusedSweep {
         // their cones almost always blow the half-size cap below, and on
         // near-dense batches the speculative `O(V + E)` cone walk is
         // pure overhead on top of the full sweep it fails to avoid.
+        let mut pruned: Option<Arc<DefaultRows>> = None;
         if allow_prune && k > 0 && scratch.sources.len() * 4 < n {
-            let mut active = std::mem::take(&mut scratch.active);
-            active.clear();
-            active.extend_from_slice(&scratch.sources);
+            scratch.active.clear();
+            scratch.active.extend_from_slice(&scratch.sources);
             let mut i = 0;
-            while i < active.len() {
-                let v = active[i] as usize;
+            while i < scratch.active.len() {
+                let v = scratch.active[i] as usize;
                 i += 1;
                 for &ch in ctx.children(v) {
                     if scratch.stamp[ch as usize] != epoch {
                         scratch.stamp[ch as usize] = epoch;
-                        active.push(ch);
+                        scratch.active.push(ch);
                     }
                 }
             }
-            if active.len() * 2 < n {
+            if scratch.active.len() * 2 < n {
                 if let Some(defaults) = ctx.default_rows() {
-                    let defaults = Arc::clone(defaults);
-                    active.sort_unstable_by_key(|&v| ctx.topo_pos[v as usize]);
-                    let swept = Self::sweep_pruned(
-                        ctx,
-                        k,
-                        &scratch.labels,
-                        mode,
-                        &active,
-                        &defaults,
-                        rows,
-                        counts,
-                    );
-                    scratch.active = active;
-                    return swept;
+                    pruned = Some(Arc::clone(defaults));
+                    scratch
+                        .active
+                        .sort_unstable_by_key(|&v| ctx.topo_pos[v as usize]);
                 }
             }
-            scratch.active = active;
         }
-        Self::sweep(ctx, k, &scratch.labels, mode, rows, counts)
+
+        let mut rows = std::mem::take(&mut scratch.rows);
+        rows.clear();
+        rows.resize(n * k, RowMeta::default());
+        let labels = LabelPlane {
+            words: &scratch.label_words,
+            wpc,
+        };
+        let active = pruned.is_some().then_some(scratch.active.len());
+
+        // A pruned narrow sweep merges cone-boundary default rows from
+        // the shared plane, so it needs the plane's narrow companion:
+        // when the pure-default counts themselves exceed the `u64`
+        // ceiling, the batch is forced wide from the start.
+        let narrow_possible = allow_narrow
+            && pruned
+                .as_ref()
+                .is_none_or(|defaults| defaults.narrow.is_some());
+        let mut escalated = allow_narrow && !narrow_possible;
+        if narrow_possible {
+            let mut lanes = std::mem::take(&mut scratch.lanes);
+            lanes.clear();
+            let fits = match &pruned {
+                Some(defaults) => Self::sweep_pruned_tier(
+                    ctx,
+                    k,
+                    labels,
+                    mode,
+                    &scratch.active,
+                    defaults,
+                    &mut rows,
+                    &mut lanes,
+                    ctx.narrow_limit,
+                )?,
+                None => Self::sweep_tier(
+                    ctx,
+                    k,
+                    labels,
+                    mode,
+                    &mut rows,
+                    &mut lanes,
+                    ctx.narrow_limit,
+                )?,
+            };
+            if fits {
+                return Ok(FusedSweep {
+                    subjects: n,
+                    columns: k,
+                    rows,
+                    arena: CountArena::Narrow(lanes),
+                    defaults: pruned,
+                    active,
+                    order: Some(Arc::clone(&ctx.topo_pos)),
+                    escalated: false,
+                });
+            }
+            // Escalation: the batch's counts crossed the saturation
+            // ceiling mid-sweep. Hand the lanes back and re-run the whole
+            // batch through the wide tier, which reports any genuine
+            // `u128` overflow exactly where the pre-tiering kernel did.
+            lanes.clear();
+            scratch.lanes = lanes;
+            rows.clear();
+            rows.resize(n * k, RowMeta::default());
+            escalated = true;
+        }
+
+        let mut counts = std::mem::take(&mut scratch.counts);
+        counts.clear();
+        let result = match &pruned {
+            Some(defaults) => Self::sweep_pruned_tier(
+                ctx,
+                k,
+                labels,
+                mode,
+                &scratch.active,
+                defaults,
+                &mut rows,
+                &mut counts,
+                0,
+            ),
+            None => Self::sweep_tier(ctx, k, labels, mode, &mut rows, &mut counts, 0),
+        };
+        match result {
+            Ok(_) => Ok(FusedSweep {
+                subjects: n,
+                columns: k,
+                rows,
+                arena: CountArena::Wide(counts),
+                defaults: pruned,
+                active,
+                order: Some(Arc::clone(&ctx.topo_pos)),
+                escalated,
+            }),
+            Err(e) => {
+                // Keep the buffers on error paths too.
+                scratch.rows = rows;
+                scratch.counts = counts;
+                Err(e)
+            }
+        }
     }
 
     /// Returns this sweep's arena storage to `scratch` so the next
@@ -591,39 +1093,45 @@ impl FusedSweep {
     /// to shrink over-retained buffers back to recent high-water marks.
     pub fn recycle(self, scratch: &mut SweepScratch) {
         scratch.rows = self.rows;
-        scratch.counts = self.counts;
+        match self.arena {
+            CountArena::Narrow(lanes) => scratch.lanes = lanes,
+            CountArena::Wide(counts) => scratch.counts = counts,
+        }
         scratch.note_batch_and_trim();
     }
 
     /// The fused counting recurrence: one walk of the precomputed
-    /// topological order, all columns. `rows`/`counts` arrive cleared but
-    /// with retained capacity from the caller's scratch.
-    fn sweep(
+    /// topological order, all columns, over either storage tier.
+    /// `rows` arrives zeroed at `subjects × columns`; `arena` arrives
+    /// empty with retained capacity. Returns `Ok(false)` when a finished
+    /// row crossed `limit` and the batch must escalate (narrow tier
+    /// only; the wide tier always returns `Ok(true)` or an error).
+    fn sweep_tier<T: CountTier>(
         ctx: &SweepContext,
         columns: usize,
-        labels: &[Option<Mode>],
+        labels: LabelPlane<'_>,
         mode: PropagationMode,
-        mut rows: Vec<RowMeta>,
-        mut counts: Vec<ModeCounts>,
-    ) -> Result<FusedSweep, CoreError> {
+        rows: &mut [RowMeta],
+        arena: &mut T,
+        limit: u64,
+    ) -> Result<bool, CoreError> {
         let n = ctx.subjects;
-        debug_assert_eq!(labels.len(), n * columns, "label matrix shape");
-        for &v in &ctx.topo {
+        debug_assert_eq!(rows.len(), n * columns, "row index shape");
+        for (slot, &v) in ctx.topo.iter().enumerate() {
             let v = v as usize;
             let parents = ctx.parents(v);
             let is_root = parents.is_empty();
             for c in 0..columns {
-                let own = labels[c * n + v];
+                let own = labels.get(c, slot);
 
                 // SecondWins: an explicit label replaces every record
                 // arriving from above — the row is exactly one stratum.
                 if mode == PropagationMode::SecondWins {
                     if let Some(m) = own {
-                        let offset = counts.len();
-                        let mut cell = ModeCounts::default();
-                        cell.add(m, 1)?;
-                        counts.push(cell);
-                        rows[v * columns + c] = RowMeta {
+                        let offset = arena.end();
+                        arena.grow(1);
+                        arena.bump(offset, m)?;
+                        rows[slot * columns + c] = RowMeta {
                             offset,
                             base: 0,
                             len: 1,
@@ -638,7 +1146,7 @@ impl FusedSweep {
                 let mut end = 0u32; // exclusive
                 let mut has_inflow = false;
                 for &p in parents {
-                    let r = rows[p as usize * columns + c];
+                    let r = rows[ctx.topo_pos[p as usize] as usize * columns + c];
                     if r.len == 0 {
                         continue;
                     }
@@ -676,37 +1184,29 @@ impl FusedSweep {
                 }
 
                 // Pass 2: reserve the dense slice at the arena tail and
-                // merge. Parents' rows live strictly below `offset`, so a
-                // split borrow keeps everything safe and branch-free.
+                // merge. Parents' rows live strictly below `offset`, so
+                // split borrows inside the tier keep everything safe.
                 let len = end - base;
-                let offset = counts.len();
-                counts.resize(offset + len as usize, ModeCounts::default());
-                let (head, tail) = counts.split_at_mut(offset);
+                let offset = arena.end();
+                arena.grow(len as usize);
                 if let Some(m) = own_contrib {
-                    tail[0].add(m, 1)?; // base == 0 whenever own_contrib is set
+                    arena.bump(offset, m)?; // base == 0 whenever own_contrib is set
                 }
                 for &p in parents {
-                    let r = rows[p as usize * columns + c];
+                    let r = rows[ctx.topo_pos[p as usize] as usize * columns + c];
                     if r.len == 0 {
                         continue;
                     }
-                    let src = &head[r.offset..r.offset + r.len as usize];
                     let start = (r.base + 1 - base) as usize;
-                    for (dst, s) in tail[start..start + r.len as usize].iter_mut().zip(src) {
-                        dst.merge(s)?;
-                    }
+                    arena.merge_within(offset + start, r.offset, r.len as usize)?;
                 }
-                rows[v * columns + c] = RowMeta { offset, base, len };
+                if !arena.row_fits(offset, len as usize, limit) {
+                    return Ok(false);
+                }
+                rows[slot * columns + c] = RowMeta { offset, base, len };
             }
         }
-        Ok(FusedSweep {
-            subjects: n,
-            columns,
-            rows,
-            counts,
-            defaults: None,
-            active: None,
-        })
+        Ok(true)
     }
 
     /// The sparsity-pruned counting recurrence: walks only `active` (the
@@ -720,27 +1220,29 @@ impl FusedSweep {
     /// mode — so cone-boundary merges read inactive parents' histograms
     /// from `defaults` and the result is bag-identical to the full walk.
     #[allow(clippy::too_many_arguments)]
-    fn sweep_pruned(
+    fn sweep_pruned_tier<T: CountTier>(
         ctx: &SweepContext,
         columns: usize,
-        labels: &[Option<Mode>],
+        labels: LabelPlane<'_>,
         mode: PropagationMode,
         active: &[u32],
-        defaults: &Arc<DefaultRows>,
-        mut rows: Vec<RowMeta>,
-        mut counts: Vec<ModeCounts>,
-    ) -> Result<FusedSweep, CoreError> {
+        defaults: &DefaultRows,
+        rows: &mut [RowMeta],
+        arena: &mut T,
+        limit: u64,
+    ) -> Result<bool, CoreError> {
         let n = ctx.subjects;
-        debug_assert_eq!(labels.len(), n * columns, "label matrix shape");
+        debug_assert_eq!(rows.len(), n * columns, "row index shape");
         for &v in active {
             let v = v as usize;
+            let slot = ctx.topo_pos[v] as usize;
             let parents = ctx.parents(v);
             let is_root = parents.is_empty();
             for c in 0..columns {
-                let own = labels[c * n + v];
+                let own = labels.get(c, slot);
                 let inherits = parents
                     .iter()
-                    .any(|&p| rows[p as usize * columns + c].len != 0);
+                    .any(|&p| rows[ctx.topo_pos[p as usize] as usize * columns + c].len != 0);
                 if own.is_none() && !inherits {
                     continue; // default-only cell, served from `defaults`
                 }
@@ -749,11 +1251,10 @@ impl FusedSweep {
                 // arriving from above — the row is exactly one stratum.
                 if mode == PropagationMode::SecondWins {
                     if let Some(m) = own {
-                        let offset = counts.len();
-                        let mut cell = ModeCounts::default();
-                        cell.add(m, 1)?;
-                        counts.push(cell);
-                        rows[v * columns + c] = RowMeta {
+                        let offset = arena.end();
+                        arena.grow(1);
+                        arena.bump(offset, m)?;
+                        rows[slot * columns + c] = RowMeta {
                             offset,
                             base: 0,
                             len: 1,
@@ -768,10 +1269,10 @@ impl FusedSweep {
                 let mut end = 0u32; // exclusive
                 let mut has_inflow = false;
                 for &p in parents {
-                    let p = p as usize;
-                    let mut r = rows[p * columns + c];
+                    let ps = ctx.topo_pos[p as usize] as usize;
+                    let mut r = rows[ps * columns + c];
                     if r.len == 0 {
-                        r = defaults.rows[p];
+                        r = defaults.rows[ps];
                     }
                     if r.len == 0 {
                         continue;
@@ -813,44 +1314,45 @@ impl FusedSweep {
                 // walk, except default-row sources come from the shared
                 // table instead of this sweep's arena.
                 let len = end - base;
-                let offset = counts.len();
-                counts.resize(offset + len as usize, ModeCounts::default());
-                let (head, tail) = counts.split_at_mut(offset);
+                let offset = arena.end();
+                arena.grow(len as usize);
                 if let Some(m) = own_contrib {
-                    tail[0].add(m, 1)?; // base == 0 whenever own_contrib is set
+                    arena.bump(offset, m)?; // base == 0 whenever own_contrib is set
                 }
                 for &p in parents {
-                    let p = p as usize;
-                    let mut r = rows[p * columns + c];
-                    let src: &[ModeCounts] = if r.len != 0 {
-                        &head[r.offset..r.offset + r.len as usize]
+                    let ps = ctx.topo_pos[p as usize] as usize;
+                    let r = rows[ps * columns + c];
+                    if r.len != 0 {
+                        let start = (r.base + 1 - base) as usize;
+                        arena.merge_within(offset + start, r.offset, r.len as usize)?;
                     } else {
-                        r = defaults.rows[p];
-                        if r.len == 0 {
+                        let dr = defaults.rows[ps];
+                        if dr.len == 0 {
                             continue;
                         }
-                        &defaults.counts[r.offset..r.offset + r.len as usize]
-                    };
-                    let start = (r.base + 1 - base) as usize;
-                    for (dst, s) in tail[start..start + r.len as usize].iter_mut().zip(src) {
-                        dst.merge(s)?;
+                        let start = (dr.base + 1 - base) as usize;
+                        arena.merge_defaults(
+                            offset + start,
+                            defaults,
+                            dr.offset,
+                            dr.len as usize,
+                        )?;
                     }
                 }
-                rows[v * columns + c] = RowMeta { offset, base, len };
+                if !arena.row_fits(offset, len as usize, limit) {
+                    return Ok(false);
+                }
+                rows[slot * columns + c] = RowMeta { offset, base, len };
             }
         }
-        Ok(FusedSweep {
-            subjects: n,
-            columns,
-            rows,
-            counts,
-            defaults: Some(Arc::clone(defaults)),
-            active: Some(active.len()),
-        })
+        Ok(true)
     }
 
     /// Packs existing histogram columns into arena form (the inverse of
-    /// [`FusedSweep::histogram`]; the round-trip is lossless).
+    /// [`FusedSweep::histogram`]; the round-trip is lossless). Picks the
+    /// narrow tier when every count fits a `u64` (the packed arena is
+    /// read-only, so no merge headroom is needed), the wide tier
+    /// otherwise.
     ///
     /// `columns[c][v]` is subject `v`'s histogram in column `c`; every
     /// column must have the same length.
@@ -878,13 +1380,28 @@ impl FusedSweep {
                 };
             }
         }
+        let ceiling = u128::from(u64::MAX);
+        let arena = if counts
+            .iter()
+            .all(|c| c.pos <= ceiling && c.neg <= ceiling && c.def <= ceiling)
+        {
+            CountArena::Narrow(LanePlanes {
+                pos: counts.iter().map(|c| c.pos as u64).collect(),
+                neg: counts.iter().map(|c| c.neg as u64).collect(),
+                def: counts.iter().map(|c| c.def as u64).collect(),
+            })
+        } else {
+            CountArena::Wide(counts)
+        };
         FusedSweep {
             subjects: n,
             columns: k,
             rows,
-            counts,
+            arena,
             defaults: None,
             active: None,
+            order: None,
+            escalated: false,
         }
     }
 
@@ -906,36 +1423,67 @@ impl FusedSweep {
         self.active
     }
 
+    /// `true` when the counts live in the narrow `u64` lane tier (the
+    /// steady-state fast path), `false` for the wide `u128` tier.
+    pub fn is_narrow(&self) -> bool {
+        matches!(self.arena, CountArena::Narrow(_))
+    }
+
+    /// `true` when this batch demanded the wide `u128` tier: a narrow
+    /// sweep crossed the saturation ceiling mid-run (and the batch was
+    /// re-swept wide, losslessly), or the shared default rows themselves
+    /// exceed `u64` so the narrow tier never started. Sessions surface
+    /// this as the `wide_escalations` counter; on realistic workloads it
+    /// stays zero.
+    pub fn escalated(&self) -> bool {
+        self.escalated
+    }
+
     /// Bytes held by the arena and its row index — the figure the
     /// session's `kernel_arena_bytes` counter accumulates.
     pub fn arena_bytes(&self) -> usize {
-        self.counts.len() * std::mem::size_of::<ModeCounts>()
-            + self.rows.len() * std::mem::size_of::<RowMeta>()
+        let cells = match &self.arena {
+            CountArena::Narrow(lanes) => lanes.len() * 3 * std::mem::size_of::<u64>(),
+            CountArena::Wide(counts) => counts.len() * std::mem::size_of::<ModeCounts>(),
+        };
+        cells + self.rows.len() * std::mem::size_of::<RowMeta>()
+    }
+
+    /// The arena row slot of `subject` (its topo position, or identity
+    /// for packed sweeps).
+    #[inline]
+    fn slot(&self, subject: usize) -> usize {
+        match &self.order {
+            Some(order) => order[subject] as usize,
+            None => subject,
+        }
     }
 
     /// The non-zero strata of one `(subject, column)` cell in increasing
     /// distance order — the exact stream `Resolve()` consumes.
-    pub fn strata(
-        &self,
-        subject: SubjectId,
-        column: usize,
-    ) -> impl Iterator<Item = (u32, ModeCounts)> + '_ {
-        let mut r = self.rows[subject.index() * self.columns + column];
-        let counts: &[ModeCounts] = match &self.defaults {
+    pub fn strata(&self, subject: SubjectId, column: usize) -> Strata<'_> {
+        let slot = self.slot(subject.index());
+        let mut r = self.rows[slot * self.columns + column];
+        let cells = match &self.defaults {
             // Pruned sweep: an unwritten row is a default-only cell
             // served from the shared per-node default table (real rows
             // are never empty, so `len == 0` is unambiguous).
             Some(d) if r.len == 0 => {
-                r = d.rows[subject.index()];
-                &d.counts
+                r = d.rows[slot];
+                CellCounts::Wide(&d.counts)
             }
-            _ => &self.counts,
+            _ => match &self.arena {
+                CountArena::Narrow(lanes) => CellCounts::Narrow(lanes),
+                CountArena::Wide(counts) => CellCounts::Wide(counts),
+            },
         };
-        counts[r.offset..r.offset + r.len as usize]
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.is_zero())
-            .map(move |(i, &c)| (r.base + i as u32, c))
+        Strata {
+            cells,
+            offset: r.offset,
+            base: r.base,
+            len: r.len as usize,
+            i: 0,
+        }
     }
 
     /// The cell's histogram in the classic sparse representation.
@@ -971,7 +1519,7 @@ impl FusedSweep {
         (0..self.subjects)
             .map(|i| {
                 if let Some(sign) = default_sign {
-                    if self.rows[i * self.columns + column].len == 0 {
+                    if self.rows[self.slot(i) * self.columns + column].len == 0 {
                         return Ok(sign);
                     }
                 }
@@ -1017,6 +1565,26 @@ mod tests {
         PropagationMode::FirstWins,
     ];
 
+    /// `depth` stacked diamonds: the bottom node has `2^depth` paths from
+    /// the top, each of length `2 * depth`. Returns the hierarchy, its
+    /// top (labeled) node, and its bottom node.
+    fn diamond_stack(depth: usize) -> (SubjectDag, SubjectId, SubjectId) {
+        let mut h = SubjectDag::new();
+        let mut top = h.add_subject();
+        let first = top;
+        for _ in 0..depth {
+            let l = h.add_subject();
+            let r = h.add_subject();
+            let bottom = h.add_subject();
+            h.add_membership(top, l).unwrap();
+            h.add_membership(top, r).unwrap();
+            h.add_membership(l, bottom).unwrap();
+            h.add_membership(r, bottom).unwrap();
+            top = bottom;
+        }
+        (h, first, top)
+    }
+
     #[test]
     fn single_column_matches_legacy_sweep_in_every_mode() {
         let ex = motivating_example();
@@ -1059,11 +1627,22 @@ mod tests {
             FusedSweep::compute(&ex.hierarchy, &ex.eacm, &pairs, PropagationMode::Both).unwrap();
         let tables = fused.clone().into_tables();
         let packed = FusedSweep::from_columns(&tables);
+        assert!(packed.is_narrow(), "small counts pack into the narrow tier");
         for c in 0..pairs.len() {
             for s in ex.hierarchy.subjects() {
                 assert_eq!(packed.histogram(s, c), fused.histogram(s, c));
             }
         }
+    }
+
+    #[test]
+    fn from_columns_goes_wide_when_counts_exceed_u64() {
+        let mut h = DistanceHistogram::new();
+        h.add(3, Mode::Pos, u128::from(u64::MAX) + 1).unwrap();
+        let packed = FusedSweep::from_columns(&[vec![h.clone()]]);
+        assert!(!packed.is_narrow());
+        assert!(!packed.escalated(), "packing is not an escalation");
+        assert_eq!(packed.histogram(SubjectId::from_index(0), 0), h);
     }
 
     #[test]
@@ -1108,44 +1687,98 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_sweeps_run_in_the_narrow_tier() {
+        let ex = motivating_example();
+        let fused = FusedSweep::compute(
+            &ex.hierarchy,
+            &ex.eacm,
+            &[(ex.obj, ex.read)],
+            PropagationMode::Both,
+        )
+        .unwrap();
+        assert!(fused.is_narrow());
+        assert!(!fused.escalated());
+    }
+
+    #[test]
     fn exponential_path_counts_stay_exact() {
-        // 100 stacked diamonds: 2^100 paths, counted exactly in the
-        // arena just as in the BTreeMap engine.
-        let mut h = SubjectDag::new();
-        let mut top = h.add_subject();
-        let first = top;
-        for _ in 0..100 {
-            let l = h.add_subject();
-            let r = h.add_subject();
-            let bottom = h.add_subject();
-            h.add_membership(top, l).unwrap();
-            h.add_membership(top, r).unwrap();
-            h.add_membership(l, bottom).unwrap();
-            h.add_membership(r, bottom).unwrap();
-            top = bottom;
-        }
+        // 100 stacked diamonds: 2^100 paths — beyond the narrow tier's
+        // u64 lanes, so the batch escalates and is counted exactly in
+        // the wide arena just as in the BTreeMap engine.
+        let (h, first, bottom) = diamond_stack(100);
         let (o, r) = (ObjectId(0), RightId(0));
         let mut eacm = Eacm::new();
         eacm.grant(first, o, r).unwrap();
         let fused = FusedSweep::compute(&h, &eacm, &[(o, r)], PropagationMode::Both).unwrap();
-        assert_eq!(fused.histogram(top, 0).at(200).pos, 1u128 << 100);
+        assert!(fused.escalated() && !fused.is_narrow());
+        assert_eq!(fused.histogram(bottom, 0).at(200).pos, 1u128 << 100);
+    }
+
+    #[test]
+    fn escalation_is_lossless_and_matches_the_forced_wide_oracle() {
+        // 70 diamonds: 2^70 crosses the narrow saturation ceiling
+        // (2^62 − 1 at fan-in 2) mid-sweep but fits u128 with room to
+        // spare. The auto path must escalate and produce exactly what a
+        // from-the-start wide sweep produces.
+        let (h, first, bottom) = diamond_stack(70);
+        let (o, r) = (ObjectId(0), RightId(0));
+        let mut eacm = Eacm::new();
+        eacm.grant(first, o, r).unwrap();
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let auto =
+                FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], mode, &mut scratch).unwrap();
+            assert!(auto.escalated(), "mode {mode:?}");
+            assert!(!auto.is_narrow(), "mode {mode:?}");
+            let wide = FusedSweep::compute_wide_with(
+                &ctx,
+                &eacm,
+                &[(o, r)],
+                mode,
+                &mut SweepScratch::new(),
+            )
+            .unwrap();
+            assert!(!wide.is_narrow() && !wide.escalated());
+            assert_eq!(auto.table(0), wide.table(0), "mode {mode:?}");
+            auto.recycle(&mut scratch);
+        }
+        // And the counts really are past u64.
+        let fused =
+            FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], PropagationMode::Both, &mut scratch)
+                .unwrap();
+        assert_eq!(fused.histogram(bottom, 0).at(140).pos, 1u128 << 70);
+    }
+
+    #[test]
+    fn forced_wide_matches_auto_on_narrow_friendly_batches() {
+        let ex = motivating_example();
+        let ctx = SweepContext::new(&ex.hierarchy);
+        let pairs: Vec<_> = (0..3).map(|o| (ObjectId(o), ex.read)).collect();
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let auto =
+                FusedSweep::compute_with(&ctx, &ex.eacm, &pairs, mode, &mut scratch).unwrap();
+            assert!(auto.is_narrow(), "mode {mode:?}");
+            let wide = FusedSweep::compute_wide_with(
+                &ctx,
+                &ex.eacm,
+                &pairs,
+                mode,
+                &mut SweepScratch::new(),
+            )
+            .unwrap();
+            assert!(!wide.is_narrow() && !wide.escalated());
+            for c in 0..pairs.len() {
+                assert_eq!(auto.table(c), wide.table(c), "mode {mode:?} column {c}");
+            }
+            auto.recycle(&mut scratch);
+        }
     }
 
     #[test]
     fn counting_overflow_is_an_error() {
-        let mut h = SubjectDag::new();
-        let mut top = h.add_subject();
-        let first = top;
-        for _ in 0..128 {
-            let l = h.add_subject();
-            let r = h.add_subject();
-            let bottom = h.add_subject();
-            h.add_membership(top, l).unwrap();
-            h.add_membership(top, r).unwrap();
-            h.add_membership(l, bottom).unwrap();
-            h.add_membership(r, bottom).unwrap();
-            top = bottom;
-        }
+        let (h, first, _) = diamond_stack(128);
         let mut eacm = Eacm::new();
         eacm.grant(first, ObjectId(0), RightId(0)).unwrap();
         assert_eq!(
@@ -1154,6 +1787,18 @@ mod tests {
                 &eacm,
                 &[(ObjectId(0), RightId(0))],
                 PropagationMode::Both
+            ),
+            Err(CoreError::PathCountOverflow)
+        );
+        // The forced-wide path fires the identical error — escalation
+        // never changes where overflow is reported.
+        assert_eq!(
+            FusedSweep::compute_wide_with(
+                &SweepContext::new(&h),
+                &eacm,
+                &[(ObjectId(0), RightId(0))],
+                PropagationMode::Both,
+                &mut SweepScratch::new(),
             ),
             Err(CoreError::PathCountOverflow)
         );
@@ -1232,6 +1877,10 @@ mod tests {
                 pruned.active_subjects(),
                 Some(cone),
                 "mode {mode:?}: pruning should walk exactly the label cone"
+            );
+            assert!(
+                pruned.is_narrow(),
+                "mode {mode:?}: pruned sweeps stay narrow on small counts"
             );
             let dense =
                 FusedSweep::compute_dense_with(&ctx, &eacm, &pairs, mode, &mut SweepScratch::new())
@@ -1324,6 +1973,49 @@ mod tests {
             scratch.retained_bytes(),
             inflated
         );
+    }
+
+    #[test]
+    fn narrow_limit_respects_fan_in() {
+        // A power-of-two-minus-one ceiling below (u64::MAX − 1) / fan-in.
+        assert_eq!(narrow_limit_for(0), (1u64 << 63) - 1);
+        assert_eq!(narrow_limit_for(1), (1u64 << 63) - 1);
+        assert_eq!(narrow_limit_for(2), (1u64 << 62) - 1);
+        assert_eq!(narrow_limit_for(3), (1u64 << 62) - 1);
+        assert_eq!(narrow_limit_for(1000), (1u64 << 54) - 1);
+        for f in 1usize..=64 {
+            let limit = narrow_limit_for(f);
+            // The wrap-freedom invariant: fan-in rows at the limit plus
+            // the own-label bump stay below u64::MAX.
+            assert!(
+                u128::from(limit) * f as u128 + 1 < u128::from(u64::MAX),
+                "fan-in {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_plane_packs_and_decodes_all_modes() {
+        let n = 67; // straddles a word boundary (32 codes per u64)
+        let wpc = words_per_column(n);
+        let mut words = vec![0u64; wpc * 2];
+        let cases = [
+            (0usize, 0usize, Mode::Pos),
+            (0, 31, Mode::Neg),
+            (0, 32, Mode::Default),
+            (1, 33, Mode::Pos),
+            (1, 66, Mode::Neg),
+        ];
+        for &(c, slot, m) in &cases {
+            let shift = 2 * (slot % LABELS_PER_WORD);
+            words[c * wpc + slot / LABELS_PER_WORD] |= label_code(m) << shift;
+        }
+        let plane = LabelPlane { words: &words, wpc };
+        for &(c, slot, m) in &cases {
+            assert_eq!(plane.get(c, slot), Some(m), "column {c} slot {slot}");
+        }
+        assert_eq!(plane.get(0, 1), None);
+        assert_eq!(plane.get(1, 0), None);
     }
 
     #[test]

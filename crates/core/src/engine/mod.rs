@@ -61,6 +61,7 @@ pub struct ModeCounts {
 
 impl ModeCounts {
     /// Count for one mode.
+    #[inline]
     pub fn get(&self, mode: Mode) -> u128 {
         match mode {
             Mode::Pos => self.pos,
@@ -69,6 +70,7 @@ impl ModeCounts {
         }
     }
 
+    #[inline]
     pub(crate) fn add(&mut self, mode: Mode, n: u128) -> Result<(), CoreError> {
         let slot = match mode {
             Mode::Pos => &mut self.pos,
@@ -79,14 +81,22 @@ impl ModeCounts {
         Ok(())
     }
 
-    /// Adds every count of `other` into `self` (checked).
+    /// Adds every count of `other` into `self` (checked). Empty strata
+    /// are common in wide-tier arena merges (a parent row spans
+    /// distances this stratum never reached), so they return before
+    /// touching the three checked adds.
+    #[inline]
     pub(crate) fn merge(&mut self, other: &ModeCounts) -> Result<(), CoreError> {
+        if other.is_zero() {
+            return Ok(());
+        }
         self.add(Mode::Pos, other.pos)?;
         self.add(Mode::Neg, other.neg)?;
         self.add(Mode::Default, other.def)
     }
 
     /// `true` when all three counts are zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.pos == 0 && self.neg == 0 && self.def == 0
     }

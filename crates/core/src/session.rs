@@ -106,6 +106,16 @@ pub struct SessionStats {
     /// Total bytes of flat arena the kernel allocated across all
     /// batches — the peak per batch is this divided by `kernel_batches`.
     pub kernel_arena_bytes: u64,
+    /// Kernel batches counted in the narrow `u64` lane tier (the
+    /// steady-state fast path; `narrow_sweeps / kernel_batches` is the
+    /// tier hit rate).
+    pub narrow_sweeps: u64,
+    /// Kernel batches that demanded the wide `u128` tier because their
+    /// path counts crossed the narrow saturation ceiling. Expected to
+    /// stay 0 on realistic workloads — a non-zero value means the
+    /// hierarchy has extreme path multiplicity (and the sweep paid one
+    /// extra narrow attempt per affected batch).
+    pub wide_escalations: u64,
     /// Batched sweep rounds dispatched to the work-stealing pool
     /// (more than one worker).
     pub parallel_dispatches: u64,
@@ -160,6 +170,8 @@ pub struct AccessSession {
     kernel_columns: AtomicU64,
     kernel_batches: AtomicU64,
     kernel_arena_bytes: AtomicU64,
+    narrow_sweeps: AtomicU64,
+    wide_escalations: AtomicU64,
     parallel_dispatches: AtomicU64,
     serial_dispatches: AtomicU64,
     context_builds: AtomicU64,
@@ -187,6 +199,8 @@ impl AccessSession {
             kernel_columns: AtomicU64::new(0),
             kernel_batches: AtomicU64::new(0),
             kernel_arena_bytes: AtomicU64::new(0),
+            narrow_sweeps: AtomicU64::new(0),
+            wide_escalations: AtomicU64::new(0),
             parallel_dispatches: AtomicU64::new(0),
             serial_dispatches: AtomicU64::new(0),
             context_builds: AtomicU64::new(0),
@@ -569,6 +583,12 @@ impl AccessSession {
                         scratch,
                     )?;
                     let arena_bytes = fused.arena_bytes();
+                    if fused.is_narrow() {
+                        self.narrow_sweeps.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if fused.escalated() {
+                        self.wide_escalations.fetch_add(1, Ordering::Relaxed);
+                    }
                     let tables = fused.into_tables_recycling(scratch);
                     self.scratch_bytes
                         .fetch_max(scratch.retained_bytes() as u64, Ordering::Relaxed);
@@ -643,6 +663,8 @@ impl AccessSession {
             kernel_columns: self.kernel_columns.load(Ordering::Relaxed),
             kernel_batches: self.kernel_batches.load(Ordering::Relaxed),
             kernel_arena_bytes: self.kernel_arena_bytes.load(Ordering::Relaxed),
+            narrow_sweeps: self.narrow_sweeps.load(Ordering::Relaxed),
+            wide_escalations: self.wide_escalations.load(Ordering::Relaxed),
             parallel_dispatches: self.parallel_dispatches.load(Ordering::Relaxed),
             serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
             context_builds: self.context_builds.load(Ordering::Relaxed),
@@ -669,6 +691,12 @@ impl AccessSession {
             )?;
             self.kernel_arena_bytes
                 .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
+            if fused.is_narrow() {
+                self.narrow_sweeps.fetch_add(1, Ordering::Relaxed);
+            }
+            if fused.escalated() {
+                self.wide_escalations.fetch_add(1, Ordering::Relaxed);
+            }
             let rows = fused.table(0);
             fused.recycle(scratch);
             self.scratch_bytes
@@ -924,6 +952,37 @@ mod tests {
         );
         assert_eq!(stats.parallel_dispatches + stats.serial_dispatches, 2);
         assert_eq!(stats.sweeps, 20);
+        // Every batch stayed in the narrow u64 lane tier: realistic
+        // hierarchies never approach the saturation ceiling.
+        assert_eq!(stats.narrow_sweeps, stats.kernel_batches);
+        assert_eq!(stats.wide_escalations, 0);
+    }
+
+    #[test]
+    fn extreme_path_multiplicity_shows_up_as_wide_escalations() {
+        // 70 stacked diamonds: 2^70 paths cross the narrow ceiling but
+        // fit u128, so the session transparently escalates and still
+        // answers — and the counter records it.
+        let mut h = SubjectDag::new();
+        let mut top = h.add_subject();
+        let first = top;
+        for _ in 0..70 {
+            let l = h.add_subject();
+            let r = h.add_subject();
+            let bottom = h.add_subject();
+            h.add_membership(top, l).unwrap();
+            h.add_membership(top, r).unwrap();
+            h.add_membership(l, bottom).unwrap();
+            h.add_membership(r, bottom).unwrap();
+            top = bottom;
+        }
+        let mut eacm = Eacm::new();
+        eacm.grant(first, ObjectId(0), RightId(0)).unwrap();
+        let s = AccessSession::new(h, eacm, "D-LP-".parse().unwrap());
+        assert_eq!(s.check(top, ObjectId(0), RightId(0)).unwrap(), Sign::Pos);
+        let stats = s.stats();
+        assert_eq!(stats.wide_escalations, 1);
+        assert_eq!(stats.narrow_sweeps, 0);
     }
 
     #[test]

@@ -154,6 +154,11 @@ pub struct StatsResponse {
     pub kernel_columns: u64,
     /// Fused kernel batches executed.
     pub kernel_batches: u64,
+    /// Kernel batches counted in the narrow `u64` lane tier.
+    pub narrow_sweeps: u64,
+    /// Kernel batches escalated to the wide `u128` tier (expected 0 on
+    /// realistic workloads).
+    pub wide_escalations: u64,
     /// Shared sweep-context builds.
     pub context_builds: u64,
     /// Batched rounds dispatched to the pool.

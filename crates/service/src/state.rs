@@ -253,6 +253,8 @@ impl Service {
             matrix_repair_rows: s.matrix_repair_rows,
             kernel_columns: s.kernel_columns,
             kernel_batches: s.kernel_batches,
+            narrow_sweeps: s.narrow_sweeps,
+            wide_escalations: s.wide_escalations,
             context_builds: s.context_builds,
             parallel_dispatches: s.parallel_dispatches,
             serial_dispatches: s.serial_dispatches,

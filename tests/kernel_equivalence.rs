@@ -460,3 +460,160 @@ proptest! {
         prop_assert_eq!(stats.pair_invalidations, 0, "matrix edits must repair, not flush");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tiered arena: the default (narrow `u64` lane) sweep must be
+    /// bag-equivalent to the forced wide `u128` oracle
+    /// (`compute_wide_with`) and sign-identical for all 48 strategies,
+    /// in all three propagation modes. Random worlds never approach the
+    /// saturation ceiling, so the auto path must also actually stay in
+    /// the narrow tier — otherwise this test would be comparing wide
+    /// against wide and proving nothing.
+    #[test]
+    fn narrow_tier_matches_forced_wide_oracle_all_strategies(
+        n in 1usize..14,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.6,
+        pairs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let auto = FusedSweep::compute_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            prop_assert!(auto.is_narrow(), "mode {:?}: tiny counts must stay narrow", mode);
+            prop_assert!(!auto.escalated(), "mode {:?}", mode);
+            let wide =
+                FusedSweep::compute_wide_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            prop_assert!(!wide.is_narrow() && !wide.escalated(), "mode {:?}", mode);
+            for c in 0..cols.len() {
+                prop_assert_eq!(
+                    auto.table(c), wide.table(c),
+                    "mode {:?} column {}", mode, c
+                );
+                for strategy in Strategy::all_instances() {
+                    prop_assert_eq!(
+                        auto.signs(c, strategy).unwrap(),
+                        wide.signs(c, strategy).unwrap(),
+                        "mode {:?} column {} strategy {}", mode, c, strategy
+                    );
+                }
+            }
+            wide.recycle(&mut scratch);
+            auto.recycle(&mut scratch);
+        }
+    }
+
+    /// Same equivalence on the sparse worlds where the pruned sweep
+    /// merges shared default rows — the narrow tier reads the packed
+    /// `u64` default planes while the wide oracle reads the `u128`
+    /// originals, and they must agree everywhere.
+    #[test]
+    fn pruned_narrow_tier_matches_forced_wide_oracle(
+        n in 16usize..40,
+        density in 0.0f64..0.15,
+        placement in 0usize..3,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = sparse_world(n, density, placement, labels, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let auto = FusedSweep::compute_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            prop_assert!(auto.is_narrow(), "mode {:?}", mode);
+            let wide =
+                FusedSweep::compute_wide_with(&ctx, &eacm, &cols, mode, &mut scratch).unwrap();
+            for c in 0..cols.len() {
+                prop_assert_eq!(
+                    auto.table(c), wide.table(c),
+                    "mode {:?} column {} placement {}", mode, c, placement
+                );
+            }
+            wide.recycle(&mut scratch);
+            auto.recycle(&mut scratch);
+        }
+    }
+}
+
+/// `depth` stacked diamonds: `2^depth` paths from the first node to the
+/// last, each of length `2 * depth` — the path-doubling shape that
+/// drives counts past any fixed-width lane.
+fn diamond_stack(depth: usize) -> (SubjectDag, SubjectId, SubjectId) {
+    let mut h = SubjectDag::new();
+    let mut top = h.add_subject();
+    let first = top;
+    for _ in 0..depth {
+        let l = h.add_subject();
+        let r = h.add_subject();
+        let bottom = h.add_subject();
+        h.add_membership(top, l).unwrap();
+        h.add_membership(top, r).unwrap();
+        h.add_membership(l, bottom).unwrap();
+        h.add_membership(r, bottom).unwrap();
+        top = bottom;
+    }
+    (h, first, top)
+}
+
+/// Forced escalation is lossless: 70 stacked diamonds push `2^70` paths
+/// past the narrow `u64` ceiling (but well inside `u128`), so the auto
+/// sweep must escalate and produce exactly the forced-wide tables —
+/// histograms and all 48 strategies' signs — in every propagation mode.
+#[test]
+fn forced_escalation_is_lossless_for_all_strategies() {
+    let (h, first, bottom) = diamond_stack(70);
+    let (o, r) = (ObjectId(0), RightId(0));
+    let mut eacm = Eacm::new();
+    eacm.grant(first, o, r).unwrap();
+    let ctx = SweepContext::new(&h);
+    let mut scratch = SweepScratch::new();
+    for mode in MODES {
+        let auto = FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], mode, &mut scratch).unwrap();
+        assert!(auto.escalated(), "mode {mode:?}: 2^70 must escalate");
+        assert!(!auto.is_narrow(), "mode {mode:?}");
+        let wide =
+            FusedSweep::compute_wide_with(&ctx, &eacm, &[(o, r)], mode, &mut scratch).unwrap();
+        assert_eq!(auto.table(0), wide.table(0), "mode {mode:?}");
+        for strategy in Strategy::all_instances() {
+            assert_eq!(
+                auto.signs(0, strategy).unwrap(),
+                wide.signs(0, strategy).unwrap(),
+                "mode {mode:?} strategy {strategy}"
+            );
+        }
+        wide.recycle(&mut scratch);
+        auto.recycle(&mut scratch);
+    }
+    // The counts genuinely exceeded u64: exactly 2^70 positive paths.
+    let fused =
+        FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], PropagationMode::Both, &mut scratch)
+            .unwrap();
+    assert_eq!(fused.histogram(bottom, 0).at(140).pos, 1u128 << 70);
+}
+
+/// `PathCountOverflow` fires at the identical site in both tiers: 128
+/// diamonds overflow even `u128`, and the escalation machinery must
+/// surface the wide tier's error unchanged.
+#[test]
+fn overflow_sites_are_identical_across_tiers() {
+    let (h, first, _) = diamond_stack(128);
+    let (o, r) = (ObjectId(0), RightId(0));
+    let mut eacm = Eacm::new();
+    eacm.grant(first, o, r).unwrap();
+    let ctx = SweepContext::new(&h);
+    let mut scratch = SweepScratch::new();
+    for mode in MODES {
+        let auto = FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], mode, &mut scratch);
+        let wide = FusedSweep::compute_wide_with(&ctx, &eacm, &[(o, r)], mode, &mut scratch);
+        assert_eq!(auto, wide, "mode {mode:?}");
+        assert_eq!(
+            auto.unwrap_err().to_string(),
+            wide.unwrap_err().to_string(),
+            "mode {mode:?}"
+        );
+    }
+}
