@@ -88,6 +88,28 @@ impl ServeConfig {
     }
 }
 
+/// One pure-read scaling section: the same workload at a fixed number
+/// of pre-connected keep-alive clients, editor idle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Concurrent keep-alive reader connections in this section.
+    pub clients: usize,
+    /// Unmeasured warmup requests issued before this section's clock.
+    pub warmup: usize,
+    /// Measured repetitions pooled into this section's latencies.
+    pub reps: usize,
+    /// Individual checks answered in this section.
+    pub total_checks: u64,
+    /// Wall-clock time of the section's measured phase.
+    pub wall_ns: u128,
+    /// Section throughput.
+    pub checks_per_sec: f64,
+    /// Median client-observed latency.
+    pub p50_ns: u128,
+    /// 99th-percentile latency.
+    pub p99_ns: u128,
+}
+
 /// The load run's result set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -128,12 +150,44 @@ pub struct ServeReport {
     /// across requests; the CI gate requires 0 (the overlay cone-repairs,
     /// never flushes).
     pub impact_full_invalidations: u64,
+    /// Pure-read scaling sections at 1/2/4/8 clients (editor idle),
+    /// each with its own warmup/reps/clients provenance.
+    pub read_scaling: Vec<ScalePoint>,
+    /// Decision-memo hits across the whole run.
+    pub memo_hits: u64,
+    /// Decision-memo misses across the whole run.
+    pub memo_misses: u64,
+    /// `hits / (hits + misses)`; the CI gate requires > 0.
+    pub memo_hit_rate: f64,
+    /// Epoch of the snapshot serving reads when the run ended.
+    pub snapshot_epoch: u64,
+    /// Snapshots published by edits over the run.
+    pub snapshots_published: u64,
 }
 
 impl ServeReport {
     /// The report as a JSON document (hand-rolled, like
     /// [`crate::sweep::SweepReport::to_json`]).
     pub fn to_json(&self) -> String {
+        let scaling: Vec<String> = self
+            .read_scaling
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"clients\": {}, \"warmup\": {}, \"reps\": {}, \
+                     \"total_checks\": {}, \"wall_ns\": {}, \"checks_per_sec\": {:.1}, \
+                     \"p50_ns\": {}, \"p99_ns\": {}}}",
+                    p.clients,
+                    p.warmup,
+                    p.reps,
+                    p.total_checks,
+                    p.wall_ns,
+                    p.checks_per_sec,
+                    p.p50_ns,
+                    p.p99_ns,
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"bench\": \"serve_load\",\n  \"quick\": {},\n  \"cores\": {},\n  \
              \"warmup\": {},\n  \"reps\": {},\n  \
@@ -142,6 +196,9 @@ impl ServeReport {
              \"throughput\": {{\"total_checks\": {}, \"wall_ns\": {}, \
              \"checks_per_sec\": {:.1}}},\n  \
              \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
+             \"read_scaling\": [\n{}\n  ],\n  \
+             \"memo\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+             \"snapshot_epoch\": {}, \"snapshots_published\": {}}},\n  \
              \"edits\": {{\"applied\": {}, \"p50_ns\": {}}},\n  \
              \"impact\": {{\"requests\": {}, \"p50_ns\": {}, \
              \"full_invalidations\": {}}},\n  \
@@ -163,6 +220,12 @@ impl ServeReport {
             self.p50_ns,
             self.p99_ns,
             self.max_ns,
+            scaling.join(",\n"),
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_hit_rate,
+            self.snapshot_epoch,
+            self.snapshots_published,
             self.edits_applied,
             self.edit_p50_ns,
             self.impact_requests,
@@ -205,6 +268,25 @@ impl ServeReport {
             fmt_ns(self.p50_ns),
             fmt_ns(self.p99_ns),
             fmt_ns(self.max_ns)
+        );
+        for p in &self.read_scaling {
+            let _ = writeln!(
+                out,
+                "  scaling    : {} clients -> {:.0} checks/sec (p50 {}, p99 {})",
+                p.clients,
+                p.checks_per_sec,
+                fmt_ns(p.p50_ns),
+                fmt_ns(p.p99_ns)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  memo       : {} hits / {} misses (rate {:.2}), epoch {}, {} published",
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_hit_rate,
+            self.snapshot_epoch,
+            self.snapshots_published
         );
         let _ = writeln!(
             out,
@@ -310,6 +392,71 @@ fn stat_u64(body: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// One read phase: `clients` keep-alive connections, opened and warmed
+/// **outside the timed region** and reused across every repetition,
+/// each issue `requests_per_client` batches per rep. Returns the pooled
+/// per-request latencies and the measured wall-clock time.
+fn read_phase(
+    addr: std::net::SocketAddr,
+    cfg: &ServeConfig,
+    clients: usize,
+    reps: usize,
+    seed_base: usize,
+    failures: &Arc<AtomicU64>,
+) -> Result<(Vec<u128>, u128), String> {
+    let mut pool = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        pool.push(Connection::connect(addr).map_err(|e| e.to_string())?);
+    }
+    // Per-section warmup, unmeasured: re-touch the hot columns so a
+    // section never starts against a cold snapshot or a cold socket.
+    for body in batch_bodies(cfg, usize::MAX ^ seed_base)
+        .iter()
+        .take(cfg.warmup)
+    {
+        let (status, resp) = pool[0]
+            .post("/check_many", body)
+            .map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("warmup request failed with {status}: {resp}"));
+        }
+    }
+    let mut latencies = Vec::new();
+    let started = Instant::now();
+    for rep in 0..reps.max(1) {
+        let readers: Vec<_> = pool
+            .drain(..)
+            .enumerate()
+            .map(|(client, mut conn)| {
+                let failures = Arc::clone(failures);
+                // A fresh deterministic body stream per (client, rep).
+                let bodies = batch_bodies(cfg, seed_base + client + rep * clients);
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(bodies.len());
+                    for body in &bodies {
+                        let start = Instant::now();
+                        match conn.post("/check_many", body) {
+                            Ok((200, _)) => latencies.push(start.elapsed().as_nanos()),
+                            _ => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Hand the connection back so the next repetition
+                    // reuses it instead of reconnecting.
+                    (conn, latencies)
+                })
+            })
+            .collect();
+        for reader in readers {
+            let (conn, lat) = reader.join().expect("reader thread must not panic");
+            pool.push(conn);
+            latencies.extend(lat);
+        }
+    }
+    Ok((latencies, started.elapsed().as_nanos()))
+}
+
 /// Runs the load and returns the report. Everything is in-process: the
 /// server binds an ephemeral loopback port and the readers connect to
 /// it like any external client would.
@@ -378,37 +525,31 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
         })
     };
 
-    let mut latencies: Vec<u128> = Vec::new();
-    let started = Instant::now();
-    for rep in 0..cfg.reps.max(1) {
-        let readers: Vec<_> = (0..cfg.clients)
-            .map(|client| {
-                let failures = Arc::clone(&failures);
-                // A fresh deterministic body stream per (client, rep).
-                let bodies = batch_bodies(&cfg, client + rep * cfg.clients);
-                std::thread::spawn(move || {
-                    let mut conn = Connection::connect(addr).expect("reader connect");
-                    let mut latencies = Vec::with_capacity(bodies.len());
-                    for body in &bodies {
-                        let start = Instant::now();
-                        match conn.post("/check_many", body) {
-                            Ok((200, _)) => latencies.push(start.elapsed().as_nanos()),
-                            _ => {
-                                failures.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    latencies
-                })
-            })
-            .collect();
-        for reader in readers {
-            latencies.extend(reader.join().expect("reader thread must not panic"));
-        }
-    }
-    let wall_ns = started.elapsed().as_nanos();
+    // The headline phase at the configured client count, edits
+    // interleaved. Connections are pre-opened and reused across reps.
+    let (mut latencies, wall_ns) = read_phase(addr, &cfg, cfg.clients, cfg.reps, 0, &failures)?;
     stop.store(true, Ordering::Release);
     let mut edit_latencies = editor.join().expect("editor thread must not panic");
+
+    // Pure-read scaling sections over the now-quiescent installation:
+    // the identical workload at 1/2/4/8 keep-alive clients, so the
+    // report shows how the lock-free snapshot path scales with readers.
+    let mut read_scaling = Vec::new();
+    for (i, &clients) in [1usize, 2, 4, 8].iter().enumerate() {
+        let (mut lat, wall) = read_phase(addr, &cfg, clients, cfg.reps, 1000 * (i + 1), &failures)?;
+        lat.sort_unstable();
+        let total = (lat.len() * cfg.batch) as u64;
+        read_scaling.push(ScalePoint {
+            clients,
+            warmup: cfg.warmup,
+            reps: cfg.reps.max(1),
+            total_checks: total,
+            wall_ns: wall,
+            checks_per_sec: total as f64 / (wall as f64 / 1e9),
+            p50_ns: percentile(&lat, 0.50),
+            p99_ns: percentile(&lat, 0.99),
+        });
+    }
 
     if failures.load(Ordering::Relaxed) > 0 {
         return Err(format!(
@@ -455,6 +596,13 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
     edit_latencies.sort_unstable();
     let total_checks = (latencies.len() * cfg.batch) as u64;
     let checks_per_sec = total_checks as f64 / (wall_ns as f64 / 1e9);
+    let memo_hits = stat_u64(&stats_body, "memo_hits").unwrap_or(0);
+    let memo_misses = stat_u64(&stats_body, "memo_misses").unwrap_or(0);
+    let memo_hit_rate = if memo_hits + memo_misses > 0 {
+        memo_hits as f64 / (memo_hits + memo_misses) as f64
+    } else {
+        0.0
+    };
     Ok(ServeReport {
         quick,
         config: cfg,
@@ -473,6 +621,12 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
         impact_requests: impact_latencies.len() as u64,
         impact_p50_ns: percentile(&impact_latencies, 0.50),
         impact_full_invalidations,
+        read_scaling,
+        memo_hits,
+        memo_misses,
+        memo_hit_rate,
+        snapshot_epoch: stat_u64(&stats_body, "snapshot_epoch").unwrap_or(0),
+        snapshots_published: stat_u64(&stats_body, "snapshots_published").unwrap_or(0),
     })
 }
 
@@ -534,6 +688,31 @@ mod tests {
         assert_eq!(report.impact_requests, report.config.impact_requests as u64);
         assert!(report.impact_p50_ns > 0);
         assert_eq!(report.impact_full_invalidations, 0);
+        // The scaling sections ran at every client count with full
+        // provenance, and the memo saw real traffic.
+        assert_eq!(
+            report
+                .read_scaling
+                .iter()
+                .map(|p| p.clients)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        for p in &report.read_scaling {
+            assert_eq!(p.warmup, report.config.warmup);
+            assert_eq!(p.reps, report.config.reps.max(1));
+            assert!(p.checks_per_sec > 0.0);
+            assert!(p.p50_ns > 0 && p.p50_ns <= p.p99_ns);
+            assert_eq!(
+                p.total_checks,
+                (p.clients * report.config.requests_per_client * report.config.batch * p.reps)
+                    as u64
+            );
+        }
+        assert!(report.memo_hits > 0, "hot repeats must hit the memo");
+        assert!(report.memo_hit_rate > 0.0 && report.memo_hit_rate <= 1.0);
+        assert!(report.snapshot_epoch > 1, "edits must have published");
+        assert_eq!(report.snapshots_published, report.snapshot_epoch - 1);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"serve_load\""));
         assert!(json.contains("\"checks_per_sec\""));
@@ -541,6 +720,10 @@ mod tests {
         assert!(json.contains("\"warmup\": 8"));
         assert!(json.contains("\"reps\": 1"));
         assert!(json.contains("\"impact\": {\"requests\": 8, "));
+        assert!(json.contains("\"read_scaling\": ["));
+        assert!(json.contains("{\"clients\": 8, \"warmup\": 8, \"reps\": 1, "));
+        assert!(json.contains("\"memo\": {\"hits\": "));
+        assert!(json.contains("\"hit_rate\": "));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

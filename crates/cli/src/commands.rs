@@ -419,7 +419,10 @@ pub fn bench(quick: bool, threads: Option<&[usize]>) -> Result<(), String> {
 
 /// `ucra stats` — batch-check every subject against every labeled
 /// `(object, right)` pair through an [`ucra_core::AccessSession`] and
-/// print the session's cache and sweep-kernel counters.
+/// print the session's cache and sweep-kernel counters. The batch is
+/// then replayed twice through a frozen [`ucra_core::SessionSnapshot`]
+/// (the daemon's read path), so the decision-memo counters show a real
+/// fill-then-hit cycle instead of zeros.
 pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     let session =
         ucra_core::AccessSession::new(model.hierarchy().clone(), model.eacm().clone(), strategy);
@@ -431,7 +434,15 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
         .collect();
     let signs = session.check_many(&queries).map_err(|e| e.to_string())?;
     let granted = signs.iter().filter(|&&s| s == ucra_core::Sign::Pos).count();
-    let st = session.stats();
+    // The daemon-path replay: one pass fills the snapshot's memo, the
+    // second hits it, mirroring what `GET /stats` reports live.
+    let snapshot = session.freeze();
+    for _ in 0..2 {
+        snapshot
+            .check_many_with(&queries, strategy)
+            .map_err(|e| e.to_string())?;
+    }
+    let st = snapshot.stats();
     let fusion = if st.kernel_batches == 0 {
         0.0
     } else {
@@ -446,6 +457,10 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("queries             : {}", st.queries);
     println!("cache hits          : {}", st.cache_hits);
     println!("sweeps              : {}", st.sweeps);
+    println!("memo hits           : {}", st.memo_hits);
+    println!("memo misses         : {}", st.memo_misses);
+    println!("snapshot epoch      : {}", st.snapshot_epoch);
+    println!("snapshots published : {}", st.snapshots_published);
     println!("pair invalidations  : {}", st.pair_invalidations);
     println!("full invalidations  : {}", st.full_invalidations);
     println!("partial repairs     : {}", st.partial_repairs);

@@ -96,8 +96,8 @@ pub use ids::{ObjectId, RightId, SubjectId};
 pub use impact::{EditCone, EditOp, EditOutcome, EditScript, ImpactAnalysis};
 pub use invalidation::RepairPlan;
 pub use matrix::Eacm;
-pub use memo::MemoResolver;
+pub use memo::{DecisionMemo, MemoKey, MemoResolver, ReadCounters};
 pub use mode::{Mode, Sign};
 pub use resolve::{resolve_histogram, DecisionLine, Engine, Resolution, Resolver};
-pub use session::{AccessSession, SessionStats};
+pub use session::{AccessSession, SessionSnapshot, SessionStats};
 pub use strategy::{DefaultRule, LocalityRule, MajorityRule, Strategy, StrategyShape};

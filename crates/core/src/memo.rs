@@ -31,7 +31,151 @@ use crate::resolve::{resolve_histogram, Resolution};
 use crate::strategy::Strategy;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Key of one memoised decision. The strategy is part of the key, so a
+/// memo stays sound across `/check` strategy overrides *and* across
+/// strategy-only edits: switching the session strategy changes which
+/// keys are queried, never what a key means.
+pub type MemoKey = (SubjectId, ObjectId, RightId, Strategy);
+
+/// Lock-striped shards. A power of two so shard selection is a mask.
+const MEMO_SHARDS: usize = 32;
+
+/// FNV-1a over the memo key's bytes. Memo keys are a dozen fixed-width
+/// bytes with no adversarial structure (ids are dense indices the
+/// installation itself assigns), so SipHash — which the std default
+/// would charge **twice** per access, once for shard selection and once
+/// inside the shard's map — costs more than the lookup it guards. The
+/// finish mix folds the high bits down because FNV's low bits alone
+/// shard unevenly for sequential ids.
+#[derive(Default)]
+struct MemoHasher(u64);
+
+impl Hasher for MemoHasher {
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type MemoMap = HashMap<MemoKey, Sign, BuildHasherDefault<MemoHasher>>;
+
+/// Per-shard entry cap: a memo is a bounded cache, not an unbounded
+/// index — an adversarial stream of distinct triples stops inserting
+/// (and keeps resolving from the sweep tables) instead of growing
+/// without limit. 32 × 16384 ≈ 524k decisions.
+const MEMO_SHARD_CAP: usize = 16 * 1024;
+
+/// A sharded `(subject, object, right, strategy) → Sign` decision memo
+/// (the paper's future-work decision cache, taken literally).
+///
+/// The memo belongs to **one immutable snapshot** of the model
+/// ([`crate::SessionSnapshot`]): because the underlying hierarchy and
+/// matrix can never change underneath it, entries never need
+/// invalidating — a policy edit publishes a new snapshot with a new
+/// (empty or carried-forward) memo, and this one dies with its epoch.
+/// That is what makes the soundness argument one sentence long.
+///
+/// Reads take one shard read-lock; writes one shard write-lock. Shards
+/// are selected by key hash, so concurrent readers of different triples
+/// touch different lock words.
+#[derive(Debug)]
+pub struct DecisionMemo {
+    shards: Box<[RwLock<MemoMap>]>,
+}
+
+impl Default for DecisionMemo {
+    fn default() -> Self {
+        DecisionMemo::new()
+    }
+}
+
+impl DecisionMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        DecisionMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(MemoMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &MemoKey) -> &RwLock<MemoMap> {
+        let mut hasher = MemoHasher::default();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (MEMO_SHARDS - 1)]
+    }
+
+    /// The memoised decision for `key`, if present.
+    pub fn get(&self, key: &MemoKey) -> Option<Sign> {
+        self.shard(key).read().get(key).copied()
+    }
+
+    /// Records a decision. A full shard silently declines — the memo is
+    /// a cache; the caller already holds the resolved sign.
+    pub fn insert(&self, key: MemoKey, sign: Sign) {
+        let mut shard = self.shard(&key).write();
+        if shard.len() < MEMO_SHARD_CAP || shard.contains_key(&key) {
+            shard.insert(key, sign);
+        }
+    }
+
+    /// Total memoised decisions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// `true` when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+/// Monotonic read-path counters shared by **every** snapshot a service
+/// publishes (an `Arc` handed from snapshot to snapshot), so `/stats`
+/// stays cumulative across epochs and no count is lost to an in-flight
+/// reader finishing on a retired snapshot.
+#[derive(Debug, Default)]
+pub struct ReadCounters {
+    /// Queries answered through snapshots.
+    pub queries: AtomicU64,
+    /// Queries answered without sweeping (memo hit or cached table).
+    pub cache_hits: AtomicU64,
+    /// Cold sweeps computed by snapshot readers.
+    pub sweeps: AtomicU64,
+    /// Queries answered straight from the decision memo.
+    pub memo_hits: AtomicU64,
+    /// Queries that resolved from a histogram and (re)filled the memo.
+    pub memo_misses: AtomicU64,
+}
+
+impl ReadCounters {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        ReadCounters::default()
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
 
 /// Finished sweep tables, keyed by `(object, right)` pair.
 type SweepCache = RwLock<HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>>;

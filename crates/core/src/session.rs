@@ -48,6 +48,7 @@ use crate::hierarchy::SubjectDag;
 use crate::ids::{ObjectId, RightId, SubjectId};
 use crate::invalidation::RepairPlan;
 use crate::matrix::Eacm;
+use crate::memo::{DecisionMemo, ReadCounters};
 use crate::mode::{Mode, Sign};
 use crate::pool;
 use crate::resolve::{resolve_histogram, Resolution};
@@ -126,6 +127,19 @@ pub struct SessionStats {
     /// number of queries until a hierarchy edit invalidates the cached
     /// context; `queries / context_builds` is the amortisation factor.
     pub context_builds: u64,
+    /// Queries answered straight from a snapshot's decision memo
+    /// (see [`SessionSnapshot`]). Always 0 on a bare session — the memo
+    /// only exists on frozen snapshots, where invalidation is free.
+    pub memo_hits: u64,
+    /// Snapshot queries that resolved from a histogram and recorded the
+    /// decision in the memo for next time.
+    pub memo_misses: u64,
+    /// Epoch of the snapshot that produced these stats (0 for a bare,
+    /// mutable session; snapshots start at epoch 1).
+    pub snapshot_epoch: u64,
+    /// Snapshots published by the owning service's writer (0 for a bare
+    /// session; filled in by the daemon's stats path).
+    pub snapshots_published: u64,
 }
 
 /// An owned access-control installation: hierarchy + explicit matrix +
@@ -668,6 +682,71 @@ impl AccessSession {
             parallel_dispatches: self.parallel_dispatches.load(Ordering::Relaxed),
             serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
             context_builds: self.context_builds.load(Ordering::Relaxed),
+            memo_hits: 0,
+            memo_misses: 0,
+            snapshot_epoch: 0,
+            snapshots_published: 0,
+        }
+    }
+
+    /// Freezes the session into an immutable, epoch-stamped
+    /// [`SessionSnapshot`] sharing the given read counters and decision
+    /// memo. Cheap by construction: the cached sweep tables are `Arc`s,
+    /// so the freeze clones a map of pointers, never a histogram plane;
+    /// the hierarchy and matrix clone at `O(V + E + labels)`, which an
+    /// edit already paid in repair work.
+    ///
+    /// This is the writer half of an RCU-style publication scheme: the
+    /// writer owns the mutable session, freezes it after every edit, and
+    /// publishes the frozen snapshot for readers; in-flight readers keep
+    /// their old snapshot alive through its `Arc` until they finish.
+    pub fn freeze_with(
+        &self,
+        epoch: u64,
+        counters: Arc<ReadCounters>,
+        memo: Arc<DecisionMemo>,
+    ) -> SessionSnapshot {
+        SessionSnapshot {
+            hierarchy: self.hierarchy.clone(),
+            eacm: self.eacm.clone(),
+            strategy: self.strategy,
+            tables: self.cache.read().clone(),
+            overflow: RwLock::new(HashMap::new()),
+            context: self.context(),
+            memo,
+            counters,
+            epoch,
+            base: self.stats(),
+        }
+    }
+
+    /// [`AccessSession::freeze_with`] at epoch 1 with fresh counters and
+    /// an empty memo — the boot snapshot.
+    pub fn freeze(&self) -> SessionSnapshot {
+        self.freeze_with(
+            1,
+            Arc::new(ReadCounters::new()),
+            Arc::new(DecisionMemo::new()),
+        )
+    }
+
+    /// Absorbs the sweep tables that snapshot readers computed for cold
+    /// pairs back into this session's cache, so the next freeze carries
+    /// them forward and no pair is ever swept twice across epochs.
+    ///
+    /// **Only sound between the snapshot's publication and the next
+    /// edit**: in that window this session's model is bit-identical to
+    /// the frozen one, so a table computed against the snapshot is a
+    /// table of this session. The service writer calls this at the top
+    /// of every edit, before any mutation.
+    pub fn adopt_tables(&self, snapshot: &SessionSnapshot) {
+        let overflow = snapshot.overflow.read();
+        if overflow.is_empty() {
+            return;
+        }
+        let mut guard = self.cache.write();
+        for (&pair, table) in overflow.iter() {
+            guard.entry(pair).or_insert_with(|| Arc::clone(table));
         }
     }
 
@@ -712,6 +791,216 @@ impl AccessSession {
         let entry = guard
             .entry((object, right))
             .or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
+    }
+}
+
+/// Finished sweep tables keyed by `(object, right)` pair — the frozen
+/// warm map and the reader-filled overflow cache share this shape.
+type TableMap = HashMap<(ObjectId, RightId), Arc<Vec<DistanceHistogram>>>;
+
+/// An immutable, epoch-stamped freeze of an [`AccessSession`] — the
+/// read half of the daemon's RCU-style publication scheme.
+///
+/// Everything a decision needs is owned and frozen: the hierarchy, the
+/// explicit matrix, the configured strategy, the warm sweep tables
+/// (`Arc`-shared with the master cache, so freezing copies pointers)
+/// and the shared traversal context. The hot read path therefore takes
+/// **no lock shared with any writer**: a memoised decision is one
+/// sharded-map read, a warm-table decision is a plain `HashMap` lookup
+/// plus one histogram resolution.
+///
+/// Two pieces are deliberately mutable behind reader-side locks:
+///
+/// * the **decision memo** — per-snapshot, so an edit invalidates it by
+///   publishing a successor snapshot rather than by touching this one;
+/// * the **overflow cache** — tables for pairs that were cold at freeze
+///   time, swept on demand by whichever reader first needs them and
+///   reclaimed by the writer ([`AccessSession::adopt_tables`]) before
+///   the next edit.
+///
+/// Both are only ever contended reader-to-reader; the writer never
+/// blocks a snapshot read and a snapshot read never blocks the writer.
+#[derive(Debug)]
+pub struct SessionSnapshot {
+    hierarchy: SubjectDag,
+    eacm: Eacm,
+    strategy: Strategy,
+    /// Warm tables at freeze time. Plain map: the hot path is lock-free.
+    tables: TableMap,
+    /// Cold pairs swept by readers after the freeze.
+    overflow: RwLock<TableMap>,
+    context: Arc<SweepContext>,
+    memo: Arc<DecisionMemo>,
+    counters: Arc<ReadCounters>,
+    epoch: u64,
+    /// Master-session counters at freeze time; snapshot stats are
+    /// `base + shared counters` (the shared block is cumulative across
+    /// every epoch, so nothing is lost when a snapshot retires).
+    base: SessionStats,
+}
+
+impl SessionSnapshot {
+    /// The publication epoch this snapshot was frozen at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Read access to the frozen hierarchy.
+    pub fn hierarchy(&self) -> &SubjectDag {
+        &self.hierarchy
+    }
+
+    /// Read access to the frozen explicit matrix.
+    pub fn eacm(&self) -> &Eacm {
+        &self.eacm
+    }
+
+    /// The strategy frozen into this snapshot.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The decision memo, for carrying forward to a successor snapshot
+    /// when the edit class permits it (see the service writer).
+    pub fn memo(&self) -> &Arc<DecisionMemo> {
+        &self.memo
+    }
+
+    /// The effective authorization under the frozen strategy.
+    pub fn check(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Sign, CoreError> {
+        self.check_with(subject, object, right, self.strategy)
+    }
+
+    /// Checks under an explicit strategy. Memo-first: the strategy is
+    /// part of the memo key, so overrides memoise independently.
+    pub fn check_with(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Sign, CoreError> {
+        if !self.hierarchy.contains(subject) {
+            return Err(CoreError::UnknownSubject(subject));
+        }
+        ReadCounters::bump(&self.counters.queries, 1);
+        self.answer(subject, object, right, strategy)
+    }
+
+    /// Batched checks under an explicit strategy, answered in query
+    /// order. Fails fast on the first unknown subject, before any sweep
+    /// or memo write. The whole batch reads this one frozen state, so
+    /// batch atomicity is structural — there is no lock to hold.
+    pub fn check_many_with(
+        &self,
+        queries: &[(SubjectId, ObjectId, RightId)],
+        strategy: Strategy,
+    ) -> Result<Vec<Sign>, CoreError> {
+        for &(subject, _, _) in queries {
+            if !self.hierarchy.contains(subject) {
+                return Err(CoreError::UnknownSubject(subject));
+            }
+        }
+        ReadCounters::bump(&self.counters.queries, queries.len() as u64);
+        queries
+            .iter()
+            .map(|&(s, o, r)| self.answer(s, o, r, strategy))
+            .collect()
+    }
+
+    /// Explains a decision under the frozen strategy (uncached: the
+    /// narrative needs per-path sources).
+    pub fn explain(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Explanation, CoreError> {
+        explain(
+            &self.hierarchy,
+            &self.eacm,
+            subject,
+            object,
+            right,
+            self.strategy,
+        )
+    }
+
+    /// Frozen-state counters: the master's counters at freeze time plus
+    /// the shared cross-epoch read counters, stamped with this epoch.
+    pub fn stats(&self) -> SessionStats {
+        let mut s = self.base;
+        s.queries += self.counters.queries.load(Ordering::Relaxed);
+        s.cache_hits += self.counters.cache_hits.load(Ordering::Relaxed);
+        s.sweeps += self.counters.sweeps.load(Ordering::Relaxed);
+        s.memo_hits = self.counters.memo_hits.load(Ordering::Relaxed);
+        s.memo_misses = self.counters.memo_misses.load(Ordering::Relaxed);
+        s.snapshot_epoch = self.epoch;
+        s
+    }
+
+    /// One decision: memo, then warm table, then overflow, then a cold
+    /// sweep. Every resolved answer is recorded in the memo.
+    fn answer(
+        &self,
+        subject: SubjectId,
+        object: ObjectId,
+        right: RightId,
+        strategy: Strategy,
+    ) -> Result<Sign, CoreError> {
+        let key = (subject, object, right, strategy);
+        if let Some(sign) = self.memo.get(&key) {
+            ReadCounters::bump(&self.counters.memo_hits, 1);
+            ReadCounters::bump(&self.counters.cache_hits, 1);
+            return Ok(sign);
+        }
+        let table = self.table(object, right)?;
+        let sign = resolve_histogram(&table[subject.index()], strategy)?.sign;
+        ReadCounters::bump(&self.counters.memo_misses, 1);
+        self.memo.insert(key, sign);
+        Ok(sign)
+    }
+
+    /// The sweep table for a pair: the frozen map (lock-free), the
+    /// overflow cache, or a fresh sweep that lands in the overflow for
+    /// every later reader — and, via [`AccessSession::adopt_tables`],
+    /// for every later epoch.
+    fn table(
+        &self,
+        object: ObjectId,
+        right: RightId,
+    ) -> Result<Arc<Vec<DistanceHistogram>>, CoreError> {
+        if let Some(t) = self.tables.get(&(object, right)) {
+            ReadCounters::bump(&self.counters.cache_hits, 1);
+            return Ok(Arc::clone(t));
+        }
+        if let Some(t) = self.overflow.read().get(&(object, right)) {
+            ReadCounters::bump(&self.counters.cache_hits, 1);
+            return Ok(Arc::clone(t));
+        }
+        let table = with_thread_scratch(|scratch| {
+            let fused = FusedSweep::compute_with(
+                &self.context,
+                &self.eacm,
+                &[(object, right)],
+                PropagationMode::Both,
+                scratch,
+            )?;
+            let rows = fused.table(0);
+            fused.recycle(scratch);
+            Ok::<_, CoreError>(rows)
+        })?;
+        ReadCounters::bump(&self.counters.sweeps, 1);
+        let mut guard = self.overflow.write();
+        let entry = guard
+            .entry((object, right))
+            .or_insert_with(|| Arc::new(table));
         Ok(Arc::clone(entry))
     }
 }
@@ -1039,6 +1328,103 @@ mod tests {
         let e = s.explain(ex.user, ex.obj, ex.read).unwrap();
         assert_eq!(e.strategy, s.strategy());
         assert_eq!(e.resolution.sign, Sign::Neg);
+    }
+
+    #[test]
+    fn snapshot_answers_match_live_session_and_memoise() {
+        let (s, ex) = session();
+        s.check(ex.user, ex.obj, ex.read).unwrap(); // warm one pair
+        let snap = s.freeze();
+        assert_eq!(snap.epoch(), 1);
+        // First snapshot check: memo miss, served from the carried table.
+        assert_eq!(
+            snap.check(ex.user, ex.obj, ex.read).unwrap(),
+            s.check(ex.user, ex.obj, ex.read).unwrap()
+        );
+        // Second: a memo hit.
+        snap.check(ex.user, ex.obj, ex.read).unwrap();
+        let st = snap.stats();
+        assert_eq!(st.snapshot_epoch, 1);
+        assert_eq!(st.memo_misses, 1);
+        assert_eq!(st.memo_hits, 1);
+        assert_eq!(st.sweeps, 1, "the carried table kept serving");
+        // base (1 query, 0 hits at freeze... the post-freeze master check
+        // rides outside the snapshot) + 2 snapshot queries.
+        assert_eq!(st.queries, 1 + 2);
+        assert_eq!(st.cache_hits, 2, "table hit + memo hit");
+        // A strategy override memoises under its own key.
+        let open = "D+LMP+".parse().unwrap();
+        assert_eq!(
+            snap.check_with(ex.user, ex.obj, ex.read, open).unwrap(),
+            Sign::Pos
+        );
+        assert_eq!(snap.stats().memo_misses, 2);
+    }
+
+    #[test]
+    fn snapshot_overflow_sweeps_are_adopted_by_the_master() {
+        let (s, ex) = session();
+        let snap = s.freeze(); // frozen with an empty cache
+        snap.check(ex.user, ex.obj, ex.read).unwrap(); // cold sweep → overflow
+        assert_eq!(snap.stats().sweeps, 1);
+        s.adopt_tables(&snap);
+        // The master now serves that pair from cache without sweeping.
+        s.check(ex.user, ex.obj, ex.read).unwrap();
+        let st = s.stats();
+        assert_eq!(st.sweeps, 0, "the master itself never swept");
+        assert_eq!(st.cache_hits, 1);
+    }
+
+    #[test]
+    fn snapshot_batches_match_point_checks_and_reject_unknowns() {
+        let (s, ex) = session();
+        let snap = s.freeze();
+        let mut queries = Vec::new();
+        for subject in ex.hierarchy.subjects() {
+            for o in 0..3u32 {
+                queries.push((subject, ObjectId(o), ex.read));
+            }
+        }
+        let batched = snap.check_many_with(&queries, snap.strategy()).unwrap();
+        for (&(subject, object, right), &sign) in queries.iter().zip(&batched) {
+            assert_eq!(s.check(subject, object, right).unwrap(), sign);
+        }
+        let ghost = SubjectId::from_index(77);
+        assert_eq!(
+            snap.check_many_with(&[(ghost, ex.obj, ex.read)], snap.strategy())
+                .unwrap_err(),
+            CoreError::UnknownSubject(ghost)
+        );
+    }
+
+    #[test]
+    fn shared_counters_survive_republication() {
+        let (mut s, ex) = session();
+        let counters = Arc::new(ReadCounters::new());
+        let memo = Arc::new(DecisionMemo::new());
+        let first = s.freeze_with(1, Arc::clone(&counters), Arc::clone(&memo));
+        first.check(ex.user, ex.obj, ex.read).unwrap();
+        first.check(ex.user, ex.obj, ex.read).unwrap();
+        // An edit: adopt, mutate, refreeze with a fresh memo (label edit)
+        // but the same counter block.
+        s.adopt_tables(&first);
+        // Flip the answer: an explicit + at distance 0 beats everything.
+        s.set_authorization(ex.user, ex.obj, ex.read, Sign::Pos)
+            .unwrap();
+        let second = s.freeze_with(2, Arc::clone(&counters), Arc::new(DecisionMemo::new()));
+        assert_eq!(second.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Pos);
+        let st = second.stats();
+        assert_eq!(st.snapshot_epoch, 2);
+        assert_eq!(st.queries, 3, "epoch-1 reads stay counted");
+        assert_eq!(st.memo_hits, 1);
+        assert_eq!(st.memo_misses, 2, "fresh memo re-resolved once");
+        assert_eq!(st.sweeps, 1, "adopted table repaired, never re-swept");
+        assert_eq!(st.matrix_repairs, 1);
+        assert_eq!(st.full_invalidations, 0);
+        // The retired snapshot still answers its own frozen (pre-edit)
+        // epoch: the edit flipped the live answer, not this one.
+        assert_eq!(first.check(ex.user, ex.obj, ex.read).unwrap(), Sign::Neg);
+        assert_eq!(first.stats().snapshot_epoch, 1);
     }
 
     #[test]

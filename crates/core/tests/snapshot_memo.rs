@@ -1,0 +1,167 @@
+//! Soundness of the per-snapshot decision memo.
+//!
+//! A [`SessionSnapshot`] answers memo-first: the first resolution of a
+//! `(subject, object, right, strategy)` key runs the real machinery and
+//! records the sign; every later hit returns the recorded sign without
+//! resolving. That is only sound if the memo can never disagree with
+//! the uncached resolver over the frozen state — which this suite pins
+//! for random worlds under **all 48** strategy instances, both the
+//! filling pass (miss) and the replay pass (hit), and across a
+//! republication that carries the memo forward over an unchanged model.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use ucra_core::{
+    AccessSession, DecisionMemo, ObjectId, ReadCounters, Resolver, RightId, Sign, Strategy,
+    SubjectId,
+};
+
+const PAIRS: [(ObjectId, RightId); 4] = [
+    (ObjectId(0), RightId(0)),
+    (ObjectId(0), RightId(1)),
+    (ObjectId(1), RightId(0)),
+    (ObjectId(1), RightId(1)),
+];
+
+#[derive(Debug, Clone)]
+struct RandomBase {
+    subjects: usize,
+    /// Raw (a, b) pairs, oriented low → high at build time (acyclic).
+    edges: Vec<(usize, usize)>,
+    /// (subject, pair index, sign).
+    labels: Vec<(usize, usize, bool)>,
+}
+
+fn arb_base() -> impl proptest::strategy::Strategy<Value = RandomBase> {
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+        proptest::collection::vec((0usize..64, 0usize..4, any::<bool>()), 0..8),
+    )
+        .prop_map(|(subjects, edges, labels)| RandomBase {
+            subjects,
+            edges,
+            labels,
+        })
+}
+
+fn build_session(base: &RandomBase) -> AccessSession {
+    let mut hierarchy = ucra_core::SubjectDag::new();
+    let ids: Vec<SubjectId> = (0..base.subjects)
+        .map(|_| hierarchy.add_subject())
+        .collect();
+    for &(a, b) in &base.edges {
+        let (a, b) = (a % base.subjects, b % base.subjects);
+        if a != b {
+            // Low → high keeps the graph acyclic; duplicates rejected.
+            let _ = hierarchy.add_membership(ids[a.min(b)], ids[a.max(b)]);
+        }
+    }
+    let mut eacm = ucra_core::Eacm::new();
+    for &(s, p, pos) in &base.labels {
+        let (o, r) = PAIRS[p];
+        // A contradictory second label is rejected; the first one wins.
+        let _ = eacm.set(
+            ids[s % base.subjects],
+            o,
+            r,
+            if pos { Sign::Pos } else { Sign::Neg },
+        );
+    }
+    AccessSession::new(hierarchy, eacm, "D-LP-".parse().expect("valid mnemonic"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Memoised snapshot answers — the miss that fills the memo and the
+    /// hit that replays it — equal the uncached resolver, for every
+    /// subject × pair × all 48 strategies.
+    #[test]
+    fn memoised_answers_equal_unmemoised_resolution(base in arb_base()) {
+        let session = build_session(&base);
+        let snapshot = session.freeze();
+        let resolver = Resolver::new(snapshot.hierarchy(), snapshot.eacm());
+        for strategy in Strategy::all_instances() {
+            for s in 0..base.subjects {
+                let subject = SubjectId::from_index(s);
+                for &(o, r) in &PAIRS {
+                    let oracle = resolver
+                        .resolve(subject, o, r, strategy)
+                        .expect("all names exist");
+                    let miss = snapshot
+                        .check_with(subject, o, r, strategy)
+                        .expect("all names exist");
+                    let hit = snapshot
+                        .check_with(subject, o, r, strategy)
+                        .expect("all names exist");
+                    prop_assert_eq!(
+                        miss, oracle,
+                        "filling pass diverged at s{} {:?} under {}",
+                        s, (o, r), strategy
+                    );
+                    prop_assert_eq!(
+                        hit, oracle,
+                        "memo replay diverged at s{} {:?} under {}",
+                        s, (o, r), strategy
+                    );
+                }
+            }
+        }
+        // Every key was asked exactly twice: one miss, one hit.
+        let stats = snapshot.stats();
+        prop_assert_eq!(stats.memo_hits, stats.memo_misses);
+        prop_assert_eq!(stats.queries, stats.memo_hits + stats.memo_misses);
+    }
+
+    /// Carrying the memo into a successor snapshot of the *same* model
+    /// (the service does this on strategy switches and failed edits) is
+    /// sound: the successor answers purely from the inherited memo and
+    /// still equals the resolver.
+    #[test]
+    fn a_carried_memo_stays_sound_over_an_unchanged_model(base in arb_base()) {
+        let session = build_session(&base);
+        let memo = std::sync::Arc::new(DecisionMemo::new());
+        let counters = std::sync::Arc::new(ReadCounters::new());
+        let first = session.freeze_with(1, std::sync::Arc::clone(&counters), std::sync::Arc::clone(&memo));
+        let strategies = Strategy::all_instances();
+        // Fill through epoch 1 with a handful of strategies (all 48
+        // twice per case would dominate the suite's runtime).
+        for strategy in strategies.iter().step_by(7) {
+            for s in 0..base.subjects {
+                for &(o, r) in &PAIRS {
+                    first
+                        .check_with(SubjectId::from_index(s), o, r, *strategy)
+                        .expect("all names exist");
+                }
+            }
+        }
+        let second = session.freeze_with(2, counters, memo);
+        let resolver = Resolver::new(second.hierarchy(), second.eacm());
+        let before = second.stats();
+        for strategy in strategies.iter().step_by(7) {
+            for s in 0..base.subjects {
+                let subject = SubjectId::from_index(s);
+                for &(o, r) in &PAIRS {
+                    let got = second
+                        .check_with(subject, o, r, *strategy)
+                        .expect("all names exist");
+                    let oracle = resolver
+                        .resolve(subject, o, r, *strategy)
+                        .expect("all names exist");
+                    prop_assert_eq!(got, oracle);
+                }
+            }
+        }
+        let stats = second.stats();
+        prop_assert_eq!(stats.snapshot_epoch, 2);
+        prop_assert!(
+            stats.memo_hits > before.memo_hits,
+            "epoch 2 never hit the inherited memo"
+        );
+        prop_assert_eq!(
+            stats.memo_misses, before.memo_misses,
+            "epoch 2 re-resolved a carried key"
+        );
+    }
+}

@@ -165,6 +165,19 @@ pub struct StatsResponse {
     pub parallel_dispatches: u64,
     /// Rounds run inline on the calling thread.
     pub serial_dispatches: u64,
+    /// Queries answered straight from the snapshot decision memo.
+    #[serde(default)]
+    pub memo_hits: u64,
+    /// Snapshot queries that resolved from a histogram and filled the
+    /// memo.
+    #[serde(default)]
+    pub memo_misses: u64,
+    /// Epoch of the snapshot that served this response (starts at 1).
+    #[serde(default)]
+    pub snapshot_epoch: u64,
+    /// Snapshots published by edits since boot (`snapshot_epoch - 1`).
+    #[serde(default)]
+    pub snapshots_published: u64,
 }
 
 /// The typed error surface. Input problems are 4xx; [`ApiError::Internal`]

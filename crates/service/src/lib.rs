@@ -6,28 +6,35 @@
 //! network surface so the "fast library" becomes a fast *system*
 //! (`ucra serve` boots it; DESIGN.md §8 describes the architecture).
 //!
-//! ## Lock discipline
+//! ## Read/write architecture: published snapshots
 //!
-//! The whole installation — session plus the three name tables — sits
-//! behind **one** `parking_lot::RwLock`:
+//! The installation is served RCU-style (DESIGN.md §11):
 //!
-//! * **reads** (`/check`, `/check_many`, `/explain`, `/lint`, `/stats`)
-//!   take the shared lock. `AccessSession`'s query methods are `&self`
-//!   (its sweep cache and [`ucra_core::SweepContext`] live behind their
-//!   own interior locks), so any number of concurrent readers share the
-//!   same cached sweeps and the same traversal context — a cold
-//!   `(object, right)` pair is swept once and serves everyone.
-//! * **edits** (`/edit/*`) take the exclusive lock and go through the
-//!   session's incremental-repair mutators. **No edit ever flushes a
-//!   cache**: hierarchy and matrix edits cone-repair the cached tables
-//!   in place, and a strategy switch invalidates nothing at all.
+//! * **reads** (`/check`, `/check_many`, `/explain`, `/lint`, `/stats`,
+//!   `/impact`) obtain the current immutable snapshot — a frozen
+//!   [`ucra_core::SessionSnapshot`] plus the name tables — with **one
+//!   atomic epoch load and zero lock acquisitions** in the steady state
+//!   ([`publish::Published`]). Each snapshot carries a sharded decision
+//!   memo, so repeated hot checks skip resolution entirely; cold
+//!   `(object, right)` pairs are swept once into a reader-shared
+//!   overflow cache and reclaimed by the writer at the next edit.
+//! * **edits** (`/edit/*`) serialize on one writer mutex, apply through
+//!   the session's incremental-repair mutators, then freeze and publish
+//!   a successor snapshot. **No edit ever flushes a cache**: hierarchy
+//!   and matrix edits cone-repair the cached tables in place (the
+//!   tables are `Arc`-shared with live snapshots, so repair is
+//!   clone-on-write), and a strategy switch invalidates nothing at all
+//!   — not even the memo, whose keys embed the strategy.
 //!
-//! Because the lock is held for the whole request, every request is
-//! atomic with respect to edits: a batched `/check_many` observes one
-//! consistent installation state (some prefix of the edit stream), never
-//! a torn one. The concurrent-equivalence suite in
-//! `tests/concurrent_equivalence.rs` pins that down against a serial
-//! replay oracle.
+//! Because every request decides against one frozen snapshot, every
+//! request is atomic with respect to edits *by construction*: a batched
+//! `/check_many` observes one consistent installation state (some
+//! prefix of the edit stream), never a torn one — and no longer blocks,
+//! or is blocked by, a concurrent edit. The concurrent-equivalence
+//! suite in `tests/concurrent_equivalence.rs` pins the prefix property
+//! against a serial replay oracle; `tests/snapshot_isolation.rs` pins
+//! epoch consistency, writer liveness under saturating reads, and that
+//! reads complete while the writer mutex is held.
 //!
 //! ## Error surface
 //!
@@ -45,6 +52,7 @@
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod publish;
 pub mod state;
 
 pub use api::{

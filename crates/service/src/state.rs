@@ -1,38 +1,91 @@
-//! The shared service state and its read/edit lock discipline.
+//! The shared service state: RCU-style published snapshots for reads,
+//! one writer mutex for edits.
 //!
-//! [`Service`] owns the whole installation — an [`AccessSession`] plus
-//! the three name tables — behind a single `parking_lot::RwLock`.
-//! Query handlers borrow it shared; edit handlers borrow it exclusive
-//! and go through the session's incremental-repair mutators, so **no
-//! edit ever flushes a cache**. Handlers are plain methods returning
-//! `Result<_, ApiError>`; the HTTP layer in [`crate::http`] is a thin
-//! router over them, which is also what lets the concurrency tests
-//! drive the lock discipline directly without sockets.
+//! [`Service`] no longer holds the installation behind a read/write
+//! lock. Instead the writer owns the mutable [`AccessSession`] (plus
+//! the three name tables) behind a `Mutex`, and after every edit it
+//! freezes the session into an immutable snapshot and publishes it
+//! through a [`Published`] cell. Query handlers obtain the current
+//! snapshot with one atomic epoch load — **zero lock acquisitions on
+//! the steady-state read path** — and decide entirely against that
+//! frozen state, so a batched `/check_many` still observes one
+//! consistent installation (now by construction rather than by holding
+//! a lock). In-flight readers keep retired snapshots alive through
+//! their `Arc`s; edits never wait for readers and readers never wait
+//! for edits.
+//!
+//! Each snapshot carries a sharded `(subject, object, right, strategy)
+//! → sign` decision memo ([`ucra_core::DecisionMemo`]). Because the
+//! memo belongs to one immutable snapshot, invalidation is free: edits
+//! that can change answers (labels, membership) publish a successor
+//! with a fresh memo, while edits that provably cannot (strategy
+//! switches — the strategy is part of the key — and pure growth like
+//! interning a subject) carry the memo `Arc` forward untouched.
+//!
+//! Handlers are plain methods returning `Result<_, ApiError>`; the
+//! HTTP layer in [`crate::http`] is a thin router over them, which is
+//! also what lets the concurrency tests drive the publication protocol
+//! directly without sockets.
 
 use crate::api::{
     ApiError, CheckManyRequest, CheckManyResponse, CheckRequest, CheckResponse, EditResponse,
     ExplainResponse, ImpactRequest, StatsResponse, TripleRequest, MAX_BATCH,
 };
-use parking_lot::RwLock;
-use ucra_core::{AccessSession, ObjectId, RightId, Sign, Strategy, SubjectId};
+use crate::publish::Published;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ucra_core::{
+    AccessSession, DecisionMemo, ObjectId, ReadCounters, RightId, SessionSnapshot, Sign, Strategy,
+    SubjectId,
+};
 use ucra_store::{AccessModel, Interner};
 
-/// The installation behind the lock: the session and the name tables
-/// that translate the wire protocol's strings into its dense ids.
-struct Inner {
+/// One published, immutable view of the installation: the frozen
+/// session plus the name tables that translate the wire protocol's
+/// strings into its dense ids. The interners are `Arc`-shared with the
+/// writer and clone-on-write there, so publishing is cheap.
+struct ServiceSnapshot {
+    session: SessionSnapshot,
+    subjects: Arc<Interner>,
+    objects: Arc<Interner>,
+    rights: Arc<Interner>,
+}
+
+/// The writer's private, mutable installation. Only ever touched under
+/// [`Service::writer`]; readers see it exclusively through frozen
+/// snapshots.
+struct Writer {
     session: AccessSession,
-    subjects: Interner,
-    objects: Interner,
-    rights: Interner,
+    subjects: Arc<Interner>,
+    objects: Arc<Interner>,
+    rights: Arc<Interner>,
+}
+
+/// Whether a successor snapshot keeps the predecessor's decision memo.
+#[derive(Clone, Copy)]
+enum MemoCarry {
+    /// The edit cannot have changed any memoised answer: strategy
+    /// switches (the strategy is part of the memo key), pure growth
+    /// (new subjects have no memoised decisions), and failed or no-op
+    /// edits.
+    Keep,
+    /// The edit may flip decisions (label or membership change): the
+    /// successor starts an empty memo and refills from the repaired
+    /// tables.
+    Reset,
 }
 
 /// The shared, thread-safe service state. Clone-free: wrap it in an
 /// `Arc` and hand it to [`crate::Server::bind`].
 pub struct Service {
-    inner: RwLock<Inner>,
+    published: Published<ServiceSnapshot>,
+    writer: Mutex<Writer>,
+    /// Cross-epoch read counters, shared by every snapshot so `/stats`
+    /// stays cumulative when snapshots retire.
+    counters: Arc<ReadCounters>,
 }
 
-impl Inner {
+impl ServiceSnapshot {
     fn subject_id(&self, name: &str) -> Result<SubjectId, ApiError> {
         self.subjects
             .get(name)
@@ -71,22 +124,24 @@ impl Inner {
         ))
     }
 
-    /// Interns a subject name, growing the hierarchy so the returned id
-    /// is guaranteed to exist in the session.
-    fn intern_subject(&mut self, name: &str) -> SubjectId {
-        let id = self.subjects.intern(name) as usize;
-        while self.session.hierarchy().subject_count() <= id {
-            self.session.add_subject();
-        }
-        SubjectId::from_index(id)
-    }
-
-    /// Resolves a strategy override, or falls back to the session's.
+    /// Resolves a strategy override, or falls back to the snapshot's.
     fn strategy(&self, text: Option<&str>) -> Result<Strategy, ApiError> {
         match text {
             Some(t) => ApiError::parse_strategy(t),
             None => Ok(self.session.strategy()),
         }
+    }
+}
+
+impl Writer {
+    /// Interns a subject name, growing the hierarchy so the returned id
+    /// is guaranteed to exist in the session.
+    fn intern_subject(&mut self, name: &str) -> SubjectId {
+        let id = Arc::make_mut(&mut self.subjects).intern(name) as usize;
+        while self.session.hierarchy().subject_count() <= id {
+            self.session.add_subject();
+        }
+        SubjectId::from_index(id)
     }
 
     fn edit_response(&self, applied: impl Into<String>) -> EditResponse {
@@ -112,14 +167,12 @@ impl Service {
     /// A service over an empty installation with the given default
     /// strategy.
     pub fn empty(strategy: Strategy) -> Self {
-        Service {
-            inner: RwLock::new(Inner {
-                session: AccessSession::empty(strategy),
-                subjects: Interner::default(),
-                objects: Interner::default(),
-                rights: Interner::default(),
-            }),
-        }
+        Service::boot(Writer {
+            session: AccessSession::empty(strategy),
+            subjects: Arc::new(Interner::default()),
+            objects: Arc::new(Interner::default()),
+            rights: Arc::new(Interner::default()),
+        })
     }
 
     /// A service seeded from a persisted [`AccessModel`] (policy text or
@@ -140,35 +193,98 @@ impl Service {
         for name in model.right_names() {
             rights.intern(name);
         }
+        Service::boot(Writer {
+            session,
+            subjects: Arc::new(subjects),
+            objects: Arc::new(objects),
+            rights: Arc::new(rights),
+        })
+    }
+
+    /// Publishes the boot snapshot (epoch 1) around a fresh writer.
+    fn boot(writer: Writer) -> Self {
+        let counters = Arc::new(ReadCounters::new());
+        let snapshot = ServiceSnapshot {
+            session: writer.session.freeze_with(
+                1,
+                Arc::clone(&counters),
+                Arc::new(DecisionMemo::new()),
+            ),
+            subjects: Arc::clone(&writer.subjects),
+            objects: Arc::clone(&writer.objects),
+            rights: Arc::clone(&writer.rights),
+        };
         Service {
-            inner: RwLock::new(Inner {
-                session,
-                subjects,
-                objects,
-                rights,
-            }),
+            published: Published::new(snapshot),
+            writer: Mutex::new(writer),
+            counters,
         }
     }
 
-    /// `POST /check` — one decision under the session (or an explicit)
-    /// strategy. Read lock.
+    /// The epoch of the snapshot currently serving reads. Starts at 1;
+    /// every publishing edit bumps it.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Runs `f` while holding the writer mutex, so no edit can begin or
+    /// publish until it returns. Reads are unaffected — that is the
+    /// point: the concurrency tests use this to prove the read path
+    /// never touches the edit path's lock.
+    pub fn with_edits_paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _writer = self.writer.lock();
+        f()
+    }
+
+    /// Reclaims the current snapshot's overflow sweep tables into the
+    /// writer's cache. Must run *before* any mutation: in that window
+    /// the writer's model is bit-identical to the published one, so the
+    /// tables transfer soundly and the next freeze carries them forward.
+    fn absorb(&self, writer: &Writer) {
+        let current = self.published.load();
+        writer.session.adopt_tables(&current.session);
+    }
+
+    /// Freezes the writer's session and publishes it as the next epoch.
+    fn republish(&self, writer: &Writer, memo: MemoCarry) {
+        let memo = match memo {
+            MemoCarry::Keep => Arc::clone(self.published.load().session.memo()),
+            MemoCarry::Reset => Arc::new(DecisionMemo::new()),
+        };
+        let epoch = self.published.epoch() + 1;
+        let snapshot = ServiceSnapshot {
+            session: writer
+                .session
+                .freeze_with(epoch, Arc::clone(&self.counters), memo),
+            subjects: Arc::clone(&writer.subjects),
+            objects: Arc::clone(&writer.objects),
+            rights: Arc::clone(&writer.rights),
+        };
+        let published = self.published.publish(snapshot);
+        debug_assert_eq!(published, epoch, "publishes are writer-serialized");
+    }
+
+    /// `POST /check` — one decision under the snapshot (or an explicit)
+    /// strategy. Lock-free: one atomic snapshot load, then memo/table
+    /// lookups on frozen state.
     pub fn check(&self, req: &CheckRequest) -> Result<CheckResponse, ApiError> {
-        let inner = self.inner.read();
-        let strategy = inner.strategy(req.strategy.as_deref())?;
-        let s = inner.subject_id(&req.subject)?;
-        let o = inner.object_id(&req.object)?;
-        let r = inner.right_id(&req.right)?;
-        let resolution = inner.session.check_traced_with(s, o, r, strategy)?;
+        let snap = self.published.load();
+        let strategy = snap.strategy(req.strategy.as_deref())?;
+        let s = snap.subject_id(&req.subject)?;
+        let o = snap.object_id(&req.object)?;
+        let r = snap.right_id(&req.right)?;
+        let sign = snap.session.check_with(s, o, r, strategy)?;
         Ok(CheckResponse {
-            sign: resolution.sign.symbol().to_string(),
+            sign: sign.symbol().to_string(),
             strategy: strategy.to_string(),
         })
     }
 
-    /// `POST /check_many` — a batched decision. The whole batch runs
-    /// under one read-lock acquisition, so it observes a single
-    /// consistent installation state even while writers queue. Batches
-    /// over [`MAX_BATCH`] are rejected before any name resolution.
+    /// `POST /check_many` — a batched decision. The whole batch reads
+    /// one frozen snapshot, so it observes a single consistent
+    /// installation state by construction — no lock is held, and a
+    /// writer publishing mid-batch cannot tear it. Batches over
+    /// [`MAX_BATCH`] are rejected before any name resolution.
     pub fn check_many(&self, req: &CheckManyRequest) -> Result<CheckManyResponse, ApiError> {
         if req.queries.len() > MAX_BATCH {
             return Err(ApiError::BatchTooLarge {
@@ -176,40 +292,39 @@ impl Service {
                 max: MAX_BATCH,
             });
         }
-        let inner = self.inner.read();
-        let strategy = inner.strategy(req.strategy.as_deref())?;
+        let snap = self.published.load();
+        let strategy = snap.strategy(req.strategy.as_deref())?;
         let triples: Vec<(SubjectId, ObjectId, RightId)> = req
             .queries
             .iter()
-            .map(|t| inner.triple(t))
+            .map(|t| snap.triple(t))
             .collect::<Result<_, _>>()?;
-        let signs = inner.session.check_many_with(&triples, strategy)?;
+        let signs = snap.session.check_many_with(&triples, strategy)?;
         Ok(CheckManyResponse {
             signs: signs.iter().map(|s| s.symbol().to_string()).collect(),
             strategy: strategy.to_string(),
         })
     }
 
-    /// `POST /explain` — the decision with its Table-3 narrative. Read
-    /// lock.
+    /// `POST /explain` — the decision with its Table-3 narrative.
+    /// Lock-free snapshot read.
     pub fn explain(&self, req: &CheckRequest) -> Result<ExplainResponse, ApiError> {
-        let inner = self.inner.read();
-        let strategy = inner.strategy(req.strategy.as_deref())?;
-        let s = inner.subject_id(&req.subject)?;
-        let o = inner.object_id(&req.object)?;
-        let r = inner.right_id(&req.right)?;
-        // explain() always runs under the session strategy; honour an
+        let snap = self.published.load();
+        let strategy = snap.strategy(req.strategy.as_deref())?;
+        let s = snap.subject_id(&req.subject)?;
+        let o = snap.object_id(&req.object)?;
+        let r = snap.right_id(&req.right)?;
+        // explain() always runs under the snapshot strategy; honour an
         // override by checking it matches (the narrative embeds the
         // strategy, so silently substituting would mislead).
-        if strategy != inner.session.strategy() {
+        if strategy != snap.session.strategy() {
             return Err(ApiError::BadRequest(
                 "explain uses the session strategy; switch it via /edit/strategy".to_string(),
             ));
         }
-        let explanation = inner.session.explain(s, o, r)?;
+        let explanation = snap.session.explain(s, o, r)?;
         let narrative = explanation.narrative(|id| {
-            inner
-                .subjects
+            snap.subjects
                 .resolve(id.index() as u32)
                 .map_or_else(|| format!("subject#{}", id.index()), str::to_string)
         });
@@ -220,28 +335,29 @@ impl Service {
         })
     }
 
-    /// `GET /lint` — the policy lint report as JSON. Read lock.
+    /// `GET /lint` — the policy lint report as JSON. Lock-free snapshot
+    /// read.
     pub fn lint(&self) -> String {
-        let inner = self.inner.read();
+        let snap = self.published.load();
         ucra_lint::lint_session(
-            inner.session.hierarchy(),
-            inner.session.eacm(),
-            Some(inner.session.strategy()),
+            snap.session.hierarchy(),
+            snap.session.eacm(),
+            Some(snap.session.strategy()),
         )
         .render_json()
     }
 
-    /// `GET /stats` — installation shape plus session counters. Read
-    /// lock.
+    /// `GET /stats` — installation shape plus session counters, stamped
+    /// with the serving snapshot's epoch. Lock-free snapshot read.
     pub fn stats(&self) -> StatsResponse {
-        let inner = self.inner.read();
-        let s = inner.session.stats();
+        let snap = self.published.load();
+        let s = snap.session.stats();
         StatsResponse {
-            subjects: inner.subjects.len(),
-            objects: inner.objects.len(),
-            rights: inner.rights.len(),
-            labels: inner.session.eacm().len(),
-            strategy: inner.session.strategy().to_string(),
+            subjects: snap.subjects.len(),
+            objects: snap.objects.len(),
+            rights: snap.rights.len(),
+            labels: snap.session.eacm().len(),
+            strategy: snap.session.strategy().to_string(),
             queries: s.queries,
             cache_hits: s.cache_hits,
             sweeps: s.sweeps,
@@ -258,16 +374,22 @@ impl Service {
             context_builds: s.context_builds,
             parallel_dispatches: s.parallel_dispatches,
             serial_dispatches: s.serial_dispatches,
+            memo_hits: s.memo_hits,
+            memo_misses: s.memo_misses,
+            snapshot_epoch: s.snapshot_epoch,
+            // Epoch 1 is the boot freeze; every later epoch is one
+            // writer publish.
+            snapshots_published: self.published.epoch() - 1,
         }
     }
 
-    /// `POST /impact` — dry-run an edit script against the live
-    /// installation without mutating it. **Read lock only**: the name
+    /// `POST /impact` — dry-run an edit script against the published
+    /// snapshot without mutating anything. **Lock-free read**: the name
     /// tables are cloned so script-added names resolve, the script is
-    /// evaluated on a copy-on-write overlay of the hierarchy and matrix,
-    /// and the serving session — its caches, its counters — is left
-    /// bit-identical. Returns the combined impact + `UCRA1xx` report
-    /// JSON document.
+    /// evaluated on a copy-on-write overlay of the frozen hierarchy and
+    /// matrix, and the serving installation — its caches, its counters,
+    /// its epoch — is left bit-identical. Returns the combined impact +
+    /// `UCRA1xx` report JSON document.
     pub fn impact(&self, req: &ImpactRequest) -> Result<String, ApiError> {
         let edits =
             ucra_store::parse_edits(&req.edits).map_err(|e| ApiError::BadRequest(e.to_string()))?;
@@ -277,16 +399,16 @@ impl Service {
                 max: MAX_BATCH,
             });
         }
-        let inner = self.inner.read();
-        let strategy = inner.strategy(req.strategy.as_deref())?;
-        let mut subjects = inner.subjects.clone();
-        let mut objects = inner.objects.clone();
-        let mut rights = inner.rights.clone();
+        let snap = self.published.load();
+        let strategy = snap.strategy(req.strategy.as_deref())?;
+        let mut subjects = (*snap.subjects).clone();
+        let mut objects = (*snap.objects).clone();
+        let mut rights = (*snap.rights).clone();
         let resolved = ucra_store::resolve_edits(&edits, &mut subjects, &mut objects, &mut rights)
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
         let analysis = ucra_core::ImpactAnalysis::analyze(
-            inner.session.hierarchy(),
-            inner.session.eacm(),
+            snap.session.hierarchy(),
+            snap.session.eacm(),
             strategy,
             &resolved.script,
         )?;
@@ -309,31 +431,49 @@ impl Service {
         Ok(ucra_lint::render_impact_json(&run))
     }
 
-    /// `POST /edit/subject` — declares a subject (idempotent). Write
-    /// lock.
+    /// `POST /edit/subject` — declares a subject (idempotent). Writer
+    /// mutex; publishes a successor snapshot carrying the memo (pure
+    /// growth cannot change any memoised decision).
     pub fn add_subject(&self, name: &str) -> Result<EditResponse, ApiError> {
         validate_name(name)?;
-        let mut inner = self.inner.write();
-        inner.intern_subject(name);
-        Ok(inner.edit_response(format!("subject `{name}` present")))
+        let mut writer = self.writer.lock();
+        self.absorb(&writer);
+        writer.intern_subject(name);
+        self.republish(&writer, MemoCarry::Keep);
+        Ok(writer.edit_response(format!("subject `{name}` present")))
     }
 
     /// `POST /edit/membership` — adds `member` to `group`, interning
     /// both. Cycles are rejected with a 422; the cached sweeps are
-    /// cone-repaired, never flushed. Write lock.
+    /// cone-repaired, never flushed. Writer mutex; a successful edit
+    /// publishes with a fresh memo (membership can flip inherited
+    /// decisions), a rejected one still publishes the interned names
+    /// with the memo carried.
     pub fn add_membership(&self, group: &str, member: &str) -> Result<EditResponse, ApiError> {
         validate_name(group)?;
         validate_name(member)?;
-        let mut inner = self.inner.write();
-        let g = inner.intern_subject(group);
-        let m = inner.intern_subject(member);
-        inner.session.add_membership(g, m)?;
-        Ok(inner.edit_response(format!("membership `{group}` ← `{member}` added")))
+        let mut writer = self.writer.lock();
+        self.absorb(&writer);
+        let g = writer.intern_subject(group);
+        let m = writer.intern_subject(member);
+        match writer.session.add_membership(g, m) {
+            Ok(()) => {
+                self.republish(&writer, MemoCarry::Reset);
+                Ok(writer.edit_response(format!("membership `{group}` ← `{member}` added")))
+            }
+            Err(e) => {
+                // The names were interned (pure growth) even though the
+                // edge was rejected; publish them, keep the memo.
+                self.republish(&writer, MemoCarry::Keep);
+                Err(e.into())
+            }
+        }
     }
 
     /// `POST /edit/authorization` — records an explicit grant/denial,
     /// interning all three names. A contradicting record is a 409
-    /// (paper §3.3). Write lock; cone-repairs the one affected sweep.
+    /// (paper §3.3). Writer mutex; cone-repairs the one affected sweep
+    /// and publishes with a fresh memo on success.
     pub fn set_authorization(
         &self,
         subject: &str,
@@ -345,46 +485,75 @@ impl Service {
         validate_name(object)?;
         validate_name(right)?;
         let sign = parse_sign(sign)?;
-        let mut inner = self.inner.write();
-        let s = inner.intern_subject(subject);
-        let o = ObjectId(inner.objects.intern(object));
-        let r = RightId(inner.rights.intern(right));
-        inner.session.set_authorization(s, o, r, sign)?;
-        let verb = match sign {
-            Sign::Pos => "granted",
-            Sign::Neg => "denied",
-        };
-        Ok(inner.edit_response(format!("`{subject}` {verb} `{right}` on `{object}`")))
+        let mut writer = self.writer.lock();
+        self.absorb(&writer);
+        let s = writer.intern_subject(subject);
+        let o = ObjectId(Arc::make_mut(&mut writer.objects).intern(object));
+        let r = RightId(Arc::make_mut(&mut writer.rights).intern(right));
+        match writer.session.set_authorization(s, o, r, sign) {
+            Ok(()) => {
+                self.republish(&writer, MemoCarry::Reset);
+                let verb = match sign {
+                    Sign::Pos => "granted",
+                    Sign::Neg => "denied",
+                };
+                Ok(writer.edit_response(format!("`{subject}` {verb} `{right}` on `{object}`")))
+            }
+            Err(e) => {
+                self.republish(&writer, MemoCarry::Keep);
+                Err(e.into())
+            }
+        }
     }
 
     /// `POST /edit/revoke` — removes an explicit record if present.
     /// Unknown names are a 404 (revoking from a name that was never
-    /// interned cannot have a record to remove). Write lock.
+    /// interned cannot have a record to remove). Writer mutex; only an
+    /// actual removal publishes (with a fresh memo) — a no-op revoke
+    /// changes nothing, so the current snapshot keeps serving.
     pub fn unset_authorization(
         &self,
         subject: &str,
         object: &str,
         right: &str,
     ) -> Result<EditResponse, ApiError> {
-        let mut inner = self.inner.write();
-        let s = inner.subject_id(subject)?;
-        let o = inner.object_id(object)?;
-        let r = inner.right_id(right)?;
-        let removed = inner.session.unset_authorization(s, o, r);
-        Ok(inner.edit_response(match removed {
+        let mut writer = self.writer.lock();
+        let s = lookup(&writer.subjects, "subject", subject)
+            .map(|id| SubjectId::from_index(id as usize))?;
+        let o = lookup(&writer.objects, "object", object).map(ObjectId)?;
+        let r = lookup(&writer.rights, "right", right).map(RightId)?;
+        self.absorb(&writer);
+        let removed = writer.session.unset_authorization(s, o, r);
+        if removed.is_some() {
+            self.republish(&writer, MemoCarry::Reset);
+        }
+        Ok(writer.edit_response(match removed {
             Some(_) => format!("explicit record on (`{subject}`, `{object}`, `{right}`) removed"),
             None => format!("no explicit record on (`{subject}`, `{object}`, `{right}`)"),
         }))
     }
 
     /// `POST /edit/strategy` — switches the session strategy. Costs
-    /// nothing: cached sweeps are strategy-independent. Write lock.
+    /// nothing beyond the publish: cached sweeps are
+    /// strategy-independent and the memo keys include the strategy, so
+    /// the memo carries over verbatim.
     pub fn set_strategy(&self, mnemonic: &str) -> Result<EditResponse, ApiError> {
         let strategy = ApiError::parse_strategy(mnemonic)?;
-        let mut inner = self.inner.write();
-        inner.session.set_strategy(strategy);
-        Ok(inner.edit_response(format!("strategy set to {strategy}")))
+        let mut writer = self.writer.lock();
+        self.absorb(&writer);
+        writer.session.set_strategy(strategy);
+        self.republish(&writer, MemoCarry::Keep);
+        Ok(writer.edit_response(format!("strategy set to {strategy}")))
     }
+}
+
+/// Resolves a name against one of the writer's interners (the writer
+/// lock is held, so this sees every edit).
+fn lookup(interner: &Interner, kind: &'static str, name: &str) -> Result<u32, ApiError> {
+    interner.get(name).ok_or_else(|| ApiError::UnknownName {
+        kind,
+        name: name.to_string(),
+    })
 }
 
 /// Rejects names the policy text format could not round-trip (empty,
@@ -534,8 +703,9 @@ mod tests {
             .unwrap();
         assert!(json.contains("\"impact\":{"), "{json}");
         assert!(json.contains("\"full_invalidations\":0"), "{json}");
-        // The serving session is bit-identical: counters unchanged (the
-        // overlay has its own), and the decision still comes from cache.
+        // The serving snapshot is bit-identical: counters and epoch
+        // unchanged (the overlay has its own), and the decision still
+        // comes from cache.
         let after = svc.stats();
         assert_eq!(before, after);
         let resp = svc.check(&check_req("User", None)).unwrap();
@@ -601,5 +771,68 @@ mod tests {
         for bad in ["", "two words", "has#hash"] {
             assert_eq!(svc.add_subject(bad).unwrap_err().status(), 400, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn edits_publish_new_epochs() {
+        let svc = motivating();
+        assert_eq!(svc.snapshot_epoch(), 1, "boot snapshot");
+        assert_eq!(svc.stats().snapshots_published, 0);
+        svc.add_subject("fresh").unwrap();
+        assert_eq!(svc.snapshot_epoch(), 2);
+        svc.set_strategy("D-LP-").unwrap();
+        assert_eq!(svc.snapshot_epoch(), 3);
+        let stats = svc.stats();
+        assert_eq!(stats.snapshot_epoch, 3);
+        assert_eq!(stats.snapshots_published, 2);
+        // A rejected edit that interned nothing new still publishes the
+        // interned names; a no-op revoke publishes nothing.
+        svc.unset_authorization("S1", "obj", "read").unwrap();
+        assert_eq!(svc.snapshot_epoch(), 3, "no-op revoke keeps the epoch");
+    }
+
+    #[test]
+    fn strategy_switch_keeps_the_memo_but_label_edits_reset_it() {
+        let svc = motivating();
+        svc.check(&check_req("User", None)).unwrap();
+        svc.check(&check_req("User", None)).unwrap();
+        let warm = svc.stats();
+        assert_eq!(warm.memo_hits, 1, "second check memoised");
+        assert_eq!(warm.memo_misses, 1);
+        // Strategy switch: memo carried (keys embed the strategy), so a
+        // check under the *old* strategy as an override still hits.
+        svc.set_strategy("D-LP-").unwrap();
+        svc.check(&check_req("User", Some("D+LMP+"))).unwrap();
+        assert_eq!(svc.stats().memo_hits, 2, "carried memo still serves");
+        // A label edit must reset the memo: the same check re-resolves.
+        svc.set_authorization("S6", "obj", "read", "-").unwrap();
+        svc.check(&check_req("User", Some("D+LMP+"))).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.memo_hits, 2, "fresh memo has no entries");
+        assert_eq!(stats.memo_misses, 2, "the reset forced a re-resolution");
+        assert_eq!(stats.full_invalidations, 0);
+    }
+
+    #[test]
+    fn reads_complete_while_the_writer_mutex_is_held() {
+        // The zero-lock acceptance check, in-process: a reader thread
+        // must answer (and see a stable epoch) while an "edit" owns the
+        // writer mutex for the whole duration.
+        let svc = std::sync::Arc::new(motivating());
+        svc.check(&check_req("User", None)).unwrap(); // warm
+        let epoch = svc.snapshot_epoch();
+        svc.with_edits_paused(|| {
+            let svc2 = std::sync::Arc::clone(&svc);
+            let reader = std::thread::spawn(move || {
+                let mut answers = Vec::new();
+                for _ in 0..64 {
+                    answers.push(svc2.check(&check_req("User", None)).unwrap().sign);
+                }
+                answers
+            });
+            let answers = reader.join().expect("reads must not block on the writer");
+            assert!(answers.iter().all(|s| s == "+"));
+        });
+        assert_eq!(svc.snapshot_epoch(), epoch);
     }
 }

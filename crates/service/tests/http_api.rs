@@ -212,6 +212,11 @@ fn stats_and_lint_render_json() {
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"queries\":"), "{body}");
     assert!(body.contains("\"full_invalidations\":0"), "{body}");
+    // The publication-path counters are part of the wire surface.
+    assert!(body.contains("\"memo_hits\":"), "{body}");
+    assert!(body.contains("\"memo_misses\":"), "{body}");
+    assert!(body.contains("\"snapshot_epoch\":"), "{body}");
+    assert!(body.contains("\"snapshots_published\":"), "{body}");
     let (status, body) = conn.get("/lint").expect("request");
     assert_eq!(status, 200, "{body}");
     assert!(body.starts_with('{') || body.starts_with('['), "{body}");

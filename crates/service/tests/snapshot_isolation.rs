@@ -1,0 +1,215 @@
+//! Snapshot isolation and liveness of the published-snapshot read path
+//! (DESIGN.md §11), complementing the prefix-atomicity oracle in
+//! `tests/concurrent_equivalence.rs`:
+//!
+//! * **Epoch consistency** — a `check_many` batch that overlaps an edit
+//!   must be bit-identical to one of the serially computed before/after
+//!   oracle vectors. A mixed vector would mean the batch straddled two
+//!   epochs.
+//! * **Writer liveness** — edits make bounded progress while reader
+//!   threads saturate the read path; the snapshot swap never waits for
+//!   readers to drain.
+//! * **Lock freedom** — reads complete (with a deadline) while the
+//!   writer mutex is deliberately held, proving the read path shares no
+//!   lock with the edit path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ucra_service::{CheckManyRequest, Service, TripleRequest};
+
+const MEMBERS: usize = 24;
+
+/// A star: `root` is a group over `m0..mN`, so one label on `root`
+/// propagates to every member and a single revoke flips a whole column.
+fn star_service() -> Service {
+    let svc = Service::empty("D-LP-".parse().expect("valid mnemonic"));
+    svc.add_subject("root").expect("valid name");
+    for i in 0..MEMBERS {
+        let member = format!("m{i}");
+        svc.add_subject(&member).expect("valid name");
+        svc.add_membership("root", &member).expect("acyclic");
+    }
+    // Intern the object/right names so queries never 404 even while the
+    // label is revoked.
+    svc.set_authorization("root", "doc", "read", "+")
+        .expect("no contradiction");
+    svc
+}
+
+fn all_queries() -> Vec<TripleRequest> {
+    let mut q = vec![TripleRequest {
+        subject: "root".into(),
+        object: "doc".into(),
+        right: "read".into(),
+    }];
+    for i in 0..MEMBERS {
+        q.push(TripleRequest {
+            subject: format!("m{i}"),
+            object: "doc".into(),
+            right: "read".into(),
+        });
+    }
+    q
+}
+
+fn signs(svc: &Service, queries: &[TripleRequest]) -> Vec<String> {
+    svc.check_many(&CheckManyRequest {
+        queries: queries.to_vec(),
+        strategy: None,
+    })
+    .expect("all names are interned")
+    .signs
+}
+
+/// A batch overlapping a revoke/grant toggle sees the entirely-granted
+/// or the entirely-revoked installation — never a mix of epochs.
+#[test]
+fn a_batch_spanning_an_edit_observes_one_consistent_epoch() {
+    let queries = Arc::new(all_queries());
+
+    // Serial oracles: the granted state and the revoked state.
+    let oracle = star_service();
+    let granted = signs(&oracle, &queries);
+    oracle
+        .unset_authorization("root", "doc", "read")
+        .expect("label exists");
+    let revoked = signs(&oracle, &queries);
+    assert_ne!(
+        granted, revoked,
+        "the toggle must flip answers or the test proves nothing"
+    );
+    // The star makes the flip wide: every member column changes.
+    assert!(granted.iter().all(|s| s == "+"));
+    assert!(revoked.iter().all(|s| s == "-"));
+
+    let svc = Arc::new(star_service());
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let queries = Arc::clone(&queries);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut batches = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let got = signs(&svc, &queries);
+                    assert!(
+                        got.iter().all(|s| s == "+") || got.iter().all(|s| s == "-"),
+                        "a batch mixed two epochs: {got:?}"
+                    );
+                    batches += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    for _ in 0..24 {
+        svc.unset_authorization("root", "doc", "read")
+            .expect("label exists");
+        std::thread::yield_now();
+        svc.set_authorization("root", "doc", "read", "+")
+            .expect("no contradiction");
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    let batches: u64 = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader must not panic"))
+        .sum();
+    assert!(batches > 0, "the readers never ran");
+
+    // Convergence + the repair discipline held through every publish.
+    assert_eq!(signs(&svc, &queries), granted);
+    let stats = svc.stats();
+    assert_eq!(stats.full_invalidations, 0);
+    // 1 boot + 1 base grant + 24 toggles × 2 publishing edits... plus
+    // the subject/membership edits, which publish too. Exact count:
+    // boot(1) + 25 subjects + 24 memberships + 1 grant + 48 toggles.
+    assert_eq!(stats.snapshot_epoch, 1 + 25 + 24 + 1 + 48);
+}
+
+/// Edits keep landing, each within a loose deadline, while reader
+/// threads saturate the snapshot path: publication never waits for
+/// readers to drain (the grace period is refcounting, not quiescence).
+#[test]
+fn the_writer_makes_bounded_progress_under_saturating_reads() {
+    const EDITS: u64 = 40;
+    let svc = Arc::new(star_service());
+    let queries = Arc::new(all_queries());
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let queries = Arc::clone(&queries);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    signs(&svc, &queries);
+                }
+            })
+        })
+        .collect();
+
+    let before = svc.snapshot_epoch();
+    let mut slowest = Duration::ZERO;
+    for i in 0..EDITS / 2 {
+        for step in 0..2u64 {
+            let started = Instant::now();
+            if step == 0 {
+                svc.unset_authorization("root", "doc", "read")
+                    .expect("label exists");
+            } else {
+                svc.set_authorization("root", "doc", "read", "+")
+                    .expect("no contradiction");
+            }
+            slowest = slowest.max(started.elapsed());
+            assert!(
+                slowest < Duration::from_secs(5),
+                "edit {i}.{step} stalled behind the read traffic for {slowest:?}"
+            );
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        r.join().expect("reader must not panic");
+    }
+    assert_eq!(
+        svc.snapshot_epoch(),
+        before + EDITS,
+        "every edit must have published"
+    );
+}
+
+/// Reads run to completion while the writer mutex is held: the read
+/// path acquires no lock an edit could be holding.
+#[test]
+fn reads_complete_while_the_writer_mutex_is_held() {
+    let svc = Arc::new(star_service());
+    let queries = Arc::new(all_queries());
+    let expected = signs(&svc, &queries);
+
+    let epoch = svc.snapshot_epoch();
+    let (tx, rx) = std::sync::mpsc::channel();
+    svc.with_edits_paused(|| {
+        let svc = Arc::clone(&svc);
+        let queries = Arc::clone(&queries);
+        std::thread::spawn(move || {
+            let mut last = Vec::new();
+            for _ in 0..128 {
+                last = signs(&svc, &queries);
+            }
+            tx.send(last).expect("main is waiting");
+        });
+        let got = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reads deadlocked against the held writer mutex");
+        assert_eq!(got, expected);
+    });
+    assert_eq!(
+        svc.snapshot_epoch(),
+        epoch,
+        "pausing edits must not publish"
+    );
+}
