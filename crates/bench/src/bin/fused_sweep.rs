@@ -2,15 +2,19 @@
 //! legacy per-pair BTreeMap sweep and measure thread scaling.
 //!
 //! ```text
-//! cargo run --release -p ucra-bench --bin fused_sweep [-- --quick] [--threads 1,2,4]
+//! cargo run --release -p ucra-bench --bin fused_sweep \
+//!     [-- --quick] [--threads 1,2,4] [--backend scalar|sse2|avx2]
 //! ```
 //!
 //! Writes `BENCH_sweep.json` at the repository root; `--quick` runs the
 //! CI-sized shape in seconds. `--threads` takes a comma-separated list
 //! of worker counts to sample (default: 2,4 and 8 when the host has 8
-//! hardware threads).
+//! hardware threads). `--backend` pins the process-wide kernel backend
+//! before any sweep runs (requests above the host's support level clamp
+//! down); the report's `host.kernel_backend` records what actually ran.
 
 use std::process::ExitCode;
+use ucra_core::engine::simd::{pin_backend, Backend};
 
 fn parse_threads(raw: &str) -> Result<Vec<usize>, String> {
     let counts = raw
@@ -49,8 +53,25 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--backend" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("--backend expects one of scalar, sse2, avx2");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(requested) = raw.parse::<Backend>() else {
+                    eprintln!("unknown backend {raw:?} (expected scalar, sse2 or avx2)");
+                    return ExitCode::FAILURE;
+                };
+                let selected = pin_backend(requested);
+                if selected != requested {
+                    eprintln!("note: backend {requested} unavailable or already pinned; running {selected}");
+                }
+            }
             other => {
-                eprintln!("unknown argument {other:?} (expected --quick or --threads <list>)");
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (expected --quick, --threads <list> or --backend <name>)"
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,72 @@
+//! Host provenance for benchmark reports.
+//!
+//! Every generated `BENCH_*.json` embeds a `host` object describing the
+//! machine the numbers were taken on: the target architecture, which SIMD
+//! feature levels the CPU reports, and which kernel backend the dispatcher
+//! actually selected. Speed ratios in the reports are only meaningful
+//! *within* one run on one host; the provenance block is what lets a reader
+//! (or the CI gate) decide which threshold applies to a committed report.
+
+use ucra_core::engine::simd::{active_backend, Backend};
+
+/// Snapshot of the hardware/dispatch context a benchmark ran under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Compile-time target architecture (`std::env::consts::ARCH`).
+    pub target_arch: &'static str,
+    /// Whether the CPU reports AVX2 at runtime.
+    pub avx2: bool,
+    /// Whether the CPU reports SSE2 at runtime.
+    pub sse2: bool,
+    /// The backend the process-wide dispatcher selected (after any
+    /// `UCRA_KERNEL_BACKEND` override or bench `--backend` pin).
+    pub kernel_backend: &'static str,
+}
+
+impl HostInfo {
+    /// Capture the current host's provenance.
+    ///
+    /// Forces backend selection as a side effect, so reports always show the
+    /// backend the measured sweeps actually used.
+    pub fn capture() -> Self {
+        HostInfo {
+            target_arch: std::env::consts::ARCH,
+            avx2: Backend::Avx2.is_supported(),
+            sse2: Backend::Sse2.is_supported(),
+            kernel_backend: active_backend().as_str(),
+        }
+    }
+
+    /// Render as a JSON object (no trailing comma/newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"target_arch\": \"{}\", \"avx2\": {}, \"sse2\": {}, \"kernel_backend\": \"{}\"}}",
+            self.target_arch, self.avx2, self.sse2, self.kernel_backend
+        )
+    }
+
+    /// One-line human rendering for console output.
+    pub fn render(&self) -> String {
+        format!(
+            "host: {} (avx2={}, sse2={}) — kernel backend: {}",
+            self.target_arch, self.avx2, self.sse2, self.kernel_backend
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_matches_dispatcher() {
+        let h = HostInfo::capture();
+        assert_eq!(h.kernel_backend, active_backend().as_str());
+        // The selected backend must be one the host actually supports.
+        let b: Backend = h.kernel_backend.parse().expect("valid backend name");
+        assert!(b.is_supported());
+        let json = h.to_json();
+        assert!(json.contains("\"kernel_backend\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod host;
 pub mod output;
 pub mod plot;
 pub mod serve;

@@ -163,6 +163,9 @@ pub struct ServeReport {
     pub snapshot_epoch: u64,
     /// Snapshots published by edits over the run.
     pub snapshots_published: u64,
+    /// Hardware + kernel-dispatch provenance for the run (sweeps behind
+    /// the served checks use the same dispatched backend).
+    pub host: crate::host::HostInfo,
 }
 
 impl ServeReport {
@@ -190,6 +193,7 @@ impl ServeReport {
             .collect();
         format!(
             "{{\n  \"bench\": \"serve_load\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"host\": {},\n  \
              \"warmup\": {},\n  \"reps\": {},\n  \
              \"workload\": {{\"subjects\": {}, \"objects\": {}, \"rights\": {}}},\n  \
              \"load\": {{\"clients\": {}, \"requests_per_client\": {}, \"batch\": {}}},\n  \
@@ -206,6 +210,7 @@ impl ServeReport {
              \"matrix_repairs\": {}}}\n}}\n",
             self.quick,
             self.cores,
+            self.host.to_json(),
             self.config.warmup,
             self.config.reps,
             self.config.subjects,
@@ -242,6 +247,7 @@ impl ServeReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         let c = &self.config;
+        let _ = writeln!(out, "{}", self.host.render());
         let _ = writeln!(
             out,
             "serve_load ({}): {} subjects, {} pairs, {} clients x {} requests x batch {} \
@@ -627,6 +633,7 @@ pub fn run(quick: bool) -> Result<ServeReport, String> {
         memo_hit_rate,
         snapshot_epoch: stat_u64(&stats_body, "snapshot_epoch").unwrap_or(0),
         snapshots_published: stat_u64(&stats_body, "snapshots_published").unwrap_or(0),
+        host: crate::host::HostInfo::capture(),
     })
 }
 
@@ -713,8 +720,14 @@ mod tests {
         assert!(report.memo_hit_rate > 0.0 && report.memo_hit_rate <= 1.0);
         assert!(report.snapshot_epoch > 1, "edits must have published");
         assert_eq!(report.snapshots_published, report.snapshot_epoch - 1);
+        assert_eq!(
+            report.host.kernel_backend,
+            ucra_core::engine::simd::active_backend().as_str()
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"serve_load\""));
+        assert!(json.contains("\"host\": {\"target_arch\": "));
+        assert!(json.contains("\"kernel_backend\""));
         assert!(json.contains("\"checks_per_sec\""));
         assert!(json.contains("\"p99_ns\""));
         assert!(json.contains("\"warmup\": 8"));

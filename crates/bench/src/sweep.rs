@@ -48,16 +48,29 @@
 //! auto batches that crossed the narrow saturation ceiling (CI gates
 //! `== 0` — standard workloads never approach `u64` path counts).
 //!
+//! A **simd** section measures the runtime-dispatched kernel backend
+//! (`ucra_core::engine::simd`): the dispatcher-selected backend vs. the
+//! forced-scalar oracle running the same narrow sweep on the same
+//! workload instance within the run, plus per-hot-loop microbenchmarks
+//! (`add_lanes` / `or_reduce` / `expand_labels`). A `host` object
+//! records target arch, detected features and the selected backend so a
+//! reader knows which gate applies (`speedup_vs_narrow >= 1.05` under
+//! AVX2 on the committed full-shape report, `>= 1.0` everywhere; the
+//! AVX2 floor is calibrated to the recording host, where the ratio is
+//! capped by arena memory bandwidth — see EXPERIMENTS.md, Ablation L).
+//!
 //! The run doubles as an equivalence smoke test: the fused and parallel
 //! matrices are asserted sign-identical to the reference, and the pruned
 //! sparse sweeps sign-identical to their dense walks, before any number
 //! is reported. Results land in `BENCH_sweep.json` at the repo root (see
 //! EXPERIMENTS.md for the recipe).
 
-use crate::timing::{fmt_ns, measure, TimingStats};
+use crate::host::HostInfo;
+use crate::timing::{fmt_ns, measure, measure_paired, median_pair_ratio, TimingStats};
 use std::collections::BTreeMap;
 use ucra_core::engine::counting::{self, PropagationMode};
 use ucra_core::engine::kernel::DEFAULT_BATCH_COLUMNS;
+use ucra_core::engine::simd::{active_backend, Backend, Kernels};
 use ucra_core::{
     resolve_histogram, CoreError, Eacm, EffectiveMatrix, FusedSweep, ObjectId, RightId, Sign,
     Strategy, SweepContext, SweepScratch,
@@ -145,6 +158,47 @@ pub struct NarrowVsWide {
     pub escalations: u64,
 }
 
+/// One hot-loop microbenchmark: the selected SIMD backend vs. the
+/// always-compiled scalar oracle on identical synthetic buffers sized
+/// like the stress arena's working set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopBench {
+    /// Which kernel: `add_lanes`, `or_reduce` or `expand_labels`.
+    pub name: &'static str,
+    /// Selected backend ([`Kernels::active`]).
+    pub simd: TimingStats,
+    /// Forced scalar ([`Kernels::scalar`]).
+    pub scalar: TimingStats,
+    /// `scalar / simd` medians.
+    pub speedup: f64,
+}
+
+/// The explicit-SIMD comparison: the dispatcher-selected backend vs. the
+/// forced-scalar oracle running the *same* narrow-lane sweep on the same
+/// workload instance within this run — same context, same scratch, same
+/// pruning decisions — so the ratio isolates the kernel code generation
+/// alone. Ratios are only meaningful within one run on one host; see the
+/// report's `host` object for provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdSection {
+    /// The backend the dispatcher selected for the `simd` timings.
+    pub backend: &'static str,
+    /// Narrow sweep pinned to the selected backend.
+    pub simd: TimingStats,
+    /// The same sweep pinned to the scalar oracle.
+    pub scalar: TimingStats,
+    /// Median of the per-rep `scalar / simd` paired ratios (the
+    /// outlier-robust estimator; see `timing::median_pair_ratio`). CI
+    /// gates `>= 1.0` everywhere and `>= 1.05` on the committed
+    /// full-shape report when the host reports AVX2.
+    pub speedup_vs_narrow: f64,
+    /// Batches that escalated to the wide tier under the selected
+    /// backend (must be 0 here, same gate as `narrow_vs_wide`).
+    pub escalations: u64,
+    /// Per-hot-loop microbenchmarks (Ablation L's breakdown rows).
+    pub loops: Vec<LoopBench>,
+}
+
 /// The benchmark's result set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -176,8 +230,13 @@ pub struct SweepReport {
     pub dense_check: DenseCheck,
     /// Narrow-lane vs. forced-wide tier comparison on the stress shape.
     pub narrow_vs_wide: NarrowVsWide,
+    /// Selected-backend vs. forced-scalar comparison on the same
+    /// workload instance as `narrow_vs_wide` (within-run only).
+    pub simd: SimdSection,
     /// Pruned-vs-dense-walk samples per label density.
     pub sparse: Vec<SparseSample>,
+    /// Hardware + dispatch provenance for the run.
+    pub host: HostInfo,
 }
 
 impl SweepReport {
@@ -222,8 +281,22 @@ impl SweepReport {
             })
             .collect::<Vec<_>>()
             .join(",\n");
+        let loops = self
+            .simd
+            .loops
+            .iter()
+            .map(|l| {
+                format!(
+                    "      {{\"name\": \"{}\", \"simd_ns\": {}, \"scalar_ns\": {}, \
+                     \"speedup\": {:.3}}}",
+                    l.name, l.simd.median_ns, l.scalar.median_ns, l.speedup
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
             "{{\n  \"bench\": \"fused_sweep\",\n  \"quick\": {},\n  \"cores\": {},\n  \
+             \"host\": {},\n  \
              \"warmup\": {},\n  \"reps\": {},\n  \
              \"workload\": {{\"subjects\": {}, \"edges\": {}, \"pairs\": {}}},\n  \
              \"single_thread\": {{\"reference_ns\": {}, \"reference_min_ns\": {}, \
@@ -235,9 +308,14 @@ impl SweepReport {
              \"narrow_vs_wide\": {{\"narrow_ns\": {}, \"narrow_min_ns\": {}, \
              \"narrow_max_ns\": {}, \"wide_ns\": {}, \"wide_min_ns\": {}, \
              \"wide_max_ns\": {}, \"speedup_vs_wide\": {:.3}, \"escalations\": {}}},\n  \
+             \"simd\": {{\"backend\": \"{}\", \"simd_ns\": {}, \"simd_min_ns\": {}, \
+             \"simd_max_ns\": {}, \"scalar_ns\": {}, \"scalar_min_ns\": {}, \
+             \"scalar_max_ns\": {}, \"speedup_vs_narrow\": {:.3}, \"escalations\": {}, \
+             \"loops\": [\n{}\n    ]}},\n  \
              \"sparse\": [\n{}\n  ]\n}}\n",
             self.quick,
             self.cores,
+            self.host.to_json(),
             self.warmup,
             self.reps,
             self.subjects,
@@ -262,6 +340,16 @@ impl SweepReport {
             self.narrow_vs_wide.wide.max_ns,
             self.narrow_vs_wide.speedup_vs_wide,
             self.narrow_vs_wide.escalations,
+            self.simd.backend,
+            self.simd.simd.median_ns,
+            self.simd.simd.min_ns,
+            self.simd.simd.max_ns,
+            self.simd.scalar.median_ns,
+            self.simd.scalar.min_ns,
+            self.simd.scalar.max_ns,
+            self.simd.speedup_vs_narrow,
+            self.simd.escalations,
+            loops,
             sparse
         )
     }
@@ -269,7 +357,8 @@ impl SweepReport {
     /// A terminal-friendly summary table.
     pub fn render(&self) -> String {
         let spread = |s: &TimingStats| format!("{}..{}", fmt_ns(s.min_ns), fmt_ns(s.max_ns));
-        let mut out = format!(
+        let mut out = format!("{}\n", self.host.render());
+        out.push_str(&format!(
             "fused_sweep: {} subjects, {} edges, {} (object, right) columns\n\
              {} hw threads; median of {} reps after {} warmup\n\
              reference (BTreeMap sweep/pair): {}  [{}]\n\
@@ -285,7 +374,7 @@ impl SweepReport {
             fmt_ns(self.fused.median_ns),
             spread(&self.fused),
             self.speedup
-        );
+        ));
         for s in &self.parallel {
             out.push_str(&format!(
                 "fused kernel ({:2} threads)      : {}  [{}..{}]  ({:.2}x vs 1-thread fused)\n",
@@ -310,6 +399,25 @@ impl SweepReport {
             self.narrow_vs_wide.speedup_vs_wide,
             self.narrow_vs_wide.escalations
         ));
+        out.push_str(&format!(
+            "simd {} vs forced scalar sweep         : {} vs {}  \
+             ({:.2}x, gate >= 1.0, {} escalations)\n",
+            self.simd.backend,
+            fmt_ns(self.simd.simd.median_ns),
+            fmt_ns(self.simd.scalar.median_ns),
+            self.simd.speedup_vs_narrow,
+            self.simd.escalations
+        ));
+        for l in &self.simd.loops {
+            out.push_str(&format!(
+                "  loop {:13}: {} {} vs scalar {}  ({:.2}x)\n",
+                l.name,
+                self.simd.backend,
+                fmt_ns(l.simd.median_ns),
+                fmt_ns(l.scalar.median_ns),
+                l.speedup
+            ));
+        }
         for s in &self.sparse {
             out.push_str(&format!(
                 "sparse {:>5.2}% density: pruned {} vs dense walk {}  \
@@ -359,6 +467,11 @@ enum SweepPath {
     DenseWalk,
     /// Narrow tier disabled ([`FusedSweep::compute_wide_with`]).
     ForcedWide,
+    /// The auto path with the kernel backend pinned for this call
+    /// ([`FusedSweep::compute_with_backend`]) — the SIMD section's
+    /// within-run comparator. Requests above the host's support level
+    /// clamp down, so `Pinned(Scalar)` is the only portable pin.
+    Pinned(Backend),
 }
 
 /// Sweeps `pairs` in kernel-width batches over a shared context,
@@ -386,6 +499,14 @@ fn sweep_batches(
             SweepPath::ForcedWide => {
                 FusedSweep::compute_wide_with(ctx, eacm, batch, PropagationMode::Both, scratch)?
             }
+            SweepPath::Pinned(backend) => FusedSweep::compute_with_backend(
+                ctx,
+                eacm,
+                batch,
+                PropagationMode::Both,
+                scratch,
+                backend,
+            )?,
         };
         max_active = max_active.max(fused.active_subjects().unwrap_or(ctx.subjects()));
         escalations += u64::from(fused.escalated());
@@ -468,6 +589,74 @@ fn run_sparse(
         });
     }
     Ok(samples)
+}
+
+/// Number of `u64` cells per synthetic lane in the per-loop
+/// microbenchmarks: 16 Ki cells = 128 KiB per lane, on the order of one
+/// batch's three count planes for the full stress shape, so the numbers
+/// reflect the cache level the real sweep works in.
+const LOOP_BENCH_CELLS: usize = 1 << 14;
+
+/// Inner repetitions per measured closure in the per-loop
+/// microbenchmarks, lifting each sample well above timer granularity.
+const LOOP_BENCH_INNER: usize = 16;
+
+/// Times each SIMD hot loop in isolation — the dispatcher-selected
+/// backend vs. the scalar oracle on identical deterministic buffers.
+fn loop_microbenches(reps: usize) -> Vec<LoopBench> {
+    let simd = Kernels::active();
+    let scalar = Kernels::scalar();
+    let src: Vec<u64> = (0..LOOP_BENCH_CELLS as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mut dst = vec![0u64; LOOP_BENCH_CELLS];
+    let mut time_kernel = |k: Kernels, name: &'static str| -> TimingStats {
+        match name {
+            "add_lanes" => {
+                dst.fill(1);
+                let (stats, ()) = measure(WARMUP_ITERS, reps, || {
+                    for _ in 0..LOOP_BENCH_INNER {
+                        k.add_lanes(&mut dst, &src);
+                    }
+                });
+                stats
+            }
+            "or_reduce" => {
+                let (stats, acc) = measure(WARMUP_ITERS, reps, || {
+                    let mut acc = 0u64;
+                    for _ in 0..LOOP_BENCH_INNER {
+                        acc |= k.or_reduce(&src);
+                    }
+                    acc
+                });
+                assert_eq!(acc, Kernels::scalar().or_reduce(&src));
+                stats
+            }
+            _ => {
+                let words = &src[..LOOP_BENCH_CELLS / 8];
+                let mut out = vec![0u8; words.len() * 32];
+                let (stats, ()) = measure(WARMUP_ITERS, reps, || {
+                    for _ in 0..LOOP_BENCH_INNER {
+                        k.expand_labels(words, &mut out);
+                    }
+                });
+                stats
+            }
+        }
+    };
+    ["add_lanes", "or_reduce", "expand_labels"]
+        .into_iter()
+        .map(|name| {
+            let simd_stats = time_kernel(simd, name);
+            let scalar_stats = time_kernel(scalar, name);
+            LoopBench {
+                name,
+                simd: simd_stats,
+                scalar: scalar_stats,
+                speedup: scalar_stats.median_ns as f64 / simd_stats.median_ns as f64,
+            }
+        })
+        .collect()
 }
 
 /// Runs the benchmark with the default thread ladder: 2 and 4 always
@@ -612,6 +801,59 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
         }
     };
 
+    // The SIMD headline: the dispatcher-selected backend vs. the forced
+    // scalar oracle, same narrow sweep, same workload instance, same
+    // context — the ratio isolates explicit vectorization over whatever
+    // the compiler auto-vectorized for the scalar loops. Measured
+    // within this run only; cross-report comparisons are meaningless.
+    let backend = active_backend();
+    let simd = {
+        // Interleaved A/B reps (not two sequential measure blocks): the
+        // host's frequency drift between blocks can exceed the few-percent
+        // effect this ratio gates on, and pairing makes both sides sample
+        // the same drift. The scalar side gets its own scratch so the two
+        // closures can live simultaneously.
+        let mut scalar_scratch = SweepScratch::new();
+        // Extra reps relative to the other sections: this ratio gates CI
+        // on a ~10% margin, so its median needs to be tighter than the
+        // 2-3x headline numbers can get away with.
+        let ((simd_stats, out_simd), (scalar_stats, out_scalar), rep_pairs) = measure_paired(
+            WARMUP_ITERS,
+            2 * reps + 1,
+            || {
+                sweep_batches(
+                    &ctx,
+                    &model.eacm,
+                    &model.pairs,
+                    &mut scratch,
+                    SweepPath::Pinned(backend),
+                )
+            },
+            || {
+                sweep_batches(
+                    &ctx,
+                    &model.eacm,
+                    &model.pairs,
+                    &mut scalar_scratch,
+                    SweepPath::Pinned(Backend::Scalar),
+                )
+            },
+        );
+        let (_, escalations) = out_simd?;
+        out_scalar?;
+        SimdSection {
+            backend: backend.as_str(),
+            simd: simd_stats,
+            scalar: scalar_stats,
+            // Median of per-rep ratios, not ratio of medians: robust
+            // to interference bursts on a shared host (see
+            // `median_pair_ratio`).
+            speedup_vs_narrow: median_pair_ratio(&rep_pairs),
+            escalations,
+            loops: loop_microbenches(reps),
+        }
+    };
+
     let sparse = run_sparse(quick, reps, strategy)?;
 
     Ok(SweepReport {
@@ -628,7 +870,9 @@ pub fn run_with_threads(quick: bool, thread_counts: &[usize]) -> Result<SweepRep
         parallel,
         dense_check,
         narrow_vs_wide,
+        simd,
         sparse,
+        host: HostInfo::capture(),
     })
 }
 
@@ -680,6 +924,19 @@ mod tests {
             report.narrow_vs_wide.escalations, 0,
             "the stress shape must never escalate to the wide tier"
         );
+        assert_eq!(report.simd.backend, active_backend().as_str());
+        assert!(report.simd.simd.median_ns > 0 && report.simd.scalar.median_ns > 0);
+        assert!(report.simd.speedup_vs_narrow > 0.0);
+        assert_eq!(
+            report.simd.escalations, 0,
+            "pinned-backend sweeps must not change tier decisions"
+        );
+        let loop_names: Vec<&str> = report.simd.loops.iter().map(|l| l.name).collect();
+        assert_eq!(loop_names, vec!["add_lanes", "or_reduce", "expand_labels"]);
+        for l in &report.simd.loops {
+            assert!(l.simd.median_ns > 0 && l.scalar.median_ns > 0 && l.speedup > 0.0);
+        }
+        assert_eq!(report.host.kernel_backend, report.simd.backend);
         assert_eq!(report.sparse.len(), SPARSE_DENSITIES.len());
         for (s, &d) in report.sparse.iter().zip(SPARSE_DENSITIES.iter()) {
             assert_eq!(s.label_density, d);
@@ -704,6 +961,11 @@ mod tests {
         assert!(json.contains("\"narrow_vs_wide\""));
         assert!(json.contains("\"speedup_vs_wide\""));
         assert!(json.contains("\"escalations\": 0"));
+        assert!(json.contains("\"host\""));
+        assert!(json.contains("\"kernel_backend\""));
+        assert!(json.contains("\"simd\""));
+        assert!(json.contains("\"speedup_vs_narrow\""));
+        assert!(json.contains("\"name\": \"expand_labels\""));
         assert!(json.contains("\"speedup_vs_dense_walk\""));
         assert!(json.contains("\"active_fraction\""));
         // Well-formed enough for the CI validator: balanced braces.

@@ -34,13 +34,92 @@ pub fn measure<T>(warmup: usize, reps: usize, mut f: impl FnMut() -> T) -> (Timi
         samples.push(start.elapsed().as_nanos());
         last = Some(out);
     }
+    (summarize(samples), last.expect("reps >= 1"))
+}
+
+fn summarize(mut samples: Vec<u128>) -> TimingStats {
     samples.sort_unstable();
-    let stats = TimingStats {
+    TimingStats {
         median_ns: samples[samples.len() / 2],
         min_ns: samples[0],
         max_ns: samples[samples.len() - 1],
+    }
+}
+
+/// Measures two configurations of the same workload with interleaved,
+/// alternating-order repetitions (rep 0: `a` then `b`; rep 1: `b` then
+/// `a`; …). Back-to-back [`measure`] blocks see whatever frequency or
+/// cache drift accumulates between them, which on a shared host can
+/// exceed the effect being measured; pairing the reps makes both
+/// configurations sample the same drift, so their *ratio* stays honest.
+///
+/// Besides the two per-configuration summaries, returns the per-rep
+/// `(a, b)` nanosecond pairs. For a gated ratio, take the **median of
+/// per-rep ratios** ([`median_pair_ratio`]) rather than the ratio of
+/// medians: an interference burst on a shared host lands inside one
+/// rep and poisons only that pair's ratio, while it can drag a whole
+/// configuration's median.
+#[allow(clippy::type_complexity)]
+pub fn measure_paired<A, B>(
+    warmup: usize,
+    reps: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> ((TimingStats, A), (TimingStats, B), Vec<(u128, u128)>) {
+    assert!(reps >= 1);
+    for _ in 0..warmup {
+        std::hint::black_box(a());
+        std::hint::black_box(b());
+    }
+    let mut a_samples = Vec::with_capacity(reps);
+    let mut b_samples = Vec::with_capacity(reps);
+    let mut last_a = None;
+    let mut last_b = None;
+    let mut time_a = |last_a: &mut Option<A>| {
+        let start = Instant::now();
+        let out = std::hint::black_box(a());
+        a_samples.push(start.elapsed().as_nanos());
+        *last_a = Some(out);
     };
-    (stats, last.expect("reps >= 1"))
+    let mut time_b = |last_b: &mut Option<B>| {
+        let start = Instant::now();
+        let out = std::hint::black_box(b());
+        b_samples.push(start.elapsed().as_nanos());
+        *last_b = Some(out);
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            time_a(&mut last_a);
+            time_b(&mut last_b);
+        } else {
+            time_b(&mut last_b);
+            time_a(&mut last_a);
+        }
+    }
+    drop(time_a);
+    drop(time_b);
+    let pairs = a_samples
+        .iter()
+        .copied()
+        .zip(b_samples.iter().copied())
+        .collect();
+    (
+        (summarize(a_samples), last_a.expect("reps >= 1")),
+        (summarize(b_samples), last_b.expect("reps >= 1")),
+        pairs,
+    )
+}
+
+/// Median of the per-rep `b/a` ratios from [`measure_paired`] — the
+/// outlier-robust estimator for "how much faster is `a` than `b`".
+pub fn median_pair_ratio(pairs: &[(u128, u128)]) -> f64 {
+    assert!(!pairs.is_empty());
+    let mut ratios: Vec<f64> = pairs
+        .iter()
+        .map(|&(a, b)| b as f64 / a.max(1) as f64)
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    ratios[ratios.len() / 2]
 }
 
 /// Median wall-clock nanoseconds of `reps` runs of `f`, with no warmup.
@@ -91,6 +170,42 @@ mod tests {
         assert_eq!(v, 499_500);
         assert!(stats.min_ns > 0);
         assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+    }
+
+    #[test]
+    fn paired_measure_interleaves_and_orders_stats() {
+        let mut a_calls = 0u32;
+        let mut b_calls = 0u32;
+        let ((a_stats, av), (b_stats, bv), pairs) = measure_paired(
+            1,
+            5,
+            || {
+                a_calls += 1;
+                (0..1000).sum::<u64>()
+            },
+            || {
+                b_calls += 1;
+                (0..500).sum::<u64>()
+            },
+        );
+        assert_eq!(a_calls, 6, "1 warmup + 5 measured");
+        assert_eq!(b_calls, 6, "1 warmup + 5 measured");
+        assert_eq!(av, 499_500);
+        assert_eq!(bv, 124_750);
+        for s in [a_stats, b_stats] {
+            assert!(s.min_ns > 0);
+            assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        }
+        assert_eq!(pairs.len(), 5);
+        assert!(median_pair_ratio(&pairs) > 0.0);
+    }
+
+    #[test]
+    fn pair_ratio_median_shrugs_off_one_poisoned_rep() {
+        // Four clean reps at b/a = 2.0 and one where interference made
+        // `a` look 100x slower: the median stays at the clean ratio.
+        let pairs = [(10, 20), (10, 20), (1000, 20), (10, 20), (10, 20)];
+        assert_eq!(median_pair_ratio(&pairs), 2.0);
     }
 
     #[test]

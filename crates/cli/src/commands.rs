@@ -405,7 +405,22 @@ pub fn generate(nodes: usize, seed: u64, inject_smells: bool) -> Result<(), Stri
 /// `ucra bench` — run the fused-sweep kernel benchmark and write
 /// `BENCH_sweep.json` at the repository root. `threads` overrides the
 /// default thread-scaling ladder with an explicit list of worker counts.
-pub fn bench(quick: bool, threads: Option<&[usize]>) -> Result<(), String> {
+/// `backend` pins the process-wide kernel backend before any sweep runs
+/// (clamped to the host's support level); the report's
+/// `host.kernel_backend` records what actually ran.
+pub fn bench(
+    quick: bool,
+    threads: Option<&[usize]>,
+    backend: Option<ucra_core::engine::simd::Backend>,
+) -> Result<(), String> {
+    if let Some(requested) = backend {
+        let selected = ucra_core::engine::simd::pin_backend(requested);
+        if selected != requested {
+            eprintln!(
+                "note: backend {requested} unavailable or already pinned; running {selected}"
+            );
+        }
+    }
     let report = match threads {
         Some(list) => ucra_bench::sweep::run_with_threads(quick, list),
         None => ucra_bench::sweep::run(quick),
@@ -472,6 +487,11 @@ pub fn stats(model: &AccessModel, strategy: Strategy) -> Result<(), String> {
     println!("fusion factor       : {fusion:.2} columns/batch");
     println!("narrow sweeps       : {}", st.narrow_sweeps);
     println!("wide escalations    : {}", st.wide_escalations);
+    println!("kernel backend      : {}", st.kernel_backend);
+    println!(
+        "backend sweeps      : scalar {} / sse2 {} / avx2 {}",
+        st.sweeps_scalar, st.sweeps_sse2, st.sweeps_avx2
+    );
     println!("kernel arena bytes  : {}", st.kernel_arena_bytes);
     println!("scratch bytes (hwm) : {}", st.scratch_retained_bytes);
     println!("context builds      : {}", st.context_builds);

@@ -88,10 +88,12 @@ const USAGE: &str = "usage:
   ucra stats <model> [strategy]
       batch-check every subject against every labeled pair and
       print the session's cache and sweep-kernel counters
-  ucra bench [--quick] [--threads <list>]
+  ucra bench [--quick] [--threads <list>] [--backend <name>]
       benchmark the fused-sweep kernel vs the legacy sweep and
       write BENCH_sweep.json at the repo root; --threads takes a
-      comma-separated list of worker counts to sample (e.g. 1,2,4)
+      comma-separated list of worker counts to sample (e.g. 1,2,4);
+      --backend pins the kernel backend (scalar, sse2 or avx2 —
+      clamped to what the host supports)
   ucra serve [model] [--addr host:port] [--strategy mnemonic]
       run the HTTP/JSON authorization daemon (default 127.0.0.1:7171)
       over the model, or over an empty installation when no model is
@@ -323,6 +325,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("bench") => {
             let mut quick = false;
             let mut threads: Option<Vec<usize>> = None;
+            let mut backend = None;
             let mut rest = args[1..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -348,10 +351,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         }
                         threads = Some(list);
                     }
+                    "--backend" => {
+                        let raw = rest
+                            .next()
+                            .ok_or("--backend expects scalar, sse2 or avx2")?;
+                        backend = Some(raw.parse().map_err(|()| {
+                            format!("unknown backend `{raw}` (expected scalar, sse2 or avx2)")
+                        })?);
+                    }
                     other => return Err(format!("unknown bench flag `{other}`")),
                 }
             }
-            done(commands::bench(quick, threads.as_deref()))
+            done(commands::bench(quick, threads.as_deref(), backend))
         }
         Some("serve") => {
             let mut path = None;

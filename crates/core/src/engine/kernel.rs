@@ -54,6 +54,7 @@
 //! for all 48 strategies and all three [`PropagationMode`]s.
 
 use crate::engine::counting::PropagationMode;
+use crate::engine::simd::{AlignedVec, Backend, Kernels};
 use crate::engine::{DistanceHistogram, ModeCounts};
 use crate::error::CoreError;
 use crate::hierarchy::SubjectDag;
@@ -115,15 +116,58 @@ impl LabelPlane<'_> {
     }
 }
 
+/// The dense walk's label view: the packed planes SIMD-decoded up front
+/// into one byte code per `(column, slot)` — `spc` padded slots per
+/// column ([`words_per_column`]` × 32`). The dense walk reads every slot
+/// of every column exactly once, so the per-batch decode pass
+/// ([`Kernels::expand_labels`]) pays for itself by replacing the
+/// shift/mask in the innermost loop with a byte load. The *pruned* walk
+/// deliberately keeps the packed [`LabelPlane`]: it reads only the
+/// active cone, and an `O(n × columns)` decode would break its
+/// `O(active)` cost model.
+#[derive(Clone, Copy)]
+struct LabelBytes<'a> {
+    bytes: &'a [u8],
+    spc: usize,
+}
+
+impl LabelBytes<'_> {
+    /// The label of the subject at topo position `slot` in column `c`.
+    #[inline]
+    fn get(&self, c: usize, slot: usize) -> Option<Mode> {
+        match self.bytes[c * self.spc + slot] {
+            0 => None,
+            1 => Some(Mode::Pos),
+            2 => Some(Mode::Neg),
+            _ => Some(Mode::Default),
+        }
+    }
+}
+
 /// The narrow tier's storage: three parallel `u64` count lanes sharing
 /// one arena offset space. `pos[i]`, `neg[i]`, `def[i]` together are the
-/// [`ModeCounts`] of arena cell `i`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// [`ModeCounts`] of arena cell `i`. Each lane is a cache-line-aligned
+/// buffer (see [`AlignedVec`]) so the SIMD merges start on 64-byte
+/// boundaries; `kernels` is the dispatched backend the current sweep
+/// merges with (stamped by `compute_impl`, irrelevant once the sweep is
+/// finished — which is why equality ignores it).
+#[derive(Debug, Clone, Default)]
 struct LanePlanes {
-    pos: Vec<u64>,
-    neg: Vec<u64>,
-    def: Vec<u64>,
+    pos: AlignedVec,
+    neg: AlignedVec,
+    def: AlignedVec,
+    kernels: Kernels,
 }
+
+impl PartialEq for LanePlanes {
+    fn eq(&self, other: &LanePlanes) -> bool {
+        // Data only: which backend merged the lanes is dispatch state,
+        // not part of the result (all backends are bit-identical).
+        self.pos == other.pos && self.neg == other.neg && self.def == other.def
+    }
+}
+
+impl Eq for LanePlanes {}
 
 impl LanePlanes {
     /// Number of cells currently in the lanes.
@@ -163,27 +207,6 @@ impl LanePlanes {
     }
 }
 
-/// Lane-wise `lane[dst..dst+len] += lane[src..src+len]` where the source
-/// row lives strictly below `dst`. The adds are unchecked on purpose:
-/// every source row passed the saturation check (≤ the context's narrow
-/// limit), and the limit is chosen so that `max_fan_in` limit-sized rows
-/// plus an own contribution cannot wrap a `u64`.
-#[inline]
-fn merge_lane(lane: &mut [u64], dst: usize, src: usize, len: usize) {
-    let (head, tail) = lane.split_at_mut(dst);
-    for (d, s) in tail[..len].iter_mut().zip(&head[src..src + len]) {
-        *d += *s;
-    }
-}
-
-/// Lane-wise `dst += src` over equal-length slices (defaults-plane merge).
-#[inline]
-fn add_lane(dst: &mut [u64], src: &[u64]) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d += *s;
-    }
-}
-
 /// The operations the shared sweep body needs from a count arena,
 /// implemented by both storage tiers. Offsets are absolute arena cell
 /// indexes; callers guarantee `src + len <= dst` for
@@ -194,6 +217,16 @@ trait CountTier {
     fn end(&self) -> usize;
     /// Appends `n` zeroed cells at the tail.
     fn grow(&mut self, n: usize);
+    /// Appends a copy of cells `src..src + len` at the tail: a fresh
+    /// row's first source row lands by straight copy, so row creation
+    /// touches each covered cell once (read + write) instead of twice
+    /// (zero-fill, then add-onto-zero). Equivalent to `grow(len)`
+    /// followed by a merge — a copy is an add onto zeros, and cannot
+    /// overflow.
+    fn extend_from_within(&mut self, src: usize, len: usize);
+    /// [`CountTier::extend_from_within`] reading from the shared
+    /// defaults plane (pruned sweeps' cone-boundary rows).
+    fn extend_from_defaults(&mut self, defaults: &DefaultRows, src: usize, len: usize);
     /// `self[at] += 1` in `mode`'s lane.
     fn bump(&mut self, at: usize, mode: Mode) -> Result<(), CoreError>;
     /// Lane-wise `self[dst..dst+len] += self[src..src+len]`.
@@ -209,6 +242,16 @@ trait CountTier {
     /// Saturation check once a row is complete: `false` aborts the sweep
     /// so the batch can escalate. The wide tier never aborts.
     fn row_fits(&self, offset: usize, len: usize, limit: u64) -> bool;
+    /// Hints that cells `at..at + len` will be merged shortly: the sweep
+    /// calls this from pass 1 (span computation) for each parent row it
+    /// collects, so the rows are in flight by the time pass 2 issues the
+    /// adds. Purely advisory — the default is a no-op, and the narrow
+    /// tier forwards to its kernels, where the scalar oracle also skips
+    /// it (prefetch placement is part of the explicit backend).
+    #[inline]
+    fn prefetch(&self, at: usize, len: usize) {
+        let _ = (at, len);
+    }
 }
 
 impl CountTier for Vec<ModeCounts> {
@@ -220,6 +263,16 @@ impl CountTier for Vec<ModeCounts> {
     #[inline]
     fn grow(&mut self, n: usize) {
         self.resize(self.len() + n, ModeCounts::default());
+    }
+
+    #[inline]
+    fn extend_from_within(&mut self, src: usize, len: usize) {
+        Vec::extend_from_within(self, src..src + len);
+    }
+
+    #[inline]
+    fn extend_from_defaults(&mut self, defaults: &DefaultRows, src: usize, len: usize) {
+        self.extend_from_slice(&defaults.counts[src..src + len]);
     }
 
     #[inline]
@@ -268,9 +321,27 @@ impl CountTier for LanePlanes {
     #[inline]
     fn grow(&mut self, n: usize) {
         let target = self.pos.len() + n;
-        self.pos.resize(target, 0);
-        self.neg.resize(target, 0);
-        self.def.resize(target, 0);
+        self.pos.resize_zeroed(target);
+        self.neg.resize_zeroed(target);
+        self.def.resize_zeroed(target);
+    }
+
+    #[inline]
+    fn extend_from_within(&mut self, src: usize, len: usize) {
+        self.pos.extend_from_within(src, len);
+        self.neg.extend_from_within(src, len);
+        self.def.extend_from_within(src, len);
+    }
+
+    #[inline]
+    fn extend_from_defaults(&mut self, defaults: &DefaultRows, src: usize, len: usize) {
+        let nd = defaults
+            .narrow
+            .as_ref()
+            .expect("narrow pruned sweeps require narrow default planes");
+        self.pos.extend_from_slice(&nd.pos[src..src + len]);
+        self.neg.extend_from_slice(&nd.neg[src..src + len]);
+        self.def.extend_from_slice(&nd.def[src..src + len]);
     }
 
     #[inline]
@@ -285,9 +356,12 @@ impl CountTier for LanePlanes {
 
     #[inline]
     fn merge_within(&mut self, dst: usize, src: usize, len: usize) -> Result<(), CoreError> {
-        merge_lane(&mut self.pos, dst, src, len);
-        merge_lane(&mut self.neg, dst, src, len);
-        merge_lane(&mut self.def, dst, src, len);
+        // The adds are unchecked on purpose: every source row passed the
+        // saturation check (≤ the context's narrow limit), and the limit
+        // is chosen so that `max_fan_in` limit-sized rows plus an own
+        // contribution cannot wrap a `u64`.
+        self.kernels
+            .add_shift3(&mut self.pos, &mut self.neg, &mut self.def, dst, src, len);
         Ok(())
     }
 
@@ -303,9 +377,11 @@ impl CountTier for LanePlanes {
             .narrow
             .as_ref()
             .expect("narrow pruned sweeps require narrow default planes");
-        add_lane(&mut self.pos[dst..dst + len], &nd.pos[src..src + len]);
-        add_lane(&mut self.neg[dst..dst + len], &nd.neg[src..src + len]);
-        add_lane(&mut self.def[dst..dst + len], &nd.def[src..src + len]);
+        self.kernels.add_lanes3(
+            (&mut self.pos[dst..dst + len], &nd.pos[src..src + len]),
+            (&mut self.neg[dst..dst + len], &nd.neg[src..src + len]),
+            (&mut self.def[dst..dst + len], &nd.def[src..src + len]),
+        );
         Ok(())
     }
 
@@ -313,18 +389,20 @@ impl CountTier for LanePlanes {
     fn row_fits(&self, offset: usize, len: usize, limit: u64) -> bool {
         // `limit` is always 2^k - 1, so OR-accumulating the row and
         // comparing once is an exact "any lane value > limit" test —
-        // and a loop LLVM vectorizes, unlike a branchy per-cell max.
-        let mut seen = 0u64;
-        for &x in &self.pos[offset..offset + len] {
-            seen |= x;
-        }
-        for &x in &self.neg[offset..offset + len] {
-            seen |= x;
-        }
-        for &x in &self.def[offset..offset + len] {
-            seen |= x;
-        }
+        // a straight vector OR in every backend, unlike a branchy
+        // per-cell max.
+        let seen = self.kernels.or_reduce3(
+            &self.pos[offset..offset + len],
+            &self.neg[offset..offset + len],
+            &self.def[offset..offset + len],
+        );
         seen <= limit
+    }
+
+    #[inline]
+    fn prefetch(&self, at: usize, len: usize) {
+        self.kernels
+            .prefetch3(&self.pos, &self.neg, &self.def, at, len);
     }
 }
 
@@ -529,11 +607,9 @@ impl SweepContext {
     /// Runs in the wide tier (one-time cost per context), then derives
     /// narrow lane copies when every count fits the narrow ceiling.
     fn build_default_rows(&self) -> Result<DefaultRows, CoreError> {
-        let empty = vec![0u64; words_per_column(self.subjects)];
-        let labels = LabelPlane {
-            words: &empty,
-            wpc: words_per_column(self.subjects),
-        };
+        let spc = words_per_column(self.subjects) * LABELS_PER_WORD;
+        let empty = vec![0u8; spc];
+        let labels = LabelBytes { bytes: &empty, spc };
         let mut rows = vec![RowMeta::default(); self.subjects];
         let mut counts: Vec<ModeCounts> = Vec::new();
         FusedSweep::sweep_tier(
@@ -553,6 +629,7 @@ impl SweepContext {
                 pos: counts.iter().map(|c| c.pos as u64).collect(),
                 neg: counts.iter().map(|c| c.neg as u64).collect(),
                 def: counts.iter().map(|c| c.def as u64).collect(),
+                kernels: Kernels::default(),
             });
         Ok(DefaultRows {
             rows,
@@ -611,6 +688,9 @@ impl SweepContext {
 pub struct SweepScratch {
     /// Packed 2-bit label planes, one per column (see [`LabelPlane`]).
     label_words: Vec<u64>,
+    /// SIMD-decoded byte view of `label_words` for dense walks (see
+    /// [`LabelBytes`]); empty on pruned batches.
+    label_bytes: Vec<u8>,
     rows: Vec<RowMeta>,
     /// The wide tier's arena (also the escalation target).
     counts: Vec<ModeCounts>,
@@ -634,6 +714,7 @@ pub struct SweepScratch {
     /// Per-buffer high-water marks (lengths actually used) within the
     /// current trim window.
     words_peak: usize,
+    bytes_peak: usize,
     rows_peak: usize,
     counts_peak: usize,
     lanes_peak: usize,
@@ -655,6 +736,7 @@ impl SweepScratch {
     /// wide `ModeCounts` arena — plus the packed label plane.
     pub fn retained_bytes(&self) -> usize {
         self.label_words.capacity() * std::mem::size_of::<u64>()
+            + self.label_bytes.capacity()
             + self.rows.capacity() * std::mem::size_of::<RowMeta>()
             + self.counts.capacity() * std::mem::size_of::<ModeCounts>()
             + self.lanes.capacity_bytes()
@@ -680,6 +762,7 @@ impl SweepScratch {
     /// the recent workload instead of the historical maximum.
     fn note_batch_and_trim(&mut self) {
         self.words_peak = self.words_peak.max(self.label_words.len());
+        self.bytes_peak = self.bytes_peak.max(self.label_bytes.len());
         self.rows_peak = self.rows_peak.max(self.rows.len());
         self.counts_peak = self.counts_peak.max(self.counts.len());
         self.lanes_peak = self.lanes_peak.max(self.lanes.len());
@@ -691,6 +774,9 @@ impl SweepScratch {
         if self.label_words.capacity() > 2 * self.words_peak {
             self.label_words.shrink_to(self.words_peak);
         }
+        if self.label_bytes.capacity() > 2 * self.bytes_peak {
+            self.label_bytes.shrink_to(self.bytes_peak);
+        }
         if self.rows.capacity() > 2 * self.rows_peak {
             self.rows.shrink_to(self.rows_peak);
         }
@@ -701,6 +787,7 @@ impl SweepScratch {
             self.lanes.shrink_to(self.lanes_peak);
         }
         self.words_peak = 0;
+        self.bytes_peak = 0;
         self.rows_peak = 0;
         self.counts_peak = 0;
         self.lanes_peak = 0;
@@ -875,7 +962,42 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
-        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true, true)
+        Self::compute_impl(
+            ctx,
+            eacm,
+            pairs,
+            mode,
+            scratch,
+            true,
+            true,
+            Kernels::active(),
+        )
+    }
+
+    /// [`FusedSweep::compute_with`] with the SIMD `backend` forced
+    /// (clamped to what the host supports) instead of the process-wide
+    /// [`crate::engine::simd::active_backend`]. Every backend is
+    /// bit-identical — including escalation decisions — so this exists
+    /// for the forced-backend equivalence tests and the `fused_sweep`
+    /// bench's within-run backend comparison, not for steering results.
+    pub fn compute_with_backend(
+        ctx: &SweepContext,
+        eacm: &Eacm,
+        pairs: &[(ObjectId, RightId)],
+        mode: PropagationMode,
+        scratch: &mut SweepScratch,
+        backend: Backend,
+    ) -> Result<FusedSweep, CoreError> {
+        Self::compute_impl(
+            ctx,
+            eacm,
+            pairs,
+            mode,
+            scratch,
+            true,
+            true,
+            Kernels::new(backend),
+        )
     }
 
     /// The dense full-walk reference: [`FusedSweep::compute_with`] with
@@ -889,7 +1011,16 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
-        Self::compute_impl(ctx, eacm, pairs, mode, scratch, false, true)
+        Self::compute_impl(
+            ctx,
+            eacm,
+            pairs,
+            mode,
+            scratch,
+            false,
+            true,
+            Kernels::active(),
+        )
     }
 
     /// The forced wide-tier run: [`FusedSweep::compute_with`] with the
@@ -904,9 +1035,19 @@ impl FusedSweep {
         mode: PropagationMode,
         scratch: &mut SweepScratch,
     ) -> Result<FusedSweep, CoreError> {
-        Self::compute_impl(ctx, eacm, pairs, mode, scratch, true, false)
+        Self::compute_impl(
+            ctx,
+            eacm,
+            pairs,
+            mode,
+            scratch,
+            true,
+            false,
+            Kernels::active(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compute_impl(
         ctx: &SweepContext,
         eacm: &Eacm,
@@ -915,6 +1056,7 @@ impl FusedSweep {
         scratch: &mut SweepScratch,
         allow_prune: bool,
         allow_narrow: bool,
+        kernels: Kernels,
     ) -> Result<FusedSweep, CoreError> {
         let n = ctx.subjects;
         let k = pairs.len();
@@ -988,9 +1130,28 @@ impl FusedSweep {
         let mut rows = std::mem::take(&mut scratch.rows);
         rows.clear();
         rows.resize(n * k, RowMeta::default());
-        let labels = LabelPlane {
+        // Dense walks read every `(column, slot)` label exactly once, so
+        // SIMD-decode the packed planes to a byte per slot up front (see
+        // [`LabelBytes`]); pruned walks keep the packed plane to stay
+        // `O(active)`.
+        let spc = wpc * LABELS_PER_WORD;
+        scratch.label_bytes.clear();
+        if pruned.is_none() {
+            scratch.label_bytes.resize(spc * k, 0);
+            for c in 0..k {
+                kernels.expand_labels(
+                    &scratch.label_words[c * wpc..(c + 1) * wpc],
+                    &mut scratch.label_bytes[c * spc..(c + 1) * spc],
+                );
+            }
+        }
+        let packed = LabelPlane {
             words: &scratch.label_words,
             wpc,
+        };
+        let decoded = LabelBytes {
+            bytes: &scratch.label_bytes,
+            spc,
         };
         let active = pruned.is_some().then_some(scratch.active.len());
 
@@ -1006,11 +1167,12 @@ impl FusedSweep {
         if narrow_possible {
             let mut lanes = std::mem::take(&mut scratch.lanes);
             lanes.clear();
+            lanes.kernels = kernels;
             let fits = match &pruned {
                 Some(defaults) => Self::sweep_pruned_tier(
                     ctx,
                     k,
-                    labels,
+                    packed,
                     mode,
                     &scratch.active,
                     defaults,
@@ -1021,7 +1183,7 @@ impl FusedSweep {
                 None => Self::sweep_tier(
                     ctx,
                     k,
-                    labels,
+                    decoded,
                     mode,
                     &mut rows,
                     &mut lanes,
@@ -1057,7 +1219,7 @@ impl FusedSweep {
             Some(defaults) => Self::sweep_pruned_tier(
                 ctx,
                 k,
-                labels,
+                packed,
                 mode,
                 &scratch.active,
                 defaults,
@@ -1065,7 +1227,7 @@ impl FusedSweep {
                 &mut counts,
                 0,
             ),
-            None => Self::sweep_tier(ctx, k, labels, mode, &mut rows, &mut counts, 0),
+            None => Self::sweep_tier(ctx, k, decoded, mode, &mut rows, &mut counts, 0),
         };
         match result {
             Ok(_) => Ok(FusedSweep {
@@ -1109,7 +1271,7 @@ impl FusedSweep {
     fn sweep_tier<T: CountTier>(
         ctx: &SweepContext,
         columns: usize,
-        labels: LabelPlane<'_>,
+        labels: LabelBytes<'_>,
         mode: PropagationMode,
         rows: &mut [RowMeta],
         arena: &mut T,
@@ -1117,10 +1279,25 @@ impl FusedSweep {
     ) -> Result<bool, CoreError> {
         let n = ctx.subjects;
         debug_assert_eq!(rows.len(), n * columns, "row index shape");
+        // Two hot scratch lists keep the parent indirections off the
+        // walk's critical path: `pbases` resolves each parent's row-index
+        // base (`topo_pos[p] * columns`) once per node instead of once
+        // per column, and `inflow` replays pass 1's scattered `RowMeta`
+        // loads to pass 2 from L1 instead of re-walking the row index.
+        // On deep shapes those two loads are the walk's dominant
+        // backend-neutral cache traffic.
+        let mut pbases: Vec<usize> = Vec::new();
+        let mut inflow: Vec<RowMeta> = Vec::new();
         for (slot, &v) in ctx.topo.iter().enumerate() {
             let v = v as usize;
             let parents = ctx.parents(v);
             let is_root = parents.is_empty();
+            pbases.clear();
+            pbases.extend(
+                parents
+                    .iter()
+                    .map(|&p| ctx.topo_pos[p as usize] as usize * columns),
+            );
             for c in 0..columns {
                 let own = labels.get(c, slot);
 
@@ -1144,17 +1321,18 @@ impl FusedSweep {
                 // shifted one edge down.
                 let mut base = u32::MAX;
                 let mut end = 0u32; // exclusive
-                let mut has_inflow = false;
-                for &p in parents {
-                    let r = rows[ctx.topo_pos[p as usize] as usize * columns + c];
+                inflow.clear();
+                for &pb in &pbases {
+                    let r = rows[pb + c];
                     if r.len == 0 {
                         continue;
                     }
-                    has_inflow = true;
                     let pb = r.base.checked_add(1).ok_or(CoreError::DistanceOverflow)?;
                     let pe = pb.checked_add(r.len).ok_or(CoreError::DistanceOverflow)?;
                     base = base.min(pb);
                     end = end.max(pe);
+                    arena.prefetch(r.offset, r.len as usize);
+                    inflow.push(r);
                 }
                 let own_contrib = match mode {
                     PropagationMode::Both => {
@@ -1169,7 +1347,7 @@ impl FusedSweep {
                         }
                     }
                     PropagationMode::FirstWins => match own {
-                        Some(m) if !has_inflow => Some(m),
+                        Some(m) if inflow.is_empty() => Some(m),
                         Some(_) => None,
                         None if is_root => Some(Mode::Default),
                         None => None,
@@ -1186,17 +1364,26 @@ impl FusedSweep {
                 // Pass 2: reserve the dense slice at the arena tail and
                 // merge. Parents' rows live strictly below `offset`, so
                 // split borrows inside the tier keep everything safe.
+                // The first source row lands by copy with zero-filled
+                // flanks (see [`CountTier::extend_from_within`]); only
+                // the remaining rows pay a read-modify-write merge.
                 let len = end - base;
                 let offset = arena.end();
-                arena.grow(len as usize);
+                let mut rest: &[RowMeta] = &inflow;
+                match inflow.split_first() {
+                    Some((first, more)) => {
+                        let start = (first.base + 1 - base) as usize;
+                        arena.grow(start);
+                        arena.extend_from_within(first.offset, first.len as usize);
+                        arena.grow(len as usize - start - first.len as usize);
+                        rest = more;
+                    }
+                    None => arena.grow(len as usize),
+                }
                 if let Some(m) = own_contrib {
                     arena.bump(offset, m)?; // base == 0 whenever own_contrib is set
                 }
-                for &p in parents {
-                    let r = rows[ctx.topo_pos[p as usize] as usize * columns + c];
-                    if r.len == 0 {
-                        continue;
-                    }
+                for r in rest {
                     let start = (r.base + 1 - base) as usize;
                     arena.merge_within(offset + start, r.offset, r.len as usize)?;
                 }
@@ -1233,16 +1420,42 @@ impl FusedSweep {
     ) -> Result<bool, CoreError> {
         let n = ctx.subjects;
         debug_assert_eq!(rows.len(), n * columns, "row index shape");
+        // Same scratch-list scheme as the dense tier: parent topo slots
+        // resolve once per node, and the inherits scan doubles as pass 1's
+        // row collection so each parent's (real or default) `RowMeta` is
+        // loaded exactly once per column. The `bool` remembers which table
+        // the row came from — pass 2 routes real rows to `merge_within`
+        // and default rows to `merge_defaults`.
+        let mut pslots: Vec<usize> = Vec::new();
+        let mut inflow: Vec<(RowMeta, bool)> = Vec::new();
         for &v in active {
             let v = v as usize;
             let slot = ctx.topo_pos[v] as usize;
             let parents = ctx.parents(v);
             let is_root = parents.is_empty();
+            pslots.clear();
+            pslots.extend(parents.iter().map(|&p| ctx.topo_pos[p as usize] as usize));
             for c in 0..columns {
                 let own = labels.get(c, slot);
-                let inherits = parents
-                    .iter()
-                    .any(|&p| rows[ctx.topo_pos[p as usize] as usize * columns + c].len != 0);
+                // Collect inflow rows, with column-inactive parents
+                // contributing their (true) default rows. No fallible
+                // arithmetic happens here, so skipped cells below still
+                // never surface span-overflow errors.
+                inflow.clear();
+                let mut inherits = false;
+                for &ps in &pslots {
+                    let r = rows[ps * columns + c];
+                    if r.len != 0 {
+                        inherits = true;
+                        arena.prefetch(r.offset, r.len as usize);
+                        inflow.push((r, false));
+                    } else {
+                        let dr = defaults.rows[ps];
+                        if dr.len != 0 {
+                            inflow.push((dr, true));
+                        }
+                    }
+                }
                 if own.is_none() && !inherits {
                     continue; // default-only cell, served from `defaults`
                 }
@@ -1263,21 +1476,11 @@ impl FusedSweep {
                     }
                 }
 
-                // Pass 1: the distance span, with column-inactive parents
-                // contributing their (true) default rows.
+                // Pass 1: the distance span from the collected rows
+                // shifted one edge down.
                 let mut base = u32::MAX;
                 let mut end = 0u32; // exclusive
-                let mut has_inflow = false;
-                for &p in parents {
-                    let ps = ctx.topo_pos[p as usize] as usize;
-                    let mut r = rows[ps * columns + c];
-                    if r.len == 0 {
-                        r = defaults.rows[ps];
-                    }
-                    if r.len == 0 {
-                        continue;
-                    }
-                    has_inflow = true;
+                for &(r, _) in &inflow {
                     let pb = r.base.checked_add(1).ok_or(CoreError::DistanceOverflow)?;
                     let pe = pb.checked_add(r.len).ok_or(CoreError::DistanceOverflow)?;
                     base = base.min(pb);
@@ -1296,7 +1499,7 @@ impl FusedSweep {
                         }
                     }
                     PropagationMode::FirstWins => match own {
-                        Some(m) if !has_inflow => Some(m),
+                        Some(m) if inflow.is_empty() => Some(m),
                         Some(_) => None,
                         None if is_root => Some(Mode::Default),
                         None => None,
@@ -1315,28 +1518,30 @@ impl FusedSweep {
                 // table instead of this sweep's arena.
                 let len = end - base;
                 let offset = arena.end();
-                arena.grow(len as usize);
+                let mut rest: &[(RowMeta, bool)] = &inflow;
+                match inflow.split_first() {
+                    Some((&(first, first_default), more)) => {
+                        let start = (first.base + 1 - base) as usize;
+                        arena.grow(start);
+                        if first_default {
+                            arena.extend_from_defaults(defaults, first.offset, first.len as usize);
+                        } else {
+                            arena.extend_from_within(first.offset, first.len as usize);
+                        }
+                        arena.grow(len as usize - start - first.len as usize);
+                        rest = more;
+                    }
+                    None => arena.grow(len as usize),
+                }
                 if let Some(m) = own_contrib {
                     arena.bump(offset, m)?; // base == 0 whenever own_contrib is set
                 }
-                for &p in parents {
-                    let ps = ctx.topo_pos[p as usize] as usize;
-                    let r = rows[ps * columns + c];
-                    if r.len != 0 {
-                        let start = (r.base + 1 - base) as usize;
-                        arena.merge_within(offset + start, r.offset, r.len as usize)?;
+                for &(r, is_default) in rest {
+                    let start = (r.base + 1 - base) as usize;
+                    if is_default {
+                        arena.merge_defaults(offset + start, defaults, r.offset, r.len as usize)?;
                     } else {
-                        let dr = defaults.rows[ps];
-                        if dr.len == 0 {
-                            continue;
-                        }
-                        let start = (dr.base + 1 - base) as usize;
-                        arena.merge_defaults(
-                            offset + start,
-                            defaults,
-                            dr.offset,
-                            dr.len as usize,
-                        )?;
+                        arena.merge_within(offset + start, r.offset, r.len as usize)?;
                     }
                 }
                 if !arena.row_fits(offset, len as usize, limit) {
@@ -1389,6 +1594,7 @@ impl FusedSweep {
                 pos: counts.iter().map(|c| c.pos as u64).collect(),
                 neg: counts.iter().map(|c| c.neg as u64).collect(),
                 def: counts.iter().map(|c| c.def as u64).collect(),
+                kernels: Kernels::default(),
             })
         } else {
             CountArena::Wide(counts)

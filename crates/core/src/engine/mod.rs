@@ -20,6 +20,7 @@
 pub mod counting;
 pub mod kernel;
 pub mod path_enum;
+pub mod simd;
 
 use crate::error::CoreError;
 use crate::ids::SubjectId;

@@ -1,0 +1,1450 @@
+//! Runtime-dispatched SIMD backends for the fused sweep's hot loops.
+//!
+//! The narrow tier's inner loops — the shift-merge lane adds, the
+//! per-row OR-accumulate saturation check, and the 2-bit label-plane
+//! decode — are all straight-line passes over contiguous `u64`/byte
+//! buffers that LLVM already autovectorizes against the crate's baseline
+//! target (SSE2 on `x86_64`). This module adds *explicit* AVX2 and SSE2
+//! implementations behind cpuid-gated runtime dispatch, so a generic
+//! binary gets 256-bit lanes on hosts that have them without recompiling
+//! with `-C target-cpu=native`.
+//!
+//! ## Dispatch model
+//!
+//! The backend is chosen **once per process**: [`active_backend`]
+//! inspects the `UCRA_KERNEL_BACKEND` environment variable (values
+//! `scalar`, `sse2`, `avx2`; unknown values are ignored), clamps the
+//! request to what the CPU actually supports, and falls back to
+//! cpuid-based auto-detection (AVX2 → SSE2 → scalar). Benchmarks pin a
+//! backend programmatically via [`pin_backend`] before first use.
+//!
+//! Every operation is exposed through a [`Kernels`] handle rather than a
+//! bare [`Backend`] value: a `Kernels` can only be constructed by
+//! clamping the requested backend to the host's capabilities
+//! ([`Kernels::new`]), so the `unsafe` `#[target_feature]` calls behind
+//! it are sound by construction and callers (including the per-sweep
+//! forced-backend test paths) stay entirely safe.
+//!
+//! ## Why scalar stays the oracle
+//!
+//! The scalar implementations are always compiled, are the only path
+//! taken under Miri (`cfg(miri)` disables the intrinsic modules
+//! entirely) and on non-`x86_64` targets, and serve as the equivalence
+//! oracle: all three operations are exact integer transforms (wrapping
+//! `u64` adds that never wrap by the narrow-limit invariant, bitwise OR,
+//! bit-field extraction), so every backend is **bit-identical** — the
+//! forced-backend proptests in `tests/kernel_equivalence.rs` assert this
+//! across all 48 strategies × 3 propagation modes, including the
+//! escalation decisions taken at `row_fits` saturation sites.
+//!
+//! `unsafe` is confined to this module (the same `deny(unsafe_code)`
+//! opt-out pattern as [`crate::pool`]); the rest of the crate cannot opt
+//! out silently.
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// A SIMD instruction-set tier for the narrow-tier kernels, ordered from
+/// most portable to most capable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// The always-compiled autovectorized Rust loops (the oracle).
+    #[default]
+    Scalar,
+    /// 128-bit `x86_64` vectors (`_mm_add_epi64` et al.). Label decode
+    /// stays scalar on this tier: the byte shuffle it wants (`pshufb`)
+    /// is SSSE3, not SSE2.
+    Sse2,
+    /// 256-bit `x86_64` vectors (`_mm256_add_epi64` et al.).
+    Avx2,
+}
+
+impl Backend {
+    /// All backends, most portable first.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Sse2, Backend::Avx2];
+
+    /// The stable lowercase name (`scalar` / `sse2` / `avx2`), as used by
+    /// `UCRA_KERNEL_BACKEND`, stats surfaces and bench provenance.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Dense index (0/1/2) for per-backend counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this process can actually execute this backend's
+    /// instructions (cpuid on `x86_64`; only [`Backend::Scalar`] under
+    /// Miri or on other architectures).
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Backend::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => false,
+        }
+    }
+
+    /// This backend if the host supports it, otherwise the most capable
+    /// supported tier below it.
+    pub fn clamped(self) -> Backend {
+        Backend::ALL
+            .iter()
+            .rev()
+            .copied()
+            .find(|b| *b <= self && b.is_supported())
+            .unwrap_or(Backend::Scalar)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Backend, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Backend::Scalar),
+            "sse2" => Ok(Backend::Sse2),
+            "avx2" => Ok(Backend::Avx2),
+            _ => Err(()),
+        }
+    }
+}
+
+/// The most capable backend the host CPU supports, ignoring any
+/// override. This is what bench provenance records alongside the
+/// *selected* backend.
+pub fn detected_backend() -> Backend {
+    Backend::Avx2.clamped()
+}
+
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+fn choose_backend() -> Backend {
+    match std::env::var("UCRA_KERNEL_BACKEND") {
+        Ok(v) => match v.parse::<Backend>() {
+            Ok(b) => b.clamped(),
+            // An unknown value is ignored rather than fatal: the kernel
+            // must keep serving, and the stats surface exposes what was
+            // actually selected.
+            Err(()) => detected_backend(),
+        },
+        Err(_) => detected_backend(),
+    }
+}
+
+/// The process-wide backend, selected once on first use:
+/// `UCRA_KERNEL_BACKEND` if set (clamped to host support), otherwise
+/// the auto-detected best tier.
+pub fn active_backend() -> Backend {
+    *ACTIVE.get_or_init(choose_backend)
+}
+
+/// Pins the process-wide backend (clamped to host support) before first
+/// use; benches use this for `--backend`. Returns the backend actually
+/// active afterwards — the pre-existing selection if something already
+/// forced the choice.
+pub fn pin_backend(requested: Backend) -> Backend {
+    let _ = ACTIVE.set(requested.clamped());
+    active_backend()
+}
+
+/// A capability-checked handle to one backend's kernel implementations.
+///
+/// Constructing a `Kernels` clamps the requested backend to what the
+/// host supports, which is exactly the invariant that makes the
+/// `#[target_feature]` calls inside the dispatch methods sound — so the
+/// methods themselves are safe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Kernels {
+    backend: Backend,
+}
+
+impl Kernels {
+    /// Kernels for `backend`, clamped to host support.
+    pub fn new(backend: Backend) -> Kernels {
+        Kernels {
+            backend: backend.clamped(),
+        }
+    }
+
+    /// Kernels for the process-wide [`active_backend`].
+    pub fn active() -> Kernels {
+        Kernels {
+            backend: active_backend(),
+        }
+    }
+
+    /// The always-supported scalar kernels.
+    pub fn scalar() -> Kernels {
+        Kernels {
+            backend: Backend::Scalar,
+        }
+    }
+
+    /// The backend these kernels execute.
+    pub fn backend(self) -> Backend {
+        self.backend
+    }
+
+    /// Lane-wise `dst[i] += src[i]` over equal-length `u64` slices — the
+    /// shift-merge add at the heart of the narrow tier. Adds are
+    /// unchecked/wrapping in every backend; the narrow-limit invariant
+    /// guarantees they cannot wrap in kernel use.
+    #[inline]
+    pub fn add_lanes(self, dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len(), "lane add shape");
+        match self.backend {
+            Backend::Scalar => scalar::add_lanes(dst, src),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: `Kernels` construction clamped the backend to the
+            // host's detected features.
+            Backend::Sse2 => unsafe { x86::sse2_add_lanes(dst, src) },
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::avx2_add_lanes(dst, src) },
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => scalar::add_lanes(dst, src),
+        }
+    }
+
+    /// [`Self::add_lanes`] over all three count planes of a row span in
+    /// one dispatched call — the form the sweep actually runs. Row
+    /// spans are one distance histogram long (tens of cells), short
+    /// enough that a per-plane `#[target_feature]` call boundary costs
+    /// as much as the adds it guards; fusing pos/neg/def amortizes the
+    /// dispatch 3× and hands the vector loop three independent
+    /// dependency chains.
+    #[inline]
+    pub fn add_lanes3(
+        self,
+        pos: (&mut [u64], &[u64]),
+        neg: (&mut [u64], &[u64]),
+        def: (&mut [u64], &[u64]),
+    ) {
+        debug_assert!(
+            pos.0.len() == pos.1.len()
+                && neg.0.len() == neg.1.len()
+                && def.0.len() == def.1.len()
+                && pos.0.len() == neg.0.len()
+                && pos.0.len() == def.0.len(),
+            "fused lane add shape"
+        );
+        match self.backend {
+            Backend::Scalar => {
+                scalar::add_lanes(pos.0, pos.1);
+                scalar::add_lanes(neg.0, neg.1);
+                scalar::add_lanes(def.0, def.1);
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: `Kernels` construction clamped the backend to the
+            // host's detected features.
+            Backend::Sse2 => unsafe { x86::sse2_add_lanes3(pos, neg, def) },
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::avx2_add_lanes3(pos, neg, def) },
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => {
+                scalar::add_lanes(pos.0, pos.1);
+                scalar::add_lanes(neg.0, neg.1);
+                scalar::add_lanes(def.0, def.1);
+            }
+        }
+    }
+
+    /// Issues cache prefetch hints for cells `at..at + len` of all three
+    /// planes. The sweep calls this while computing a row's span (pass
+    /// 1), so the parent rows it is about to merge (pass 2) are already
+    /// in flight when the adds issue. The scalar oracle deliberately
+    /// skips the hints: prefetching is part of the explicit backend's
+    /// contract, and a hint cannot change results — out-of-range
+    /// offsets are clamped away, and the hardware treats the rest as
+    /// advice.
+    #[inline]
+    pub fn prefetch3(self, pos: &[u64], neg: &[u64], def: &[u64], at: usize, len: usize) {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        if !matches!(self.backend, Backend::Scalar) {
+            let end = (at + len).min(pos.len()).min(neg.len()).min(def.len());
+            let mut i = at;
+            // One hint per 64-byte line (8 u64 cells).
+            while i < end {
+                x86::prefetch3(pos.as_ptr(), neg.as_ptr(), def.as_ptr(), i);
+                i += 8;
+            }
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        let _ = (pos, neg, def, at, len);
+    }
+
+    /// The shift-merge special case of [`Self::add_lanes3`]: source and
+    /// destination spans live in the *same* three planes, `len` cells at
+    /// offsets `src` and `dst` with `src + len <= dst`. Bounds are
+    /// checked here once, so the intrinsic backends take six plain
+    /// machine words — everything rides in argument registers, where the
+    /// general slice-pair form spills half its arguments to the stack on
+    /// every call (and the sweep makes one call per row merge).
+    #[inline]
+    pub fn add_shift3(
+        self,
+        pos: &mut [u64],
+        neg: &mut [u64],
+        def: &mut [u64],
+        dst: usize,
+        src: usize,
+        len: usize,
+    ) {
+        let cap = pos.len().min(neg.len()).min(def.len());
+        assert!(
+            src + len <= dst && dst + len <= cap,
+            "shift-merge spans must be disjoint and in bounds"
+        );
+        match self.backend {
+            Backend::Scalar => {
+                scalar::add_shift(pos, dst, src, len);
+                scalar::add_shift(neg, dst, src, len);
+                scalar::add_shift(def, dst, src, len);
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: the assert above guarantees both spans of all
+            // three planes are in bounds and disjoint; `Kernels`
+            // construction clamped the backend to the host's features.
+            Backend::Sse2 => unsafe {
+                x86::sse2_add_shift3(
+                    pos.as_mut_ptr(),
+                    neg.as_mut_ptr(),
+                    def.as_mut_ptr(),
+                    dst,
+                    src,
+                    len,
+                );
+            },
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe {
+                x86::avx2_add_shift3(
+                    pos.as_mut_ptr(),
+                    neg.as_mut_ptr(),
+                    def.as_mut_ptr(),
+                    dst,
+                    src,
+                    len,
+                );
+            },
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => {
+                scalar::add_shift(pos, dst, src, len);
+                scalar::add_shift(neg, dst, src, len);
+                scalar::add_shift(def, dst, src, len);
+            }
+        }
+    }
+
+    /// OR of every element — the saturation probe behind `row_fits`.
+    /// The narrow limit is `2^k - 1`, so `or_reduce(row) <= limit` is an
+    /// exact "no lane exceeds the ceiling" test.
+    #[inline]
+    pub fn or_reduce(self, xs: &[u64]) -> u64 {
+        match self.backend {
+            Backend::Scalar => scalar::or_reduce(xs),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: `Kernels` construction clamped the backend to the
+            // host's detected features.
+            Backend::Sse2 => unsafe { x86::sse2_or_reduce(xs) },
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::avx2_or_reduce(xs) },
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => scalar::or_reduce(xs),
+        }
+    }
+
+    /// [`Self::or_reduce`] over a row's three equal-length count planes
+    /// in one dispatched call — the saturation probe `row_fits` runs.
+    /// Same rationale as [`Self::add_lanes3`]: the spans are short, so
+    /// one call boundary instead of three is most of the win.
+    #[inline]
+    pub fn or_reduce3(self, a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        debug_assert!(
+            a.len() == b.len() && a.len() == c.len(),
+            "fused or-reduce shape"
+        );
+        match self.backend {
+            Backend::Scalar => scalar::or_reduce(a) | scalar::or_reduce(b) | scalar::or_reduce(c),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: `Kernels` construction clamped the backend to the
+            // host's detected features.
+            Backend::Sse2 => unsafe { x86::sse2_or_reduce3(a, b, c) },
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::avx2_or_reduce3(a, b, c) },
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            _ => scalar::or_reduce(a) | scalar::or_reduce(b) | scalar::or_reduce(c),
+        }
+    }
+
+    /// Decodes packed 2-bit label words into one byte per slot:
+    /// `out[w * 32 + j] = (words[w] >> 2j) & 3`. `out` must be exactly
+    /// `32 × words.len()` bytes. SSE2 lacks the byte shuffle this wants
+    /// (`pshufb` is SSSE3), so that tier decodes scalar.
+    #[inline]
+    pub fn expand_labels(self, words: &[u64], out: &mut [u8]) {
+        debug_assert_eq!(out.len(), words.len() * 32, "label decode shape");
+        match self.backend {
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: `Kernels` construction clamped the backend to the
+            // host's detected features.
+            Backend::Avx2 => unsafe { x86::avx2_expand_labels(words, out) },
+            _ => scalar::expand_labels(words, out),
+        }
+    }
+}
+
+/// The autovectorized reference implementations: always compiled, the
+/// only path under Miri / off `x86_64`, and the oracle every intrinsic
+/// backend is pinned against.
+mod scalar {
+    /// Lane add, unrolled over exact 8-element chunks so the inner loop
+    /// carries no bounds checks for LLVM to prove away.
+    pub fn add_lanes(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let mut d = dst[..n].chunks_exact_mut(8);
+        let mut s = src[..n].chunks_exact(8);
+        for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+            for i in 0..8 {
+                dc[i] = dc[i].wrapping_add(sc[i]);
+            }
+        }
+        for (x, y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *x = x.wrapping_add(*y);
+        }
+    }
+
+    /// Shift-merge within one plane:
+    /// `lane[dst..dst + len] += lane[src..src + len]`, with
+    /// `src + len <= dst` (the caller checked).
+    pub fn add_shift(lane: &mut [u64], dst: usize, src: usize, len: usize) {
+        let (head, tail) = lane.split_at_mut(dst);
+        add_lanes(&mut tail[..len], &head[src..src + len]);
+    }
+
+    /// OR-reduce with independent accumulators per chunk position, so
+    /// the reduction has no loop-carried serial dependency.
+    pub fn or_reduce(xs: &[u64]) -> u64 {
+        let mut acc = [0u64; 8];
+        let mut it = xs.chunks_exact(8);
+        for c in it.by_ref() {
+            for i in 0..8 {
+                acc[i] |= c[i];
+            }
+        }
+        let tail = it.remainder().iter().fold(0u64, |a, &x| a | x);
+        acc.into_iter().fold(tail, |a, x| a | x)
+    }
+
+    /// 2-bit field extraction, one output byte per field.
+    pub fn expand_labels(words: &[u64], out: &mut [u8]) {
+        for (&w, chunk) in words.iter().zip(out.chunks_exact_mut(32)) {
+            let mut w = w;
+            for b in chunk {
+                *b = (w & 3) as u8;
+                w >>= 2;
+            }
+        }
+    }
+}
+
+/// The `x86_64` intrinsic backends. Compiled out under Miri (which
+/// cannot execute vendor intrinsics) — the dispatcher routes everything
+/// to [`scalar`] there, which is also what keeps the existing Miri CI
+/// leg meaningful for the surrounding kernel code.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod x86 {
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_castsi256_si128,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi32,
+        _mm256_set1_epi64x, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256,
+        _mm256_shuffle_epi8, _mm256_srli_epi16, _mm256_storeu_si256, _mm_add_epi64,
+        _mm_cvtsi128_si64, _mm_loadu_si128, _mm_or_si128, _mm_prefetch, _mm_setzero_si128,
+        _mm_storeu_si128, _mm_unpackhi_epi64, _MM_HINT_T0,
+    };
+
+    /// Issues a T0 (all-levels) prefetch hint for cell `at` of each of
+    /// the three lane planes. Prefetch is architecturally a hint: it
+    /// cannot fault even on a wild address, so this is safe to call
+    /// with any in-slice base pointer and offset.
+    #[inline]
+    pub fn prefetch3(pos: *const u64, neg: *const u64, def: *const u64, at: usize) {
+        // SAFETY: `_mm_prefetch` is a non-faulting hint (baseline SSE).
+        unsafe {
+            _mm_prefetch(pos.wrapping_add(at).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(neg.wrapping_add(at).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(def.wrapping_add(at).cast::<i8>(), _MM_HINT_T0);
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_add_lanes(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0usize;
+        // 16 lanes (4 × 256-bit vectors) per iteration: enough to keep
+        // both load ports busy without bloating the tail.
+        while i + 16 <= n {
+            let d0 = d.add(i).cast::<__m256i>();
+            let s0 = s.add(i).cast::<__m256i>();
+            let a0 = _mm256_add_epi64(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0));
+            let a1 = _mm256_add_epi64(
+                _mm256_loadu_si256(d.add(i + 4).cast()),
+                _mm256_loadu_si256(s.add(i + 4).cast()),
+            );
+            let a2 = _mm256_add_epi64(
+                _mm256_loadu_si256(d.add(i + 8).cast()),
+                _mm256_loadu_si256(s.add(i + 8).cast()),
+            );
+            let a3 = _mm256_add_epi64(
+                _mm256_loadu_si256(d.add(i + 12).cast()),
+                _mm256_loadu_si256(s.add(i + 12).cast()),
+            );
+            _mm256_storeu_si256(d0, a0);
+            _mm256_storeu_si256(d.add(i + 4).cast(), a1);
+            _mm256_storeu_si256(d.add(i + 8).cast(), a2);
+            _mm256_storeu_si256(d.add(i + 12).cast(), a3);
+            i += 16;
+        }
+        while i + 4 <= n {
+            let dv = d.add(i).cast::<__m256i>();
+            let sv = s.add(i).cast::<__m256i>();
+            _mm256_storeu_si256(
+                dv,
+                _mm256_add_epi64(_mm256_loadu_si256(dv), _mm256_loadu_si256(sv)),
+            );
+            i += 4;
+        }
+        while i < n {
+            *d.add(i) = (*d.add(i)).wrapping_add(*s.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support SSE2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sse2_add_lanes(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let a0 = _mm_add_epi64(
+                _mm_loadu_si128(d.add(i).cast()),
+                _mm_loadu_si128(s.add(i).cast()),
+            );
+            let a1 = _mm_add_epi64(
+                _mm_loadu_si128(d.add(i + 2).cast()),
+                _mm_loadu_si128(s.add(i + 2).cast()),
+            );
+            let a2 = _mm_add_epi64(
+                _mm_loadu_si128(d.add(i + 4).cast()),
+                _mm_loadu_si128(s.add(i + 4).cast()),
+            );
+            let a3 = _mm_add_epi64(
+                _mm_loadu_si128(d.add(i + 6).cast()),
+                _mm_loadu_si128(s.add(i + 6).cast()),
+            );
+            _mm_storeu_si128(d.add(i).cast(), a0);
+            _mm_storeu_si128(d.add(i + 2).cast(), a1);
+            _mm_storeu_si128(d.add(i + 4).cast(), a2);
+            _mm_storeu_si128(d.add(i + 6).cast(), a3);
+            i += 8;
+        }
+        while i < n {
+            *d.add(i) = (*d.add(i)).wrapping_add(*s.add(i));
+            i += 1;
+        }
+    }
+
+    /// Fused three-plane lane add: one 256-bit vector per plane per
+    /// iteration — three independent load/add/store chains, sized for
+    /// the short row spans the sweep merges.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_add_lanes3(
+        pos: (&mut [u64], &[u64]),
+        neg: (&mut [u64], &[u64]),
+        def: (&mut [u64], &[u64]),
+    ) {
+        let n = pos
+            .0
+            .len()
+            .min(pos.1.len())
+            .min(neg.0.len().min(neg.1.len()))
+            .min(def.0.len().min(def.1.len()));
+        let (pd, ps) = (pos.0.as_mut_ptr(), pos.1.as_ptr());
+        let (nd, ns) = (neg.0.as_mut_ptr(), neg.1.as_ptr());
+        let (dd, ds) = (def.0.as_mut_ptr(), def.1.as_ptr());
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = _mm256_add_epi64(
+                _mm256_loadu_si256(pd.add(i).cast()),
+                _mm256_loadu_si256(ps.add(i).cast()),
+            );
+            let b = _mm256_add_epi64(
+                _mm256_loadu_si256(nd.add(i).cast()),
+                _mm256_loadu_si256(ns.add(i).cast()),
+            );
+            let c = _mm256_add_epi64(
+                _mm256_loadu_si256(dd.add(i).cast()),
+                _mm256_loadu_si256(ds.add(i).cast()),
+            );
+            _mm256_storeu_si256(pd.add(i).cast(), a);
+            _mm256_storeu_si256(nd.add(i).cast(), b);
+            _mm256_storeu_si256(dd.add(i).cast(), c);
+            i += 4;
+        }
+        while i < n {
+            *pd.add(i) = (*pd.add(i)).wrapping_add(*ps.add(i));
+            *nd.add(i) = (*nd.add(i)).wrapping_add(*ns.add(i));
+            *dd.add(i) = (*dd.add(i)).wrapping_add(*ds.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support SSE2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sse2_add_lanes3(
+        pos: (&mut [u64], &[u64]),
+        neg: (&mut [u64], &[u64]),
+        def: (&mut [u64], &[u64]),
+    ) {
+        let n = pos
+            .0
+            .len()
+            .min(pos.1.len())
+            .min(neg.0.len().min(neg.1.len()))
+            .min(def.0.len().min(def.1.len()));
+        let (pd, ps) = (pos.0.as_mut_ptr(), pos.1.as_ptr());
+        let (nd, ns) = (neg.0.as_mut_ptr(), neg.1.as_ptr());
+        let (dd, ds) = (def.0.as_mut_ptr(), def.1.as_ptr());
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let a = _mm_add_epi64(
+                _mm_loadu_si128(pd.add(i).cast()),
+                _mm_loadu_si128(ps.add(i).cast()),
+            );
+            let b = _mm_add_epi64(
+                _mm_loadu_si128(nd.add(i).cast()),
+                _mm_loadu_si128(ns.add(i).cast()),
+            );
+            let c = _mm_add_epi64(
+                _mm_loadu_si128(dd.add(i).cast()),
+                _mm_loadu_si128(ds.add(i).cast()),
+            );
+            _mm_storeu_si128(pd.add(i).cast(), a);
+            _mm_storeu_si128(nd.add(i).cast(), b);
+            _mm_storeu_si128(dd.add(i).cast(), c);
+            i += 2;
+        }
+        while i < n {
+            *pd.add(i) = (*pd.add(i)).wrapping_add(*ps.add(i));
+            *nd.add(i) = (*nd.add(i)).wrapping_add(*ns.add(i));
+            *dd.add(i) = (*dd.add(i)).wrapping_add(*ds.add(i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2, and for each of the three plane
+    /// pointers both `src..src + n` and `dst..dst + n` must be in
+    /// bounds with `src + n <= dst` (see [`super::Kernels::add_shift3`],
+    /// which checks all of this before the call).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_add_shift3(
+        p: *mut u64,
+        q: *mut u64,
+        r: *mut u64,
+        dst: usize,
+        src: usize,
+        n: usize,
+    ) {
+        let mut i = 0usize;
+        // 8 cells per plane per iteration (two 256-bit vectors each):
+        // rows average a few dozen cells, so halving the trip count
+        // meaningfully cuts per-iteration pointer/branch overhead while
+        // the six independent add chains hide load latency.
+        while i + 8 <= n {
+            let a0 = _mm256_add_epi64(
+                _mm256_loadu_si256(p.add(dst + i).cast()),
+                _mm256_loadu_si256(p.add(src + i).cast()),
+            );
+            let a1 = _mm256_add_epi64(
+                _mm256_loadu_si256(p.add(dst + i + 4).cast()),
+                _mm256_loadu_si256(p.add(src + i + 4).cast()),
+            );
+            let b0 = _mm256_add_epi64(
+                _mm256_loadu_si256(q.add(dst + i).cast()),
+                _mm256_loadu_si256(q.add(src + i).cast()),
+            );
+            let b1 = _mm256_add_epi64(
+                _mm256_loadu_si256(q.add(dst + i + 4).cast()),
+                _mm256_loadu_si256(q.add(src + i + 4).cast()),
+            );
+            let c0 = _mm256_add_epi64(
+                _mm256_loadu_si256(r.add(dst + i).cast()),
+                _mm256_loadu_si256(r.add(src + i).cast()),
+            );
+            let c1 = _mm256_add_epi64(
+                _mm256_loadu_si256(r.add(dst + i + 4).cast()),
+                _mm256_loadu_si256(r.add(src + i + 4).cast()),
+            );
+            _mm256_storeu_si256(p.add(dst + i).cast(), a0);
+            _mm256_storeu_si256(p.add(dst + i + 4).cast(), a1);
+            _mm256_storeu_si256(q.add(dst + i).cast(), b0);
+            _mm256_storeu_si256(q.add(dst + i + 4).cast(), b1);
+            _mm256_storeu_si256(r.add(dst + i).cast(), c0);
+            _mm256_storeu_si256(r.add(dst + i + 4).cast(), c1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let a = _mm256_add_epi64(
+                _mm256_loadu_si256(p.add(dst + i).cast()),
+                _mm256_loadu_si256(p.add(src + i).cast()),
+            );
+            let b = _mm256_add_epi64(
+                _mm256_loadu_si256(q.add(dst + i).cast()),
+                _mm256_loadu_si256(q.add(src + i).cast()),
+            );
+            let c = _mm256_add_epi64(
+                _mm256_loadu_si256(r.add(dst + i).cast()),
+                _mm256_loadu_si256(r.add(src + i).cast()),
+            );
+            _mm256_storeu_si256(p.add(dst + i).cast(), a);
+            _mm256_storeu_si256(q.add(dst + i).cast(), b);
+            _mm256_storeu_si256(r.add(dst + i).cast(), c);
+            i += 4;
+        }
+        while i < n {
+            *p.add(dst + i) = (*p.add(dst + i)).wrapping_add(*p.add(src + i));
+            *q.add(dst + i) = (*q.add(dst + i)).wrapping_add(*q.add(src + i));
+            *r.add(dst + i) = (*r.add(dst + i)).wrapping_add(*r.add(src + i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support SSE2; bounds contract as in
+    /// [`avx2_add_shift3`].
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sse2_add_shift3(
+        p: *mut u64,
+        q: *mut u64,
+        r: *mut u64,
+        dst: usize,
+        src: usize,
+        n: usize,
+    ) {
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let a = _mm_add_epi64(
+                _mm_loadu_si128(p.add(dst + i).cast()),
+                _mm_loadu_si128(p.add(src + i).cast()),
+            );
+            let b = _mm_add_epi64(
+                _mm_loadu_si128(q.add(dst + i).cast()),
+                _mm_loadu_si128(q.add(src + i).cast()),
+            );
+            let c = _mm_add_epi64(
+                _mm_loadu_si128(r.add(dst + i).cast()),
+                _mm_loadu_si128(r.add(src + i).cast()),
+            );
+            _mm_storeu_si128(p.add(dst + i).cast(), a);
+            _mm_storeu_si128(q.add(dst + i).cast(), b);
+            _mm_storeu_si128(r.add(dst + i).cast(), c);
+            i += 2;
+        }
+        while i < n {
+            *p.add(dst + i) = (*p.add(dst + i)).wrapping_add(*p.add(src + i));
+            *q.add(dst + i) = (*q.add(dst + i)).wrapping_add(*q.add(src + i));
+            *r.add(dst + i) = (*r.add(dst + i)).wrapping_add(*r.add(src + i));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_or_reduce(xs: &[u64]) -> u64 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            acc0 = _mm256_or_si256(acc0, _mm256_loadu_si256(p.add(i).cast()));
+            acc1 = _mm256_or_si256(acc1, _mm256_loadu_si256(p.add(i + 4).cast()));
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = _mm256_or_si256(acc0, _mm256_loadu_si256(p.add(i).cast()));
+            i += 4;
+        }
+        let acc = _mm256_or_si256(acc0, acc1);
+        let mut seen = fold128(_mm_or_si128(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        ));
+        while i < n {
+            seen |= *p.add(i);
+            i += 1;
+        }
+        seen
+    }
+
+    /// # Safety
+    /// The CPU must support SSE2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sse2_or_reduce(xs: &[u64]) -> u64 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut acc0 = _mm_setzero_si128();
+        let mut acc1 = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            acc0 = _mm_or_si128(acc0, _mm_loadu_si128(p.add(i).cast()));
+            acc1 = _mm_or_si128(acc1, _mm_loadu_si128(p.add(i + 2).cast()));
+            i += 4;
+        }
+        let mut seen = fold128(_mm_or_si128(acc0, acc1));
+        while i < n {
+            seen |= *p.add(i);
+            i += 1;
+        }
+        seen
+    }
+
+    /// Fused three-plane OR-reduce for `row_fits`: one accumulator fed
+    /// by all three planes in lockstep.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_or_reduce3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        let n = a.len().min(b.len()).min(c.len());
+        let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut acc2 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            acc0 = _mm256_or_si256(acc0, _mm256_loadu_si256(pa.add(i).cast()));
+            acc1 = _mm256_or_si256(acc1, _mm256_loadu_si256(pb.add(i).cast()));
+            acc2 = _mm256_or_si256(acc2, _mm256_loadu_si256(pc.add(i).cast()));
+            i += 4;
+        }
+        let acc = _mm256_or_si256(_mm256_or_si256(acc0, acc1), acc2);
+        let mut seen = fold128(_mm_or_si128(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        ));
+        while i < n {
+            seen |= *pa.add(i) | *pb.add(i) | *pc.add(i);
+            i += 1;
+        }
+        seen
+    }
+
+    /// # Safety
+    /// The CPU must support SSE2 (callers hold a clamped [`super::Kernels`]).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sse2_or_reduce3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        let n = a.len().min(b.len()).min(c.len());
+        let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+        let mut acc0 = _mm_setzero_si128();
+        let mut acc1 = _mm_setzero_si128();
+        let mut acc2 = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            acc0 = _mm_or_si128(acc0, _mm_loadu_si128(pa.add(i).cast()));
+            acc1 = _mm_or_si128(acc1, _mm_loadu_si128(pb.add(i).cast()));
+            acc2 = _mm_or_si128(acc2, _mm_loadu_si128(pc.add(i).cast()));
+            i += 2;
+        }
+        let mut seen = fold128(_mm_or_si128(_mm_or_si128(acc0, acc1), acc2));
+        while i < n {
+            seen |= *pa.add(i) | *pb.add(i) | *pc.add(i);
+            i += 1;
+        }
+        seen
+    }
+
+    /// OR of the two `u64` halves of a 128-bit register.
+    #[inline(always)]
+    fn fold128(v: __m128i) -> u64 {
+        // SAFETY: both intrinsics are plain SSE2 data movement; SSE2 is
+        // statically guaranteed by the crate's x86_64 baseline target.
+        unsafe {
+            (_mm_cvtsi128_si64(v) as u64) | (_mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v)) as u64)
+        }
+    }
+
+    /// One packed word explodes to exactly one 256-bit store: broadcast
+    /// the word, `pshufb`-replicate each source byte across the four
+    /// output bytes that decode from it, shift each replica into place
+    /// and mask to the 2-bit code, then blend the four shifted planes by
+    /// byte position.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers hold a clamped [`super::Kernels`]);
+    /// `out` must be exactly `32 × words.len()` bytes (checked by the
+    /// dispatcher's debug assert and re-asserted here).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn avx2_expand_labels(words: &[u64], out: &mut [u8]) {
+        assert_eq!(out.len(), words.len() * 32, "label decode shape");
+        // Within each 128-bit lane `pshufb` indexes lane-locally, and the
+        // broadcast word occupies bytes 0..8 of both lanes: lane 0 feeds
+        // output bytes 0..16 (source bytes 0..4), lane 1 feeds output
+        // bytes 16..32 (source bytes 4..8).
+        #[rustfmt::skip]
+        let idx = _mm256_setr_epi8(
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+            4, 4, 4, 4, 5, 5, 5, 5, 6, 6, 6, 6, 7, 7, 7, 7,
+        );
+        let m3 = _mm256_set1_epi8(3);
+        let pos0 = _mm256_set1_epi32(0x0000_00ff);
+        let pos1 = _mm256_set1_epi32(0x0000_ff00);
+        let pos2 = _mm256_set1_epi32(0x00ff_0000);
+        let pos3 = _mm256_set1_epi32(0xff00_0000u32 as i32);
+        let o = out.as_mut_ptr();
+        for (wi, &w) in words.iter().enumerate() {
+            let bytes = _mm256_shuffle_epi8(_mm256_set1_epi64x(w as i64), idx);
+            // Byte j of the output wants bits 2(j%4)..2(j%4)+2 of source
+            // byte j/4. `srli_epi16` smears bits across the low byte of
+            // each 16-bit pair, but the `& 3` mask keeps only the two
+            // bits that came from the byte itself.
+            let b0 = _mm256_and_si256(bytes, m3);
+            let b1 = _mm256_and_si256(_mm256_srli_epi16(bytes, 2), m3);
+            let b2 = _mm256_and_si256(_mm256_srli_epi16(bytes, 4), m3);
+            let b3 = _mm256_and_si256(_mm256_srli_epi16(bytes, 6), m3);
+            let r = _mm256_or_si256(
+                _mm256_or_si256(_mm256_and_si256(b0, pos0), _mm256_and_si256(b1, pos1)),
+                _mm256_or_si256(_mm256_and_si256(b2, pos2), _mm256_and_si256(b3, pos3)),
+            );
+            _mm256_storeu_si256(o.add(wi * 32).cast(), r);
+        }
+    }
+}
+
+/// A 64-byte (cache-line) aligned, zero-initialising `u64` buffer — the
+/// narrow tier's lane storage. `Vec<u64>` only guarantees 8-byte
+/// alignment, so the three parallel lanes could start mid-line and every
+/// vector op would straddle; this keeps each lane's base on its own
+/// cache line. Deliberately minimal: the kernel only ever zero-extends,
+/// truncates and shrinks.
+pub struct AlignedVec {
+    ptr: std::ptr::NonNull<u64>,
+    len: usize,
+    cap: usize,
+}
+
+/// Cache-line alignment for lane buffers.
+const LANE_ALIGN: usize = 64;
+
+impl AlignedVec {
+    /// An empty buffer; no allocation until first growth.
+    pub const fn new() -> AlignedVec {
+        AlignedVec {
+            ptr: std::ptr::NonNull::dangling(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(cap * std::mem::size_of::<u64>(), LANE_ALIGN)
+            .expect("lane buffer layout")
+    }
+
+    /// Elements currently live.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Retained capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Reallocates to exactly `new_cap` elements (which must hold the
+    /// current `len`), preserving live contents.
+    fn realloc_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap >= self.len);
+        if new_cap == self.cap {
+            return;
+        }
+        if new_cap == 0 {
+            // SAFETY: `cap > 0` here (new_cap != cap), so `ptr` was
+            // allocated with `layout(cap)`.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+            self.ptr = std::ptr::NonNull::dangling();
+            self.cap = 0;
+            return;
+        }
+        let new_ptr = if self.cap == 0 {
+            // SAFETY: `new_cap > 0` gives a non-zero-size layout.
+            unsafe { std::alloc::alloc(Self::layout(new_cap)) }
+        } else {
+            // SAFETY: `ptr` was allocated with `layout(cap)`; realloc
+            // preserves the layout's alignment and the first
+            // `min(old, new)` bytes.
+            unsafe {
+                std::alloc::realloc(
+                    self.ptr.as_ptr().cast(),
+                    Self::layout(self.cap),
+                    new_cap * std::mem::size_of::<u64>(),
+                )
+            }
+        };
+        let Some(ptr) = std::ptr::NonNull::new(new_ptr.cast::<u64>()) else {
+            std::alloc::handle_alloc_error(Self::layout(new_cap));
+        };
+        self.ptr = ptr;
+        self.cap = new_cap;
+    }
+
+    /// Grows or truncates to `new_len`, zero-filling any new elements.
+    /// Growth is amortised (doubling), like `Vec`.
+    pub fn resize_zeroed(&mut self, new_len: usize) {
+        if new_len > self.cap {
+            self.realloc_to(new_len.max(self.cap * 2).max(8));
+        }
+        if new_len > self.len {
+            // SAFETY: `len..new_len` is within the (re)allocated block.
+            unsafe {
+                std::ptr::write_bytes(self.ptr.as_ptr().add(self.len), 0, new_len - self.len);
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Appends a copy of elements `src..src + n` at the tail. Growth is
+    /// amortised (doubling), like `Vec`. The arena kernels use this to
+    /// initialise a fresh row as a straight copy of its first source row
+    /// instead of a zero-fill followed by an add-onto-zeros pass.
+    pub fn extend_from_within(&mut self, src: usize, n: usize) {
+        assert!(src + n <= self.len, "copy source out of bounds");
+        let new_len = self.len + n;
+        if new_len > self.cap {
+            self.realloc_to(new_len.max(self.cap * 2).max(8));
+        }
+        // SAFETY: `src + n <= len` (asserted) and `len + n <= cap`; the
+        // ranges cannot overlap because the destination starts at `len`,
+        // at or above the source's end.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr.as_ptr().add(src),
+                self.ptr.as_ptr().add(self.len),
+                n,
+            );
+        }
+        self.len = new_len;
+    }
+
+    /// Appends a copy of `xs` at the tail; growth as in
+    /// [`AlignedVec::extend_from_within`].
+    pub fn extend_from_slice(&mut self, xs: &[u64]) {
+        let new_len = self.len + xs.len();
+        if new_len > self.cap {
+            self.realloc_to(new_len.max(self.cap * 2).max(8));
+        }
+        // SAFETY: the tail holds `xs.len()` spare elements after the
+        // reserve above, and a borrowed source cannot overlap `&mut self`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(xs.as_ptr(), self.ptr.as_ptr().add(self.len), xs.len());
+        }
+        self.len = new_len;
+    }
+
+    /// Drops all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Shrinks retained capacity toward `min_cap` (never below `len`),
+    /// mirroring `Vec::shrink_to`.
+    pub fn shrink_to(&mut self, min_cap: usize) {
+        let target = min_cap.max(self.len);
+        if self.cap > target {
+            self.realloc_to(target);
+        }
+    }
+
+    /// The live elements.
+    pub fn as_slice(&self) -> &[u64] {
+        // SAFETY: `ptr` covers `cap >= len` initialised-for-`len`
+        // elements; for `len == 0` a dangling-but-aligned pointer is
+        // valid for an empty slice.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The live elements, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        // SAFETY: as in `as_slice`, plus `&mut self` gives uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Copies a slice into a fresh exactly-sized aligned buffer.
+    pub fn from_slice(xs: &[u64]) -> AlignedVec {
+        let mut v = AlignedVec::new();
+        if !xs.is_empty() {
+            v.realloc_to(xs.len());
+            // SAFETY: the fresh block holds `xs.len()` elements and
+            // cannot overlap the borrowed source.
+            unsafe {
+                std::ptr::copy_nonoverlapping(xs.as_ptr(), v.ptr.as_ptr(), xs.len());
+            }
+            v.len = xs.len();
+        }
+        v
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: `ptr` was allocated with `layout(cap)`.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        }
+    }
+}
+
+// SAFETY: `AlignedVec` owns its allocation exclusively and `u64` is
+// `Send + Sync`; the raw pointer is never shared outside `&`/`&mut`
+// borrows of the vector itself.
+unsafe impl Send for AlignedVec {}
+// SAFETY: as above — shared access only ever reads through `&self`.
+unsafe impl Sync for AlignedVec {}
+
+impl Default for AlignedVec {
+    fn default() -> AlignedVec {
+        AlignedVec::new()
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> AlignedVec {
+        AlignedVec::from_slice(self.as_slice())
+    }
+}
+
+impl std::ops::Deref for AlignedVec {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &AlignedVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for AlignedVec {}
+
+impl FromIterator<u64> for AlignedVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> AlignedVec {
+        AlignedVec::from_slice(&iter.into_iter().collect::<Vec<u64>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift stream — no RNG dependency needed for
+    /// op-equivalence data.
+    fn xorshift_stream(mut seed: u64, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            })
+            .collect()
+    }
+
+    fn supported_kernels() -> Vec<Kernels> {
+        Backend::ALL
+            .iter()
+            .filter(|b| b.is_supported())
+            .map(|&b| Kernels::new(b))
+            .collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(b.as_str().parse::<Backend>(), Ok(b));
+            assert_eq!(b.to_string(), b.as_str());
+        }
+        assert_eq!("AVX2".parse::<Backend>(), Ok(Backend::Avx2));
+        assert_eq!(" sse2 ".parse::<Backend>(), Ok(Backend::Sse2));
+        assert!("avx512".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn clamping_never_exceeds_support() {
+        for b in Backend::ALL {
+            let c = b.clamped();
+            assert!(c.is_supported());
+            assert!(c <= b, "clamp may only lower the tier");
+        }
+        assert_eq!(Backend::Scalar.clamped(), Backend::Scalar);
+        assert!(detected_backend().is_supported());
+    }
+
+    #[test]
+    fn active_backend_is_supported_and_stable() {
+        let first = active_backend();
+        assert!(first.is_supported());
+        assert_eq!(active_backend(), first, "selection is once-per-process");
+        // Pinning after first use cannot change the selection.
+        assert_eq!(pin_backend(Backend::Scalar), first);
+    }
+
+    #[cfg(miri)]
+    #[test]
+    fn miri_takes_the_scalar_path() {
+        assert_eq!(detected_backend(), Backend::Scalar);
+        assert_eq!(active_backend(), Backend::Scalar);
+        assert_eq!(Kernels::new(Backend::Avx2).backend(), Backend::Scalar);
+    }
+
+    #[test]
+    fn add_lanes_matches_scalar_on_every_backend() {
+        let src = xorshift_stream(0x9e37_79b9_7f4a_7c15, 133);
+        let base = xorshift_stream(0xd1b5_4a32_d192_ed03, 133);
+        // Every length hits a different mix of vector body and tail.
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 64, 133] {
+            let mut want = base[..len].to_vec();
+            scalar::add_lanes(&mut want, &src[..len]);
+            for k in supported_kernels() {
+                let mut got = base[..len].to_vec();
+                k.add_lanes(&mut got, &src[..len]);
+                assert_eq!(got, want, "backend {} len {len}", k.backend());
+            }
+        }
+    }
+
+    #[test]
+    fn add_lanes3_matches_three_scalar_adds_on_every_backend() {
+        let srcs = [
+            xorshift_stream(0x9e37_79b9_7f4a_7c15, 133),
+            xorshift_stream(0xd1b5_4a32_d192_ed03, 133),
+            xorshift_stream(0xa076_1d64_78bd_642f, 133),
+        ];
+        let bases = [
+            xorshift_stream(0xe703_7ed1_a0b4_28db, 133),
+            xorshift_stream(0x8ebc_6af0_9c88_c6e3, 133),
+            xorshift_stream(0x5899_65cc_7537_4cc3, 133),
+        ];
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 64, 133] {
+            let mut want: Vec<Vec<u64>> = bases.iter().map(|b| b[..len].to_vec()).collect();
+            for (w, s) in want.iter_mut().zip(&srcs) {
+                scalar::add_lanes(w, &s[..len]);
+            }
+            for k in supported_kernels() {
+                let mut got: Vec<Vec<u64>> = bases.iter().map(|b| b[..len].to_vec()).collect();
+                let [p, rest @ ..] = &mut got[..] else {
+                    unreachable!()
+                };
+                let [n, d] = rest else { unreachable!() };
+                k.add_lanes3(
+                    (p, &srcs[0][..len]),
+                    (n, &srcs[1][..len]),
+                    (d, &srcs[2][..len]),
+                );
+                assert_eq!(got, want, "backend {} len {len}", k.backend());
+            }
+        }
+    }
+
+    #[test]
+    fn add_shift3_matches_scalar_on_every_backend() {
+        let planes = [
+            xorshift_stream(0x1f83_d9ab_fb41_bd6b, 300),
+            xorshift_stream(0x5be0_cd19_137e_2179, 300),
+            xorshift_stream(0x6a09_e667_f3bc_c908, 300),
+        ];
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 64, 133] {
+            let (src, dst) = (5usize, 160usize);
+            let mut want: Vec<Vec<u64>> = planes.iter().map(|p| p.clone()).collect();
+            for w in &mut want {
+                scalar::add_shift(w, dst, src, len);
+            }
+            for k in supported_kernels() {
+                let mut got: Vec<Vec<u64>> = planes.iter().map(|p| p.clone()).collect();
+                let [p, rest @ ..] = &mut got[..] else {
+                    unreachable!()
+                };
+                let [n, d] = rest else { unreachable!() };
+                k.add_shift3(p, n, d, dst, src, len);
+                assert_eq!(got, want, "backend {} len {len}", k.backend());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn add_shift3_rejects_overlapping_spans() {
+        let mut a = vec![0u64; 32];
+        let mut b = vec![0u64; 32];
+        let mut c = vec![0u64; 32];
+        Kernels::scalar().add_shift3(&mut a, &mut b, &mut c, 8, 4, 8);
+    }
+
+    #[test]
+    fn or_reduce3_matches_scalar_on_every_backend() {
+        let a = xorshift_stream(0x2545_f491_4f6c_dd1d, 133);
+        let b = xorshift_stream(0x9e6c_63d0_985b_49c5, 133);
+        let c = xorshift_stream(0x5851_f42d_4c95_7f2d, 133);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33, 133] {
+            let want = scalar::or_reduce(&a[..len])
+                | scalar::or_reduce(&b[..len])
+                | scalar::or_reduce(&c[..len]);
+            for k in supported_kernels() {
+                assert_eq!(
+                    k.or_reduce3(&a[..len], &b[..len], &c[..len]),
+                    want,
+                    "backend {} len {len}",
+                    k.backend()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn or_reduce_matches_scalar_on_every_backend() {
+        let xs = xorshift_stream(0xa076_1d64_78bd_642f, 133);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33, 133] {
+            let want = scalar::or_reduce(&xs[..len]);
+            assert_eq!(want, xs[..len].iter().fold(0, |a, &x| a | x));
+            for k in supported_kernels() {
+                assert_eq!(
+                    k.or_reduce(&xs[..len]),
+                    want,
+                    "backend {} len {len}",
+                    k.backend()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expand_labels_matches_scalar_on_every_backend() {
+        for words in [
+            vec![],
+            vec![0u64],
+            vec![u64::MAX],
+            vec![0x1b1b_1b1b_1b1b_1b1b],
+            xorshift_stream(0x2545_f491_4f6c_dd1d, 9),
+        ] {
+            let mut want = vec![0u8; words.len() * 32];
+            scalar::expand_labels(&words, &mut want);
+            for (j, &b) in want.iter().enumerate() {
+                assert_eq!(u64::from(b), (words[j / 32] >> (2 * (j % 32))) & 3);
+            }
+            for k in supported_kernels() {
+                let mut got = vec![0xffu8; words.len() * 32];
+                k.expand_labels(&words, &mut got);
+                assert_eq!(got, want, "backend {}", k.backend());
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_vec_is_cache_line_aligned_and_vec_like() {
+        let mut v = AlignedVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), 0);
+        v.resize_zeroed(5);
+        assert_eq!(v.as_slice(), &[0; 5]);
+        assert_eq!(v.as_ptr() as usize % LANE_ALIGN, 0, "64-byte aligned");
+        v[3] = 42;
+        v.resize_zeroed(200);
+        assert_eq!(v.as_ptr() as usize % LANE_ALIGN, 0, "aligned after growth");
+        assert_eq!(v[3], 42, "growth preserves contents");
+        assert_eq!(v[199], 0, "growth zero-fills");
+        let cap = v.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap, "clear keeps capacity");
+        v.resize_zeroed(8);
+        assert_eq!(&v[..], &[0; 8], "stale contents are re-zeroed");
+        v.shrink_to(16);
+        assert!(v.capacity() >= 8 && v.capacity() <= 16);
+        v.shrink_to(0);
+        assert_eq!(v.capacity(), 8, "shrink never drops below len");
+    }
+
+    #[test]
+    fn aligned_vec_truncating_resize_then_regrow_rezeroes() {
+        let mut v = AlignedVec::from_slice(&[7; 12]);
+        v.resize_zeroed(4);
+        assert_eq!(&v[..], &[7; 4]);
+        v.resize_zeroed(12);
+        assert_eq!(&v[..4], &[7; 4]);
+        assert_eq!(&v[4..], &[0; 8], "regrown tail is zeroed");
+    }
+
+    #[test]
+    fn aligned_vec_clone_collect_and_eq() {
+        let v: AlignedVec = (0u64..100).collect();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.as_ptr() as usize % LANE_ALIGN, 0);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_ne!(w, AlignedVec::new());
+        assert_eq!(AlignedVec::new(), AlignedVec::from_slice(&[]));
+        assert_eq!(format!("{:?}", AlignedVec::from_slice(&[1, 2])), "[1, 2]");
+    }
+}

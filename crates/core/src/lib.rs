@@ -53,11 +53,16 @@
 //! assert_eq!(resolver.resolve(ex.user, ex.obj, ex.read, closed).unwrap(), Sign::Neg);
 //! ```
 
-// `deny`, not `forbid`: the persistent thread pool ([`pool`]) contains
-// one audited `unsafe` block — the lifetime erasure that lets parked
-// workers run a caller-borrowed closure (see the soundness argument
-// there). Every other module is `unsafe`-free and cannot opt out
-// silently; CI runs the pool's tests under Miri.
+// `deny`, not `forbid`: exactly two modules opt out. The persistent
+// thread pool ([`pool`]) contains one audited `unsafe` block — the
+// lifetime erasure that lets parked workers run a caller-borrowed
+// closure (see the soundness argument there) — and [`engine::simd`]
+// confines the `#[target_feature]` intrinsic kernels and the
+// cache-line-aligned lane buffer behind a capability-checked safe API
+// (see its dispatch-soundness argument). Every other module is
+// `unsafe`-free and cannot opt out silently; CI runs the pool's and the
+// lane buffer's tests under Miri, where the intrinsic paths are
+// compiled out and the scalar oracle runs instead.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -117,6 +117,19 @@ pub struct SessionStats {
     /// hierarchy has extreme path multiplicity (and the sweep paid one
     /// extra narrow attempt per affected batch).
     pub wide_escalations: u64,
+    /// The SIMD kernel backend selected for this process
+    /// (`"scalar"`/`"sse2"`/`"avx2"`; see
+    /// [`crate::engine::simd::active_backend`]). Every backend is
+    /// bit-identical — this is provenance, not semantics.
+    pub kernel_backend: &'static str,
+    /// Narrow-tier sweeps merged by the scalar (autovectorized) backend.
+    /// The three per-backend counters partition `narrow_sweeps`; with a
+    /// fixed process-wide backend exactly one of them moves.
+    pub sweeps_scalar: u64,
+    /// Narrow-tier sweeps merged by the SSE2 backend.
+    pub sweeps_sse2: u64,
+    /// Narrow-tier sweeps merged by the AVX2 backend.
+    pub sweeps_avx2: u64,
     /// Batched sweep rounds dispatched to the work-stealing pool
     /// (more than one worker).
     pub parallel_dispatches: u64,
@@ -186,6 +199,9 @@ pub struct AccessSession {
     kernel_arena_bytes: AtomicU64,
     narrow_sweeps: AtomicU64,
     wide_escalations: AtomicU64,
+    /// Narrow sweeps per SIMD backend, indexed by
+    /// [`crate::engine::simd::Backend::index`].
+    backend_sweeps: [AtomicU64; 3],
     parallel_dispatches: AtomicU64,
     serial_dispatches: AtomicU64,
     context_builds: AtomicU64,
@@ -215,6 +231,7 @@ impl AccessSession {
             kernel_arena_bytes: AtomicU64::new(0),
             narrow_sweeps: AtomicU64::new(0),
             wide_escalations: AtomicU64::new(0),
+            backend_sweeps: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             parallel_dispatches: AtomicU64::new(0),
             serial_dispatches: AtomicU64::new(0),
             context_builds: AtomicU64::new(0),
@@ -599,6 +616,8 @@ impl AccessSession {
                     let arena_bytes = fused.arena_bytes();
                     if fused.is_narrow() {
                         self.narrow_sweeps.fetch_add(1, Ordering::Relaxed);
+                        self.backend_sweeps[crate::engine::simd::active_backend().index()]
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     if fused.escalated() {
                         self.wide_escalations.fetch_add(1, Ordering::Relaxed);
@@ -679,6 +698,10 @@ impl AccessSession {
             kernel_arena_bytes: self.kernel_arena_bytes.load(Ordering::Relaxed),
             narrow_sweeps: self.narrow_sweeps.load(Ordering::Relaxed),
             wide_escalations: self.wide_escalations.load(Ordering::Relaxed),
+            kernel_backend: crate::engine::simd::active_backend().as_str(),
+            sweeps_scalar: self.backend_sweeps[0].load(Ordering::Relaxed),
+            sweeps_sse2: self.backend_sweeps[1].load(Ordering::Relaxed),
+            sweeps_avx2: self.backend_sweeps[2].load(Ordering::Relaxed),
             parallel_dispatches: self.parallel_dispatches.load(Ordering::Relaxed),
             serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
             context_builds: self.context_builds.load(Ordering::Relaxed),
@@ -772,6 +795,8 @@ impl AccessSession {
                 .fetch_add(fused.arena_bytes() as u64, Ordering::Relaxed);
             if fused.is_narrow() {
                 self.narrow_sweeps.fetch_add(1, Ordering::Relaxed);
+                self.backend_sweeps[crate::engine::simd::active_backend().index()]
+                    .fetch_add(1, Ordering::Relaxed);
             }
             if fused.escalated() {
                 self.wide_escalations.fetch_add(1, Ordering::Relaxed);
@@ -1245,6 +1270,16 @@ mod tests {
         // hierarchies never approach the saturation ceiling.
         assert_eq!(stats.narrow_sweeps, stats.kernel_batches);
         assert_eq!(stats.wide_escalations, 0);
+        // The per-backend counters partition the narrow sweeps, all
+        // attributed to the process-wide selected backend.
+        let active = crate::engine::simd::active_backend();
+        assert_eq!(stats.kernel_backend, active.as_str());
+        assert_eq!(
+            stats.sweeps_scalar + stats.sweeps_sse2 + stats.sweeps_avx2,
+            stats.narrow_sweeps
+        );
+        let by_backend = [stats.sweeps_scalar, stats.sweeps_sse2, stats.sweeps_avx2];
+        assert_eq!(by_backend[active.index()], stats.narrow_sweeps);
     }
 
     #[test]

@@ -159,6 +159,19 @@ pub struct StatsResponse {
     /// Kernel batches escalated to the wide `u128` tier (expected 0 on
     /// realistic workloads).
     pub wide_escalations: u64,
+    /// SIMD kernel backend selected for this process
+    /// (`scalar`/`sse2`/`avx2`).
+    #[serde(default)]
+    pub kernel_backend: String,
+    /// Narrow sweeps merged by the scalar backend.
+    #[serde(default)]
+    pub sweeps_scalar: u64,
+    /// Narrow sweeps merged by the SSE2 backend.
+    #[serde(default)]
+    pub sweeps_sse2: u64,
+    /// Narrow sweeps merged by the AVX2 backend.
+    #[serde(default)]
+    pub sweeps_avx2: u64,
     /// Shared sweep-context builds.
     pub context_builds: u64,
     /// Batched rounds dispatched to the pool.

@@ -371,6 +371,10 @@ impl Service {
             kernel_batches: s.kernel_batches,
             narrow_sweeps: s.narrow_sweeps,
             wide_escalations: s.wide_escalations,
+            kernel_backend: s.kernel_backend.to_string(),
+            sweeps_scalar: s.sweeps_scalar,
+            sweeps_sse2: s.sweeps_sse2,
+            sweeps_avx2: s.sweeps_avx2,
             context_builds: s.context_builds,
             parallel_dispatches: s.parallel_dispatches,
             serial_dispatches: s.serial_dispatches,

@@ -14,6 +14,7 @@ use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use ucra::core::engine::counting::{self, PropagationMode};
 use ucra::core::engine::path_enum::{self, PropagateOptions};
+use ucra::core::engine::simd::Backend;
 use ucra::core::ids::SubjectId;
 use ucra::core::ids::{ObjectId, RightId};
 use ucra::core::{
@@ -539,6 +540,103 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The runtime-dispatched SIMD backends: every backend the host
+    /// supports must produce tables bit-identical to the forced-scalar
+    /// oracle (`compute_with_backend(.., Backend::Scalar)`) and
+    /// sign-identical for all 48 strategies, in all three propagation
+    /// modes. On hosts without SSE2/AVX2 the loop degenerates to
+    /// scalar-vs-scalar, which is vacuous there but keeps the test
+    /// portable; CI's x86_64 runners exercise the real lanes.
+    #[test]
+    fn every_supported_backend_matches_scalar_oracle(
+        n in 1usize..14,
+        density in 0.0f64..0.6,
+        rate in 0.0f64..0.6,
+        pairs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = world(n, density, rate, pairs, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let oracle = FusedSweep::compute_with_backend(
+                &ctx, &eacm, &cols, mode, &mut scratch, Backend::Scalar,
+            ).unwrap();
+            for backend in Backend::ALL {
+                if !backend.is_supported() || backend == Backend::Scalar {
+                    continue;
+                }
+                let simd = FusedSweep::compute_with_backend(
+                    &ctx, &eacm, &cols, mode, &mut scratch, backend,
+                ).unwrap();
+                prop_assert_eq!(simd.is_narrow(), oracle.is_narrow(), "mode {:?}", mode);
+                for c in 0..cols.len() {
+                    prop_assert_eq!(
+                        simd.table(c), oracle.table(c),
+                        "backend {} mode {:?} column {}", backend, mode, c
+                    );
+                    for strategy in Strategy::all_instances() {
+                        prop_assert_eq!(
+                            simd.signs(c, strategy).unwrap(),
+                            oracle.signs(c, strategy).unwrap(),
+                            "backend {} mode {:?} column {} strategy {}",
+                            backend, mode, c, strategy
+                        );
+                    }
+                }
+                simd.recycle(&mut scratch);
+            }
+            oracle.recycle(&mut scratch);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same backend sweep on the sparse worlds, where the pruned path's
+    /// packed-label reads and shared default-rows merge run through the
+    /// dispatched kernels — every supported backend must match the
+    /// scalar oracle table-for-table in all three modes.
+    #[test]
+    fn every_supported_backend_matches_scalar_on_sparse_worlds(
+        n in 16usize..40,
+        density in 0.0f64..0.15,
+        placement in 0usize..3,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (h, eacm, cols) = sparse_world(n, density, placement, labels, seed);
+        let ctx = SweepContext::new(&h);
+        let mut scratch = SweepScratch::new();
+        for mode in MODES {
+            let oracle = FusedSweep::compute_with_backend(
+                &ctx, &eacm, &cols, mode, &mut scratch, Backend::Scalar,
+            ).unwrap();
+            for backend in Backend::ALL {
+                if !backend.is_supported() || backend == Backend::Scalar {
+                    continue;
+                }
+                let simd = FusedSweep::compute_with_backend(
+                    &ctx, &eacm, &cols, mode, &mut scratch, backend,
+                ).unwrap();
+                for c in 0..cols.len() {
+                    prop_assert_eq!(
+                        simd.table(c), oracle.table(c),
+                        "backend {} mode {:?} column {} placement {}",
+                        backend, mode, c, placement
+                    );
+                }
+                simd.recycle(&mut scratch);
+            }
+            oracle.recycle(&mut scratch);
+        }
+    }
+}
+
 /// `depth` stacked diamonds: `2^depth` paths from the first node to the
 /// last, each of length `2 * depth` — the path-doubling shape that
 /// drives counts past any fixed-width lane.
@@ -593,6 +691,111 @@ fn forced_escalation_is_lossless_for_all_strategies() {
         FusedSweep::compute_with(&ctx, &eacm, &[(o, r)], PropagationMode::Both, &mut scratch)
             .unwrap();
     assert_eq!(fused.histogram(bottom, 0).at(140).pos, 1u128 << 70);
+}
+
+/// The narrow→wide escalation trips at the identical site under every
+/// supported backend: 70 stacked diamonds must escalate whether the
+/// narrow lanes were merged by scalar, SSE2 or AVX2 code (the SIMD adds
+/// wrap exactly like `wrapping_add`, so the saturation check sees the
+/// same lane values), and the escaped wide tables must be bit-identical
+/// to the scalar run's — including the exact `2^70` positive count.
+#[test]
+fn escalation_site_is_backend_invariant() {
+    let (h, first, bottom) = diamond_stack(70);
+    let (o, r) = (ObjectId(0), RightId(0));
+    let mut eacm = Eacm::new();
+    eacm.grant(first, o, r).unwrap();
+    let ctx = SweepContext::new(&h);
+    let mut scratch = SweepScratch::new();
+    for mode in MODES {
+        let oracle = FusedSweep::compute_with_backend(
+            &ctx,
+            &eacm,
+            &[(o, r)],
+            mode,
+            &mut scratch,
+            Backend::Scalar,
+        )
+        .unwrap();
+        assert!(
+            oracle.escalated(),
+            "mode {mode:?}: 2^70 must escalate under scalar"
+        );
+        for backend in Backend::ALL {
+            if !backend.is_supported() || backend == Backend::Scalar {
+                continue;
+            }
+            let simd = FusedSweep::compute_with_backend(
+                &ctx,
+                &eacm,
+                &[(o, r)],
+                mode,
+                &mut scratch,
+                backend,
+            )
+            .unwrap();
+            assert!(
+                simd.escalated(),
+                "mode {mode:?}: 2^70 must escalate under {backend}"
+            );
+            assert_eq!(
+                simd.table(0),
+                oracle.table(0),
+                "mode {mode:?} backend {backend}"
+            );
+            assert_eq!(
+                simd.histogram(bottom, 0).at(140).pos,
+                1u128 << 70,
+                "mode {mode:?} backend {backend}"
+            );
+            simd.recycle(&mut scratch);
+        }
+        oracle.recycle(&mut scratch);
+    }
+}
+
+/// `PathCountOverflow` fires identically under every supported backend:
+/// 128 diamonds overflow `u128` after escalation, and the surfaced
+/// error must match the scalar run's exactly (the wide tier itself is
+/// backend-independent, but the narrow attempt that precedes it runs
+/// the dispatched kernels up to the escalation point).
+#[test]
+fn overflow_error_is_backend_invariant() {
+    let (h, first, _) = diamond_stack(128);
+    let (o, r) = (ObjectId(0), RightId(0));
+    let mut eacm = Eacm::new();
+    eacm.grant(first, o, r).unwrap();
+    let ctx = SweepContext::new(&h);
+    let mut scratch = SweepScratch::new();
+    for mode in MODES {
+        let oracle = FusedSweep::compute_with_backend(
+            &ctx,
+            &eacm,
+            &[(o, r)],
+            mode,
+            &mut scratch,
+            Backend::Scalar,
+        );
+        let oracle_err = oracle.unwrap_err().to_string();
+        for backend in Backend::ALL {
+            if !backend.is_supported() || backend == Backend::Scalar {
+                continue;
+            }
+            let simd = FusedSweep::compute_with_backend(
+                &ctx,
+                &eacm,
+                &[(o, r)],
+                mode,
+                &mut scratch,
+                backend,
+            );
+            assert_eq!(
+                simd.unwrap_err().to_string(),
+                oracle_err,
+                "mode {mode:?} backend {backend}"
+            );
+        }
+    }
 }
 
 /// `PathCountOverflow` fires at the identical site in both tiers: 128
